@@ -1,0 +1,33 @@
+// Fig. 13 — Data heterogeneity sweep: FedTrans on femnist-like with the
+// Dirichlet label concentration h ∈ {0.5, 1, 50, 100} (lower h = more
+// heterogeneous, the paper's exact protocol). Shape to reproduce: accuracy
+// degrades as heterogeneity rises (small h); homogeneous settings converge
+// to better accuracy while spending more rounds' worth of MACs.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness/experiments.hpp"
+
+using namespace fedtrans;
+
+int main() {
+  const Scale scale = bench_scale();
+  std::cout << "[fig13] data heterogeneity sweep (" << scale_name(scale)
+            << ", femnist-like)\n\n";
+
+  TablePrinter t({"h (Dirichlet)", "accu (%)", "IQR (%)", "cost (MACs)"});
+  for (double h : {0.5, 1.0, 50.0, 100.0}) {
+    auto preset = femnist_like(scale);
+    preset.dataset.dirichlet_h = h;
+    auto r = run_fedtrans(preset);
+    t.add_row({fmt_fixed(h, 1), fmt_fixed(r.report.mean_accuracy * 100, 2),
+               fmt_fixed(r.report.accuracy_iqr * 100, 2),
+               fmt_sci(r.report.costs.total_macs(), 2)});
+    std::cerr << "h " << h << " done\n";
+  }
+  t.print(std::cout);
+  std::cout << "\nshape check: accuracy rises (and IQR tightens) as h grows "
+               "toward IID (paper Fig. 13).\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark): the hot operations underneath every
+// experiment — GEMM, conv2d forward/backward, a full local-training step,
+// model transformation, and soft aggregation. Useful for regression-testing
+// the substrate's performance.
+
+#include <benchmark/benchmark.h>
+
+#include "core/aggregator.hpp"
+#include "data/dataset.hpp"
+#include "fl/local_train.hpp"
+#include "model/transform.hpp"
+#include "nn/conv2d.hpp"
+
+namespace fedtrans {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  a.randn(rng);
+  b.randn(rng);
+  for (auto _ : state) {
+    gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+         c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  Conv2d conv(8, 16, 3, 1);
+  conv.init(rng);
+  Tensor x({8, 8, 12, 12});
+  x.randn(rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(3);
+  Conv2d conv(8, 16, 3, 1);
+  conv.init(rng);
+  Tensor x({8, 8, 12, 12});
+  x.randn(rng);
+  Tensor y = conv.forward(x, true);
+  Tensor g(y.shape());
+  g.fill(0.1f);
+  for (auto _ : state) {
+    Tensor dx = conv.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_LocalTrainStep(benchmark::State& state) {
+  DatasetConfig dcfg;
+  dcfg.num_classes = 10;
+  dcfg.num_clients = 1;
+  dcfg.hw = 12;
+  dcfg.mean_train_samples = 40;
+  auto data = FederatedDataset::generate(dcfg);
+  Rng rng(4);
+  Model model(ModelSpec::conv(1, 12, 10, 4, {6, 8}, {1, 1}, {1, 2}), rng);
+  LocalTrainConfig cfg;
+  cfg.steps = 1;
+  cfg.batch = 10;
+  for (auto _ : state) {
+    auto res = local_train(model, data.client(0), cfg, rng);
+    benchmark::DoNotOptimize(res.avg_loss);
+  }
+}
+BENCHMARK(BM_LocalTrainStep);
+
+void BM_WidenTransform(benchmark::State& state) {
+  Rng rng(5);
+  Model parent(ModelSpec::conv(3, 12, 10, 8, {16, 24}, {2, 2}, {1, 2}), rng);
+  for (auto _ : state) {
+    Model child = widen_cell(parent, 0, 2.0, 1, rng);
+    benchmark::DoNotOptimize(child.macs());
+  }
+}
+BENCHMARK(BM_WidenTransform);
+
+void BM_SoftAggregation(benchmark::State& state) {
+  Rng rng(6);
+  Model m0(ModelSpec::conv(1, 12, 10, 4, {8, 12}, {1, 1}, {1, 2}), rng);
+  Model m1 = widen_cell(m0, 0, 2.0, 1, rng);
+  Model m2 = widen_cell(m1, 1, 2.0, 2, rng);
+  SoftAggregator agg({0.98, true, true, false});
+  std::vector<Model*> models{&m0, &m1, &m2};
+  std::vector<std::vector<double>> sim{
+      {1.0, 0.6, 0.4}, {0.6, 1.0, 0.7}, {0.4, 0.7, 1.0}};
+  int round = 0;
+  for (auto _ : state) {
+    agg.aggregate(models, sim, round++);
+    benchmark::DoNotOptimize(models[2]);
+  }
+}
+BENCHMARK(BM_SoftAggregation);
+
+}  // namespace
+}  // namespace fedtrans
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "data/dataset.hpp"
+#include "fl/local_train.hpp"
+#include "fl/metrics.hpp"
+#include "trace/device.hpp"
+
+namespace fedtrans {
+
+/// Shared configuration for the multi-model baselines (HeteroFL, SplitMix,
+/// FLuID). Per the paper's protocol (§A.1), every baseline receives the
+/// *largest* model FedTrans produced as its input architecture.
+struct BaselineConfig {
+  int rounds = 60;
+  int clients_per_round = 10;
+  LocalTrainConfig local{};
+  int eval_every = 0;
+  int eval_clients = 32;
+  std::uint64_t seed = 1;
+};
+
+/// Uniform result bundle consumed by the benchmark harness.
+struct BaselineReport {
+  std::vector<double> client_accuracy;
+  double mean_accuracy = 0.0;
+  double accuracy_iqr = 0.0;
+  CostMeter costs;
+  std::vector<RoundRecord> history;
+};
+
+}  // namespace fedtrans

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+
+#include "baselines/common.hpp"
+#include "model/model.hpp"
+
+namespace fedtrans {
+
+/// FedRolex (Alam et al., NeurIPS 2022 — cited by the paper as the rolling
+/// counterpart of static-submodel training): like HeteroFL, every client
+/// trains a width-scaled submodel of one global model, but the channel
+/// window *rolls* by one index each round instead of always taking the
+/// prefix. Over enough rounds every global parameter is trained by every
+/// capacity tier, fixing HeteroFL's "only the prefix gets small-client
+/// updates" imbalance.
+///
+/// Submodel channel j of a width-W space maps to global channel
+/// (offset + j) mod W, with one offset per width space (stem and each Cell)
+/// advancing by one every round. Conv and Mlp Cell models are supported
+/// (the paper's NASBench/ResNet-style workloads).
+class FedRolexRunner {
+ public:
+  /// `width_ratios` must be descending and start at 1.0 (the full model).
+  FedRolexRunner(ModelSpec full_spec, const FederatedDataset& data,
+                 std::vector<DeviceProfile> fleet, BaselineConfig cfg,
+                 std::vector<double> width_ratios = {1.0, 0.5, 0.25, 0.125,
+                                                     0.0625});
+
+  double run_round();
+  void run();
+  BaselineReport report();
+
+  Model& global() { return *global_; }
+  int num_levels() const { return static_cast<int>(level_specs_.size()); }
+  int level_for(int client) const;
+  /// Rolling-window submodel at `level` under the current round's offsets.
+  Model submodel(int level);
+  /// Offset of one width space (0 = stem, 1 + l = Cell l) this round.
+  int offset_for_space(int space) const;
+
+ private:
+  /// Visits every parameter element of the level's submodel together with
+  /// the global element its rolled window maps to:
+  /// `fn(sub_param, global_param, flat_sub_idx, flat_global_idx)`.
+  void for_each_mapped_element(
+      Model& sub,
+      const std::function<void(Tensor& sub_param, const Tensor& global_param,
+                               std::int64_t sub_idx,
+                               std::int64_t global_idx)>& fn);
+
+  const FederatedDataset& data_;
+  std::vector<DeviceProfile> fleet_;
+  BaselineConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<Model> global_;
+  std::vector<ModelSpec> level_specs_;
+  std::vector<double> level_macs_;
+  CostMeter costs_;
+  std::vector<RoundRecord> history_;
+  int round_ = 0;
+};
+
+}  // namespace fedtrans

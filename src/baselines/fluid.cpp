@@ -1,0 +1,287 @@
+#include "baselines/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "fl/runner.hpp"
+#include "model/align.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/scale_shift.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+int kept_count(int width, double ratio) {
+  return std::max(1, static_cast<int>(std::lround(width * ratio)));
+}
+
+/// Visit every element pair (full_tensor, fi) <-> (sub_tensor, si) linked by
+/// the kept-channel maps. kept[0] = stem channels, kept[1+l] = cell l.
+template <typename Fn>
+void for_each_mapped_pair(Model& full, Model& sub,
+                          const std::vector<std::vector<int>>& kept, Fn&& fn) {
+  auto map_conv = [&](Conv2d& fc, Conv2d& sc, const std::vector<int>& om,
+                      const std::vector<int>& im) {
+    const int so = sc.out_channels(), si = sc.in_channels(), k = sc.kernel();
+    const int fin = fc.in_channels();
+    for (int jo = 0; jo < so; ++jo)
+      for (int ji = 0; ji < si; ++ji)
+        for (int ky = 0; ky < k; ++ky)
+          for (int kx = 0; kx < k; ++kx) {
+            const std::int64_t f =
+                ((static_cast<std::int64_t>(om[static_cast<std::size_t>(jo)]) *
+                      fin +
+                  im[static_cast<std::size_t>(ji)]) *
+                     k +
+                 ky) *
+                    k +
+                kx;
+            const std::int64_t s =
+                ((static_cast<std::int64_t>(jo) * si + ji) * k + ky) * k + kx;
+            fn(fc.weight(), sc.weight(), f, s);
+          }
+    for (int jo = 0; jo < so; ++jo)
+      fn(fc.bias(), sc.bias(), om[static_cast<std::size_t>(jo)], jo);
+  };
+  auto map_ss = [&](ScaleShift& fs, ScaleShift& ss,
+                    const std::vector<int>& om) {
+    for (int jo = 0; jo < ss.channels(); ++jo) {
+      fn(fs.scale(), ss.scale(), om[static_cast<std::size_t>(jo)], jo);
+      fn(fs.shift(), ss.shift(), om[static_cast<std::size_t>(jo)], jo);
+    }
+  };
+
+  // Stem: out channels subset, input channels identity.
+  {
+    auto* fc = dynamic_cast<Conv2d*>(&full.stem().layer(0));
+    auto* sc = dynamic_cast<Conv2d*>(&sub.stem().layer(0));
+    auto* fs = dynamic_cast<ScaleShift*>(&full.stem().layer(1));
+    auto* ss = dynamic_cast<ScaleShift*>(&sub.stem().layer(1));
+    FT_CHECK_MSG(fc && sc && fs && ss, "FLuID requires Conv-cell models");
+    map_conv(*fc, *sc, kept[0], iota_vec(fc->in_channels()));
+    map_ss(*fs, *ss, kept[0]);
+  }
+  for (int l = 0; l < full.num_cells(); ++l) {
+    const auto& out_map = kept[static_cast<std::size_t>(l) + 1];
+    for (int b = 0; b < full.blocks_in_cell(l); ++b) {
+      const auto& in_map =
+          b == 0 ? kept[static_cast<std::size_t>(l)] : out_map;
+      auto* fc = dynamic_cast<Conv2d*>(&full.cell_block(l, b).layer(0));
+      auto* sc = dynamic_cast<Conv2d*>(&sub.cell_block(l, b).layer(0));
+      auto* fs = dynamic_cast<ScaleShift*>(&full.cell_block(l, b).layer(1));
+      auto* ss = dynamic_cast<ScaleShift*>(&sub.cell_block(l, b).layer(1));
+      FT_CHECK(fc && sc && fs && ss);
+      map_conv(*fc, *sc, out_map, in_map);
+      map_ss(*fs, *ss, out_map);
+    }
+  }
+  {
+    auto* fcls = dynamic_cast<Linear*>(&full.classifier());
+    auto* scls = dynamic_cast<Linear*>(&sub.classifier());
+    FT_CHECK(fcls && scls);
+    const auto& in_map = kept.back();
+    for (int o = 0; o < scls->out_features(); ++o) {
+      for (int ji = 0; ji < scls->in_features(); ++ji) {
+        const std::int64_t f =
+            static_cast<std::int64_t>(o) * fcls->in_features() +
+            in_map[static_cast<std::size_t>(ji)];
+        const std::int64_t s =
+            static_cast<std::int64_t>(o) * scls->in_features() + ji;
+        fn(fcls->weight(), scls->weight(), f, s);
+      }
+      fn(fcls->bias(), scls->bias(), o, o);
+    }
+  }
+}
+
+}  // namespace
+
+FluidRunner::FluidRunner(ModelSpec full_spec, const FederatedDataset& data,
+                         std::vector<DeviceProfile> fleet, BaselineConfig cfg)
+    : data_(data), fleet_(std::move(fleet)), cfg_(cfg), rng_(cfg.seed) {
+  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
+               "fleet size must match client count");
+  FT_CHECK_MSG(full_spec.kind == CellKind::Conv,
+               "FLuID runner supports Conv-cell models");
+  global_ = std::make_unique<Model>(full_spec, rng_);
+
+  score_.emplace_back(static_cast<std::size_t>(full_spec.stem_width), 0.0);
+  for (const auto& c : full_spec.cells)
+    score_.emplace_back(static_cast<std::size_t>(c.width), 0.0);
+
+  for (double r = 1.0; r > 0.05; r -= 0.1) ratio_grid_.push_back(r);
+  for (double r : ratio_grid_) {
+    Rng tmp(17);
+    Model probe(scale_widths(full_spec, r), tmp);
+    ratio_macs_.push_back(static_cast<double>(probe.macs()));
+  }
+  costs_.note_storage(static_cast<double>(global_->param_bytes()));
+}
+
+double FluidRunner::ratio_for(int client) const {
+  const double cap = fleet_[static_cast<std::size_t>(client)].capacity_macs;
+  for (std::size_t i = 0; i < ratio_grid_.size(); ++i)
+    if (ratio_macs_[i] <= cap) return ratio_grid_[i];
+  return ratio_grid_.back();
+}
+
+std::vector<std::vector<int>> FluidRunner::kept_for_ratio(double ratio) const {
+  std::vector<std::vector<int>> kept;
+  kept.reserve(score_.size());
+  for (const auto& unit : score_) {
+    const int width = static_cast<int>(unit.size());
+    const int count = kept_count(width, ratio);
+    auto order = iota_vec(width);
+    // Keep the most *dynamic* neurons (largest update magnitude); stable
+    // sort keeps a deterministic prefix before any updates arrive.
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return unit[static_cast<std::size_t>(a)] >
+             unit[static_cast<std::size_t>(b)];
+    });
+    order.resize(static_cast<std::size_t>(count));
+    std::sort(order.begin(), order.end());
+    kept.push_back(std::move(order));
+  }
+  return kept;
+}
+
+Model FluidRunner::extract(const std::vector<std::vector<int>>& kept) {
+  ModelSpec sub_spec = global_->spec();
+  sub_spec.stem_width = static_cast<int>(kept[0].size());
+  for (std::size_t l = 0; l < sub_spec.cells.size(); ++l)
+    sub_spec.cells[l].width = static_cast<int>(kept[l + 1].size());
+  Rng tmp(23);
+  Model sub(sub_spec, tmp);
+  for_each_mapped_pair(*global_, sub, kept,
+                       [](Tensor& ft, Tensor& st, std::int64_t fi,
+                          std::int64_t si) { st[si] = ft[fi]; });
+  return sub;
+}
+
+void FluidRunner::update_scores(const WeightSet& agg_delta) {
+  auto fidx = param_index(*global_);
+  auto accumulate_unit = [&](Conv2d& conv, std::vector<double>& unit) {
+    const Tensor& dw = agg_delta[fidx.at(&conv.weight())];
+    const Tensor& db = agg_delta[fidx.at(&conv.bias())];
+    const std::int64_t row =
+        static_cast<std::int64_t>(conv.in_channels()) * conv.kernel() *
+        conv.kernel();
+    for (int j = 0; j < conv.out_channels(); ++j) {
+      double s2 = 0.0;
+      for (std::int64_t e = 0; e < row; ++e) {
+        const double v = dw[static_cast<std::int64_t>(j) * row + e];
+        s2 += v * v;
+      }
+      s2 += static_cast<double>(db[j]) * db[j];
+      unit[static_cast<std::size_t>(j)] =
+          0.7 * unit[static_cast<std::size_t>(j)] + 0.3 * std::sqrt(s2);
+    }
+  };
+  accumulate_unit(*dynamic_cast<Conv2d*>(&global_->stem().layer(0)),
+                  score_[0]);
+  for (int l = 0; l < global_->num_cells(); ++l)
+    for (int b = 0; b < global_->blocks_in_cell(l); ++b)
+      accumulate_unit(
+          *dynamic_cast<Conv2d*>(&global_->cell_block(l, b).layer(0)),
+          score_[static_cast<std::size_t>(l) + 1]);
+}
+
+double FluidRunner::run_round() {
+  auto selected = FedAvgRunner::select_clients(data_.num_clients(),
+                                               cfg_.clients_per_round, rng_);
+  WeightSet global_w = global_->weights();
+  WeightSet acc = ws_zeros_like(global_w);
+  WeightSet wsum = ws_zeros_like(global_w);
+  auto fidx = param_index(*global_);
+
+  double loss_sum = 0.0;
+  double slowest = 0.0;
+  for (int c : selected) {
+    const double ratio = ratio_for(c);
+    auto kept = kept_for_ratio(ratio);
+    Model sub = extract(kept);
+    Rng crng = rng_.fork();
+    auto res = local_train(sub, data_.client(c), cfg_.local, crng);
+    loss_sum += res.avg_loss;
+
+    auto sidx = param_index(sub);
+    const float n = static_cast<float>(res.num_samples);
+    for_each_mapped_pair(
+        *global_, sub, kept,
+        [&](Tensor& ft, Tensor& st, std::int64_t fi, std::int64_t si) {
+          const std::size_t ai = fidx.at(&ft);
+          acc[ai][fi] += n * res.delta[sidx.at(&st)][si];
+          wsum[ai][fi] += n;
+        });
+
+    const double bytes = static_cast<double>(sub.param_bytes());
+    costs_.add_training_macs(res.macs_used);
+    costs_.add_transfer(bytes, bytes);
+    const double t = client_round_time_s(
+        fleet_[static_cast<std::size_t>(c)], static_cast<double>(sub.macs()),
+        cfg_.local.steps, cfg_.local.batch, bytes);
+    costs_.add_client_round_time(t);
+    slowest = std::max(slowest, t);
+  }
+
+  // Positional merge, then refresh the invariance scores.
+  WeightSet update = ws_zeros_like(global_w);
+  for (std::size_t p = 0; p < global_w.size(); ++p)
+    for (std::int64_t e = 0; e < global_w[p].numel(); ++e)
+      if (wsum[p][e] > 0.0f) update[p][e] = acc[p][e] / wsum[p][e];
+  ws_sub(global_w, update);
+  global_->set_weights(global_w);
+  update_scores(update);
+
+  RoundRecord rec;
+  rec.round = round_;
+  rec.avg_loss = selected.empty() ? 0.0 : loss_sum / selected.size();
+  rec.cum_macs = costs_.total_macs();
+  rec.round_time_s = slowest;
+  if (cfg_.eval_every > 0 && round_ % cfg_.eval_every == 0) {
+    Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(round_));
+    const int k = cfg_.eval_clients > 0
+                      ? std::min(cfg_.eval_clients, data_.num_clients())
+                      : data_.num_clients();
+    auto ids = FedAvgRunner::select_clients(data_.num_clients(), k, erng);
+    double s = 0.0;
+    for (int c : ids) {
+      Model sub = extract(kept_for_ratio(ratio_for(c)));
+      s += evaluate_accuracy(sub, data_.client(c));
+    }
+    rec.accuracy = s / static_cast<double>(ids.size());
+  }
+  history_.push_back(rec);
+  ++round_;
+  return rec.avg_loss;
+}
+
+void FluidRunner::run() {
+  for (int r = 0; r < cfg_.rounds; ++r) run_round();
+}
+
+BaselineReport FluidRunner::report() {
+  BaselineReport rep;
+  for (int c = 0; c < data_.num_clients(); ++c) {
+    Model sub = extract(kept_for_ratio(ratio_for(c)));
+    rep.client_accuracy.push_back(evaluate_accuracy(sub, data_.client(c)));
+  }
+  rep.mean_accuracy = mean(rep.client_accuracy);
+  rep.accuracy_iqr = iqr(rep.client_accuracy);
+  rep.costs = costs_;
+  rep.history = history_;
+  return rep;
+}
+
+}  // namespace fedtrans

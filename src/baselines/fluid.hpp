@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+
+#include "baselines/common.hpp"
+#include "model/model.hpp"
+
+namespace fedtrans {
+
+/// FLuID (Wang et al., NeurIPS 2024): invariant-dropout FL. The server
+/// tracks each neuron's (output channel's) aggregate update magnitude; for a
+/// capacity-limited client it extracts a submodel that keeps the *dynamic*
+/// neurons (largest recent updates) and drops the *invariant* ones, then
+/// merges client updates back into the tracked positions. Unlike
+/// HeteroFL's prefix crops, FLuID submodels select arbitrary channel
+/// subsets. Conv-cell models only.
+class FluidRunner {
+ public:
+  FluidRunner(ModelSpec full_spec, const FederatedDataset& data,
+              std::vector<DeviceProfile> fleet, BaselineConfig cfg);
+
+  double run_round();
+  void run();
+  BaselineReport report();
+
+  Model& global() { return *global_; }
+  /// Width ratio the client's capacity affords (grid-searched so the built
+  /// submodel's MACs fit; 1.0 = full model).
+  double ratio_for(int client) const;
+
+ private:
+  /// kept[0] = stem channels, kept[1+l] = channels of cell l.
+  std::vector<std::vector<int>> kept_for_ratio(double ratio) const;
+  Model extract(const std::vector<std::vector<int>>& kept);
+  void update_scores(const WeightSet& agg_delta);
+
+  const FederatedDataset& data_;
+  std::vector<DeviceProfile> fleet_;
+  BaselineConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<Model> global_;
+  /// Per (stem + cell) per output channel: EMA of update magnitude.
+  std::vector<std::vector<double>> score_;
+  /// ratio -> measured submodel MACs (descending grid).
+  std::vector<double> ratio_grid_;
+  std::vector<double> ratio_macs_;
+  CostMeter costs_;
+  std::vector<RoundRecord> history_;
+  int round_ = 0;
+};
+
+}  // namespace fedtrans

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "baselines/common.hpp"
+#include "model/model.hpp"
+
+namespace fedtrans {
+
+/// HeteroFL (Diao et al., ICLR 2020): a *static* ladder of width-scaled
+/// submodels of one global model. Each client trains the largest submodel
+/// its capacity allows; submodel weights are the top-left (prefix) crop of
+/// the global weights; the server averages each global parameter element
+/// over exactly the clients whose submodels cover it.
+class HeteroFLRunner {
+ public:
+  /// `width_ratios` must be descending and start at 1.0 (the full model).
+  HeteroFLRunner(ModelSpec full_spec, const FederatedDataset& data,
+                 std::vector<DeviceProfile> fleet, BaselineConfig cfg,
+                 std::vector<double> width_ratios = {1.0, 0.5, 0.25, 0.125,
+                                                     0.0625});
+
+  double run_round();
+  void run();
+  BaselineReport report();
+
+  Model& global() { return *global_; }
+  int num_levels() const { return static_cast<int>(level_specs_.size()); }
+  /// Level assigned to a client (largest fitting; deepest level if none fit).
+  int level_for(int client) const;
+  /// Fresh submodel at `level` carrying the current global crop.
+  Model submodel(int level);
+
+ private:
+  const FederatedDataset& data_;
+  std::vector<DeviceProfile> fleet_;
+  BaselineConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<Model> global_;
+  std::vector<ModelSpec> level_specs_;
+  std::vector<double> level_macs_;
+  CostMeter costs_;
+  std::vector<RoundRecord> history_;
+  int round_ = 0;
+};
+
+}  // namespace fedtrans

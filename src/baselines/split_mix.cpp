@@ -1,0 +1,136 @@
+#include "baselines/split_mix.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "fl/runner.hpp"
+#include "model/align.hpp"
+#include "nn/loss.hpp"
+
+namespace fedtrans {
+
+SplitMixRunner::SplitMixRunner(ModelSpec full_spec,
+                               const FederatedDataset& data,
+                               std::vector<DeviceProfile> fleet,
+                               BaselineConfig cfg, int num_bases)
+    : data_(data), fleet_(std::move(fleet)), cfg_(cfg), rng_(cfg.seed) {
+  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
+               "fleet size must match client count");
+  FT_CHECK(num_bases >= 1);
+  const ModelSpec base_spec =
+      scale_widths(full_spec, 1.0 / static_cast<double>(num_bases));
+  for (int i = 0; i < num_bases; ++i)
+    bases_.push_back(std::make_unique<Model>(base_spec, rng_));
+  base_macs_ = static_cast<double>(bases_.front()->macs());
+  costs_.note_storage(static_cast<double>(num_bases) *
+                      static_cast<double>(bases_.front()->param_bytes()));
+}
+
+int SplitMixRunner::budget_for(int client) const {
+  const double cap = fleet_[static_cast<std::size_t>(client)].capacity_macs;
+  const int m = static_cast<int>(cap / base_macs_);
+  return std::clamp(m, 1, num_bases());
+}
+
+double SplitMixRunner::run_round() {
+  auto selected = FedAvgRunner::select_clients(data_.num_clients(),
+                                               cfg_.clients_per_round, rng_);
+  const int nb = num_bases();
+  std::vector<WeightSet> acc(static_cast<std::size_t>(nb));
+  std::vector<double> wsum(static_cast<std::size_t>(nb), 0.0);
+
+  double loss_sum = 0.0;
+  int loss_cnt = 0;
+  double slowest = 0.0;
+  const double base_bytes =
+      static_cast<double>(bases_.front()->param_bytes());
+  for (int c : selected) {
+    const int m = budget_for(c);
+    double client_time = 0.0;
+    for (int t = 0; t < m; ++t) {
+      // Rotate base assignment so every base sees diverse clients.
+      const int b = (c + round_ + t) % nb;
+      Model local = *bases_[static_cast<std::size_t>(b)];
+      Rng crng = rng_.fork();
+      auto res = local_train(local, data_.client(c), cfg_.local, crng);
+      if (acc[static_cast<std::size_t>(b)].empty())
+        acc[static_cast<std::size_t>(b)] = ws_zeros_like(res.delta);
+      ws_axpy(acc[static_cast<std::size_t>(b)],
+              static_cast<float>(res.num_samples), res.delta);
+      wsum[static_cast<std::size_t>(b)] += res.num_samples;
+      loss_sum += res.avg_loss;
+      ++loss_cnt;
+      costs_.add_training_macs(res.macs_used);
+      costs_.add_transfer(base_bytes, base_bytes);
+      client_time += client_round_time_s(
+          fleet_[static_cast<std::size_t>(c)], base_macs_, cfg_.local.steps,
+          cfg_.local.batch, base_bytes);
+    }
+    costs_.add_client_round_time(client_time);
+    slowest = std::max(slowest, client_time);
+  }
+
+  for (int b = 0; b < nb; ++b) {
+    if (wsum[static_cast<std::size_t>(b)] <= 0.0) continue;
+    ws_scale(acc[static_cast<std::size_t>(b)],
+             static_cast<float>(1.0 / wsum[static_cast<std::size_t>(b)]));
+    Model& base = *bases_[static_cast<std::size_t>(b)];
+    WeightSet w = base.weights();
+    ws_sub(w, acc[static_cast<std::size_t>(b)]);
+    base.set_weights(w);
+  }
+
+  RoundRecord rec;
+  rec.round = round_;
+  rec.avg_loss = loss_cnt > 0 ? loss_sum / loss_cnt : 0.0;
+  rec.cum_macs = costs_.total_macs();
+  rec.round_time_s = slowest;
+  if (cfg_.eval_every > 0 && round_ % cfg_.eval_every == 0) {
+    Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(round_));
+    const int k = cfg_.eval_clients > 0
+                      ? std::min(cfg_.eval_clients, data_.num_clients())
+                      : data_.num_clients();
+    auto ids = FedAvgRunner::select_clients(data_.num_clients(), k, erng);
+    double s = 0.0;
+    for (int c : ids) s += ensemble_accuracy(c, budget_for(c));
+    rec.accuracy = s / static_cast<double>(ids.size());
+  }
+  history_.push_back(rec);
+  ++round_;
+  return rec.avg_loss;
+}
+
+double SplitMixRunner::ensemble_accuracy(int client, int m) {
+  const auto& cd = data_.client(client);
+  const int n = cd.eval_size();
+  if (n == 0) return 0.0;
+  Tensor sum_logits;
+  for (int t = 0; t < m; ++t) {
+    const int b = (client + t) % num_bases();
+    Tensor logits =
+        bases_[static_cast<std::size_t>(b)]->forward(cd.x_eval, false);
+    if (t == 0)
+      sum_logits = logits;
+    else
+      sum_logits.add_(logits);
+  }
+  return static_cast<double>(count_correct(sum_logits, cd.y_eval)) / n;
+}
+
+void SplitMixRunner::run() {
+  for (int r = 0; r < cfg_.rounds; ++r) run_round();
+}
+
+BaselineReport SplitMixRunner::report() {
+  BaselineReport rep;
+  for (int c = 0; c < data_.num_clients(); ++c)
+    rep.client_accuracy.push_back(ensemble_accuracy(c, budget_for(c)));
+  rep.mean_accuracy = mean(rep.client_accuracy);
+  rep.accuracy_iqr = iqr(rep.client_accuracy);
+  rep.costs = costs_;
+  rep.history = history_;
+  return rep;
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+
+#include "baselines/common.hpp"
+#include "model/model.hpp"
+
+namespace fedtrans {
+
+/// SplitMix (Hong et al., ICLR 2022): splits the width of a large model into
+/// `num_bases` independent narrow base models. Each client trains (and at
+/// inference ensembles) as many bases as its capacity affords; bases are
+/// FedAvg-aggregated independently. The per-round ensemble shipping is what
+/// drives SplitMix's large network volumes in the paper's Table 2.
+class SplitMixRunner {
+ public:
+  SplitMixRunner(ModelSpec full_spec, const FederatedDataset& data,
+                 std::vector<DeviceProfile> fleet, BaselineConfig cfg,
+                 int num_bases = 8);
+
+  double run_round();
+  void run();
+  BaselineReport report();
+
+  int num_bases() const { return static_cast<int>(bases_.size()); }
+  /// How many bases the client can run (≥1, ≤ num_bases).
+  int budget_for(int client) const;
+  Model& base(int i) { return *bases_[static_cast<std::size_t>(i)]; }
+
+ private:
+  /// Average ensemble accuracy of the first `m` bases (rotated per client).
+  double ensemble_accuracy(int client, int m);
+
+  const FederatedDataset& data_;
+  std::vector<DeviceProfile> fleet_;
+  BaselineConfig cfg_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Model>> bases_;
+  double base_macs_ = 0.0;
+  CostMeter costs_;
+  std::vector<RoundRecord> history_;
+  int round_ = 0;
+};
+
+}  // namespace fedtrans

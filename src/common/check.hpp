@@ -1,0 +1,44 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fedtrans {
+
+/// Error type thrown by all FT_CHECK* failures. Invariant violations inside
+/// the library surface as this exception rather than UB or silent corruption.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FT_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace fedtrans
+
+/// Always-on invariant check (library is simulation-scale; the cost of checks
+/// is negligible next to GEMMs, so they stay on in release builds).
+#define FT_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) ::fedtrans::detail::check_failed(#cond, __FILE__, __LINE__, \
+                                                  "");                       \
+  } while (0)
+
+#define FT_CHECK_MSG(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream ft_os_;                                            \
+      ft_os_ << msg; /* NOLINT */                                           \
+      ::fedtrans::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                       ft_os_.str());                       \
+    }                                                                       \
+  } while (0)

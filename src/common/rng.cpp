@@ -1,0 +1,119 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int Rng::uniform_int(int lo, int hi) {
+  FT_CHECK(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(next_u64() % range);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::gamma(double shape) {
+  FT_CHECK(shape > 0.0);
+  if (shape < 1.0) {
+    // Ahrens–Dieter boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+    double u = 1.0 - uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang squeeze.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = 1.0 - uniform();
+    if (std::log(u) < 0.5 * x * x + d - d * v + d * std::log(v)) return d * v;
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, int k) {
+  FT_CHECK(k > 0 && alpha > 0.0);
+  std::vector<double> out(static_cast<std::size_t>(k));
+  double sum = 0.0;
+  for (auto& x : out) {
+    x = gamma(alpha);
+    sum += x;
+  }
+  if (sum <= 0.0) {
+    for (auto& x : out) x = 1.0 / k;
+    return out;
+  }
+  for (auto& x : out) x /= sum;
+  return out;
+}
+
+int Rng::categorical(std::span<const double> weights) {
+  FT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FT_CHECK_MSG(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  if (total <= 0.0) return uniform_int(0, static_cast<int>(weights.size()) - 1);
+  double r = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace fedtrans

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fedtrans {
+
+/// Deterministic, fork-able pseudo-random generator (xoshiro256** seeded via
+/// splitmix64). Every stochastic component in the library draws from an
+/// explicitly passed Rng so whole experiments replay bit-identically from a
+/// single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+  /// Standard Box–Muller normal.
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma);
+
+  /// Symmetric Dirichlet(alpha) sample of dimension k (each entry > 0,
+  /// entries sum to 1).
+  std::vector<double> dirichlet(double alpha, int k);
+  /// Gamma(shape, 1) via Marsaglia–Tsang (with Ahrens–Dieter boost for
+  /// shape < 1).
+  double gamma(double shape);
+
+  /// Sample an index from an unnormalized non-negative weight vector.
+  /// Falls back to uniform choice if all weights are zero.
+  int categorical(std::span<const double> weights);
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+      using std::swap;
+      swap(v[static_cast<std::size_t>(i)],
+           v[static_cast<std::size_t>(uniform_int(0, i))]);
+    }
+  }
+
+  /// Derive an independent child stream (stable given call order).
+  Rng fork();
+
+  /// Full generator state (for checkpointing; replayable bit-exactly).
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fedtrans

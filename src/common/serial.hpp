@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+/// Minimal binary (de)serialization primitives shared by checkpointing and
+/// model persistence. Little-endian PODs, length-prefixed containers; every
+/// read validates the stream so truncated checkpoints fail loudly instead
+/// of yielding silently corrupt state.
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  FT_CHECK_MSG(is.good(), "truncated stream while reading POD");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod<std::uint64_t>(os, v.size());
+  if (!v.empty())
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = read_pod<std::uint64_t>(is);
+  std::vector<T> v(static_cast<std::size_t>(n));
+  if (n > 0)
+    is.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+  FT_CHECK_MSG(is.good(), "truncated stream while reading vector");
+  return v;
+}
+
+inline void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  std::string s(static_cast<std::size_t>(n), '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  FT_CHECK_MSG(is.good(), "truncated stream while reading string");
+  return s;
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,70 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedtrans {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = std::min(lo + 1, v.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double iqr(std::span<const double> xs) {
+  return percentile(xs, 75.0) - percentile(xs, 25.0);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+BoxStats box_stats(std::span<const double> xs) {
+  BoxStats b;
+  b.min = min_of(xs);
+  b.q1 = percentile(xs, 25.0);
+  b.median = median(xs);
+  b.q3 = percentile(xs, 75.0);
+  b.max = max_of(xs);
+  return b;
+}
+
+std::vector<double> standardize(std::span<const double> xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  double m = mean(xs);
+  double s = stddev(xs);
+  if (s < 1e-12) return out;
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - m) / s;
+  return out;
+}
+
+}  // namespace fedtrans

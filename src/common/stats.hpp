@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fedtrans {
+
+/// Small descriptive-statistics helpers used by metrics collection and the
+/// benchmark harness. All functions tolerate empty input by returning 0.
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);  // population std-dev
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+/// Inter-quartile range (Q3 - Q1) — the per-client accuracy spread metric
+/// the paper reports in Table 2.
+double iqr(std::span<const double> xs);
+double median(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Five-number summary used for the Fig. 6 box plots.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+BoxStats box_stats(std::span<const double> xs);
+
+/// Standardize xs to zero mean / unit variance. Returns all-zeros when the
+/// variance is (near) zero — the degenerate case Eq. 4 must survive.
+std::vector<double> standardize(std::span<const double> xs);
+
+}  // namespace fedtrans

@@ -1,0 +1,86 @@
+#include "core/aggregator.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "model/align.hpp"
+
+namespace fedtrans {
+
+void SoftAggregator::aggregate(std::vector<Model*>& models,
+                               const std::vector<std::vector<double>>& sim,
+                               int round) {
+  const int n = static_cast<int>(models.size());
+  if (!opts_.enable_cross || n <= 1) return;
+
+  // Snapshot post-FedAvg weights so aggregation order does not matter.
+  std::vector<WeightSet> snap;
+  snap.reserve(static_cast<std::size_t>(n));
+  for (auto* m : models) snap.push_back(m->weights());
+
+  // Map parameter Tensor* -> index within each model's params() order, so
+  // align_params pairs can be resolved against the snapshots.
+  std::vector<std::unordered_map<const Tensor*, std::size_t>> index;
+  index.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto ps = models[static_cast<std::size_t>(i)]->params();
+    for (std::size_t p = 0; p < ps.size(); ++p)
+      index[static_cast<std::size_t>(i)][ps[p].value] = p;
+  }
+
+  for (int j = 0; j < n; ++j) {
+    Model& mj = *models[static_cast<std::size_t>(j)];
+    WeightSet acc = ws_zeros_like(snap[static_cast<std::size_t>(j)]);
+    WeightSet wsum = ws_zeros_like(acc);
+
+    const int hi = opts_.enable_l2s ? n - 1 : j;
+    for (int i = 0; i <= hi; ++i) {
+      const double s = sim[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)];
+      if (s <= 0.0) continue;
+      const double decay =
+          i == j ? 1.0
+                 : (opts_.enable_decay ? std::pow(opts_.eta, round) : 1.0);
+      const float coeff = static_cast<float>(decay * s);
+      if (coeff <= 0.0f) continue;
+
+      if (i == j) {
+        // Full coverage of all of j's parameters.
+        for (std::size_t p = 0; p < acc.size(); ++p) {
+          const Tensor& src = snap[static_cast<std::size_t>(i)][p];
+          for (std::int64_t e = 0; e < src.numel(); ++e) {
+            acc[p][e] += coeff * src[e];
+            wsum[p][e] += coeff;
+          }
+        }
+        continue;
+      }
+      Model& mi = *models[static_cast<std::size_t>(i)];
+      for (auto& pair : align_params(mj, mi)) {
+        const auto dst_it = index[static_cast<std::size_t>(j)].find(pair.dst);
+        const auto src_it = index[static_cast<std::size_t>(i)].find(pair.src);
+        FT_CHECK(dst_it != index[static_cast<std::size_t>(j)].end());
+        FT_CHECK(src_it != index[static_cast<std::size_t>(i)].end());
+        Tensor& a = acc[dst_it->second];
+        Tensor& w = wsum[dst_it->second];
+        const Tensor& src = snap[static_cast<std::size_t>(i)][src_it->second];
+        const Tensor& dst_shape =
+            snap[static_cast<std::size_t>(j)][dst_it->second];
+        for_each_overlap(dst_shape, src,
+                         [&](std::int64_t di, std::int64_t si) {
+                           a[di] += coeff * src[si];
+                           w[di] += coeff;
+                         });
+      }
+    }
+
+    WeightSet blended = snap[static_cast<std::size_t>(j)];
+    for (std::size_t p = 0; p < blended.size(); ++p)
+      for (std::int64_t e = 0; e < blended[p].numel(); ++e)
+        if (wsum[p][e] > 0.0f) blended[p][e] = acc[p][e] / wsum[p][e];
+    mj.set_weights(blended);
+  }
+}
+
+}  // namespace fedtrans

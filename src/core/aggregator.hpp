@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "fl/weights.hpp"
+#include "model/model.hpp"
+
+namespace fedtrans {
+
+/// Soft multi-model aggregation (§4.3, Eq. 5). After per-model FedAvg, every
+/// model j blends in the weights of architecturally similar models:
+///   w_j = Σ_{i≤j} η^{1(i≠j)·t} · sim(M_i, M_j) · w_i
+///       / Σ_{i≤j} η^{1(i≠j)·t} · sim(M_i, M_j)
+/// restricted to the Cell-id-aligned overlap regions ("crop to fit" as in
+/// HeteroFL). The i ≤ j restriction means only smaller/earlier models feed
+/// larger ones — Table 1 shows that large→small sharing (l2s) hurts — and η
+/// decays the cross-model influence as training converges.
+class SoftAggregator {
+ public:
+  struct Options {
+    double eta = 0.98;        // decay factor (paper Table 7)
+    bool enable_cross = true; // 's' ablation: false = per-model FedAvg only
+    bool enable_decay = true; // 'd' ablation: false = constant cross factor
+    bool enable_l2s = false;  // Table 1: also share large → small
+  };
+
+  explicit SoftAggregator(Options opts) : opts_(opts) {}
+
+  /// Blend the freshly FedAvg'd weights across the model family. `models`
+  /// are in creation order; `sim(i,j)` is the cached architectural
+  /// similarity; `round` is the global round index t.
+  void aggregate(std::vector<Model*>& models,
+                 const std::vector<std::vector<double>>& sim, int round);
+
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+};
+
+}  // namespace fedtrans

@@ -1,0 +1,116 @@
+// FedTransTrainer checkpoint/resume. The checkpoint captures every piece of
+// dynamic coordinator state so a restored trainer continues bit-identically:
+// planet-scale FL runs span days and preemptible infrastructure, so the
+// coordinator must be restartable without perturbing the training
+// trajectory (FedScale and production systems like Papaya checkpoint the
+// same way).
+
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+#include "core/trainer.hpp"
+#include "model/serialize.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+constexpr std::uint64_t kCheckpointMagic = 0xfed72a45c8c9ULL;
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+void FedTransTrainer::save_checkpoint(std::ostream& os) {
+  write_pod(os, kCheckpointMagic);
+  write_pod(os, kCheckpointVersion);
+  // Compatibility fingerprint: restoring into a trainer with a different
+  // fleet/dataset/seed would silently diverge, so fail loudly instead.
+  write_pod<std::uint64_t>(os, cfg_.seed);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(fleet_.size()));
+
+  // Model family.
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(models_.size()));
+  for (auto& e : models_) {
+    write_pod<std::int32_t>(os, e.id);
+    write_pod<std::int32_t>(os, e.created_round);
+    save_model(*e.model, os);
+    e.opt->save_state(os);
+  }
+
+  cm_->save(os);
+  doc_.save(os);
+  act_->save(os);
+  costs_.save(os);
+  selector_->save_state(os);
+
+  write_pod(os, rng_.state());
+  write_pod<std::int32_t>(os, round_);
+  write_pod<std::int32_t>(os, transforms_);
+  write_pod<std::int32_t>(os, next_model_id_);
+  write_pod<std::uint8_t>(os, exhausted_ ? 1 : 0);
+
+  write_pod<std::uint64_t>(os, history_.size());
+  for (const auto& rec : history_) write_pod(os, rec);
+  FT_CHECK_MSG(os.good(), "checkpoint write failed");
+}
+
+void FedTransTrainer::load_checkpoint(std::istream& is) {
+  FT_CHECK_MSG(read_pod<std::uint64_t>(is) == kCheckpointMagic,
+               "not a FedTrans checkpoint");
+  FT_CHECK_MSG(read_pod<std::uint32_t>(is) == kCheckpointVersion,
+               "unsupported checkpoint version");
+  FT_CHECK_MSG(read_pod<std::uint64_t>(is) == cfg_.seed,
+               "checkpoint was written with a different seed");
+  FT_CHECK_MSG(read_pod<std::uint32_t>(is) == fleet_.size(),
+               "checkpoint was written with a different fleet");
+
+  const auto n_models = read_pod<std::uint32_t>(is);
+  FT_CHECK_MSG(n_models >= 1, "checkpoint holds no models");
+  models_.clear();
+  for (std::uint32_t i = 0; i < n_models; ++i) {
+    ModelEntry e;
+    e.id = read_pod<std::int32_t>(is);
+    e.created_round = read_pod<std::int32_t>(is);
+    e.model = std::make_unique<Model>(load_model(is));
+    e.opt = make_server_opt(cfg_.server_opt);
+    e.opt->load_state(is);
+    models_.push_back(std::move(e));
+  }
+
+  cm_->load(is);
+  FT_CHECK_MSG(cm_->num_models() == static_cast<int>(n_models),
+               "checkpoint client-manager/model count mismatch");
+  doc_.load(is);
+  act_ = std::make_unique<ActivenessTracker>(
+      models_.back().model->num_cells(), cfg_.act_window);
+  act_->load(is);
+  costs_.load(is);
+  selector_->load_state(is);
+
+  rng_.set_state(read_pod<std::array<std::uint64_t, 4>>(is));
+  round_ = read_pod<std::int32_t>(is);
+  transforms_ = read_pod<std::int32_t>(is);
+  next_model_id_ = read_pod<std::int32_t>(is);
+  exhausted_ = read_pod<std::uint8_t>(is) != 0;
+
+  const auto n_hist = read_pod<std::uint64_t>(is);
+  history_.clear();
+  history_.reserve(static_cast<std::size_t>(n_hist));
+  for (std::uint64_t i = 0; i < n_hist; ++i)
+    history_.push_back(read_pod<RoundRecord>(is));
+}
+
+void FedTransTrainer::save_checkpoint_file(const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  FT_CHECK_MSG(os.is_open(), "cannot open checkpoint file " << path);
+  save_checkpoint(os);
+}
+
+void FedTransTrainer::load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FT_CHECK_MSG(is.is_open(), "cannot open checkpoint file " << path);
+  load_checkpoint(is);
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,131 @@
+#include "core/client_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+#include "model/similarity.hpp"
+
+namespace fedtrans {
+
+ClientManager::ClientManager(std::vector<double> client_capacity_macs,
+                             double exploration_temp)
+    : capacity_(std::move(client_capacity_macs)), temp_(exploration_temp) {
+  FT_CHECK(!capacity_.empty());
+  FT_CHECK(temp_ > 0.0);
+  utilities_.assign(capacity_.size(), {});
+}
+
+void ClientManager::add_model(const ModelSpec& spec, double macs,
+                              int parent_index) {
+  FT_CHECK(parent_index < num_models());
+  const int idx = num_models();
+  model_macs_.push_back(macs);
+  specs_.push_back(spec);
+  // Extend the cached similarity matrix.
+  sim_.emplace_back();
+  for (int i = 0; i <= idx; ++i) {
+    const double s = model_similarity(specs_[static_cast<std::size_t>(i)],
+                                      specs_[static_cast<std::size_t>(idx)]);
+    sim_[static_cast<std::size_t>(idx)].push_back(s);
+    if (i < idx) sim_[static_cast<std::size_t>(i)].push_back(s);
+  }
+  for (auto& u : utilities_) {
+    const double init =
+        parent_index >= 0 ? u[static_cast<std::size_t>(parent_index)] : 0.0;
+    u.push_back(init);
+  }
+}
+
+std::vector<int> ClientManager::compatible_models(int client) const {
+  FT_CHECK(client >= 0 && client < num_clients());
+  std::vector<int> out;
+  for (int k = 0; k < num_models(); ++k)
+    if (model_macs_[static_cast<std::size_t>(k)] <=
+        capacity_[static_cast<std::size_t>(client)])
+      out.push_back(k);
+  if (out.empty()) out.push_back(0);
+  return out;
+}
+
+int ClientManager::assign(int client, Rng& rng) const {
+  const auto compat = compatible_models(client);
+  const auto& u = utilities_[static_cast<std::size_t>(client)];
+  // Softmax over utilities of compatible models (Eq. 3), numerically
+  // stabilized by subtracting the max.
+  double mx = -1e300;
+  for (int k : compat) mx = std::max(mx, u[static_cast<std::size_t>(k)]);
+  std::vector<double> w;
+  w.reserve(compat.size());
+  for (int k : compat)
+    w.push_back(std::exp((u[static_cast<std::size_t>(k)] - mx) / temp_));
+  const int pick = rng.categorical(w);
+  return compat[static_cast<std::size_t>(pick)];
+}
+
+void ClientManager::update_utilities(int client, int assigned_model,
+                                     double standardized_loss) {
+  FT_CHECK(assigned_model >= 0 && assigned_model < num_models());
+  auto& u = utilities_[static_cast<std::size_t>(client)];
+  for (int k : compatible_models(client)) {
+    const double s = sim_[static_cast<std::size_t>(k)]
+                         [static_cast<std::size_t>(assigned_model)];
+    u[static_cast<std::size_t>(k)] -= standardized_loss * s;
+  }
+}
+
+int ClientManager::best_model(int client) const {
+  const auto compat = compatible_models(client);
+  const auto& u = utilities_[static_cast<std::size_t>(client)];
+  int best = compat.front();
+  for (int k : compat) {
+    const double uk = u[static_cast<std::size_t>(k)];
+    const double ub = u[static_cast<std::size_t>(best)];
+    // Strict improvement required: exact ties (which arise when a fresh
+    // child inherits its parent's utility verbatim) stay with the earlier,
+    // longer-trained model until the child proves itself.
+    if (uk > ub) best = k;
+  }
+  return best;
+}
+
+double ClientManager::utility(int client, int model) const {
+  FT_CHECK(client >= 0 && client < num_clients());
+  FT_CHECK(model >= 0 && model < num_models());
+  return utilities_[static_cast<std::size_t>(client)]
+                   [static_cast<std::size_t>(model)];
+}
+
+double ClientManager::similarity(int a, int b) const {
+  FT_CHECK(a >= 0 && a < num_models() && b >= 0 && b < num_models());
+  return sim_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+void ClientManager::save(std::ostream& os) const {
+  write_vec(os, model_macs_);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(specs_.size()));
+  for (const auto& s : specs_) write_string(os, s.serialize());
+  for (const auto& row : sim_) write_vec(os, row);
+  write_pod<std::uint64_t>(os, utilities_.size());
+  for (const auto& u : utilities_) write_vec(os, u);
+}
+
+void ClientManager::load(std::istream& is) {
+  model_macs_ = read_vec<double>(is);
+  const auto n_specs = read_pod<std::uint32_t>(is);
+  FT_CHECK_MSG(n_specs == model_macs_.size(),
+               "client-manager checkpoint spec/macs count mismatch");
+  specs_.clear();
+  for (std::uint32_t i = 0; i < n_specs; ++i)
+    specs_.push_back(ModelSpec::deserialize(read_string(is)));
+  sim_.assign(n_specs, {});
+  for (auto& row : sim_) row = read_vec<double>(is);
+  const auto n_clients = read_pod<std::uint64_t>(is);
+  FT_CHECK_MSG(n_clients == capacity_.size(),
+               "client-manager checkpoint client count mismatch");
+  utilities_.assign(capacity_.size(), {});
+  for (auto& u : utilities_) u = read_vec<double>(is);
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/spec.hpp"
+
+namespace fedtrans {
+
+/// Utility-based model assignment (§4.2). For each registered client the
+/// manager keeps a loss-based utility per model. Participants are assigned
+/// a *compatible* model (MACs ≤ client capacity) sampled from the softmax of
+/// utilities (Eq. 2–3); after training, the utilities of all compatible
+/// models are jointly updated with the standardized loss weighted by
+/// architectural similarity to the trained model (Eq. 4).
+class ClientManager {
+ public:
+  ClientManager(std::vector<double> client_capacity_macs,
+                double exploration_temp = 1.0);
+
+  /// Register a new model; `parent_index` < 0 for the initial model. New
+  /// models copy the parent's utilities (Algorithm 1 line 18).
+  void add_model(const ModelSpec& spec, double macs, int parent_index);
+  int num_models() const { return static_cast<int>(model_macs_.size()); }
+  int num_clients() const {
+    return static_cast<int>(capacity_.size());
+  }
+
+  /// Indices of models the client can run; falls back to {0} when even the
+  /// initial model exceeds the client's capacity (the initial model is
+  /// sized for the weakest device, so this is the sane degenerate answer).
+  std::vector<int> compatible_models(int client) const;
+
+  /// Sample a model for the client per Eq. 2–3.
+  int assign(int client, Rng& rng) const;
+
+  /// Eq. 4: for every compatible model k of the client,
+  /// U_k ← U_k − L_std · sim(M_k, M_assigned).
+  void update_utilities(int client, int assigned_model,
+                        double standardized_loss);
+
+  /// Deployment-time choice: the compatible model with the highest utility
+  /// (ties broken toward the larger model).
+  int best_model(int client) const;
+
+  double utility(int client, int model) const;
+  double similarity(int a, int b) const;
+  double capacity(int client) const {
+    return capacity_[static_cast<std::size_t>(client)];
+  }
+
+  /// Checkpointing: persist/restore the model registry (specs, MACs, cached
+  /// similarities) and every client's utility vector. Capacities and the
+  /// exploration temperature come from construction.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  std::vector<double> capacity_;
+  double temp_;
+  std::vector<double> model_macs_;
+  std::vector<ModelSpec> specs_;
+  /// sim_[i][j] = model_similarity(spec_i, spec_j), cached on add_model.
+  std::vector<std::vector<double>> sim_;
+  /// utilities_[client][model].
+  std::vector<std::vector<double>> utilities_;
+};
+
+}  // namespace fedtrans

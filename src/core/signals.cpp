@@ -1,0 +1,104 @@
+#include "core/signals.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+
+namespace fedtrans {
+
+DoCTracker::DoCTracker(int gamma, int delta) : gamma_(gamma), delta_(delta) {
+  FT_CHECK(gamma_ >= 1 && delta_ >= 1);
+}
+
+void DoCTracker::add_loss(double loss) {
+  history_.push_back(loss);
+  // Keep just enough history for the γ most recent slopes.
+  const std::size_t need = static_cast<std::size_t>(gamma_ + delta_);
+  while (history_.size() > need) history_.pop_front();
+}
+
+bool DoCTracker::ready() const {
+  return history_.size() >= static_cast<std::size_t>(gamma_ + delta_);
+}
+
+double DoCTracker::doc() const {
+  FT_CHECK_MSG(ready(), "DoC queried before enough loss history");
+  const auto n = history_.size();
+  double sum = 0.0;
+  for (int j = 0; j < gamma_; ++j) {
+    const double newer = history_[n - 1 - static_cast<std::size_t>(j)];
+    const double older =
+        history_[n - 1 - static_cast<std::size_t>(j) -
+                 static_cast<std::size_t>(delta_)];
+    sum += (older - newer) / delta_;
+  }
+  return sum / gamma_;
+}
+
+void DoCTracker::reset() { history_.clear(); }
+
+void DoCTracker::save(std::ostream& os) const {
+  write_vec(os, std::vector<double>(history_.begin(), history_.end()));
+}
+
+void DoCTracker::load(std::istream& is) {
+  const auto v = read_vec<double>(is);
+  history_.assign(v.begin(), v.end());
+}
+
+ActivenessTracker::ActivenessTracker(int num_cells, int window)
+    : window_(window),
+      per_cell_(static_cast<std::size_t>(num_cells)) {
+  FT_CHECK(num_cells >= 1 && window >= 1);
+}
+
+void ActivenessTracker::add_round(Model& model, const WeightSet& delta) {
+  FT_CHECK(model.num_cells() == num_cells());
+  FT_CHECK(delta.size() == model.params().size());
+  for (int l = 0; l < model.num_cells(); ++l) {
+    const auto [begin, end] = model.cell_param_range(l);
+    double g2 = 0.0, w2 = 0.0;
+    auto ps = model.params();
+    for (std::size_t i = begin; i < end; ++i) {
+      const double gn = delta[i].l2_norm();
+      const double wn = ps[i].value->l2_norm();
+      g2 += gn * gn;
+      w2 += wn * wn;
+    }
+    const double act = w2 > 0.0 ? std::sqrt(g2) / std::sqrt(w2) : 0.0;
+    auto& dq = per_cell_[static_cast<std::size_t>(l)];
+    dq.push_back(act);
+    while (dq.size() > static_cast<std::size_t>(window_)) dq.pop_front();
+  }
+}
+
+void ActivenessTracker::save(std::ostream& os) const {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(per_cell_.size()));
+  for (const auto& dq : per_cell_)
+    write_vec(os, std::vector<double>(dq.begin(), dq.end()));
+}
+
+void ActivenessTracker::load(std::istream& is) {
+  const auto n = read_pod<std::uint32_t>(is);
+  FT_CHECK_MSG(n == per_cell_.size(),
+               "activeness checkpoint cell count mismatch");
+  for (auto& dq : per_cell_) {
+    const auto v = read_vec<double>(is);
+    dq.assign(v.begin(), v.end());
+  }
+}
+
+std::vector<double> ActivenessTracker::activeness() const {
+  std::vector<double> out(per_cell_.size(), 0.0);
+  for (std::size_t l = 0; l < per_cell_.size(); ++l) {
+    const auto& dq = per_cell_[l];
+    if (dq.empty()) continue;
+    double s = 0.0;
+    for (double v : dq) s += v;
+    out[l] = s / static_cast<double>(dq.size());
+  }
+  return out;
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <vector>
+
+#include "fl/weights.hpp"
+#include "model/model.hpp"
+
+namespace fedtrans {
+
+/// Degree-of-convergence tracker (Eq. 1): the mean of γ consecutive training
+/// loss slopes, each taken with step δ:
+///   DoC = (1/γ) Σ_{i=1..γ} (L(i−δ) − L(i)) / δ
+/// Transformation fires when DoC drops below the threshold β — the "elbow"
+/// of the loss curve (§4.1).
+class DoCTracker {
+ public:
+  DoCTracker(int gamma, int delta);
+
+  void add_loss(double loss);
+  /// True once γ+δ losses have been observed.
+  bool ready() const;
+  /// Current DoC (requires ready()).
+  double doc() const;
+  void reset();
+  int history_size() const { return static_cast<int>(history_.size()); }
+
+  /// Checkpointing: persist/restore the loss history (γ and δ come from the
+  /// configuration the tracker is reconstructed with).
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  int gamma_, delta_;
+  std::deque<double> history_;
+};
+
+/// Per-Cell activeness tracker: ‖Δw_l‖ / ‖w_l‖ of the aggregate round
+/// update, averaged over the last `window` rounds (paper's T = 5). The Cells
+/// whose activeness exceeds α × max activeness are the accuracy bottlenecks
+/// Model Transformer expands.
+class ActivenessTracker {
+ public:
+  ActivenessTracker(int num_cells, int window);
+
+  /// Record one round's aggregate update `delta` (aligned with
+  /// model.params() order) for `model`.
+  void add_round(Model& model, const WeightSet& delta);
+  /// Moving-average activeness per Cell.
+  std::vector<double> activeness() const;
+  int num_cells() const { return static_cast<int>(per_cell_.size()); }
+
+  /// Checkpointing: persist/restore the per-Cell activeness windows.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  int window_;
+  std::vector<std::deque<double>> per_cell_;
+};
+
+}  // namespace fedtrans

@@ -1,0 +1,273 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "fl/runner.hpp"
+
+namespace fedtrans {
+
+FedTransTrainer::FedTransTrainer(ModelSpec initial,
+                                 const FederatedDataset& data,
+                                 std::vector<DeviceProfile> fleet,
+                                 FedTransConfig cfg)
+    : data_(data),
+      fleet_(std::move(fleet)),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      aggregator_({cfg.eta, cfg.enable_soft_agg, cfg.enable_decay,
+                   cfg.enable_l2s}),
+      doc_(cfg.gamma, cfg.doc_delta) {
+  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
+               "fleet size must match client count");
+  selector_ = make_selector(cfg_.selector);
+  ModelEntry entry;
+  entry.model = std::make_unique<Model>(std::move(initial), rng_);
+  entry.id = 0;
+  entry.created_round = 0;
+  entry.opt = make_server_opt(cfg_.server_opt);
+  models_.push_back(std::move(entry));
+
+  std::vector<double> caps;
+  caps.reserve(fleet_.size());
+  for (const auto& d : fleet_) {
+    caps.push_back(d.capacity_macs);
+    max_capacity_ = std::max(max_capacity_, d.capacity_macs);
+  }
+  cm_ = std::make_unique<ClientManager>(std::move(caps));
+  cm_->add_model(models_[0].model->spec(),
+                 static_cast<double>(models_[0].model->macs()), -1);
+  act_ = std::make_unique<ActivenessTracker>(models_[0].model->num_cells(),
+                                             cfg_.act_window);
+  costs_.note_storage(static_cast<double>(models_[0].model->param_bytes()));
+}
+
+std::vector<Model*> FedTransTrainer::model_ptrs() {
+  std::vector<Model*> ptrs;
+  ptrs.reserve(models_.size());
+  for (auto& e : models_) ptrs.push_back(e.model.get());
+  return ptrs;
+}
+
+double FedTransTrainer::run_round() {
+  const int n_models = num_models();
+  auto selected = selector_->select(data_.num_clients(),
+                                    cfg_.clients_per_round, rng_);
+
+  // Per-model accumulators for FedAvg.
+  std::vector<WeightSet> acc(static_cast<std::size_t>(n_models));
+  std::vector<double> wsum(static_cast<std::size_t>(n_models), 0.0);
+  std::vector<double> loss_sum(static_cast<std::size_t>(n_models), 0.0);
+  std::vector<int> loss_cnt(static_cast<std::size_t>(n_models), 0);
+
+  struct Participation {
+    int client;
+    int model;
+    double loss;
+  };
+  std::vector<Participation> parts;
+  parts.reserve(selected.size());
+
+  double slowest = 0.0;
+  for (int c : selected) {
+    const int k = cm_->assign(c, rng_);
+    Model& server_model = *models_[static_cast<std::size_t>(k)].model;
+    Model local_model = server_model;  // download
+    Rng crng = rng_.fork();
+    auto res = local_train(local_model, data_.client(c), cfg_.local, crng);
+
+    if (acc[static_cast<std::size_t>(k)].empty())
+      acc[static_cast<std::size_t>(k)] = ws_zeros_like(res.delta);
+    ws_axpy(acc[static_cast<std::size_t>(k)],
+            static_cast<float>(res.num_samples), res.delta);
+    wsum[static_cast<std::size_t>(k)] += res.num_samples;
+    loss_sum[static_cast<std::size_t>(k)] += res.avg_loss;
+    ++loss_cnt[static_cast<std::size_t>(k)];
+    parts.push_back({c, k, res.avg_loss});
+    selector_->report(c, res.avg_loss, res.num_samples);
+
+    const double bytes = static_cast<double>(server_model.param_bytes());
+    costs_.add_training_macs(res.macs_used);
+    costs_.add_transfer(bytes, bytes);
+    const double t = client_round_time_s(
+        fleet_[static_cast<std::size_t>(c)],
+        static_cast<double>(server_model.macs()), cfg_.local.steps,
+        cfg_.local.batch, bytes);
+    costs_.add_client_round_time(t);
+    slowest = std::max(slowest, t);
+  }
+
+  // Joint utility learning (Eq. 4) with per-round standardized losses.
+  {
+    std::vector<double> losses;
+    losses.reserve(parts.size());
+    // Guard against diverged local runs: a non-finite loss is treated as
+    // the worst finite loss of the round so it cannot poison utilities.
+    double worst = 0.0;
+    for (const auto& p : parts)
+      if (std::isfinite(p.loss)) worst = std::max(worst, p.loss);
+    for (const auto& p : parts)
+      losses.push_back(std::isfinite(p.loss) ? p.loss : worst + 1.0);
+    const auto std_losses = standardize(losses);
+    for (std::size_t i = 0; i < parts.size(); ++i)
+      cm_->update_utilities(parts[i].client, parts[i].model, std_losses[i]);
+  }
+
+  // Per-model FedAvg.
+  const int newest = n_models - 1;
+  for (int k = 0; k < n_models; ++k) {
+    if (wsum[static_cast<std::size_t>(k)] <= 0.0) continue;
+    ws_scale(acc[static_cast<std::size_t>(k)],
+             static_cast<float>(1.0 / wsum[static_cast<std::size_t>(k)]));
+    Model& m = *models_[static_cast<std::size_t>(k)].model;
+    WeightSet w = m.weights();
+    models_[static_cast<std::size_t>(k)].opt->apply(
+        w, acc[static_cast<std::size_t>(k)]);
+    m.set_weights(w);
+    if (k == newest)
+      act_->add_round(m, acc[static_cast<std::size_t>(k)]);
+  }
+
+  // Soft aggregation across the family (Eq. 5).
+  {
+    std::vector<std::vector<double>> sim(
+        static_cast<std::size_t>(n_models),
+        std::vector<double>(static_cast<std::size_t>(n_models), 0.0));
+    for (int i = 0; i < n_models; ++i)
+      for (int j = 0; j < n_models; ++j)
+        sim[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            cm_->similarity(i, j);
+    auto ptrs = model_ptrs();
+    aggregator_.aggregate(ptrs, sim, round_);
+  }
+
+  // DoC bookkeeping on the newest model, then maybe transform.
+  double round_loss = 0.0;
+  int loss_models = 0;
+  for (int k = 0; k < n_models; ++k)
+    if (loss_cnt[static_cast<std::size_t>(k)] > 0) {
+      round_loss += loss_sum[static_cast<std::size_t>(k)] /
+                    loss_cnt[static_cast<std::size_t>(k)];
+      ++loss_models;
+    }
+  const double mean_round_loss =
+      loss_models > 0 ? round_loss / loss_models : 0.0;
+  if (loss_cnt[static_cast<std::size_t>(newest)] > 0)
+    doc_.add_loss(loss_sum[static_cast<std::size_t>(newest)] /
+                  loss_cnt[static_cast<std::size_t>(newest)]);
+  maybe_transform();
+
+  RoundRecord rec;
+  rec.round = round_;
+  rec.avg_loss = mean_round_loss;
+  rec.cum_macs = costs_.total_macs();
+  rec.round_time_s = slowest;
+  if (cfg_.eval_every > 0 && round_ % cfg_.eval_every == 0) {
+    Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(round_));
+    const int k = cfg_.eval_clients > 0
+                      ? std::min(cfg_.eval_clients, data_.num_clients())
+                      : data_.num_clients();
+    auto ids = FedAvgRunner::select_clients(data_.num_clients(), k, erng);
+    double s = 0.0;
+    for (int c : ids) {
+      const int best = cm_->best_model(c);
+      s += evaluate_accuracy(*models_[static_cast<std::size_t>(best)].model,
+                             data_.client(c));
+    }
+    rec.accuracy = s / static_cast<double>(ids.size());
+  }
+  history_.push_back(rec);
+  ++round_;
+  return mean_round_loss;
+}
+
+void FedTransTrainer::maybe_transform() {
+  if (!cfg_.enable_transform || exhausted_ || num_models() >= cfg_.max_models)
+    return;
+  if (!doc_.ready() || doc_.doc() > cfg_.beta) return;
+
+  ModelEntry& parent = models_.back();
+  const auto activeness = act_->activeness();
+  Rng trng = rng_.fork();
+  const TransformerOptions topts{cfg_.alpha, cfg_.widen_factor,
+                                 cfg_.deepen_blocks,
+                                 cfg_.enable_layer_selection,
+                                 cfg_.scaling_policy};
+  const auto plan =
+      build_transform_plan(parent.model->spec(), activeness, topts, trng);
+  const bool any = std::any_of(plan.begin(), plan.end(), [](const CellOp& op) {
+    return op.kind != CellOp::Kind::Keep;
+  });
+  if (!any) return;
+
+  const int child_id = next_model_id_++;
+  std::string child_name = "M";
+  child_name += std::to_string(child_id);
+  Model child = transform_model(*parent.model, plan, child_id, child_name,
+                                trng, cfg_.enable_warmup);
+  if (static_cast<double>(child.macs()) > max_capacity_) {
+    // No participant can run it: the family has reached the fleet's ceiling.
+    exhausted_ = true;
+    return;
+  }
+
+  const int parent_index = num_models() - 1;
+  ModelEntry entry;
+  entry.model = std::make_unique<Model>(std::move(child));
+  entry.id = child_id;
+  entry.created_round = round_;
+  entry.opt = make_server_opt(cfg_.server_opt);
+  cm_->add_model(entry.model->spec(),
+                 static_cast<double>(entry.model->macs()), parent_index);
+  act_ = std::make_unique<ActivenessTracker>(entry.model->num_cells(),
+                                             cfg_.act_window);
+  doc_.reset();  // the newest model needs fresh γ+δ history
+  models_.push_back(std::move(entry));
+  ++transforms_;
+
+  double storage = 0.0;
+  for (const auto& e : models_)
+    storage += static_cast<double>(e.model->param_bytes());
+  costs_.note_storage(storage);
+}
+
+void FedTransTrainer::run() {
+  for (int r = 0; r < cfg_.rounds; ++r) run_round();
+}
+
+FinalEval FedTransTrainer::evaluate_final() {
+  FinalEval ev;
+  ev.client_accuracy.reserve(static_cast<std::size_t>(data_.num_clients()));
+  ev.client_model.reserve(static_cast<std::size_t>(data_.num_clients()));
+  for (int c = 0; c < data_.num_clients(); ++c) {
+    int best;
+    if (cfg_.final_assignment == FedTransConfig::FinalAssignment::Utility) {
+      best = cm_->best_model(c);
+    } else {
+      // Client-side probe: among compatible models, the one with the lowest
+      // loss on the client's own training shard (its data never leaves the
+      // device; only the choice does).
+      const auto compat = cm_->compatible_models(c);
+      best = compat.front();
+      double best_loss = 1e300;
+      for (int k : compat) {
+        const double l = evaluate_loss(
+            *models_[static_cast<std::size_t>(k)].model, data_.client(c));
+        if (l < best_loss) {
+          best_loss = l;
+          best = k;
+        }
+      }
+    }
+    ev.client_model.push_back(best);
+    ev.client_accuracy.push_back(evaluate_accuracy(
+        *models_[static_cast<std::size_t>(best)].model, data_.client(c)));
+  }
+  ev.mean_accuracy = mean(ev.client_accuracy);
+  ev.accuracy_iqr = iqr(ev.client_accuracy);
+  return ev;
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/aggregator.hpp"
+#include "core/client_manager.hpp"
+#include "core/signals.hpp"
+#include "core/transformer.hpp"
+#include "data/dataset.hpp"
+#include "fl/local_train.hpp"
+#include "fl/metrics.hpp"
+#include "fl/selection.hpp"
+#include "fl/server_opt.hpp"
+#include "trace/device.hpp"
+
+namespace fedtrans {
+
+/// Full FedTrans configuration (paper §5.1 / Table 7 defaults where noted).
+struct FedTransConfig {
+  // Model Transformer.
+  double alpha = 0.9;        // Cell activeness threshold
+  double beta = 0.003;       // DoC threshold to transform
+  int gamma = 10;            // #consecutive slopes for DoC
+  int doc_delta = 5;         // loss-slope step δ (per-dataset in the paper)
+  int act_window = 5;        // T: rounds averaged for activeness
+  double widen_factor = 2.0;
+  int deepen_blocks = 1;
+  int max_models = 6;        // safety bound on the family size
+  /// Compound (paper default, widen/deepen alternation) vs the widen-only /
+  /// deepen-only counterparts of the §5.4 scaling ablation.
+  ScalingPolicy scaling_policy = ScalingPolicy::Compound;
+
+  // Model Aggregator.
+  double eta = 0.98;         // decay factor
+
+  // Runtime.
+  int rounds = 60;
+  int clients_per_round = 10;
+  LocalTrainConfig local{};
+  /// Server optimizer applied per model to the FedAvg'd delta (Fig. 8:
+  /// FedTrans composes with FedYogi; FedProx composes via local.sgd.prox_mu).
+  ServerOptKind server_opt = ServerOptKind::FedAvg;
+  /// Participant selection (Uniform reproduces the paper protocol; Oort /
+  /// PowerOfChoice are extensions exercised by the selection ablation).
+  SelectorKind selector = SelectorKind::Uniform;
+  int eval_every = 0;    // accuracy probe period (0 = off)
+  int eval_clients = 32; // subsample for probes
+  std::uint64_t seed = 1;
+
+  // Ablation switches (Table 3 / Table 1).
+  bool enable_layer_selection = true;  // 'l'
+  bool enable_soft_agg = true;         // 's'
+  bool enable_warmup = true;           // 'w'
+  bool enable_decay = true;            // 'd'
+  bool enable_l2s = false;             // Table 1 (large→small sharing)
+  /// Disable transformation entirely (degenerates to single-model FedAvg —
+  /// the paper notes single-model training is a special case).
+  bool enable_transform = true;
+  /// Deployment-time assignment. `LossProbe` (default) refreshes each
+  /// client's utility with one local-loss measurement per compatible model
+  /// before picking — a client-side probe that sharpens the noisy
+  /// accumulated utilities at reduced round budgets. `Utility` uses the
+  /// accumulated utilities verbatim (Algorithm 1's U_c).
+  enum class FinalAssignment { LossProbe, Utility };
+  FinalAssignment final_assignment = FinalAssignment::LossProbe;
+};
+
+/// One member of the model family being co-trained.
+struct ModelEntry {
+  std::unique_ptr<Model> model;
+  int id = 0;
+  int created_round = 0;
+  /// Per-model server optimizer state (FedAvg / FedYogi).
+  std::unique_ptr<ServerOptimizer> opt;
+};
+
+/// Deployment-time evaluation report (paper metric: every client evaluated
+/// on its best-utility compatible model).
+struct FinalEval {
+  std::vector<double> client_accuracy;
+  std::vector<int> client_model;
+  double mean_accuracy = 0.0;
+  double accuracy_iqr = 0.0;
+};
+
+/// The FedTrans coordinator (Algorithm 1): per round it assigns every
+/// participant a compatible model by utility, trains locally, jointly
+/// updates utilities, FedAvg-aggregates per model, soft-aggregates across
+/// models, and transforms the newest model when its DoC crosses β.
+class FedTransTrainer {
+ public:
+  FedTransTrainer(ModelSpec initial, const FederatedDataset& data,
+                  std::vector<DeviceProfile> fleet, FedTransConfig cfg);
+
+  /// Execute one round; returns mean participant loss.
+  double run_round();
+  void run();  // cfg.rounds rounds
+
+  FinalEval evaluate_final();
+
+  /// Checkpointing. `save_checkpoint` persists the complete dynamic state:
+  /// the model family (specs + weights + per-model optimizer state), client
+  /// utilities, DoC/activeness histories, RNG state, cost meters and round
+  /// counters. `load_checkpoint` restores it into a trainer constructed
+  /// with the *same* dataset, fleet and config; resumed training then
+  /// replays bit-identically to an uninterrupted run (verified by tests).
+  void save_checkpoint(std::ostream& os);
+  void load_checkpoint(std::istream& is);
+  void save_checkpoint_file(const std::string& path);
+  void load_checkpoint_file(const std::string& path);
+
+  int num_models() const { return static_cast<int>(models_.size()); }
+  Model& model(int i) { return *models_[static_cast<std::size_t>(i)].model; }
+  const std::vector<ModelEntry>& entries() const { return models_; }
+  const ClientManager& client_manager() const { return *cm_; }
+  const CostMeter& costs() const { return costs_; }
+  const std::vector<RoundRecord>& history() const { return history_; }
+  int rounds_done() const { return round_; }
+  int transforms_done() const { return transforms_; }
+
+ private:
+  void maybe_transform();
+  std::vector<Model*> model_ptrs();
+
+  const FederatedDataset& data_;
+  std::vector<DeviceProfile> fleet_;
+  FedTransConfig cfg_;
+  Rng rng_;
+
+  std::vector<ModelEntry> models_;
+  std::unique_ptr<ClientSelector> selector_;
+  std::unique_ptr<ClientManager> cm_;
+  SoftAggregator aggregator_;
+  DoCTracker doc_;          // tracks the newest model's loss curve
+  std::unique_ptr<ActivenessTracker> act_;  // newest model's cell activeness
+  double max_capacity_ = 0.0;
+  bool exhausted_ = false;  // no further growth possible
+  int next_model_id_ = 1;
+  int round_ = 0;
+  int transforms_ = 0;
+  CostMeter costs_;
+  std::vector<RoundRecord> history_;
+};
+
+}  // namespace fedtrans

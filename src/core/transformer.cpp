@@ -1,0 +1,53 @@
+#include "core/transformer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+std::vector<CellOp> build_transform_plan(const ModelSpec& spec,
+                                         const std::vector<double>& activeness,
+                                         const TransformerOptions& opts,
+                                         Rng& rng) {
+  FT_CHECK_MSG(activeness.size() == spec.cells.size(),
+               "activeness/cell count mismatch");
+  std::vector<CellOp> plan(spec.cells.size());
+
+  std::vector<std::size_t> selected;
+  if (opts.layer_selection) {
+    const double max_act =
+        *std::max_element(activeness.begin(), activeness.end());
+    if (max_act <= 0.0) return plan;  // no signal: keep everything
+    for (std::size_t l = 0; l < activeness.size(); ++l)
+      if (activeness[l] >= opts.alpha * max_act) selected.push_back(l);
+  } else {
+    selected.push_back(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(spec.cells.size()) - 1)));
+  }
+
+  for (std::size_t l : selected) {
+    bool widen = true;
+    switch (opts.scaling) {
+      case ScalingPolicy::Compound:
+        widen = !spec.cells[l].widened_last;
+        break;
+      case ScalingPolicy::WidenOnly: widen = true; break;
+      case ScalingPolicy::DeepenOnly: widen = false; break;
+    }
+    plan[l] = {widen ? CellOp::Kind::Widen : CellOp::Kind::Deepen,
+               opts.widen_factor, opts.deepen_blocks};
+  }
+  return plan;
+}
+
+const char* scaling_policy_name(ScalingPolicy p) {
+  switch (p) {
+    case ScalingPolicy::Compound: return "compound";
+    case ScalingPolicy::WidenOnly: return "widen-only";
+    case ScalingPolicy::DeepenOnly: return "deepen-only";
+  }
+  return "compound";
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "model/transform.hpp"
+
+namespace fedtrans {
+
+/// How a selected Cell grows. `Compound` is the paper's design (§4.1 /
+/// Fig. 5): alternate widen → deepen per Cell via CellSpec::widened_last,
+/// inspired by EfficientNet's compound scaling. `WidenOnly` / `DeepenOnly`
+/// are the counterparts the paper's §5.4 compares against.
+enum class ScalingPolicy { Compound, WidenOnly, DeepenOnly };
+
+const char* scaling_policy_name(ScalingPolicy p);
+
+/// Model Transformer policy knobs (§4.1).
+struct TransformerOptions {
+  /// A Cell is selected when its activeness ≥ α × max activeness.
+  double alpha = 0.9;
+  double widen_factor = 2.0;
+  int deepen_blocks = 1;
+  /// Ablation '-l': when false, a single uniformly random Cell is selected
+  /// instead of the gradient-based choice.
+  bool layer_selection = true;
+  ScalingPolicy scaling = ScalingPolicy::Compound;
+};
+
+/// Decide which Cells to transform and how (Fig. 5 control flow): selected
+/// Cells alternate widen → deepen → widen… via CellSpec::widened_last
+/// (compound scaling). Returns one CellOp per Cell of `spec`.
+std::vector<CellOp> build_transform_plan(const ModelSpec& spec,
+                                         const std::vector<double>& activeness,
+                                         const TransformerOptions& opts,
+                                         Rng& rng);
+
+}  // namespace fedtrans

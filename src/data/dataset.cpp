@@ -1,0 +1,157 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+/// Smooth random field: a coarse grid of N(0,1) values bilinearly upsampled
+/// to hw × hw. Class prototypes and client styles are such fields — smooth
+/// enough for small convolutions to pick up, distinct across seeds.
+std::vector<float> smooth_field(int grid, int hw, Rng& rng) {
+  std::vector<float> coarse(static_cast<std::size_t>(grid) * grid);
+  for (auto& v : coarse) v = static_cast<float>(rng.normal());
+  std::vector<float> out(static_cast<std::size_t>(hw) * hw);
+  const float scale = static_cast<float>(grid - 1) / static_cast<float>(hw - 1);
+  for (int y = 0; y < hw; ++y) {
+    const float fy = y * scale;
+    const int y0 = std::min(static_cast<int>(fy), grid - 2);
+    const float ty = fy - y0;
+    for (int x = 0; x < hw; ++x) {
+      const float fx = x * scale;
+      const int x0 = std::min(static_cast<int>(fx), grid - 2);
+      const float tx = fx - x0;
+      const float a = coarse[static_cast<std::size_t>(y0) * grid + x0];
+      const float b = coarse[static_cast<std::size_t>(y0) * grid + x0 + 1];
+      const float c = coarse[static_cast<std::size_t>(y0 + 1) * grid + x0];
+      const float d = coarse[static_cast<std::size_t>(y0 + 1) * grid + x0 + 1];
+      out[static_cast<std::size_t>(y) * hw + x] =
+          a * (1 - ty) * (1 - tx) + b * (1 - ty) * tx + c * ty * (1 - tx) +
+          d * ty * tx;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FederatedDataset FederatedDataset::generate(const DatasetConfig& cfg) {
+  FT_CHECK(cfg.num_classes >= 2 && cfg.num_clients >= 1 && cfg.hw >= 4);
+  Rng rng(cfg.seed);
+
+  // Class prototypes: one smooth field per (class, channel).
+  const auto plane = static_cast<std::size_t>(cfg.hw) * cfg.hw;
+  std::vector<std::vector<float>> protos(
+      static_cast<std::size_t>(cfg.num_classes) * cfg.channels);
+  for (auto& p : protos) p = smooth_field(cfg.proto_grid, cfg.hw, rng);
+
+  FederatedDataset ds;
+  ds.cfg_ = cfg;
+  ds.clients_.reserve(static_cast<std::size_t>(cfg.num_clients));
+
+  for (int c = 0; c < cfg.num_clients; ++c) {
+    Rng crng = rng.fork();
+    // Client style: one smooth field per channel, scaled by style_strength.
+    std::vector<std::vector<float>> style(
+        static_cast<std::size_t>(cfg.channels));
+    for (auto& s : style) s = smooth_field(cfg.proto_grid, cfg.hw, crng);
+
+    // Label distribution: Dirichlet(h) over classes.
+    const std::vector<double> label_p =
+        crng.dirichlet(cfg.dirichlet_h, cfg.num_classes);
+
+    // Long-tailed volume.
+    const double ln = crng.lognormal(std::log(cfg.mean_train_samples), 0.45);
+    const int n_train =
+        std::max(cfg.min_train_samples, static_cast<int>(std::lround(ln)));
+    const int n_eval = cfg.eval_samples;
+
+    auto make_shard = [&](int n, Tensor& x, std::vector<int>& y) {
+      x = Tensor({n, cfg.channels, cfg.hw, cfg.hw});
+      y.resize(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const int label = crng.categorical(label_p);
+        y[static_cast<std::size_t>(i)] = label;
+        for (int ch = 0; ch < cfg.channels; ++ch) {
+          const auto& proto =
+              protos[static_cast<std::size_t>(label) * cfg.channels + ch];
+          const auto& st = style[static_cast<std::size_t>(ch)];
+          float* px = x.data() +
+                      (static_cast<std::int64_t>(i) * cfg.channels + ch) *
+                          static_cast<std::int64_t>(plane);
+          for (std::size_t p = 0; p < plane; ++p)
+            px[p] = proto[p] +
+                    static_cast<float>(cfg.style_strength) * st[p] +
+                    static_cast<float>(cfg.noise * crng.normal());
+        }
+      }
+    };
+
+    ClientData cd;
+    make_shard(n_train, cd.x_train, cd.y_train);
+    make_shard(n_eval, cd.x_eval, cd.y_eval);
+    ds.clients_.push_back(std::move(cd));
+  }
+  return ds;
+}
+
+const ClientData& FederatedDataset::client(int c) const {
+  FT_CHECK(c >= 0 && c < num_clients());
+  return clients_[static_cast<std::size_t>(c)];
+}
+
+ClientData FederatedDataset::pooled() const {
+  std::int64_t total_train = 0, total_eval = 0;
+  for (const auto& c : clients_) {
+    total_train += c.train_size();
+    total_eval += c.eval_size();
+  }
+  ClientData out;
+  out.x_train = Tensor({static_cast<int>(total_train), cfg_.channels, cfg_.hw,
+                        cfg_.hw});
+  out.x_eval =
+      Tensor({static_cast<int>(total_eval), cfg_.channels, cfg_.hw, cfg_.hw});
+  const auto sample_sz =
+      static_cast<std::int64_t>(cfg_.channels) * cfg_.hw * cfg_.hw;
+  std::int64_t ti = 0, ei = 0;
+  for (const auto& c : clients_) {
+    std::copy_n(c.x_train.data(), c.x_train.numel(),
+                out.x_train.data() + ti * sample_sz);
+    ti += c.train_size();
+    out.y_train.insert(out.y_train.end(), c.y_train.begin(), c.y_train.end());
+    std::copy_n(c.x_eval.data(), c.x_eval.numel(),
+                out.x_eval.data() + ei * sample_sz);
+    ei += c.eval_size();
+    out.y_eval.insert(out.y_eval.end(), c.y_eval.begin(), c.y_eval.end());
+  }
+  return out;
+}
+
+std::vector<int> FederatedDataset::label_histogram(int c) const {
+  const auto& cd = client(c);
+  std::vector<int> hist(static_cast<std::size_t>(cfg_.num_classes), 0);
+  for (int y : cd.y_train) ++hist[static_cast<std::size_t>(y)];
+  return hist;
+}
+
+void sample_batch(const ClientData& data, int batch, Rng& rng, Tensor& x_out,
+                  std::vector<int>& y_out) {
+  FT_CHECK_MSG(data.train_size() > 0, "client has no training data");
+  const auto& shape = data.x_train.shape();
+  const auto sample_sz = data.x_train.numel() / shape[0];
+  x_out = Tensor({batch, shape[1], shape[2], shape[3]});
+  y_out.resize(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    const int j = rng.uniform_int(0, data.train_size() - 1);
+    std::copy_n(data.x_train.data() + j * sample_sz, sample_sz,
+                x_out.data() + i * sample_sz);
+    y_out[static_cast<std::size_t>(i)] =
+        data.y_train[static_cast<std::size_t>(j)];
+  }
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "fl/weights.hpp"
+
+namespace fedtrans {
+
+/// Client-update (uplink) compression. The paper's Table 2 reports network
+/// volume as a first-class cost; these compressors are the standard
+/// gradient-compression remedies (top-k sparsification, uniform
+/// quantization) applied to the client delta before upload. The simulation
+/// applies compress() in place (the server sees the lossy delta) and uses
+/// compressed_bytes() for network accounting; the wire format itself is not
+/// materialized.
+class DeltaCompressor {
+ public:
+  virtual ~DeltaCompressor() = default;
+
+  /// Lossy-compress `delta` in place (what the server would decode).
+  virtual void compress(WeightSet& delta) = 0;
+  /// Uplink bytes for a just-compressed delta of `dense_params` parameters.
+  virtual double compressed_bytes(std::int64_t dense_params) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// No-op compressor: dense fp32 upload (4 bytes/param).
+class NoCompression : public DeltaCompressor {
+ public:
+  void compress(WeightSet&) override {}
+  double compressed_bytes(std::int64_t dense_params) const override {
+    return 4.0 * static_cast<double>(dense_params);
+  }
+  std::string name() const override { return "none"; }
+};
+
+/// Global top-k magnitude sparsification: keep the k = ratio × numel
+/// largest-|v| entries across the whole delta, zero the rest. Wire cost is
+/// (4-byte index + 4-byte value) per survivor.
+class TopKCompression : public DeltaCompressor {
+ public:
+  explicit TopKCompression(double ratio);
+
+  void compress(WeightSet& delta) override;
+  double compressed_bytes(std::int64_t dense_params) const override;
+  std::string name() const override { return "topk"; }
+
+  double ratio() const { return ratio_; }
+
+ private:
+  double ratio_;
+};
+
+/// Per-tensor uniform quantization to 2^bits symmetric levels around zero:
+/// v → round(v/scale) · scale with scale = max|v| / (2^(bits−1) − 1).
+/// Wire cost is `bits` per parameter plus one fp32 scale per tensor.
+class UniformQuantization : public DeltaCompressor {
+ public:
+  explicit UniformQuantization(int bits);
+
+  void compress(WeightSet& delta) override;
+  double compressed_bytes(std::int64_t dense_params) const override;
+  std::string name() const override { return "quant"; }
+
+  int bits() const { return bits_; }
+
+ private:
+  int bits_;
+  std::int64_t num_tensors_ = 0;  // from the last compress() call
+};
+
+enum class CompressionKind { None, TopK, Quant8, Quant4 };
+
+std::unique_ptr<DeltaCompressor> make_compressor(CompressionKind kind,
+                                                 double topk_ratio = 0.1);
+const char* compression_name(CompressionKind kind);
+
+/// Error feedback (Seide et al. / EF-SGD): per-client residual memory that
+/// re-injects what compression dropped into the next round's delta, which
+/// recovers most of the accuracy a biased compressor loses. Keyed by client
+/// id; shapes must stay constant across that client's participations (true
+/// for the single-model runner).
+class ErrorFeedback {
+ public:
+  /// delta ← delta + residual[client]; call before compress().
+  void add_residual(int client, WeightSet& delta);
+  /// residual[client] ← pre − post; call after compress() with the delta
+  /// as it looked before (pre) and after (post) compression.
+  void store_residual(int client, const WeightSet& pre, const WeightSet& post);
+
+  bool has_residual(int client) const;
+  std::size_t tracked_clients() const { return residuals_.size(); }
+
+ private:
+  std::unordered_map<int, WeightSet> residuals_;
+};
+
+}  // namespace fedtrans

@@ -1,0 +1,73 @@
+#include "fl/local_train.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "nn/loss.hpp"
+
+namespace fedtrans {
+
+LocalTrainResult local_train(Model& model, const ClientData& data,
+                             const LocalTrainConfig& cfg, Rng& rng) {
+  FT_CHECK_MSG(data.train_size() > 0, "local_train on empty client shard");
+  LocalTrainResult res;
+  res.num_samples = data.train_size();
+
+  WeightSet start = model.weights();
+
+  SoftmaxCrossEntropy loss;
+  Sgd opt(model.params(), cfg.sgd);
+  Tensor x;
+  std::vector<int> y;
+  double loss_sum = 0.0;
+  for (int s = 0; s < cfg.steps; ++s) {
+    sample_batch(data, cfg.batch, rng, x, y);
+    Tensor logits = model.forward(x, /*train=*/true);
+    loss_sum += loss.forward(logits, y);
+    model.backward(loss.backward());
+    opt.step();
+  }
+  res.avg_loss = loss_sum / cfg.steps;
+  res.macs_used = 3.0 * static_cast<double>(model.macs()) * cfg.steps *
+                  cfg.batch;
+
+  res.delta = std::move(start);
+  WeightSet end = model.weights();
+  ws_sub(res.delta, end);  // delta = start - end
+  return res;
+}
+
+double evaluate_accuracy(Model& model, const ClientData& data,
+                         int eval_batch) {
+  const int n = data.eval_size();
+  if (n == 0) return 0.0;
+  const auto& shape = data.x_eval.shape();
+  const auto sample_sz = data.x_eval.numel() / shape[0];
+  int correct = 0;
+  for (int off = 0; off < n; off += eval_batch) {
+    const int b = std::min(eval_batch, n - off);
+    Tensor x({b, shape[1], shape[2], shape[3]});
+    std::copy_n(data.x_eval.data() + off * sample_sz, b * sample_sz, x.data());
+    Tensor logits = model.forward(x, /*train=*/false);
+    correct += count_correct(
+        logits, std::span<const int>(data.y_eval).subspan(
+                    static_cast<std::size_t>(off), static_cast<std::size_t>(b)));
+  }
+  return static_cast<double>(correct) / n;
+}
+
+double evaluate_loss(Model& model, const ClientData& data, int max_samples) {
+  const int n = std::min(data.train_size(), max_samples);
+  if (n == 0) return 0.0;
+  const auto& shape = data.x_train.shape();
+  const auto sample_sz = data.x_train.numel() / shape[0];
+  Tensor x({n, shape[1], shape[2], shape[3]});
+  std::copy_n(data.x_train.data(), n * sample_sz, x.data());
+  SoftmaxCrossEntropy loss;
+  Tensor logits = model.forward(x, /*train=*/false);
+  return loss.forward(logits,
+                      std::span<const int>(data.y_train).first(
+                          static_cast<std::size_t>(n)));
+}
+
+}  // namespace fedtrans

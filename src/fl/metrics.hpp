@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "common/serial.hpp"
+
+namespace fedtrans {
+
+/// Cost accounting matching the paper's Table 2 columns: training MACs,
+/// network transfer volume, and peak server-side model storage.
+class CostMeter {
+ public:
+  void add_training_macs(double macs) { total_macs_ += macs; }
+  void add_transfer(double down_bytes, double up_bytes) {
+    bytes_down_ += down_bytes;
+    bytes_up_ += up_bytes;
+  }
+  /// Record the current server-resident model footprint; the peak is kept.
+  void note_storage(double bytes) {
+    if (bytes > storage_peak_) storage_peak_ = bytes;
+  }
+  void add_client_round_time(double seconds) {
+    client_times_s_.push_back(seconds);
+  }
+
+  double total_macs() const { return total_macs_; }
+  double network_bytes() const { return bytes_down_ + bytes_up_; }
+  double network_mb() const { return network_bytes() / (1024.0 * 1024.0); }
+  double storage_bytes() const { return storage_peak_; }
+  double storage_mb() const { return storage_peak_ / (1024.0 * 1024.0); }
+  const std::vector<double>& client_times_s() const { return client_times_s_; }
+
+  /// Checkpointing: persist/restore all accumulated counters.
+  void save(std::ostream& os) const {
+    write_pod(os, total_macs_);
+    write_pod(os, bytes_down_);
+    write_pod(os, bytes_up_);
+    write_pod(os, storage_peak_);
+    write_vec(os, client_times_s_);
+  }
+  void load(std::istream& is) {
+    total_macs_ = read_pod<double>(is);
+    bytes_down_ = read_pod<double>(is);
+    bytes_up_ = read_pod<double>(is);
+    storage_peak_ = read_pod<double>(is);
+    client_times_s_ = read_vec<double>(is);
+  }
+
+ private:
+  double total_macs_ = 0.0;
+  double bytes_down_ = 0.0;
+  double bytes_up_ = 0.0;
+  double storage_peak_ = 0.0;
+  std::vector<double> client_times_s_;
+};
+
+/// Per-round log entry for cost-to-accuracy curves (Fig. 7).
+struct RoundRecord {
+  int round = 0;
+  double avg_loss = 0.0;
+  double cum_macs = 0.0;
+  /// Mean client accuracy at this round; -1 when not evaluated.
+  double accuracy = -1.0;
+  /// Simulated wall-clock of the synchronous round (slowest participant).
+  double round_time_s = 0.0;
+};
+
+}  // namespace fedtrans

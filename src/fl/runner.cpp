@@ -1,0 +1,175 @@
+#include "fl/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace fedtrans {
+
+FedAvgRunner::FedAvgRunner(Model init, const FederatedDataset& data,
+                           std::vector<DeviceProfile> fleet, FlRunConfig cfg)
+    : model_(std::move(init)),
+      data_(data),
+      fleet_(std::move(fleet)),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
+               "fleet size must match client count");
+  selector_ = make_selector(cfg_.selector);
+  compressor_ = make_compressor(cfg_.compression, cfg_.topk_ratio);
+  costs_.note_storage(static_cast<double>(model_.param_bytes()));
+}
+
+std::vector<int> FedAvgRunner::select_clients(int population, int k,
+                                              Rng& rng) {
+  std::vector<int> ids(static_cast<std::size_t>(population));
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.shuffle(ids);
+  ids.resize(static_cast<std::size_t>(std::min(k, population)));
+  return ids;
+}
+
+double FedAvgRunner::run_round() {
+  const int want = cfg_.overcommit > 0.0
+                       ? static_cast<int>(std::ceil(
+                             (1.0 + cfg_.overcommit) *
+                             cfg_.clients_per_round))
+                       : cfg_.clients_per_round;
+  auto selected = selector_->select(data_.num_clients(), want, rng_);
+  if (cfg_.respect_capacity) {
+    const double macs = static_cast<double>(model_.macs());
+    std::erase_if(selected, [&](int c) {
+      return fleet_[static_cast<std::size_t>(c)].capacity_macs < macs;
+    });
+  }
+
+  // Over-selection deadline: predict completion times, close the round at
+  // the configured quantile, and drop (but still bill) the late tail.
+  std::vector<int> dropped;
+  double deadline = 0.0;
+  if (!selected.empty() &&
+      (cfg_.overcommit > 0.0 || cfg_.deadline_quantile < 1.0)) {
+    std::vector<double> times;
+    times.reserve(selected.size());
+    for (int c : selected)
+      times.push_back(client_round_time_s(
+          fleet_[static_cast<std::size_t>(c)],
+          static_cast<double>(model_.macs()), cfg_.local.steps,
+          cfg_.local.batch, static_cast<double>(model_.param_bytes())));
+    deadline = percentile(times, 100.0 * cfg_.deadline_quantile);
+    std::vector<int> on_time;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      if (times[i] <= deadline &&
+          static_cast<int>(on_time.size()) < cfg_.clients_per_round) {
+        on_time.push_back(selected[i]);
+      } else {
+        dropped.push_back(selected[i]);
+      }
+    }
+    if (on_time.empty()) on_time.push_back(selected.front());  // degenerate
+    selected = std::move(on_time);
+  }
+
+  WeightSet global = model_.weights();
+  WeightSet acc = ws_zeros_like(global);
+  double weight_sum = 0.0;
+  double loss_sum = 0.0;
+  double slowest = 0.0;
+  const double model_bytes = static_cast<double>(model_.param_bytes());
+
+  int trained = 0;
+  for (int c : selected) {
+    Model local_model = model_;  // download global weights
+    Rng crng = rng_.fork();
+    auto res = local_train(local_model, data_.client(c), cfg_.local, crng);
+
+    // Uplink compression (EF-SGD: fold in this client's residual, compress,
+    // remember what was dropped for its next participation).
+    double up_bytes = model_bytes;
+    if (cfg_.compression != CompressionKind::None) {
+      if (cfg_.error_feedback) ef_.add_residual(c, res.delta);
+      const WeightSet pre = res.delta;
+      compressor_->compress(res.delta);
+      if (cfg_.error_feedback) ef_.store_residual(c, pre, res.delta);
+      up_bytes = compressor_->compressed_bytes(ws_numel(res.delta));
+    }
+
+    const double w = static_cast<double>(res.num_samples);
+    ws_axpy(acc, static_cast<float>(w), res.delta);
+    weight_sum += w;
+    loss_sum += res.avg_loss;
+    ++trained;
+    selector_->report(c, res.avg_loss, res.num_samples);
+
+    costs_.add_training_macs(res.macs_used);
+    costs_.add_transfer(model_bytes, up_bytes);
+    const double t = client_round_time_s(
+        fleet_[static_cast<std::size_t>(c)], static_cast<double>(model_.macs()),
+        cfg_.local.steps, cfg_.local.batch, model_bytes);
+    costs_.add_client_round_time(t);
+    slowest = std::max(slowest, t);
+  }
+
+  // Late clients trained and downloaded but never uploaded: their device
+  // compute and downlink are real costs; their updates are wasted.
+  for (int c : dropped) {
+    (void)c;
+    costs_.add_training_macs(3.0 * static_cast<double>(model_.macs()) *
+                             cfg_.local.steps * cfg_.local.batch);
+    costs_.add_transfer(model_bytes, 0.0);
+  }
+  if (deadline > 0.0) slowest = std::min(slowest, deadline);
+
+  double avg_loss = trained > 0 ? loss_sum / trained : 0.0;
+  if (weight_sum > 0.0) {
+    ws_scale(acc, static_cast<float>(1.0 / weight_sum));
+    if (!server_opt_) server_opt_ = make_server_opt(cfg_.server_opt);
+    server_opt_->apply(global, acc);
+    model_.set_weights(global);
+  }
+
+  RoundRecord rec;
+  rec.round = round_;
+  rec.avg_loss = avg_loss;
+  rec.cum_macs = costs_.total_macs();
+  rec.round_time_s = slowest;
+  if (cfg_.eval_every > 0 && (round_ % cfg_.eval_every == 0)) {
+    // Subsampled accuracy probe for learning curves.
+    Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(round_));
+    const int k = cfg_.eval_clients > 0
+                      ? std::min(cfg_.eval_clients, data_.num_clients())
+                      : data_.num_clients();
+    auto eval_ids = select_clients(data_.num_clients(), k, erng);
+    double acc_sum = 0.0;
+    for (int c : eval_ids)
+      acc_sum += evaluate_accuracy(model_, data_.client(c));
+    rec.accuracy = acc_sum / static_cast<double>(eval_ids.size());
+  }
+  history_.push_back(rec);
+  ++round_;
+  return avg_loss;
+}
+
+void FedAvgRunner::run() {
+  for (int r = 0; r < cfg_.rounds; ++r) run_round();
+}
+
+double FedAvgRunner::mean_client_accuracy() {
+  auto accs = per_client_accuracy();
+  double s = 0.0;
+  for (double a : accs) s += a;
+  return accs.empty() ? 0.0 : s / static_cast<double>(accs.size());
+}
+
+std::vector<double> FedAvgRunner::per_client_accuracy() {
+  std::vector<double> accs;
+  accs.reserve(static_cast<std::size_t>(data_.num_clients()));
+  for (int c = 0; c < data_.num_clients(); ++c)
+    accs.push_back(evaluate_accuracy(model_, data_.client(c)));
+  return accs;
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,83 @@
+#pragma once
+
+#include "data/dataset.hpp"
+#include "fl/compression.hpp"
+#include "fl/local_train.hpp"
+#include "fl/metrics.hpp"
+#include "fl/selection.hpp"
+#include "fl/server_opt.hpp"
+#include "model/model.hpp"
+#include "trace/device.hpp"
+
+namespace fedtrans {
+
+/// Configuration of a single-global-model FL run (the FedAvg substrate that
+/// baselines and several experiments build on).
+struct FlRunConfig {
+  int rounds = 50;
+  int clients_per_round = 10;
+  LocalTrainConfig local{};
+  ServerOptKind server_opt = ServerOptKind::FedAvg;
+  /// Participant selection policy (Uniform reproduces the paper protocol).
+  SelectorKind selector = SelectorKind::Uniform;
+  /// Uplink (client → server) delta compression; downlink stays dense.
+  CompressionKind compression = CompressionKind::None;
+  double topk_ratio = 0.1;
+  /// Per-client error feedback for biased compressors (EF-SGD).
+  bool error_feedback = false;
+  /// Straggler mitigation by over-selection (FedScale-style over-commit):
+  /// select ceil((1 + overcommit) × k) participants and close the round at
+  /// the `deadline_quantile` of their completion times. Late clients still
+  /// burn device compute (and receive the model) but their updates are
+  /// dropped. overcommit = 0 / quantile = 1 reproduces the paper protocol.
+  double overcommit = 0.0;
+  double deadline_quantile = 1.0;
+  /// Evaluate mean client accuracy every k rounds (0 = only on demand).
+  int eval_every = 0;
+  /// Client subsample size for periodic evaluation (0 = all clients).
+  int eval_clients = 32;
+  /// When true, clients whose capacity is below the model's MACs skip the
+  /// round (single-model FL typically ignores this — the straggler issue).
+  bool respect_capacity = false;
+  std::uint64_t seed = 1;
+};
+
+/// Classic single-model federated averaging over a simulated fleet.
+class FedAvgRunner {
+ public:
+  FedAvgRunner(Model init, const FederatedDataset& data,
+               std::vector<DeviceProfile> fleet, FlRunConfig cfg);
+
+  /// Execute one round; returns the mean participant training loss.
+  double run_round();
+  /// Execute cfg.rounds rounds.
+  void run();
+
+  Model& model() { return model_; }
+  const std::vector<RoundRecord>& history() const { return history_; }
+  const CostMeter& costs() const { return costs_; }
+  int rounds_done() const { return round_; }
+
+  /// Mean top-1 accuracy across every client's eval shard.
+  double mean_client_accuracy();
+  std::vector<double> per_client_accuracy();
+
+  /// Uniformly select k distinct clients (shared helper).
+  static std::vector<int> select_clients(int population, int k, Rng& rng);
+
+ private:
+  Model model_;
+  const FederatedDataset& data_;
+  std::vector<DeviceProfile> fleet_;
+  FlRunConfig cfg_;
+  Rng rng_;
+  CostMeter costs_;
+  std::vector<RoundRecord> history_;
+  std::unique_ptr<ServerOptimizer> server_opt_;
+  std::unique_ptr<ClientSelector> selector_;
+  std::unique_ptr<DeltaCompressor> compressor_;
+  ErrorFeedback ef_;
+  int round_ = 0;
+};
+
+}  // namespace fedtrans

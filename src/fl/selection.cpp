@@ -1,0 +1,181 @@
+#include "fl/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+/// k distinct uniform picks: full shuffle + truncate. Deliberately the same
+/// algorithm (and thus the same RNG consumption) as the pre-existing
+/// FedAvgRunner::select_clients, so a run configured with the default
+/// UniformSelector replays historical runs bit-identically.
+std::vector<int> uniform_distinct(int population, int k, Rng& rng) {
+  FT_CHECK_MSG(population > 0, "cannot select from an empty population");
+  std::vector<int> idx(static_cast<std::size_t>(population));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  idx.resize(static_cast<std::size_t>(std::min(k, population)));
+  return idx;
+}
+
+}  // namespace
+
+std::vector<int> UniformSelector::select(int population, int k, Rng& rng) {
+  return uniform_distinct(population, k, rng);
+}
+
+void OortSelector::ensure_size(int population) {
+  if (static_cast<int>(utility_.size()) < population) {
+    utility_.resize(static_cast<std::size_t>(population), 0.0);
+    last_round_.resize(static_cast<std::size_t>(population), -1);
+    explored_.resize(static_cast<std::size_t>(population), false);
+  }
+}
+
+double OortSelector::utility(int client) const {
+  FT_CHECK(client >= 0 &&
+           client < static_cast<int>(utility_.size()));
+  return utility_[static_cast<std::size_t>(client)];
+}
+
+void OortSelector::report(int client, double loss, int samples) {
+  ensure_size(client + 1);
+  // Oort's statistical utility: |loss| × sqrt(#samples). Non-finite losses
+  // (diverged clients) score zero rather than poisoning the ranking.
+  const double u = std::isfinite(loss)
+                       ? std::fabs(loss) * std::sqrt(std::max(1, samples))
+                       : 0.0;
+  utility_[static_cast<std::size_t>(client)] = u;
+}
+
+std::vector<int> OortSelector::select(int population, int k, Rng& rng) {
+  ensure_size(population);
+  k = std::min(k, population);
+  ++round_;
+
+  const int n_explore = std::min(
+      k, static_cast<int>(std::lround(opts_.epsilon * k)));
+  const int n_exploit = k - n_explore;
+
+  // Exploit: rank explored clients by utility + staleness bonus.
+  std::vector<int> explored_clients;
+  for (int c = 0; c < population; ++c)
+    if (explored_[static_cast<std::size_t>(c)]) explored_clients.push_back(c);
+  auto score = [&](int c) {
+    const double staleness =
+        last_round_[static_cast<std::size_t>(c)] < 0
+            ? 0.0
+            : std::sqrt(static_cast<double>(
+                  round_ - last_round_[static_cast<std::size_t>(c)]));
+    return utility_[static_cast<std::size_t>(c)] +
+           opts_.staleness_bonus * staleness;
+  };
+  std::sort(explored_clients.begin(), explored_clients.end(),
+            [&](int a, int b) {
+              const double sa = score(a), sb = score(b);
+              return sa != sb ? sa > sb : a < b;
+            });
+
+  std::vector<int> chosen;
+  std::vector<bool> taken(static_cast<std::size_t>(population), false);
+  for (int c : explored_clients) {
+    if (static_cast<int>(chosen.size()) >= n_exploit) break;
+    chosen.push_back(c);
+    taken[static_cast<std::size_t>(c)] = true;
+  }
+
+  // Explore: uniform over the never-selected remainder (fall back to any
+  // not-yet-taken client when everyone has been explored).
+  std::vector<int> fresh, rest;
+  for (int c = 0; c < population; ++c) {
+    if (taken[static_cast<std::size_t>(c)]) continue;
+    (explored_[static_cast<std::size_t>(c)] ? rest : fresh).push_back(c);
+  }
+  rng.shuffle(fresh);
+  rng.shuffle(rest);
+  for (int c : fresh) {
+    if (static_cast<int>(chosen.size()) >= k) break;
+    chosen.push_back(c);
+  }
+  for (int c : rest) {
+    if (static_cast<int>(chosen.size()) >= k) break;
+    chosen.push_back(c);
+  }
+
+  for (int c : chosen) {
+    explored_[static_cast<std::size_t>(c)] = true;
+    last_round_[static_cast<std::size_t>(c)] = round_;
+  }
+  return chosen;
+}
+
+void OortSelector::save_state(std::ostream& os) const {
+  write_vec(os, utility_);
+  write_vec(os, last_round_);
+  std::vector<std::uint8_t> explored(explored_.size());
+  for (std::size_t i = 0; i < explored_.size(); ++i)
+    explored[i] = explored_[i] ? 1 : 0;
+  write_vec(os, explored);
+  write_pod<std::int32_t>(os, round_);
+}
+
+void OortSelector::load_state(std::istream& is) {
+  utility_ = read_vec<double>(is);
+  last_round_ = read_vec<int>(is);
+  const auto explored = read_vec<std::uint8_t>(is);
+  explored_.assign(explored.size(), false);
+  for (std::size_t i = 0; i < explored.size(); ++i)
+    explored_[i] = explored[i] != 0;
+  round_ = read_pod<std::int32_t>(is);
+}
+
+void PowerOfChoiceSelector::save_state(std::ostream& os) const {
+  write_vec(os, last_loss_);
+}
+
+void PowerOfChoiceSelector::load_state(std::istream& is) {
+  last_loss_ = read_vec<double>(is);
+}
+
+void PowerOfChoiceSelector::report(int client, double loss, int /*samples*/) {
+  if (static_cast<int>(last_loss_.size()) <= client)
+    last_loss_.resize(static_cast<std::size_t>(client) + 1, 0.0);
+  last_loss_[static_cast<std::size_t>(client)] =
+      std::isfinite(loss) ? loss : 0.0;
+}
+
+std::vector<int> PowerOfChoiceSelector::select(int population, int k,
+                                               Rng& rng) {
+  FT_CHECK(factor_ >= 1);
+  k = std::min(k, population);
+  if (static_cast<int>(last_loss_.size()) < population)
+    last_loss_.resize(static_cast<std::size_t>(population), 0.0);
+  auto candidates = uniform_distinct(population, std::min(population,
+                                                          factor_ * k),
+                                     rng);
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    const double la = last_loss_[static_cast<std::size_t>(a)];
+    const double lb = last_loss_[static_cast<std::size_t>(b)];
+    return la != lb ? la > lb : a < b;
+  });
+  candidates.resize(static_cast<std::size_t>(k));
+  return candidates;
+}
+
+std::unique_ptr<ClientSelector> make_selector(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::Uniform: return std::make_unique<UniformSelector>();
+    case SelectorKind::Oort: return std::make_unique<OortSelector>();
+    case SelectorKind::PowerOfChoice:
+      return std::make_unique<PowerOfChoiceSelector>();
+  }
+  return std::make_unique<UniformSelector>();
+}
+
+}  // namespace fedtrans

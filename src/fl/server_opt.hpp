@@ -1,0 +1,112 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "fl/weights.hpp"
+
+namespace fedtrans {
+
+/// Server-side optimizer: consumes the sample-weighted average client delta
+/// (w_global − w_client_end) each round and updates the global weights.
+/// The adaptive family (FedAdagrad / FedYogi / FedAdam) follows Reddi et
+/// al., "Adaptive Federated Optimization" — the paper's Fig. 8 shows
+/// FedTrans composing with these server optimizers.
+class ServerOptimizer {
+ public:
+  virtual ~ServerOptimizer() = default;
+  virtual void apply(WeightSet& global, const WeightSet& avg_delta) = 0;
+  virtual std::string name() const = 0;
+
+  /// Serialize/restore internal state (momenta etc.) for checkpointing.
+  /// Stateless optimizers write/read nothing.
+  virtual void save_state(std::ostream&) const {}
+  virtual void load_state(std::istream&) {}
+};
+
+/// FedAvg: w ← w − lr · Δ (lr = 1 recovers classic FedAvg).
+class FedAvgServerOpt : public ServerOptimizer {
+ public:
+  explicit FedAvgServerOpt(double lr = 1.0) : lr_(lr) {}
+  void apply(WeightSet& global, const WeightSet& avg_delta) override;
+  std::string name() const override { return "FedAvg"; }
+
+ private:
+  double lr_;
+};
+
+/// FedAvgM: server momentum over the average delta,
+///   m ← β m + Δ;  w ← w − lr · m.
+class FedAvgMServerOpt : public ServerOptimizer {
+ public:
+  explicit FedAvgMServerOpt(double lr = 1.0, double beta = 0.9)
+      : lr_(lr), beta_(beta) {}
+  void apply(WeightSet& global, const WeightSet& avg_delta) override;
+  std::string name() const override { return "FedAvgM"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+ private:
+  double lr_, beta_;
+  WeightSet m_;
+};
+
+/// FedYogi (adaptive server optimizer; Reddi et al.):
+///   m ← β1 m + (1−β1) Δ
+///   v ← v − (1−β2) Δ² · sign(v − Δ²)
+///   w ← w − η · m / (sqrt(v) + τ)
+class FedYogiServerOpt : public ServerOptimizer {
+ public:
+  explicit FedYogiServerOpt(double eta = 0.03, double beta1 = 0.9,
+                            double beta2 = 0.99, double tau = 1e-3)
+      : eta_(eta), beta1_(beta1), beta2_(beta2), tau_(tau) {}
+  void apply(WeightSet& global, const WeightSet& avg_delta) override;
+  std::string name() const override { return "FedYogi"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+ private:
+  double eta_, beta1_, beta2_, tau_;
+  WeightSet m_, v_;
+};
+
+/// FedAdam: like FedYogi but with the Adam second-moment update
+///   v ← β2 v + (1−β2) Δ².
+class FedAdamServerOpt : public ServerOptimizer {
+ public:
+  explicit FedAdamServerOpt(double eta = 0.03, double beta1 = 0.9,
+                            double beta2 = 0.99, double tau = 1e-3)
+      : eta_(eta), beta1_(beta1), beta2_(beta2), tau_(tau) {}
+  void apply(WeightSet& global, const WeightSet& avg_delta) override;
+  std::string name() const override { return "FedAdam"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+ private:
+  double eta_, beta1_, beta2_, tau_;
+  WeightSet m_, v_;
+};
+
+/// FedAdagrad: accumulating second moment
+///   v ← v + Δ²;  w ← w − η · Δ / (sqrt(v) + τ).
+class FedAdagradServerOpt : public ServerOptimizer {
+ public:
+  explicit FedAdagradServerOpt(double eta = 0.03, double tau = 1e-3)
+      : eta_(eta), tau_(tau) {}
+  void apply(WeightSet& global, const WeightSet& avg_delta) override;
+  std::string name() const override { return "FedAdagrad"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+ private:
+  double eta_, tau_;
+  WeightSet v_;
+};
+
+enum class ServerOptKind { FedAvg, FedAvgM, FedYogi, FedAdam, FedAdagrad };
+
+std::unique_ptr<ServerOptimizer> make_server_opt(ServerOptKind kind);
+const char* server_opt_name(ServerOptKind kind);
+
+}  // namespace fedtrans

@@ -1,0 +1,50 @@
+#include "fl/weights.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+void ws_add(WeightSet& a, const WeightSet& b) {
+  FT_CHECK(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i].add_(b[i]);
+}
+
+void ws_sub(WeightSet& a, const WeightSet& b) {
+  FT_CHECK(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i].sub_(b[i]);
+}
+
+void ws_scale(WeightSet& a, float s) {
+  for (auto& t : a) t.mul_(s);
+}
+
+void ws_axpy(WeightSet& a, float s, const WeightSet& b) {
+  FT_CHECK(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i].axpy_(s, b[i]);
+}
+
+WeightSet ws_zeros_like(const WeightSet& like) {
+  WeightSet out;
+  out.reserve(like.size());
+  for (const auto& t : like) out.emplace_back(t.shape());
+  return out;
+}
+
+std::int64_t ws_numel(const WeightSet& ws) {
+  std::int64_t n = 0;
+  for (const auto& t : ws) n += t.numel();
+  return n;
+}
+
+double ws_l2_norm(const WeightSet& ws) {
+  double s = 0.0;
+  for (const auto& t : ws) {
+    const double n = t.l2_norm();
+    s += n * n;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace fedtrans

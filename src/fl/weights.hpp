@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fedtrans {
+
+/// A model's weights as an ordered tensor list (order = Model::params()).
+using WeightSet = std::vector<Tensor>;
+
+/// a += b (element-wise across the set; shapes must match).
+void ws_add(WeightSet& a, const WeightSet& b);
+/// a -= b.
+void ws_sub(WeightSet& a, const WeightSet& b);
+/// a *= s.
+void ws_scale(WeightSet& a, float s);
+/// a += s * b.
+void ws_axpy(WeightSet& a, float s, const WeightSet& b);
+/// Zero-initialized set with the same shapes as `like`.
+WeightSet ws_zeros_like(const WeightSet& like);
+/// Total element count.
+std::int64_t ws_numel(const WeightSet& ws);
+/// sqrt(sum of squared entries).
+double ws_l2_norm(const WeightSet& ws);
+
+}  // namespace fedtrans

@@ -1,0 +1,183 @@
+#include "harness/experiments.hpp"
+
+#include "baselines/fedrolex.hpp"
+#include "baselines/fluid.hpp"
+#include "baselines/hetero_fl.hpp"
+#include "baselines/split_mix.hpp"
+#include "common/stats.hpp"
+#include "fl/runner.hpp"
+#include "nn/loss.hpp"
+
+namespace fedtrans {
+
+namespace {
+BaselineConfig to_baseline_cfg(const FedTransConfig& ft, int eval_every) {
+  BaselineConfig cfg;
+  cfg.rounds = ft.rounds;
+  cfg.clients_per_round = ft.clients_per_round;
+  cfg.local = ft.local;
+  cfg.eval_every = eval_every;
+  cfg.eval_clients = ft.eval_clients;
+  cfg.seed = ft.seed;
+  return cfg;
+}
+}  // namespace
+
+MethodResult run_fedtrans(const ExperimentPreset& p, int eval_every) {
+  return run_fedtrans_cfg(p, p.fedtrans, eval_every);
+}
+
+MethodResult run_fedtrans_cfg(const ExperimentPreset& p,
+                              const FedTransConfig& cfg_in, int eval_every) {
+  FedTransConfig cfg = cfg_in;
+  cfg.eval_every = eval_every;
+  auto data = FederatedDataset::generate(p.dataset);
+  auto fleet = sample_fleet(p.fleet);
+  FedTransTrainer trainer(p.initial_model, data, fleet, cfg);
+  trainer.run();
+  auto ev = trainer.evaluate_final();
+
+  MethodResult res;
+  res.method = "FedTrans";
+  res.report.client_accuracy = ev.client_accuracy;
+  res.report.mean_accuracy = ev.mean_accuracy;
+  res.report.accuracy_iqr = ev.accuracy_iqr;
+  res.report.costs = trainer.costs();
+  res.report.history = trainer.history();
+  res.num_models = trainer.num_models();
+  Model& largest = trainer.model(trainer.num_models() - 1);
+  res.largest_spec = largest.spec();
+  res.largest_macs = static_cast<double>(largest.macs());
+  return res;
+}
+
+MethodResult run_heterofl(const ExperimentPreset& p, const ModelSpec& largest,
+                          int eval_every) {
+  auto data = FederatedDataset::generate(p.dataset);
+  auto fleet = sample_fleet(p.fleet);
+  HeteroFLRunner runner(largest, data, fleet,
+                        to_baseline_cfg(p.fedtrans, eval_every));
+  runner.run();
+  MethodResult res;
+  res.method = "HeteroFL";
+  res.report = runner.report();
+  res.largest_spec = largest;
+  res.largest_macs = static_cast<double>(runner.global().macs());
+  return res;
+}
+
+MethodResult run_splitmix(const ExperimentPreset& p, const ModelSpec& largest,
+                          int eval_every) {
+  auto data = FederatedDataset::generate(p.dataset);
+  auto fleet = sample_fleet(p.fleet);
+  SplitMixRunner runner(largest, data, fleet,
+                        to_baseline_cfg(p.fedtrans, eval_every));
+  runner.run();
+  MethodResult res;
+  res.method = "SplitMix";
+  res.report = runner.report();
+  res.num_models = runner.num_bases();
+  res.largest_spec = largest;
+  return res;
+}
+
+MethodResult run_fedrolex(const ExperimentPreset& p, const ModelSpec& largest,
+                          int eval_every) {
+  auto data = FederatedDataset::generate(p.dataset);
+  auto fleet = sample_fleet(p.fleet);
+  FedRolexRunner runner(largest, data, fleet,
+                        to_baseline_cfg(p.fedtrans, eval_every));
+  runner.run();
+  MethodResult res;
+  res.method = "FedRolex";
+  res.report = runner.report();
+  res.num_models = runner.num_levels();
+  res.largest_spec = largest;
+  res.largest_macs = static_cast<double>(runner.global().macs());
+  return res;
+}
+
+MethodResult run_fluid(const ExperimentPreset& p, const ModelSpec& largest,
+                       int eval_every) {
+  auto data = FederatedDataset::generate(p.dataset);
+  auto fleet = sample_fleet(p.fleet);
+  FluidRunner runner(largest, data, fleet,
+                     to_baseline_cfg(p.fedtrans, eval_every));
+  runner.run();
+  MethodResult res;
+  res.method = "FLuID";
+  res.report = runner.report();
+  res.largest_spec = largest;
+  res.largest_macs = static_cast<double>(runner.global().macs());
+  return res;
+}
+
+MethodResult run_single_model(const ExperimentPreset& p, const ModelSpec& spec,
+                              ServerOptKind opt, double prox_mu,
+                              int eval_every) {
+  auto data = FederatedDataset::generate(p.dataset);
+  auto fleet = sample_fleet(p.fleet);
+  FlRunConfig cfg;
+  cfg.rounds = p.fedtrans.rounds;
+  cfg.clients_per_round = p.fedtrans.clients_per_round;
+  cfg.local = p.fedtrans.local;
+  cfg.local.sgd.prox_mu = prox_mu;
+  cfg.server_opt = opt;
+  cfg.eval_every = eval_every;
+  cfg.eval_clients = p.fedtrans.eval_clients;
+  cfg.seed = p.fedtrans.seed;
+  Rng rng(p.fedtrans.seed + 41);
+  FedAvgRunner runner(Model(spec, rng), data, fleet, cfg);
+  runner.run();
+
+  MethodResult res;
+  res.method = opt == ServerOptKind::FedYogi
+                   ? "FedYogi"
+                   : (prox_mu > 0.0 ? "FedProx" : "FedAvg");
+  res.report.client_accuracy = runner.per_client_accuracy();
+  res.report.mean_accuracy = mean(res.report.client_accuracy);
+  res.report.accuracy_iqr = iqr(res.report.client_accuracy);
+  res.report.costs = runner.costs();
+  res.report.history = runner.history();
+  res.largest_spec = spec;
+  res.largest_macs = static_cast<double>(runner.model().macs());
+  return res;
+}
+
+MethodResult run_centralized(const ExperimentPreset& p,
+                             const ModelSpec& spec) {
+  auto data = FederatedDataset::generate(p.dataset);
+  auto pooled = data.pooled();
+  Rng rng(p.fedtrans.seed + 73);
+  Model model(spec, rng);
+
+  // Same optimizer budget as one FL run: rounds × clients × local steps.
+  const int total_steps =
+      p.fedtrans.rounds * p.fedtrans.clients_per_round * p.fedtrans.local.steps;
+  SoftmaxCrossEntropy loss;
+  Sgd sgd(model.params(), p.fedtrans.local.sgd);
+  Tensor x;
+  std::vector<int> y;
+  MethodResult res;
+  res.method = "Centralized";
+  for (int s = 0; s < total_steps; ++s) {
+    sample_batch(pooled, p.fedtrans.local.batch, rng, x, y);
+    Tensor logits = model.forward(x, true);
+    loss.forward(logits, y);
+    model.backward(loss.backward());
+    sgd.step();
+    res.report.costs.add_training_macs(3.0 *
+                                       static_cast<double>(model.macs()) *
+                                       p.fedtrans.local.batch);
+  }
+  for (int c = 0; c < data.num_clients(); ++c)
+    res.report.client_accuracy.push_back(
+        evaluate_accuracy(model, data.client(c)));
+  res.report.mean_accuracy = mean(res.report.client_accuracy);
+  res.report.accuracy_iqr = iqr(res.report.client_accuracy);
+  res.largest_spec = spec;
+  res.largest_macs = static_cast<double>(model.macs());
+  return res;
+}
+
+}  // namespace fedtrans

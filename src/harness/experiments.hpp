@@ -1,0 +1,46 @@
+#pragma once
+
+#include "baselines/common.hpp"
+#include "fl/server_opt.hpp"
+#include "harness/presets.hpp"
+
+namespace fedtrans {
+
+/// Uniform per-method result consumed by the table/figure benches.
+struct MethodResult {
+  std::string method;
+  BaselineReport report;
+  int num_models = 1;
+  /// Largest model in the family (== the single model for baselines).
+  ModelSpec largest_spec;
+  double largest_macs = 0.0;
+};
+
+/// Run FedTrans on a preset. `eval_every` > 0 records accuracy probes in the
+/// history (for Fig. 7 curves). The returned largest_spec is what the
+/// paper's protocol feeds to HeteroFL/SplitMix/FLuID.
+MethodResult run_fedtrans(const ExperimentPreset& p, int eval_every = 0);
+/// Same but with an explicit (ablated / swept) FedTransConfig.
+MethodResult run_fedtrans_cfg(const ExperimentPreset& p,
+                              const FedTransConfig& cfg, int eval_every = 0);
+
+MethodResult run_heterofl(const ExperimentPreset& p, const ModelSpec& largest,
+                          int eval_every = 0);
+MethodResult run_splitmix(const ExperimentPreset& p, const ModelSpec& largest,
+                          int eval_every = 0);
+MethodResult run_fluid(const ExperimentPreset& p, const ModelSpec& largest,
+                       int eval_every = 0);
+/// FedRolex (extension baseline): rolling sub-model extraction.
+MethodResult run_fedrolex(const ExperimentPreset& p, const ModelSpec& largest,
+                          int eval_every = 0);
+
+/// Single-global-model FL (FedAvg / FedProx via prox_mu / FedYogi).
+MethodResult run_single_model(const ExperimentPreset& p, const ModelSpec& spec,
+                              ServerOptKind opt = ServerOptKind::FedAvg,
+                              double prox_mu = 0.0, int eval_every = 0);
+
+/// Centralized ("cloud ML") upper bound: pool all client data, train `spec`
+/// with plain SGD for the same optimizer budget.
+MethodResult run_centralized(const ExperimentPreset& p, const ModelSpec& spec);
+
+}  // namespace fedtrans

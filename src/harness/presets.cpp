@@ -1,0 +1,174 @@
+#include "harness/presets.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fedtrans {
+
+Scale bench_scale() {
+  const char* env = std::getenv("FEDTRANS_BENCH_SCALE");
+  if (env == nullptr) return Scale::Tiny;
+  if (std::strcmp(env, "full") == 0) return Scale::Full;
+  if (std::strcmp(env, "small") == 0) return Scale::Small;
+  return Scale::Tiny;
+}
+
+const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return "tiny";
+    case Scale::Small: return "small";
+    case Scale::Full: return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+int pick(Scale s, int tiny, int small, int full) {
+  switch (s) {
+    case Scale::Tiny: return tiny;
+    case Scale::Small: return small;
+    case Scale::Full: return full;
+  }
+  return tiny;
+}
+
+/// Shared FL/FedTrans knobs; per-dataset presets override a few fields.
+FedTransConfig base_config(Scale s, std::uint64_t seed) {
+  FedTransConfig cfg;
+  cfg.rounds = pick(s, 40, 70, 150);
+  cfg.clients_per_round = pick(s, 10, 14, 25);
+  cfg.local.steps = pick(s, 8, 15, 20);
+  cfg.local.batch = 10;
+  cfg.local.sgd.lr = 0.05;
+  cfg.local.sgd.momentum = 0.0;
+  cfg.gamma = pick(s, 5, 6, 10);
+  cfg.doc_delta = pick(s, 5, 6, 8);
+  // The paper's β=0.003 is tuned for 2000-round loss curves; our reduced
+  // budgets have proportionally steeper per-round slopes.
+  cfg.beta = s == Scale::Tiny ? 0.04 : (s == Scale::Small ? 0.02 : 0.008);
+  cfg.act_window = pick(s, 3, 5, 5);
+  cfg.max_models = pick(s, 3, 5, 6);
+  cfg.alpha = 0.9;
+  cfg.eta = 0.98;
+  cfg.widen_factor = 2.0;
+  cfg.deepen_blocks = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+FleetConfig base_fleet(int num_clients, double initial_macs,
+                       std::uint64_t seed) {
+  FleetConfig f;
+  f.num_devices = num_clients;
+  f.sigma_compute = 1.0;
+  f.sigma_bandwidth = 0.8;
+  f.median_bandwidth_bytes_per_s = 4e5;
+  f.latency_budget_s = 0.004;
+  f.seed = seed;
+  // Median device ~4× the initial model's cost: the weak tail can only run
+  // the initial model (§5.1: "initial complexity = weakest client") while
+  // the strong tail has ~50× headroom — so capacity constraints genuinely
+  // bite for baselines that ship one large model.
+  f.with_median_capacity(4.0 * initial_macs);
+  return f;
+}
+
+double spec_macs(const ModelSpec& spec) {
+  Rng tmp(3);
+  return static_cast<double>(Model(spec, tmp).macs());
+}
+
+}  // namespace
+
+ExperimentPreset cifar_like(Scale s, std::uint64_t seed) {
+  ExperimentPreset p;
+  p.name = "cifar-like";
+  p.dataset.name = p.name;
+  p.dataset.num_classes = 10;
+  p.dataset.channels = 3;
+  p.dataset.hw = 12;
+  p.dataset.num_clients = pick(s, 24, 48, 100);
+  p.dataset.dirichlet_h = 0.5;
+  p.dataset.mean_train_samples = 30;
+  p.dataset.eval_samples = 10;
+  p.dataset.seed = seed * 101 + 11;
+  // MobileNetV3-small stand-in: two conv cells, second downsampling.
+  p.initial_model = ModelSpec::conv(3, 12, 10, /*stem=*/3, {4, 6}, {1, 1},
+                                    {1, 2});
+  p.fedtrans = base_config(s, seed);
+  p.fleet = base_fleet(p.dataset.num_clients, spec_macs(p.initial_model),
+                       seed * 7 + 3);
+  return p;
+}
+
+ExperimentPreset femnist_like(Scale s, std::uint64_t seed) {
+  ExperimentPreset p;
+  p.name = "femnist-like";
+  p.dataset.name = p.name;
+  p.dataset.num_classes = pick(s, 10, 24, 32);
+  p.dataset.channels = 1;
+  p.dataset.hw = 12;
+  p.dataset.num_clients = pick(s, 32, 80, 200);
+  p.dataset.dirichlet_h = 0.3;  // FEMNIST's writer partition is very skewed
+  p.dataset.mean_train_samples = 30;
+  p.dataset.eval_samples = 10;
+  p.dataset.seed = seed * 101 + 23;
+  // NASBench201 base-model stand-in.
+  p.initial_model = ModelSpec::conv(1, 12, p.dataset.num_classes, 4, {6, 8},
+                                    {1, 1}, {1, 2});
+  p.fedtrans = base_config(s, seed);
+  p.fleet = base_fleet(p.dataset.num_clients, spec_macs(p.initial_model),
+                       seed * 7 + 5);
+  return p;
+}
+
+ExperimentPreset speech_like(Scale s, std::uint64_t seed) {
+  ExperimentPreset p;
+  p.name = "speech-like";
+  p.dataset.name = p.name;
+  p.dataset.num_classes = pick(s, 10, 16, 35);
+  p.dataset.channels = 1;
+  p.dataset.hw = 12;
+  p.dataset.num_clients = pick(s, 28, 64, 160);
+  p.dataset.dirichlet_h = 0.5;
+  p.dataset.mean_train_samples = 28;
+  p.dataset.eval_samples = 10;
+  p.dataset.seed = seed * 101 + 37;
+  // Small-ResNet18 stand-in: residual cells with two blocks each.
+  p.initial_model = ModelSpec::conv(1, 12, p.dataset.num_classes, 3, {4, 6},
+                                    {2, 2}, {1, 2});
+  p.fedtrans = base_config(s, seed);
+  p.fedtrans.doc_delta += 1;  // paper uses the largest δ for Speech
+  p.fleet = base_fleet(p.dataset.num_clients, spec_macs(p.initial_model),
+                       seed * 7 + 9);
+  return p;
+}
+
+ExperimentPreset openimage_like(Scale s, std::uint64_t seed) {
+  ExperimentPreset p;
+  p.name = "openimage-like";
+  p.dataset.name = p.name;
+  p.dataset.num_classes = pick(s, 16, 30, 60);
+  p.dataset.channels = 3;
+  p.dataset.hw = 12;
+  p.dataset.num_clients = pick(s, 40, 96, 240);
+  p.dataset.dirichlet_h = 0.3;
+  p.dataset.mean_train_samples = 26;
+  p.dataset.eval_samples = 10;
+  p.dataset.seed = seed * 101 + 53;
+  p.initial_model = ModelSpec::conv(3, 12, p.dataset.num_classes, 4, {6, 8},
+                                    {1, 2}, {1, 2});
+  p.fedtrans = base_config(s, seed);
+  p.fedtrans.clients_per_round = pick(s, 6, 12, 25);
+  p.fleet = base_fleet(p.dataset.num_clients, spec_macs(p.initial_model),
+                       seed * 7 + 13);
+  return p;
+}
+
+std::vector<ExperimentPreset> all_presets(Scale s, std::uint64_t seed) {
+  return {cifar_like(s, seed), femnist_like(s, seed), speech_like(s, seed),
+          openimage_like(s, seed)};
+}
+
+}  // namespace fedtrans

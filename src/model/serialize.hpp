@@ -1,0 +1,18 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "model/model.hpp"
+
+namespace fedtrans {
+
+/// Persist a model (architecture spec + all weights) to a binary stream /
+/// file. Format: magic, spec text block, tensor count, tensors in params()
+/// order. Round-trips exactly (bit-identical weights).
+void save_model(Model& model, std::ostream& os);
+Model load_model(std::istream& is);
+
+void save_model_file(Model& model, const std::string& path);
+Model load_model_file(const std::string& path);
+
+}  // namespace fedtrans

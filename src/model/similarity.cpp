@@ -1,0 +1,29 @@
+#include "model/similarity.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fedtrans {
+
+double model_similarity(const ModelSpec& a, const ModelSpec& b) {
+  if (a.cells.empty() || b.cells.empty()) return 0.0;
+  const auto pa = cell_param_counts(a);
+  const auto pb = cell_param_counts(b);
+  std::unordered_map<std::uint64_t, std::int64_t> by_id;
+  by_id.reserve(a.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) by_id[a.cells[i].id] = pa[i];
+
+  double total = 0.0;
+  for (std::size_t j = 0; j < b.cells.size(); ++j) {
+    auto it = by_id.find(b.cells[j].id);
+    if (it == by_id.end()) continue;  // inserted cell: no inherited weights
+    const double lo = static_cast<double>(std::min(it->second, pb[j]));
+    const double hi = static_cast<double>(std::max(it->second, pb[j]));
+    if (hi > 0.0) total += lo / hi;
+  }
+  const double denom =
+      static_cast<double>(std::max(a.cells.size(), b.cells.size()));
+  return std::clamp(total / denom, 0.0, 1.0);
+}
+
+}  // namespace fedtrans

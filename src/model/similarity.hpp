@@ -1,0 +1,17 @@
+#pragma once
+
+#include "model/spec.hpp"
+
+namespace fedtrans {
+
+/// Architectural similarity sim(A, B) ∈ [0, 1] between two models of the
+/// same lineage family (§4.2). Cells are matched by their stable lineage
+/// ids; each matched Cell contributes the fraction of inherited parameters
+/// min(#param_A, #param_B) / max(#param_A, #param_B) (1 when unchanged,
+/// < 1 when one side was widened); unmatched Cells (inserted by deepening)
+/// contribute 0. The per-Cell scores are averaged over the larger Cell
+/// count. This reduces to the paper's parent/child matching-degree rule and
+/// extends it to arbitrary pairs within a family tree.
+double model_similarity(const ModelSpec& a, const ModelSpec& b);
+
+}  // namespace fedtrans

@@ -1,0 +1,201 @@
+#include "model/spec.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+namespace {
+const char* kind_name(CellKind k) {
+  switch (k) {
+    case CellKind::Conv: return "conv";
+    case CellKind::Mlp: return "mlp";
+    case CellKind::Attention: return "attention";
+  }
+  return "?";
+}
+
+CellKind parse_kind(const std::string& s) {
+  if (s == "conv") return CellKind::Conv;
+  if (s == "mlp") return CellKind::Mlp;
+  if (s == "attention") return CellKind::Attention;
+  throw Error("unknown cell kind: " + s);
+}
+}  // namespace
+
+ModelSpec ModelSpec::conv(int in_channels, int in_hw, int num_classes,
+                          int stem_width, const std::vector<int>& cell_widths,
+                          const std::vector<int>& cell_blocks,
+                          const std::vector<int>& strides) {
+  FT_CHECK(!cell_widths.empty());
+  ModelSpec s;
+  s.kind = CellKind::Conv;
+  s.in_channels = in_channels;
+  s.in_hw = in_hw;
+  s.num_classes = num_classes;
+  s.stem_width = stem_width;
+  for (std::size_t i = 0; i < cell_widths.size(); ++i) {
+    CellSpec c;
+    c.kind = CellKind::Conv;
+    c.width = cell_widths[i];
+    c.blocks = i < cell_blocks.size() ? cell_blocks[i] : 1;
+    c.stride = i < strides.size() ? strides[i] : 1;
+    c.residual = true;
+    c.id = s.fresh_cell_id();
+    s.cells.push_back(c);
+  }
+  return s;
+}
+
+ModelSpec ModelSpec::mlp(int in_features, int num_classes, int stem_width,
+                         const std::vector<int>& cell_widths,
+                         const std::vector<int>& cell_blocks) {
+  FT_CHECK(!cell_widths.empty());
+  ModelSpec s;
+  s.kind = CellKind::Mlp;
+  s.in_channels = in_features;
+  s.in_hw = 1;
+  s.num_classes = num_classes;
+  s.stem_width = stem_width;
+  for (std::size_t i = 0; i < cell_widths.size(); ++i) {
+    CellSpec c;
+    c.kind = CellKind::Mlp;
+    c.width = cell_widths[i];
+    c.blocks = i < cell_blocks.size() ? cell_blocks[i] : 1;
+    c.residual = true;
+    c.id = s.fresh_cell_id();
+    s.cells.push_back(c);
+  }
+  return s;
+}
+
+ModelSpec ModelSpec::attention(int in_channels, int in_hw, int num_classes,
+                               int patch, int embed_dim,
+                               const std::vector<int>& mlp_hidden,
+                               const std::vector<int>& cell_blocks) {
+  FT_CHECK(!mlp_hidden.empty());
+  FT_CHECK_MSG(in_hw % patch == 0, "in_hw must be divisible by patch size");
+  ModelSpec s;
+  s.kind = CellKind::Attention;
+  s.in_channels = in_channels;
+  s.in_hw = in_hw;
+  s.num_classes = num_classes;
+  s.patch = patch;
+  s.embed_dim = embed_dim;
+  s.stem_width = embed_dim;
+  for (std::size_t i = 0; i < mlp_hidden.size(); ++i) {
+    CellSpec c;
+    c.kind = CellKind::Attention;
+    c.width = mlp_hidden[i];
+    c.blocks = i < cell_blocks.size() ? cell_blocks[i] : 1;
+    c.residual = true;
+    c.id = s.fresh_cell_id();
+    s.cells.push_back(c);
+  }
+  return s;
+}
+
+std::string ModelSpec::summary() const {
+  std::ostringstream os;
+  os << name << "[" << kind_name(kind) << " ";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os << "-";
+    os << cells[i].width;
+    if (cells[i].blocks > 1) os << "x" << cells[i].blocks;
+    if (cells[i].stride > 1) os << "s" << cells[i].stride;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string ModelSpec::serialize() const {
+  std::ostringstream os;
+  os << "fedtrans-spec v1\n";
+  os << "name " << name << "\n";
+  os << "ids " << model_id << " " << parent_id << " " << next_cell_id << "\n";
+  os << "kind " << kind_name(kind) << "\n";
+  os << "input " << in_channels << " " << in_hw << " " << num_classes << "\n";
+  os << "stem " << stem_width << " " << patch << " " << embed_dim << "\n";
+  os << "cells " << cells.size() << "\n";
+  for (const auto& c : cells) {
+    os << "cell " << kind_name(c.kind) << " " << c.width << " " << c.blocks
+       << " " << c.stride << " " << (c.residual ? 1 : 0) << " " << c.id << " "
+       << (c.widened_last ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
+ModelSpec ModelSpec::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string tok, version;
+  ModelSpec s;
+  is >> tok >> version;
+  FT_CHECK_MSG(tok == "fedtrans-spec" && version == "v1",
+               "unrecognized spec header");
+  std::size_t n_cells = 0;
+  std::string kind_s;
+  while (is >> tok) {
+    if (tok == "name") {
+      is >> s.name;
+    } else if (tok == "ids") {
+      is >> s.model_id >> s.parent_id >> s.next_cell_id;
+    } else if (tok == "kind") {
+      is >> kind_s;
+      s.kind = parse_kind(kind_s);
+    } else if (tok == "input") {
+      is >> s.in_channels >> s.in_hw >> s.num_classes;
+    } else if (tok == "stem") {
+      is >> s.stem_width >> s.patch >> s.embed_dim;
+    } else if (tok == "cells") {
+      is >> n_cells;
+    } else if (tok == "cell") {
+      CellSpec c;
+      int residual = 0, widened = 0;
+      is >> kind_s >> c.width >> c.blocks >> c.stride >> residual >> c.id >>
+          widened;
+      c.kind = parse_kind(kind_s);
+      c.residual = residual != 0;
+      c.widened_last = widened != 0;
+      s.cells.push_back(c);
+    } else {
+      throw Error("unknown spec token: " + tok);
+    }
+  }
+  FT_CHECK_MSG(s.cells.size() == n_cells, "cell count mismatch in spec");
+  return s;
+}
+
+std::vector<std::int64_t> cell_param_counts(const ModelSpec& spec) {
+  std::vector<std::int64_t> counts;
+  counts.reserve(spec.cells.size());
+  int prev_w = spec.kind == CellKind::Attention ? spec.embed_dim
+                                                : spec.stem_width;
+  for (const auto& c : spec.cells) {
+    std::int64_t n = 0;
+    for (int b = 0; b < c.blocks; ++b) {
+      const int in_w = b == 0 ? prev_w : c.width;
+      switch (c.kind) {
+        case CellKind::Conv:
+          // conv weight + bias + scale/shift
+          n += static_cast<std::int64_t>(c.width) * in_w * 9 + c.width +
+               2 * c.width;
+          break;
+        case CellKind::Mlp:
+          n += static_cast<std::int64_t>(c.width) * in_w + c.width;
+          break;
+        case CellKind::Attention: {
+          const std::int64_t d = spec.embed_dim, h = c.width;
+          // Wq/Wk/Wv/Wo + biases, then MLP D->h->D with biases.
+          n += 4 * d * d + 4 * d + d * h + h + h * d + d;
+          break;
+        }
+      }
+    }
+    counts.push_back(n);
+    if (c.kind != CellKind::Attention) prev_w = c.width;
+  }
+  return counts;
+}
+
+}  // namespace fedtrans

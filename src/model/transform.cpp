@@ -1,0 +1,314 @@
+#include "model/transform.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/scale_shift.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+/// Channel map for a widened Cell: identity prefix, random sources for the
+/// extra channels, plus replication counts of each source channel.
+struct ChannelMap {
+  std::vector<int> map;     // new index -> source index
+  std::vector<int> counts;  // source index -> #times selected
+};
+
+ChannelMap identity_map(int width) {
+  ChannelMap m;
+  m.map.resize(static_cast<std::size_t>(width));
+  m.counts.assign(static_cast<std::size_t>(width), 1);
+  for (int i = 0; i < width; ++i) m.map[static_cast<std::size_t>(i)] = i;
+  return m;
+}
+
+ChannelMap widen_map(int old_width, int new_width, Rng& rng) {
+  FT_CHECK(new_width >= old_width);
+  ChannelMap m;
+  m.map.resize(static_cast<std::size_t>(new_width));
+  m.counts.assign(static_cast<std::size_t>(old_width), 0);
+  for (int j = 0; j < new_width; ++j) {
+    const int src = j < old_width ? j : rng.uniform_int(0, old_width - 1);
+    m.map[static_cast<std::size_t>(j)] = src;
+    ++m.counts[static_cast<std::size_t>(src)];
+  }
+  return m;
+}
+
+/// dst[jo, ji, ky, kx] = src[out.map[jo], in.map[ji], ky, kx] / in.counts[...]
+/// — pure-copy duplication on the output axis, count-rescaled remap on the
+/// input axis (the exact Net2Net widen rule).
+void copy_conv_mapped(const Conv2d& src, Conv2d& dst, const ChannelMap& out,
+                      const ChannelMap& in) {
+  FT_CHECK(src.kernel() == dst.kernel());
+  const int k = src.kernel();
+  const auto& sw = src.weight();
+  auto& dw = dst.weight();
+  for (int jo = 0; jo < dst.out_channels(); ++jo) {
+    const int so = out.map[static_cast<std::size_t>(jo)];
+    for (int ji = 0; ji < dst.in_channels(); ++ji) {
+      const int si = in.map[static_cast<std::size_t>(ji)];
+      const float inv =
+          1.0f / static_cast<float>(in.counts[static_cast<std::size_t>(si)]);
+      for (int ky = 0; ky < k; ++ky)
+        for (int kx = 0; kx < k; ++kx)
+          dw.at(jo, ji, ky, kx) = sw.at(so, si, ky, kx) * inv;
+    }
+    if (src.has_bias()) dst.bias()[jo] = src.bias()[so];
+  }
+}
+
+void copy_linear_mapped(const Linear& src, Linear& dst, const ChannelMap& out,
+                        const ChannelMap& in) {
+  const auto& sw = src.weight();
+  auto& dw = dst.weight();
+  for (int jo = 0; jo < dst.out_features(); ++jo) {
+    const int so = out.map[static_cast<std::size_t>(jo)];
+    for (int ji = 0; ji < dst.in_features(); ++ji) {
+      const int si = in.map[static_cast<std::size_t>(ji)];
+      const float inv =
+          1.0f / static_cast<float>(in.counts[static_cast<std::size_t>(si)]);
+      dw.at(jo, ji) = sw.at(so, si) * inv;
+    }
+    if (src.has_bias()) dst.bias()[jo] = src.bias()[so];
+  }
+}
+
+void copy_scale_shift_mapped(ScaleShift& src, ScaleShift& dst,
+                             const ChannelMap& out) {
+  for (int jo = 0; jo < dst.channels(); ++jo) {
+    const int so = out.map[static_cast<std::size_t>(jo)];
+    dst.scale()[jo] = src.scale()[so];
+    dst.shift()[jo] = src.shift()[so];
+  }
+}
+
+/// Copy every tensor of `src` block into `dst` verbatim (matching shapes).
+void copy_block_verbatim(Block& src, Block& dst) {
+  auto sp = src.params();
+  auto dp = dst.params();
+  FT_CHECK(sp.size() == dp.size());
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    FT_CHECK_MSG(sp[i].value->same_shape(*dp[i].value),
+                 "verbatim block copy shape mismatch");
+    *dp[i].value = *sp[i].value;
+  }
+}
+
+/// Identity-initialize a freshly inserted block so the whole block computes
+/// y = x exactly. Residual blocks zero their projection (x + 0 = x
+/// everywhere); the cell's first block is structurally non-residual, so it
+/// uses a Dirac/eye identity instead — exact because its input is
+/// post-ReLU (non-negative), where ReLU∘identity is the identity.
+void init_inserted_block(Block& blk, CellKind kind) {
+  switch (kind) {
+    case CellKind::Conv: {
+      auto* conv = dynamic_cast<Conv2d*>(&blk.layer(0));
+      auto* ss = dynamic_cast<ScaleShift*>(&blk.layer(1));
+      FT_CHECK(conv != nullptr && ss != nullptr);
+      if (blk.residual()) {
+        conv->weight().zero();
+        conv->bias().zero();
+      } else {
+        conv->init_identity();
+      }
+      ss->scale().fill(1.0f);
+      ss->shift().zero();
+      break;
+    }
+    case CellKind::Mlp: {
+      auto* lin = dynamic_cast<Linear*>(&blk.layer(0));
+      FT_CHECK(lin != nullptr);
+      lin->weight().zero();
+      lin->bias().zero();
+      if (!blk.residual()) {
+        FT_CHECK_MSG(lin->in_features() == lin->out_features(),
+                     "identity insertion requires square linear");
+        for (int i = 0; i < lin->in_features(); ++i)
+          lin->weight().at(i, i) = 1.0f;
+      }
+      break;
+    }
+    case CellKind::Attention: {
+      if (auto* attn = dynamic_cast<Attention*>(&blk.layer(0))) {
+        attn->zero_output_projection();
+      } else if (auto* mlp = dynamic_cast<TokenMlp*>(&blk.layer(0))) {
+        mlp->zero_output_projection();
+      } else {
+        FT_CHECK_MSG(false, "unexpected layer in inserted attention block");
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Model transform_model(Model& parent, const std::vector<CellOp>& plan,
+                      int child_model_id, const std::string& child_name,
+                      Rng& rng, bool warm_start) {
+  const ModelSpec& pspec = parent.spec();
+  FT_CHECK_MSG(plan.size() == pspec.cells.size(),
+               "plan must cover every parent cell");
+
+  // --- 1. Build the child spec. ---------------------------------------
+  ModelSpec cspec = pspec;
+  cspec.name = child_name;
+  cspec.model_id = child_model_id;
+  cspec.parent_id = pspec.model_id;
+
+  std::vector<ChannelMap> out_maps(pspec.cells.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    auto& cell = cspec.cells[i];
+    switch (plan[i].kind) {
+      case CellOp::Kind::Keep:
+        out_maps[i] = identity_map(cell.width);
+        break;
+      case CellOp::Kind::Widen: {
+        FT_CHECK_MSG(plan[i].widen_factor > 1.0, "widen factor must be > 1");
+        const int new_w = static_cast<int>(
+            std::ceil(cell.width * plan[i].widen_factor));
+        out_maps[i] = widen_map(cell.width, new_w, rng);
+        cell.width = new_w;
+        cell.widened_last = true;
+        break;
+      }
+      case CellOp::Kind::Deepen:
+        out_maps[i] = identity_map(cell.width);
+        cell.widened_last = false;
+        break;
+    }
+  }
+  // Insert deepened cells back-to-front so indices stay valid.
+  for (int i = static_cast<int>(plan.size()) - 1; i >= 0; --i) {
+    if (plan[static_cast<std::size_t>(i)].kind != CellOp::Kind::Deepen)
+      continue;
+    CellSpec inserted;
+    inserted.kind = cspec.cells[static_cast<std::size_t>(i)].kind;
+    inserted.width = cspec.cells[static_cast<std::size_t>(i)].width;
+    inserted.blocks = plan[static_cast<std::size_t>(i)].deepen_blocks;
+    inserted.stride = 1;
+    inserted.residual = true;
+    inserted.id = cspec.fresh_cell_id();
+    cspec.cells.insert(
+        cspec.cells.begin() + static_cast<std::ptrdiff_t>(i) + 1, inserted);
+  }
+
+  // --- 2. Instantiate the child (random init). ------------------------
+  Model child(cspec, rng);
+  if (!warm_start) return child;
+
+  // --- 3. Warm start: copy transformed parent weights. ----------------
+  copy_block_verbatim(parent.stem(), child.stem());
+
+  const bool attention = pspec.kind == CellKind::Attention;
+  ChannelMap stem_map = identity_map(
+      attention ? pspec.embed_dim : pspec.stem_width);
+
+  int child_cell = 0;
+  ChannelMap prev_out = stem_map;
+  for (std::size_t i = 0; i < pspec.cells.size(); ++i) {
+    const ChannelMap& g = out_maps[i];
+    const int blocks = parent.blocks_in_cell(static_cast<int>(i));
+    FT_CHECK(blocks == child.blocks_in_cell(child_cell));
+    for (int b = 0; b < blocks; ++b) {
+      Block& sb = parent.cell_block(static_cast<int>(i), b);
+      Block& db = child.cell_block(child_cell, b);
+      if (attention) {
+        // Attention cells: embed dim is fixed, only the TokenMlp hidden is
+        // widened, and that hidden axis is block-internal.
+        if (auto* smlp = dynamic_cast<TokenMlp*>(&sb.layer(0))) {
+          auto* dmlp = dynamic_cast<TokenMlp*>(&db.layer(0));
+          FT_CHECK(dmlp != nullptr);
+          // w1: rows duplicated (pure copy); w2: columns count-rescaled.
+          for (int jo = 0; jo < dmlp->hidden(); ++jo) {
+            const int so = g.map[static_cast<std::size_t>(jo)];
+            for (int ji = 0; ji < dmlp->dim(); ++ji)
+              dmlp->w1().at(jo, ji) = smlp->w1().at(so, ji);
+            dmlp->b1()[jo] = smlp->b1()[so];
+          }
+          auto dps = dmlp->params();
+          auto sps = smlp->params();
+          // params: w1,b1,w2,b2 — handle w2/b2 here.
+          Tensor& dw2 = *dps[2].value;
+          const Tensor& sw2 = *sps[2].value;
+          for (int jo = 0; jo < dmlp->dim(); ++jo)
+            for (int ji = 0; ji < dmlp->hidden(); ++ji) {
+              const int si = g.map[static_cast<std::size_t>(ji)];
+              dw2.at(jo, ji) =
+                  sw2.at(jo, si) /
+                  static_cast<float>(g.counts[static_cast<std::size_t>(si)]);
+            }
+          *dps[3].value = *sps[3].value;  // b2
+        } else {
+          copy_block_verbatim(sb, db);  // attention sub-block: unchanged
+        }
+      } else {
+        const ChannelMap& in_map = b == 0 ? prev_out : g;
+        if (pspec.kind == CellKind::Conv) {
+          auto* sconv = dynamic_cast<Conv2d*>(&sb.layer(0));
+          auto* dconv = dynamic_cast<Conv2d*>(&db.layer(0));
+          auto* sss = dynamic_cast<ScaleShift*>(&sb.layer(1));
+          auto* dss = dynamic_cast<ScaleShift*>(&db.layer(1));
+          FT_CHECK(sconv && dconv && sss && dss);
+          copy_conv_mapped(*sconv, *dconv, g, in_map);
+          copy_scale_shift_mapped(*sss, *dss, g);
+        } else {
+          auto* slin = dynamic_cast<Linear*>(&sb.layer(0));
+          auto* dlin = dynamic_cast<Linear*>(&db.layer(0));
+          FT_CHECK(slin && dlin);
+          copy_linear_mapped(*slin, *dlin, g, in_map);
+        }
+      }
+    }
+    ++child_cell;
+    // Skip over a freshly inserted cell (identity-initialize it).
+    if (plan[i].kind == CellOp::Kind::Deepen) {
+      for (int b = 0; b < child.blocks_in_cell(child_cell); ++b)
+        init_inserted_block(child.cell_block(child_cell, b),
+                            pspec.cells[i].kind);
+      ++child_cell;
+    }
+    if (!attention) prev_out = g;
+  }
+  FT_CHECK(child_cell == child.num_cells());
+
+  // Classifier: input comes from the last cell (or fixed embed dim).
+  {
+    auto* scls = dynamic_cast<Linear*>(&parent.classifier());
+    auto* dcls = dynamic_cast<Linear*>(&child.classifier());
+    FT_CHECK(scls && dcls);
+    const ChannelMap out_id = identity_map(scls->out_features());
+    const ChannelMap& in_map =
+        attention ? stem_map : prev_out;
+    copy_linear_mapped(*scls, *dcls, out_id, in_map);
+  }
+  return child;
+}
+
+Model widen_cell(Model& parent, int cell, double factor, int child_id,
+                 Rng& rng) {
+  std::vector<CellOp> plan(parent.spec().cells.size());
+  FT_CHECK(cell >= 0 && cell < parent.num_cells());
+  plan[static_cast<std::size_t>(cell)] = {CellOp::Kind::Widen, factor, 1};
+  std::string child_name = "M";
+  child_name += std::to_string(child_id);
+  return transform_model(parent, plan, child_id, child_name, rng);
+}
+
+Model deepen_cell(Model& parent, int cell, int blocks, int child_id,
+                  Rng& rng) {
+  std::vector<CellOp> plan(parent.spec().cells.size());
+  FT_CHECK(cell >= 0 && cell < parent.num_cells());
+  plan[static_cast<std::size_t>(cell)] = {CellOp::Kind::Deepen, 2.0, blocks};
+  std::string child_name = "M";
+  child_name += std::to_string(child_id);
+  return transform_model(parent, plan, child_id, child_name, rng);
+}
+
+}  // namespace fedtrans

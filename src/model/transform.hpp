@@ -1,0 +1,38 @@
+#pragma once
+
+#include "model/model.hpp"
+
+namespace fedtrans {
+
+/// One transformation decision for a Cell of the parent model (§4.1, Fig. 5).
+/// The widen/deepen alternation means a Cell is never widened and deepened
+/// in the same transformation.
+struct CellOp {
+  enum class Kind { Keep, Widen, Deepen };
+  Kind kind = Kind::Keep;
+  /// Widen: new width = ceil(old * widen_factor), must be > 1.0.
+  double widen_factor = 2.0;
+  /// Deepen: number of blocks in the freshly inserted Cell.
+  int deepen_blocks = 1;
+};
+
+/// Derive a child model from `parent` by applying `plan` (one CellOp per
+/// parent Cell). With `warm_start` the child's weights are inherited through
+/// the function-preserving Net2Net construction:
+///  * Widen uses an identity-prefix channel map (original channels keep their
+///    positions; extra channels copy random originals) with pure-copy output
+///    duplication and count-rescaled input consumption — exact through
+///    residual blocks.
+///  * Deepen inserts a residual Cell whose last projection is
+///    zero-initialized — exactly the identity function.
+/// Without `warm_start` the child is freshly initialized (the `-w` ablation).
+Model transform_model(Model& parent, const std::vector<CellOp>& plan,
+                      int child_model_id, const std::string& child_name,
+                      Rng& rng, bool warm_start = true);
+
+/// Convenience single-cell operations (used by tests and examples).
+Model widen_cell(Model& parent, int cell, double factor, int child_id,
+                 Rng& rng);
+Model deepen_cell(Model& parent, int cell, int blocks, int child_id, Rng& rng);
+
+}  // namespace fedtrans

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fedtrans {
+
+/// Element-wise rectified linear unit.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::int64_t macs(const std::vector<int>&) const override { return 0; }
+  std::vector<int> out_shape(const std::vector<int>& in) const override {
+    return in;
+  }
+  std::string name() const override { return "ReLU"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>();
+  }
+
+ private:
+  Tensor cached_x_;
+};
+
+/// Flattens [N, ...] to [N, prod(...)].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::int64_t macs(const std::vector<int>&) const override { return 0; }
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  std::string name() const override { return "Flatten"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>();
+  }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+/// Global average pooling: [N,C,H,W] -> [N,C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::int64_t macs(const std::vector<int>&) const override { return 0; }
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  std::string name() const override { return "GlobalAvgPool"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<GlobalAvgPool>();
+  }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+}  // namespace fedtrans

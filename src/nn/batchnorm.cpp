@@ -1,0 +1,152 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+// Per-channel element count and iteration helpers shared by forward and
+// backward. For [N,C,H,W] a channel's elements are the N×H×W entries with
+// that C; for [N,F] they are the N entries of feature F.
+struct ChannelView {
+  int n = 0, c = 0;
+  std::int64_t plane = 1;  // H*W (1 for [N,F])
+
+  std::int64_t count() const { return static_cast<std::int64_t>(n) * plane; }
+  std::int64_t index(int b, int ch, std::int64_t p) const {
+    return (static_cast<std::int64_t>(b) * c + ch) * plane + p;
+  }
+};
+
+ChannelView make_view(const Tensor& x, int channels) {
+  ChannelView v;
+  if (x.ndim() == 4) {
+    FT_CHECK_MSG(x.dim(1) == channels,
+                 "BatchNorm expects [N," << channels << ",H,W]");
+    v = {x.dim(0), x.dim(1), static_cast<std::int64_t>(x.dim(2)) * x.dim(3)};
+  } else {
+    FT_CHECK_MSG(x.ndim() == 2 && x.dim(1) == channels,
+                 "BatchNorm expects [N," << channels << "]");
+    v = {x.dim(0), x.dim(1), 1};
+  }
+  FT_CHECK_MSG(v.count() > 0, "BatchNorm needs a non-empty batch");
+  return v;
+}
+
+}  // namespace
+
+BatchNorm::BatchNorm(int channels, double momentum, double eps)
+    : c_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({channels}, 1.0f),
+      g_gamma_({channels}),
+      beta_({channels}),
+      g_beta_({channels}),
+      run_mean_({channels}),
+      run_var_({channels}, 1.0f) {
+  FT_CHECK(channels > 0 && momentum > 0.0 && momentum <= 1.0 && eps > 0.0);
+}
+
+void BatchNorm::reset_running_stats() {
+  run_mean_.zero();
+  run_var_.fill(1.0f);
+}
+
+Tensor BatchNorm::forward(const Tensor& x, bool train) {
+  const ChannelView v = make_view(x, c_);
+  cached_shape_ = x.shape();
+  Tensor y(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_.assign(static_cast<std::size_t>(c_), 0.0f);
+
+  for (int ch = 0; ch < c_; ++ch) {
+    double mean, var;
+    if (train) {
+      double sum = 0.0, sq = 0.0;
+      for (int b = 0; b < v.n; ++b)
+        for (std::int64_t p = 0; p < v.plane; ++p) {
+          const double e = x[v.index(b, ch, p)];
+          sum += e;
+          sq += e * e;
+        }
+      const double cnt = static_cast<double>(v.count());
+      mean = sum / cnt;
+      var = sq / cnt - mean * mean;
+      if (var < 0.0) var = 0.0;  // numeric guard
+      run_mean_[ch] = static_cast<float>((1.0 - momentum_) * run_mean_[ch] +
+                                         momentum_ * mean);
+      // Unbiased variance in the running estimate (PyTorch convention).
+      const double unbiased = cnt > 1.0 ? var * cnt / (cnt - 1.0) : var;
+      run_var_[ch] = static_cast<float>((1.0 - momentum_) * run_var_[ch] +
+                                        momentum_ * unbiased);
+    } else {
+      mean = run_mean_[ch];
+      var = run_var_[ch];
+    }
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    cached_inv_std_[static_cast<std::size_t>(ch)] = inv_std;
+    const float g = gamma_[ch], bta = beta_[ch], mu = static_cast<float>(mean);
+    for (int b = 0; b < v.n; ++b)
+      for (std::int64_t p = 0; p < v.plane; ++p) {
+        const std::int64_t i = v.index(b, ch, p);
+        const float xhat = (x[i] - mu) * inv_std;
+        cached_xhat_[i] = xhat;
+        y[i] = g * xhat + bta;
+      }
+  }
+  return y;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_out) {
+  FT_CHECK_MSG(grad_out.shape() == cached_shape_,
+               "BatchNorm::backward shape mismatch");
+  const ChannelView v = make_view(grad_out, c_);
+  Tensor dx(grad_out.shape());
+  const double cnt = static_cast<double>(v.count());
+
+  // Standard batch-norm backward (training-mode statistics):
+  //   dxhat = dy * gamma
+  //   dx = inv_std/N * (N*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+  for (int ch = 0; ch < c_; ++ch) {
+    const float g = gamma_[ch];
+    const float inv_std = cached_inv_std_[static_cast<std::size_t>(ch)];
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int b = 0; b < v.n; ++b)
+      for (std::int64_t p = 0; p < v.plane; ++p) {
+        const std::int64_t i = v.index(b, ch, p);
+        const double dy = grad_out[i];
+        sum_dy += dy;
+        sum_dy_xhat += dy * cached_xhat_[i];
+      }
+    g_beta_[ch] += static_cast<float>(sum_dy);
+    g_gamma_[ch] += static_cast<float>(sum_dy_xhat);
+    for (int b = 0; b < v.n; ++b)
+      for (std::int64_t p = 0; p < v.plane; ++p) {
+        const std::int64_t i = v.index(b, ch, p);
+        const double dxhat = static_cast<double>(grad_out[i]) * g;
+        dx[i] = static_cast<float>(
+            inv_std *
+            (dxhat - sum_dy * g / cnt - cached_xhat_[i] * sum_dy_xhat * g / cnt));
+      }
+  }
+  return dx;
+}
+
+std::vector<ParamRef> BatchNorm::params() {
+  return {{&gamma_, &g_gamma_, "gamma"}, {&beta_, &g_beta_, "beta"}};
+}
+
+std::unique_ptr<Layer> BatchNorm::clone() const {
+  auto copy = std::make_unique<BatchNorm>(c_, momentum_, eps_);
+  copy->gamma_ = gamma_;
+  copy->beta_ = beta_;
+  copy->run_mean_ = run_mean_;
+  copy->run_var_ = run_var_;
+  return copy;
+}
+
+}  // namespace fedtrans

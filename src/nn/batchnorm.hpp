@@ -1,0 +1,54 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fedtrans {
+
+/// Batch normalization over NCHW (per-channel) or [N,F] (per-feature) input
+/// with learnable affine (gamma, beta) and running statistics.
+///
+/// Training mode normalizes with batch statistics and updates the running
+/// mean/variance with exponential momentum; eval mode normalizes with the
+/// running statistics. The Cell-based FedTrans models deliberately use the
+/// statistics-free ScaleShift instead (running stats are neither aggregated
+/// by FedAvg nor preserved exactly by widen/deepen), but the layer is part
+/// of the public substrate: custom architectures (examples/custom_layers)
+/// and the hand-designed Fig. 9 reference models can use it, and it is what
+/// HeteroFL's "static batch norm" discussion is about.
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(int channels, double momentum = 0.1, double eps = 1e-5);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  std::int64_t macs(const std::vector<int>&) const override { return 0; }
+  std::vector<int> out_shape(const std::vector<int>& in) const override {
+    return in;
+  }
+  std::string name() const override { return "BatchNorm"; }
+  std::unique_ptr<Layer> clone() const override;
+
+  int channels() const { return c_; }
+  Tensor& gamma() { return gamma_; }
+  Tensor& beta() { return beta_; }
+  /// Running statistics (buffers, not trainable parameters).
+  Tensor& running_mean() { return run_mean_; }
+  Tensor& running_var() { return run_var_; }
+  /// Reset running statistics to (0, 1) — "static batch norm" re-calibration.
+  void reset_running_stats();
+
+ private:
+  int c_;
+  double momentum_, eps_;
+  Tensor gamma_, g_gamma_;
+  Tensor beta_, g_beta_;
+  Tensor run_mean_, run_var_;
+
+  // Backward caches (one forward per backward, like every layer here).
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  std::vector<int> cached_shape_;
+};
+
+}  // namespace fedtrans

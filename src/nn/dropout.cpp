@@ -1,0 +1,43 @@
+#include "nn/dropout.hpp"
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+Dropout::Dropout(double p, std::uint64_t seed)
+    : p_(p), seed_(seed), rng_(seed) {
+  FT_CHECK_MSG(p >= 0.0 && p < 1.0, "dropout p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ == 0.0) {
+    mask_.clear();
+    return x;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
+  mask_.assign(static_cast<std::size_t>(x.numel()), 0.0f);
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (rng_.uniform() >= p_) {
+      mask_[static_cast<std::size_t>(i)] = keep_scale;
+      y[i] = x[i] * keep_scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;  // eval-mode forward: identity
+  FT_CHECK_MSG(static_cast<std::size_t>(grad_out.numel()) == mask_.size(),
+               "Dropout::backward shape mismatch");
+  Tensor dx(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    dx[i] = grad_out[i] * mask_[static_cast<std::size_t>(i)];
+  return dx;
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(p_, seed_);
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace fedtrans {
+
+/// Inverted dropout: in training mode each element is zeroed with
+/// probability p and survivors are scaled by 1/(1−p); eval mode is the
+/// identity. Draws from an internal deterministic Rng (seeded at
+/// construction) so whole runs stay replayable — the library's convention
+/// of explicit-seed determinism extends to stochastic layers.
+class Dropout : public Layer {
+ public:
+  explicit Dropout(double p, std::uint64_t seed = 0x5eedd12f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::int64_t macs(const std::vector<int>&) const override { return 0; }
+  std::vector<int> out_shape(const std::vector<int>& in) const override {
+    return in;
+  }
+  std::string name() const override { return "Dropout"; }
+  std::unique_ptr<Layer> clone() const override;
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  std::uint64_t seed_;
+  Rng rng_;
+  /// Mask of survivor scales (0 or 1/(1−p)); empty after an eval forward.
+  std::vector<float> mask_;
+};
+
+}  // namespace fedtrans

@@ -1,0 +1,91 @@
+#include "nn/layer_norm.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+LayerNorm::LayerNorm(int dim, double eps)
+    : d_(dim),
+      eps_(eps),
+      gamma_({dim}, 1.0f),
+      g_gamma_({dim}),
+      beta_({dim}),
+      g_beta_({dim}) {
+  FT_CHECK(dim > 0 && eps > 0.0);
+}
+
+Tensor LayerNorm::forward(const Tensor& x, bool /*train*/) {
+  FT_CHECK_MSG(x.ndim() >= 2 && x.dim(x.ndim() - 1) == d_,
+               "LayerNorm expects [..., " << d_ << "]");
+  const std::int64_t rows = x.numel() / d_;
+  Tensor y(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_.assign(static_cast<std::size_t>(rows), 0.0f);
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t base = r * d_;
+    double sum = 0.0, sq = 0.0;
+    for (int j = 0; j < d_; ++j) {
+      const double e = x[base + j];
+      sum += e;
+      sq += e * e;
+    }
+    const double mean = sum / d_;
+    double var = sq / d_ - mean * mean;
+    if (var < 0.0) var = 0.0;
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    cached_inv_std_[static_cast<std::size_t>(r)] = inv_std;
+    for (int j = 0; j < d_; ++j) {
+      const float xhat =
+          (x[base + j] - static_cast<float>(mean)) * inv_std;
+      cached_xhat_[base + j] = xhat;
+      y[base + j] = gamma_[j] * xhat + beta_[j];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  FT_CHECK_MSG(grad_out.same_shape(cached_xhat_),
+               "LayerNorm::backward shape mismatch");
+  const std::int64_t rows = grad_out.numel() / d_;
+  Tensor dx(grad_out.shape());
+  const double n = static_cast<double>(d_);
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t base = r * d_;
+    const float inv_std = cached_inv_std_[static_cast<std::size_t>(r)];
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (int j = 0; j < d_; ++j) {
+      const double dy = grad_out[base + j];
+      const double dxhat = dy * gamma_[j];
+      g_gamma_[j] += static_cast<float>(dy * cached_xhat_[base + j]);
+      g_beta_[j] += static_cast<float>(dy);
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * cached_xhat_[base + j];
+    }
+    for (int j = 0; j < d_; ++j) {
+      const double dxhat =
+          static_cast<double>(grad_out[base + j]) * gamma_[j];
+      dx[base + j] = static_cast<float>(
+          inv_std * (dxhat - sum_dxhat / n -
+                     cached_xhat_[base + j] * sum_dxhat_xhat / n));
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamRef> LayerNorm::params() {
+  return {{&gamma_, &g_gamma_, "gamma"}, {&beta_, &g_beta_, "beta"}};
+}
+
+std::unique_ptr<Layer> LayerNorm::clone() const {
+  auto copy = std::make_unique<LayerNorm>(d_, eps_);
+  copy->gamma_ = gamma_;
+  copy->beta_ = beta_;
+  return copy;
+}
+
+}  // namespace fedtrans

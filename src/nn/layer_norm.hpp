@@ -1,0 +1,41 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fedtrans {
+
+/// Layer normalization over the last axis with learnable affine: for every
+/// leading-index slice (a sample of [N,D] or a token of [N,T,D]),
+///   y = gamma ⊙ (x − mean) / sqrt(var + eps) + beta.
+/// This is the transformer-standard normalizer (the paper's ViT experiment,
+/// Table 4); unlike BatchNorm it carries no running statistics, so it is
+/// FedAvg-aggregation-safe and deterministic.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(int dim, double eps = 1e-5);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  std::int64_t macs(const std::vector<int>&) const override { return 0; }
+  std::vector<int> out_shape(const std::vector<int>& in) const override {
+    return in;
+  }
+  std::string name() const override { return "LayerNorm"; }
+  std::unique_ptr<Layer> clone() const override;
+
+  int dim() const { return d_; }
+  Tensor& gamma() { return gamma_; }
+  Tensor& beta() { return beta_; }
+
+ private:
+  int d_;
+  double eps_;
+  Tensor gamma_, g_gamma_;
+  Tensor beta_, g_beta_;
+  // Backward caches.
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+};
+
+}  // namespace fedtrans

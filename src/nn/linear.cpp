@@ -1,0 +1,83 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+Linear::Linear(int in_features, int out_features, bool bias)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      w_({out_features, in_features}),
+      gw_({out_features, in_features}),
+      b_(bias ? Tensor({out_features}) : Tensor()),
+      gb_(bias ? Tensor({out_features}) : Tensor()) {
+  FT_CHECK(in_ > 0 && out_ > 0);
+}
+
+void Linear::init(Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_));
+  w_.rand_uniform(rng, -bound, bound);
+  if (has_bias_) b_.zero();
+}
+
+Tensor Linear::forward(const Tensor& x, bool /*train*/) {
+  FT_CHECK_MSG(x.ndim() == 2 && x.dim(1) == in_,
+               "Linear expects [N," << in_ << "], got [" << x.dim(0) << ","
+                                    << (x.ndim() > 1 ? x.dim(1) : -1) << "]");
+  cached_x_ = x;
+  const int n = x.dim(0);
+  Tensor y({n, out_});
+  // y = x * W^T
+  gemm(false, true, n, out_, in_, 1.0f, x.data(), in_, w_.data(), in_, 0.0f,
+       y.data(), out_);
+  if (has_bias_) {
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < out_; ++j) y.at(i, j) += b_[j];
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  FT_CHECK(grad_out.ndim() == 2 && grad_out.dim(1) == out_);
+  const int n = grad_out.dim(0);
+  FT_CHECK(cached_x_.ndim() == 2 && cached_x_.dim(0) == n);
+  // gW += grad_out^T * x
+  gemm(true, false, out_, in_, n, 1.0f, grad_out.data(), out_,
+       cached_x_.data(), in_, 1.0f, gw_.data(), in_);
+  if (has_bias_) {
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < out_; ++j) gb_[j] += grad_out.at(i, j);
+  }
+  // dx = grad_out * W
+  Tensor dx({n, in_});
+  gemm(false, false, n, in_, out_, 1.0f, grad_out.data(), out_, w_.data(), in_,
+       0.0f, dx.data(), in_);
+  return dx;
+}
+
+std::vector<ParamRef> Linear::params() {
+  std::vector<ParamRef> ps{{&w_, &gw_, "weight"}};
+  if (has_bias_) ps.push_back({&b_, &gb_, "bias"});
+  return ps;
+}
+
+std::int64_t Linear::macs(const std::vector<int>& /*in_shape*/) const {
+  return static_cast<std::int64_t>(in_) * out_;
+}
+
+std::vector<int> Linear::out_shape(const std::vector<int>& in_shape) const {
+  FT_CHECK(in_shape.size() == 1 && in_shape[0] == in_);
+  return {out_};
+}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  auto copy = std::make_unique<Linear>(in_, out_, has_bias_);
+  copy->w_ = w_;
+  copy->b_ = b_;
+  return copy;
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,76 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    std::span<const int> labels) {
+  FT_CHECK_MSG(logits.ndim() == 2, "loss expects [N, classes] logits");
+  const int n = logits.dim(0), c = logits.dim(1);
+  FT_CHECK_MSG(static_cast<int>(labels.size()) == n, "label count mismatch");
+  probs_ = logits;
+  labels_.assign(labels.begin(), labels.end());
+
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    FT_CHECK_MSG(labels[i] >= 0 && labels[i] < c,
+                 "label " << labels[i] << " out of range [0," << c << ")");
+    float* row = probs_.data() + static_cast<std::int64_t>(i) * c;
+    float mx = row[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int j = 0; j < c; ++j) denom += std::exp(static_cast<double>(row[j]) - mx);
+    const double log_denom = std::log(denom);
+    total += -(static_cast<double>(row[labels[i]]) - mx - log_denom);
+    for (int j = 0; j < c; ++j)
+      row[j] = static_cast<float>(
+          std::exp(static_cast<double>(row[j]) - mx - log_denom));
+  }
+  return total / n;
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  FT_CHECK_MSG(!probs_.empty(), "backward() before forward()");
+  const int n = probs_.dim(0), c = probs_.dim(1);
+  Tensor d = probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int i = 0; i < n; ++i) {
+    float* row = d.data() + static_cast<std::int64_t>(i) * c;
+    row[labels_[static_cast<std::size_t>(i)]] -= 1.0f;
+    for (int j = 0; j < c; ++j) row[j] *= inv_n;
+  }
+  return d;
+}
+
+std::vector<int> SoftmaxCrossEntropy::predictions() const {
+  const int n = probs_.dim(0), c = probs_.dim(1);
+  std::vector<int> preds(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const float* row = probs_.data() + static_cast<std::int64_t>(i) * c;
+    int best = 0;
+    for (int j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = j;
+    preds[static_cast<std::size_t>(i)] = best;
+  }
+  return preds;
+}
+
+int count_correct(const Tensor& logits, std::span<const int> labels) {
+  FT_CHECK(logits.ndim() == 2 &&
+           logits.dim(0) == static_cast<int>(labels.size()));
+  const int n = logits.dim(0), c = logits.dim(1);
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = logits.data() + static_cast<std::int64_t>(i) * c;
+    int best = 0;
+    for (int j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = j;
+    if (best == labels[i]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace fedtrans

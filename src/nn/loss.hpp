@@ -1,0 +1,28 @@
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace fedtrans {
+
+/// Fused softmax + cross-entropy over logits [N, classes] with integer
+/// labels. forward() returns mean loss; backward() returns dLoss/dLogits.
+class SoftmaxCrossEntropy {
+ public:
+  /// Mean negative log-likelihood; caches probabilities for backward().
+  double forward(const Tensor& logits, std::span<const int> labels);
+  /// d(mean loss)/d(logits) = (softmax - onehot)/N.
+  Tensor backward() const;
+
+  /// Class predictions (argmax of the cached probabilities).
+  std::vector<int> predictions() const;
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+/// Count of argmax(logits) == label.
+int count_correct(const Tensor& logits, std::span<const int> labels);
+
+}  // namespace fedtrans

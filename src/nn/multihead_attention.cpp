@@ -1,0 +1,190 @@
+#include "nn/multihead_attention.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+// y[rows, out] = x[rows, in] * W^T + b (token-wise projection).
+Tensor project(const Tensor& x2d, const Tensor& w, const Tensor& b) {
+  const int rows = x2d.dim(0), in = x2d.dim(1), out = w.dim(0);
+  Tensor y({rows, out});
+  gemm(false, true, rows, out, in, 1.0f, x2d.data(), in, w.data(), in, 0.0f,
+       y.data(), out);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < out; ++j) y.at(i, j) += b[j];
+  return y;
+}
+
+// gW += g^T x; gb += colsum(g); returns dx = g W.
+Tensor project_backward(const Tensor& g2d, const Tensor& x2d, const Tensor& w,
+                        Tensor& gw, Tensor& gb) {
+  const int rows = g2d.dim(0), out = g2d.dim(1), in = x2d.dim(1);
+  gemm(true, false, out, in, rows, 1.0f, g2d.data(), out, x2d.data(), in,
+       1.0f, gw.data(), in);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < out; ++j) gb[j] += g2d.at(i, j);
+  Tensor dx({rows, in});
+  gemm(false, false, rows, in, out, 1.0f, g2d.data(), out, w.data(), in, 0.0f,
+       dx.data(), in);
+  return dx;
+}
+
+}  // namespace
+
+MultiHeadAttention::MultiHeadAttention(int dim, int heads)
+    : d_(dim),
+      h_(heads),
+      wq_({dim, dim}), gwq_({dim, dim}), bq_({dim}), gbq_({dim}),
+      wk_({dim, dim}), gwk_({dim, dim}), bk_({dim}), gbk_({dim}),
+      wv_({dim, dim}), gwv_({dim, dim}), bv_({dim}), gbv_({dim}),
+      wo_({dim, dim}), gwo_({dim, dim}), bo_({dim}), gbo_({dim}) {
+  FT_CHECK_MSG(dim > 0 && heads > 0 && dim % heads == 0,
+               "heads (" << heads << ") must divide dim (" << dim << ")");
+}
+
+void MultiHeadAttention::init(Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(d_));
+  for (Tensor* w : {&wq_, &wk_, &wv_, &wo_})
+    w->rand_uniform(rng, -bound, bound);
+  for (Tensor* b : {&bq_, &bk_, &bv_, &bo_}) b->zero();
+}
+
+void MultiHeadAttention::zero_output_projection() {
+  wo_.zero();
+  bo_.zero();
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x, bool /*train*/) {
+  FT_CHECK_MSG(x.ndim() == 3 && x.dim(2) == d_,
+               "MultiHeadAttention expects [N,T," << d_ << "]");
+  x_ = x;
+  const int n = x.dim(0), t = x.dim(1), dh = head_dim();
+  const Tensor x2d = x.reshape({n * t, d_});
+  q_ = project(x2d, wq_, bq_);
+  k_ = project(x2d, wk_, bk_);
+  v_ = project(x2d, wv_, bv_);
+
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+  attn_.assign(static_cast<std::size_t>(n) * h_, Tensor({t, t}));
+  concat_ = Tensor({n * t, d_});
+
+  for (int b = 0; b < n; ++b) {
+    const std::int64_t row0 = static_cast<std::int64_t>(b) * t;
+    for (int h = 0; h < h_; ++h) {
+      const int off = h * dh;
+      const float* qh = q_.data() + row0 * d_ + off;
+      const float* kh = k_.data() + row0 * d_ + off;
+      const float* vh = v_.data() + row0 * d_ + off;
+      Tensor& a = attn_[static_cast<std::size_t>(b) * h_ + h];
+      // scores = Q_h K_h^T / sqrt(d_h); per-head slices live inside the
+      // packed [T, D] activations, hence lda = D.
+      gemm(false, true, t, t, dh, inv_sqrt, qh, d_, kh, d_, 0.0f, a.data(),
+           t);
+      for (int i = 0; i < t; ++i) {
+        float* row = a.data() + static_cast<std::int64_t>(i) * t;
+        float mx = row[0];
+        for (int j = 1; j < t; ++j) mx = std::max(mx, row[j]);
+        double denom = 0.0;
+        for (int j = 0; j < t; ++j) {
+          row[j] = std::exp(row[j] - mx);
+          denom += row[j];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (int j = 0; j < t; ++j) row[j] *= inv;
+      }
+      // O_h = A V_h written straight into the concat slice.
+      gemm(false, false, t, dh, t, 1.0f, a.data(), t, vh, d_, 0.0f,
+           concat_.data() + row0 * d_ + off, d_);
+    }
+  }
+  Tensor y2d = project(concat_, wo_, bo_);
+  return y2d.reshape({n, t, d_});
+}
+
+Tensor MultiHeadAttention::backward(const Tensor& grad_out) {
+  const int n = x_.dim(0), t = x_.dim(1), dh = head_dim();
+  FT_CHECK(grad_out.ndim() == 3 && grad_out.dim(0) == n &&
+           grad_out.dim(1) == t && grad_out.dim(2) == d_);
+  const Tensor g2d = grad_out.reshape({n * t, d_});
+  Tensor d_concat = project_backward(g2d, concat_, wo_, gwo_, gbo_);
+
+  Tensor d_q({n * t, d_}), d_k({n * t, d_}), d_v({n * t, d_});
+  Tensor d_a({t, t}), d_s({t, t});
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  for (int b = 0; b < n; ++b) {
+    const std::int64_t row0 = static_cast<std::int64_t>(b) * t;
+    for (int h = 0; h < h_; ++h) {
+      const int off = h * dh;
+      const float* doh = d_concat.data() + row0 * d_ + off;
+      const float* qh = q_.data() + row0 * d_ + off;
+      const float* kh = k_.data() + row0 * d_ + off;
+      const float* vh = v_.data() + row0 * d_ + off;
+      const Tensor& a = attn_[static_cast<std::size_t>(b) * h_ + h];
+
+      // dA = dO_h V_h^T ; dV_h = A^T dO_h.
+      gemm(false, true, t, t, dh, 1.0f, doh, d_, vh, d_, 0.0f, d_a.data(),
+           t);
+      gemm(true, false, t, dh, t, 1.0f, a.data(), t, doh, d_, 0.0f,
+           d_v.data() + row0 * d_ + off, d_);
+
+      // Softmax backward per row: dS = A ∘ (dA − Σ_j dA∘A).
+      for (int i = 0; i < t; ++i) {
+        const float* arow = a.data() + static_cast<std::int64_t>(i) * t;
+        const float* darow = d_a.data() + static_cast<std::int64_t>(i) * t;
+        float* dsrow = d_s.data() + static_cast<std::int64_t>(i) * t;
+        double dot = 0.0;
+        for (int j = 0; j < t; ++j)
+          dot += static_cast<double>(darow[j]) * arow[j];
+        for (int j = 0; j < t; ++j)
+          dsrow[j] = arow[j] * (darow[j] - static_cast<float>(dot));
+      }
+
+      // dQ_h = dS K_h / sqrt(d_h) ; dK_h = dS^T Q_h / sqrt(d_h).
+      gemm(false, false, t, dh, t, inv_sqrt, d_s.data(), t, kh, d_, 0.0f,
+           d_q.data() + row0 * d_ + off, d_);
+      gemm(true, false, t, dh, t, inv_sqrt, d_s.data(), t, qh, d_, 0.0f,
+           d_k.data() + row0 * d_ + off, d_);
+    }
+  }
+
+  const Tensor x2d = x_.reshape({n * t, d_});
+  Tensor dx = project_backward(d_q, x2d, wq_, gwq_, gbq_);
+  dx.add_(project_backward(d_k, x2d, wk_, gwk_, gbk_));
+  dx.add_(project_backward(d_v, x2d, wv_, gwv_, gbv_));
+  return dx.reshape({n, t, d_});
+}
+
+std::vector<ParamRef> MultiHeadAttention::params() {
+  return {{&wq_, &gwq_, "wq"}, {&bq_, &gbq_, "bq"}, {&wk_, &gwk_, "wk"},
+          {&bk_, &gbk_, "bk"}, {&wv_, &gwv_, "wv"}, {&bv_, &gbv_, "bv"},
+          {&wo_, &gwo_, "wo"}, {&bo_, &gbo_, "bo"}};
+}
+
+std::int64_t MultiHeadAttention::macs(
+    const std::vector<int>& in_shape) const {
+  FT_CHECK(in_shape.size() == 2 && in_shape[1] == d_);
+  const std::int64_t t = in_shape[0];
+  // Four D×D projections per token + two T×T×d_h einsums per head.
+  return 4 * t * static_cast<std::int64_t>(d_) * d_ +
+         2 * h_ * t * t * head_dim();
+}
+
+std::unique_ptr<Layer> MultiHeadAttention::clone() const {
+  auto copy = std::make_unique<MultiHeadAttention>(d_, h_);
+  copy->wq_ = wq_;
+  copy->bq_ = bq_;
+  copy->wk_ = wk_;
+  copy->bk_ = bk_;
+  copy->wv_ = wv_;
+  copy->bv_ = bv_;
+  copy->wo_ = wo_;
+  copy->bo_ = bo_;
+  return copy;
+}
+
+}  // namespace fedtrans

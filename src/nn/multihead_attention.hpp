@@ -1,0 +1,51 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fedtrans {
+
+/// Multi-head self-attention over tokens [N, T, D]:
+///   head h: O_h = softmax(Q_h K_h^T / sqrt(d_h)) V_h,
+///           Q_h = X Wq_h^T + bq_h (Wq_h is [d_h, D], d_h = D / heads),
+///   Y = concat(O_1..O_H) Wo^T + bo.
+/// The single-head Attention layer is the Cell the FedTrans ViT experiment
+/// transforms; this is the full transformer-standard generalization for
+/// custom architectures (examples/custom_vit.cpp). heads == 1 reduces to
+/// the same function as Attention.
+class MultiHeadAttention : public Layer {
+ public:
+  MultiHeadAttention(int dim, int heads);
+
+  void init(Rng& rng);
+  /// Zero the output projection so a residual wrapper starts as identity.
+  void zero_output_projection();
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  std::int64_t macs(const std::vector<int>& in_shape) const override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override {
+    return in;
+  }
+  std::string name() const override { return "MultiHeadAttention"; }
+  std::unique_ptr<Layer> clone() const override;
+
+  int dim() const { return d_; }
+  int heads() const { return h_; }
+  int head_dim() const { return d_ / h_; }
+
+ private:
+  int d_, h_;
+  // Packed projections: wq_/wk_/wv_ are [D, D] with rows grouped by head
+  // (head h owns rows [h*dh, (h+1)*dh)); wo_ is [D, D] with *columns*
+  // grouped by head.
+  Tensor wq_, gwq_, bq_, gbq_;
+  Tensor wk_, gwk_, bk_, gbk_;
+  Tensor wv_, gwv_, bv_, gbv_;
+  Tensor wo_, gwo_, bo_, gbo_;
+  // Forward caches (per step).
+  Tensor x_, q_, k_, v_, concat_;
+  std::vector<Tensor> attn_;  // per (batch × head) attention matrix [T, T]
+};
+
+}  // namespace fedtrans

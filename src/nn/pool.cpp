@@ -1,0 +1,152 @@
+#include "nn/pool.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+void check_pool_input(const Tensor& x, int k, int stride) {
+  FT_CHECK_MSG(x.ndim() == 4, "pooling expects NCHW input");
+  FT_CHECK_MSG(x.dim(2) >= k && x.dim(3) >= k,
+               "pool window " << k << " larger than input "
+                              << x.dim(2) << "x" << x.dim(3));
+  FT_CHECK(stride > 0);
+}
+
+}  // namespace
+
+MaxPool2d::MaxPool2d(int kernel, int stride)
+    : k_(kernel), stride_(stride <= 0 ? kernel : stride) {
+  FT_CHECK(k_ > 0);
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+  check_pool_input(x, k_, stride_);
+  cached_shape_ = x.shape();
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = out_hw(h), ow = out_hw(w);
+  Tensor y({n, c, oh, ow});
+  argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+
+  std::int64_t out_i = 0;
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      const std::int64_t base =
+          (static_cast<std::int64_t>(b) * c + ch) * h * w;
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox, ++out_i) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_i = base;
+          for (int ky = 0; ky < k_; ++ky) {
+            const int iy = oy * stride_ + ky;
+            for (int kx = 0; kx < k_; ++kx) {
+              const int ix = ox * stride_ + kx;
+              const std::int64_t i = base + static_cast<std::int64_t>(iy) * w +
+                                     ix;
+              if (x[i] > best) {
+                best = x[i];
+                best_i = i;
+              }
+            }
+          }
+          y[out_i] = best;
+          argmax_[static_cast<std::size_t>(out_i)] = best_i;
+        }
+    }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  FT_CHECK_MSG(static_cast<std::size_t>(grad_out.numel()) == argmax_.size(),
+               "MaxPool2d::backward called without matching forward");
+  Tensor dx(cached_shape_);
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    dx[argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  return dx;
+}
+
+std::vector<int> MaxPool2d::out_shape(const std::vector<int>& in) const {
+  FT_CHECK(in.size() == 3);
+  return {in[0], out_hw(in[1]), out_hw(in[2])};
+}
+
+std::unique_ptr<Layer> MaxPool2d::clone() const {
+  return std::make_unique<MaxPool2d>(k_, stride_);
+}
+
+AvgPool2d::AvgPool2d(int kernel, int stride)
+    : k_(kernel), stride_(stride <= 0 ? kernel : stride) {
+  FT_CHECK(k_ > 0);
+}
+
+Tensor AvgPool2d::forward(const Tensor& x, bool /*train*/) {
+  check_pool_input(x, k_, stride_);
+  cached_shape_ = x.shape();
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = out_hw(h), ow = out_hw(w);
+  Tensor y({n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+
+  std::int64_t out_i = 0;
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      const std::int64_t base =
+          (static_cast<std::int64_t>(b) * c + ch) * h * w;
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox, ++out_i) {
+          double s = 0.0;
+          for (int ky = 0; ky < k_; ++ky) {
+            const int iy = oy * stride_ + ky;
+            for (int kx = 0; kx < k_; ++kx)
+              s += x[base + static_cast<std::int64_t>(iy) * w +
+                     (ox * stride_ + kx)];
+          }
+          y[out_i] = static_cast<float>(s) * inv;
+        }
+    }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  FT_CHECK_MSG(!cached_shape_.empty(),
+               "AvgPool2d::backward called without forward");
+  Tensor dx(cached_shape_);
+  const int n = cached_shape_[0], c = cached_shape_[1], h = cached_shape_[2],
+            w = cached_shape_[3];
+  const int oh = out_hw(h), ow = out_hw(w);
+  FT_CHECK(grad_out.ndim() == 4 && grad_out.dim(2) == oh &&
+           grad_out.dim(3) == ow);
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+
+  std::int64_t out_i = 0;
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      const std::int64_t base =
+          (static_cast<std::int64_t>(b) * c + ch) * h * w;
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox, ++out_i) {
+          const float g = grad_out[out_i] * inv;
+          for (int ky = 0; ky < k_; ++ky) {
+            const int iy = oy * stride_ + ky;
+            for (int kx = 0; kx < k_; ++kx)
+              dx[base + static_cast<std::int64_t>(iy) * w +
+                 (ox * stride_ + kx)] += g;
+          }
+        }
+    }
+  return dx;
+}
+
+std::vector<int> AvgPool2d::out_shape(const std::vector<int>& in) const {
+  FT_CHECK(in.size() == 3);
+  return {in[0], out_hw(in[1]), out_hw(in[2])};
+}
+
+std::unique_ptr<Layer> AvgPool2d::clone() const {
+  return std::make_unique<AvgPool2d>(k_, stride_);
+}
+
+}  // namespace fedtrans

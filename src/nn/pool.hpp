@@ -1,0 +1,57 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fedtrans {
+
+/// Max pooling over NCHW input with square window and stride (no padding).
+/// Backward routes each output gradient to the arg-max input position
+/// (first-wins on exact ties, matching the forward scan order).
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(int kernel, int stride = -1 /* -1 = kernel */);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::int64_t macs(const std::vector<int>&) const override { return 0; }
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  std::string name() const override { return "MaxPool2d"; }
+  std::unique_ptr<Layer> clone() const override;
+
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
+
+ private:
+  int out_hw(int in_hw) const { return (in_hw - k_) / stride_ + 1; }
+
+  int k_, stride_;
+  std::vector<int> cached_shape_;
+  /// Flat input index of the max element for every output element.
+  std::vector<std::int64_t> argmax_;
+};
+
+/// Average pooling over NCHW input with square window and stride (no
+/// padding). Backward spreads each output gradient uniformly over its
+/// window.
+class AvgPool2d : public Layer {
+ public:
+  explicit AvgPool2d(int kernel, int stride = -1 /* -1 = kernel */);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::int64_t macs(const std::vector<int>&) const override { return 0; }
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  std::string name() const override { return "AvgPool2d"; }
+  std::unique_ptr<Layer> clone() const override;
+
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
+
+ private:
+  int out_hw(int in_hw) const { return (in_hw - k_) / stride_ + 1; }
+
+  int k_, stride_;
+  std::vector<int> cached_shape_;
+};
+
+}  // namespace fedtrans

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fedtrans {
+
+/// Learnable per-channel affine transform y[c] = x[c]*scale[c] + shift[c]
+/// (a batch-statistics-free stand-in for BatchNorm's affine part). Using a
+/// stateless affine keeps every transformation *exactly* function-preserving
+/// and the whole simulation deterministic. Accepts NCHW (per-channel) or
+/// [N,F] (per-feature) input.
+class ScaleShift : public Layer {
+ public:
+  explicit ScaleShift(int channels);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  std::int64_t macs(const std::vector<int>&) const override { return 0; }
+  std::vector<int> out_shape(const std::vector<int>& in) const override {
+    return in;
+  }
+  std::string name() const override { return "ScaleShift"; }
+  std::unique_ptr<Layer> clone() const override;
+
+  int channels() const { return c_; }
+  Tensor& scale() { return s_; }
+  Tensor& shift() { return b_; }
+
+ private:
+  int c_;
+  Tensor s_, gs_;
+  Tensor b_, gb_;
+  Tensor cached_x_;
+};
+
+}  // namespace fedtrans

@@ -1,0 +1,72 @@
+#include "nn/sequential.hpp"
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+Sequential::Sequential(std::vector<std::unique_ptr<Layer>> layers)
+    : layers_(std::move(layers)) {
+  for (const auto& l : layers_) FT_CHECK(l != nullptr);
+}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  FT_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<ParamRef> Sequential::params() {
+  std::vector<ParamRef> ps;
+  for (auto& l : layers_)
+    for (auto& p : l->params()) ps.push_back(p);
+  return ps;
+}
+
+std::int64_t Sequential::macs(const std::vector<int>& in_shape) const {
+  std::int64_t total = 0;
+  std::vector<int> shape = in_shape;
+  for (const auto& l : layers_) {
+    total += l->macs(shape);
+    shape = l->out_shape(shape);
+  }
+  return total;
+}
+
+std::vector<int> Sequential::out_shape(
+    const std::vector<int>& in_shape) const {
+  std::vector<int> shape = in_shape;
+  for (const auto& l : layers_) shape = l->out_shape(shape);
+  return shape;
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+  std::vector<std::unique_ptr<Layer>> copies;
+  copies.reserve(layers_.size());
+  for (const auto& l : layers_) copies.push_back(l->clone());
+  return std::make_unique<Sequential>(std::move(copies));
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  FT_CHECK(i < layers_.size());
+  return *layers_[i];
+}
+
+const Layer& Sequential::layer(std::size_t i) const {
+  FT_CHECK(i < layers_.size());
+  return *layers_[i];
+}
+
+}  // namespace fedtrans

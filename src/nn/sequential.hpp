@@ -1,0 +1,40 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace fedtrans {
+
+/// A layer that chains owned sub-layers. This is the container for building
+/// *custom* architectures against the substrate directly (see
+/// examples/custom_layers.cpp) without going through the Cell-based
+/// ModelSpec machinery — useful for reference models and for users who only
+/// want the NN library.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<std::unique_ptr<Layer>> layers);
+
+  /// Append a layer; returns *this for fluent construction.
+  Sequential& add(std::unique_ptr<Layer> layer);
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<ParamRef> params() override;
+  std::int64_t macs(const std::vector<int>& in_shape) const override;
+  std::vector<int> out_shape(const std::vector<int>& in_shape) const override;
+  std::string name() const override { return "Sequential"; }
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+  const Layer& layer(std::size_t i) const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace fedtrans

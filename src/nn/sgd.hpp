@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace fedtrans {
+
+struct SgdOptions {
+  double lr = 0.05;           // paper Table 7 default learning rate
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+  /// FedProx proximal coefficient μ; when > 0, each step adds
+  /// μ·(w − w_anchor) to the gradient (anchor = global weights at round
+  /// start). Zero recovers plain local SGD / FedAvg.
+  double prox_mu = 0.0;
+  /// Global-norm gradient clip applied per step (0 disables). Keeps local
+  /// training on pathological non-IID shards from diverging and poisoning
+  /// the aggregate.
+  double clip_norm = 10.0;
+};
+
+/// Per-training-session SGD state over an explicit parameter list. A fresh
+/// optimizer is created for each client's local training, which matches FL
+/// semantics (momentum does not leak across clients or rounds).
+class Sgd {
+ public:
+  Sgd(std::vector<ParamRef> params, SgdOptions opts);
+
+  /// Capture current weights as the FedProx anchor (no-op when μ == 0).
+  void set_prox_anchor();
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+
+  const SgdOptions& options() const { return opts_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  SgdOptions opts_;
+  std::vector<Tensor> velocity_;
+  std::vector<Tensor> anchor_;
+};
+
+}  // namespace fedtrans

@@ -1,0 +1,230 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+namespace {
+std::int64_t shape_numel(std::span<const int> shape) {
+  std::int64_t n = 1;
+  for (int d : shape) {
+    FT_CHECK_MSG(d >= 0, "negative dimension " << d);
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+
+Tensor Tensor::from(std::vector<int> shape, std::vector<float> values) {
+  FT_CHECK_MSG(shape_numel(shape) == static_cast<std::int64_t>(values.size()),
+               "shape/value count mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  FT_CHECK(i >= 0 && i < ndim());
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Tensor::flat_index(std::span<const int> idx) const {
+  FT_CHECK_MSG(static_cast<int>(idx.size()) == ndim(),
+               "indexing " << idx.size() << "-d into " << ndim() << "-d tensor");
+  std::int64_t flat = 0;
+  for (std::size_t d = 0; d < idx.size(); ++d) {
+    FT_CHECK_MSG(idx[d] >= 0 && idx[d] < shape_[d],
+                 "index " << idx[d] << " out of bounds for dim " << d
+                          << " (size " << shape_[d] << ")");
+    flat = flat * shape_[d] + idx[d];
+  }
+  return flat;
+}
+
+float& Tensor::at(int i0) { return (*this)[flat_index(std::array{i0})]; }
+float& Tensor::at(int i0, int i1) {
+  return (*this)[flat_index(std::array{i0, i1})];
+}
+float& Tensor::at(int i0, int i1, int i2) {
+  return (*this)[flat_index(std::array{i0, i1, i2})];
+}
+float& Tensor::at(int i0, int i1, int i2, int i3) {
+  return (*this)[flat_index(std::array{i0, i1, i2, i3})];
+}
+float Tensor::at(int i0) const { return (*this)[flat_index(std::array{i0})]; }
+float Tensor::at(int i0, int i1) const {
+  return (*this)[flat_index(std::array{i0, i1})];
+}
+float Tensor::at(int i0, int i1, int i2) const {
+  return (*this)[flat_index(std::array{i0, i1, i2})];
+}
+float Tensor::at(int i0, int i1, int i2, int i3) const {
+  return (*this)[flat_index(std::array{i0, i1, i2, i3})];
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+Tensor Tensor::reshape(std::vector<int> new_shape) const {
+  FT_CHECK_MSG(shape_numel(new_shape) == numel(), "reshape numel mismatch");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  FT_CHECK_MSG(same_shape(other), "add_ shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  FT_CHECK_MSG(same_shape(other), "sub_ shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(float s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float s, const Tensor& other) {
+  FT_CHECK_MSG(same_shape(other), "axpy_ shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  return *this;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return s;
+}
+
+double Tensor::l2_norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return std::sqrt(s);
+}
+
+double Tensor::abs_max() const {
+  double m = 0.0;
+  for (float x : data_) m = std::max(m, static_cast<double>(std::fabs(x)));
+  return m;
+}
+
+void Tensor::randn(Rng& rng, float stddev) {
+  for (auto& x : data_)
+    x = static_cast<float>(rng.normal(0.0, static_cast<double>(stddev)));
+}
+
+void Tensor::rand_uniform(Rng& rng, float lo, float hi) {
+  for (auto& x : data_) x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void Tensor::save(std::ostream& os) const {
+  std::int32_t nd = ndim();
+  os.write(reinterpret_cast<const char*>(&nd), sizeof(nd));
+  for (int d : shape_) {
+    std::int32_t v = d;
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  os.write(reinterpret_cast<const char*>(data_.data()),
+           static_cast<std::streamsize>(data_.size() * sizeof(float)));
+}
+
+Tensor Tensor::load(std::istream& is) {
+  std::int32_t nd = 0;
+  is.read(reinterpret_cast<char*>(&nd), sizeof(nd));
+  FT_CHECK_MSG(is.good() && nd >= 0 && nd <= 8, "corrupt tensor header");
+  std::vector<int> shape(static_cast<std::size_t>(nd));
+  for (auto& d : shape) {
+    std::int32_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    d = v;
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  FT_CHECK_MSG(is.good(), "corrupt tensor payload");
+  return t;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c.add_(b);
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  c.sub_(b);
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c = a;
+  c.mul_(s);
+  return c;
+}
+
+void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta,
+          float* c, int ldc) {
+  FT_CHECK(m >= 0 && n >= 0 && k >= 0);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+
+  // i-k-j loop order keeps the innermost accesses contiguous for the common
+  // (non-transposed) case.
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = trans_a ? a[p * lda + i] : a[i * lda + p];
+      if (av == 0.0f) continue;
+      const float s = alpha * av;
+      float* crow = c + i * ldc;
+      if (!trans_b) {
+        const float* brow = b + p * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += s * brow[j];
+      } else {
+        for (int j = 0; j < n; ++j) crow[j] += s * b[j * ldb + p];
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  FT_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2, "matmul expects 2-D tensors");
+  FT_CHECK_MSG(a.dim(1) == b.dim(0), "matmul inner dimension mismatch");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(),
+       n);
+  return c;
+}
+
+double squared_distance(const Tensor& a, const Tensor& b) {
+  FT_CHECK_MSG(a.same_shape(b), "squared_distance shape mismatch");
+  double s = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace fedtrans

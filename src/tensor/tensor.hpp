@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fedtrans {
+
+/// Dense row-major float32 tensor. This is the only numeric container in the
+/// library: model weights, gradients, activations and datasets all use it.
+/// Layout conventions: images are NCHW; linear weights are [out, in]; conv
+/// weights are [out_c, in_c, kh, kw].
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f);
+  static Tensor from(std::vector<int> shape, std::vector<float> values);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> values() { return data_; }
+  std::span<const float> values() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  // Multi-dimensional accessors (bounds-checked in debug via FT_CHECK).
+  float& at(int i0);
+  float& at(int i0, int i1);
+  float& at(int i0, int i1, int i2);
+  float& at(int i0, int i1, int i2, int i3);
+  float at(int i0) const;
+  float at(int i0, int i1) const;
+  float at(int i0, int i1, int i2) const;
+  float at(int i0, int i1, int i2, int i3) const;
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+  /// Element count must match; shape is replaced.
+  Tensor reshape(std::vector<int> new_shape) const;
+
+  // In-place arithmetic (shapes must match exactly).
+  Tensor& add_(const Tensor& other);
+  Tensor& sub_(const Tensor& other);
+  Tensor& mul_(float s);
+  /// this += s * other.
+  Tensor& axpy_(float s, const Tensor& other);
+
+  double sum() const;
+  double l2_norm() const;
+  double abs_max() const;
+
+  /// Fill with N(0, stddev).
+  void randn(Rng& rng, float stddev = 1.0f);
+  /// Fill with U(lo, hi).
+  void rand_uniform(Rng& rng, float lo, float hi);
+
+  /// Binary round-trip serialization (shape + raw floats).
+  void save(std::ostream& os) const;
+  static Tensor load(std::istream& is);
+
+ private:
+  std::int64_t flat_index(std::span<const int> idx) const;
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// out-of-place c = a + b (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+/// out-of-place c = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+/// out-of-place c = a * s.
+Tensor scale(const Tensor& a, float s);
+
+/// C[M,N] (+)= alpha * op(A)[M,K] * op(B)[K,N]; beta pre-scales C.
+/// Plain triple loop with K-blocking — adequate for simulation-scale models.
+void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta,
+          float* c, int ldc);
+
+/// 2-D matrix product of a [M,K] and b [K,N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Squared L2 distance between two same-shaped tensors.
+double squared_distance(const Tensor& a, const Tensor& b);
+
+}  // namespace fedtrans

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fedtrans {
+
+/// Capability profile of one edge device. Substitutes for the FedScale
+/// 500k-device hardware trace the paper samples from: compute and network
+/// throughput are log-normal across the fleet (the shape of the AI-Benchmark
+/// smartphone survey in Fig. 1a), with a ≥29× disparity between the most and
+/// least capable devices.
+struct DeviceProfile {
+  /// Sustained multiply-accumulate throughput (MACs/second).
+  double compute_macs_per_s = 1e8;
+  /// Sustained network throughput (bytes/second), up == down.
+  double bandwidth_bytes_per_s = 1e5;
+  /// Largest per-sample model cost (MACs) this device accepts — the paper's
+  /// hardware-compatibility constraint T_c (derived from a per-inference
+  /// latency budget).
+  double capacity_macs = 1e6;
+};
+
+struct FleetConfig {
+  int num_devices = 64;
+  /// Median compute throughput; per-device values are
+  /// median * LogNormal(0, sigma).
+  double median_compute_macs_per_s = 2e8;
+  double sigma_compute = 1.0;
+  double median_bandwidth_bytes_per_s = 2e5;
+  double sigma_bandwidth = 0.8;
+  /// Per-inference latency budget that converts compute into a MAC
+  /// capacity: capacity = compute * budget.
+  double latency_budget_s = 0.004;
+  std::uint64_t seed = 7;
+
+  /// Convenience: choose median compute so the median device's capacity
+  /// equals `median_capacity_macs` (used by experiment presets to place the
+  /// fleet relative to a dataset's initial/maximum model sizes).
+  FleetConfig& with_median_capacity(double median_capacity_macs) {
+    median_compute_macs_per_s = median_capacity_macs / latency_budget_s;
+    return *this;
+  }
+};
+
+/// Sample a heterogeneous device fleet.
+std::vector<DeviceProfile> sample_fleet(const FleetConfig& cfg);
+
+/// Max/min compute ratio across the fleet (paper reports ≥ 29×).
+double fleet_disparity(const std::vector<DeviceProfile>& fleet);
+
+/// Wall-clock seconds one client needs for a training round: forward+backward
+/// compute (≈ 3× forward MACs) for steps × batch samples, plus model
+/// download+upload.
+double client_round_time_s(const DeviceProfile& dev, double model_macs,
+                           int local_steps, int batch,
+                           double model_bytes);
+
+/// Per-sample inference latency in milliseconds (Fig. 1a metric).
+double inference_latency_ms(const DeviceProfile& dev, double model_macs);
+
+/// Largest value in `model_macs` that fits the device's capacity; -1 if none.
+int most_capable_fit(const DeviceProfile& dev,
+                     const std::vector<double>& model_macs);
+
+}  // namespace fedtrans

@@ -1,0 +1,286 @@
+// Checkpoint/resume tests: a restored FedTransTrainer must continue
+// bit-identically to an uninterrupted run — weights, utilities, costs,
+// round history, RNG trajectory and the transformation schedule.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "core/trainer.hpp"
+#include "test_util.hpp"
+
+namespace fedtrans {
+namespace {
+
+DatasetConfig tiny_data(int clients = 10) {
+  DatasetConfig cfg;
+  cfg.num_classes = 4;
+  cfg.channels = 1;
+  cfg.hw = 8;
+  cfg.num_clients = clients;
+  cfg.mean_train_samples = 20;
+  cfg.min_train_samples = 10;
+  cfg.eval_samples = 8;
+  cfg.noise = 0.35;
+  cfg.seed = 31;
+  return cfg;
+}
+
+std::vector<DeviceProfile> fleet_with_capacity(int n, double macs) {
+  FleetConfig cfg;
+  cfg.num_devices = n;
+  cfg.sigma_compute = 0.8;
+  cfg.seed = 4;
+  cfg.with_median_capacity(macs);
+  return sample_fleet(cfg);
+}
+
+FedTransConfig fast_cfg() {
+  FedTransConfig cfg;
+  cfg.rounds = 12;
+  cfg.clients_per_round = 4;
+  cfg.local.steps = 4;
+  cfg.local.batch = 6;
+  cfg.gamma = 2;
+  cfg.doc_delta = 2;
+  cfg.beta = 10.0;  // forces transformation as soon as DoC is ready
+  cfg.act_window = 2;
+  cfg.max_models = 3;
+  cfg.seed = 77;
+  return cfg;
+}
+
+ModelSpec tiny_model() { return ModelSpec::conv(1, 8, 4, 4, {6, 8}); }
+
+void expect_same_state(FedTransTrainer& a, FedTransTrainer& b) {
+  ASSERT_EQ(a.num_models(), b.num_models());
+  EXPECT_EQ(a.rounds_done(), b.rounds_done());
+  EXPECT_EQ(a.transforms_done(), b.transforms_done());
+  for (int k = 0; k < a.num_models(); ++k) {
+    EXPECT_EQ(a.model(k).spec(), b.model(k).spec()) << "model " << k;
+    auto wa = a.model(k).weights();
+    auto wb = b.model(k).weights();
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t i = 0; i < wa.size(); ++i)
+      EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0)
+          << "model " << k << " tensor " << i;
+  }
+  // Utilities drive assignment; they must match exactly too.
+  const auto& cma = a.client_manager();
+  const auto& cmb = b.client_manager();
+  for (int c = 0; c < cma.num_clients(); ++c)
+    for (int k = 0; k < a.num_models(); ++k)
+      EXPECT_EQ(cma.utility(c, k), cmb.utility(c, k))
+          << "client " << c << " model " << k;
+  EXPECT_EQ(a.costs().total_macs(), b.costs().total_macs());
+  EXPECT_EQ(a.costs().network_bytes(), b.costs().network_bytes());
+  EXPECT_EQ(a.costs().storage_bytes(), b.costs().storage_bytes());
+  ASSERT_EQ(a.history().size(), b.history().size());
+  for (std::size_t i = 0; i < a.history().size(); ++i) {
+    EXPECT_EQ(a.history()[i].avg_loss, b.history()[i].avg_loss) << i;
+    EXPECT_EQ(a.history()[i].cum_macs, b.history()[i].cum_macs) << i;
+  }
+}
+
+TEST(CheckpointTest, RoundTripRestoresIdenticalState) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  FedTransTrainer a(tiny_model(), data, fleet, fast_cfg());
+  for (int r = 0; r < 6; ++r) a.run_round();
+
+  std::stringstream ss;
+  a.save_checkpoint(ss);
+
+  FedTransTrainer b(tiny_model(), data, fleet, fast_cfg());
+  b.load_checkpoint(ss);
+  expect_same_state(a, b);
+}
+
+TEST(CheckpointTest, ResumedRunReplaysBitIdentically) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+
+  // Uninterrupted reference: 6 + 6 rounds.
+  FedTransTrainer ref(tiny_model(), data, fleet, fast_cfg());
+  for (int r = 0; r < 6; ++r) ref.run_round();
+  std::stringstream ss;
+  ref.save_checkpoint(ss);
+  for (int r = 0; r < 6; ++r) ref.run_round();
+
+  // Interrupted run: restore at round 6, then the same 6 more rounds.
+  FedTransTrainer resumed(tiny_model(), data, fleet, fast_cfg());
+  resumed.load_checkpoint(ss);
+  EXPECT_EQ(resumed.rounds_done(), 6);
+  for (int r = 0; r < 6; ++r) resumed.run_round();
+
+  expect_same_state(ref, resumed);
+}
+
+TEST(CheckpointTest, ResumeContinuesTransformationSchedule) {
+  // Checkpoint *before* the first transformation; the resumed run must
+  // still spawn models on the same schedule as the reference.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  auto cfg = fast_cfg();
+
+  FedTransTrainer ref(tiny_model(), data, fleet, cfg);
+  ref.run_round();
+  ref.run_round();
+  ASSERT_EQ(ref.num_models(), 1) << "transform fired earlier than expected";
+  std::stringstream ss;
+  ref.save_checkpoint(ss);
+  for (int r = 2; r < cfg.rounds; ++r) ref.run_round();
+  ASSERT_GE(ref.num_models(), 2);
+
+  FedTransTrainer resumed(tiny_model(), data, fleet, cfg);
+  resumed.load_checkpoint(ss);
+  for (int r = 2; r < cfg.rounds; ++r) resumed.run_round();
+  expect_same_state(ref, resumed);
+}
+
+TEST(CheckpointTest, FileRoundTrip) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  FedTransTrainer a(tiny_model(), data, fleet, fast_cfg());
+  for (int r = 0; r < 4; ++r) a.run_round();
+  const std::string path = ::testing::TempDir() + "/fedtrans_ckpt.bin";
+  a.save_checkpoint_file(path);
+
+  FedTransTrainer b(tiny_model(), data, fleet, fast_cfg());
+  b.load_checkpoint_file(path);
+  expect_same_state(a, b);
+}
+
+TEST(CheckpointTest, RejectsGarbageMagic) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  FedTransTrainer t(tiny_model(), data, fleet, fast_cfg());
+  std::stringstream ss;
+  ss << "not a checkpoint at all";
+  EXPECT_THROW(t.load_checkpoint(ss), Error);
+}
+
+TEST(CheckpointTest, RejectsTruncatedStream) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  FedTransTrainer a(tiny_model(), data, fleet, fast_cfg());
+  for (int r = 0; r < 3; ++r) a.run_round();
+  std::stringstream ss;
+  a.save_checkpoint(ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  FedTransTrainer b(tiny_model(), data, fleet, fast_cfg());
+  EXPECT_THROW(b.load_checkpoint(cut), Error);
+}
+
+TEST(CheckpointTest, RejectsMismatchedSeed) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  FedTransTrainer a(tiny_model(), data, fleet, fast_cfg());
+  a.run_round();
+  std::stringstream ss;
+  a.save_checkpoint(ss);
+
+  auto other = fast_cfg();
+  other.seed = 1234;
+  FedTransTrainer b(tiny_model(), data, fleet, other);
+  EXPECT_THROW(b.load_checkpoint(ss), Error);
+}
+
+TEST(CheckpointTest, RejectsMismatchedFleet) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  FedTransTrainer a(tiny_model(), data, fleet, fast_cfg());
+  a.run_round();
+  std::stringstream ss;
+  a.save_checkpoint(ss);
+
+  auto small = FederatedDataset::generate(tiny_data(6));
+  auto small_fleet = fleet_with_capacity(6, 5e6);
+  FedTransTrainer b(tiny_model(), small, small_fleet, fast_cfg());
+  EXPECT_THROW(b.load_checkpoint(ss), Error);
+}
+
+TEST(CheckpointTest, MidTrainingEvaluationUnaffectedBySaving) {
+  // Saving is a read-only operation: run → save → run must equal run → run.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  FedTransTrainer a(tiny_model(), data, fleet, fast_cfg());
+  FedTransTrainer b(tiny_model(), data, fleet, fast_cfg());
+  for (int r = 0; r < 3; ++r) {
+    a.run_round();
+    std::stringstream ss;
+    a.save_checkpoint(ss);  // interleaved saves
+    b.run_round();
+  }
+  expect_same_state(a, b);
+}
+
+// ---------------------------------------------------------- scaling policy
+
+TEST(ScalingPolicyTest, WidenOnlyNeverDeepens) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 1e9);
+  auto cfg = fast_cfg();
+  cfg.scaling_policy = ScalingPolicy::WidenOnly;
+  cfg.max_models = 4;
+  FedTransTrainer t(tiny_model(), data, fleet, cfg);
+  t.run();
+  ASSERT_GE(t.num_models(), 2);
+  const auto n_cells0 = t.model(0).spec().cells.size();
+  for (int k = 1; k < t.num_models(); ++k)
+    EXPECT_EQ(t.model(k).spec().cells.size(), n_cells0)
+        << "widen-only must not insert cells";
+}
+
+TEST(ScalingPolicyTest, DeepenOnlyNeverWidens) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 1e9);
+  auto cfg = fast_cfg();
+  cfg.scaling_policy = ScalingPolicy::DeepenOnly;
+  cfg.max_models = 4;
+  FedTransTrainer t(tiny_model(), data, fleet, cfg);
+  t.run();
+  ASSERT_GE(t.num_models(), 2);
+  // Widths of surviving (lineage-matched) cells never change; depth grows.
+  for (int k = 1; k < t.num_models(); ++k) {
+    EXPECT_GT(t.model(k).spec().cells.size(),
+              t.model(k - 1).spec().cells.size());
+    for (const auto& cell : t.model(k).spec().cells)
+      EXPECT_TRUE(cell.width == 6 || cell.width == 8)
+          << "deepen-only must keep the original widths";
+  }
+}
+
+TEST(ScalingPolicyTest, CompoundAlternatesOperations) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 1e9);
+  auto cfg = fast_cfg();
+  cfg.scaling_policy = ScalingPolicy::Compound;
+  cfg.max_models = 4;
+  FedTransTrainer t(tiny_model(), data, fleet, cfg);
+  t.run();
+  ASSERT_GE(t.num_models(), 3);
+  // Generation 1 widens (fresh cells start un-widened); a later generation
+  // must have inserted at least one cell (the deepen half of the cycle).
+  bool saw_width_growth = false, saw_depth_growth = false;
+  for (int k = 1; k < t.num_models(); ++k) {
+    if (t.model(k).spec().cells.size() >
+        t.model(k - 1).spec().cells.size())
+      saw_depth_growth = true;
+    for (const auto& cell : t.model(k).spec().cells)
+      if (cell.width > 8) saw_width_growth = true;
+  }
+  EXPECT_TRUE(saw_width_growth);
+  EXPECT_TRUE(saw_depth_growth);
+}
+
+TEST(ScalingPolicyTest, NamesAreStable) {
+  EXPECT_STREQ(scaling_policy_name(ScalingPolicy::Compound), "compound");
+  EXPECT_STREQ(scaling_policy_name(ScalingPolicy::WidenOnly), "widen-only");
+  EXPECT_STREQ(scaling_policy_name(ScalingPolicy::DeepenOnly), "deepen-only");
+}
+
+}  // namespace
+}  // namespace fedtrans

@@ -1,0 +1,291 @@
+// Tests for uplink delta compression: top-k sparsification, uniform
+// quantization, error feedback, and the FedAvgRunner integration (network
+// accounting + accuracy under compression).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "fl/compression.hpp"
+#include "fl/runner.hpp"
+#include "test_util.hpp"
+
+namespace fedtrans {
+namespace {
+
+WeightSet make_delta(std::vector<std::vector<float>> tensors) {
+  WeightSet ws;
+  for (auto& vals : tensors) {
+    const int n = static_cast<int>(vals.size());
+    ws.push_back(Tensor::from({n}, std::move(vals)));
+  }
+  return ws;
+}
+
+std::int64_t count_nonzero(const WeightSet& ws) {
+  std::int64_t n = 0;
+  for (const Tensor& t : ws)
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+      if (t[i] != 0.0f) ++n;
+  return n;
+}
+
+// -------------------------------------------------------------------- topk
+
+TEST(TopKCompressionTest, KeepsExactlyKLargestMagnitudes) {
+  auto ws = make_delta({{0.1f, -5.0f, 0.2f, 3.0f}, {-0.3f, 4.0f, 0.05f,
+                                                    -2.0f}});
+  TopKCompression comp(0.5);  // 8 entries → keep 4
+  comp.compress(ws);
+  EXPECT_EQ(count_nonzero(ws), 4);
+  // Survivors are the four largest magnitudes: −5, 4, 3, −2.
+  EXPECT_EQ(ws[0][1], -5.0f);
+  EXPECT_EQ(ws[0][3], 3.0f);
+  EXPECT_EQ(ws[1][1], 4.0f);
+  EXPECT_EQ(ws[1][3], -2.0f);
+  EXPECT_EQ(ws[0][0], 0.0f);
+}
+
+TEST(TopKCompressionTest, TiesResolveToExactlyK) {
+  auto ws = make_delta({{1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f}});
+  TopKCompression comp(0.25);  // keep 2 of 8 equal values
+  comp.compress(ws);
+  EXPECT_EQ(count_nonzero(ws), 2);
+}
+
+TEST(TopKCompressionTest, RatioOneIsIdentity) {
+  auto ws = make_delta({{1.0f, -2.0f, 3.0f}});
+  auto copy = ws;
+  TopKCompression comp(1.0);
+  comp.compress(ws);
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_EQ(ws[0][i], copy[0][i]);
+}
+
+TEST(TopKCompressionTest, AtLeastOneSurvives) {
+  auto ws = make_delta({{0.5f, 0.25f, 0.1f, 0.9f}});
+  TopKCompression comp(0.01);  // 0.04 entries → floor 0, clamped to 1
+  comp.compress(ws);
+  EXPECT_EQ(count_nonzero(ws), 1);
+  EXPECT_EQ(ws[0][3], 0.9f);
+}
+
+TEST(TopKCompressionTest, BytesScaleWithRatio) {
+  TopKCompression tenth(0.1), half(0.5);
+  EXPECT_EQ(tenth.compressed_bytes(1000), 8.0 * 100);
+  EXPECT_EQ(half.compressed_bytes(1000), 8.0 * 500);
+  // Dense fp32 equivalent is 4000 bytes: 10% top-k saves 5×.
+  NoCompression none;
+  EXPECT_LT(tenth.compressed_bytes(1000), none.compressed_bytes(1000));
+}
+
+TEST(TopKCompressionTest, RejectsInvalidRatio) {
+  EXPECT_THROW(TopKCompression(0.0), Error);
+  EXPECT_THROW(TopKCompression(1.5), Error);
+}
+
+// ------------------------------------------------------------ quantization
+
+TEST(UniformQuantizationTest, ErrorBoundedByHalfStep) {
+  Rng rng(3);
+  WeightSet ws{Tensor({64})};
+  ws[0].randn(rng, 1.0f);
+  WeightSet orig = ws;
+  UniformQuantization comp(8);
+  comp.compress(ws);
+  float mx = 0.0f;
+  for (std::int64_t i = 0; i < 64; ++i)
+    mx = std::max(mx, std::fabs(orig[0][i]));
+  const float step = mx / 127.0f;
+  for (std::int64_t i = 0; i < 64; ++i)
+    EXPECT_LE(std::fabs(ws[0][i] - orig[0][i]), step / 2.0f + 1e-6f);
+}
+
+TEST(UniformQuantizationTest, PreservesZeroTensor) {
+  WeightSet ws{Tensor({8})};
+  UniformQuantization comp(4);
+  comp.compress(ws);
+  for (std::int64_t i = 0; i < 8; ++i) EXPECT_EQ(ws[0][i], 0.0f);
+}
+
+TEST(UniformQuantizationTest, FourBitIsCoarserThanEight) {
+  Rng rng(4);
+  WeightSet ws{Tensor({256})};
+  ws[0].randn(rng, 1.0f);
+  WeightSet w8 = ws, w4 = ws;
+  UniformQuantization q8(8), q4(4);
+  q8.compress(w8);
+  q4.compress(w4);
+  double err8 = 0.0, err4 = 0.0;
+  for (std::int64_t i = 0; i < 256; ++i) {
+    err8 += std::fabs(w8[0][i] - ws[0][i]);
+    err4 += std::fabs(w4[0][i] - ws[0][i]);
+  }
+  EXPECT_LT(err8, err4);
+}
+
+TEST(UniformQuantizationTest, BytesMatchBitWidth) {
+  UniformQuantization q8(8);
+  WeightSet ws{Tensor({100}), Tensor({50})};
+  q8.compress(ws);
+  // 150 params × 1 byte + 2 scales × 4 bytes.
+  EXPECT_EQ(q8.compressed_bytes(150), 150.0 + 8.0);
+}
+
+TEST(UniformQuantizationTest, RejectsInvalidBits) {
+  EXPECT_THROW(UniformQuantization(0), Error);
+  EXPECT_THROW(UniformQuantization(17), Error);
+}
+
+// ---------------------------------------------------------- error feedback
+
+TEST(ErrorFeedbackTest, ResidualIsDroppedMass) {
+  auto ws = make_delta({{5.0f, 0.1f}});
+  ErrorFeedback ef;
+  const WeightSet pre = ws;
+  TopKCompression comp(0.5);
+  comp.compress(ws);  // keeps 5.0, drops 0.1
+  ef.store_residual(7, pre, ws);
+  ASSERT_TRUE(ef.has_residual(7));
+
+  auto next = make_delta({{0.0f, 0.0f}});
+  ef.add_residual(7, next);
+  EXPECT_EQ(next[0][0], 0.0f);
+  EXPECT_NEAR(next[0][1], 0.1f, 1e-6f);
+}
+
+TEST(ErrorFeedbackTest, UnknownClientIsNoop) {
+  ErrorFeedback ef;
+  auto ws = make_delta({{1.0f}});
+  ef.add_residual(3, ws);
+  EXPECT_EQ(ws[0][0], 1.0f);
+  EXPECT_FALSE(ef.has_residual(3));
+}
+
+TEST(ErrorFeedbackTest, MassConservation) {
+  // EF's defining invariant: at every round,
+  //   Σ uploads + current residual == Σ dense deltas.
+  // Nothing the compressor drops is ever lost — it stays in the residual
+  // until a later round's budget admits it.
+  ErrorFeedback ef;
+  TopKCompression comp(0.5);
+  WeightSet uploaded_sum = make_delta({{0.0f, 0.0f}});
+  WeightSet dense_sum = make_delta({{0.0f, 0.0f}});
+  for (int round = 0; round < 6; ++round) {
+    auto delta = make_delta({{1.0f, 0.4f}});
+    ws_add(dense_sum, delta);
+    ef.add_residual(0, delta);
+    const WeightSet pre = delta;
+    comp.compress(delta);
+    ef.store_residual(0, pre, delta);
+    ws_add(uploaded_sum, delta);
+
+    // Reconstruct the residual via the public API to check conservation.
+    auto residual_probe = make_delta({{0.0f, 0.0f}});
+    ef.add_residual(0, residual_probe);
+    for (std::int64_t i = 0; i < 2; ++i)
+      EXPECT_NEAR(uploaded_sum[0][i] + residual_probe[0][i], dense_sum[0][i],
+                  1e-5f)
+          << "round " << round << " coord " << i;
+  }
+  // And the starved coordinate is eventually transmitted.
+  EXPECT_GT(uploaded_sum[0][1], 0.0f);
+}
+
+// -------------------------------------------------------------- runner use
+
+DatasetConfig tiny_data(int clients = 10) {
+  DatasetConfig cfg;
+  cfg.num_classes = 4;
+  cfg.channels = 1;
+  cfg.hw = 8;
+  cfg.num_clients = clients;
+  cfg.mean_train_samples = 20;
+  cfg.min_train_samples = 10;
+  cfg.eval_samples = 8;
+  cfg.noise = 0.35;
+  cfg.seed = 13;
+  return cfg;
+}
+
+std::vector<DeviceProfile> tiny_fleet(int n) {
+  FleetConfig cfg;
+  cfg.num_devices = n;
+  cfg.seed = 4;
+  cfg.with_median_capacity(5e6);
+  return sample_fleet(cfg);
+}
+
+TEST(CompressedRunnerTest, TopKSlashesUplinkBytes) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(21);
+  Model init(ModelSpec::conv(1, 8, 4, 4, {6, 8}), rng);
+
+  FlRunConfig dense_cfg;
+  dense_cfg.rounds = 4;
+  dense_cfg.clients_per_round = 4;
+  dense_cfg.local.steps = 2;
+  dense_cfg.local.batch = 6;
+  FedAvgRunner dense(init, data, fleet, dense_cfg);
+  dense.run();
+
+  FlRunConfig comp_cfg = dense_cfg;
+  comp_cfg.compression = CompressionKind::TopK;
+  comp_cfg.topk_ratio = 0.05;
+  FedAvgRunner compressed(init, data, fleet, comp_cfg);
+  compressed.run();
+
+  EXPECT_LT(compressed.costs().network_bytes(),
+            0.7 * dense.costs().network_bytes())
+      << "5% top-k should cut total transfer substantially";
+}
+
+TEST(CompressedRunnerTest, QuantizedTrainingStillLearns) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(22);
+  Model init(ModelSpec::conv(1, 8, 4, 4, {6, 8}), rng);
+
+  FlRunConfig cfg;
+  cfg.rounds = 20;
+  cfg.clients_per_round = 5;
+  cfg.local.steps = 6;
+  cfg.local.batch = 8;
+  cfg.compression = CompressionKind::Quant8;
+  FedAvgRunner runner(init, data, fleet, cfg);
+  FedAvgRunner probe(init, data, fleet, cfg);
+  const double acc0 = probe.mean_client_accuracy();
+  runner.run();
+  EXPECT_GT(runner.mean_client_accuracy(), acc0 + 0.15);
+}
+
+TEST(CompressedRunnerTest, ErrorFeedbackImprovesAggressiveTopK) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(23);
+  Model init(ModelSpec::conv(1, 8, 4, 4, {6, 8}), rng);
+
+  FlRunConfig cfg;
+  cfg.rounds = 25;
+  cfg.clients_per_round = 5;
+  cfg.local.steps = 6;
+  cfg.local.batch = 8;
+  cfg.compression = CompressionKind::TopK;
+  cfg.topk_ratio = 0.02;  // aggressive: 2% of coordinates per round
+
+  FedAvgRunner without(init, data, fleet, cfg);
+  without.run();
+  cfg.error_feedback = true;
+  FedAvgRunner with(init, data, fleet, cfg);
+  with.run();
+
+  // EF must not hurt, and final train loss should improve (accuracy at this
+  // scale is noisy, loss is the steadier signal).
+  const double loss_without = without.history().back().avg_loss;
+  const double loss_with = with.history().back().avg_loss;
+  EXPECT_LE(loss_with, loss_without + 0.05);
+}
+
+}  // namespace
+}  // namespace fedtrans

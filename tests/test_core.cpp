@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "common/check.hpp"
+#include "core/aggregator.hpp"
+#include "core/client_manager.hpp"
+#include "core/signals.hpp"
+#include "core/transformer.hpp"
+#include "model/similarity.hpp"
+#include "model/transform.hpp"
+
+namespace fedtrans {
+namespace {
+
+// ---------------------------------------------------------------- DoC ---
+
+TEST(DoC, NotReadyUntilGammaPlusDeltaLosses) {
+  DoCTracker doc(3, 2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(doc.ready());
+    doc.add_loss(1.0);
+  }
+  doc.add_loss(1.0);
+  EXPECT_TRUE(doc.ready());
+}
+
+TEST(DoC, LinearDecayGivesSlope) {
+  // L(i) = 10 - i: every slope (L(i-δ) - L(i))/δ equals 1.
+  DoCTracker doc(4, 3);
+  for (int i = 0; i < 10; ++i) doc.add_loss(10.0 - i);
+  EXPECT_NEAR(doc.doc(), 1.0, 1e-12);
+}
+
+TEST(DoC, FlatCurveGivesZero) {
+  DoCTracker doc(3, 2);
+  for (int i = 0; i < 8; ++i) doc.add_loss(2.5);
+  EXPECT_NEAR(doc.doc(), 0.0, 1e-12);
+}
+
+TEST(DoC, IncreasingLossGivesNegative) {
+  DoCTracker doc(3, 2);
+  for (int i = 0; i < 8; ++i) doc.add_loss(1.0 + 0.5 * i);
+  EXPECT_LT(doc.doc(), 0.0);
+}
+
+TEST(DoC, ResetClearsHistory) {
+  DoCTracker doc(2, 1);
+  for (int i = 0; i < 5; ++i) doc.add_loss(1.0);
+  EXPECT_TRUE(doc.ready());
+  doc.reset();
+  EXPECT_FALSE(doc.ready());
+  EXPECT_THROW(doc.doc(), Error);
+}
+
+// --------------------------------------------------------- Activeness ---
+
+TEST(Activeness, NormalizedGradientNormPerCell) {
+  Rng rng(1);
+  Model m(ModelSpec::conv(1, 8, 4, 4, {6, 8}), rng);
+  // Delta = 0.1 * weights => activeness ≈ 0.1 for every cell.
+  WeightSet delta;
+  for (auto& p : m.params()) {
+    Tensor d = *p.value;
+    d.mul_(0.1f);
+    delta.push_back(d);
+  }
+  ActivenessTracker tracker(m.num_cells(), 3);
+  tracker.add_round(m, delta);
+  for (double a : tracker.activeness()) EXPECT_NEAR(a, 0.1, 1e-4);
+}
+
+TEST(Activeness, WindowAverages) {
+  Rng rng(2);
+  Model m(ModelSpec::conv(1, 8, 4, 4, {6}), rng);
+  ActivenessTracker tracker(1, 2);
+  auto mk_delta = [&](float scale) {
+    WeightSet d;
+    for (auto& p : m.params()) {
+      Tensor t = *p.value;
+      t.mul_(scale);
+      d.push_back(t);
+    }
+    return d;
+  };
+  tracker.add_round(m, mk_delta(0.1f));
+  tracker.add_round(m, mk_delta(0.3f));
+  EXPECT_NEAR(tracker.activeness()[0], 0.2, 1e-4);
+  tracker.add_round(m, mk_delta(0.5f));  // window 2: (0.3+0.5)/2
+  EXPECT_NEAR(tracker.activeness()[0], 0.4, 1e-4);
+}
+
+// ------------------------------------------------------- Transformer ---
+
+TEST(Transformer, SelectsCellsAboveAlphaFraction) {
+  auto spec = ModelSpec::conv(1, 8, 4, 4, {6, 8, 10});
+  Rng rng(3);
+  TransformerOptions opts;
+  opts.alpha = 0.9;
+  auto plan = build_transform_plan(spec, {1.0, 0.95, 0.5}, opts, rng);
+  EXPECT_NE(plan[0].kind, CellOp::Kind::Keep);
+  EXPECT_NE(plan[1].kind, CellOp::Kind::Keep);
+  EXPECT_EQ(plan[2].kind, CellOp::Kind::Keep);
+}
+
+TEST(Transformer, AlternatesWidenThenDeepen) {
+  auto spec = ModelSpec::conv(1, 8, 4, 4, {6});
+  Rng rng(4);
+  TransformerOptions opts;
+  auto plan = build_transform_plan(spec, {1.0}, opts, rng);
+  EXPECT_EQ(plan[0].kind, CellOp::Kind::Widen);
+  spec.cells[0].widened_last = true;
+  plan = build_transform_plan(spec, {1.0}, opts, rng);
+  EXPECT_EQ(plan[0].kind, CellOp::Kind::Deepen);
+}
+
+TEST(Transformer, RandomSelectionPicksExactlyOne) {
+  auto spec = ModelSpec::conv(1, 8, 4, 4, {6, 8, 10});
+  Rng rng(5);
+  TransformerOptions opts;
+  opts.layer_selection = false;  // '-l' ablation
+  auto plan = build_transform_plan(spec, {0.0, 0.0, 0.0}, opts, rng);
+  int ops = 0;
+  for (const auto& op : plan)
+    if (op.kind != CellOp::Kind::Keep) ++ops;
+  EXPECT_EQ(ops, 1);
+}
+
+TEST(Transformer, NoSignalMeansNoOps) {
+  auto spec = ModelSpec::conv(1, 8, 4, 4, {6});
+  Rng rng(6);
+  auto plan = build_transform_plan(spec, {0.0}, TransformerOptions{}, rng);
+  EXPECT_EQ(plan[0].kind, CellOp::Kind::Keep);
+}
+
+// ----------------------------------------------------- ClientManager ---
+
+ClientManager make_cm(std::vector<double> caps) {
+  return ClientManager(std::move(caps));
+}
+
+TEST(ClientManager, CompatibilityRespectsCapacity) {
+  auto cm = make_cm({100.0, 1000.0});
+  auto spec = ModelSpec::conv(1, 8, 4, 4, {6});
+  cm.add_model(spec, 80.0, -1);
+  cm.add_model(spec, 500.0, 0);
+  EXPECT_EQ(cm.compatible_models(0), (std::vector<int>{0}));
+  EXPECT_EQ(cm.compatible_models(1), (std::vector<int>{0, 1}));
+}
+
+TEST(ClientManager, NoCompatibleFallsBackToInitialModel) {
+  auto cm = make_cm({10.0});
+  cm.add_model(ModelSpec::conv(1, 8, 4, 4, {6}), 80.0, -1);
+  EXPECT_EQ(cm.compatible_models(0), (std::vector<int>{0}));
+  Rng rng(7);
+  EXPECT_EQ(cm.assign(0, rng), 0);
+}
+
+TEST(ClientManager, AssignFollowsUtilitySoftmax) {
+  auto cm = make_cm({1000.0});
+  Rng mrng(88);
+  Model m0(ModelSpec::conv(1, 8, 4, 4, {6, 8}), mrng);
+  Model m1 = widen_cell(m0, 0, 2.0, 1, mrng);  // sim(0,1) < 1
+  cm.add_model(m0.spec(), 10.0, -1);
+  cm.add_model(m1.spec(), 20.0, 0);
+  // Strongly favor model 1: repeated good (negative std-loss) updates on it.
+  for (int i = 0; i < 12; ++i) cm.update_utilities(0, 1, -1.0);
+  Rng rng(8);
+  int ones = 0;
+  for (int i = 0; i < 300; ++i) ones += cm.assign(0, rng) == 1 ? 1 : 0;
+  EXPECT_GT(ones, 200);
+}
+
+TEST(ClientManager, JointUpdateWeightsBySimilarity) {
+  auto cm = make_cm({1000.0});
+  Rng rng(9);
+  Model m0(ModelSpec::conv(1, 8, 4, 4, {6, 8}), rng);
+  Model m1 = widen_cell(m0, 0, 2.0, 1, rng);
+  cm.add_model(m0.spec(), 10.0, -1);
+  cm.add_model(m1.spec(), 20.0, 0);
+  const double sim = model_similarity(m0.spec(), m1.spec());
+  cm.update_utilities(0, /*assigned=*/1, /*std_loss=*/-2.0);
+  // Assigned model gets full credit (sim(1,1)=1); sibling gets sim-scaled.
+  EXPECT_NEAR(cm.utility(0, 1), 2.0, 1e-9);
+  EXPECT_NEAR(cm.utility(0, 0), 2.0 * sim, 1e-9);
+}
+
+TEST(ClientManager, NewModelCopiesParentUtility) {
+  auto cm = make_cm({1000.0});
+  auto spec = ModelSpec::conv(1, 8, 4, 4, {6});
+  cm.add_model(spec, 10.0, -1);
+  cm.update_utilities(0, 0, -3.0);
+  cm.add_model(spec, 20.0, 0);
+  EXPECT_NEAR(cm.utility(0, 1), cm.utility(0, 0), 1e-12);
+}
+
+TEST(ClientManager, BestModelTieBreaksTowardProvenModel) {
+  auto cm = make_cm({1000.0});
+  Rng mrng(77);
+  Model m0(ModelSpec::conv(1, 8, 4, 4, {6, 8}), mrng);
+  Model m1 = widen_cell(m0, 0, 2.0, 1, mrng);  // sim(0,1) < 1
+  cm.add_model(m0.spec(), 10.0, -1);
+  cm.add_model(m1.spec(), 20.0, 0);  // fresh child copies parent's utility
+  // On an exact tie the earlier (longer-trained) model wins; once the child
+  // earns strictly higher utility it takes over.
+  EXPECT_EQ(cm.best_model(0), 0);
+  cm.update_utilities(0, 1, -1.0);  // good round on the child
+  EXPECT_EQ(cm.best_model(0), 1);
+}
+
+TEST(ClientManager, SimilarityMatrixSymmetricWithUnitDiagonal) {
+  auto cm = make_cm({1000.0});
+  Rng rng(10);
+  Model m0(ModelSpec::conv(1, 8, 4, 4, {6, 8}), rng);
+  Model m1 = deepen_cell(m0, 1, 1, 1, rng);
+  cm.add_model(m0.spec(), 10.0, -1);
+  cm.add_model(m1.spec(), 20.0, 0);
+  EXPECT_DOUBLE_EQ(cm.similarity(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.similarity(0, 1), cm.similarity(1, 0));
+}
+
+// --------------------------------------------------------- Aggregator ---
+
+TEST(Aggregator, DisabledCrossSharingIsNoOp) {
+  Rng rng(11);
+  Model m0(ModelSpec::conv(1, 8, 4, 4, {6}), rng);
+  Model m1 = widen_cell(m0, 0, 2.0, 1, rng);
+  auto w1_before = m1.weights();
+  SoftAggregator agg({0.98, /*enable_cross=*/false, true, false});
+  std::vector<Model*> models{&m0, &m1};
+  std::vector<std::vector<double>> sim{{1.0, 0.5}, {0.5, 1.0}};
+  agg.aggregate(models, sim, 5);
+  auto w1_after = m1.weights();
+  for (std::size_t i = 0; i < w1_before.size(); ++i)
+    for (std::int64_t j = 0; j < w1_before[i].numel(); ++j)
+      EXPECT_EQ(w1_before[i][j], w1_after[i][j]);
+}
+
+TEST(Aggregator, SmallToLargeBlendMatchesEq5) {
+  Rng rng(12);
+  Model m0(ModelSpec::conv(1, 8, 4, 4, {6}), rng);
+  Model m1 = widen_cell(m0, 0, 2.0, 1, rng);
+  // Make weights distinct constants on the shared stem to hand-verify.
+  auto w0 = m0.weights();
+  auto w1 = m1.weights();
+  w0[0].fill(1.0f);
+  w1[0].fill(3.0f);
+  m0.set_weights(w0);
+  m1.set_weights(w1);
+
+  const double s = 0.5, eta = 0.9;
+  const int t = 3;
+  SoftAggregator agg({eta, true, true, false});
+  std::vector<Model*> models{&m0, &m1};
+  std::vector<std::vector<double>> sim{{1.0, s}, {s, 1.0}};
+  agg.aggregate(models, sim, t);
+
+  // Model 0 must be untouched (no l2s).
+  EXPECT_FLOAT_EQ(m0.weights()[0][0], 1.0f);
+  // Model 1 stem: (η^t·s·1 + 1·3) / (η^t·s + 1).
+  const double coeff = std::pow(eta, t) * s;
+  const double expect = (coeff * 1.0 + 3.0) / (coeff + 1.0);
+  EXPECT_NEAR(m1.weights()[0][0], expect, 1e-5);
+}
+
+TEST(Aggregator, L2sAlsoUpdatesSmallModel) {
+  Rng rng(13);
+  Model m0(ModelSpec::conv(1, 8, 4, 4, {6}), rng);
+  Model m1 = widen_cell(m0, 0, 2.0, 1, rng);
+  auto w0 = m0.weights();
+  w0[0].fill(1.0f);
+  m0.set_weights(w0);
+  auto w1 = m1.weights();
+  w1[0].fill(3.0f);
+  m1.set_weights(w1);
+  SoftAggregator agg({0.98, true, true, /*l2s=*/true});
+  std::vector<Model*> models{&m0, &m1};
+  std::vector<std::vector<double>> sim{{1.0, 0.5}, {0.5, 1.0}};
+  agg.aggregate(models, sim, 0);
+  EXPECT_GT(m0.weights()[0][0], 1.0f);  // pulled toward the large model
+}
+
+TEST(Aggregator, DecayReducesCrossInfluenceOverRounds) {
+  auto blended_at = [](int round) {
+    Rng rng(14);
+    Model m0(ModelSpec::conv(1, 8, 4, 4, {6}), rng);
+    Model m1 = widen_cell(m0, 0, 2.0, 1, rng);
+    auto w0 = m0.weights();
+    w0[0].fill(1.0f);
+    m0.set_weights(w0);
+    auto w1 = m1.weights();
+    w1[0].fill(3.0f);
+    m1.set_weights(w1);
+    SoftAggregator agg({0.9, true, true, false});
+    std::vector<Model*> models{&m0, &m1};
+    std::vector<std::vector<double>> sim{{1.0, 0.5}, {0.5, 1.0}};
+    agg.aggregate(models, sim, round);
+    return m1.weights()[0][0];
+  };
+  // Later rounds: smaller pull toward the small model's value (1.0).
+  EXPECT_LT(blended_at(1), blended_at(50));
+}
+
+}  // namespace
+}  // namespace fedtrans

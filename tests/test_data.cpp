@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "data/dataset.hpp"
+
+namespace fedtrans {
+namespace {
+
+DatasetConfig small_cfg() {
+  DatasetConfig cfg;
+  cfg.num_classes = 6;
+  cfg.channels = 1;
+  cfg.hw = 8;
+  cfg.num_clients = 20;
+  cfg.mean_train_samples = 20;
+  cfg.min_train_samples = 6;
+  cfg.eval_samples = 5;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Dataset, ShapesAndLabelRanges) {
+  auto ds = FederatedDataset::generate(small_cfg());
+  EXPECT_EQ(ds.num_clients(), 20);
+  for (int c = 0; c < ds.num_clients(); ++c) {
+    const auto& cd = ds.client(c);
+    EXPECT_GE(cd.train_size(), 6);
+    EXPECT_EQ(cd.eval_size(), 5);
+    EXPECT_EQ(cd.x_train.shape(),
+              (std::vector<int>{cd.train_size(), 1, 8, 8}));
+    for (int y : cd.y_train) {
+      EXPECT_GE(y, 0);
+      EXPECT_LT(y, 6);
+    }
+  }
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  auto a = FederatedDataset::generate(small_cfg());
+  auto b = FederatedDataset::generate(small_cfg());
+  EXPECT_EQ(a.client(3).y_train, b.client(3).y_train);
+  EXPECT_EQ(a.client(3).x_train[10], b.client(3).x_train[10]);
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  auto cfg = small_cfg();
+  auto a = FederatedDataset::generate(cfg);
+  cfg.seed = 78;
+  auto b = FederatedDataset::generate(cfg);
+  EXPECT_NE(a.client(0).x_train[0], b.client(0).x_train[0]);
+}
+
+// Label skew must increase as the Dirichlet concentration h decreases —
+// exactly the paper's Fig. 13 heterogeneity protocol.
+class DirichletSkewTest : public ::testing::TestWithParam<double> {};
+
+double mean_label_entropy(const FederatedDataset& ds) {
+  double total = 0.0;
+  for (int c = 0; c < ds.num_clients(); ++c) {
+    const auto hist = ds.label_histogram(c);
+    double n = 0.0;
+    for (int h : hist) n += h;
+    double ent = 0.0;
+    for (int h : hist)
+      if (h > 0) {
+        const double p = h / n;
+        ent -= p * std::log(p);
+      }
+    total += ent;
+  }
+  return total / ds.num_clients();
+}
+
+TEST_P(DirichletSkewTest, EntropyIncreasesWithH) {
+  auto cfg = small_cfg();
+  cfg.num_clients = 40;
+  cfg.dirichlet_h = GetParam();
+  const double ent_low = mean_label_entropy(FederatedDataset::generate(cfg));
+  cfg.dirichlet_h = GetParam() * 50.0;
+  const double ent_high = mean_label_entropy(FederatedDataset::generate(cfg));
+  EXPECT_LT(ent_low, ent_high);
+}
+
+INSTANTIATE_TEST_SUITE_P(Concentrations, DirichletSkewTest,
+                         ::testing::Values(0.1, 0.3, 0.5));
+
+TEST(Dataset, PooledConcatenatesEverything) {
+  auto ds = FederatedDataset::generate(small_cfg());
+  auto pooled = ds.pooled();
+  int train = 0, eval = 0;
+  for (int c = 0; c < ds.num_clients(); ++c) {
+    train += ds.client(c).train_size();
+    eval += ds.client(c).eval_size();
+  }
+  EXPECT_EQ(pooled.train_size(), train);
+  EXPECT_EQ(pooled.eval_size(), eval);
+  // Last client's last sample must appear at the end.
+  const auto& last = ds.client(ds.num_clients() - 1);
+  EXPECT_EQ(pooled.y_train.back(), last.y_train.back());
+}
+
+TEST(Dataset, SampleBatchShapesAndMembership) {
+  auto ds = FederatedDataset::generate(small_cfg());
+  Rng rng(1);
+  Tensor x;
+  std::vector<int> y;
+  sample_batch(ds.client(0), 7, rng, x, y);
+  EXPECT_EQ(x.shape(), (std::vector<int>{7, 1, 8, 8}));
+  ASSERT_EQ(y.size(), 7u);
+  for (int label : y) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 6);
+  }
+}
+
+TEST(Dataset, SampleBatchFromEmptyClientThrows) {
+  ClientData empty;
+  Rng rng(2);
+  Tensor x;
+  std::vector<int> y;
+  EXPECT_THROW(sample_batch(empty, 4, rng, x, y), Error);
+}
+
+TEST(Dataset, ClassesAreSeparable) {
+  // Same-class samples must be closer (on average) than cross-class ones —
+  // otherwise no model could learn anything.
+  auto cfg = small_cfg();
+  cfg.noise = 0.3;
+  auto ds = FederatedDataset::generate(cfg);
+  auto pooled = ds.pooled();
+  const auto n = std::min(pooled.train_size(), 120);
+  const auto sz = static_cast<std::int64_t>(64);
+  double same = 0.0, diff = 0.0;
+  int ns = 0, nd = 0;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      double d2 = 0.0;
+      for (std::int64_t k = 0; k < sz; ++k) {
+        const double d =
+            pooled.x_train[i * sz + k] - pooled.x_train[j * sz + k];
+        d2 += d * d;
+      }
+      if (pooled.y_train[static_cast<std::size_t>(i)] ==
+          pooled.y_train[static_cast<std::size_t>(j)]) {
+        same += d2;
+        ++ns;
+      } else {
+        diff += d2;
+        ++nd;
+      }
+    }
+  ASSERT_GT(ns, 0);
+  ASSERT_GT(nd, 0);
+  EXPECT_LT(same / ns, diff / nd);
+}
+
+TEST(Dataset, LabelHistogramSumsToTrainSize) {
+  auto ds = FederatedDataset::generate(small_cfg());
+  for (int c = 0; c < ds.num_clients(); ++c) {
+    const auto h = ds.label_histogram(c);
+    int total = 0;
+    for (int v : h) total += v;
+    EXPECT_EQ(total, ds.client(c).train_size());
+  }
+}
+
+}  // namespace
+}  // namespace fedtrans

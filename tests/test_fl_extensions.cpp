@@ -1,0 +1,511 @@
+// Tests for the FL extension modules: client selection strategies, the
+// extended server-optimizer family, the FedBuff asynchronous runner, and
+// the FedRolex rolling-submodel baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "baselines/fedrolex.hpp"
+#include "common/check.hpp"
+#include "fl/async.hpp"
+#include "fl/runner.hpp"
+#include "fl/selection.hpp"
+#include "model/align.hpp"
+#include "test_util.hpp"
+
+namespace fedtrans {
+namespace {
+
+DatasetConfig tiny_data(int clients = 12) {
+  DatasetConfig cfg;
+  cfg.num_classes = 4;
+  cfg.channels = 1;
+  cfg.hw = 8;
+  cfg.num_clients = clients;
+  cfg.mean_train_samples = 22;
+  cfg.min_train_samples = 10;
+  cfg.eval_samples = 8;
+  cfg.noise = 0.35;
+  cfg.seed = 9;
+  return cfg;
+}
+
+std::vector<DeviceProfile> fleet_with_capacity(int n, double macs,
+                                               double sigma = 0.8) {
+  FleetConfig cfg;
+  cfg.num_devices = n;
+  cfg.sigma_compute = sigma;
+  cfg.seed = 4;
+  cfg.with_median_capacity(macs);
+  return sample_fleet(cfg);
+}
+
+ModelSpec tiny_model() { return ModelSpec::conv(1, 8, 4, 4, {6, 8}); }
+
+// ---------------------------------------------------------------- selection
+
+TEST(UniformSelectorTest, SelectsDistinctClientsWithinRange) {
+  UniformSelector sel;
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto picks = sel.select(50, 10, rng);
+    EXPECT_EQ(picks.size(), 10u);
+    std::set<int> uniq(picks.begin(), picks.end());
+    EXPECT_EQ(uniq.size(), picks.size());
+    for (int c : picks) EXPECT_TRUE(c >= 0 && c < 50);
+  }
+}
+
+TEST(UniformSelectorTest, ClampsWhenPopulationSmallerThanK) {
+  UniformSelector sel;
+  Rng rng(2);
+  auto picks = sel.select(3, 10, rng);
+  EXPECT_EQ(picks.size(), 3u);
+}
+
+TEST(UniformSelectorTest, CoversThePopulationOverManyRounds) {
+  UniformSelector sel;
+  Rng rng(3);
+  std::set<int> seen;
+  for (int r = 0; r < 200; ++r)
+    for (int c : sel.select(30, 5, rng)) seen.insert(c);
+  EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST(UniformSelectorTest, RejectsEmptyPopulation) {
+  UniformSelector sel;
+  Rng rng(4);
+  EXPECT_THROW(sel.select(0, 5, rng), Error);
+}
+
+TEST(OortSelectorTest, ExploresEveryoneEventually) {
+  OortSelector sel;
+  Rng rng(5);
+  std::set<int> seen;
+  for (int r = 0; r < 30; ++r)
+    for (int c : sel.select(40, 8, rng)) {
+      seen.insert(c);
+      sel.report(c, 1.0, 10);
+    }
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(OortSelectorTest, ExploitsHighUtilityClients) {
+  OortSelector sel(OortSelector::Options{/*epsilon=*/0.0,
+                                         /*staleness_bonus=*/0.0});
+  Rng rng(6);
+  // First pass: everyone explored once, client 7 reports a huge loss.
+  for (int c = 0; c < 10; ++c) sel.report(c, c == 7 ? 50.0 : 0.1, 16);
+  // Mark all as explored by selecting the full population once.
+  sel.select(10, 10, rng);
+  for (int c = 0; c < 10; ++c) sel.report(c, c == 7 ? 50.0 : 0.1, 16);
+  auto picks = sel.select(10, 3, rng);
+  EXPECT_TRUE(std::find(picks.begin(), picks.end(), 7) != picks.end())
+      << "highest-utility client should be exploited";
+}
+
+TEST(OortSelectorTest, UtilityIsLossTimesSqrtSamples) {
+  OortSelector sel;
+  sel.report(0, 2.0, 16);
+  EXPECT_NEAR(sel.utility(0), 2.0 * 4.0, 1e-9);
+}
+
+TEST(OortSelectorTest, NonFiniteLossScoresZero) {
+  OortSelector sel;
+  sel.report(0, std::numeric_limits<double>::quiet_NaN(), 16);
+  EXPECT_EQ(sel.utility(0), 0.0);
+}
+
+TEST(OortSelectorTest, SelectionsAreDistinct) {
+  OortSelector sel;
+  Rng rng(7);
+  for (int r = 0; r < 10; ++r) {
+    auto picks = sel.select(20, 6, rng);
+    std::set<int> uniq(picks.begin(), picks.end());
+    EXPECT_EQ(uniq.size(), picks.size());
+    for (int c : picks) sel.report(c, rng.uniform(), 10);
+  }
+}
+
+TEST(PowerOfChoiceTest, PrefersHighLossCandidates) {
+  PowerOfChoiceSelector sel(/*candidate_factor=*/10);
+  Rng rng(8);
+  for (int c = 0; c < 10; ++c) sel.report(c, c == 3 ? 9.0 : 0.1, 10);
+  // With factor 10 and k=1 the candidate pool is the whole population, so
+  // the max-loss client must win.
+  auto picks = sel.select(10, 1, rng);
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0], 3);
+}
+
+TEST(SelectorFactoryTest, MakesEveryKind) {
+  EXPECT_EQ(make_selector(SelectorKind::Uniform)->name(), "uniform");
+  EXPECT_EQ(make_selector(SelectorKind::Oort)->name(), "oort");
+  EXPECT_EQ(make_selector(SelectorKind::PowerOfChoice)->name(), "pow-d");
+}
+
+// ------------------------------------------------------------- server opts
+
+// All server optimizers should reduce a quadratic when fed its gradient as
+// the "average delta": apply() must move weights against the delta.
+class ServerOptConvergence
+    : public ::testing::TestWithParam<ServerOptKind> {};
+
+TEST_P(ServerOptConvergence, DrivesQuadraticTowardMinimum) {
+  auto opt = make_server_opt(GetParam());
+  WeightSet w{Tensor::from({3}, {4.0f, -3.0f, 2.0f})};
+  const double initial = ws_l2_norm(w);
+  for (int it = 0; it < 300; ++it) {
+    // Gradient of 0.5‖w‖² is w itself; the server treats it as the delta.
+    // Momentum kinds oscillate through the minimum (no monotonicity), but
+    // every kind must end far closer than it started.
+    WeightSet delta{w[0]};
+    opt->apply(w, delta);
+  }
+  // FedAdagrad's steps decay like 1/sqrt(t) — at the default server lr it
+  // makes bounded progress by design; the adaptive/momentum kinds converge.
+  const double bound = GetParam() == ServerOptKind::FedAdagrad ? 0.85 : 0.2;
+  EXPECT_LT(ws_l2_norm(w), bound * initial)
+      << server_opt_name(GetParam()) << " failed to reduce the quadratic";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ServerOptConvergence,
+    ::testing::Values(ServerOptKind::FedAvg, ServerOptKind::FedAvgM,
+                      ServerOptKind::FedYogi, ServerOptKind::FedAdam,
+                      ServerOptKind::FedAdagrad),
+    [](const ::testing::TestParamInfo<ServerOptKind>& info) {
+      return server_opt_name(info.param);
+    });
+
+TEST(ServerOptStateTest, SaveLoadRoundTripsAdaptiveState) {
+  FedAdamServerOpt a, b;
+  WeightSet w{Tensor::from({2}, {1.0f, -2.0f})};
+  WeightSet w2 = w;
+  for (int it = 0; it < 5; ++it) {
+    WeightSet d{w[0]};
+    a.apply(w, d);
+  }
+  std::stringstream ss;
+  a.save_state(ss);
+  b.load_state(ss);
+  // After state transfer, both must produce identical next steps.
+  WeightSet wa = w, wb = w;
+  WeightSet d{w[0]};
+  a.apply(wa, d);
+  b.apply(wb, d);
+  EXPECT_EQ(testing::max_abs_diff(wa[0], wb[0]), 0.0);
+}
+
+TEST(ServerOptStateTest, TruncatedStateThrows) {
+  FedYogiServerOpt opt;
+  std::stringstream ss;  // empty stream
+  EXPECT_THROW(opt.load_state(ss), Error);
+}
+
+TEST(ServerOptStateTest, StatelessOptimizerStateIsEmpty) {
+  FedAvgServerOpt opt;
+  std::stringstream ss;
+  opt.save_state(ss);
+  EXPECT_TRUE(ss.str().empty());
+}
+
+TEST(ServerOptTest, FedAvgMMomentumAcceleratesRepeatedDeltas) {
+  FedAvgMServerOpt with_m(1.0, 0.9);
+  FedAvgServerOpt without_m(1.0);
+  WeightSet wa{Tensor::from({1}, {10.0f})};
+  WeightSet wb{Tensor::from({1}, {10.0f})};
+  WeightSet d{Tensor::from({1}, {1.0f})};
+  for (int it = 0; it < 5; ++it) {
+    with_m.apply(wa, d);
+    without_m.apply(wb, d);
+  }
+  // Momentum accumulates: the FedAvgM trajectory moves strictly farther.
+  EXPECT_LT(wa[0][0], wb[0][0]);
+}
+
+// ------------------------------------------------------------------- async
+
+TEST(FedBuffTest, CompletesRequestedAggregations) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  Rng rng(11);
+  AsyncRunConfig cfg;
+  cfg.concurrency = 4;
+  cfg.buffer_size = 3;
+  cfg.aggregations = 6;
+  cfg.local.steps = 4;
+  cfg.local.batch = 6;
+  FedBuffRunner runner(Model(tiny_model(), rng), data, fleet, cfg);
+  runner.run();
+  EXPECT_EQ(runner.aggregations_done(), 6);
+  EXPECT_EQ(runner.history().size(), 6u);
+  EXPECT_GT(runner.now_s(), 0.0);
+}
+
+TEST(FedBuffTest, WallClockIsMonotone) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  Rng rng(12);
+  AsyncRunConfig cfg;
+  cfg.concurrency = 4;
+  cfg.buffer_size = 2;
+  cfg.aggregations = 8;
+  cfg.local.steps = 3;
+  cfg.local.batch = 6;
+  FedBuffRunner runner(Model(tiny_model(), rng), data, fleet, cfg);
+  runner.run();
+  double prev = 0.0;
+  for (const auto& rec : runner.history()) {
+    EXPECT_GE(rec.round_time_s, prev);
+    prev = rec.round_time_s;
+  }
+}
+
+TEST(FedBuffTest, StalenessIsBoundedByConcurrencyWindow) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6, /*sigma=*/1.5);
+  Rng rng(13);
+  AsyncRunConfig cfg;
+  cfg.concurrency = 6;
+  cfg.buffer_size = 2;
+  cfg.aggregations = 10;
+  cfg.local.steps = 3;
+  cfg.local.batch = 6;
+  FedBuffRunner runner(Model(tiny_model(), rng), data, fleet, cfg);
+  runner.run();
+  // With C in flight and buffer K, an update can be at most
+  // ceil(C/K) + aggregations behind only if it never returns; mean
+  // staleness must at least be finite and non-negative.
+  EXPECT_GE(runner.mean_staleness(), 0.0);
+  EXPECT_LE(runner.mean_staleness(), cfg.aggregations);
+}
+
+TEST(FedBuffTest, LearnsOnSeparableData) {
+  auto data = FederatedDataset::generate(tiny_data(10));
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  Rng rng(14);
+  Model init(tiny_model(), rng);
+  FedBuffRunner probe(init, data, fleet, AsyncRunConfig{});
+  const double acc0 = probe.mean_client_accuracy();
+
+  AsyncRunConfig cfg;
+  cfg.concurrency = 5;
+  cfg.buffer_size = 5;
+  cfg.aggregations = 30;
+  cfg.local.steps = 8;
+  cfg.local.batch = 8;
+  cfg.seed = 3;
+  FedBuffRunner runner(init, data, fleet, cfg);
+  runner.run();
+  EXPECT_GT(runner.mean_client_accuracy(), acc0 + 0.15)
+      << "async training should improve over the random initialization";
+}
+
+TEST(FedBuffTest, AsyncBeatsSyncWallClockUnderStragglers) {
+  // The headline property (paper Appendix C context): with a highly
+  // heterogeneous fleet, synchronous rounds pay the straggler tax; async
+  // aggregations ship as fast updates arrive.
+  auto data = FederatedDataset::generate(tiny_data(16));
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6, /*sigma=*/2.0);
+  Rng rng(15);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig scfg;
+  scfg.rounds = 6;
+  scfg.clients_per_round = 6;
+  scfg.local.steps = 4;
+  scfg.local.batch = 6;
+  FedAvgRunner sync(init, data, fleet, scfg);
+  sync.run();
+  double sync_wall = 0.0;
+  for (const auto& rec : sync.history()) sync_wall += rec.round_time_s;
+
+  AsyncRunConfig acfg;
+  acfg.concurrency = 6;
+  acfg.buffer_size = 6;
+  acfg.aggregations = 6;  // same number of server updates
+  acfg.local.steps = 4;
+  acfg.local.batch = 6;
+  FedBuffRunner async_runner(init, data, fleet, acfg);
+  async_runner.run();
+
+  EXPECT_LT(async_runner.now_s(), sync_wall)
+      << "async should finish the same number of aggregations sooner";
+}
+
+TEST(FedBuffTest, RejectsInvalidConfig) {
+  auto data = FederatedDataset::generate(tiny_data(6));
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  Rng rng(16);
+  AsyncRunConfig cfg;
+  cfg.concurrency = 0;
+  EXPECT_THROW(FedBuffRunner(Model(tiny_model(), rng), data, fleet, cfg),
+               Error);
+}
+
+// ---------------------------------------------------------------- FedRolex
+
+TEST(FedRolexTest, OffsetsRollByOneEachRound) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  BaselineConfig cfg;
+  cfg.rounds = 3;
+  cfg.clients_per_round = 4;
+  cfg.local.steps = 2;
+  cfg.local.batch = 6;
+  FedRolexRunner runner(tiny_model(), data, fleet, cfg);
+  EXPECT_EQ(runner.offset_for_space(0), 0);
+  runner.run_round();
+  EXPECT_EQ(runner.offset_for_space(0), 1);
+  runner.run_round();
+  EXPECT_EQ(runner.offset_for_space(0), 2);
+}
+
+TEST(FedRolexTest, OffsetWrapsAtSpaceWidth) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  BaselineConfig cfg;
+  cfg.rounds = 1;
+  cfg.clients_per_round = 2;
+  cfg.local.steps = 1;
+  cfg.local.batch = 4;
+  // tiny_model stem width is 4 → offset cycles with period 4.
+  FedRolexRunner runner(tiny_model(), data, fleet, cfg);
+  for (int r = 0; r < 9; ++r) runner.run_round();
+  EXPECT_EQ(runner.offset_for_space(0), 9 % 4);
+}
+
+TEST(FedRolexTest, SubmodelWindowMatchesGlobalChannels) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  BaselineConfig cfg;
+  FedRolexRunner runner(tiny_model(), data, fleet, cfg);
+
+  // Level 1 = half width. At round 0 (offset 0) the submodel is the prefix
+  // crop, i.e. identical to HeteroFL's extraction.
+  Model sub = runner.submodel(1);
+  auto gp = runner.global().params();
+  auto sp = sub.params();
+  ASSERT_EQ(gp.size(), sp.size());
+  // Stem conv weight: sub rows must equal the first rows of the global.
+  const Tensor& gw = *gp[0].value;
+  const Tensor& sw = *sp[0].value;
+  for (int r = 0; r < sw.dim(0); ++r)
+    for (int c = 0; c < sw.dim(1); ++c)
+      for (int y = 0; y < sw.dim(2); ++y)
+        for (int x = 0; x < sw.dim(3); ++x)
+          EXPECT_EQ(sw.at(r, c, y, x), gw.at(r, c, y, x));
+}
+
+TEST(FedRolexTest, FullWidthSubmodelIsBijective) {
+  // The level-0 (ratio 1.0) submodel is a channel permutation of the global
+  // model: same parameter count, same multiset of values per tensor.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  BaselineConfig cfg;
+  cfg.clients_per_round = 3;
+  cfg.local.steps = 2;
+  cfg.local.batch = 4;
+  FedRolexRunner runner(tiny_model(), data, fleet, cfg);
+  runner.run_round();  // offset becomes 1 → genuinely rolled
+  Model sub = runner.submodel(0);
+  auto gp = runner.global().params();
+  auto sp = sub.params();
+  for (std::size_t i = 0; i < gp.size(); ++i) {
+    ASSERT_TRUE(gp[i].value->same_shape(*sp[i].value));
+    std::multiset<float> a, b;
+    for (std::int64_t j = 0; j < gp[i].value->numel(); ++j) {
+      a.insert((*gp[i].value)[j]);
+      b.insert((*sp[i].value)[j]);
+    }
+    EXPECT_EQ(a, b) << "param " << i << " not a permutation";
+  }
+}
+
+TEST(FedRolexTest, EveryGlobalChannelEventuallyTrains) {
+  // HeteroFL's pathology: suffix channels only ever see full-width clients.
+  // FedRolex's rolling window must touch ALL stem rows even when every
+  // client runs the half-width submodel.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 1.0);  // tiny caps →
+                                                              // weakest level
+  BaselineConfig cfg;
+  cfg.rounds = 8;
+  cfg.clients_per_round = 4;
+  cfg.local.steps = 2;
+  cfg.local.batch = 4;
+  FedRolexRunner runner(tiny_model(), data, fleet, cfg);
+  auto before = runner.global().weights();
+  runner.run();
+  auto after = runner.global().weights();
+  // Stem conv weight rows: every row must have changed in ≥1 element.
+  const Tensor& b0 = before[0];
+  const Tensor& a0 = after[0];
+  const int rows = b0.dim(0);
+  const std::int64_t per_row = b0.numel() / rows;
+  for (int r = 0; r < rows; ++r) {
+    double diff = 0.0;
+    for (std::int64_t j = 0; j < per_row; ++j)
+      diff += std::fabs(a0[r * per_row + j] - b0[r * per_row + j]);
+    EXPECT_GT(diff, 0.0) << "row " << r << " never trained";
+  }
+}
+
+TEST(FedRolexTest, LevelAssignmentRespectsCapacity) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6, /*sigma=*/1.5);
+  BaselineConfig cfg;
+  FedRolexRunner runner(tiny_model(), data, fleet, cfg);
+  for (int c = 0; c < data.num_clients(); ++c) {
+    const int lvl = runner.level_for(c);
+    Model sub = runner.submodel(lvl);
+    if (lvl < runner.num_levels() - 1) {
+      EXPECT_LE(static_cast<double>(sub.macs()),
+                fleet[static_cast<std::size_t>(c)].capacity_macs);
+    }
+  }
+}
+
+TEST(FedRolexTest, LearnsOnSeparableData) {
+  auto data = FederatedDataset::generate(tiny_data(10));
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  BaselineConfig cfg;
+  cfg.rounds = 25;
+  cfg.clients_per_round = 5;
+  cfg.local.steps = 8;
+  cfg.local.batch = 8;
+  cfg.seed = 5;
+  FedRolexRunner runner(tiny_model(), data, fleet, cfg);
+  auto rep_before = runner.report();
+  runner.run();
+  auto rep_after = runner.report();
+  EXPECT_GT(rep_after.mean_accuracy, rep_before.mean_accuracy + 0.1);
+}
+
+TEST(FedRolexTest, RejectsAttentionModels) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  BaselineConfig cfg;
+  cfg.clients_per_round = 2;
+  cfg.local.steps = 1;
+  cfg.local.batch = 4;
+  auto vit = ModelSpec::attention(1, 8, 4, 2, 8, {16});
+  FedRolexRunner runner(vit, data, fleet, cfg);
+  EXPECT_THROW(runner.run_round(), Error);
+}
+
+TEST(FedRolexTest, RejectsRatiosNotStartingAtOne) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  EXPECT_THROW(FedRolexRunner(tiny_model(), data, fleet, BaselineConfig{},
+                              {0.5, 0.25}),
+               Error);
+}
+
+}  // namespace
+}  // namespace fedtrans

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/scale_shift.hpp"
+#include "nn/sgd.hpp"
+#include "test_util.hpp"
+
+namespace fedtrans {
+namespace {
+
+using testing::check_gradients;
+
+TEST(Linear, ForwardMatchesManual) {
+  Linear lin(2, 3);
+  lin.weight() = Tensor::from({3, 2}, {1, 0, 0, 1, 1, 1});
+  lin.bias() = Tensor::from({3}, {0.5f, -0.5f, 0.0f});
+  Tensor x = Tensor::from({1, 2}, {2.0f, 3.0f});
+  Tensor y = lin.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 5.0f);
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(1);
+  Linear lin(5, 4);
+  lin.init(rng);
+  check_gradients(lin, {3, 5}, rng);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(2);
+  Linear lin(4, 3, /*bias=*/false);
+  lin.init(rng);
+  EXPECT_EQ(lin.params().size(), 1u);
+  check_gradients(lin, {2, 4}, rng);
+}
+
+TEST(Linear, MacsFormula) {
+  Linear lin(7, 9);
+  EXPECT_EQ(lin.macs({7}), 63);
+  EXPECT_EQ(lin.out_shape({7}), std::vector<int>{9});
+}
+
+TEST(Conv2d, IdentityInitPassesThrough) {
+  Conv2d conv(3, 3, 3, 1);
+  conv.init_identity();
+  Rng rng(3);
+  Tensor x({2, 3, 5, 5});
+  x.randn(rng);
+  Tensor y = conv.forward(x, true);
+  EXPECT_LT(testing::max_abs_diff(x, y), 1e-6);
+}
+
+TEST(Conv2d, GradientCheckStride1) {
+  Rng rng(4);
+  Conv2d conv(2, 3, 3, 1);
+  conv.init(rng);
+  check_gradients(conv, {2, 2, 6, 6}, rng);
+}
+
+TEST(Conv2d, GradientCheckStride2) {
+  Rng rng(5);
+  Conv2d conv(2, 2, 3, 2);
+  conv.init(rng);
+  check_gradients(conv, {2, 2, 8, 8}, rng);
+}
+
+TEST(Conv2d, GradientCheckNoPadding) {
+  Rng rng(6);
+  Conv2d conv(1, 2, 3, 1, /*padding=*/0);
+  conv.init(rng);
+  check_gradients(conv, {2, 1, 6, 6}, rng);
+}
+
+TEST(Conv2d, OutputShapeAndMacs) {
+  Conv2d conv(3, 8, 3, 2);  // same padding 1
+  const auto out = conv.out_shape({3, 12, 12});
+  EXPECT_EQ(out, (std::vector<int>{8, 6, 6}));
+  EXPECT_EQ(conv.macs({3, 12, 12}), 3LL * 8 * 9 * 6 * 6);
+}
+
+TEST(Conv2d, PatchEmbeddingShape) {
+  Conv2d conv(3, 16, 4, 4, 0);  // patch embed: k=s=4, no pad
+  EXPECT_EQ(conv.out_shape({3, 12, 12}), (std::vector<int>{16, 3, 3}));
+}
+
+TEST(Conv2d, CloneIsIndependentDeepCopy) {
+  Rng rng(7);
+  Conv2d conv(2, 2, 3);
+  conv.init(rng);
+  auto copy = conv.clone();
+  auto* cc = dynamic_cast<Conv2d*>(copy.get());
+  ASSERT_NE(cc, nullptr);
+  EXPECT_LT(testing::max_abs_diff(conv.weight(), cc->weight()), 1e-9);
+  cc->weight()[0] += 1.0f;
+  EXPECT_NE(conv.weight()[0], cc->weight()[0]);
+}
+
+TEST(ReLU, ForwardBackwardMasks) {
+  ReLU relu;
+  Tensor x = Tensor::from({4}, {-1, 0, 2, -3});
+  Tensor y = relu.forward(x, true);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  Tensor g = Tensor::from({4}, {1, 1, 1, 1});
+  Tensor dx = relu.backward(g);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[1], 0.0f);  // gradient at exactly zero is zero
+  EXPECT_EQ(dx[2], 1.0f);
+}
+
+TEST(ScaleShift, GradientCheck4d) {
+  Rng rng(8);
+  ScaleShift ss(3);
+  ss.scale().randn(rng, 0.5f);
+  ss.shift().randn(rng, 0.5f);
+  check_gradients(ss, {2, 3, 4, 4}, rng);
+}
+
+TEST(ScaleShift, GradientCheck2d) {
+  Rng rng(9);
+  ScaleShift ss(5);
+  ss.scale().randn(rng, 0.5f);
+  check_gradients(ss, {3, 5}, rng);
+}
+
+TEST(ScaleShift, IdentityByDefault) {
+  ScaleShift ss(2);
+  Rng rng(10);
+  Tensor x({1, 2, 3, 3});
+  x.randn(rng);
+  Tensor y = ss.forward(x, true);
+  EXPECT_LT(testing::max_abs_diff(x, y), 1e-9);
+}
+
+TEST(GlobalAvgPool, ForwardAveragesAndBackwardSpreads) {
+  GlobalAvgPool gap;
+  Tensor x = Tensor::from({1, 2, 1, 2}, {1, 3, 10, 30});
+  Tensor y = gap.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 20.0f);
+  Tensor g = Tensor::from({1, 2}, {4, 8});
+  Tensor dx = gap.backward(g);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 1, 0, 0), 4.0f);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten f;
+  Rng rng(11);
+  Tensor x({2, 3, 4, 4});
+  x.randn(rng);
+  Tensor y = f.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 48}));
+  Tensor dx = f.backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+  EXPECT_LT(testing::max_abs_diff(dx, x), 1e-9);
+}
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({4, 10});
+  std::vector<int> labels{0, 3, 7, 9};
+  const double l = loss.forward(logits, labels);
+  EXPECT_NEAR(l, std::log(10.0), 1e-5);
+}
+
+TEST(Loss, PerfectPredictionLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3});
+  logits.at(0, 1) = 50.0f;
+  logits.at(1, 2) = 50.0f;
+  std::vector<int> labels{1, 2};
+  EXPECT_LT(loss.forward(logits, labels), 1e-4);
+}
+
+TEST(Loss, BackwardIsSoftmaxMinusOneHotOverN) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 2});  // uniform => probs 0.5/0.5
+  std::vector<int> labels{0};
+  loss.forward(logits, labels);
+  Tensor d = loss.backward();
+  EXPECT_NEAR(d.at(0, 0), -0.5, 1e-6);
+  EXPECT_NEAR(d.at(0, 1), 0.5, 1e-6);
+}
+
+TEST(Loss, LabelOutOfRangeThrows) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  std::vector<int> labels{3};
+  EXPECT_THROW(loss.forward(logits, labels), Error);
+}
+
+TEST(Loss, CountCorrect) {
+  Tensor logits = Tensor::from({2, 2}, {5, 1, 1, 5});
+  std::vector<int> labels{0, 0};
+  EXPECT_EQ(count_correct(logits, labels), 1);
+}
+
+TEST(Sgd, PlainStepAppliesLrAndZerosGrad) {
+  Linear lin(1, 1, false);
+  lin.weight()[0] = 1.0f;
+  auto ps = lin.params();
+  (*ps[0].grad)[0] = 2.0f;
+  Sgd opt(ps, {.lr = 0.1});
+  opt.step();
+  EXPECT_NEAR(lin.weight()[0], 0.8f, 1e-6);
+  EXPECT_EQ((*ps[0].grad)[0], 0.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Linear lin(1, 1, false);
+  lin.weight()[0] = 0.0f;
+  auto ps = lin.params();
+  Sgd opt(ps, {.lr = 1.0, .momentum = 0.5});
+  (*ps[0].grad)[0] = 1.0f;
+  opt.step();  // v=1, w=-1
+  EXPECT_NEAR(lin.weight()[0], -1.0f, 1e-6);
+  (*ps[0].grad)[0] = 1.0f;
+  opt.step();  // v=1.5, w=-2.5
+  EXPECT_NEAR(lin.weight()[0], -2.5f, 1e-6);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Linear lin(1, 1, false);
+  lin.weight()[0] = 10.0f;
+  auto ps = lin.params();
+  Sgd opt(ps, {.lr = 0.1, .weight_decay = 1.0});
+  opt.step();  // g = 0 + 1.0*10 => w -= 0.1*10
+  EXPECT_NEAR(lin.weight()[0], 9.0f, 1e-5);
+}
+
+TEST(Sgd, ProxTermPullsTowardAnchor) {
+  Linear lin(1, 1, false);
+  lin.weight()[0] = 0.0f;
+  auto ps = lin.params();
+  Sgd opt(ps, {.lr = 0.1, .prox_mu = 1.0});  // anchor captured at w=0
+  lin.weight()[0] = 5.0f;                    // drift away
+  opt.step();  // g = mu*(5-0)=5 => w -= 0.5
+  EXPECT_NEAR(lin.weight()[0], 4.5f, 1e-5);
+}
+
+}  // namespace
+}  // namespace fedtrans

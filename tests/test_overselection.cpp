@@ -1,0 +1,157 @@
+// Tests for deadline-based over-selection (FedScale-style over-commit):
+// the synchronous-round straggler remedy that complements FedTrans's
+// capacity-aware assignment (paper Appendix C).
+
+#include <gtest/gtest.h>
+
+#include "fl/runner.hpp"
+#include "test_util.hpp"
+
+namespace fedtrans {
+namespace {
+
+DatasetConfig tiny_data(int clients = 14) {
+  DatasetConfig cfg;
+  cfg.num_classes = 4;
+  cfg.channels = 1;
+  cfg.hw = 8;
+  cfg.num_clients = clients;
+  cfg.mean_train_samples = 18;
+  cfg.min_train_samples = 10;
+  cfg.eval_samples = 8;
+  cfg.noise = 0.35;
+  cfg.seed = 41;
+  return cfg;
+}
+
+std::vector<DeviceProfile> long_tail_fleet(int n) {
+  FleetConfig cfg;
+  cfg.num_devices = n;
+  cfg.sigma_compute = 1.8;  // heavy straggler tail
+  cfg.seed = 4;
+  cfg.with_median_capacity(5e6);
+  return sample_fleet(cfg);
+}
+
+ModelSpec tiny_model() { return ModelSpec::conv(1, 8, 4, 4, {6, 8}); }
+
+FlRunConfig base_cfg() {
+  FlRunConfig cfg;
+  cfg.rounds = 6;
+  cfg.clients_per_round = 6;
+  cfg.local.steps = 3;
+  cfg.local.batch = 6;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(OverSelectionTest, DefaultConfigReproducesLegacyRunExactly) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = long_tail_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FedAvgRunner a(init, data, fleet, base_cfg());
+  a.run();
+  FlRunConfig explicit_defaults = base_cfg();
+  explicit_defaults.overcommit = 0.0;
+  explicit_defaults.deadline_quantile = 1.0;
+  FedAvgRunner b(init, data, fleet, explicit_defaults);
+  b.run();
+
+  auto wa = a.model().weights();
+  auto wb = b.model().weights();
+  for (std::size_t i = 0; i < wa.size(); ++i)
+    EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0);
+}
+
+TEST(OverSelectionTest, DeadlineCutsRoundTime) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = long_tail_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FedAvgRunner plain(init, data, fleet, base_cfg());
+  plain.run();
+  double plain_wall = 0.0;
+  for (const auto& rec : plain.history()) plain_wall += rec.round_time_s;
+
+  FlRunConfig oc = base_cfg();
+  oc.overcommit = 0.5;
+  oc.deadline_quantile = 0.7;  // drop the slowest ~30%
+  FedAvgRunner fast(init, data, fleet, oc);
+  fast.run();
+  double fast_wall = 0.0;
+  for (const auto& rec : fast.history()) fast_wall += rec.round_time_s;
+
+  EXPECT_LT(fast_wall, plain_wall)
+      << "dropping the straggler tail must shorten synchronous rounds";
+}
+
+TEST(OverSelectionTest, DroppedClientsAreStillBilled) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = long_tail_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig oc = base_cfg();
+  oc.rounds = 3;
+  oc.overcommit = 1.0;  // select 2k, aggregate at most k
+  oc.deadline_quantile = 0.5;
+  FedAvgRunner runner(init, data, fleet, oc);
+  runner.run();
+
+  FlRunConfig plain = base_cfg();
+  plain.rounds = 3;
+  FedAvgRunner reference(init, data, fleet, plain);
+  reference.run();
+
+  // Over-commit burns strictly more device compute (late clients train too).
+  EXPECT_GT(runner.costs().total_macs(), reference.costs().total_macs());
+}
+
+TEST(OverSelectionTest, StillLearnsWithAggressiveDeadline) {
+  auto data = FederatedDataset::generate(tiny_data(10));
+  auto fleet = long_tail_fleet(10);
+  Rng rng(5);
+  Model init(tiny_model(), rng);
+  FedAvgRunner probe(init, data, fleet, base_cfg());
+  const double acc0 = probe.mean_client_accuracy();
+
+  FlRunConfig oc = base_cfg();
+  oc.rounds = 22;
+  oc.clients_per_round = 5;
+  oc.local.steps = 6;
+  oc.local.batch = 8;
+  oc.overcommit = 0.6;
+  oc.deadline_quantile = 0.6;
+  FedAvgRunner runner(init, data, fleet, oc);
+  runner.run();
+  EXPECT_GT(runner.mean_client_accuracy(), acc0 + 0.15);
+}
+
+TEST(OverSelectionTest, QuantileOneWithOvercommitTrimsToTargetCount) {
+  // With a deadline quantile of 1.0 nobody is late; over-commit must still
+  // trim the participant list back to clients_per_round (fastest-first).
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = long_tail_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+  FlRunConfig oc = base_cfg();
+  oc.rounds = 1;
+  oc.overcommit = 1.0;
+  FedAvgRunner runner(init, data, fleet, oc);
+  runner.run();
+  // k on-time participants uploaded; the over-committed remainder only
+  // downloaded. Uplink < downlink in byte accounting proves the trim.
+  const double model_bytes =
+      static_cast<double>(runner.model().param_bytes());
+  const double expected_down =
+      model_bytes * (2.0 * base_cfg().clients_per_round);
+  EXPECT_NEAR(runner.costs().network_bytes(),
+              expected_down + model_bytes * base_cfg().clients_per_round,
+              1.0);
+}
+
+}  // namespace
+}  // namespace fedtrans

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aggregator.hpp"
+#include "model/similarity.hpp"
+#include "model/transform.hpp"
+#include "nn/conv2d.hpp"
+#include "test_util.hpp"
+
+namespace fedtrans {
+namespace {
+
+// ------------------------------------------------------------------------
+// Conv2d gradient correctness swept over geometry (kernel, stride, padding,
+// channel counts) — the backward loop nest has enough index arithmetic that
+// each corner deserves its own numerical check.
+// ------------------------------------------------------------------------
+
+struct ConvCase {
+  int in_c, out_c, kernel, stride, padding, hw;
+};
+
+class ConvGeometryTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometryTest, NumericalGradientsMatch) {
+  const auto c = GetParam();
+  Rng rng(0xc0ffee);
+  Conv2d conv(c.in_c, c.out_c, c.kernel, c.stride, c.padding);
+  conv.init(rng);
+  testing::check_gradients(conv, {2, c.in_c, c.hw, c.hw}, rng, 3e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, ConvGeometryTest,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 5},   // pointwise
+                      ConvCase{2, 3, 1, 1, 0, 6},   // 1x1 mixing
+                      ConvCase{1, 2, 3, 1, 1, 6},   // same-pad 3x3
+                      ConvCase{3, 2, 3, 2, 1, 8},   // strided
+                      ConvCase{2, 2, 5, 1, 2, 8},   // 5x5
+                      ConvCase{1, 4, 3, 3, 1, 9},   // aggressive stride
+                      ConvCase{4, 1, 3, 1, 0, 6}),  // valid-pad reduce
+    [](const ::testing::TestParamInfo<ConvCase>& info) {
+      const auto& c = info.param;
+      return "in" + std::to_string(c.in_c) + "out" + std::to_string(c.out_c) +
+             "k" + std::to_string(c.kernel) + "s" + std::to_string(c.stride) +
+             "p" + std::to_string(c.padding);
+    });
+
+// ------------------------------------------------------------------------
+// Soft aggregation conservation: blending models whose weights all equal
+// the same constant must leave every weight at that constant (Eq. 5 is a
+// weighted average, not a sum).
+// ------------------------------------------------------------------------
+
+class AggregationConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregationConservationTest, ConstantFamilyIsFixedPoint) {
+  const int round = GetParam();
+  Rng rng(9);
+  Model m0(ModelSpec::conv(1, 8, 4, 4, {6, 8}), rng);
+  Model m1 = widen_cell(m0, 0, 2.0, 1, rng);
+  Model m2 = deepen_cell(m1, 1, 1, 2, rng);
+  std::vector<Model*> models{&m0, &m1, &m2};
+  const float kValue = 0.37f;
+  for (auto* m : models) {
+    auto ws = m->weights();
+    for (auto& t : ws) t.fill(kValue);
+    m->set_weights(ws);
+  }
+  std::vector<std::vector<double>> sim{
+      {1.0, 0.6, 0.4}, {0.6, 1.0, 0.7}, {0.4, 0.7, 1.0}};
+  SoftAggregator agg({0.98, true, true, false});
+  agg.aggregate(models, sim, round);
+  for (auto* m : models)
+    for (auto& t : m->weights())
+      for (std::int64_t i = 0; i < t.numel(); ++i)
+        ASSERT_NEAR(t[i], kValue, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, AggregationConservationTest,
+                         ::testing::Values(0, 1, 10, 100));
+
+// ------------------------------------------------------------------------
+// Similarity shrinks monotonically along a lineage chain: each additional
+// transformation moves the child further from the ancestor.
+// ------------------------------------------------------------------------
+
+TEST(SimilarityChain, MonotoneAlongLineage) {
+  Rng rng(17);
+  Model m0(ModelSpec::conv(1, 8, 4, 4, {6, 8}), rng);
+  Model prev = m0;
+  double prev_sim = 1.0;
+  for (int g = 1; g <= 4; ++g) {
+    Model next = g % 2 == 1 ? widen_cell(prev, g % 2, 2.0, g, rng)
+                            : deepen_cell(prev, 0, 1, g, rng);
+    const double s = model_similarity(m0.spec(), next.spec());
+    EXPECT_LE(s, prev_sim + 1e-12) << "generation " << g;
+    prev_sim = s;
+    prev = std::move(next);
+  }
+  EXPECT_LT(prev_sim, 1.0);
+}
+
+// ------------------------------------------------------------------------
+// MAC monotonicity: widen and deepen can only increase model cost, and the
+// widen factor ordering carries over to MACs.
+// ------------------------------------------------------------------------
+
+class WidenFactorTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WidenFactorTest, MacsIncreaseWithFactor) {
+  Rng rng(23);
+  Model parent(ModelSpec::conv(1, 8, 4, 4, {6, 8}), rng);
+  Model child = widen_cell(parent, 0, GetParam(), 1, rng);
+  EXPECT_GT(child.macs(), parent.macs());
+  Model bigger = widen_cell(parent, 0, GetParam() + 1.0, 2, rng);
+  EXPECT_GT(bigger.macs(), child.macs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, WidenFactorTest,
+                         ::testing::Values(1.2, 1.5, 2.0, 3.0));
+
+}  // namespace
+}  // namespace fedtrans

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace fedtrans {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBothEnds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double m = sum / n;
+  const double v = sum2 / n - m * m;
+  EXPECT_NEAR(m, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(v), 3.0, 0.15);
+}
+
+TEST(Rng, DirichletSumsToOneAndPositive) {
+  Rng rng(17);
+  for (double alpha : {0.1, 0.5, 1.0, 10.0}) {
+    const auto p = rng.dirichlet(alpha, 8);
+    ASSERT_EQ(p.size(), 8u);
+    double s = 0.0;
+    for (double x : p) {
+      EXPECT_GT(x, 0.0);
+      s += x;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, DirichletConcentrationControlsSkew) {
+  // Lower alpha => more mass on the top class on average.
+  Rng rng(19);
+  auto avg_max = [&](double alpha) {
+    double s = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      auto p = rng.dirichlet(alpha, 10);
+      s += *std::max_element(p.begin(), p.end());
+    }
+    return s / 300.0;
+  };
+  EXPECT_GT(avg_max(0.1), avg_max(10.0) + 0.2);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, CategoricalAllZeroFallsBackToUniform) {
+  Rng rng(29);
+  std::vector<double> w{0.0, 0.0, 0.0, 0.0};
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.categorical(w)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Rng, GammaMeanMatchesShape) {
+  Rng rng(31);
+  for (double shape : {0.5, 2.0, 7.5}) {
+    double s = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) s += rng.gamma(shape);
+    EXPECT_NEAR(s / n, shape, 0.1 * shape + 0.05);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), w.begin()));
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.fork();
+  // The child stream differs from the parent's continuation.
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+}  // namespace
+}  // namespace fedtrans

@@ -1,0 +1,115 @@
+// Plan-level tests for the ScalingPolicy counterparts (§5.4 ablation):
+// the policies steer *which* operation fires, and whatever plan they emit
+// must still go through the function-preserving transform machinery — so a
+// warm-started child computes the exact same function as its parent,
+// regardless of policy.
+
+#include <gtest/gtest.h>
+
+#include "core/transformer.hpp"
+#include "model/transform.hpp"
+#include "test_util.hpp"
+
+namespace fedtrans {
+namespace {
+
+using testing::max_abs_diff;
+
+TransformerOptions opts_with(ScalingPolicy p) {
+  TransformerOptions opts;
+  opts.alpha = 0.9;
+  opts.widen_factor = 2.0;
+  opts.deepen_blocks = 1;
+  opts.scaling = p;
+  return opts;
+}
+
+TEST(ScalingPolicyPlanTest, WidenOnlyEmitsOnlyWidenOps) {
+  auto spec = ModelSpec::conv(1, 8, 4, 4, {6, 8, 10});
+  spec.cells[1].widened_last = true;  // compound would deepen this one
+  Rng rng(1);
+  auto plan = build_transform_plan(spec, {1.0, 1.0, 1.0},
+                                   opts_with(ScalingPolicy::WidenOnly), rng);
+  for (const auto& op : plan)
+    EXPECT_NE(op.kind, CellOp::Kind::Deepen);
+  EXPECT_TRUE(std::any_of(plan.begin(), plan.end(), [](const CellOp& op) {
+    return op.kind == CellOp::Kind::Widen;
+  }));
+}
+
+TEST(ScalingPolicyPlanTest, DeepenOnlyEmitsOnlyDeepenOps) {
+  auto spec = ModelSpec::conv(1, 8, 4, 4, {6, 8, 10});
+  Rng rng(2);
+  auto plan = build_transform_plan(spec, {1.0, 1.0, 1.0},
+                                   opts_with(ScalingPolicy::DeepenOnly), rng);
+  for (const auto& op : plan)
+    EXPECT_NE(op.kind, CellOp::Kind::Widen);
+  EXPECT_TRUE(std::any_of(plan.begin(), plan.end(), [](const CellOp& op) {
+    return op.kind == CellOp::Kind::Deepen;
+  }));
+}
+
+TEST(ScalingPolicyPlanTest, CompoundHonoursWidenedLastFlag) {
+  auto spec = ModelSpec::conv(1, 8, 4, 4, {6, 8});
+  spec.cells[0].widened_last = true;
+  spec.cells[1].widened_last = false;
+  Rng rng(3);
+  auto plan = build_transform_plan(spec, {1.0, 1.0},
+                                   opts_with(ScalingPolicy::Compound), rng);
+  EXPECT_EQ(plan[0].kind, CellOp::Kind::Deepen);
+  EXPECT_EQ(plan[1].kind, CellOp::Kind::Widen);
+}
+
+// Whatever plan a policy emits, warm-started children must preserve the
+// parent's function exactly.
+class PolicyPreservation : public ::testing::TestWithParam<ScalingPolicy> {};
+
+TEST_P(PolicyPreservation, ChildMatchesParentOnRandomInputs) {
+  Rng rng(7);
+  auto spec = ModelSpec::conv(1, 8, 4, 4, {6, 8});
+  Model parent(spec, rng);
+
+  auto plan = build_transform_plan(parent.spec(), {1.0, 0.95},
+                                   opts_with(GetParam()), rng);
+  Model child = transform_model(parent, plan, 1, "M1", rng,
+                                /*warm_start=*/true);
+  EXPECT_GT(child.macs(), parent.macs());
+
+  Tensor x({3, 1, 8, 8});
+  x.randn(rng, 1.0f);
+  Tensor yp = parent.forward(x, false);
+  Tensor yc = child.forward(x, false);
+  EXPECT_LT(max_abs_diff(yp, yc), 1e-4)
+      << scaling_policy_name(GetParam())
+      << " plan broke function preservation";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyPreservation,
+                         ::testing::Values(ScalingPolicy::Compound,
+                                           ScalingPolicy::WidenOnly,
+                                           ScalingPolicy::DeepenOnly),
+                         [](const ::testing::TestParamInfo<ScalingPolicy>& i) {
+                           std::string n = scaling_policy_name(i.param);
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(ScalingPolicyPlanTest, MlpCellsSupportAllPolicies) {
+  Rng rng(9);
+  auto spec = ModelSpec::mlp(16, 4, 8, {10, 12});
+  Model parent(spec, rng);
+  for (ScalingPolicy p : {ScalingPolicy::WidenOnly, ScalingPolicy::DeepenOnly}) {
+    auto plan =
+        build_transform_plan(parent.spec(), {1.0, 1.0}, opts_with(p), rng);
+    Model child = transform_model(parent, plan, 1, "M1", rng, true);
+    Tensor x({2, 16});
+    x.randn(rng, 1.0f);
+    Tensor yp = parent.forward(x, false);
+    Tensor yc = child.forward(x, false);
+    EXPECT_LT(max_abs_diff(yp, yc), 1e-4) << scaling_policy_name(p);
+  }
+}
+
+}  // namespace
+}  // namespace fedtrans

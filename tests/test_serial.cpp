@@ -1,0 +1,83 @@
+// Tests for the binary serialization primitives (common/serial.hpp) that
+// checkpointing and optimizer/selector state persistence build on.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+
+namespace fedtrans {
+namespace {
+
+TEST(SerialTest, PodRoundTrip) {
+  std::stringstream ss;
+  write_pod<std::int32_t>(ss, -42);
+  write_pod<double>(ss, 3.14159);
+  write_pod<std::uint8_t>(ss, 255);
+  EXPECT_EQ(read_pod<std::int32_t>(ss), -42);
+  EXPECT_EQ(read_pod<double>(ss), 3.14159);
+  EXPECT_EQ(read_pod<std::uint8_t>(ss), 255);
+}
+
+TEST(SerialTest, PodReadFromEmptyStreamThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(read_pod<std::int64_t>(ss), Error);
+}
+
+TEST(SerialTest, VectorRoundTrip) {
+  std::stringstream ss;
+  const std::vector<double> v{1.5, -2.5, 0.0, 1e300};
+  write_vec(ss, v);
+  EXPECT_EQ(read_vec<double>(ss), v);
+}
+
+TEST(SerialTest, EmptyVectorRoundTrip) {
+  std::stringstream ss;
+  write_vec(ss, std::vector<int>{});
+  EXPECT_TRUE(read_vec<int>(ss).empty());
+}
+
+TEST(SerialTest, LargeVectorRoundTrip) {
+  std::stringstream ss;
+  std::vector<float> v(100000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<float>(i) * 0.5f;
+  write_vec(ss, v);
+  EXPECT_EQ(read_vec<float>(ss), v);
+}
+
+TEST(SerialTest, TruncatedVectorThrows) {
+  std::stringstream ss;
+  write_vec(ss, std::vector<double>{1.0, 2.0, 3.0});
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() - 4));
+  EXPECT_THROW(read_vec<double>(cut), Error);
+}
+
+TEST(SerialTest, StringRoundTrip) {
+  std::stringstream ss;
+  const std::string with_null("hello\nworld\0with null", 21);
+  write_string(ss, "");
+  write_string(ss, with_null);
+  EXPECT_EQ(read_string(ss), "");
+  EXPECT_EQ(read_string(ss), with_null);
+}
+
+TEST(SerialTest, MixedSequenceRoundTrip) {
+  // The checkpoint format interleaves all three kinds; ordering must hold.
+  std::stringstream ss;
+  write_pod<std::uint64_t>(ss, 7);
+  write_string(ss, "spec-blob");
+  write_vec(ss, std::vector<int>{1, 2, 3});
+  write_pod<std::uint8_t>(ss, 1);
+
+  EXPECT_EQ(read_pod<std::uint64_t>(ss), 7u);
+  EXPECT_EQ(read_string(ss), "spec-blob");
+  EXPECT_EQ(read_vec<int>(ss), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(read_pod<std::uint8_t>(ss), 1);
+}
+
+}  // namespace
+}  // namespace fedtrans

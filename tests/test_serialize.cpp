@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "model/serialize.hpp"
+#include "model/transform.hpp"
+#include "test_util.hpp"
+
+namespace fedtrans {
+namespace {
+
+TEST(ModelSerialize, RoundTripPreservesOutputsConv) {
+  Rng rng(1);
+  Model m(ModelSpec::conv(3, 8, 5, 4, {6, 8}, {2, 1}, {1, 2}), rng);
+  std::stringstream ss;
+  save_model(m, ss);
+  Model loaded = load_model(ss);
+  EXPECT_EQ(loaded.spec(), m.spec());
+  Tensor x({2, 3, 8, 8});
+  x.randn(rng);
+  EXPECT_LT(testing::max_abs_diff(m.forward(x, false),
+                                  loaded.forward(x, false)),
+            1e-9);
+}
+
+TEST(ModelSerialize, RoundTripAttention) {
+  Rng rng(2);
+  Model m(ModelSpec::attention(1, 8, 4, 4, 8, {12}, {2}), rng);
+  std::stringstream ss;
+  save_model(m, ss);
+  Model loaded = load_model(ss);
+  Tensor x({2, 1, 8, 8});
+  x.randn(rng);
+  EXPECT_LT(testing::max_abs_diff(m.forward(x, false),
+                                  loaded.forward(x, false)),
+            1e-9);
+}
+
+TEST(ModelSerialize, RoundTripTransformedLineage) {
+  // Lineage metadata (cell ids, parent ids) survives the round trip so a
+  // reloaded family still aligns for similarity/weight sharing.
+  Rng rng(3);
+  Model parent(ModelSpec::conv(1, 8, 4, 4, {6, 8}), rng);
+  Model child = widen_cell(parent, 1, 2.0, 5, rng);
+  std::stringstream ss;
+  save_model(child, ss);
+  Model loaded = load_model(ss);
+  EXPECT_EQ(loaded.spec().parent_id, parent.spec().model_id);
+  EXPECT_EQ(loaded.spec().cells[1].id, parent.spec().cells[1].id);
+  EXPECT_TRUE(loaded.spec().cells[1].widened_last);
+}
+
+TEST(ModelSerialize, RejectsGarbageStream) {
+  std::stringstream ss;
+  ss << "garbage bytes here";
+  EXPECT_THROW(load_model(ss), Error);
+}
+
+TEST(ModelSerialize, FileRoundTrip) {
+  Rng rng(4);
+  Model m(ModelSpec::mlp(16, 4, 8, {10}), rng);
+  const std::string path = ::testing::TempDir() + "/ft_model.bin";
+  save_model_file(m, path);
+  Model loaded = load_model_file(path);
+  Tensor x({3, 16});
+  x.randn(rng);
+  EXPECT_LT(testing::max_abs_diff(m.forward(x, false),
+                                  loaded.forward(x, false)),
+            1e-9);
+}
+
+TEST(ModelSerialize, MissingFileThrows) {
+  EXPECT_THROW(load_model_file("/nonexistent/dir/model.bin"), Error);
+}
+
+}  // namespace
+}  // namespace fedtrans

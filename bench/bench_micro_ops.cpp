@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.hpp"
 #include "core/aggregator.hpp"
 #include "data/dataset.hpp"
 #include "fl/local_train.hpp"
@@ -14,6 +15,8 @@
 namespace fedtrans {
 namespace {
 
+// items == MACs, so GFLOP/s = 2 × items_per_second / 1e9 (the convention
+// scripts/bench_micro.sh uses when emitting BENCH_micro_ops.json).
 void BM_Gemm(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(1);
@@ -28,23 +31,31 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
                           n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_Conv2dForward(benchmark::State& state) {
-  Rng rng(2);
-  Conv2d conv(8, 16, 3, 1);
-  conv.init(rng);
-  Tensor x({8, 8, 12, 12});
-  x.randn(rng);
+// Thread-count scaling of the acceptance-criterion shape (256³).
+void BM_GemmThreads(benchmark::State& state) {
+  ThreadPool::set_global_threads(static_cast<int>(state.range(0)));
+  const int n = 256;
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  a.randn(rng);
+  b.randn(rng);
   for (auto _ : state) {
-    Tensor y = conv.forward(x, true);
-    benchmark::DoNotOptimize(y.data());
+    gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+         c.data(), n);
+    benchmark::DoNotOptimize(c.data());
   }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          n * n);
+  ThreadPool::set_global_threads(ThreadPool::global_threads());
 }
-BENCHMARK(BM_Conv2dForward);
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4);
 
-void BM_Conv2dBackward(benchmark::State& state) {
-  Rng rng(3);
+void conv_bench_backend(benchmark::State& state, bool backward) {
+  set_conv_backend(state.range(0) == 0 ? ConvBackend::Im2col
+                                       : ConvBackend::Direct);
+  Rng rng(2);
   Conv2d conv(8, 16, 3, 1);
   conv.init(rng);
   Tensor x({8, 8, 12, 12});
@@ -53,11 +64,67 @@ void BM_Conv2dBackward(benchmark::State& state) {
   Tensor g(y.shape());
   g.fill(0.1f);
   for (auto _ : state) {
+    if (backward) {
+      Tensor dx = conv.backward(g);
+      benchmark::DoNotOptimize(dx.data());
+    } else {
+      Tensor out = conv.forward(x, true);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * conv.macs({8, 12, 12}) * 8);
+  set_conv_backend(ConvBackend::Im2col);
+}
+
+// Arg 0 = im2col (default backend), Arg 1 = direct reference loops.
+void BM_Conv2dForward(benchmark::State& state) {
+  conv_bench_backend(state, /*backward=*/false);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(0)->Arg(1);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  conv_bench_backend(state, /*backward=*/true);
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(0)->Arg(1);
+
+// ResNet-style body layer: 3×3, 64→64 channels on a 14×14 map (the
+// acceptance-criterion conv shape). items == MACs per forward pass.
+void BM_ResNetConvForward(benchmark::State& state) {
+  set_conv_backend(state.range(0) == 0 ? ConvBackend::Im2col
+                                       : ConvBackend::Direct);
+  Rng rng(7);
+  Conv2d conv(64, 64, 3, 1);
+  conv.init(rng);
+  Tensor x({4, 64, 14, 14});
+  x.randn(rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.macs({64, 14, 14}) * 4);
+  set_conv_backend(ConvBackend::Im2col);
+}
+BENCHMARK(BM_ResNetConvForward)->Arg(0)->Arg(1);
+
+void BM_ResNetConvBackward(benchmark::State& state) {
+  set_conv_backend(state.range(0) == 0 ? ConvBackend::Im2col
+                                       : ConvBackend::Direct);
+  Rng rng(8);
+  Conv2d conv(64, 64, 3, 1);
+  conv.init(rng);
+  Tensor x({4, 64, 14, 14});
+  x.randn(rng);
+  Tensor y = conv.forward(x, true);
+  Tensor g(y.shape());
+  g.fill(0.1f);
+  for (auto _ : state) {
     Tensor dx = conv.backward(g);
     benchmark::DoNotOptimize(dx.data());
   }
+  state.SetItemsProcessed(state.iterations() * conv.macs({64, 14, 14}) * 4);
+  set_conv_backend(ConvBackend::Im2col);
 }
-BENCHMARK(BM_Conv2dBackward);
+BENCHMARK(BM_ResNetConvBackward)->Arg(0)->Arg(1);
 
 void BM_LocalTrainStep(benchmark::State& state) {
   DatasetConfig dcfg;

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs bench_micro_ops and distills the result into BENCH_micro_ops.json —
+# one record per benchmark: {op, shape, ms, gflops} — so successive PRs have
+# a perf trajectory to compare against.
+#
+# Usage: scripts/bench_micro.sh [filter-regex]
+#   BUILD_DIR  build directory (default: build)
+#   OUT        output path      (default: BENCH_micro_ops.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${OUT:-BENCH_micro_ops.json}
+FILTER=${1:-.}
+BIN="$BUILD_DIR/bench_micro_ops"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+"$BIN" --benchmark_filter="$FILTER" --benchmark_format=json \
+       --benchmark_out="$RAW" --benchmark_out_format=json >&2
+
+python3 - "$RAW" "$OUT" <<'PY'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+records = []
+for b in raw.get("benchmarks", []):
+    name = b["name"]
+    op, _, shape = name.partition("/")
+    ns = b["real_time"]  # google-benchmark default time_unit is ns
+    rec = {
+        "op": op,
+        "shape": shape or "-",
+        "ms": round(ns / 1e6, 6),
+    }
+    # items_processed counts MACs: GFLOP/s = 2 * MACs/s / 1e9.
+    ips = b.get("items_per_second")
+    if ips is not None:
+        rec["gflops"] = round(2.0 * ips / 1e9, 3)
+    records.append(rec)
+
+with open(out_path, "w") as f:
+    json.dump({"context": raw.get("context", {}), "benchmarks": records}, f,
+              indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path} ({len(records)} benchmarks)")
+PY

@@ -1,0 +1,144 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+namespace {
+/// Set while a thread is executing pool work; nested parallel sections from
+/// such a thread run inline.
+thread_local bool t_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  FT_CHECK_MSG(threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::pair<std::int64_t, std::exception_ptr> ThreadPool::run_chunks(Task& t) {
+  std::int64_t done = 0;
+  std::exception_ptr err;
+  for (;;) {
+    const std::int64_t begin = t.next.fetch_add(t.grain);
+    if (begin >= t.n) break;
+    const std::int64_t end = std::min<std::int64_t>(begin + t.grain, t.n);
+    if (!err) {
+      try {
+        (*t.fn)(begin, end);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    ++done;
+  }
+  return {done, err};
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    std::shared_ptr<Task> t = task_;  // keep the task alive while unlocked
+    if (!t) continue;
+    lk.unlock();
+    auto [done, err] = run_chunks(*t);
+    lk.lock();
+    t->done_chunks += done;
+    if (err && !t->error) t->error = err;
+    if (t->done_chunks == t->total_chunks) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(grain, 1);
+  if (t_in_worker || workers_.empty() || n <= grain) {
+    fn(0, n);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lk(submit_m_);
+  auto t = std::make_shared<Task>();
+  t->n = n;
+  t->grain = grain;
+  t->fn = &fn;
+  t->total_chunks = (n + grain - 1) / grain;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    task_ = t;
+    ++generation_;
+  }
+  cv_.notify_all();
+
+  // The caller participates too; while it runs chunks it must behave like a
+  // worker (nested parallel_for inline), or a nested call from its own chunk
+  // would re-lock submit_m_ and self-deadlock.
+  t_in_worker = true;
+  auto [done, err] = run_chunks(*t);
+  t_in_worker = false;
+
+  std::unique_lock<std::mutex> lk(m_);
+  t->done_chunks += done;
+  if (err && !t->error) t->error = err;
+  done_cv_.wait(lk, [&] { return t->done_chunks == t->total_chunks; });
+  task_.reset();
+  const std::exception_ptr first = t->error;
+  lk.unlock();
+  if (first) std::rethrow_exception(first);
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+std::mutex g_global_m;
+}  // namespace
+
+int ThreadPool::global_threads() {
+  if (const char* env = std::getenv("FEDTRANS_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(g_global_m);
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(global_threads());
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  std::lock_guard<std::mutex> lk(g_global_m);
+  global_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+void parallel_for(std::int64_t n, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ThreadPool::global().parallel_for(n, grain, fn);
+}
+
+}  // namespace fedtrans

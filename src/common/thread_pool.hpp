@@ -1,0 +1,87 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fedtrans {
+
+/// Persistent worker pool driving every data-parallel loop in the library:
+/// GEMM row panels, im2col batches, and concurrent client rounds. One pool is
+/// shared process-wide (see `global()`); its size comes from the
+/// FEDTRANS_THREADS environment variable, defaulting to the hardware
+/// concurrency.
+///
+/// Work is handed out as half-open index ranges. Nested `parallel_for` calls
+/// issued from inside a worker run inline on the calling thread, so parallel
+/// sections compose without oversubscription or deadlock (e.g. the threaded
+/// GEMM invoked from a concurrently-training client simply runs serially
+/// within that client's worker).
+class ThreadPool {
+ public:
+  /// `threads` is the total degree of parallelism including the calling
+  /// thread; `threads - 1` workers are spawned.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Degree of parallelism (workers + the participating caller).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Invoke fn(begin, end) over a disjoint partition of [0, n) in chunks of
+  /// at most `grain` indices. The caller participates and the call blocks
+  /// until every chunk has finished; the first exception thrown by any chunk
+  /// is rethrown here. Ranges are disjoint, so writes to per-index slots
+  /// need no synchronization, and any reduction the caller performs
+  /// afterwards sees fully ordered data — keeping results independent of the
+  /// thread count.
+  void parallel_for(std::int64_t n, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Process-wide pool. Built on first use with `global_threads()` threads.
+  static ThreadPool& global();
+  /// Thread count the global pool uses: FEDTRANS_THREADS if set (clamped to
+  /// >= 1), otherwise std::thread::hardware_concurrency().
+  static int global_threads();
+  /// Rebuild the global pool with an explicit thread count. Test/bench hook
+  /// for comparing thread counts within one process; must not be called
+  /// while a parallel_for is in flight.
+  static void set_global_threads(int threads);
+
+ private:
+  struct Task {
+    std::int64_t n = 0;
+    std::int64_t grain = 1;
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::atomic<std::int64_t> next{0};
+    std::int64_t total_chunks = 0;
+    std::int64_t done_chunks = 0;  // guarded by the pool mutex
+    std::exception_ptr error;      // first failure, guarded by the pool mutex
+  };
+
+  void worker_loop();
+  /// Claim and run chunks until the task is drained; returns the number of
+  /// chunks this thread completed and the first exception it saw.
+  static std::pair<std::int64_t, std::exception_ptr> run_chunks(Task& t);
+
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_;       // wakes workers on a new task / stop
+  std::condition_variable done_cv_;  // wakes the caller on completion
+  std::shared_ptr<Task> task_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::mutex submit_m_;  // serializes top-level parallel_for calls
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for.
+void parallel_for(std::int64_t n, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace fedtrans

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "fl/runner.hpp"
 
 namespace fedtrans {
@@ -70,13 +71,37 @@ double FedTransTrainer::run_round() {
   std::vector<Participation> parts;
   parts.reserve(selected.size());
 
+  // Sequential pre-pass: model assignment and Rng forking consume rng_ in
+  // the exact order the serial loop did. The training itself is then
+  // embarrassingly parallel (each client works on a private model copy), and
+  // the reduction below runs in fixed selection order, so round metrics are
+  // bitwise-independent of the thread count.
+  std::vector<int> assigned(selected.size(), 0);
+  std::vector<Rng> client_rngs;
+  client_rngs.reserve(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    assigned[i] = cm_->assign(selected[i], rng_);
+    client_rngs.push_back(rng_.fork());
+  }
+  std::vector<LocalTrainResult> results(selected.size());
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(selected.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          Model local_model =
+              *models_[static_cast<std::size_t>(assigned[idx])].model;
+          results[idx] = local_train(local_model, data_.client(selected[idx]),
+                                     cfg_.local, client_rngs[idx]);
+        }
+      });
+
   double slowest = 0.0;
-  for (int c : selected) {
-    const int k = cm_->assign(c, rng_);
+  for (std::size_t ci = 0; ci < selected.size(); ++ci) {
+    const int c = selected[ci];
+    const int k = assigned[ci];
     Model& server_model = *models_[static_cast<std::size_t>(k)].model;
-    Model local_model = server_model;  // download
-    Rng crng = rng_.fork();
-    auto res = local_train(local_model, data_.client(c), cfg_.local, crng);
+    auto& res = results[ci];
 
     if (acc[static_cast<std::size_t>(k)].empty())
       acc[static_cast<std::size_t>(k)] = ws_zeros_like(res.delta);
@@ -170,12 +195,21 @@ double FedTransTrainer::run_round() {
                       ? std::min(cfg_.eval_clients, data_.num_clients())
                       : data_.num_clients();
     auto ids = FedAvgRunner::select_clients(data_.num_clients(), k, erng);
+    // Private model copies per evaluation: forward() mutates layer caches.
+    std::vector<double> accs(ids.size(), 0.0);
+    ThreadPool::global().parallel_for(
+        static_cast<std::int64_t>(ids.size()), 1,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const int c = ids[static_cast<std::size_t>(i)];
+            const int best = cm_->best_model(c);
+            Model probe = *models_[static_cast<std::size_t>(best)].model;
+            accs[static_cast<std::size_t>(i)] =
+                evaluate_accuracy(probe, data_.client(c));
+          }
+        });
     double s = 0.0;
-    for (int c : ids) {
-      const int best = cm_->best_model(c);
-      s += evaluate_accuracy(*models_[static_cast<std::size_t>(best)].model,
-                             data_.client(c));
-    }
+    for (double a : accs) s += a;
     rec.accuracy = s / static_cast<double>(ids.size());
   }
   history_.push_back(rec);
@@ -239,32 +273,42 @@ void FedTransTrainer::run() {
 
 FinalEval FedTransTrainer::evaluate_final() {
   FinalEval ev;
-  ev.client_accuracy.reserve(static_cast<std::size_t>(data_.num_clients()));
-  ev.client_model.reserve(static_cast<std::size_t>(data_.num_clients()));
-  for (int c = 0; c < data_.num_clients(); ++c) {
-    int best;
-    if (cfg_.final_assignment == FedTransConfig::FinalAssignment::Utility) {
-      best = cm_->best_model(c);
-    } else {
-      // Client-side probe: among compatible models, the one with the lowest
-      // loss on the client's own training shard (its data never leaves the
-      // device; only the choice does).
-      const auto compat = cm_->compatible_models(c);
-      best = compat.front();
-      double best_loss = 1e300;
-      for (int k : compat) {
-        const double l = evaluate_loss(
-            *models_[static_cast<std::size_t>(k)].model, data_.client(c));
-        if (l < best_loss) {
-          best_loss = l;
-          best = k;
+  const auto n = static_cast<std::size_t>(data_.num_clients());
+  ev.client_accuracy.assign(n, 0.0);
+  ev.client_model.assign(n, 0);
+  // Deployment evaluation is read-only on the family apart from layer
+  // caches, so each worker probes private model copies; per-client slots
+  // keep the result order (and thus mean/IQR) deterministic.
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(n), 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const int c = static_cast<int>(i);
+          int best;
+          if (cfg_.final_assignment ==
+              FedTransConfig::FinalAssignment::Utility) {
+            best = cm_->best_model(c);
+          } else {
+            // Client-side probe: among compatible models, the one with the
+            // lowest loss on the client's own training shard (its data never
+            // leaves the device; only the choice does).
+            const auto compat = cm_->compatible_models(c);
+            best = compat.front();
+            double best_loss = 1e300;
+            for (int k : compat) {
+              Model probe = *models_[static_cast<std::size_t>(k)].model;
+              const double l = evaluate_loss(probe, data_.client(c));
+              if (l < best_loss) {
+                best_loss = l;
+                best = k;
+              }
+            }
+          }
+          ev.client_model[static_cast<std::size_t>(i)] = best;
+          Model deploy = *models_[static_cast<std::size_t>(best)].model;
+          ev.client_accuracy[static_cast<std::size_t>(i)] =
+              evaluate_accuracy(deploy, data_.client(c));
         }
-      }
-    }
-    ev.client_model.push_back(best);
-    ev.client_accuracy.push_back(evaluate_accuracy(
-        *models_[static_cast<std::size_t>(best)].model, data_.client(c)));
-  }
+      });
   ev.mean_accuracy = mean(ev.client_accuracy);
   ev.accuracy_iqr = iqr(ev.client_accuracy);
   return ev;

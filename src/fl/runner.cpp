@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 
 namespace fedtrans {
 
@@ -80,11 +81,30 @@ double FedAvgRunner::run_round() {
   double slowest = 0.0;
   const double model_bytes = static_cast<double>(model_.param_bytes());
 
+  // Clients are embarrassingly parallel: pre-fork one deterministic Rng per
+  // client in selection order (the same fork sequence the serial loop drew),
+  // train concurrently on the pool, then reduce in fixed client order below
+  // — so every metric is bitwise-independent of the thread count.
+  std::vector<Rng> client_rngs;
+  client_rngs.reserve(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i)
+    client_rngs.push_back(rng_.fork());
+  std::vector<LocalTrainResult> results(selected.size());
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(selected.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          Model local_model = model_;  // download global weights
+          results[static_cast<std::size_t>(i)] = local_train(
+              local_model, data_.client(selected[static_cast<std::size_t>(i)]),
+              cfg_.local, client_rngs[static_cast<std::size_t>(i)]);
+        }
+      });
+
   int trained = 0;
-  for (int c : selected) {
-    Model local_model = model_;  // download global weights
-    Rng crng = rng_.fork();
-    auto res = local_train(local_model, data_.client(c), cfg_.local, crng);
+  for (std::size_t ci = 0; ci < selected.size(); ++ci) {
+    const int c = selected[ci];
+    auto& res = results[ci];
 
     // Uplink compression (EF-SGD: fold in this client's residual, compress,
     // remember what was dropped for its next participation).
@@ -143,9 +163,20 @@ double FedAvgRunner::run_round() {
                       ? std::min(cfg_.eval_clients, data_.num_clients())
                       : data_.num_clients();
     auto eval_ids = select_clients(data_.num_clients(), k, erng);
+    // Per-thread model copies: forward() mutates layer caches, so the shared
+    // model cannot be evaluated concurrently. Fixed-order summation keeps
+    // the probe deterministic.
+    std::vector<double> accs(eval_ids.size(), 0.0);
+    ThreadPool::global().parallel_for(
+        static_cast<std::int64_t>(eval_ids.size()), 1,
+        [&](std::int64_t lo, std::int64_t hi) {
+          Model probe = model_;
+          for (std::int64_t i = lo; i < hi; ++i)
+            accs[static_cast<std::size_t>(i)] = evaluate_accuracy(
+                probe, data_.client(eval_ids[static_cast<std::size_t>(i)]));
+        });
     double acc_sum = 0.0;
-    for (int c : eval_ids)
-      acc_sum += evaluate_accuracy(model_, data_.client(c));
+    for (double a : accs) acc_sum += a;
     rec.accuracy = acc_sum / static_cast<double>(eval_ids.size());
   }
   history_.push_back(rec);
@@ -165,10 +196,14 @@ double FedAvgRunner::mean_client_accuracy() {
 }
 
 std::vector<double> FedAvgRunner::per_client_accuracy() {
-  std::vector<double> accs;
-  accs.reserve(static_cast<std::size_t>(data_.num_clients()));
-  for (int c = 0; c < data_.num_clients(); ++c)
-    accs.push_back(evaluate_accuracy(model_, data_.client(c)));
+  std::vector<double> accs(static_cast<std::size_t>(data_.num_clients()), 0.0);
+  ThreadPool::global().parallel_for(
+      data_.num_clients(), 1, [&](std::int64_t lo, std::int64_t hi) {
+        Model probe = model_;
+        for (std::int64_t i = lo; i < hi; ++i)
+          accs[static_cast<std::size_t>(i)] =
+              evaluate_accuracy(probe, data_.client(static_cast<int>(i)));
+      });
   return accs;
 }
 

@@ -1,13 +1,15 @@
 #pragma once
 
+#include "nn/im2col.hpp"
 #include "nn/layer.hpp"
 
 namespace fedtrans {
 
 /// 2-D convolution over NCHW input. Weight layout [out_c, in_c, k, k];
-/// square kernel, symmetric padding. Direct (non-im2col) implementation —
-/// the simulation uses small feature maps where the loop nest is adequate
-/// and keeps the gradient code auditable.
+/// square kernel, symmetric padding. Forward/backward lower onto the blocked
+/// GEMM via im2col/col2im by default; the original direct loop nest is kept
+/// as a reference implementation selectable through set_conv_backend() for
+/// parity testing.
 class Conv2d : public Layer {
  public:
   Conv2d(int in_channels, int out_channels, int kernel, int stride = 1,
@@ -41,6 +43,8 @@ class Conv2d : public Layer {
 
  private:
   int out_hw(int in_hw) const { return (in_hw + 2 * pad_ - k_) / stride_ + 1; }
+  void forward_direct(const Tensor& x, Tensor& y);
+  Tensor backward_direct(const Tensor& grad_out);
 
   int in_c_, out_c_, k_, stride_, pad_;
   bool has_bias_;

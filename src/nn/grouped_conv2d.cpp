@@ -57,9 +57,21 @@ Tensor GroupedConv2d::forward(const Tensor& x, bool /*train*/) {
   const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const int oh = out_hw(h), ow = out_hw(w);
   FT_CHECK_MSG(oh > 0 && ow > 0, "conv output collapsed to zero size");
+  Tensor y({n, out_c_, oh, ow});
+  if (conv_backend() == ConvBackend::Im2col) {
+    const ConvDims d{in_c_, out_c_, k_, stride_, pad_, groups_};
+    conv_forward_im2col(x, w_, has_bias_ ? &b_ : nullptr, d, y);
+  } else {
+    forward_direct(x, y);
+  }
+  return y;
+}
+
+void GroupedConv2d::forward_direct(const Tensor& x, Tensor& y) {
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const int oh = y.dim(2), ow = y.dim(3);
   const int icg = in_c_ / groups_;  // in channels per group
   const int ocg = out_c_ / groups_;
-  Tensor y({n, out_c_, oh, ow});
 
   const auto in_plane = static_cast<std::int64_t>(h) * w;
   const auto out_plane = static_cast<std::int64_t>(oh) * ow;
@@ -96,17 +108,30 @@ Tensor GroupedConv2d::forward(const Tensor& x, bool /*train*/) {
       }
     }
   }
-  return y;
 }
 
 Tensor GroupedConv2d::backward(const Tensor& grad_out) {
   const Tensor& x = cached_x_;
   FT_CHECK(x.ndim() == 4);
+  {
+    const int n = x.dim(0);
+    const int oh = out_hw(x.dim(2)), ow = out_hw(x.dim(3));
+    FT_CHECK(grad_out.ndim() == 4 && grad_out.dim(0) == n &&
+             grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
+             grad_out.dim(3) == ow);
+  }
+  if (conv_backend() == ConvBackend::Im2col) {
+    const ConvDims d{in_c_, out_c_, k_, stride_, pad_, groups_};
+    return conv_backward_im2col(x, grad_out, w_, gw_,
+                                has_bias_ ? &gb_ : nullptr, d);
+  }
+  return backward_direct(grad_out);
+}
+
+Tensor GroupedConv2d::backward_direct(const Tensor& grad_out) {
+  const Tensor& x = cached_x_;
   const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const int oh = out_hw(h), ow = out_hw(w);
-  FT_CHECK(grad_out.ndim() == 4 && grad_out.dim(0) == n &&
-           grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
-           grad_out.dim(3) == ow);
   const int icg = in_c_ / groups_;
   const int ocg = out_c_ / groups_;
 

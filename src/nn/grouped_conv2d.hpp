@@ -48,6 +48,8 @@ class GroupedConv2d : public Layer {
 
  private:
   int out_hw(int in_hw) const { return (in_hw + 2 * pad_ - k_) / stride_ + 1; }
+  void forward_direct(const Tensor& x, Tensor& y);
+  Tensor backward_direct(const Tensor& grad_out);
 
   int in_c_, out_c_, k_, groups_, stride_, pad_;
   bool has_bias_;

@@ -1,0 +1,179 @@
+#include "nn/im2col.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+ConvBackend initial_backend() {
+  if (const char* env = std::getenv("FEDTRANS_CONV_BACKEND")) {
+    if (std::strcmp(env, "direct") == 0) return ConvBackend::Direct;
+  }
+  return ConvBackend::Im2col;
+}
+
+std::atomic<ConvBackend> g_backend{initial_backend()};
+
+inline int conv_out(int in, int kernel, int stride, int pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace
+
+ConvBackend conv_backend() { return g_backend.load(std::memory_order_relaxed); }
+void set_conv_backend(ConvBackend backend) {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+void im2col(const float* im, int channels, int h, int w, int kernel,
+            int stride, int pad, float* col) {
+  const int oh = conv_out(h, kernel, stride, pad);
+  const int ow = conv_out(w, kernel, stride, pad);
+  float* out = col;
+  for (int c = 0; c < channels; ++c) {
+    const float* imc = im + static_cast<std::int64_t>(c) * h * w;
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx) {
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= h) {
+            std::memset(out, 0, static_cast<std::size_t>(ow) * sizeof(float));
+            out += ow;
+            continue;
+          }
+          const float* row = imc + static_cast<std::int64_t>(iy) * w;
+          if (pad == 0 && stride == 1) {
+            // Fully in-bounds fast path: a contiguous copy.
+            std::memcpy(out, row + kx,
+                        static_cast<std::size_t>(ow) * sizeof(float));
+          } else {
+            for (int ox = 0; ox < ow; ++ox) {
+              const int ix = ox * stride - pad + kx;
+              out[ox] = (ix >= 0 && ix < w) ? row[ix] : 0.0f;
+            }
+          }
+          out += ow;
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, int channels, int h, int w, int kernel,
+            int stride, int pad, float* im) {
+  const int oh = conv_out(h, kernel, stride, pad);
+  const int ow = conv_out(w, kernel, stride, pad);
+  const float* in = col;
+  for (int c = 0; c < channels; ++c) {
+    float* imc = im + static_cast<std::int64_t>(c) * h * w;
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx) {
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= h) {
+            in += ow;
+            continue;
+          }
+          float* row = imc + static_cast<std::int64_t>(iy) * w;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * stride - pad + kx;
+            if (ix >= 0 && ix < w) row[ix] += in[ox];
+          }
+          in += ow;
+        }
+      }
+    }
+  }
+}
+
+void conv_forward_im2col(const Tensor& x, const Tensor& w, const Tensor* bias,
+                         const ConvDims& d, Tensor& y) {
+  const int n = x.dim(0), h = x.dim(2), wdt = x.dim(3);
+  const int oh = y.dim(2), ow = y.dim(3);
+  const int icg = d.in_c / d.groups;
+  const int ocg = d.out_c / d.groups;
+  const int ckk = icg * d.kernel * d.kernel;
+  const auto in_plane = static_cast<std::int64_t>(h) * wdt;
+  const auto out_plane = static_cast<std::int64_t>(oh) * ow;
+
+  thread_local std::vector<float> col;
+  col.resize(static_cast<std::size_t>(ckk) * out_plane);
+
+  for (int b = 0; b < n; ++b) {
+    const float* xb = x.data() + b * d.in_c * in_plane;
+    float* yb = y.data() + b * d.out_c * out_plane;
+    for (int g = 0; g < d.groups; ++g) {
+      im2col(xb + g * icg * in_plane, icg, h, wdt, d.kernel, d.stride, d.pad,
+             col.data());
+      gemm(false, false, ocg, static_cast<int>(out_plane), ckk, 1.0f,
+           w.data() + static_cast<std::int64_t>(g) * ocg * ckk, ckk,
+           col.data(), static_cast<int>(out_plane), 0.0f,
+           yb + g * ocg * out_plane, static_cast<int>(out_plane));
+    }
+    if (bias) {
+      for (int oc = 0; oc < d.out_c; ++oc) {
+        const float bv = (*bias)[oc];
+        float* row = yb + oc * out_plane;
+        for (std::int64_t i = 0; i < out_plane; ++i) row[i] += bv;
+      }
+    }
+  }
+}
+
+Tensor conv_backward_im2col(const Tensor& x, const Tensor& grad_out,
+                            const Tensor& w, Tensor& gw, Tensor* gb,
+                            const ConvDims& d) {
+  const int n = x.dim(0), h = x.dim(2), wdt = x.dim(3);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const int icg = d.in_c / d.groups;
+  const int ocg = d.out_c / d.groups;
+  const int ckk = icg * d.kernel * d.kernel;
+  const auto in_plane = static_cast<std::int64_t>(h) * wdt;
+  const auto out_plane = static_cast<std::int64_t>(oh) * ow;
+
+  Tensor dx({n, d.in_c, h, wdt});
+  thread_local std::vector<float> col;
+  thread_local std::vector<float> dcol;
+  col.resize(static_cast<std::size_t>(ckk) * out_plane);
+  dcol.resize(static_cast<std::size_t>(ckk) * out_plane);
+
+  for (int b = 0; b < n; ++b) {
+    const float* xb = x.data() + b * d.in_c * in_plane;
+    const float* gob = grad_out.data() + b * d.out_c * out_plane;
+    float* dxb = dx.data() + b * d.in_c * in_plane;
+    if (gb) {
+      for (int oc = 0; oc < d.out_c; ++oc) {
+        const float* go = gob + oc * out_plane;
+        double s = 0.0;
+        for (std::int64_t i = 0; i < out_plane; ++i) s += go[i];
+        (*gb)[oc] += static_cast<float>(s);
+      }
+    }
+    for (int g = 0; g < d.groups; ++g) {
+      const float* go_g = gob + g * ocg * out_plane;
+      const float* w_g = w.data() + static_cast<std::int64_t>(g) * ocg * ckk;
+      float* gw_g = gw.data() + static_cast<std::int64_t>(g) * ocg * ckk;
+      im2col(xb + g * icg * in_plane, icg, h, wdt, d.kernel, d.stride, d.pad,
+             col.data());
+      // gW_g += dY_g · colᵀ
+      gemm(false, true, ocg, ckk, static_cast<int>(out_plane), 1.0f, go_g,
+           static_cast<int>(out_plane), col.data(),
+           static_cast<int>(out_plane), 1.0f, gw_g, ckk);
+      // dcol = W_gᵀ · dY_g, then scatter back into dx.
+      gemm(true, false, ckk, static_cast<int>(out_plane), ocg, 1.0f, w_g, ckk,
+           go_g, static_cast<int>(out_plane), 0.0f, dcol.data(),
+           static_cast<int>(out_plane));
+      col2im(dcol.data(), icg, h, wdt, d.kernel, d.stride, d.pad,
+             dxb + g * icg * in_plane);
+    }
+  }
+  return dx;
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace fedtrans {
+
+/// Which convolution implementation Conv2d / GroupedConv2d dispatch to.
+/// `Im2col` (default) lowers the convolution onto the blocked GEMM; `Direct`
+/// keeps the original loop nest as an auditable reference for parity tests.
+/// Initial value can be forced with FEDTRANS_CONV_BACKEND=direct|im2col.
+enum class ConvBackend { Im2col, Direct };
+ConvBackend conv_backend();
+void set_conv_backend(ConvBackend backend);
+
+/// Unfold one NCHW image plane-stack (`channels` × h × w) into a
+/// [channels·k·k, oh·ow] column matrix (Caffe layout: channel-major rows,
+/// spatial-major columns); out-of-bounds taps are zero.
+void im2col(const float* im, int channels, int h, int w, int kernel,
+            int stride, int pad, float* col);
+
+/// Scatter-add a [channels·k·k, oh·ow] column matrix back into the image it
+/// was unfolded from (the adjoint of im2col). Accumulates into `im`.
+void col2im(const float* col, int channels, int h, int w, int kernel,
+            int stride, int pad, float* im);
+
+/// Grouped-convolution geometry shared by Conv2d (groups == 1) and
+/// GroupedConv2d. Weight layout [out_c, in_c/groups, k, k].
+struct ConvDims {
+  int in_c = 0;
+  int out_c = 0;
+  int kernel = 0;
+  int stride = 1;
+  int pad = 0;
+  int groups = 1;
+};
+
+/// y[N, out_c, oh, ow] = conv(x) + bias, lowered per image and group onto
+/// gemm(W_g [ocg, icg·k·k] × col_g [icg·k·k, oh·ow]). `bias` may be null.
+void conv_forward_im2col(const Tensor& x, const Tensor& w, const Tensor* bias,
+                         const ConvDims& d, Tensor& y);
+
+/// Backward pass of the same lowering: accumulates into `gw` (and `gb` if
+/// non-null) and returns dL/dx. `grad_out` is [N, out_c, oh, ow].
+Tensor conv_backward_im2col(const Tensor& x, const Tensor& grad_out,
+                            const Tensor& w, Tensor& gw, Tensor* gb,
+                            const ConvDims& d);
+
+}  // namespace fedtrans

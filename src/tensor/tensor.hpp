@@ -85,8 +85,11 @@ Tensor sub(const Tensor& a, const Tensor& b);
 /// out-of-place c = a * s.
 Tensor scale(const Tensor& a, float s);
 
-/// C[M,N] (+)= alpha * op(A)[M,K] * op(B)[K,N]; beta pre-scales C.
-/// Plain triple loop with K-blocking — adequate for simulation-scale models.
+/// C[M,N] (+)= alpha * op(A)[M,K] * op(B)[K,N]; beta pre-scales C (beta == 0
+/// assigns zero, so C may be uninitialized). Cache-blocked and register-tiled
+/// with packed panels, parallelized over row panels of C on the global
+/// ThreadPool (FEDTRANS_THREADS); results are bitwise-independent of the
+/// thread count. Small problems take a plain-loop fast path.
 void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
           const float* a, int lda, const float* b, int ldb, float beta,
           float* c, int ldc);

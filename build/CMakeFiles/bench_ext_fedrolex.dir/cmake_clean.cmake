@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fedrolex.dir/bench/bench_ext_fedrolex.cpp.o"
+  "CMakeFiles/bench_ext_fedrolex.dir/bench/bench_ext_fedrolex.cpp.o.d"
+  "bench_ext_fedrolex"
+  "bench_ext_fedrolex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fedrolex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_selection.dir/bench/bench_ext_selection.cpp.o"
+  "CMakeFiles/bench_ext_selection.dir/bench/bench_ext_selection.cpp.o.d"
+  "bench_ext_selection"
+  "bench_ext_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

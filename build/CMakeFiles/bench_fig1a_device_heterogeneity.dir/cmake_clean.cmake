@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1a_device_heterogeneity.dir/bench/bench_fig1a_device_heterogeneity.cpp.o"
+  "CMakeFiles/bench_fig1a_device_heterogeneity.dir/bench/bench_fig1a_device_heterogeneity.cpp.o.d"
+  "bench_fig1a_device_heterogeneity"
+  "bench_fig1a_device_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a_device_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1b_best_model_spread.dir/bench/bench_fig1b_best_model_spread.cpp.o"
+  "CMakeFiles/bench_fig1b_best_model_spread.dir/bench/bench_fig1b_best_model_spread.cpp.o.d"
+  "bench_fig1b_best_model_spread"
+  "bench_fig1b_best_model_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_best_model_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

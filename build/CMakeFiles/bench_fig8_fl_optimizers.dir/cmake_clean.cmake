@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fl_optimizers.dir/bench/bench_fig8_fl_optimizers.cpp.o"
+  "CMakeFiles/bench_fig8_fl_optimizers.dir/bench/bench_fig8_fl_optimizers.cpp.o.d"
+  "bench_fig8_fl_optimizers"
+  "bench_fig8_fl_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fl_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_fl_optimizers.
+# This may be replaced when dependencies are built.

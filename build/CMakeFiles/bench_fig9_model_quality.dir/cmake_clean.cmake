@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_model_quality.dir/bench/bench_fig9_model_quality.cpp.o"
+  "CMakeFiles/bench_fig9_model_quality.dir/bench/bench_fig9_model_quality.cpp.o.d"
+  "bench_fig9_model_quality"
+  "bench_fig9_model_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_model_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

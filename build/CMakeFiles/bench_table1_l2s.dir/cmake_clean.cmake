@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_l2s.dir/bench/bench_table1_l2s.cpp.o"
+  "CMakeFiles/bench_table1_l2s.dir/bench/bench_table1_l2s.cpp.o.d"
+  "bench_table1_l2s"
+  "bench_table1_l2s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_l2s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

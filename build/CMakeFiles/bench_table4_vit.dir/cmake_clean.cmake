@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_vit.dir/bench/bench_table4_vit.cpp.o"
+  "CMakeFiles/bench_table4_vit.dir/bench/bench_table4_vit.cpp.o.d"
+  "bench_table4_vit"
+  "bench_table4_vit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_vit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

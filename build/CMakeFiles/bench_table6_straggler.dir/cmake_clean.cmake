@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_straggler.dir/bench/bench_table6_straggler.cpp.o"
+  "CMakeFiles/bench_table6_straggler.dir/bench/bench_table6_straggler.cpp.o.d"
+  "bench_table6_straggler"
+  "bench_table6_straggler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_async_federation.dir/examples/async_federation.cpp.o"
+  "CMakeFiles/example_async_federation.dir/examples/async_federation.cpp.o.d"
+  "example_async_federation"
+  "example_async_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_async_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

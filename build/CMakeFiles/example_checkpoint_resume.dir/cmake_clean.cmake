@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_checkpoint_resume.dir/examples/checkpoint_resume.cpp.o"
+  "CMakeFiles/example_checkpoint_resume.dir/examples/checkpoint_resume.cpp.o.d"
+  "example_checkpoint_resume"
+  "example_checkpoint_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_checkpoint_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

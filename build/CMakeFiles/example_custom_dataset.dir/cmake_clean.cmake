@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_dataset.dir/examples/custom_dataset.cpp.o"
+  "CMakeFiles/example_custom_dataset.dir/examples/custom_dataset.cpp.o.d"
+  "example_custom_dataset"
+  "example_custom_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

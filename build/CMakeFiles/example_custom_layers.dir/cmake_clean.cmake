@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_layers.dir/examples/custom_layers.cpp.o"
+  "CMakeFiles/example_custom_layers.dir/examples/custom_layers.cpp.o.d"
+  "example_custom_layers"
+  "example_custom_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_vit.dir/examples/custom_vit.cpp.o"
+  "CMakeFiles/example_custom_vit.dir/examples/custom_vit.cpp.o.d"
+  "example_custom_vit"
+  "example_custom_vit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_vit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

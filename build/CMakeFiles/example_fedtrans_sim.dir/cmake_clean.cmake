@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fedtrans_sim.dir/examples/fedtrans_sim.cpp.o"
+  "CMakeFiles/example_fedtrans_sim.dir/examples/fedtrans_sim.cpp.o.d"
+  "example_fedtrans_sim"
+  "example_fedtrans_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fedtrans_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heterogeneous_fleet.dir/examples/heterogeneous_fleet.cpp.o"
+  "CMakeFiles/example_heterogeneous_fleet.dir/examples/heterogeneous_fleet.cpp.o.d"
+  "example_heterogeneous_fleet"
+  "example_heterogeneous_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heterogeneous_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_personalization_comparison.dir/examples/personalization_comparison.cpp.o"
+  "CMakeFiles/example_personalization_comparison.dir/examples/personalization_comparison.cpp.o.d"
+  "example_personalization_comparison"
+  "example_personalization_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_personalization_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fedrolex.cpp" "CMakeFiles/fedtrans.dir/src/baselines/fedrolex.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/baselines/fedrolex.cpp.o.d"
+  "/root/repo/src/baselines/fluid.cpp" "CMakeFiles/fedtrans.dir/src/baselines/fluid.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/baselines/fluid.cpp.o.d"
+  "/root/repo/src/baselines/hetero_fl.cpp" "CMakeFiles/fedtrans.dir/src/baselines/hetero_fl.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/baselines/hetero_fl.cpp.o.d"
+  "/root/repo/src/baselines/split_mix.cpp" "CMakeFiles/fedtrans.dir/src/baselines/split_mix.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/baselines/split_mix.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/fedtrans.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/fedtrans.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/fedtrans.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "CMakeFiles/fedtrans.dir/src/common/thread_pool.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/aggregator.cpp" "CMakeFiles/fedtrans.dir/src/core/aggregator.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/core/aggregator.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "CMakeFiles/fedtrans.dir/src/core/checkpoint.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/core/checkpoint.cpp.o.d"
+  "/root/repo/src/core/client_manager.cpp" "CMakeFiles/fedtrans.dir/src/core/client_manager.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/core/client_manager.cpp.o.d"
+  "/root/repo/src/core/signals.cpp" "CMakeFiles/fedtrans.dir/src/core/signals.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/core/signals.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "CMakeFiles/fedtrans.dir/src/core/trainer.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/core/trainer.cpp.o.d"
+  "/root/repo/src/core/transformer.cpp" "CMakeFiles/fedtrans.dir/src/core/transformer.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/core/transformer.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/fedtrans.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/fl/async.cpp" "CMakeFiles/fedtrans.dir/src/fl/async.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/fl/async.cpp.o.d"
+  "/root/repo/src/fl/compression.cpp" "CMakeFiles/fedtrans.dir/src/fl/compression.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/fl/compression.cpp.o.d"
+  "/root/repo/src/fl/local_train.cpp" "CMakeFiles/fedtrans.dir/src/fl/local_train.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/fl/local_train.cpp.o.d"
+  "/root/repo/src/fl/runner.cpp" "CMakeFiles/fedtrans.dir/src/fl/runner.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/fl/runner.cpp.o.d"
+  "/root/repo/src/fl/selection.cpp" "CMakeFiles/fedtrans.dir/src/fl/selection.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/fl/selection.cpp.o.d"
+  "/root/repo/src/fl/server_opt.cpp" "CMakeFiles/fedtrans.dir/src/fl/server_opt.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/fl/server_opt.cpp.o.d"
+  "/root/repo/src/fl/weights.cpp" "CMakeFiles/fedtrans.dir/src/fl/weights.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/fl/weights.cpp.o.d"
+  "/root/repo/src/harness/experiments.cpp" "CMakeFiles/fedtrans.dir/src/harness/experiments.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/harness/experiments.cpp.o.d"
+  "/root/repo/src/harness/presets.cpp" "CMakeFiles/fedtrans.dir/src/harness/presets.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/harness/presets.cpp.o.d"
+  "/root/repo/src/model/align.cpp" "CMakeFiles/fedtrans.dir/src/model/align.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/model/align.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "CMakeFiles/fedtrans.dir/src/model/model.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/model/model.cpp.o.d"
+  "/root/repo/src/model/serialize.cpp" "CMakeFiles/fedtrans.dir/src/model/serialize.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/model/serialize.cpp.o.d"
+  "/root/repo/src/model/similarity.cpp" "CMakeFiles/fedtrans.dir/src/model/similarity.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/model/similarity.cpp.o.d"
+  "/root/repo/src/model/spec.cpp" "CMakeFiles/fedtrans.dir/src/model/spec.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/model/spec.cpp.o.d"
+  "/root/repo/src/model/transform.cpp" "CMakeFiles/fedtrans.dir/src/model/transform.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/model/transform.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "CMakeFiles/fedtrans.dir/src/nn/activations.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "CMakeFiles/fedtrans.dir/src/nn/attention.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "CMakeFiles/fedtrans.dir/src/nn/batchnorm.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "CMakeFiles/fedtrans.dir/src/nn/conv2d.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "CMakeFiles/fedtrans.dir/src/nn/dropout.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/grouped_conv2d.cpp" "CMakeFiles/fedtrans.dir/src/nn/grouped_conv2d.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/grouped_conv2d.cpp.o.d"
+  "/root/repo/src/nn/im2col.cpp" "CMakeFiles/fedtrans.dir/src/nn/im2col.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/im2col.cpp.o.d"
+  "/root/repo/src/nn/layer_norm.cpp" "CMakeFiles/fedtrans.dir/src/nn/layer_norm.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/layer_norm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "CMakeFiles/fedtrans.dir/src/nn/linear.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "CMakeFiles/fedtrans.dir/src/nn/loss.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/multihead_attention.cpp" "CMakeFiles/fedtrans.dir/src/nn/multihead_attention.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/multihead_attention.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "CMakeFiles/fedtrans.dir/src/nn/pool.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/pool.cpp.o.d"
+  "/root/repo/src/nn/scale_shift.cpp" "CMakeFiles/fedtrans.dir/src/nn/scale_shift.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/scale_shift.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "CMakeFiles/fedtrans.dir/src/nn/sequential.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "CMakeFiles/fedtrans.dir/src/nn/sgd.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/nn/sgd.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "CMakeFiles/fedtrans.dir/src/tensor/tensor.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/tensor/tensor.cpp.o.d"
+  "/root/repo/src/trace/device.cpp" "CMakeFiles/fedtrans.dir/src/trace/device.cpp.o" "gcc" "CMakeFiles/fedtrans.dir/src/trace/device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

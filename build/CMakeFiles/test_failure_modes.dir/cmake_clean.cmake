@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_modes.dir/tests/test_failure_modes.cpp.o"
+  "CMakeFiles/test_failure_modes.dir/tests/test_failure_modes.cpp.o.d"
+  "test_failure_modes"
+  "test_failure_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl_extensions.dir/tests/test_fl_extensions.cpp.o"
+  "CMakeFiles/test_fl_extensions.dir/tests/test_fl_extensions.cpp.o.d"
+  "test_fl_extensions"
+  "test_fl_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layers_extended.dir/tests/test_layers_extended.cpp.o"
+  "CMakeFiles/test_layers_extended.dir/tests/test_layers_extended.cpp.o.d"
+  "test_layers_extended"
+  "test_layers_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layers_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

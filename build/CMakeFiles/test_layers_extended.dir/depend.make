@@ -1,0 +1,2 @@
+# Empty dependencies file for test_layers_extended.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multihead_attention.dir/tests/test_multihead_attention.cpp.o"
+  "CMakeFiles/test_multihead_attention.dir/tests/test_multihead_attention.cpp.o.d"
+  "test_multihead_attention"
+  "test_multihead_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multihead_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

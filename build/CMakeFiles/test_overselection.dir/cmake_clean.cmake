@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overselection.dir/tests/test_overselection.cpp.o"
+  "CMakeFiles/test_overselection.dir/tests/test_overselection.cpp.o.d"
+  "test_overselection"
+  "test_overselection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overselection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling_policies.dir/tests/test_scaling_policies.cpp.o"
+  "CMakeFiles/test_scaling_policies.dir/tests/test_scaling_policies.cpp.o.d"
+  "test_scaling_policies"
+  "test_scaling_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

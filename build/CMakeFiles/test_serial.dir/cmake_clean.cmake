@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serial.dir/tests/test_serial.cpp.o"
+  "CMakeFiles/test_serial.dir/tests/test_serial.cpp.o.d"
+  "test_serial"
+  "test_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

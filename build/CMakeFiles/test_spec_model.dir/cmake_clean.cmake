@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_model.dir/tests/test_spec_model.cpp.o"
+  "CMakeFiles/test_spec_model.dir/tests/test_spec_model.cpp.o.d"
+  "test_spec_model"
+  "test_spec_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_fl.dir/tests/test_trace_fl.cpp.o"
+  "CMakeFiles/test_trace_fl.dir/tests/test_trace_fl.cpp.o.d"
+  "test_trace_fl"
+  "test_trace_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trainer_baselines.dir/tests/test_trainer_baselines.cpp.o"
+  "CMakeFiles/test_trainer_baselines.dir/tests/test_trainer_baselines.cpp.o.d"
+  "test_trainer_baselines"
+  "test_trainer_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trainer_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

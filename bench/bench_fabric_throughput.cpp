@@ -1,0 +1,107 @@
+// Federation-fabric throughput (google-benchmark): messages per second and
+// bytes moved per round through the wire protocol + simulated transport +
+// FederationServer exchange, as a function of the client count — plus the
+// raw encode/decode rate of ModelDown-sized frames. Emitted into
+// BENCH_micro_ops.json by scripts/bench_micro.sh (counters: msgs_per_s,
+// bytes_per_round, msgs_per_round).
+
+#include <benchmark/benchmark.h>
+
+#include "data/dataset.hpp"
+#include "fl/runner.hpp"
+#include "net/server.hpp"
+
+namespace fedtrans {
+namespace {
+
+DatasetConfig bench_data(int clients) {
+  DatasetConfig cfg;
+  cfg.num_classes = 4;
+  cfg.channels = 1;
+  cfg.hw = 8;
+  cfg.num_clients = clients;
+  cfg.mean_train_samples = 12;
+  cfg.min_train_samples = 8;
+  cfg.eval_samples = 4;
+  cfg.seed = 5;
+  return cfg;
+}
+
+ModelSpec bench_model() { return ModelSpec::conv(1, 8, 4, 4, {6, 8}); }
+
+/// One full fabric round — broadcast, concurrent agent training, collect —
+/// with every selected client participating. items == fabric messages.
+void BM_FabricRound(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  auto data = FederatedDataset::generate(bench_data(clients));
+  FleetConfig fleet_cfg;
+  fleet_cfg.num_devices = clients;
+  fleet_cfg.with_median_capacity(5e6);
+  auto fleet = sample_fleet(fleet_cfg);
+  Rng rng(1);
+  Model model(bench_model(), rng);
+  LocalTrainConfig local;
+  local.steps = 2;
+  local.batch = 4;
+  FederationServer server(model, data, fleet, local, FaultConfig{});
+
+  std::vector<int> selected(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) selected[static_cast<std::size_t>(c)] = c;
+  WeightSet global = model.weights();
+
+  std::uint64_t round = 0;
+  std::uint64_t frames0 = server.stats().frames_sent.load();
+  std::uint64_t bytes0 = server.stats().bytes_sent.load();
+  for (auto _ : state) {
+    std::vector<Rng> rngs;
+    rngs.reserve(selected.size());
+    Rng round_rng(round + 17);
+    for (std::size_t i = 0; i < selected.size(); ++i)
+      rngs.push_back(round_rng.fork());
+    auto ex = server.run_round(static_cast<std::uint32_t>(round++), global,
+                               selected, rngs);
+    benchmark::DoNotOptimize(ex.results.data());
+  }
+  const std::uint64_t frames =
+      server.stats().frames_sent.load() - frames0;
+  const std::uint64_t bytes = server.stats().bytes_sent.load() - bytes0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.counters["msgs_per_s"] = benchmark::Counter(
+      static_cast<double>(frames), benchmark::Counter::kIsRate);
+  state.counters["msgs_per_round"] =
+      static_cast<double>(frames) / static_cast<double>(state.iterations());
+  state.counters["bytes_per_round"] =
+      static_cast<double>(bytes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_FabricRound)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+/// Pure wire-protocol cost: encode+decode of a ModelDown frame carrying the
+/// bench model's full weight set. items == frames; bytes_per_frame reported.
+void BM_WireCodec(benchmark::State& state) {
+  Rng rng(1);
+  Model model(bench_model(), rng);
+  FabricMessage msg;
+  msg.type = MsgType::ModelDown;
+  msg.round = 1;
+  msg.sender = kServerId;
+  msg.receiver = 0;
+  msg.weights = model.weights();
+  for (auto _ : state) {
+    const std::string frame = encode_message(msg);
+    FabricMessage back = decode_message(frame);
+    benchmark::DoNotOptimize(back.weights.data());
+  }
+  msg.weights = model.weights();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["bytes_per_frame"] =
+      static_cast<double>(encode_message(msg).size());
+  state.counters["frames_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WireCodec);
+
+}  // namespace
+}  // namespace fedtrans
+
+BENCHMARK_MAIN();

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs bench_micro_ops and distills the result into BENCH_micro_ops.json —
-# one record per benchmark: {op, shape, ms, gflops} — so successive PRs have
+# Runs the google-benchmark binaries (bench_micro_ops + bench_fabric_throughput)
+# and distills the result into BENCH_micro_ops.json — one record per
+# benchmark: {op, shape, ms, gflops?, counters...} — so successive PRs have
 # a perf trajectory to compare against.
 #
 # Usage: scripts/bench_micro.sh [filter-regex]
@@ -12,46 +13,79 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${OUT:-BENCH_micro_ops.json}
 FILTER=${1:-.}
-BIN="$BUILD_DIR/bench_micro_ops"
 
-if [ ! -x "$BIN" ]; then
-  echo "error: $BIN not found — build first:" >&2
-  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+BINS=()
+for name in bench_micro_ops bench_fabric_throughput; do
+  if [ -x "$BUILD_DIR/$name" ]; then
+    BINS+=("$BUILD_DIR/$name")
+  else
+    echo "warning: $BUILD_DIR/$name not found — skipped (build first:" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  fi
+done
+if [ ${#BINS[@]} -eq 0 ]; then
+  echo "error: no benchmark binaries found in $BUILD_DIR" >&2
   exit 1
 fi
 
-RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
-"$BIN" --benchmark_filter="$FILTER" --benchmark_format=json \
-       --benchmark_out="$RAW" --benchmark_out_format=json >&2
+RAWS=()
+trap 'rm -f "${RAWS[@]}"' EXIT
+for bin in "${BINS[@]}"; do
+  RAW=$(mktemp)
+  RAWS+=("$RAW")
+  "$bin" --benchmark_filter="$FILTER" --benchmark_format=json \
+         --benchmark_out="$RAW" --benchmark_out_format=json >&2
+done
 
-python3 - "$RAW" "$OUT" <<'PY'
+python3 - "$OUT" "${RAWS[@]}" <<'PY'
 import json
 import sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
-with open(raw_path) as f:
-    raw = json.load(f)
+out_path, raw_paths = sys.argv[1], sys.argv[2:]
 
+context = {}
 records = []
-for b in raw.get("benchmarks", []):
-    name = b["name"]
-    op, _, shape = name.partition("/")
-    ns = b["real_time"]  # google-benchmark default time_unit is ns
-    rec = {
-        "op": op,
-        "shape": shape or "-",
-        "ms": round(ns / 1e6, 6),
-    }
-    # items_processed counts MACs: GFLOP/s = 2 * MACs/s / 1e9.
-    ips = b.get("items_per_second")
-    if ips is not None:
-        rec["gflops"] = round(2.0 * ips / 1e9, 3)
-    records.append(rec)
+# google-benchmark's own per-run keys; anything else numeric is a user
+# counter (msgs_per_s, bytes_per_round, ...) and passes through verbatim.
+known = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "items_per_second", "bytes_per_second", "label", "family_index",
+    "per_family_instance_index", "aggregate_name", "aggregate_unit",
+}
+for raw_path in raw_paths:
+    with open(raw_path) as f:
+        raw = json.load(f)
+    context = context or raw.get("context", {})
+    for b in raw.get("benchmarks", []):
+        if b.get("error_occurred"):
+            # Keep the healthy records; surface the failure on stderr.
+            print(f"warning: {b.get('name', '?')} errored: "
+                  f"{b.get('error_message', 'unknown')}", file=sys.stderr)
+            continue
+        name = b["name"]
+        op, _, shape = name.partition("/")
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+        rec = {
+            "op": op,
+            "shape": shape or "-",
+            "ms": round(b["real_time"] * scale, 6),
+        }
+        # For the compute kernels items_processed counts MACs:
+        # GFLOP/s = 2 * MACs/s / 1e9. Fabric benches count messages instead
+        # and report their rates via user counters below.
+        ips = b.get("items_per_second")
+        if ips is not None and not op.startswith("BM_Fabric") and \
+                not op.startswith("BM_Wire"):
+            rec["gflops"] = round(2.0 * ips / 1e9, 3)
+        for key, val in b.items():
+            if key not in known and isinstance(val, (int, float)):
+                rec[key] = round(val, 3)
+        records.append(rec)
 
 with open(out_path, "w") as f:
-    json.dump({"context": raw.get("context", {}), "benchmarks": records}, f,
-              indent=2)
+    json.dump({"context": context, "benchmarks": records}, f, indent=2)
     f.write("\n")
 
 print(f"wrote {out_path} ({len(records)} benchmarks)")

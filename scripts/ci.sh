@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verify in one command: configure + build + ctest. Exits nonzero on
+# the first failure, so CI and tooling can gate on it directly.
+#
+# Usage: scripts/ci.sh [extra ctest args...]
+#   BUILD_DIR  build directory   (default: build)
+#   JOBS       parallel jobs     (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"

@@ -40,10 +40,25 @@ void write_vec(std::ostream& os, const std::vector<T>& v) {
              static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
 
+/// Bytes left between the stream's read position and its end, or UINT64_MAX
+/// when the stream is not seekable. Lets length-prefixed readers reject a
+/// corrupt count before allocating for it.
+inline std::uint64_t stream_remaining(std::istream& is) {
+  const auto pos = is.tellg();
+  if (pos < 0) return ~std::uint64_t{0};
+  is.seekg(0, std::ios::end);
+  const auto end = is.tellg();
+  is.seekg(pos);
+  if (end < 0) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(end - pos);
+}
+
 template <typename T>
 std::vector<T> read_vec(std::istream& is) {
   static_assert(std::is_trivially_copyable_v<T>);
   const auto n = read_pod<std::uint64_t>(is);
+  FT_CHECK_MSG(n <= stream_remaining(is) / sizeof(T),
+               "vector length prefix exceeds remaining stream");
   std::vector<T> v(static_cast<std::size_t>(n));
   if (n > 0)
     is.read(reinterpret_cast<char*>(v.data()),
@@ -59,6 +74,8 @@ inline void write_string(std::ostream& os, const std::string& s) {
 
 inline std::string read_string(std::istream& is) {
   const auto n = read_pod<std::uint64_t>(is);
+  FT_CHECK_MSG(n <= stream_remaining(is),
+               "string length prefix exceeds remaining stream");
   std::string s(static_cast<std::size_t>(n), '\0');
   is.read(s.data(), static_cast<std::streamsize>(n));
   FT_CHECK_MSG(is.good(), "truncated stream while reading string");

@@ -17,7 +17,10 @@ namespace fedtrans {
 namespace {
 
 constexpr std::uint64_t kCheckpointMagic = 0xfed72a45c8c9ULL;
-constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: RoundRecord grew participants/lost_updates (PR 2 federation
+// fabric); v1 checkpoints have a different record size and must be
+// rejected by the version check rather than misparsed.
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 }  // namespace
 

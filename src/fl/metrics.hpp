@@ -63,6 +63,11 @@ struct RoundRecord {
   double accuracy = -1.0;
   /// Simulated wall-clock of the synchronous round (slowest participant).
   double round_time_s = 0.0;
+  /// Clients whose updates were aggregated this round.
+  int participants = 0;
+  /// Updates selected but never aggregated: deadline-dropped stragglers
+  /// plus (on the federation fabric) message loss and client dropouts.
+  int lost_updates = 0;
 };
 
 }  // namespace fedtrans

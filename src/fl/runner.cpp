@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "net/server.hpp"
 
 namespace fedtrans {
 
@@ -23,6 +24,9 @@ FedAvgRunner::FedAvgRunner(Model init, const FederatedDataset& data,
   compressor_ = make_compressor(cfg_.compression, cfg_.topk_ratio);
   costs_.note_storage(static_cast<double>(model_.param_bytes()));
 }
+
+FedAvgRunner::~FedAvgRunner() = default;
+FedAvgRunner::FedAvgRunner(FedAvgRunner&&) noexcept = default;
 
 std::vector<int> FedAvgRunner::select_clients(int population, int k,
                                               Rng& rng) {
@@ -89,22 +93,52 @@ double FedAvgRunner::run_round() {
   client_rngs.reserve(selected.size());
   for (std::size_t i = 0; i < selected.size(); ++i)
     client_rngs.push_back(rng_.fork());
-  std::vector<LocalTrainResult> results(selected.size());
-  ThreadPool::global().parallel_for(
-      static_cast<std::int64_t>(selected.size()), 1,
-      [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          Model local_model = model_;  // download global weights
-          results[static_cast<std::size_t>(i)] = local_train(
-              local_model, data_.client(selected[static_cast<std::size_t>(i)]),
-              cfg_.local, client_rngs[static_cast<std::size_t>(i)]);
-        }
-      });
+
+  ExchangeResult ex;
+  if (cfg_.use_fabric) {
+    // Message-passing path: the weights and forked Rngs ride ModelDown
+    // frames over the simulated transport; ClientAgent workers train on
+    // receipt and upload UpdateUp. The fixed-order reduction below is
+    // shared with the in-process path, so a fault-free fabric round is
+    // bitwise identical to it.
+    if (!fabric_)
+      fabric_ = std::make_unique<FederationServer>(
+          model_, data_, fleet_, cfg_.local, cfg_.fabric_faults);
+    ex = fabric_->run_round(static_cast<std::uint32_t>(round_), global,
+                            selected, client_rngs);
+  } else {
+    ex.results.resize(selected.size());
+    ex.outcomes.assign(selected.size(), ClientOutcome::Trained);
+    ThreadPool::global().parallel_for(
+        static_cast<std::int64_t>(selected.size()), 1,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            Model local_model = model_;  // download global weights
+            ex.results[static_cast<std::size_t>(i)] = local_train(
+                local_model,
+                data_.client(selected[static_cast<std::size_t>(i)]),
+                cfg_.local, client_rngs[static_cast<std::size_t>(i)]);
+          }
+        });
+  }
 
   int trained = 0;
+  int lost = 0;
+  const double macs_per_round = 3.0 * static_cast<double>(model_.macs()) *
+                                cfg_.local.steps * cfg_.local.batch;
   for (std::size_t ci = 0; ci < selected.size(); ++ci) {
     const int c = selected[ci];
-    auto& res = results[ci];
+    if (ex.outcomes[ci] != ClientOutcome::Trained) {
+      // Fabric casualties. A lost downlink burned only server egress; a
+      // lost update or mid-round dropout burned a full local training pass
+      // whose result never arrived.
+      if (ex.outcomes[ci] != ClientOutcome::LostDown)
+        costs_.add_training_macs(macs_per_round);
+      costs_.add_transfer(model_bytes, 0.0);
+      ++lost;
+      continue;
+    }
+    auto& res = ex.results[ci];
 
     // Uplink compression (EF-SGD: fold in this client's residual, compress,
     // remember what was dropped for its next participation).
@@ -137,8 +171,7 @@ double FedAvgRunner::run_round() {
   // compute and downlink are real costs; their updates are wasted.
   for (int c : dropped) {
     (void)c;
-    costs_.add_training_macs(3.0 * static_cast<double>(model_.macs()) *
-                             cfg_.local.steps * cfg_.local.batch);
+    costs_.add_training_macs(macs_per_round);
     costs_.add_transfer(model_bytes, 0.0);
   }
   if (deadline > 0.0) slowest = std::min(slowest, deadline);
@@ -156,6 +189,8 @@ double FedAvgRunner::run_round() {
   rec.avg_loss = avg_loss;
   rec.cum_macs = costs_.total_macs();
   rec.round_time_s = slowest;
+  rec.participants = trained;
+  rec.lost_updates = lost + static_cast<int>(dropped.size());
   if (cfg_.eval_every > 0 && (round_ % cfg_.eval_every == 0)) {
     // Subsampled accuracy probe for learning curves.
     Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(round_));

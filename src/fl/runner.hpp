@@ -7,9 +7,12 @@
 #include "fl/selection.hpp"
 #include "fl/server_opt.hpp"
 #include "model/model.hpp"
+#include "net/transport.hpp"
 #include "trace/device.hpp"
 
 namespace fedtrans {
+
+class FederationServer;
 
 /// Configuration of a single-global-model FL run (the FedAvg substrate that
 /// baselines and several experiments build on).
@@ -39,6 +42,14 @@ struct FlRunConfig {
   /// When true, clients whose capacity is below the model's MACs skip the
   /// round (single-model FL typically ignores this — the straggler issue).
   bool respect_capacity = false;
+  /// Execute rounds over the federation fabric — wire-protocol messages on
+  /// a simulated transport, collected by a multithreaded FederationServer —
+  /// instead of direct in-process calls. With no fault injection the run is
+  /// bitwise identical to the in-process path.
+  bool use_fabric = false;
+  /// Transport fault injection (message drop/duplication/reordering and
+  /// mid-round client dropout); only consulted when use_fabric is set.
+  FaultConfig fabric_faults{};
   std::uint64_t seed = 1;
 };
 
@@ -47,6 +58,8 @@ class FedAvgRunner {
  public:
   FedAvgRunner(Model init, const FederatedDataset& data,
                std::vector<DeviceProfile> fleet, FlRunConfig cfg);
+  ~FedAvgRunner();  // out of line: FederationServer is incomplete here
+  FedAvgRunner(FedAvgRunner&&) noexcept;
 
   /// Execute one round; returns the mean participant training loss.
   double run_round();
@@ -65,6 +78,10 @@ class FedAvgRunner {
   /// Uniformly select k distinct clients (shared helper).
   static std::vector<int> select_clients(int population, int k, Rng& rng);
 
+  /// The federation fabric backing this run; null until the first
+  /// use_fabric round executes (and always null without use_fabric).
+  const FederationServer* fabric() const { return fabric_.get(); }
+
  private:
   Model model_;
   const FederatedDataset& data_;
@@ -77,6 +94,7 @@ class FedAvgRunner {
   std::unique_ptr<ClientSelector> selector_;
   std::unique_ptr<DeltaCompressor> compressor_;
   ErrorFeedback ef_;
+  std::unique_ptr<FederationServer> fabric_;
   int round_ = 0;
 };
 

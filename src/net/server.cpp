@@ -1,0 +1,212 @@
+#include "net/server.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace fedtrans {
+
+ClientAgent::ClientAgent(int id, const FederatedDataset& data,
+                         LocalTrainConfig local)
+    : id_(id), data_(&data), local_(local) {}
+
+ClientOutcome ClientAgent::poll(std::uint32_t round, const Model& prototype,
+                                SimTransport& net) {
+  bool invited = false;
+  bool have_model = false;
+  FabricMessage model_down;
+  double model_at_s = 0.0;
+
+  // Drain the mailbox first: duplicates and reordered frames all land here;
+  // the agent keeps the first ModelDown for this round and ignores the rest.
+  for (Envelope& env : net.drain(id_)) {
+    FabricMessage msg;
+    try {
+      msg = decode_message(env.frame);
+    } catch (const Error&) {
+      // Treated as loss, but counted: the transport never corrupts bytes,
+      // so frames_rejected > 0 means a codec bug (asserted 0 in tests).
+      net.stats_mutable().frames_rejected.fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
+    if (msg.round != round) continue;
+    if (msg.type == MsgType::JoinRound && !invited) {
+      invited = true;
+      FabricMessage ack;
+      ack.type = MsgType::Ack;
+      ack.round = round;
+      ack.sender = id_;
+      ack.receiver = kServerId;
+      net.send(id_, kServerId, encode_message(ack), env.deliver_at_s);
+    } else if (msg.type == MsgType::ModelDown && !have_model) {
+      have_model = true;
+      model_down = std::move(msg);
+      model_at_s = env.deliver_at_s;
+    }
+  }
+  // The invitation is load-bearing: a client that never saw its JoinRound
+  // does not participate even if the model frame made it through, exactly
+  // like a client whose ModelDown was lost.
+  if (!invited || !have_model) return ClientOutcome::LostDown;
+
+  // Train exactly as the in-process path would: the global weights and the
+  // coordinator-forked Rng both arrived on the wire.
+  Model local = prototype;
+  local.set_weights(model_down.weights);
+  Rng rng;
+  rng.set_state(model_down.rng_state);
+  LocalTrainResult res =
+      local_train(local, data_->client(id_), local_, rng);
+
+  const double compute_s =
+      res.macs_used /
+      net.device(id_).compute_macs_per_s;
+
+  if (net.client_dropped_out(round, id_)) {
+    // Mid-round dropout: the device vanishes after training. It attempts a
+    // courtesy Abort, which rides the same lossy link as everything else.
+    FabricMessage abort_msg;
+    abort_msg.type = MsgType::Abort;
+    abort_msg.round = round;
+    abort_msg.sender = id_;
+    abort_msg.receiver = kServerId;
+    abort_msg.reason = "dropout";
+    net.send(id_, kServerId, encode_message(abort_msg),
+             model_at_s + compute_s);
+    net.stats_mutable().client_dropouts.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    return ClientOutcome::Dropout;
+  }
+
+  FabricMessage up;
+  up.type = MsgType::UpdateUp;
+  up.round = round;
+  up.sender = id_;
+  up.receiver = kServerId;
+  up.weights = std::move(res.delta);
+  up.avg_loss = res.avg_loss;
+  up.num_samples = res.num_samples;
+  up.macs_used = res.macs_used;
+  const bool delivered =
+      net.send(id_, kServerId, encode_message(up), model_at_s + compute_s);
+  return delivered ? ClientOutcome::Trained : ClientOutcome::LostUp;
+}
+
+FederationServer::FederationServer(const Model& prototype,
+                                   const FederatedDataset& data,
+                                   std::vector<DeviceProfile> fleet,
+                                   LocalTrainConfig local, FaultConfig faults)
+    : prototype_(prototype), data_(&data) {
+  FT_CHECK_MSG(static_cast<int>(fleet.size()) == data.num_clients(),
+               "fabric fleet size must match client count");
+  net_ = std::make_unique<SimTransport>(std::move(fleet), faults);
+  agents_.reserve(static_cast<std::size_t>(data.num_clients()));
+  for (int c = 0; c < data.num_clients(); ++c)
+    agents_.emplace_back(c, data, local);
+}
+
+void FederationServer::broadcast(std::uint32_t round,
+                                 const WeightSet& global,
+                                 const std::vector<int>& selected,
+                                 const std::vector<Rng>& client_rngs) {
+  // Serialize the weight set once; per client only the (tiny) Rng-state
+  // tail of the ModelDown payload differs, so broadcast is one encode plus
+  // a couple of memcpys per client rather than n WeightSet deep copies.
+  std::ostringstream wos(std::ios::binary);
+  write_weight_set(wos, global);
+  const std::string weight_blob = wos.str();
+
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const int c = selected[i];
+    net_->send(kServerId, c,
+               encode_frame(MsgType::JoinRound, round, kServerId, c, {}));
+
+    std::string payload;
+    const auto rng_state = client_rngs[i].state();
+    payload.reserve(weight_blob.size() + sizeof(rng_state));
+    payload.append(weight_blob);
+    payload.append(reinterpret_cast<const char*>(rng_state.data()),
+                   sizeof(rng_state));
+    net_->send(kServerId, c,
+               encode_frame(MsgType::ModelDown, round, kServerId, c,
+                            payload));
+  }
+}
+
+void FederationServer::collect(std::uint32_t round,
+                               const std::vector<int>& selected,
+                               ExchangeResult& out) {
+  // ClientAgent workers run concurrently on the shared ThreadPool. Each
+  // writes only its own selection slot, so the result is independent of the
+  // thread schedule; nested parallel_for inside local_train runs inline.
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(selected.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          out.outcomes[idx] =
+              agents_[static_cast<std::size_t>(selected[idx])].poll(
+                  round, prototype_, *net_);
+        }
+      });
+
+  // Match the server's inbound mail to the selection. Duplicates are
+  // dropped on the floor here (first arrival wins); stale rounds and
+  // unknown senders are ignored.
+  std::unordered_map<int, std::size_t> slot;
+  slot.reserve(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i)
+    slot.emplace(selected[i], i);
+  std::vector<bool> seen(selected.size(), false);
+  for (Envelope& env : net_->drain(kServerId)) {
+    FabricMessage msg;
+    try {
+      msg = decode_message(env.frame);
+    } catch (const Error&) {
+      net_->stats_mutable().frames_rejected.fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
+    if (msg.round != round) continue;
+    auto it = slot.find(msg.sender);
+    if (it == slot.end()) continue;
+    const std::size_t i = it->second;
+    if (msg.type == MsgType::UpdateUp && !seen[i]) {
+      seen[i] = true;
+      LocalTrainResult& res = out.results[i];
+      res.delta = std::move(msg.weights);
+      res.avg_loss = msg.avg_loss;
+      res.num_samples = msg.num_samples;
+      res.macs_used = msg.macs_used;
+    }
+    // Ack and Abort are bookkeeping-only: the agents' ground-truth
+    // outcomes already account for dropouts.
+  }
+  // An agent that believes its update was delivered must be matched by an
+  // UpdateUp in the server's mailbox; anything else is a fabric bug.
+  for (std::size_t i = 0; i < selected.size(); ++i)
+    if (out.outcomes[i] == ClientOutcome::Trained)
+      FT_CHECK_MSG(seen[i], "delivered update missing from server mailbox");
+}
+
+ExchangeResult FederationServer::run_round(
+    std::uint32_t round, const WeightSet& global,
+    const std::vector<int>& selected, const std::vector<Rng>& client_rngs) {
+  FT_CHECK_MSG(selected.size() == client_rngs.size(),
+               "one forked Rng per selected client required");
+  ExchangeResult out;
+  out.results.resize(selected.size());
+  out.outcomes.assign(selected.size(), ClientOutcome::LostDown);
+
+  phase_ = Phase::Broadcast;
+  broadcast(round, global, selected, client_rngs);
+  phase_ = Phase::Collect;
+  collect(round, selected, out);
+  phase_ = Phase::Aggregate;  // aggregation happens in the caller
+  return out;
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "fl/local_train.hpp"
+#include "model/model.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace fedtrans {
+
+/// Ground-truth outcome of one selected client's participation in a fabric
+/// round (indexed like the selection vector). Billing needs the truth even
+/// when the corresponding message never reached the server.
+enum class ClientOutcome : std::uint8_t {
+  Trained,   ///< update arrived; eligible for aggregation
+  LostDown,  ///< invitation/model lost on the downlink — no compute burned
+  LostUp,    ///< trained, but the update was lost on the uplink
+  Dropout,   ///< trained, then the device went offline before uploading
+};
+
+/// What one fabric exchange produced, per selected client.
+struct ExchangeResult {
+  std::vector<LocalTrainResult> results;  ///< valid iff outcome == Trained
+  std::vector<ClientOutcome> outcomes;
+};
+
+/// Edge-device worker: owns one client's fabric endpoint. On receipt of
+/// ModelDown it loads the global weights into a scratch model, replays the
+/// coordinator-forked Rng, runs local_train, and uploads UpdateUp — or
+/// Abort, if the fault injector says the device dropped out mid-round.
+class ClientAgent {
+ public:
+  ClientAgent(int id, const FederatedDataset& data, LocalTrainConfig local);
+
+  /// Drain this client's mailbox for `round` and act on every message.
+  /// `prototype` supplies the model architecture (weights arrive on the
+  /// wire). Returns the outcome this agent experienced.
+  ClientOutcome poll(std::uint32_t round, const Model& prototype,
+                     SimTransport& net);
+
+ private:
+  int id_;
+  const FederatedDataset* data_;
+  LocalTrainConfig local_;
+};
+
+/// Multithreaded federation coordinator: executes the per-round protocol
+///
+///   Broadcast — JoinRound + ModelDown frame per selected client
+///   Collect   — ClientAgent workers run concurrently on the shared
+///               ThreadPool; the server drains its mailbox, deduplicates,
+///               and matches UpdateUp/Abort frames to the selection
+///   (Aggregation stays with the caller — FedAvgRunner folds the collected
+///    deltas with exactly the same fixed-order reduction as its in-process
+///    path, which is what makes fault-free fabric runs bitwise identical.)
+///
+/// Straggler policy (overcommit/deadline) is applied by the coordinator
+/// before broadcast from predicted completion times, FedScale-style, so the
+/// selection the fabric sees is already deadline-trimmed.
+class FederationServer {
+ public:
+  enum class Phase : std::uint8_t { Idle, Broadcast, Collect, Aggregate };
+
+  FederationServer(const Model& prototype, const FederatedDataset& data,
+                   std::vector<DeviceProfile> fleet, LocalTrainConfig local,
+                   FaultConfig faults);
+
+  /// Run one round's message exchange for `selected` (selection order is
+  /// preserved in the result). `global` is the weight snapshot every
+  /// participant downloads; `client_rngs[i]` is the coordinator-forked
+  /// generator client selected[i] must train with.
+  ExchangeResult run_round(std::uint32_t round, const WeightSet& global,
+                           const std::vector<int>& selected,
+                           const std::vector<Rng>& client_rngs);
+
+  Phase phase() const { return phase_; }
+  const SimTransport& transport() const { return *net_; }
+  const FabricStats& stats() const { return net_->stats(); }
+  int num_clients() const { return net_->num_clients(); }
+
+ private:
+  void broadcast(std::uint32_t round, const WeightSet& global,
+                 const std::vector<int>& selected,
+                 const std::vector<Rng>& client_rngs);
+  void collect(std::uint32_t round, const std::vector<int>& selected,
+               ExchangeResult& out);
+
+  Model prototype_;
+  const FederatedDataset* data_;
+  std::unique_ptr<SimTransport> net_;
+  std::vector<ClientAgent> agents_;
+  Phase phase_ = Phase::Idle;
+};
+
+}  // namespace fedtrans

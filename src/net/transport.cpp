@@ -1,0 +1,165 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+/// splitmix64 finalizer — the hash behind every schedule-independent draw.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double hash01(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+              std::uint64_t d) {
+  std::uint64_t h = mix64(a);
+  h = mix64(h ^ b);
+  h = mix64(h ^ c);
+  h = mix64(h ^ d);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Stable key for a directed link (endpoints are >= -1).
+std::uint64_t link_key(std::int32_t src, std::int32_t dst) {
+  const auto s = static_cast<std::uint64_t>(static_cast<std::uint32_t>(src));
+  const auto t = static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+  return (s << 32) | t;
+}
+
+bool earlier(const Envelope& a, const Envelope& b) {
+  if (a.deliver_at_s != b.deliver_at_s) return a.deliver_at_s < b.deliver_at_s;
+  if (a.src != b.src) return a.src < b.src;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+SimTransport::SimTransport(std::vector<DeviceProfile> fleet,
+                           FaultConfig faults)
+    : fleet_(std::move(fleet)),
+      faults_(faults),
+      boxes_(fleet_.size() + 1) {
+  FT_CHECK_MSG(!fleet_.empty(), "transport needs at least one client link");
+}
+
+SimTransport::Mailbox& SimTransport::mailbox(std::int32_t endpoint) {
+  const int idx = endpoint == kServerId ? 0 : endpoint + 1;
+  FT_CHECK_MSG(idx >= 0 && idx < static_cast<int>(boxes_.size()),
+               "unknown transport endpoint " << endpoint);
+  return boxes_[static_cast<std::size_t>(idx)];
+}
+
+double SimTransport::fault_draw(std::uint64_t link, std::uint64_t seq,
+                                std::uint64_t salt) const {
+  return hash01(faults_.seed, link, seq, salt);
+}
+
+double SimTransport::link_time_s(std::int32_t client,
+                                 std::size_t bytes) const {
+  return transfer_time_s(device(client), static_cast<double>(bytes));
+}
+
+const DeviceProfile& SimTransport::device(std::int32_t client) const {
+  FT_CHECK_MSG(client >= 0 && client < num_clients(),
+               "unknown client link " << client);
+  return fleet_[static_cast<std::size_t>(client)];
+}
+
+bool SimTransport::client_dropped_out(std::uint32_t round,
+                                      std::int32_t client) const {
+  if (faults_.dropout_prob <= 0.0) return false;
+  return hash01(faults_.seed, 0xd20u, round,
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                    client))) < faults_.dropout_prob;
+}
+
+bool SimTransport::send(std::int32_t src, std::int32_t dst, std::string frame,
+                        double sent_at_s) {
+  FT_CHECK_MSG(src != dst, "transport loopback send");
+  const std::uint64_t link = link_key(src, dst);
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(seq_m_);
+    seq = link_seq_[link]++;
+  }
+  stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(frame.size(), std::memory_order_relaxed);
+
+  if (faults_.drop_prob > 0.0 &&
+      fault_draw(link, seq, 0xd209u) < faults_.drop_prob) {
+    stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // The bottleneck of every link is the client's radio; the server backbone
+  // is free. A reordering fault pushes the frame one extra transfer back,
+  // behind its successor on the link.
+  const std::int32_t client = src == kServerId ? dst : src;
+  const double lat = link_time_s(client, frame.size());
+  Envelope env;
+  env.src = src;
+  env.dst = dst;
+  env.sent_at_s = sent_at_s;
+  env.seq = seq;
+  env.deliver_at_s = sent_at_s + lat;
+  if (faults_.reorder_prob > 0.0 &&
+      fault_draw(link, seq, 0x2e02de2ULL) < faults_.reorder_prob) {
+    env.deliver_at_s += lat;
+    stats_.frames_reordered.fetch_add(1, std::memory_order_relaxed);
+  }
+  const bool dup = faults_.dup_prob > 0.0 &&
+                   fault_draw(link, seq, 0xd0b1eULL) < faults_.dup_prob;
+
+  // Prepare everything (including the duplicate's copy) outside the lock;
+  // under contention — every uplink targets the one server mailbox — the
+  // critical section is just the queue pushes, never a frame-sized copy.
+  const std::size_t bytes = frame.size();
+  std::optional<Envelope> duplicate;
+  if (dup) {
+    duplicate = env;
+    duplicate->deliver_at_s += lat;  // the duplicate trails the original
+    duplicate->frame = frame;
+  }
+  env.frame = std::move(frame);
+
+  Mailbox& box = mailbox(dst);
+  {
+    std::lock_guard<std::mutex> lk(box.m);
+    box.q.push_back(std::move(env));
+    if (duplicate) box.q.push_back(std::move(*duplicate));
+  }
+  stats_.frames_delivered.fetch_add(dup ? 2 : 1, std::memory_order_relaxed);
+  stats_.bytes_delivered.fetch_add(dup ? 2 * bytes : bytes,
+                                   std::memory_order_relaxed);
+  if (dup) stats_.frames_duplicated.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<Envelope> SimTransport::try_recv(std::int32_t dst) {
+  Mailbox& box = mailbox(dst);
+  std::lock_guard<std::mutex> lk(box.m);
+  if (box.q.empty()) return std::nullopt;
+  auto it = std::min_element(box.q.begin(), box.q.end(), earlier);
+  Envelope env = std::move(*it);
+  box.q.erase(it);
+  return env;
+}
+
+std::vector<Envelope> SimTransport::drain(std::int32_t dst) {
+  Mailbox& box = mailbox(dst);
+  std::vector<Envelope> out;
+  {
+    std::lock_guard<std::mutex> lk(box.m);
+    out.swap(box.q);
+  }
+  std::sort(out.begin(), out.end(), earlier);
+  return out;
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "trace/device.hpp"
+
+namespace fedtrans {
+
+/// Fault-injection knobs of the simulated transport. All probabilities are
+/// per-frame (or per-client-per-round for dropout) and are drawn from a
+/// counter-hashed generator keyed on (seed, link, sequence number), so fault
+/// decisions are bit-reproducible regardless of the order in which threads
+/// hit the transport.
+struct FaultConfig {
+  /// Probability a frame is lost in transit (applies per direction).
+  double drop_prob = 0.0;
+  /// Probability a frame is delivered twice (receiver-side dedup required).
+  double dup_prob = 0.0;
+  /// Probability a frame is delayed behind its link successor (reordering).
+  /// This perturbs the simulated delivery timestamps (and hence the
+  /// (deliver_at, seq) order receivers consume in); the synchronous runner
+  /// drains complete mailboxes and reduces in selection order, so outcomes
+  /// there are reorder-invariant by design — the knob becomes
+  /// behavior-relevant for consumers that apply a delivery window (e.g. a
+  /// future async fabric).
+  double reorder_prob = 0.0;
+  /// Probability a client goes offline mid-round: it trains, then vanishes
+  /// before its update leaves the device (an Abort may be attempted).
+  double dropout_prob = 0.0;
+  std::uint64_t seed = 0x5eedf417ULL;
+};
+
+/// Aggregate transport counters (monotone; atomic so fabric workers can
+/// update them concurrently).
+struct FabricStats {
+  std::atomic<std::uint64_t> frames_sent{0};
+  std::atomic<std::uint64_t> frames_delivered{0};
+  std::atomic<std::uint64_t> frames_dropped{0};
+  std::atomic<std::uint64_t> frames_duplicated{0};
+  std::atomic<std::uint64_t> frames_reordered{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_delivered{0};
+  std::atomic<std::uint64_t> client_dropouts{0};
+  /// Delivered frames a receiver could not decode. The simulated transport
+  /// never corrupts bytes, so any nonzero value here is a codec bug, not a
+  /// fault-injection artifact — fault-free tests assert it stays zero.
+  std::atomic<std::uint64_t> frames_rejected{0};
+};
+
+/// A frame in flight / delivered: opaque bytes plus simulated-time stamps.
+struct Envelope {
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  /// Simulated send/delivery instants (seconds since round start). Delivery
+  /// is send + link transfer time; faults may push it further back.
+  double sent_at_s = 0.0;
+  double deliver_at_s = 0.0;
+  /// Per-link sequence number (FIFO order before fault perturbation).
+  std::uint64_t seq = 0;
+  std::string frame;
+};
+
+/// In-process simulated transport between the federation server (endpoint
+/// `kServerId` = -1) and `num_clients` client endpoints (ids 0..n-1).
+///
+/// Each destination owns a mutex-guarded mailbox, so fabric workers running
+/// on the shared ThreadPool can send/receive concurrently. Time is virtual:
+/// send() stamps the envelope with a simulated delivery instant derived from
+/// the client-side DeviceProfile bandwidth (the server's backbone is treated
+/// as infinitely fast) and delivers immediately; receivers consume mailboxes
+/// in (deliver_at, seq) order, which is where reordering faults bite.
+class SimTransport {
+ public:
+  SimTransport(std::vector<DeviceProfile> fleet, FaultConfig faults);
+
+  int num_clients() const { return static_cast<int>(fleet_.size()); }
+
+  /// Queue a frame from `src` to `dst` (either kServerId or a client id),
+  /// `sent_at_s` seconds into the simulated round. Returns false if the
+  /// frame was lost to fault injection. Thread-safe.
+  bool send(std::int32_t src, std::int32_t dst, std::string frame,
+            double sent_at_s = 0.0);
+
+  /// Pop the earliest-delivered pending frame for `dst`; nullopt when the
+  /// mailbox is empty. Thread-safe.
+  std::optional<Envelope> try_recv(std::int32_t dst);
+
+  /// Drain every pending frame for `dst` in delivery order. Thread-safe.
+  std::vector<Envelope> drain(std::int32_t dst);
+
+  /// Deterministic per-(round, client) dropout draw — the same question
+  /// always gets the same answer, independent of thread schedule.
+  bool client_dropped_out(std::uint32_t round, std::int32_t client) const;
+
+  /// One-way simulated transfer time of `bytes` to/from `client`.
+  double link_time_s(std::int32_t client, std::size_t bytes) const;
+
+  /// The device behind a client endpoint (agents derive compute time).
+  const DeviceProfile& device(std::int32_t client) const;
+
+  const FabricStats& stats() const { return stats_; }
+  FabricStats& stats_mutable() { return stats_; }
+  const FaultConfig& faults() const { return faults_; }
+
+ private:
+  struct Mailbox {
+    std::mutex m;
+    std::vector<Envelope> q;
+  };
+
+  Mailbox& mailbox(std::int32_t endpoint);
+  /// Uniform [0,1) hash draw for fault decision `salt` on frame
+  /// (link, seq) — counter-based, schedule-independent.
+  double fault_draw(std::uint64_t link, std::uint64_t seq,
+                    std::uint64_t salt) const;
+
+  std::vector<DeviceProfile> fleet_;
+  FaultConfig faults_;
+  /// index 0 = server, index c+1 = client c.
+  std::vector<Mailbox> boxes_;
+  std::mutex seq_m_;
+  std::unordered_map<std::uint64_t, std::uint64_t> link_seq_;
+  FabricStats stats_;
+};
+
+}  // namespace fedtrans

@@ -1,0 +1,219 @@
+#include "net/wire.hpp"
+
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <streambuf>
+
+#include "common/check.hpp"
+#include "common/serial.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+/// Read-only streambuf over a borrowed byte range: lets the decoder parse a
+/// frame's payload in place instead of copying a model-sized blob into a
+/// stringstream first. Seekable, so serial.hpp's stream_remaining guard
+/// stays active.
+class ViewBuf : public std::streambuf {
+ public:
+  explicit ViewBuf(std::string_view v) {
+    char* p = const_cast<char*>(v.data());  // never written: get area only
+    setg(p, p, p + v.size());
+  }
+
+ protected:
+  pos_type seekoff(off_type off, std::ios_base::seekdir dir,
+                   std::ios_base::openmode which) override {
+    if (!(which & std::ios_base::in)) return pos_type(off_type(-1));
+    char* base = eback();
+    char* to = dir == std::ios_base::beg   ? base + off
+               : dir == std::ios_base::cur ? gptr() + off
+                                           : egptr() + off;
+    if (to < base || to > egptr()) return pos_type(off_type(-1));
+    setg(base, to, egptr());
+    return pos_type(to - base);
+  }
+  pos_type seekpos(pos_type pos, std::ios_base::openmode which) override {
+    return seekoff(off_type(pos), std::ios_base::beg, which);
+  }
+};
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void write_weight_set(std::ostream& os, const WeightSet& ws) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(ws.size()));
+  for (const Tensor& t : ws) t.save(os);
+}
+
+WeightSet read_weight_set(std::istream& is) {
+  const auto n = read_pod<std::uint32_t>(is);
+  WeightSet ws;
+  ws.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ws.push_back(Tensor::load(is));
+  return ws;
+}
+
+namespace {
+
+bool valid_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(MsgType::JoinRound) &&
+         t <= static_cast<std::uint8_t>(MsgType::Abort);
+}
+
+std::string encode_payload(const FabricMessage& msg) {
+  std::ostringstream os(std::ios::binary);
+  switch (msg.type) {
+    case MsgType::ModelDown:
+      write_weight_set(os, msg.weights);
+      write_pod(os, msg.rng_state);
+      break;
+    case MsgType::UpdateUp:
+      write_weight_set(os, msg.weights);
+      write_pod(os, msg.avg_loss);
+      write_pod(os, msg.num_samples);
+      write_pod(os, msg.macs_used);
+      break;
+    case MsgType::Abort:
+      write_string(os, msg.reason);
+      break;
+    case MsgType::JoinRound:
+    case MsgType::Ack:
+      break;  // header-only
+  }
+  return os.str();
+}
+
+void decode_payload(FabricMessage& msg, std::string_view payload) {
+  ViewBuf buf(payload);
+  std::istream is(&buf);
+  switch (msg.type) {
+    case MsgType::ModelDown:
+      msg.weights = read_weight_set(is);
+      msg.rng_state = read_pod<std::array<std::uint64_t, 4>>(is);
+      break;
+    case MsgType::UpdateUp:
+      msg.weights = read_weight_set(is);
+      msg.avg_loss = read_pod<double>(is);
+      msg.num_samples = read_pod<std::int32_t>(is);
+      msg.macs_used = read_pod<double>(is);
+      break;
+    case MsgType::Abort:
+      msg.reason = read_string(is);
+      break;
+    case MsgType::JoinRound:
+    case MsgType::Ack:
+      break;
+  }
+  // A frame whose payload is longer than its message decodes to is as
+  // malformed as a short one: reject trailing garbage.
+  is.peek();
+  FT_CHECK_MSG(is.eof(), "wire payload has trailing bytes");
+}
+
+}  // namespace
+
+std::string encode_frame(MsgType type, std::uint32_t round,
+                         std::int32_t sender, std::int32_t receiver,
+                         const std::string& payload) {
+  // Assemble via string appends — one allocation, one payload copy — since
+  // broadcast calls this once per client with a model-sized payload.
+  std::string frame;
+  frame.reserve(kWireHeaderBytes + payload.size());
+  auto append_pod = [&frame](const auto& v) {
+    frame.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  append_pod(kWireMagic);
+  append_pod(kWireVersion);
+  append_pod(static_cast<std::uint8_t>(type));
+  append_pod(std::uint8_t{0});  // flags (reserved)
+  append_pod(round);
+  append_pod(sender);
+  append_pod(receiver);
+  append_pod(std::uint64_t{payload.size()});
+  // The digest covers the header prefix too, so corruption of the routing
+  // fields (round/sender/receiver) is caught, not just payload damage.
+  std::uint64_t digest = fnv1a64(frame.data(), kWireHeaderBytes - 8);
+  digest ^= fnv1a64(payload.data(), payload.size());
+  append_pod(digest);
+  frame.append(payload);
+  return frame;
+}
+
+std::string encode_message(const FabricMessage& msg) {
+  return encode_frame(msg.type, msg.round, msg.sender, msg.receiver,
+                      encode_payload(msg));
+}
+
+std::size_t frame_size(std::string_view buffer) {
+  FT_CHECK_MSG(buffer.size() >= kWireHeaderBytes,
+               "wire buffer shorter than frame header ("
+                   << buffer.size() << " < " << kWireHeaderBytes << ")");
+  std::istringstream is(std::string(buffer.substr(0, kWireHeaderBytes)),
+                        std::ios::binary);
+  FT_CHECK_MSG(read_pod<std::uint32_t>(is) == kWireMagic,
+               "bad wire magic");
+  (void)read_pod<std::uint16_t>(is);  // version
+  (void)read_pod<std::uint8_t>(is);   // type
+  (void)read_pod<std::uint8_t>(is);   // flags
+  (void)read_pod<std::uint32_t>(is);  // round
+  (void)read_pod<std::int32_t>(is);   // sender
+  (void)read_pod<std::int32_t>(is);   // receiver
+  const auto payload_len = read_pod<std::uint64_t>(is);
+  // A corrupt length field must throw here, not wrap size_t into a bogus
+  // small frame size that would make a stream consumer mis-split (or never
+  // advance past) the buffer.
+  FT_CHECK_MSG(payload_len <=
+                   std::numeric_limits<std::size_t>::max() - kWireHeaderBytes,
+               "wire frame length field corrupt: " << payload_len);
+  return kWireHeaderBytes + static_cast<std::size_t>(payload_len);
+}
+
+FabricMessage decode_message(std::string_view frame) {
+  FT_CHECK_MSG(frame.size() >= kWireHeaderBytes,
+               "wire frame truncated: " << frame.size() << " bytes < "
+                                        << kWireHeaderBytes << " header");
+  std::istringstream is(std::string(frame.substr(0, kWireHeaderBytes)),
+                        std::ios::binary);
+  FT_CHECK_MSG(read_pod<std::uint32_t>(is) == kWireMagic, "bad wire magic");
+  const auto version = read_pod<std::uint16_t>(is);
+  FT_CHECK_MSG(version == kWireVersion,
+               "unsupported wire version " << version);
+  const auto raw_type = read_pod<std::uint8_t>(is);
+  FT_CHECK_MSG(valid_type(raw_type),
+               "unknown wire message type " << int{raw_type});
+  (void)read_pod<std::uint8_t>(is);  // flags
+
+  FabricMessage msg;
+  msg.type = static_cast<MsgType>(raw_type);
+  msg.round = read_pod<std::uint32_t>(is);
+  msg.sender = read_pod<std::int32_t>(is);
+  msg.receiver = read_pod<std::int32_t>(is);
+  const auto payload_len = read_pod<std::uint64_t>(is);
+  const auto checksum = read_pod<std::uint64_t>(is);
+
+  FT_CHECK_MSG(frame.size() - kWireHeaderBytes == payload_len,
+               "wire frame length mismatch: header says "
+                   << payload_len << " payload bytes, buffer has "
+                   << frame.size() - kWireHeaderBytes);
+  const std::string_view payload = frame.substr(kWireHeaderBytes);
+  std::uint64_t digest = fnv1a64(frame.data(), kWireHeaderBytes - 8);
+  digest ^= fnv1a64(payload.data(), payload.size());
+  FT_CHECK_MSG(digest == checksum,
+               "wire checksum mismatch — corrupted frame");
+  decode_payload(msg, payload);
+  return msg;
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fl/weights.hpp"
+
+namespace fedtrans {
+
+/// Versioned, length-prefixed binary wire protocol for the federation
+/// fabric. A frame is
+///
+///   [magic u32][version u16][type u8][flags u8]
+///   [round u32][sender i32][receiver i32]
+///   [payload_len u64][checksum u64][payload bytes]
+///
+/// with all integers little-endian and `checksum` an FNV-1a 64 digest
+/// covering both the header prefix (everything before the checksum field)
+/// and the payload. Decoding validates magic, version, type, length and
+/// checksum before touching the payload, so truncated or corrupted frames —
+/// including corrupted routing fields — raise `Error` instead of yielding
+/// silently corrupt state (the same contract as `common/serial.hpp`, which
+/// encodes the payloads themselves).
+
+/// Fabric message kinds, in protocol order within a round.
+enum class MsgType : std::uint8_t {
+  JoinRound = 1,  ///< server → client: invitation to participate in `round`
+  ModelDown = 2,  ///< server → client: global weights + the client's Rng seed
+  UpdateUp = 3,   ///< client → server: trained delta + training metrics
+  Ack = 4,        ///< client → server: JoinRound accepted
+  Abort = 5,      ///< client → server: client gives up on the round
+};
+
+constexpr std::uint32_t kWireMagic = 0x46544E46u;  // "FTNF"
+constexpr std::uint16_t kWireVersion = 1;
+/// Fixed frame header size in bytes (see layout above).
+constexpr std::size_t kWireHeaderBytes = 4 + 2 + 1 + 1 + 4 + 4 + 4 + 8 + 8;
+/// Sender/receiver id of the federation server (clients are their >= 0 ids).
+constexpr std::int32_t kServerId = -1;
+
+/// One fabric message. A tagged union kept flat for simplicity: only the
+/// fields meaningful for `type` are encoded on the wire (see wire.cpp).
+struct FabricMessage {
+  MsgType type = MsgType::Ack;
+  std::uint32_t round = 0;
+  std::int32_t sender = kServerId;
+  std::int32_t receiver = kServerId;
+
+  /// ModelDown: global weights. UpdateUp: the client's delta.
+  WeightSet weights;
+  /// ModelDown: state of the per-client Rng forked by the coordinator, so
+  /// the client replays the exact local-training randomness the in-process
+  /// path would have drawn.
+  std::array<std::uint64_t, 4> rng_state{};
+
+  // UpdateUp metrics.
+  double avg_loss = 0.0;
+  std::int32_t num_samples = 0;
+  double macs_used = 0.0;
+
+  /// Abort: human-readable cause ("dropout", ...).
+  std::string reason;
+};
+
+/// FNV-1a 64-bit digest (the frame checksum).
+std::uint64_t fnv1a64(const void* data, std::size_t n);
+
+/// Serialize a message into a self-contained frame.
+std::string encode_message(const FabricMessage& msg);
+
+/// Low-level framing: wrap an already-encoded payload in a checksummed
+/// frame. Lets a broadcaster serialize a large shared payload section (the
+/// weight set of a ModelDown) once and reuse it across receivers instead
+/// of deep-copying the WeightSet into a FabricMessage per client.
+/// `payload` must follow the per-type layout encode_message produces.
+std::string encode_frame(MsgType type, std::uint32_t round,
+                         std::int32_t sender, std::int32_t receiver,
+                         const std::string& payload);
+
+/// Parse a frame produced by encode_message. Throws `Error` on short
+/// buffers, bad magic/version/type, length mismatch, checksum mismatch, or
+/// a payload that does not decode cleanly.
+FabricMessage decode_message(std::string_view frame);
+
+/// Total frame size implied by a buffer holding at least the fixed header;
+/// lets stream consumers split concatenated frames. Throws on bad magic or
+/// a buffer shorter than the header.
+std::size_t frame_size(std::string_view buffer);
+
+/// WeightSet codec shared by ModelDown/UpdateUp payloads (tensor count,
+/// then each tensor's shape + raw fp32 data — bit-exact round trip).
+void write_weight_set(std::ostream& os, const WeightSet& ws);
+WeightSet read_weight_set(std::istream& is);
+
+}  // namespace fedtrans

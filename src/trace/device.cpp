@@ -48,6 +48,11 @@ double inference_latency_ms(const DeviceProfile& dev, double model_macs) {
   return model_macs / dev.compute_macs_per_s * 1e3;
 }
 
+double transfer_time_s(const DeviceProfile& dev, double bytes) {
+  FT_CHECK(dev.bandwidth_bytes_per_s > 0);
+  return bytes / dev.bandwidth_bytes_per_s;
+}
+
 int most_capable_fit(const DeviceProfile& dev,
                      const std::vector<double>& model_macs) {
   int best = -1;

@@ -61,6 +61,12 @@ double client_round_time_s(const DeviceProfile& dev, double model_macs,
 /// Per-sample inference latency in milliseconds (Fig. 1a metric).
 double inference_latency_ms(const DeviceProfile& dev, double model_macs);
 
+/// Seconds to move `bytes` over one direction of the device's link (the
+/// per-frame latency model the federation fabric's simulated transport
+/// uses; client_round_time_s's comm term is two such transfers of the
+/// model).
+double transfer_time_s(const DeviceProfile& dev, double bytes);
+
 /// Largest value in `model_macs` that fits the device's capacity; -1 if none.
 int most_capable_fit(const DeviceProfile& dev,
                      const std::vector<double>& model_macs);

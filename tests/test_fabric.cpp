@@ -1,0 +1,281 @@
+// Federation-fabric tests: (1) a fault-free fabric run — wire protocol +
+// simulated transport + multithreaded FederationServer — is bitwise
+// identical to the direct in-process FedAvg path, across seeds and thread
+// counts; (2) under message loss and client dropout, rounds still terminate
+// and every lost update is accounted in CostMeter/RoundRecord; (3) the
+// simulated transport's fault injection is deterministic and its byte
+// accounting is exact.
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "fl/runner.hpp"
+#include "net/server.hpp"
+#include "test_util.hpp"
+
+namespace fedtrans {
+namespace {
+
+DatasetConfig tiny_data(int clients = 12) {
+  DatasetConfig cfg;
+  cfg.num_classes = 4;
+  cfg.channels = 1;
+  cfg.hw = 8;
+  cfg.num_clients = clients;
+  cfg.mean_train_samples = 16;
+  cfg.min_train_samples = 10;
+  cfg.eval_samples = 8;
+  cfg.noise = 0.35;
+  cfg.seed = 17;
+  return cfg;
+}
+
+std::vector<DeviceProfile> tiny_fleet(int n, std::uint64_t seed = 9) {
+  FleetConfig cfg;
+  cfg.num_devices = n;
+  cfg.seed = seed;
+  cfg.with_median_capacity(5e6);
+  return sample_fleet(cfg);
+}
+
+ModelSpec tiny_model() { return ModelSpec::conv(1, 8, 4, 4, {6, 8}); }
+
+FlRunConfig base_cfg(std::uint64_t seed) {
+  FlRunConfig cfg;
+  cfg.rounds = 3;
+  cfg.clients_per_round = 4;
+  cfg.local.steps = 3;
+  cfg.local.batch = 6;
+  cfg.eval_every = 2;
+  cfg.eval_clients = 6;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_identical(FedAvgRunner& a, FedAvgRunner& b) {
+  auto wa = a.model().weights();
+  auto wb = b.model().weights();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i)
+    EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0) << "tensor " << i;
+
+  ASSERT_EQ(a.history().size(), b.history().size());
+  for (std::size_t r = 0; r < a.history().size(); ++r) {
+    const auto& ra = a.history()[r];
+    const auto& rb = b.history()[r];
+    EXPECT_EQ(ra.round, rb.round);
+    EXPECT_EQ(ra.avg_loss, rb.avg_loss) << "round " << r;
+    EXPECT_EQ(ra.cum_macs, rb.cum_macs) << "round " << r;
+    EXPECT_EQ(ra.round_time_s, rb.round_time_s) << "round " << r;
+    EXPECT_EQ(ra.accuracy, rb.accuracy) << "round " << r;
+    EXPECT_EQ(ra.participants, rb.participants) << "round " << r;
+    EXPECT_EQ(ra.lost_updates, rb.lost_updates) << "round " << r;
+  }
+  EXPECT_EQ(a.costs().total_macs(), b.costs().total_macs());
+  EXPECT_EQ(a.costs().network_bytes(), b.costs().network_bytes());
+}
+
+TEST(FabricParityTest, FaultFreeFabricMatchesInProcessBitwise) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  const int prev_threads = ThreadPool::global().size();
+
+  for (std::uint64_t seed : {11ULL, 42ULL}) {
+    Rng rng(3 + seed);
+    Model init(tiny_model(), rng);
+
+    for (int threads : {1, 4}) {
+      ThreadPool::set_global_threads(threads);
+
+      FlRunConfig in_proc = base_cfg(seed);
+      FedAvgRunner a(init, data, fleet, in_proc);
+      a.run();
+
+      FlRunConfig on_fabric = base_cfg(seed);
+      on_fabric.use_fabric = true;
+      FedAvgRunner b(init, data, fleet, on_fabric);
+      b.run();
+
+      ASSERT_NE(b.fabric(), nullptr);
+      EXPECT_EQ(b.fabric()->phase(), FederationServer::Phase::Aggregate)
+          << "round state machine should rest in its final phase";
+      EXPECT_EQ(b.fabric()->stats().frames_dropped.load(), 0u);
+      EXPECT_EQ(b.fabric()->stats().frames_rejected.load(), 0u)
+          << "undecodable frames on a clean transport mean a codec bug";
+      expect_identical(a, b);
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+TEST(FabricParityTest, FabricWithStragglerPolicyMatchesInProcess) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients(), /*seed=*/4);
+  Rng rng(5);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig cfg = base_cfg(21);
+  cfg.overcommit = 0.5;
+  cfg.deadline_quantile = 0.7;  // deadline-trim the straggler tail
+  FedAvgRunner a(init, data, fleet, cfg);
+  a.run();
+
+  FlRunConfig fab = cfg;
+  fab.use_fabric = true;
+  FedAvgRunner b(init, data, fleet, fab);
+  b.run();
+  expect_identical(a, b);
+  // With over-selection some rounds must actually drop stragglers.
+  int lost = 0;
+  for (const auto& rec : b.history()) lost += rec.lost_updates;
+  EXPECT_GT(lost, 0);
+}
+
+TEST(FabricFaultTest, RoundsTerminateAndLossesAreAccounted) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig cfg = base_cfg(7);
+  cfg.rounds = 5;
+  cfg.clients_per_round = 5;
+  cfg.eval_every = 0;
+  cfg.overcommit = 0.4;
+  cfg.deadline_quantile = 0.8;
+  cfg.use_fabric = true;
+  cfg.fabric_faults.drop_prob = 0.25;
+  cfg.fabric_faults.dup_prob = 0.15;
+  cfg.fabric_faults.reorder_prob = 0.2;
+  cfg.fabric_faults.dropout_prob = 0.25;
+  cfg.fabric_faults.seed = 1234;
+
+  FedAvgRunner runner(init, data, fleet, cfg);
+  runner.run();  // must terminate despite lost invitations/models/updates
+
+  ASSERT_EQ(runner.history().size(), static_cast<std::size_t>(cfg.rounds));
+  int participants = 0, lost = 0;
+  for (const auto& rec : runner.history()) {
+    EXPECT_GE(rec.participants, 0);
+    EXPECT_GE(rec.lost_updates, 0);
+    participants += rec.participants;
+    lost += rec.lost_updates;
+  }
+  EXPECT_GT(participants, 0) << "some updates must still get through";
+  EXPECT_GT(lost, 0) << "heavy fault injection must lose some updates";
+
+  // CostMeter consistency with the per-round records: each aggregated
+  // update moved the model down and up (2 × model bytes, no compression);
+  // each lost update still burned its downlink.
+  const double model_bytes =
+      static_cast<double>(runner.model().param_bytes());
+  EXPECT_NEAR(runner.costs().network_bytes(),
+              model_bytes * (2.0 * participants + lost), 1.0);
+
+  // Fault machinery actually fired.
+  ASSERT_NE(runner.fabric(), nullptr);
+  const FabricStats& stats = runner.fabric()->stats();
+  EXPECT_GT(stats.frames_dropped.load(), 0u);
+  EXPECT_GT(stats.frames_duplicated.load(), 0u);
+  EXPECT_GT(stats.frames_reordered.load(), 0u);
+  EXPECT_GT(stats.client_dropouts.load(), 0u);
+  EXPECT_GT(stats.frames_sent.load(), stats.frames_dropped.load());
+  // Fault injection drops/duplicates/reorders whole frames — it never
+  // corrupts bytes, so nothing should have failed to decode.
+  EXPECT_EQ(stats.frames_rejected.load(), 0u);
+}
+
+TEST(FabricFaultTest, FaultRunsAreDeterministicAcrossThreadCounts) {
+  auto data = FederatedDataset::generate(tiny_data(8));
+  auto fleet = tiny_fleet(8);
+  Rng rng(2);
+  Model init(tiny_model(), rng);
+  const int prev_threads = ThreadPool::global().size();
+
+  FlRunConfig cfg = base_cfg(13);
+  cfg.eval_every = 0;
+  cfg.use_fabric = true;
+  cfg.fabric_faults.drop_prob = 0.3;
+  cfg.fabric_faults.dropout_prob = 0.2;
+
+  ThreadPool::set_global_threads(1);
+  FedAvgRunner a(init, data, fleet, cfg);
+  a.run();
+  ThreadPool::set_global_threads(4);
+  FedAvgRunner b(init, data, fleet, cfg);
+  b.run();
+  ThreadPool::set_global_threads(prev_threads);
+
+  expect_identical(a, b);
+  EXPECT_EQ(a.fabric()->stats().frames_dropped.load(),
+            b.fabric()->stats().frames_dropped.load());
+}
+
+TEST(SimTransportTest, DeterministicFaultsAndExactByteAccounting) {
+  auto fleet = tiny_fleet(4);
+  FaultConfig faults;
+  faults.drop_prob = 0.5;
+  faults.seed = 77;
+
+  auto run_once = [&] {
+    SimTransport net(fleet, faults);
+    std::vector<bool> delivered;
+    for (int i = 0; i < 32; ++i)
+      delivered.push_back(net.send(kServerId, i % 4,
+                                   std::string("payload-") +
+                                       std::to_string(i)));
+    return std::make_pair(delivered, net.stats().bytes_delivered.load());
+  };
+  auto [d1, bytes1] = run_once();
+  auto [d2, bytes2] = run_once();
+  EXPECT_EQ(d1, d2) << "fault draws must be schedule-independent";
+  EXPECT_EQ(bytes1, bytes2);
+
+  // Delivered frames arrive in (deliver_at, seq) order per mailbox and
+  // byte counters match exactly what was enqueued.
+  SimTransport net(fleet, FaultConfig{});
+  EXPECT_TRUE(net.send(kServerId, 1, "aaaa"));
+  EXPECT_TRUE(net.send(kServerId, 1, "bb"));
+  EXPECT_TRUE(net.send(1, kServerId, "cc", /*sent_at_s=*/2.0));
+  auto inbox = net.drain(1);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_LE(inbox[0].deliver_at_s, inbox[1].deliver_at_s);
+  EXPECT_EQ(net.stats().bytes_sent.load(), 8u);
+  EXPECT_EQ(net.stats().bytes_delivered.load(), 8u);
+  auto server_box = net.drain(kServerId);
+  ASSERT_EQ(server_box.size(), 1u);
+  EXPECT_GT(server_box[0].deliver_at_s, 2.0);
+  EXPECT_FALSE(net.try_recv(kServerId).has_value());
+}
+
+TEST(SimTransportTest, ReorderingDelaysDeliveryTimestamps) {
+  auto fleet = tiny_fleet(2);
+  SimTransport clean(fleet, FaultConfig{});
+  FaultConfig faults;
+  faults.reorder_prob = 1.0;
+  SimTransport shuffled(fleet, faults);
+  ASSERT_TRUE(clean.send(kServerId, 0, "0123456789abcdef"));
+  ASSERT_TRUE(shuffled.send(kServerId, 0, "0123456789abcdef"));
+  auto a = clean.drain(0);
+  auto b = shuffled.drain(0);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  // A reordered frame lands one extra link transfer later in simulated
+  // time — twice the clean latency for a single frame.
+  EXPECT_DOUBLE_EQ(b[0].deliver_at_s, 2.0 * a[0].deliver_at_s);
+  EXPECT_EQ(shuffled.stats().frames_reordered.load(), 1u);
+}
+
+TEST(SimTransportTest, DuplicatesAreDeliveredTwiceAndDeduplicatedUpstream) {
+  auto fleet = tiny_fleet(2);
+  FaultConfig faults;
+  faults.dup_prob = 1.0;
+  SimTransport net(fleet, faults);
+  EXPECT_TRUE(net.send(kServerId, 0, "hello"));
+  auto inbox = net.drain(0);
+  EXPECT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(net.stats().frames_duplicated.load(), 1u);
+}
+
+}  // namespace
+}  // namespace fedtrans

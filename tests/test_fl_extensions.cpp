@@ -266,6 +266,21 @@ TEST(FedBuffTest, WallClockIsMonotone) {
   }
 }
 
+TEST(FedBuffTest, FreshRunnerMetersAreZeroNotNan) {
+  // Zero-updates guard: every meter must be well-defined on a runner that
+  // has not folded in a single update yet (no division by zero / NaN).
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = fleet_with_capacity(data.num_clients(), 5e6);
+  Rng rng(99);
+  FedBuffRunner runner(Model(tiny_model(), rng), data, fleet,
+                       AsyncRunConfig{});
+  EXPECT_EQ(runner.mean_staleness(), 0.0);
+  EXPECT_EQ(runner.aggregations_done(), 0);
+  EXPECT_EQ(runner.now_s(), 0.0);
+  EXPECT_TRUE(runner.history().empty());
+  EXPECT_EQ(runner.costs().total_macs(), 0.0);
+}
+
 TEST(FedBuffTest, StalenessIsBoundedByConcurrencyWindow) {
   auto data = FederatedDataset::generate(tiny_data());
   auto fleet = fleet_with_capacity(data.num_clients(), 5e6, /*sigma=*/1.5);

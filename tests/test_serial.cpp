@@ -56,6 +56,21 @@ TEST(SerialTest, TruncatedVectorThrows) {
   EXPECT_THROW(read_vec<double>(cut), Error);
 }
 
+TEST(SerialTest, HugeLengthPrefixFailsBeforeAllocating) {
+  // A corrupted length prefix (here: 2^61 elements) must be rejected
+  // against the bytes actually remaining in the stream, not handed to the
+  // allocator.
+  std::stringstream ss;
+  write_pod<std::uint64_t>(ss, std::uint64_t{1} << 61);
+  ss.write("abcdefgh", 8);
+  EXPECT_THROW(read_vec<double>(ss), Error);
+
+  std::stringstream st;
+  write_pod<std::uint64_t>(st, std::uint64_t{1} << 61);
+  st.write("abcdefgh", 8);
+  EXPECT_THROW(read_string(st), Error);
+}
+
 TEST(SerialTest, StringRoundTrip) {
   std::stringstream ss;
   const std::string with_null("hello\nworld\0with null", 21);

@@ -9,8 +9,11 @@
 #include "core/aggregator.hpp"
 #include "data/dataset.hpp"
 #include "fl/local_train.hpp"
+#include "fl/runner.hpp"
+#include "fl/server_opt.hpp"
 #include "model/transform.hpp"
 #include "nn/conv2d.hpp"
+#include "trace/device.hpp"
 
 namespace fedtrans {
 namespace {
@@ -171,6 +174,136 @@ void BM_SoftAggregation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoftAggregation);
+
+// ---------------------------------------------------------------------------
+// Engine dispatch overhead: one FedAvg round driven through the
+// FederationEngine's Strategy hooks (arg 0) vs the identical work hand-coded
+// as a flat loop with no virtual dispatch (arg 1). The workload is kept tiny
+// (1 local step) so the fixed per-round engine cost is as large a share as
+// it can be; the acceptance bar is engine ≤ 1% over inline.
+
+struct EngineBenchFixture {
+  EngineBenchFixture() {
+    DatasetConfig dcfg;
+    dcfg.num_classes = 4;
+    dcfg.num_clients = 8;
+    dcfg.hw = 8;
+    dcfg.channels = 1;
+    dcfg.mean_train_samples = 12;
+    dcfg.min_train_samples = 8;
+    dcfg.eval_samples = 4;
+    data = FederatedDataset::generate(dcfg);
+    FleetConfig fcfg;
+    fcfg.num_devices = dcfg.num_clients;
+    fcfg.with_median_capacity(5e6);
+    fleet = sample_fleet(fcfg);
+  }
+  static LocalTrainConfig local_cfg() {
+    LocalTrainConfig local;
+    local.steps = 1;
+    local.batch = 4;
+    return local;
+  }
+  static ModelSpec spec() { return ModelSpec::conv(1, 8, 4, 4, {6}); }
+
+  FederatedDataset data;
+  std::vector<DeviceProfile> fleet;
+};
+
+/// The legacy-style flat round loop: select, fork, train on the pool,
+/// reduce in order, bill, aggregate — semantically FedAvgStrategy's round
+/// without any engine or virtual-hook involvement.
+double inline_fedavg_round(Model& model, const FederatedDataset& data,
+                           const std::vector<DeviceProfile>& fleet,
+                           const LocalTrainConfig& local, int k, Rng& rng,
+                           CostMeter& costs, ServerOptimizer& opt) {
+  auto selected = uniform_select(data.num_clients(), k, rng);
+  WeightSet acc = ws_zeros_like(model.weights());
+  double weight_sum = 0.0, loss_sum = 0.0, slowest = 0.0;
+  const double model_bytes = static_cast<double>(model.param_bytes());
+
+  std::vector<Rng> rngs;
+  rngs.reserve(selected.size());
+  for (std::size_t i = 0; i < selected.size(); ++i)
+    rngs.push_back(rng.fork());
+  std::vector<LocalTrainResult> results(selected.size());
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(selected.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          Model local_model = model;
+          results[static_cast<std::size_t>(i)] = local_train(
+              local_model,
+              data.client(selected[static_cast<std::size_t>(i)]), local,
+              rngs[static_cast<std::size_t>(i)]);
+        }
+      });
+
+  for (std::size_t ci = 0; ci < selected.size(); ++ci) {
+    auto& res = results[ci];
+    const double w = static_cast<double>(res.num_samples);
+    ws_axpy(acc, static_cast<float>(w), res.delta);
+    weight_sum += w;
+    loss_sum += res.avg_loss;
+    costs.add_training_macs(res.macs_used);
+    costs.add_transfer(model_bytes, model_bytes);
+    const double t = client_round_time_s(
+        fleet[static_cast<std::size_t>(selected[ci])],
+        static_cast<double>(model.macs()), local.steps, local.batch,
+        model_bytes);
+    costs.add_client_round_time(t);
+    slowest = std::max(slowest, t);
+  }
+  if (weight_sum > 0.0) {
+    ws_scale(acc, static_cast<float>(1.0 / weight_sum));
+    WeightSet global = model.weights();
+    opt.apply(global, acc);
+    model.set_weights(global);
+  }
+  benchmark::DoNotOptimize(slowest);
+  return selected.empty() ? 0.0
+                          : loss_sum / static_cast<double>(selected.size());
+}
+
+void BM_EngineRoundOverhead(benchmark::State& state) {
+  EngineBenchFixture fx;
+  const bool use_engine = state.range(0) == 0;
+  const int clients_per_round = 4;
+
+  if (use_engine) {
+    FlRunConfig cfg;
+    cfg.rounds = 1;
+    cfg.clients_per_round = clients_per_round;
+    cfg.local = EngineBenchFixture::local_cfg();
+    cfg.seed = 3;
+    Rng rng(7);
+    FederationEngine engine(std::make_unique<FedAvgStrategy>(
+                                Model(EngineBenchFixture::spec(), rng),
+                                cfg.options()),
+                            fx.data, fx.fleet, cfg.to_session());
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(engine.run_round());
+    }
+    state.counters["rounds"] =
+        static_cast<double>(engine.rounds_done());
+  } else {
+    Rng rng(7);
+    Model model(EngineBenchFixture::spec(), rng);
+    Rng round_rng(3);
+    CostMeter costs;
+    auto opt = make_server_opt(ServerOptKind::FedAvg);
+    const LocalTrainConfig local = EngineBenchFixture::local_cfg();
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(inline_fedavg_round(
+          model, fx.data, fx.fleet, local, clients_per_round, round_rng,
+          costs, *opt));
+    }
+  }
+}
+BENCHMARK(BM_EngineRoundOverhead)
+    ->Arg(0)  // engine-dispatched round
+    ->Arg(1)  // inline legacy-style loop
+    ->MinTime(2.0);  // sub-1% deltas need a stable clock
 
 }  // namespace
 }  // namespace fedtrans

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verify in one command: configure + build + ctest. Exits nonzero on
-# the first failure, so CI and tooling can gate on it directly.
+# the first failure, so CI and tooling can gate on it directly. The build
+# runs with -Wall -Wextra promoted to errors (FEDTRANS_WERROR=ON), so a new
+# warning fails CI.
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 #   BUILD_DIR  build directory   (default: build)
@@ -11,6 +13,6 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
 
-cmake -B "$BUILD_DIR" -S .
+cmake -B "$BUILD_DIR" -S . -DFEDTRANS_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"

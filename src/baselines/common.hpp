@@ -3,21 +3,23 @@
 #include "data/dataset.hpp"
 #include "fl/local_train.hpp"
 #include "fl/metrics.hpp"
+#include "fl/session.hpp"
 #include "trace/device.hpp"
 
 namespace fedtrans {
 
 /// Shared configuration for the multi-model baselines (HeteroFL, SplitMix,
-/// FLuID). Per the paper's protocol (§A.1), every baseline receives the
-/// *largest* model FedTrans produced as its input architecture.
-struct BaselineConfig {
-  int rounds = 60;
-  int clients_per_round = 10;
-  LocalTrainConfig local{};
-  int eval_every = 0;
-  int eval_clients = 32;
-  std::uint64_t seed = 1;
+/// FLuID, FedRolex). Per the paper's protocol (§A.1), every baseline
+/// receives the *largest* model FedTrans produced as its input
+/// architecture. Now a pure alias of the engine SessionConfig (with the
+/// paper's 60-round default): the shared runtime block is the one
+/// definition, nothing baseline-specific is added.
+struct BaselineConfig : SessionConfig {
+  BaselineConfig() { rounds = 60; }
 };
+static_assert(sizeof(BaselineConfig) == sizeof(SessionConfig),
+              "BaselineConfig must add no fields beyond the shared "
+              "SessionConfig block — extend SessionConfig instead");
 
 /// Uniform result bundle consumed by the benchmark harness.
 struct BaselineReport {

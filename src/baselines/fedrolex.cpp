@@ -4,7 +4,6 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
-#include "fl/runner.hpp"
 #include "model/align.hpp"
 
 namespace fedtrans {
@@ -62,41 +61,43 @@ int space_width(const ModelSpec& spec, int space) {
 
 }  // namespace
 
-FedRolexRunner::FedRolexRunner(ModelSpec full_spec,
-                               const FederatedDataset& data,
-                               std::vector<DeviceProfile> fleet,
-                               BaselineConfig cfg,
-                               std::vector<double> width_ratios)
-    : data_(data), fleet_(std::move(fleet)), cfg_(cfg), rng_(cfg.seed) {
-  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
-               "fleet size must match client count");
-  FT_CHECK_MSG(!width_ratios.empty() && width_ratios.front() == 1.0,
+FedRolexStrategy::FedRolexStrategy(ModelSpec full_spec,
+                                   std::vector<double> width_ratios)
+    : full_spec_(std::move(full_spec)),
+      width_ratios_(std::move(width_ratios)) {
+  FT_CHECK_MSG(!width_ratios_.empty() && width_ratios_.front() == 1.0,
                "width ratios must start at 1.0");
-  global_ = std::make_unique<Model>(full_spec, rng_);
-  for (double r : width_ratios) {
-    level_specs_.push_back(scale_widths(full_spec, r));
-    Rng tmp = rng_.fork();
-    Model probe(level_specs_.back(), tmp);
-    level_macs_.push_back(static_cast<double>(probe.macs()));
-  }
-  costs_.note_storage(static_cast<double>(global_->param_bytes()));
 }
 
-int FedRolexRunner::level_for(int client) const {
-  const double cap = fleet_[static_cast<std::size_t>(client)].capacity_macs;
+void FedRolexStrategy::attach(RoundContext& ctx, Rng& rng) {
+  fleet_ = &ctx.fleet;
+  global_ = std::make_unique<Model>(full_spec_, rng);
+  for (double r : width_ratios_) {
+    level_specs_.push_back(scale_widths(full_spec_, r));
+    Rng tmp = rng.fork();
+    Model probe(level_specs_.back(), tmp);
+    level_macs_.push_back(static_cast<double>(probe.macs()));
+    level_bytes_.push_back(static_cast<double>(probe.param_bytes()));
+  }
+}
+
+int FedRolexStrategy::level_for(int client) const {
+  const double cap =
+      (*fleet_)[static_cast<std::size_t>(client)].capacity_macs;
   for (std::size_t lvl = 0; lvl < level_macs_.size(); ++lvl)
     if (level_macs_[lvl] <= cap) return static_cast<int>(lvl);
   return static_cast<int>(level_macs_.size()) - 1;  // weakest level
 }
 
-int FedRolexRunner::offset_for_space(int space) const {
+int FedRolexStrategy::offset_for_space(int space, int round) const {
   const int w = space_width(global_->spec(), space);
-  return w > 0 ? round_ % w : 0;
+  return w > 0 ? round % w : 0;
 }
 
-void FedRolexRunner::for_each_mapped_element(
-    Model& sub, const std::function<void(Tensor&, const Tensor&,
-                                         std::int64_t, std::int64_t)>& fn) {
+void FedRolexStrategy::for_each_mapped_element(
+    Model& sub, int round,
+    const std::function<void(Tensor&, const Tensor&, std::int64_t,
+                             std::int64_t)>& fn) {
   const auto layout = build_layout(global_->spec(), *global_);
   auto gp = global_->params();
   auto sp = sub.params();
@@ -108,7 +109,7 @@ void FedRolexRunner::for_each_mapped_element(
     Tensor& s = *sp[i].value;
     const int rs = layout[i].row_space, cs = layout[i].col_space;
     const int g_rows = g.dim(0), s_rows = s.dim(0);
-    const int ro = rs < 0 ? 0 : offset_for_space(rs);
+    const int ro = rs < 0 ? 0 : offset_for_space(rs, round);
     auto rmap = [&](int j) { return rs < 0 ? j : (ro + j) % g_rows; };
 
     if (s.ndim() == 1) {
@@ -116,7 +117,7 @@ void FedRolexRunner::for_each_mapped_element(
       continue;
     }
     const int g_cols = g.dim(1), s_cols = s.dim(1);
-    const int co = cs < 0 ? 0 : offset_for_space(cs);
+    const int co = cs < 0 ? 0 : offset_for_space(cs, round);
     auto cmap = [&](int j) { return cs < 0 ? j : (co + j) % g_cols; };
     // Trailing dims (k×k for conv weights) are never width-scaled.
     std::int64_t tail = 1;
@@ -133,93 +134,112 @@ void FedRolexRunner::for_each_mapped_element(
   }
 }
 
-Model FedRolexRunner::submodel(int level) {
+Model FedRolexStrategy::submodel(int level, int round) {
   Rng tmp(0xf01eULL + static_cast<std::uint64_t>(level));
   Model sub(level_specs_[static_cast<std::size_t>(level)], tmp);
-  for_each_mapped_element(sub, [&](Tensor& s, const Tensor& g,
-                                   std::int64_t si, std::int64_t gi) {
-    s[si] = g[gi];  // copy the rolled window global → sub
-  });
+  for_each_mapped_element(sub, round,
+                          [&](Tensor& s, const Tensor& g, std::int64_t si,
+                              std::int64_t gi) {
+                            s[si] = g[gi];  // copy the rolled window
+                          });
   return sub;
 }
 
-double FedRolexRunner::run_round() {
-  auto selected = FedAvgRunner::select_clients(data_.num_clients(),
-                                               cfg_.clients_per_round, rng_);
+std::vector<ClientTask> FedRolexStrategy::plan_round(RoundContext& ctx,
+                                                     Rng& rng) {
+  auto tasks = Strategy::plan_round(ctx, rng);
+  for (ClientTask& t : tasks) t.tag = level_for(t.client);
+  cur_round_ = ctx.round;
+
   WeightSet global_w = global_->weights();
-  WeightSet acc = ws_zeros_like(global_w);
-  WeightSet wsum = ws_zeros_like(global_w);
-
-  double loss_sum = 0.0;
-  double slowest = 0.0;
-  for (int c : selected) {
-    const int lvl = level_for(c);
-    Model sub = submodel(lvl);
-    Rng crng = rng_.fork();
-    auto res = local_train(sub, data_.client(c), cfg_.local, crng);
-    loss_sum += res.avg_loss;
-
-    // Scatter the client's delta through the same rolled maps. Parameter
-    // order matches params(), so track the index alongside the walk.
-    auto sp = sub.params();
-    std::size_t param_i = 0;
-    const Tensor* current = nullptr;
-    const float n = static_cast<float>(res.num_samples);
-    for_each_mapped_element(
-        sub, [&](Tensor& s, const Tensor&, std::int64_t si,
-                 std::int64_t gi) {
-          if (current != &s) {
-            // Advance to this tensor's index in params() order.
-            while (sp[param_i].value != &s) {
-              ++param_i;
-              FT_CHECK(param_i < sp.size());
-            }
-            current = &s;
-          }
-          acc[param_i][gi] += n * res.delta[param_i][si];
-          wsum[param_i][gi] += n;
-        });
-
-    const double bytes = static_cast<double>(sub.param_bytes());
-    costs_.add_training_macs(res.macs_used);
-    costs_.add_transfer(bytes, bytes);
-    const double t = client_round_time_s(
-        fleet_[static_cast<std::size_t>(c)], static_cast<double>(sub.macs()),
-        cfg_.local.steps, cfg_.local.batch, bytes);
-    costs_.add_client_round_time(t);
-    slowest = std::max(slowest, t);
-  }
-
-  for (std::size_t p = 0; p < global_w.size(); ++p)
-    for (std::int64_t e = 0; e < global_w[p].numel(); ++e)
-      if (wsum[p][e] > 0.0f) global_w[p][e] -= acc[p][e] / wsum[p][e];
-  global_->set_weights(global_w);
-
-  RoundRecord rec;
-  rec.round = round_;
-  rec.avg_loss = selected.empty() ? 0.0 : loss_sum / selected.size();
-  rec.cum_macs = costs_.total_macs();
-  rec.round_time_s = slowest;
-  if (cfg_.eval_every > 0 && round_ % cfg_.eval_every == 0) {
-    Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(round_));
-    const int k = cfg_.eval_clients > 0
-                      ? std::min(cfg_.eval_clients, data_.num_clients())
-                      : data_.num_clients();
-    auto ids = FedAvgRunner::select_clients(data_.num_clients(), k, erng);
-    double s = 0.0;
-    for (int c : ids) {
-      Model sub = submodel(level_for(c));
-      s += evaluate_accuracy(sub, data_.client(c));
-    }
-    rec.accuracy = s / static_cast<double>(ids.size());
-  }
-  history_.push_back(rec);
-  ++round_;
-  return rec.avg_loss;
+  acc_ = ws_zeros_like(global_w);
+  wsum_ = ws_zeros_like(global_w);
+  loss_sum_ = 0.0;
+  slowest_ = 0.0;
+  round_tasks_ = tasks.size();
+  return tasks;
 }
 
-void FedRolexRunner::run() {
-  for (int r = 0; r < cfg_.rounds; ++r) run_round();
+Model FedRolexStrategy::client_payload(const ClientTask& task) {
+  return submodel(task.tag, cur_round_);
+}
+
+void FedRolexStrategy::absorb_update(const ClientTask& task, Model* trained,
+                                     LocalTrainResult& res,
+                                     RoundContext& ctx) {
+  FT_CHECK_MSG(trained != nullptr,
+               "FedRolex absorb requires the task's payload model");
+  Model& sub = *trained;
+  loss_sum_ += res.avg_loss;
+
+  // Scatter the client's delta through the same rolled maps. Parameter
+  // order matches params(), so track the index alongside the walk.
+  auto sp = sub.params();
+  std::size_t param_i = 0;
+  const Tensor* current = nullptr;
+  const float n = static_cast<float>(res.num_samples);
+  for_each_mapped_element(
+      sub, cur_round_,
+      [&](Tensor& s, const Tensor&, std::int64_t si, std::int64_t gi) {
+        if (current != &s) {
+          // Advance to this tensor's index in params() order.
+          while (sp[param_i].value != &s) {
+            ++param_i;
+            FT_CHECK(param_i < sp.size());
+          }
+          current = &s;
+        }
+        acc_[param_i][gi] += n * res.delta[param_i][si];
+        wsum_[param_i][gi] += n;
+      });
+
+  bill_trained_update(ctx, task.client,
+                      static_cast<double>(sub.param_bytes()),
+                      static_cast<double>(sub.macs()), res, slowest_);
+}
+
+void FedRolexStrategy::lost_update(const ClientTask& task,
+                                   ClientOutcome outcome, RoundContext& ctx) {
+  const auto lvl = static_cast<std::size_t>(task.tag);
+  bill_lost_update(ctx, outcome, level_bytes_[lvl], level_macs_[lvl]);
+}
+
+void FedRolexStrategy::finish_round(RoundContext& ctx, RoundRecord& rec) {
+  (void)ctx;
+  WeightSet global_w = global_->weights();
+  for (std::size_t p = 0; p < global_w.size(); ++p)
+    for (std::int64_t e = 0; e < global_w[p].numel(); ++e)
+      if (wsum_[p][e] > 0.0f) global_w[p][e] -= acc_[p][e] / wsum_[p][e];
+  global_->set_weights(global_w);
+
+  rec.avg_loss = round_tasks_ == 0
+                     ? 0.0
+                     : loss_sum_ / static_cast<double>(round_tasks_);
+  rec.round_time_s = slowest_;
+}
+
+double FedRolexStrategy::probe_accuracy(const std::vector<int>& ids,
+                                        RoundContext& ctx) {
+  double s = 0.0;
+  for (int c : ids) {
+    Model sub = submodel(level_for(c), cur_round_);
+    s += evaluate_accuracy(sub, ctx.data.client(c));
+  }
+  return s / static_cast<double>(ids.size());
+}
+
+FedRolexRunner::FedRolexRunner(ModelSpec full_spec,
+                               const FederatedDataset& data,
+                               std::vector<DeviceProfile> fleet,
+                               BaselineConfig cfg,
+                               std::vector<double> width_ratios)
+    : data_(data) {
+  auto strategy = std::make_unique<FedRolexStrategy>(std::move(full_spec),
+                                                     std::move(width_ratios));
+  strategy_ = strategy.get();
+  engine_ = std::make_unique<FederationEngine>(
+      std::move(strategy), data, std::move(fleet),
+      static_cast<const SessionConfig&>(cfg));
 }
 
 BaselineReport FedRolexRunner::report() {
@@ -230,8 +250,8 @@ BaselineReport FedRolexRunner::report() {
   }
   rep.mean_accuracy = mean(rep.client_accuracy);
   rep.accuracy_iqr = iqr(rep.client_accuracy);
-  rep.costs = costs_;
-  rep.history = history_;
+  rep.costs = engine_->costs();
+  rep.history = engine_->history();
   return rep;
 }
 

@@ -6,7 +6,6 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
-#include "fl/runner.hpp"
 #include "model/align.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/linear.hpp"
@@ -107,36 +106,43 @@ void for_each_mapped_pair(Model& full, Model& sub,
 
 }  // namespace
 
-FluidRunner::FluidRunner(ModelSpec full_spec, const FederatedDataset& data,
-                         std::vector<DeviceProfile> fleet, BaselineConfig cfg)
-    : data_(data), fleet_(std::move(fleet)), cfg_(cfg), rng_(cfg.seed) {
-  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
-               "fleet size must match client count");
-  FT_CHECK_MSG(full_spec.kind == CellKind::Conv,
+FluidStrategy::FluidStrategy(ModelSpec full_spec)
+    : full_spec_(std::move(full_spec)) {
+  FT_CHECK_MSG(full_spec_.kind == CellKind::Conv,
                "FLuID runner supports Conv-cell models");
-  global_ = std::make_unique<Model>(full_spec, rng_);
+}
 
-  score_.emplace_back(static_cast<std::size_t>(full_spec.stem_width), 0.0);
-  for (const auto& c : full_spec.cells)
+void FluidStrategy::attach(RoundContext& ctx, Rng& rng) {
+  fleet_ = &ctx.fleet;
+  global_ = std::make_unique<Model>(full_spec_, rng);
+
+  score_.emplace_back(static_cast<std::size_t>(full_spec_.stem_width), 0.0);
+  for (const auto& c : full_spec_.cells)
     score_.emplace_back(static_cast<std::size_t>(c.width), 0.0);
 
   for (double r = 1.0; r > 0.05; r -= 0.1) ratio_grid_.push_back(r);
   for (double r : ratio_grid_) {
     Rng tmp(17);
-    Model probe(scale_widths(full_spec, r), tmp);
+    Model probe(scale_widths(full_spec_, r), tmp);
     ratio_macs_.push_back(static_cast<double>(probe.macs()));
+    ratio_bytes_.push_back(static_cast<double>(probe.param_bytes()));
   }
-  costs_.note_storage(static_cast<double>(global_->param_bytes()));
 }
 
-double FluidRunner::ratio_for(int client) const {
-  const double cap = fleet_[static_cast<std::size_t>(client)].capacity_macs;
+std::size_t FluidStrategy::ratio_index_for(int client) const {
+  const double cap =
+      (*fleet_)[static_cast<std::size_t>(client)].capacity_macs;
   for (std::size_t i = 0; i < ratio_grid_.size(); ++i)
-    if (ratio_macs_[i] <= cap) return ratio_grid_[i];
-  return ratio_grid_.back();
+    if (ratio_macs_[i] <= cap) return i;
+  return ratio_grid_.size() - 1;
 }
 
-std::vector<std::vector<int>> FluidRunner::kept_for_ratio(double ratio) const {
+double FluidStrategy::ratio_for(int client) const {
+  return ratio_grid_[ratio_index_for(client)];
+}
+
+std::vector<std::vector<int>> FluidStrategy::kept_for_ratio(
+    double ratio) const {
   std::vector<std::vector<int>> kept;
   kept.reserve(score_.size());
   for (const auto& unit : score_) {
@@ -156,7 +162,7 @@ std::vector<std::vector<int>> FluidRunner::kept_for_ratio(double ratio) const {
   return kept;
 }
 
-Model FluidRunner::extract(const std::vector<std::vector<int>>& kept) {
+Model FluidStrategy::extract(const std::vector<std::vector<int>>& kept) {
   ModelSpec sub_spec = global_->spec();
   sub_spec.stem_width = static_cast<int>(kept[0].size());
   for (std::size_t l = 0; l < sub_spec.cells.size(); ++l)
@@ -169,7 +175,7 @@ Model FluidRunner::extract(const std::vector<std::vector<int>>& kept) {
   return sub;
 }
 
-void FluidRunner::update_scores(const WeightSet& agg_delta) {
+void FluidStrategy::update_scores(const WeightSet& agg_delta) {
   auto fidx = param_index(*global_);
   auto accumulate_unit = [&](Conv2d& conv, std::vector<double>& unit) {
     const Tensor& dw = agg_delta[fidx.at(&conv.weight())];
@@ -197,90 +203,103 @@ void FluidRunner::update_scores(const WeightSet& agg_delta) {
           score_[static_cast<std::size_t>(l) + 1]);
 }
 
-double FluidRunner::run_round() {
-  auto selected = FedAvgRunner::select_clients(data_.num_clients(),
-                                               cfg_.clients_per_round, rng_);
+std::vector<ClientTask> FluidStrategy::plan_round(RoundContext& ctx,
+                                                  Rng& rng) {
+  auto tasks = Strategy::plan_round(ctx, rng);
   WeightSet global_w = global_->weights();
-  WeightSet acc = ws_zeros_like(global_w);
-  WeightSet wsum = ws_zeros_like(global_w);
-  auto fidx = param_index(*global_);
+  acc_ = ws_zeros_like(global_w);
+  wsum_ = ws_zeros_like(global_w);
+  fidx_ = param_index(*global_);  // global_ is stable until finish_round
+  loss_sum_ = 0.0;
+  slowest_ = 0.0;
+  round_tasks_ = tasks.size();
+  return tasks;
+}
 
-  double loss_sum = 0.0;
-  double slowest = 0.0;
-  for (int c : selected) {
-    const double ratio = ratio_for(c);
-    auto kept = kept_for_ratio(ratio);
-    Model sub = extract(kept);
-    Rng crng = rng_.fork();
-    auto res = local_train(sub, data_.client(c), cfg_.local, crng);
-    loss_sum += res.avg_loss;
+Model FluidStrategy::client_payload(const ClientTask& task) {
+  return extract(kept_for_ratio(ratio_for(task.client)));
+}
 
-    auto sidx = param_index(sub);
-    const float n = static_cast<float>(res.num_samples);
-    for_each_mapped_pair(
-        *global_, sub, kept,
-        [&](Tensor& ft, Tensor& st, std::int64_t fi, std::int64_t si) {
-          const std::size_t ai = fidx.at(&ft);
-          acc[ai][fi] += n * res.delta[sidx.at(&st)][si];
-          wsum[ai][fi] += n;
-        });
+void FluidStrategy::absorb_update(const ClientTask& task, Model* trained,
+                                  LocalTrainResult& res, RoundContext& ctx) {
+  FT_CHECK_MSG(trained != nullptr,
+               "FLuID absorb requires the task's payload model");
+  Model& sub = *trained;
+  loss_sum_ += res.avg_loss;
 
-    const double bytes = static_cast<double>(sub.param_bytes());
-    costs_.add_training_macs(res.macs_used);
-    costs_.add_transfer(bytes, bytes);
-    const double t = client_round_time_s(
-        fleet_[static_cast<std::size_t>(c)], static_cast<double>(sub.macs()),
-        cfg_.local.steps, cfg_.local.batch, bytes);
-    costs_.add_client_round_time(t);
-    slowest = std::max(slowest, t);
-  }
+  // Scores are round-stable, so the kept maps recompute identically to the
+  // ones the payload was extracted with.
+  const auto kept = kept_for_ratio(ratio_for(task.client));
+  auto sidx = param_index(sub);
+  const float n = static_cast<float>(res.num_samples);
+  for_each_mapped_pair(
+      *global_, sub, kept,
+      [&](Tensor& ft, Tensor& st, std::int64_t fi, std::int64_t si) {
+        const std::size_t ai = fidx_.at(&ft);
+        acc_[ai][fi] += n * res.delta[sidx.at(&st)][si];
+        wsum_[ai][fi] += n;
+      });
 
+  bill_trained_update(ctx, task.client,
+                      static_cast<double>(sub.param_bytes()),
+                      static_cast<double>(sub.macs()), res, slowest_);
+}
+
+void FluidStrategy::lost_update(const ClientTask& task,
+                                ClientOutcome outcome, RoundContext& ctx) {
+  const std::size_t i = ratio_index_for(task.client);
+  bill_lost_update(ctx, outcome, ratio_bytes_[i], ratio_macs_[i]);
+}
+
+void FluidStrategy::finish_round(RoundContext& ctx, RoundRecord& rec) {
+  (void)ctx;
   // Positional merge, then refresh the invariance scores.
+  WeightSet global_w = global_->weights();
   WeightSet update = ws_zeros_like(global_w);
   for (std::size_t p = 0; p < global_w.size(); ++p)
     for (std::int64_t e = 0; e < global_w[p].numel(); ++e)
-      if (wsum[p][e] > 0.0f) update[p][e] = acc[p][e] / wsum[p][e];
+      if (wsum_[p][e] > 0.0f) update[p][e] = acc_[p][e] / wsum_[p][e];
   ws_sub(global_w, update);
   global_->set_weights(global_w);
   update_scores(update);
 
-  RoundRecord rec;
-  rec.round = round_;
-  rec.avg_loss = selected.empty() ? 0.0 : loss_sum / selected.size();
-  rec.cum_macs = costs_.total_macs();
-  rec.round_time_s = slowest;
-  if (cfg_.eval_every > 0 && round_ % cfg_.eval_every == 0) {
-    Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(round_));
-    const int k = cfg_.eval_clients > 0
-                      ? std::min(cfg_.eval_clients, data_.num_clients())
-                      : data_.num_clients();
-    auto ids = FedAvgRunner::select_clients(data_.num_clients(), k, erng);
-    double s = 0.0;
-    for (int c : ids) {
-      Model sub = extract(kept_for_ratio(ratio_for(c)));
-      s += evaluate_accuracy(sub, data_.client(c));
-    }
-    rec.accuracy = s / static_cast<double>(ids.size());
-  }
-  history_.push_back(rec);
-  ++round_;
-  return rec.avg_loss;
+  rec.avg_loss = round_tasks_ == 0
+                     ? 0.0
+                     : loss_sum_ / static_cast<double>(round_tasks_);
+  rec.round_time_s = slowest_;
 }
 
-void FluidRunner::run() {
-  for (int r = 0; r < cfg_.rounds; ++r) run_round();
+double FluidStrategy::probe_accuracy(const std::vector<int>& ids,
+                                     RoundContext& ctx) {
+  double s = 0.0;
+  for (int c : ids) {
+    Model sub = extract(kept_for_ratio(ratio_for(c)));
+    s += evaluate_accuracy(sub, ctx.data.client(c));
+  }
+  return s / static_cast<double>(ids.size());
+}
+
+FluidRunner::FluidRunner(ModelSpec full_spec, const FederatedDataset& data,
+                         std::vector<DeviceProfile> fleet, BaselineConfig cfg)
+    : data_(data) {
+  auto strategy = std::make_unique<FluidStrategy>(std::move(full_spec));
+  strategy_ = strategy.get();
+  engine_ = std::make_unique<FederationEngine>(
+      std::move(strategy), data, std::move(fleet),
+      static_cast<const SessionConfig&>(cfg));
 }
 
 BaselineReport FluidRunner::report() {
   BaselineReport rep;
   for (int c = 0; c < data_.num_clients(); ++c) {
-    Model sub = extract(kept_for_ratio(ratio_for(c)));
+    Model sub =
+        strategy_->extract(strategy_->kept_for_ratio(strategy_->ratio_for(c)));
     rep.client_accuracy.push_back(evaluate_accuracy(sub, data_.client(c)));
   }
   rep.mean_accuracy = mean(rep.client_accuracy);
   rep.accuracy_iqr = iqr(rep.client_accuracy);
-  rep.costs = costs_;
-  rep.history = history_;
+  rep.costs = engine_->costs();
+  rep.history = engine_->history();
   return rep;
 }
 

@@ -4,128 +4,145 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
-#include "fl/runner.hpp"
 #include "model/align.hpp"
 
 namespace fedtrans {
 
-HeteroFLRunner::HeteroFLRunner(ModelSpec full_spec,
-                               const FederatedDataset& data,
-                               std::vector<DeviceProfile> fleet,
-                               BaselineConfig cfg,
-                               std::vector<double> width_ratios)
-    : data_(data), fleet_(std::move(fleet)), cfg_(cfg), rng_(cfg.seed) {
-  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
-               "fleet size must match client count");
-  FT_CHECK_MSG(!width_ratios.empty() && width_ratios.front() == 1.0,
+HeteroFLStrategy::HeteroFLStrategy(ModelSpec full_spec,
+                                   std::vector<double> width_ratios)
+    : full_spec_(std::move(full_spec)),
+      width_ratios_(std::move(width_ratios)) {
+  FT_CHECK_MSG(!width_ratios_.empty() && width_ratios_.front() == 1.0,
                "width ratios must start at 1.0");
-  global_ = std::make_unique<Model>(full_spec, rng_);
-  for (double r : width_ratios) {
-    level_specs_.push_back(scale_widths(full_spec, r));
-    Rng tmp = rng_.fork();
-    Model probe(level_specs_.back(), tmp);
-    level_macs_.push_back(static_cast<double>(probe.macs()));
-  }
-  costs_.note_storage(static_cast<double>(global_->param_bytes()));
 }
 
-int HeteroFLRunner::level_for(int client) const {
-  const double cap = fleet_[static_cast<std::size_t>(client)].capacity_macs;
+void HeteroFLStrategy::attach(RoundContext& ctx, Rng& rng) {
+  fleet_ = &ctx.fleet;
+  global_ = std::make_unique<Model>(full_spec_, rng);
+  for (double r : width_ratios_) {
+    level_specs_.push_back(scale_widths(full_spec_, r));
+    Rng tmp = rng.fork();
+    Model probe(level_specs_.back(), tmp);
+    level_macs_.push_back(static_cast<double>(probe.macs()));
+    level_bytes_.push_back(static_cast<double>(probe.param_bytes()));
+  }
+}
+
+int HeteroFLStrategy::level_for(int client) const {
+  const double cap =
+      (*fleet_)[static_cast<std::size_t>(client)].capacity_macs;
   for (std::size_t lvl = 0; lvl < level_macs_.size(); ++lvl)
     if (level_macs_[lvl] <= cap) return static_cast<int>(lvl);
   return static_cast<int>(level_macs_.size()) - 1;  // weakest level
 }
 
-Model HeteroFLRunner::submodel(int level) {
+Model HeteroFLStrategy::submodel(int level) {
   Rng tmp(0xfeedULL + static_cast<std::uint64_t>(level));
   Model sub(level_specs_[static_cast<std::size_t>(level)], tmp);
   copy_overlap(sub, *global_);
   return sub;
 }
 
-double HeteroFLRunner::run_round() {
-  auto selected = FedAvgRunner::select_clients(data_.num_clients(),
-                                               cfg_.clients_per_round, rng_);
-  // Element-wise coverage-weighted aggregation into the global model.
+std::vector<ClientTask> HeteroFLStrategy::plan_round(RoundContext& ctx,
+                                                     Rng& rng) {
+  auto tasks = Strategy::plan_round(ctx, rng);
+  for (ClientTask& t : tasks) t.tag = level_for(t.client);
+
   WeightSet global_w = global_->weights();
-  WeightSet acc = ws_zeros_like(global_w);
-  WeightSet wsum = ws_zeros_like(global_w);
-  auto gidx = param_index(*global_);
-
-  double loss_sum = 0.0;
-  double slowest = 0.0;
-  for (int c : selected) {
-    const int lvl = level_for(c);
-    Model sub = submodel(lvl);
-    Rng crng = rng_.fork();
-    auto res = local_train(sub, data_.client(c), cfg_.local, crng);
-    loss_sum += res.avg_loss;
-
-    auto sidx = param_index(sub);
-    const float n = static_cast<float>(res.num_samples);
-    for (auto& pair : align_params(*global_, sub)) {
-      Tensor& a = acc[gidx.at(pair.dst)];
-      Tensor& w = wsum[gidx.at(pair.dst)];
-      const Tensor& d = res.delta[sidx.at(pair.src)];
-      for_each_overlap(*pair.dst, *pair.src,
-                       [&](std::int64_t gi, std::int64_t si) {
-                         a[gi] += n * d[si];
-                         w[gi] += n;
-                       });
-    }
-
-    const double bytes = static_cast<double>(sub.param_bytes());
-    costs_.add_training_macs(res.macs_used);
-    costs_.add_transfer(bytes, bytes);
-    const double t = client_round_time_s(
-        fleet_[static_cast<std::size_t>(c)], static_cast<double>(sub.macs()),
-        cfg_.local.steps, cfg_.local.batch, bytes);
-    costs_.add_client_round_time(t);
-    slowest = std::max(slowest, t);
-  }
-
-  for (std::size_t p = 0; p < global_w.size(); ++p)
-    for (std::int64_t e = 0; e < global_w[p].numel(); ++e)
-      if (wsum[p][e] > 0.0f) global_w[p][e] -= acc[p][e] / wsum[p][e];
-  global_->set_weights(global_w);
-
-  RoundRecord rec;
-  rec.round = round_;
-  rec.avg_loss = selected.empty() ? 0.0 : loss_sum / selected.size();
-  rec.cum_macs = costs_.total_macs();
-  rec.round_time_s = slowest;
-  if (cfg_.eval_every > 0 && round_ % cfg_.eval_every == 0) {
-    Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(round_));
-    const int k = cfg_.eval_clients > 0
-                      ? std::min(cfg_.eval_clients, data_.num_clients())
-                      : data_.num_clients();
-    auto ids = FedAvgRunner::select_clients(data_.num_clients(), k, erng);
-    double s = 0.0;
-    for (int c : ids) {
-      Model sub = submodel(level_for(c));
-      s += evaluate_accuracy(sub, data_.client(c));
-    }
-    rec.accuracy = s / static_cast<double>(ids.size());
-  }
-  history_.push_back(rec);
-  ++round_;
-  return rec.avg_loss;
+  acc_ = ws_zeros_like(global_w);
+  wsum_ = ws_zeros_like(global_w);
+  gidx_ = param_index(*global_);
+  loss_sum_ = 0.0;
+  slowest_ = 0.0;
+  round_tasks_ = tasks.size();
+  return tasks;
 }
 
-void HeteroFLRunner::run() {
-  for (int r = 0; r < cfg_.rounds; ++r) run_round();
+Model HeteroFLStrategy::client_payload(const ClientTask& task) {
+  return submodel(task.tag);
+}
+
+void HeteroFLStrategy::absorb_update(const ClientTask& task, Model* trained,
+                                     LocalTrainResult& res,
+                                     RoundContext& ctx) {
+  FT_CHECK_MSG(trained != nullptr,
+               "HeteroFL absorb requires the task's payload model");
+  Model& sub = *trained;
+  loss_sum_ += res.avg_loss;
+
+  // Element-wise coverage-weighted accumulation into the global model.
+  auto sidx = param_index(sub);
+  const float n = static_cast<float>(res.num_samples);
+  for (auto& pair : align_params(*global_, sub)) {
+    Tensor& a = acc_[gidx_.at(pair.dst)];
+    Tensor& w = wsum_[gidx_.at(pair.dst)];
+    const Tensor& d = res.delta[sidx.at(pair.src)];
+    for_each_overlap(*pair.dst, *pair.src,
+                     [&](std::int64_t gi, std::int64_t si) {
+                       a[gi] += n * d[si];
+                       w[gi] += n;
+                     });
+  }
+
+  bill_trained_update(ctx, task.client,
+                      static_cast<double>(sub.param_bytes()),
+                      static_cast<double>(sub.macs()), res, slowest_);
+}
+
+void HeteroFLStrategy::lost_update(const ClientTask& task,
+                                   ClientOutcome outcome, RoundContext& ctx) {
+  const auto lvl = static_cast<std::size_t>(task.tag);
+  bill_lost_update(ctx, outcome, level_bytes_[lvl], level_macs_[lvl]);
+}
+
+void HeteroFLStrategy::finish_round(RoundContext& ctx, RoundRecord& rec) {
+  (void)ctx;
+  WeightSet global_w = global_->weights();
+  for (std::size_t p = 0; p < global_w.size(); ++p)
+    for (std::int64_t e = 0; e < global_w[p].numel(); ++e)
+      if (wsum_[p][e] > 0.0f) global_w[p][e] -= acc_[p][e] / wsum_[p][e];
+  global_->set_weights(global_w);
+
+  rec.avg_loss = round_tasks_ == 0
+                     ? 0.0
+                     : loss_sum_ / static_cast<double>(round_tasks_);
+  rec.round_time_s = slowest_;
+}
+
+double HeteroFLStrategy::probe_accuracy(const std::vector<int>& ids,
+                                        RoundContext& ctx) {
+  double s = 0.0;
+  for (int c : ids) {
+    Model sub = submodel(level_for(c));
+    s += evaluate_accuracy(sub, ctx.data.client(c));
+  }
+  return s / static_cast<double>(ids.size());
+}
+
+HeteroFLRunner::HeteroFLRunner(ModelSpec full_spec,
+                               const FederatedDataset& data,
+                               std::vector<DeviceProfile> fleet,
+                               BaselineConfig cfg,
+                               std::vector<double> width_ratios)
+    : data_(data) {
+  auto strategy = std::make_unique<HeteroFLStrategy>(std::move(full_spec),
+                                                     std::move(width_ratios));
+  strategy_ = strategy.get();
+  engine_ = std::make_unique<FederationEngine>(
+      std::move(strategy), data, std::move(fleet),
+      static_cast<const SessionConfig&>(cfg));
 }
 
 BaselineReport HeteroFLRunner::report() {
   BaselineReport rep;
   for (int c = 0; c < data_.num_clients(); ++c) {
-    Model sub = submodel(level_for(c));
+    Model sub = strategy_->submodel(strategy_->level_for(c));
     rep.client_accuracy.push_back(evaluate_accuracy(sub, data_.client(c)));
   }
   rep.mean_accuracy = mean(rep.client_accuracy);
   rep.accuracy_iqr = iqr(rep.client_accuracy);
-  rep.costs = costs_;
-  rep.history = history_;
+  rep.costs = engine_->costs();
+  rep.history = engine_->history();
   return rep;
 }
 

@@ -1,26 +1,38 @@
 #pragma once
 
+#include <unordered_map>
+
 #include "baselines/common.hpp"
+#include "fl/engine.hpp"
 #include "model/model.hpp"
 
 namespace fedtrans {
 
-/// HeteroFL (Diao et al., ICLR 2020): a *static* ladder of width-scaled
-/// submodels of one global model. Each client trains the largest submodel
-/// its capacity allows; submodel weights are the top-left (prefix) crop of
-/// the global weights; the server averages each global parameter element
-/// over exactly the clients whose submodels cover it.
-class HeteroFLRunner {
+/// HeteroFL (Diao et al., ICLR 2020) as an engine Strategy: a *static*
+/// ladder of width-scaled submodels of one global model. Each client trains
+/// the largest submodel its capacity allows; submodel weights are the
+/// top-left (prefix) crop of the global weights; the server averages each
+/// global parameter element over exactly the clients whose submodels cover
+/// it.
+class HeteroFLStrategy : public Strategy {
  public:
   /// `width_ratios` must be descending and start at 1.0 (the full model).
-  HeteroFLRunner(ModelSpec full_spec, const FederatedDataset& data,
-                 std::vector<DeviceProfile> fleet, BaselineConfig cfg,
-                 std::vector<double> width_ratios = {1.0, 0.5, 0.25, 0.125,
-                                                     0.0625});
+  HeteroFLStrategy(ModelSpec full_spec, std::vector<double> width_ratios);
 
-  double run_round();
-  void run();
-  BaselineReport report();
+  std::string name() const override { return "heterofl"; }
+  void attach(RoundContext& ctx, Rng& rng) override;
+  std::vector<ClientTask> plan_round(RoundContext& ctx, Rng& rng) override;
+  Model client_payload(const ClientTask& task) override;
+  // One submodel per capacity level: same level, same bytes.
+  int payload_key(const ClientTask& task) const override { return task.tag; }
+  const Model& reference_model() const override { return *global_; }
+  void absorb_update(const ClientTask& task, Model* trained,
+                     LocalTrainResult& res, RoundContext& ctx) override;
+  void lost_update(const ClientTask& task, ClientOutcome outcome,
+                   RoundContext& ctx) override;
+  void finish_round(RoundContext& ctx, RoundRecord& rec) override;
+  double probe_accuracy(const std::vector<int>& ids,
+                        RoundContext& ctx) override;
 
   Model& global() { return *global_; }
   int num_levels() const { return static_cast<int>(level_specs_.size()); }
@@ -30,16 +42,48 @@ class HeteroFLRunner {
   Model submodel(int level);
 
  private:
-  const FederatedDataset& data_;
-  std::vector<DeviceProfile> fleet_;
-  BaselineConfig cfg_;
-  Rng rng_;
+  ModelSpec full_spec_;
+  std::vector<double> width_ratios_;
+  const std::vector<DeviceProfile>* fleet_ = nullptr;
   std::unique_ptr<Model> global_;
   std::vector<ModelSpec> level_specs_;
   std::vector<double> level_macs_;
-  CostMeter costs_;
-  std::vector<RoundRecord> history_;
-  int round_ = 0;
+  std::vector<double> level_bytes_;
+
+  // Per-round accumulators. gidx_ indexes the global params once per round
+  // (global_ is stable until finish_round) instead of once per update.
+  WeightSet acc_;
+  WeightSet wsum_;
+  std::unordered_map<const Tensor*, std::size_t> gidx_;
+  double loss_sum_ = 0.0;
+  double slowest_ = 0.0;
+  std::size_t round_tasks_ = 0;
+};
+
+/// Historical entry point — a thin shim over FederationEngine +
+/// HeteroFLStrategy (bitwise parity with direct engine use is
+/// test-enforced).
+class HeteroFLRunner {
+ public:
+  HeteroFLRunner(ModelSpec full_spec, const FederatedDataset& data,
+                 std::vector<DeviceProfile> fleet, BaselineConfig cfg,
+                 std::vector<double> width_ratios = {1.0, 0.5, 0.25, 0.125,
+                                                     0.0625});
+
+  double run_round() { return engine_->run_round(); }
+  void run() { engine_->run(); }
+  BaselineReport report();
+
+  Model& global() { return strategy_->global(); }
+  int num_levels() const { return strategy_->num_levels(); }
+  int level_for(int client) const { return strategy_->level_for(client); }
+  Model submodel(int level) { return strategy_->submodel(level); }
+  FederationEngine& engine() { return *engine_; }
+
+ private:
+  const FederatedDataset& data_;
+  HeteroFLStrategy* strategy_;  // owned by engine_
+  std::unique_ptr<FederationEngine> engine_;
 };
 
 }  // namespace fedtrans

@@ -4,105 +4,119 @@
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
-#include "fl/runner.hpp"
 #include "model/align.hpp"
 #include "nn/loss.hpp"
 
 namespace fedtrans {
 
-SplitMixRunner::SplitMixRunner(ModelSpec full_spec,
-                               const FederatedDataset& data,
-                               std::vector<DeviceProfile> fleet,
-                               BaselineConfig cfg, int num_bases)
-    : data_(data), fleet_(std::move(fleet)), cfg_(cfg), rng_(cfg.seed) {
-  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
-               "fleet size must match client count");
-  FT_CHECK(num_bases >= 1);
-  const ModelSpec base_spec =
-      scale_widths(full_spec, 1.0 / static_cast<double>(num_bases));
-  for (int i = 0; i < num_bases; ++i)
-    bases_.push_back(std::make_unique<Model>(base_spec, rng_));
-  base_macs_ = static_cast<double>(bases_.front()->macs());
-  costs_.note_storage(static_cast<double>(num_bases) *
-                      static_cast<double>(bases_.front()->param_bytes()));
+SplitMixStrategy::SplitMixStrategy(ModelSpec full_spec, int num_bases)
+    : full_spec_(std::move(full_spec)), requested_bases_(num_bases) {
+  FT_CHECK(requested_bases_ >= 1);
 }
 
-int SplitMixRunner::budget_for(int client) const {
-  const double cap = fleet_[static_cast<std::size_t>(client)].capacity_macs;
+void SplitMixStrategy::attach(RoundContext& ctx, Rng& rng) {
+  data_ = &ctx.data;
+  fleet_ = &ctx.fleet;
+  const ModelSpec base_spec =
+      scale_widths(full_spec_, 1.0 / static_cast<double>(requested_bases_));
+  for (int i = 0; i < requested_bases_; ++i)
+    bases_.push_back(std::make_unique<Model>(base_spec, rng));
+  base_macs_ = static_cast<double>(bases_.front()->macs());
+}
+
+int SplitMixStrategy::budget_for(int client) const {
+  const double cap =
+      (*fleet_)[static_cast<std::size_t>(client)].capacity_macs;
   const int m = static_cast<int>(cap / base_macs_);
   return std::clamp(m, 1, num_bases());
 }
 
-double SplitMixRunner::run_round() {
-  auto selected = FedAvgRunner::select_clients(data_.num_clients(),
-                                               cfg_.clients_per_round, rng_);
-  const int nb = num_bases();
-  std::vector<WeightSet> acc(static_cast<std::size_t>(nb));
-  std::vector<double> wsum(static_cast<std::size_t>(nb), 0.0);
-
-  double loss_sum = 0.0;
-  int loss_cnt = 0;
-  double slowest = 0.0;
-  const double base_bytes =
-      static_cast<double>(bases_.front()->param_bytes());
-  for (int c : selected) {
-    const int m = budget_for(c);
-    double client_time = 0.0;
-    for (int t = 0; t < m; ++t) {
-      // Rotate base assignment so every base sees diverse clients.
-      const int b = (c + round_ + t) % nb;
-      Model local = *bases_[static_cast<std::size_t>(b)];
-      Rng crng = rng_.fork();
-      auto res = local_train(local, data_.client(c), cfg_.local, crng);
-      if (acc[static_cast<std::size_t>(b)].empty())
-        acc[static_cast<std::size_t>(b)] = ws_zeros_like(res.delta);
-      ws_axpy(acc[static_cast<std::size_t>(b)],
-              static_cast<float>(res.num_samples), res.delta);
-      wsum[static_cast<std::size_t>(b)] += res.num_samples;
-      loss_sum += res.avg_loss;
-      ++loss_cnt;
-      costs_.add_training_macs(res.macs_used);
-      costs_.add_transfer(base_bytes, base_bytes);
-      client_time += client_round_time_s(
-          fleet_[static_cast<std::size_t>(c)], base_macs_, cfg_.local.steps,
-          cfg_.local.batch, base_bytes);
-    }
-    costs_.add_client_round_time(client_time);
-    slowest = std::max(slowest, client_time);
-  }
-
-  for (int b = 0; b < nb; ++b) {
-    if (wsum[static_cast<std::size_t>(b)] <= 0.0) continue;
-    ws_scale(acc[static_cast<std::size_t>(b)],
-             static_cast<float>(1.0 / wsum[static_cast<std::size_t>(b)]));
-    Model& base = *bases_[static_cast<std::size_t>(b)];
-    WeightSet w = base.weights();
-    ws_sub(w, acc[static_cast<std::size_t>(b)]);
-    base.set_weights(w);
-  }
-
-  RoundRecord rec;
-  rec.round = round_;
-  rec.avg_loss = loss_cnt > 0 ? loss_sum / loss_cnt : 0.0;
-  rec.cum_macs = costs_.total_macs();
-  rec.round_time_s = slowest;
-  if (cfg_.eval_every > 0 && round_ % cfg_.eval_every == 0) {
-    Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(round_));
-    const int k = cfg_.eval_clients > 0
-                      ? std::min(cfg_.eval_clients, data_.num_clients())
-                      : data_.num_clients();
-    auto ids = FedAvgRunner::select_clients(data_.num_clients(), k, erng);
-    double s = 0.0;
-    for (int c : ids) s += ensemble_accuracy(c, budget_for(c));
-    rec.accuracy = s / static_cast<double>(ids.size());
-  }
-  history_.push_back(rec);
-  ++round_;
-  return rec.avg_loss;
+int SplitMixStrategy::base_of(const ClientTask& task) const {
+  // Rotate base assignment so every base sees diverse clients.
+  return (task.client + cur_round_ + task.tag) % num_bases();
 }
 
-double SplitMixRunner::ensemble_accuracy(int client, int m) {
-  const auto& cd = data_.client(client);
+std::vector<ClientTask> SplitMixStrategy::plan_round(RoundContext& ctx,
+                                                     Rng& rng) {
+  auto selected = ctx.selector.select(ctx.data.num_clients(),
+                                      ctx.session.clients_per_round, rng);
+  cur_round_ = ctx.round;
+
+  // One task per (client, base-slot) pair, client-major — the same order
+  // the legacy nested loop trained (and forked Rngs) in.
+  std::vector<ClientTask> tasks;
+  for (int c : selected) {
+    const int m = budget_for(c);
+    for (int t = 0; t < m; ++t) tasks.push_back(ClientTask{c, t});
+  }
+
+  acc_.assign(static_cast<std::size_t>(num_bases()), WeightSet{});
+  wsum_.assign(static_cast<std::size_t>(num_bases()), 0.0);
+  loss_sum_ = 0.0;
+  loss_cnt_ = 0;
+  slowest_ = 0.0;
+  pending_client_ = -1;
+  pending_time_ = 0.0;
+  return tasks;
+}
+
+Model SplitMixStrategy::client_payload(const ClientTask& task) {
+  return *bases_[static_cast<std::size_t>(base_of(task))];
+}
+
+void SplitMixStrategy::flush_client_time(RoundContext& ctx) {
+  if (pending_client_ < 0) return;
+  ctx.costs.add_client_round_time(pending_time_);
+  slowest_ = std::max(slowest_, pending_time_);
+  pending_client_ = -1;
+  pending_time_ = 0.0;
+}
+
+void SplitMixStrategy::absorb_update(const ClientTask& task, Model*,
+                                     LocalTrainResult& res,
+                                     RoundContext& ctx) {
+  const auto b = static_cast<std::size_t>(base_of(task));
+  if (acc_[b].empty()) acc_[b] = ws_zeros_like(res.delta);
+  ws_axpy(acc_[b], static_cast<float>(res.num_samples), res.delta);
+  wsum_[b] += res.num_samples;
+  loss_sum_ += res.avg_loss;
+  ++loss_cnt_;
+
+  const double base_bytes =
+      static_cast<double>(bases_.front()->param_bytes());
+  ctx.costs.add_training_macs(res.macs_used);
+  ctx.costs.add_transfer(base_bytes, base_bytes);
+  if (pending_client_ != task.client) flush_client_time(ctx);
+  pending_client_ = task.client;
+  pending_time_ += client_round_time_s(
+      ctx.fleet[static_cast<std::size_t>(task.client)], base_macs_,
+      ctx.session.local.steps, ctx.session.local.batch, base_bytes);
+}
+
+void SplitMixStrategy::lost_update(const ClientTask&, ClientOutcome outcome,
+                                   RoundContext& ctx) {
+  bill_lost_update(ctx, outcome,
+                   static_cast<double>(bases_.front()->param_bytes()),
+                   base_macs_);
+}
+
+void SplitMixStrategy::finish_round(RoundContext& ctx, RoundRecord& rec) {
+  flush_client_time(ctx);
+  for (int b = 0; b < num_bases(); ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    if (wsum_[bi] <= 0.0) continue;
+    ws_scale(acc_[bi], static_cast<float>(1.0 / wsum_[bi]));
+    Model& base = *bases_[bi];
+    WeightSet w = base.weights();
+    ws_sub(w, acc_[bi]);
+    base.set_weights(w);
+  }
+  rec.avg_loss = loss_cnt_ > 0 ? loss_sum_ / loss_cnt_ : 0.0;
+  rec.round_time_s = slowest_;
+}
+
+double SplitMixStrategy::ensemble_accuracy(int client, int m) {
+  const auto& cd = data_->client(client);
   const int n = cd.eval_size();
   if (n == 0) return 0.0;
   Tensor sum_logits;
@@ -118,18 +132,35 @@ double SplitMixRunner::ensemble_accuracy(int client, int m) {
   return static_cast<double>(count_correct(sum_logits, cd.y_eval)) / n;
 }
 
-void SplitMixRunner::run() {
-  for (int r = 0; r < cfg_.rounds; ++r) run_round();
+double SplitMixStrategy::probe_accuracy(const std::vector<int>& ids,
+                                        RoundContext&) {
+  double s = 0.0;
+  for (int c : ids) s += ensemble_accuracy(c, budget_for(c));
+  return s / static_cast<double>(ids.size());
+}
+
+SplitMixRunner::SplitMixRunner(ModelSpec full_spec,
+                               const FederatedDataset& data,
+                               std::vector<DeviceProfile> fleet,
+                               BaselineConfig cfg, int num_bases)
+    : data_(data) {
+  auto strategy =
+      std::make_unique<SplitMixStrategy>(std::move(full_spec), num_bases);
+  strategy_ = strategy.get();
+  engine_ = std::make_unique<FederationEngine>(
+      std::move(strategy), data, std::move(fleet),
+      static_cast<const SessionConfig&>(cfg));
 }
 
 BaselineReport SplitMixRunner::report() {
   BaselineReport rep;
   for (int c = 0; c < data_.num_clients(); ++c)
-    rep.client_accuracy.push_back(ensemble_accuracy(c, budget_for(c)));
+    rep.client_accuracy.push_back(
+        strategy_->ensemble_accuracy(c, strategy_->budget_for(c)));
   rep.mean_accuracy = mean(rep.client_accuracy);
   rep.accuracy_iqr = iqr(rep.client_accuracy);
-  rep.costs = costs_;
-  rep.history = history_;
+  rep.costs = engine_->costs();
+  rep.history = engine_->history();
   return rep;
 }
 

@@ -3,43 +3,96 @@
 #include <memory>
 
 #include "baselines/common.hpp"
+#include "fl/engine.hpp"
 #include "model/model.hpp"
 
 namespace fedtrans {
 
-/// SplitMix (Hong et al., ICLR 2022): splits the width of a large model into
-/// `num_bases` independent narrow base models. Each client trains (and at
-/// inference ensembles) as many bases as its capacity affords; bases are
-/// FedAvg-aggregated independently. The per-round ensemble shipping is what
-/// drives SplitMix's large network volumes in the paper's Table 2.
+/// SplitMix (Hong et al., ICLR 2022) as an engine Strategy: splits the
+/// width of a large model into `num_bases` independent narrow base models.
+/// Each client trains (and at inference ensembles) as many bases as its
+/// capacity affords — one engine task per (client, base) pair — and bases
+/// are FedAvg-aggregated independently. The per-round ensemble shipping is
+/// what drives SplitMix's large network volumes in the paper's Table 2.
+class SplitMixStrategy : public Strategy {
+ public:
+  SplitMixStrategy(ModelSpec full_spec, int num_bases);
+
+  std::string name() const override { return "splitmix"; }
+  void attach(RoundContext& ctx, Rng& rng) override;
+  std::vector<ClientTask> plan_round(RoundContext& ctx, Rng& rng) override;
+  Model client_payload(const ClientTask& task) override;
+  // Every task of a base trains that base's exact weights.
+  int payload_key(const ClientTask& task) const override {
+    return base_of(task);
+  }
+  const Model& reference_model() const override { return *bases_.front(); }
+  double initial_storage_bytes() const override {
+    return static_cast<double>(num_bases()) *
+           static_cast<double>(bases_.front()->param_bytes());
+  }
+  void absorb_update(const ClientTask& task, Model* trained,
+                     LocalTrainResult& res, RoundContext& ctx) override;
+  void lost_update(const ClientTask& task, ClientOutcome outcome,
+                   RoundContext& ctx) override;
+  void finish_round(RoundContext& ctx, RoundRecord& rec) override;
+  double probe_accuracy(const std::vector<int>& ids,
+                        RoundContext& ctx) override;
+
+  int num_bases() const { return static_cast<int>(bases_.size()); }
+  /// How many bases the client can run (≥1, ≤ num_bases).
+  int budget_for(int client) const;
+  Model& base(int i) { return *bases_[static_cast<std::size_t>(i)]; }
+  /// Average ensemble accuracy of the first `m` bases (rotated per client).
+  double ensemble_accuracy(int client, int m);
+
+ private:
+  /// Base trained by `task` under this round's rotation.
+  int base_of(const ClientTask& task) const;
+  void flush_client_time(RoundContext& ctx);
+
+  ModelSpec full_spec_;
+  int requested_bases_;
+  const FederatedDataset* data_ = nullptr;
+  const std::vector<DeviceProfile>* fleet_ = nullptr;
+  std::vector<std::unique_ptr<Model>> bases_;
+  double base_macs_ = 0.0;
+
+  // Per-round accumulators.
+  int cur_round_ = 0;
+  std::vector<WeightSet> acc_;
+  std::vector<double> wsum_;
+  double loss_sum_ = 0.0;
+  int loss_cnt_ = 0;
+  double slowest_ = 0.0;
+  // Per-client device time accumulates across that client's base tasks
+  // (tasks are client-major, so a flush on client change reproduces the
+  // legacy per-client billing order).
+  int pending_client_ = -1;
+  double pending_time_ = 0.0;
+};
+
+/// Historical entry point — a thin shim over FederationEngine +
+/// SplitMixStrategy.
 class SplitMixRunner {
  public:
   SplitMixRunner(ModelSpec full_spec, const FederatedDataset& data,
                  std::vector<DeviceProfile> fleet, BaselineConfig cfg,
                  int num_bases = 8);
 
-  double run_round();
-  void run();
+  double run_round() { return engine_->run_round(); }
+  void run() { engine_->run(); }
   BaselineReport report();
 
-  int num_bases() const { return static_cast<int>(bases_.size()); }
-  /// How many bases the client can run (≥1, ≤ num_bases).
-  int budget_for(int client) const;
-  Model& base(int i) { return *bases_[static_cast<std::size_t>(i)]; }
+  int num_bases() const { return strategy_->num_bases(); }
+  int budget_for(int client) const { return strategy_->budget_for(client); }
+  Model& base(int i) { return strategy_->base(i); }
+  FederationEngine& engine() { return *engine_; }
 
  private:
-  /// Average ensemble accuracy of the first `m` bases (rotated per client).
-  double ensemble_accuracy(int client, int m);
-
   const FederatedDataset& data_;
-  std::vector<DeviceProfile> fleet_;
-  BaselineConfig cfg_;
-  Rng rng_;
-  std::vector<std::unique_ptr<Model>> bases_;
-  double base_macs_ = 0.0;
-  CostMeter costs_;
-  std::vector<RoundRecord> history_;
-  int round_ = 0;
+  SplitMixStrategy* strategy_;  // owned by engine_
+  std::unique_ptr<FederationEngine> engine_;
 };
 
 }  // namespace fedtrans

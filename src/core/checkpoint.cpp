@@ -3,7 +3,10 @@
 // planet-scale FL runs span days and preemptible infrastructure, so the
 // coordinator must be restartable without perturbing the training
 // trajectory (FedScale and production systems like Papaya checkpoint the
-// same way).
+// same way). Since the engine refactor the state is split between the
+// FedTransStrategy (model family, utilities, DoC/activeness, transform
+// counters) and the FederationEngine (Rng, costs, selector, round counter,
+// history); the checkpoint serializes both.
 
 #include <fstream>
 
@@ -17,91 +20,96 @@ namespace fedtrans {
 namespace {
 
 constexpr std::uint64_t kCheckpointMagic = 0xfed72a45c8c9ULL;
-// v2: RoundRecord grew participants/lost_updates (PR 2 federation
-// fabric); v1 checkpoints have a different record size and must be
-// rejected by the version check rather than misparsed.
-constexpr std::uint32_t kCheckpointVersion = 2;
+// v2: RoundRecord grew participants/lost_updates (PR 2 federation fabric).
+// v3: the engine refactor (PR 3) moved Rng/costs/round/history into the
+// FederationEngine; the layout is unchanged but the compatibility break is
+// versioned so older checkpoints fail loudly instead of misparsing.
+constexpr std::uint32_t kCheckpointVersion = 3;
 
 }  // namespace
 
 void FedTransTrainer::save_checkpoint(std::ostream& os) {
+  FedTransStrategy& s = *strategy_;
   write_pod(os, kCheckpointMagic);
   write_pod(os, kCheckpointVersion);
   // Compatibility fingerprint: restoring into a trainer with a different
   // fleet/dataset/seed would silently diverge, so fail loudly instead.
-  write_pod<std::uint64_t>(os, cfg_.seed);
-  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(fleet_.size()));
+  write_pod<std::uint64_t>(os, s.cfg_.seed);
+  write_pod<std::uint32_t>(os,
+                           static_cast<std::uint32_t>(engine_->fleet().size()));
 
   // Model family.
-  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(models_.size()));
-  for (auto& e : models_) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.models_.size()));
+  for (auto& e : s.models_) {
     write_pod<std::int32_t>(os, e.id);
     write_pod<std::int32_t>(os, e.created_round);
     save_model(*e.model, os);
     e.opt->save_state(os);
   }
 
-  cm_->save(os);
-  doc_.save(os);
-  act_->save(os);
-  costs_.save(os);
-  selector_->save_state(os);
+  s.cm_->save(os);
+  s.doc_.save(os);
+  s.act_->save(os);
+  engine_->costs().save(os);
+  engine_->selector().save_state(os);
 
-  write_pod(os, rng_.state());
-  write_pod<std::int32_t>(os, round_);
-  write_pod<std::int32_t>(os, transforms_);
-  write_pod<std::int32_t>(os, next_model_id_);
-  write_pod<std::uint8_t>(os, exhausted_ ? 1 : 0);
+  write_pod(os, engine_->rng().state());
+  write_pod<std::int32_t>(os, engine_->rounds_done());
+  write_pod<std::int32_t>(os, s.transforms_);
+  write_pod<std::int32_t>(os, s.next_model_id_);
+  write_pod<std::uint8_t>(os, s.exhausted_ ? 1 : 0);
 
-  write_pod<std::uint64_t>(os, history_.size());
-  for (const auto& rec : history_) write_pod(os, rec);
+  write_pod<std::uint64_t>(os, engine_->history().size());
+  for (const auto& rec : engine_->history()) write_pod(os, rec);
   FT_CHECK_MSG(os.good(), "checkpoint write failed");
 }
 
 void FedTransTrainer::load_checkpoint(std::istream& is) {
+  FedTransStrategy& s = *strategy_;
   FT_CHECK_MSG(read_pod<std::uint64_t>(is) == kCheckpointMagic,
                "not a FedTrans checkpoint");
   FT_CHECK_MSG(read_pod<std::uint32_t>(is) == kCheckpointVersion,
                "unsupported checkpoint version");
-  FT_CHECK_MSG(read_pod<std::uint64_t>(is) == cfg_.seed,
+  FT_CHECK_MSG(read_pod<std::uint64_t>(is) == s.cfg_.seed,
                "checkpoint was written with a different seed");
-  FT_CHECK_MSG(read_pod<std::uint32_t>(is) == fleet_.size(),
+  FT_CHECK_MSG(read_pod<std::uint32_t>(is) == engine_->fleet().size(),
                "checkpoint was written with a different fleet");
 
   const auto n_models = read_pod<std::uint32_t>(is);
   FT_CHECK_MSG(n_models >= 1, "checkpoint holds no models");
-  models_.clear();
+  s.models_.clear();
   for (std::uint32_t i = 0; i < n_models; ++i) {
     ModelEntry e;
     e.id = read_pod<std::int32_t>(is);
     e.created_round = read_pod<std::int32_t>(is);
     e.model = std::make_unique<Model>(load_model(is));
-    e.opt = make_server_opt(cfg_.server_opt);
+    e.opt = make_server_opt(s.cfg_.server_opt);
     e.opt->load_state(is);
-    models_.push_back(std::move(e));
+    s.models_.push_back(std::move(e));
   }
 
-  cm_->load(is);
-  FT_CHECK_MSG(cm_->num_models() == static_cast<int>(n_models),
+  s.cm_->load(is);
+  FT_CHECK_MSG(s.cm_->num_models() == static_cast<int>(n_models),
                "checkpoint client-manager/model count mismatch");
-  doc_.load(is);
-  act_ = std::make_unique<ActivenessTracker>(
-      models_.back().model->num_cells(), cfg_.act_window);
-  act_->load(is);
-  costs_.load(is);
-  selector_->load_state(is);
+  s.doc_.load(is);
+  s.act_ = std::make_unique<ActivenessTracker>(
+      s.models_.back().model->num_cells(), s.cfg_.act_window);
+  s.act_->load(is);
+  engine_->costs_mutable().load(is);
+  engine_->selector().load_state(is);
 
-  rng_.set_state(read_pod<std::array<std::uint64_t, 4>>(is));
-  round_ = read_pod<std::int32_t>(is);
-  transforms_ = read_pod<std::int32_t>(is);
-  next_model_id_ = read_pod<std::int32_t>(is);
-  exhausted_ = read_pod<std::uint8_t>(is) != 0;
+  engine_->rng().set_state(read_pod<std::array<std::uint64_t, 4>>(is));
+  engine_->set_rounds_done(read_pod<std::int32_t>(is));
+  s.transforms_ = read_pod<std::int32_t>(is);
+  s.next_model_id_ = read_pod<std::int32_t>(is);
+  s.exhausted_ = read_pod<std::uint8_t>(is) != 0;
 
   const auto n_hist = read_pod<std::uint64_t>(is);
-  history_.clear();
-  history_.reserve(static_cast<std::size_t>(n_hist));
+  auto& history = engine_->history_mutable();
+  history.clear();
+  history.reserve(static_cast<std::size_t>(n_hist));
   for (std::uint64_t i = 0; i < n_hist; ++i)
-    history_.push_back(read_pod<RoundRecord>(is));
+    history.push_back(read_pod<RoundRecord>(is));
 }
 
 void FedTransTrainer::save_checkpoint_file(const std::string& path) {

@@ -6,34 +6,30 @@
 #include "common/check.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
-#include "fl/runner.hpp"
 
 namespace fedtrans {
 
-FedTransTrainer::FedTransTrainer(ModelSpec initial,
-                                 const FederatedDataset& data,
-                                 std::vector<DeviceProfile> fleet,
-                                 FedTransConfig cfg)
-    : data_(data),
-      fleet_(std::move(fleet)),
+FedTransStrategy::FedTransStrategy(ModelSpec initial, FedTransConfig cfg)
+    : initial_spec_(std::move(initial)),
       cfg_(cfg),
-      rng_(cfg.seed),
       aggregator_({cfg.eta, cfg.enable_soft_agg, cfg.enable_decay,
                    cfg.enable_l2s}),
-      doc_(cfg.gamma, cfg.doc_delta) {
-  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
-               "fleet size must match client count");
-  selector_ = make_selector(cfg_.selector);
+      doc_(cfg.gamma, cfg.doc_delta) {}
+
+void FedTransStrategy::attach(RoundContext& ctx, Rng& rng) {
+  data_ = &ctx.data;
+  fleet_ = &ctx.fleet;
+
   ModelEntry entry;
-  entry.model = std::make_unique<Model>(std::move(initial), rng_);
+  entry.model = std::make_unique<Model>(std::move(initial_spec_), rng);
   entry.id = 0;
   entry.created_round = 0;
   entry.opt = make_server_opt(cfg_.server_opt);
   models_.push_back(std::move(entry));
 
   std::vector<double> caps;
-  caps.reserve(fleet_.size());
-  for (const auto& d : fleet_) {
+  caps.reserve(fleet_->size());
+  for (const auto& d : *fleet_) {
     caps.push_back(d.capacity_macs);
     max_capacity_ = std::max(max_capacity_, d.capacity_macs);
   }
@@ -42,117 +38,97 @@ FedTransTrainer::FedTransTrainer(ModelSpec initial,
                  static_cast<double>(models_[0].model->macs()), -1);
   act_ = std::make_unique<ActivenessTracker>(models_[0].model->num_cells(),
                                              cfg_.act_window);
-  costs_.note_storage(static_cast<double>(models_[0].model->param_bytes()));
 }
 
-std::vector<Model*> FedTransTrainer::model_ptrs() {
+std::vector<Model*> FedTransStrategy::model_ptrs() {
   std::vector<Model*> ptrs;
   ptrs.reserve(models_.size());
   for (auto& e : models_) ptrs.push_back(e.model.get());
   return ptrs;
 }
 
-double FedTransTrainer::run_round() {
+std::vector<ClientTask> FedTransStrategy::plan_round(RoundContext& ctx,
+                                                     Rng& rng) {
+  auto tasks = Strategy::plan_round(ctx, rng);
+  const auto n_models = static_cast<std::size_t>(num_models());
+  acc_.assign(n_models, WeightSet{});
+  wsum_.assign(n_models, 0.0);
+  loss_sum_.assign(n_models, 0.0);
+  loss_cnt_.assign(n_models, 0);
+  parts_.clear();
+  parts_.reserve(tasks.size());
+  slowest_ = 0.0;
+  return tasks;
+}
+
+void FedTransStrategy::prepare_task(ClientTask& task, Rng& rng,
+                                    RoundContext&) {
+  // Model assignment consumes the coordinator Rng in task order — the same
+  // sequential pre-pass (assign, fork, assign, fork, …) the legacy trainer
+  // ran, so draws stay bit-identical.
+  task.tag = cm_->assign(task.client, rng);
+}
+
+Model FedTransStrategy::client_payload(const ClientTask& task) {
+  return *models_[static_cast<std::size_t>(task.tag)].model;
+}
+
+void FedTransStrategy::absorb_update(const ClientTask& task, Model*,
+                                     LocalTrainResult& res,
+                                     RoundContext& ctx) {
+  const int c = task.client;
+  const auto k = static_cast<std::size_t>(task.tag);
+  Model& server_model = *models_[k].model;
+
+  if (acc_[k].empty()) acc_[k] = ws_zeros_like(res.delta);
+  ws_axpy(acc_[k], static_cast<float>(res.num_samples), res.delta);
+  wsum_[k] += res.num_samples;
+  loss_sum_[k] += res.avg_loss;
+  ++loss_cnt_[k];
+  parts_.push_back({c, task.tag, res.avg_loss});
+  ctx.selector.report(c, res.avg_loss, res.num_samples);
+
+  bill_trained_update(ctx, c, static_cast<double>(server_model.param_bytes()),
+                      static_cast<double>(server_model.macs()), res, slowest_);
+}
+
+void FedTransStrategy::lost_update(const ClientTask& task,
+                                   ClientOutcome outcome, RoundContext& ctx) {
+  Model& m = *models_[static_cast<std::size_t>(task.tag)].model;
+  bill_lost_update(ctx, outcome, static_cast<double>(m.param_bytes()),
+                   static_cast<double>(m.macs()));
+}
+
+void FedTransStrategy::finish_round(RoundContext& ctx, RoundRecord& rec) {
   const int n_models = num_models();
-  auto selected = selector_->select(data_.num_clients(),
-                                    cfg_.clients_per_round, rng_);
-
-  // Per-model accumulators for FedAvg.
-  std::vector<WeightSet> acc(static_cast<std::size_t>(n_models));
-  std::vector<double> wsum(static_cast<std::size_t>(n_models), 0.0);
-  std::vector<double> loss_sum(static_cast<std::size_t>(n_models), 0.0);
-  std::vector<int> loss_cnt(static_cast<std::size_t>(n_models), 0);
-
-  struct Participation {
-    int client;
-    int model;
-    double loss;
-  };
-  std::vector<Participation> parts;
-  parts.reserve(selected.size());
-
-  // Sequential pre-pass: model assignment and Rng forking consume rng_ in
-  // the exact order the serial loop did. The training itself is then
-  // embarrassingly parallel (each client works on a private model copy), and
-  // the reduction below runs in fixed selection order, so round metrics are
-  // bitwise-independent of the thread count.
-  std::vector<int> assigned(selected.size(), 0);
-  std::vector<Rng> client_rngs;
-  client_rngs.reserve(selected.size());
-  for (std::size_t i = 0; i < selected.size(); ++i) {
-    assigned[i] = cm_->assign(selected[i], rng_);
-    client_rngs.push_back(rng_.fork());
-  }
-  std::vector<LocalTrainResult> results(selected.size());
-  ThreadPool::global().parallel_for(
-      static_cast<std::int64_t>(selected.size()), 1,
-      [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          const auto idx = static_cast<std::size_t>(i);
-          Model local_model =
-              *models_[static_cast<std::size_t>(assigned[idx])].model;
-          results[idx] = local_train(local_model, data_.client(selected[idx]),
-                                     cfg_.local, client_rngs[idx]);
-        }
-      });
-
-  double slowest = 0.0;
-  for (std::size_t ci = 0; ci < selected.size(); ++ci) {
-    const int c = selected[ci];
-    const int k = assigned[ci];
-    Model& server_model = *models_[static_cast<std::size_t>(k)].model;
-    auto& res = results[ci];
-
-    if (acc[static_cast<std::size_t>(k)].empty())
-      acc[static_cast<std::size_t>(k)] = ws_zeros_like(res.delta);
-    ws_axpy(acc[static_cast<std::size_t>(k)],
-            static_cast<float>(res.num_samples), res.delta);
-    wsum[static_cast<std::size_t>(k)] += res.num_samples;
-    loss_sum[static_cast<std::size_t>(k)] += res.avg_loss;
-    ++loss_cnt[static_cast<std::size_t>(k)];
-    parts.push_back({c, k, res.avg_loss});
-    selector_->report(c, res.avg_loss, res.num_samples);
-
-    const double bytes = static_cast<double>(server_model.param_bytes());
-    costs_.add_training_macs(res.macs_used);
-    costs_.add_transfer(bytes, bytes);
-    const double t = client_round_time_s(
-        fleet_[static_cast<std::size_t>(c)],
-        static_cast<double>(server_model.macs()), cfg_.local.steps,
-        cfg_.local.batch, bytes);
-    costs_.add_client_round_time(t);
-    slowest = std::max(slowest, t);
-  }
 
   // Joint utility learning (Eq. 4) with per-round standardized losses.
   {
     std::vector<double> losses;
-    losses.reserve(parts.size());
+    losses.reserve(parts_.size());
     // Guard against diverged local runs: a non-finite loss is treated as
     // the worst finite loss of the round so it cannot poison utilities.
     double worst = 0.0;
-    for (const auto& p : parts)
+    for (const auto& p : parts_)
       if (std::isfinite(p.loss)) worst = std::max(worst, p.loss);
-    for (const auto& p : parts)
+    for (const auto& p : parts_)
       losses.push_back(std::isfinite(p.loss) ? p.loss : worst + 1.0);
     const auto std_losses = standardize(losses);
-    for (std::size_t i = 0; i < parts.size(); ++i)
-      cm_->update_utilities(parts[i].client, parts[i].model, std_losses[i]);
+    for (std::size_t i = 0; i < parts_.size(); ++i)
+      cm_->update_utilities(parts_[i].client, parts_[i].model, std_losses[i]);
   }
 
   // Per-model FedAvg.
   const int newest = n_models - 1;
   for (int k = 0; k < n_models; ++k) {
-    if (wsum[static_cast<std::size_t>(k)] <= 0.0) continue;
-    ws_scale(acc[static_cast<std::size_t>(k)],
-             static_cast<float>(1.0 / wsum[static_cast<std::size_t>(k)]));
-    Model& m = *models_[static_cast<std::size_t>(k)].model;
+    const auto ki = static_cast<std::size_t>(k);
+    if (wsum_[ki] <= 0.0) continue;
+    ws_scale(acc_[ki], static_cast<float>(1.0 / wsum_[ki]));
+    Model& m = *models_[ki].model;
     WeightSet w = m.weights();
-    models_[static_cast<std::size_t>(k)].opt->apply(
-        w, acc[static_cast<std::size_t>(k)]);
+    models_[ki].opt->apply(w, acc_[ki]);
     m.set_weights(w);
-    if (k == newest)
-      act_->add_round(m, acc[static_cast<std::size_t>(k)]);
+    if (k == newest) act_->add_round(m, acc_[ki]);
   }
 
   // Soft aggregation across the family (Eq. 5).
@@ -165,66 +141,37 @@ double FedTransTrainer::run_round() {
         sim[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
             cm_->similarity(i, j);
     auto ptrs = model_ptrs();
-    aggregator_.aggregate(ptrs, sim, round_);
+    aggregator_.aggregate(ptrs, sim, ctx.round);
   }
 
   // DoC bookkeeping on the newest model, then maybe transform.
   double round_loss = 0.0;
   int loss_models = 0;
   for (int k = 0; k < n_models; ++k)
-    if (loss_cnt[static_cast<std::size_t>(k)] > 0) {
-      round_loss += loss_sum[static_cast<std::size_t>(k)] /
-                    loss_cnt[static_cast<std::size_t>(k)];
+    if (loss_cnt_[static_cast<std::size_t>(k)] > 0) {
+      round_loss += loss_sum_[static_cast<std::size_t>(k)] /
+                    loss_cnt_[static_cast<std::size_t>(k)];
       ++loss_models;
     }
   const double mean_round_loss =
       loss_models > 0 ? round_loss / loss_models : 0.0;
-  if (loss_cnt[static_cast<std::size_t>(newest)] > 0)
-    doc_.add_loss(loss_sum[static_cast<std::size_t>(newest)] /
-                  loss_cnt[static_cast<std::size_t>(newest)]);
-  maybe_transform();
+  if (loss_cnt_[static_cast<std::size_t>(newest)] > 0)
+    doc_.add_loss(loss_sum_[static_cast<std::size_t>(newest)] /
+                  loss_cnt_[static_cast<std::size_t>(newest)]);
+  maybe_transform(ctx);
 
-  RoundRecord rec;
-  rec.round = round_;
   rec.avg_loss = mean_round_loss;
-  rec.cum_macs = costs_.total_macs();
-  rec.round_time_s = slowest;
-  if (cfg_.eval_every > 0 && round_ % cfg_.eval_every == 0) {
-    Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(round_));
-    const int k = cfg_.eval_clients > 0
-                      ? std::min(cfg_.eval_clients, data_.num_clients())
-                      : data_.num_clients();
-    auto ids = FedAvgRunner::select_clients(data_.num_clients(), k, erng);
-    // Private model copies per evaluation: forward() mutates layer caches.
-    std::vector<double> accs(ids.size(), 0.0);
-    ThreadPool::global().parallel_for(
-        static_cast<std::int64_t>(ids.size()), 1,
-        [&](std::int64_t lo, std::int64_t hi) {
-          for (std::int64_t i = lo; i < hi; ++i) {
-            const int c = ids[static_cast<std::size_t>(i)];
-            const int best = cm_->best_model(c);
-            Model probe = *models_[static_cast<std::size_t>(best)].model;
-            accs[static_cast<std::size_t>(i)] =
-                evaluate_accuracy(probe, data_.client(c));
-          }
-        });
-    double s = 0.0;
-    for (double a : accs) s += a;
-    rec.accuracy = s / static_cast<double>(ids.size());
-  }
-  history_.push_back(rec);
-  ++round_;
-  return mean_round_loss;
+  rec.round_time_s = slowest_;
 }
 
-void FedTransTrainer::maybe_transform() {
+void FedTransStrategy::maybe_transform(RoundContext& ctx) {
   if (!cfg_.enable_transform || exhausted_ || num_models() >= cfg_.max_models)
     return;
   if (!doc_.ready() || doc_.doc() > cfg_.beta) return;
 
   ModelEntry& parent = models_.back();
   const auto activeness = act_->activeness();
-  Rng trng = rng_.fork();
+  Rng trng = ctx.rng.fork();
   const TransformerOptions topts{cfg_.alpha, cfg_.widen_factor,
                                  cfg_.deepen_blocks,
                                  cfg_.enable_layer_selection,
@@ -251,7 +198,7 @@ void FedTransTrainer::maybe_transform() {
   ModelEntry entry;
   entry.model = std::make_unique<Model>(std::move(child));
   entry.id = child_id;
-  entry.created_round = round_;
+  entry.created_round = ctx.round;
   entry.opt = make_server_opt(cfg_.server_opt);
   cm_->add_model(entry.model->spec(),
                  static_cast<double>(entry.model->macs()), parent_index);
@@ -264,16 +211,32 @@ void FedTransTrainer::maybe_transform() {
   double storage = 0.0;
   for (const auto& e : models_)
     storage += static_cast<double>(e.model->param_bytes());
-  costs_.note_storage(storage);
+  ctx.costs.note_storage(storage);
 }
 
-void FedTransTrainer::run() {
-  for (int r = 0; r < cfg_.rounds; ++r) run_round();
+double FedTransStrategy::probe_accuracy(const std::vector<int>& ids,
+                                        RoundContext& ctx) {
+  // Private model copies per evaluation: forward() mutates layer caches.
+  std::vector<double> accs(ids.size(), 0.0);
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(ids.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const int c = ids[static_cast<std::size_t>(i)];
+          const int best = cm_->best_model(c);
+          Model probe = *models_[static_cast<std::size_t>(best)].model;
+          accs[static_cast<std::size_t>(i)] =
+              evaluate_accuracy(probe, ctx.data.client(c));
+        }
+      });
+  double s = 0.0;
+  for (double a : accs) s += a;
+  return s / static_cast<double>(ids.size());
 }
 
-FinalEval FedTransTrainer::evaluate_final() {
+FinalEval FedTransStrategy::evaluate_final() {
   FinalEval ev;
-  const auto n = static_cast<std::size_t>(data_.num_clients());
+  const auto n = static_cast<std::size_t>(data_->num_clients());
   ev.client_accuracy.assign(n, 0.0);
   ev.client_model.assign(n, 0);
   // Deployment evaluation is read-only on the family apart from layer
@@ -296,7 +259,7 @@ FinalEval FedTransTrainer::evaluate_final() {
             double best_loss = 1e300;
             for (int k : compat) {
               Model probe = *models_[static_cast<std::size_t>(k)].model;
-              const double l = evaluate_loss(probe, data_.client(c));
+              const double l = evaluate_loss(probe, data_->client(c));
               if (l < best_loss) {
                 best_loss = l;
                 best = k;
@@ -306,12 +269,24 @@ FinalEval FedTransTrainer::evaluate_final() {
           ev.client_model[static_cast<std::size_t>(i)] = best;
           Model deploy = *models_[static_cast<std::size_t>(best)].model;
           ev.client_accuracy[static_cast<std::size_t>(i)] =
-              evaluate_accuracy(deploy, data_.client(c));
+              evaluate_accuracy(deploy, data_->client(c));
         }
       });
   ev.mean_accuracy = mean(ev.client_accuracy);
   ev.accuracy_iqr = iqr(ev.client_accuracy);
   return ev;
+}
+
+FedTransTrainer::FedTransTrainer(ModelSpec initial,
+                                 const FederatedDataset& data,
+                                 std::vector<DeviceProfile> fleet,
+                                 FedTransConfig cfg) {
+  auto strategy =
+      std::make_unique<FedTransStrategy>(std::move(initial), cfg);
+  strategy_ = strategy.get();
+  engine_ = std::make_unique<FederationEngine>(
+      std::move(strategy), data, std::move(fleet),
+      static_cast<const SessionConfig&>(cfg));
 }
 
 }  // namespace fedtrans

@@ -1,23 +1,30 @@
 #pragma once
 
+#include <iosfwd>
 #include <memory>
-#include <optional>
 
 #include "core/aggregator.hpp"
 #include "core/client_manager.hpp"
 #include "core/signals.hpp"
 #include "core/transformer.hpp"
 #include "data/dataset.hpp"
+#include "fl/engine.hpp"
 #include "fl/local_train.hpp"
 #include "fl/metrics.hpp"
 #include "fl/selection.hpp"
 #include "fl/server_opt.hpp"
+#include "fl/session.hpp"
 #include "trace/device.hpp"
 
 namespace fedtrans {
 
-/// Full FedTrans configuration (paper §5.1 / Table 7 defaults where noted).
-struct FedTransConfig {
+/// Full FedTrans configuration (paper §5.1 / Table 7 defaults where noted):
+/// the layered engine SessionConfig (shared runtime + scheduling/transport)
+/// plus the Model Transformer / Model Aggregator knobs. Field-compatible
+/// with the historical flat struct.
+struct FedTransConfig : SessionConfig {
+  FedTransConfig() { rounds = 60; }
+
   // Model Transformer.
   double alpha = 0.9;        // Cell activeness threshold
   double beta = 0.003;       // DoC threshold to transform
@@ -34,19 +41,9 @@ struct FedTransConfig {
   // Model Aggregator.
   double eta = 0.98;         // decay factor
 
-  // Runtime.
-  int rounds = 60;
-  int clients_per_round = 10;
-  LocalTrainConfig local{};
   /// Server optimizer applied per model to the FedAvg'd delta (Fig. 8:
   /// FedTrans composes with FedYogi; FedProx composes via local.sgd.prox_mu).
   ServerOptKind server_opt = ServerOptKind::FedAvg;
-  /// Participant selection (Uniform reproduces the paper protocol; Oort /
-  /// PowerOfChoice are extensions exercised by the selection ablation).
-  SelectorKind selector = SelectorKind::Uniform;
-  int eval_every = 0;    // accuracy probe period (0 = off)
-  int eval_clients = 32; // subsample for probes
-  std::uint64_t seed = 1;
 
   // Ablation switches (Table 3 / Table 1).
   bool enable_layer_selection = true;  // 'l'
@@ -84,20 +81,94 @@ struct FinalEval {
   double accuracy_iqr = 0.0;
 };
 
-/// The FedTrans coordinator (Algorithm 1): per round it assigns every
-/// participant a compatible model by utility, trains locally, jointly
-/// updates utilities, FedAvg-aggregates per model, soft-aggregates across
-/// models, and transforms the newest model when its DoC crosses β.
+class FedTransTrainer;
+
+/// The FedTrans coordinator (Algorithm 1) as an engine Strategy: per round
+/// it assigns every participant a compatible model by utility (the
+/// prepare_task hook), trains locally, jointly updates utilities,
+/// FedAvg-aggregates per model, soft-aggregates across models, and — the
+/// transform hook — transforms the newest model when its DoC crosses β.
+class FedTransStrategy : public Strategy {
+ public:
+  FedTransStrategy(ModelSpec initial, FedTransConfig cfg);
+
+  std::string name() const override { return "fedtrans"; }
+  void attach(RoundContext& ctx, Rng& rng) override;
+  std::vector<ClientTask> plan_round(RoundContext& ctx, Rng& rng) override;
+  void prepare_task(ClientTask& task, Rng& rng, RoundContext& ctx) override;
+  Model client_payload(const ClientTask& task) override;
+  // Tasks assigned the same family model download identical weights.
+  int payload_key(const ClientTask& task) const override { return task.tag; }
+  const Model& reference_model() const override {
+    return *models_.front().model;
+  }
+  void absorb_update(const ClientTask& task, Model* trained,
+                     LocalTrainResult& res, RoundContext& ctx) override;
+  void lost_update(const ClientTask& task, ClientOutcome outcome,
+                   RoundContext& ctx) override;
+  void finish_round(RoundContext& ctx, RoundRecord& rec) override;
+  double probe_accuracy(const std::vector<int>& ids,
+                        RoundContext& ctx) override;
+
+  FinalEval evaluate_final();
+
+  int num_models() const { return static_cast<int>(models_.size()); }
+  Model& model(int i) { return *models_[static_cast<std::size_t>(i)].model; }
+  const std::vector<ModelEntry>& entries() const { return models_; }
+  const ClientManager& client_manager() const { return *cm_; }
+  int transforms_done() const { return transforms_; }
+  const FedTransConfig& config() const { return cfg_; }
+
+ private:
+  friend class FedTransTrainer;  // checkpointing serializes private state
+
+  /// The transform hook: grow the family when the newest model's DoC
+  /// crosses β (consumes ctx.rng exactly like the legacy coordinator).
+  void maybe_transform(RoundContext& ctx);
+  std::vector<Model*> model_ptrs();
+
+  ModelSpec initial_spec_;
+  FedTransConfig cfg_;
+  const FederatedDataset* data_ = nullptr;
+  const std::vector<DeviceProfile>* fleet_ = nullptr;
+
+  std::vector<ModelEntry> models_;
+  std::unique_ptr<ClientManager> cm_;
+  SoftAggregator aggregator_;
+  DoCTracker doc_;          // tracks the newest model's loss curve
+  std::unique_ptr<ActivenessTracker> act_;  // newest model's cell activeness
+  double max_capacity_ = 0.0;
+  bool exhausted_ = false;  // no further growth possible
+  int next_model_id_ = 1;
+  int transforms_ = 0;
+
+  // Per-round accumulators.
+  struct Participation {
+    int client;
+    int model;
+    double loss;
+  };
+  std::vector<WeightSet> acc_;
+  std::vector<double> wsum_;
+  std::vector<double> loss_sum_;
+  std::vector<int> loss_cnt_;
+  std::vector<Participation> parts_;
+  double slowest_ = 0.0;
+};
+
+/// Historical entry point — a thin shim over FederationEngine +
+/// FedTransStrategy (bitwise parity with direct engine use is
+/// test-enforced).
 class FedTransTrainer {
  public:
   FedTransTrainer(ModelSpec initial, const FederatedDataset& data,
                   std::vector<DeviceProfile> fleet, FedTransConfig cfg);
 
   /// Execute one round; returns mean participant loss.
-  double run_round();
-  void run();  // cfg.rounds rounds
+  double run_round() { return engine_->run_round(); }
+  void run() { engine_->run(); }  // cfg.rounds rounds
 
-  FinalEval evaluate_final();
+  FinalEval evaluate_final() { return strategy_->evaluate_final(); }
 
   /// Checkpointing. `save_checkpoint` persists the complete dynamic state:
   /// the model family (specs + weights + per-model optimizer state), client
@@ -110,37 +181,25 @@ class FedTransTrainer {
   void save_checkpoint_file(const std::string& path);
   void load_checkpoint_file(const std::string& path);
 
-  int num_models() const { return static_cast<int>(models_.size()); }
-  Model& model(int i) { return *models_[static_cast<std::size_t>(i)].model; }
-  const std::vector<ModelEntry>& entries() const { return models_; }
-  const ClientManager& client_manager() const { return *cm_; }
-  const CostMeter& costs() const { return costs_; }
-  const std::vector<RoundRecord>& history() const { return history_; }
-  int rounds_done() const { return round_; }
-  int transforms_done() const { return transforms_; }
+  int num_models() const { return strategy_->num_models(); }
+  Model& model(int i) { return strategy_->model(i); }
+  const std::vector<ModelEntry>& entries() const {
+    return strategy_->entries();
+  }
+  const ClientManager& client_manager() const {
+    return strategy_->client_manager();
+  }
+  const CostMeter& costs() const { return engine_->costs(); }
+  const std::vector<RoundRecord>& history() const {
+    return engine_->history();
+  }
+  int rounds_done() const { return engine_->rounds_done(); }
+  int transforms_done() const { return strategy_->transforms_done(); }
+  FederationEngine& engine() { return *engine_; }
 
  private:
-  void maybe_transform();
-  std::vector<Model*> model_ptrs();
-
-  const FederatedDataset& data_;
-  std::vector<DeviceProfile> fleet_;
-  FedTransConfig cfg_;
-  Rng rng_;
-
-  std::vector<ModelEntry> models_;
-  std::unique_ptr<ClientSelector> selector_;
-  std::unique_ptr<ClientManager> cm_;
-  SoftAggregator aggregator_;
-  DoCTracker doc_;          // tracks the newest model's loss curve
-  std::unique_ptr<ActivenessTracker> act_;  // newest model's cell activeness
-  double max_capacity_ = 0.0;
-  bool exhausted_ = false;  // no further growth possible
-  int next_model_id_ = 1;
-  int round_ = 0;
-  int transforms_ = 0;
-  CostMeter costs_;
-  std::vector<RoundRecord> history_;
+  FedTransStrategy* strategy_;  // owned by engine_
+  std::unique_ptr<FederationEngine> engine_;
 };
 
 }  // namespace fedtrans

@@ -1,59 +1,24 @@
 #include "fl/async.hpp"
 
-#include <cmath>
-
 #include "common/check.hpp"
-#include "fl/runner.hpp"
 
 namespace fedtrans {
 
-FedBuffRunner::FedBuffRunner(Model init, const FederatedDataset& data,
-                             std::vector<DeviceProfile> fleet,
-                             AsyncRunConfig cfg)
-    : model_(std::move(init)),
-      data_(data),
-      fleet_(std::move(fleet)),
-      cfg_(cfg),
-      rng_(cfg.seed) {
-  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
-               "fleet size must match client count");
-  FT_CHECK(cfg_.concurrency > 0 && cfg_.buffer_size > 0 &&
-           cfg_.aggregations > 0 && cfg_.staleness_exponent >= 0.0);
-  server_opt_ = make_server_opt(cfg_.server_opt);
+FedBuffStrategy::FedBuffStrategy(Model init, ServerOptKind server_opt)
+    : model_(std::move(init)), opt_kind_(server_opt) {}
+
+void FedBuffStrategy::attach(RoundContext&, Rng&) {
+  server_opt_ = make_server_opt(opt_kind_);
   buffer_ = ws_zeros_like(model_.weights());
-  costs_.note_storage(static_cast<double>(model_.param_bytes()));
 }
 
-void FedBuffRunner::dispatch_one() {
-  const int c = rng_.uniform_int(0, data_.num_clients() - 1);
-  const auto& dev = fleet_[static_cast<std::size_t>(c)];
-  const double model_bytes = static_cast<double>(model_.param_bytes());
-  const double t = client_round_time_s(dev,
-                                       static_cast<double>(model_.macs()),
-                                       cfg_.local.steps, cfg_.local.batch,
-                                       model_bytes);
-  in_flight_.push(InFlight{now_s_ + t, c, version_});
-  costs_.add_client_round_time(t);
+Model FedBuffStrategy::client_payload(const ClientTask&) {
+  return model_;  // download the current server weights
 }
 
-void FedBuffRunner::fold_update(const InFlight& job) {
-  // The client trains from the weights it downloaded at dispatch time. The
-  // simulation trains lazily at completion instead of keeping per-client
-  // weight snapshots; staleness enters through the FedBuff discount. (The
-  // approximation ships *fresher* weights to the client than true async
-  // would, which if anything understates async's advantage — acceptable for
-  // the wall-clock comparison this runner exists for.)
-  Model local_model = model_;
-  Rng crng = rng_.fork();
-  auto res = local_train(local_model, data_.client(job.client), cfg_.local,
-                         crng);
-
-  const int staleness = version_ - job.version;
-  staleness_sum_ += staleness;
-  ++total_updates_;
-  const double discount =
-      std::pow(1.0 + staleness, -cfg_.staleness_exponent);
-
+std::optional<double> FedBuffStrategy::absorb_async(int, LocalTrainResult& res,
+                                                    double discount,
+                                                    RoundContext& ctx) {
   ws_axpy(buffer_, static_cast<float>(discount), res.delta);
   buffer_weight_ += discount;
   ++buffered_;
@@ -61,53 +26,60 @@ void FedBuffRunner::fold_update(const InFlight& job) {
   ++loss_count_;
 
   const double model_bytes = static_cast<double>(model_.param_bytes());
-  costs_.add_training_macs(res.macs_used);
-  costs_.add_transfer(model_bytes, model_bytes);
+  ctx.costs.add_training_macs(res.macs_used);
+  ctx.costs.add_transfer(model_bytes, model_bytes);
 
-  if (buffered_ >= cfg_.buffer_size) {
-    WeightSet global = model_.weights();
-    ws_scale(buffer_, static_cast<float>(1.0 / buffer_weight_));
-    server_opt_->apply(global, buffer_);
-    model_.set_weights(global);
-    ++version_;
+  if (buffered_ < ctx.session.async.buffer_size) return std::nullopt;
 
-    RoundRecord rec;
-    rec.round = version_;
-    rec.avg_loss = loss_count_ > 0 ? loss_accum_ / loss_count_ : 0.0;
-    rec.cum_macs = costs_.total_macs();
-    rec.round_time_s = now_s_;  // wall-clock at which this version shipped
-    history_.push_back(rec);
+  WeightSet global = model_.weights();
+  ws_scale(buffer_, static_cast<float>(1.0 / buffer_weight_));
+  server_opt_->apply(global, buffer_);
+  model_.set_weights(global);
+  const double avg = loss_count_ > 0 ? loss_accum_ / loss_count_ : 0.0;
 
-    buffer_ = ws_zeros_like(global);
-    buffer_weight_ = 0.0;
-    buffered_ = 0;
-    loss_accum_ = 0.0;
-    loss_count_ = 0;
-  }
+  buffer_ = ws_zeros_like(global);
+  buffer_weight_ = 0.0;
+  buffered_ = 0;
+  loss_accum_ = 0.0;
+  loss_count_ = 0;
+  return avg;
 }
 
-void FedBuffRunner::run() {
-  for (int i = 0; i < cfg_.concurrency; ++i) dispatch_one();
-  while (version_ < cfg_.aggregations) {
-    FT_CHECK_MSG(!in_flight_.empty(), "async scheduler starved");
-    const InFlight job = in_flight_.top();
-    in_flight_.pop();
-    now_s_ = job.finish_s;
-    fold_update(job);
-    dispatch_one();
-  }
+void FedBuffStrategy::absorb_update(const ClientTask&, Model*,
+                                    LocalTrainResult&, RoundContext&) {
+  FT_CHECK_MSG(false, "FedBuff is an async strategy — run it in "
+                      "SessionMode::Async");
 }
 
-double FedBuffRunner::mean_staleness() const {
-  return total_updates_ > 0 ? staleness_sum_ /
-                                  static_cast<double>(total_updates_)
-                            : 0.0;
+void FedBuffStrategy::finish_round(RoundContext&, RoundRecord&) {
+  FT_CHECK_MSG(false, "FedBuff is an async strategy — run it in "
+                      "SessionMode::Async");
+}
+
+double FedBuffStrategy::probe_accuracy(const std::vector<int>& ids,
+                                       RoundContext& ctx) {
+  double s = 0.0;
+  for (int c : ids) s += evaluate_accuracy(model_, ctx.data.client(c));
+  return ids.empty() ? 0.0 : s / static_cast<double>(ids.size());
+}
+
+FedBuffRunner::FedBuffRunner(Model init, const FederatedDataset& data,
+                             std::vector<DeviceProfile> fleet,
+                             AsyncRunConfig cfg)
+    : data_(data) {
+  FT_CHECK(cfg.concurrency > 0 && cfg.buffer_size > 0 &&
+           cfg.aggregations > 0 && cfg.staleness_exponent >= 0.0);
+  auto strategy =
+      std::make_unique<FedBuffStrategy>(std::move(init), cfg.server_opt);
+  strategy_ = strategy.get();
+  engine_ = std::make_unique<FederationEngine>(
+      std::move(strategy), data, std::move(fleet), cfg.to_session());
 }
 
 double FedBuffRunner::mean_client_accuracy() {
   double s = 0.0;
   for (int c = 0; c < data_.num_clients(); ++c)
-    s += evaluate_accuracy(model_, data_.client(c));
+    s += evaluate_accuracy(strategy_->model(), data_.client(c));
   return data_.num_clients() > 0 ? s / data_.num_clients() : 0.0;
 }
 

@@ -1,11 +1,11 @@
 #pragma once
 
-#include <queue>
-
 #include "data/dataset.hpp"
+#include "fl/engine.hpp"
 #include "fl/local_train.hpp"
 #include "fl/metrics.hpp"
 #include "fl/server_opt.hpp"
+#include "fl/session.hpp"
 #include "model/model.hpp"
 #include "trace/device.hpp"
 
@@ -13,8 +13,10 @@ namespace fedtrans {
 
 /// Configuration of a buffered-asynchronous FL run (FedBuff; Nguyen et al.,
 /// AISTATS'22 — the asynchronous scheduling work the paper cites for
-/// straggler mitigation).
-struct AsyncRunConfig {
+/// straggler mitigation). Field-compatible with the historical flat struct;
+/// the shared runtime block (local, seed, …) is inherited and the FedBuff
+/// knobs map onto the engine's AsyncBlock via to_session().
+struct AsyncRunConfig : SessionRuntime {
   /// Number of client trainings kept in flight at all times.
   int concurrency = 10;
   /// Server aggregates after this many client updates arrive (FedBuff's K).
@@ -25,12 +27,55 @@ struct AsyncRunConfig {
   /// the number of server versions the client's weights are behind. p = 0.5
   /// is FedBuff's default polynomial discount.
   double staleness_exponent = 0.5;
-  LocalTrainConfig local{};
   ServerOptKind server_opt = ServerOptKind::FedAvg;
-  std::uint64_t seed = 1;
+
+  SessionConfig to_session() const {
+    SessionConfig s = SessionConfig::from(*this);
+    s.with_async(AsyncBlock{concurrency, buffer_size, aggregations,
+                            staleness_exponent});
+    return s;
+  }
 };
 
-/// Event-driven simulation of buffered asynchronous federated learning.
+/// FedBuff's aggregation policy as an engine Strategy: the engine's async
+/// scheduling mode owns the event loop — dispatch a new client the moment
+/// one finishes, fold completions in simulated-completion order, discount
+/// by staleness — and this strategy owns the buffer and the server model.
+class FedBuffStrategy : public Strategy {
+ public:
+  FedBuffStrategy(Model init, ServerOptKind server_opt);
+
+  std::string name() const override { return "fedbuff"; }
+  void attach(RoundContext& ctx, Rng& rng) override;
+  Model client_payload(const ClientTask& task) override;
+  Model* shared_model() override { return &model_; }
+  const Model& reference_model() const override { return model_; }
+  std::optional<double> absorb_async(int client, LocalTrainResult& res,
+                                     double discount,
+                                     RoundContext& ctx) override;
+
+  // Synchronous hooks are not part of the async protocol.
+  void absorb_update(const ClientTask&, Model*, LocalTrainResult&,
+                     RoundContext&) override;
+  void finish_round(RoundContext&, RoundRecord&) override;
+  double probe_accuracy(const std::vector<int>&, RoundContext&) override;
+
+  Model& model() { return model_; }
+
+ private:
+  Model model_;
+  ServerOptKind opt_kind_;
+  std::unique_ptr<ServerOptimizer> server_opt_;
+  WeightSet buffer_;  // staleness-weighted sum of pending deltas
+  double buffer_weight_ = 0.0;
+  int buffered_ = 0;
+  double loss_accum_ = 0.0;
+  int loss_count_ = 0;
+};
+
+/// Event-driven simulation of buffered asynchronous federated learning —
+/// the historical entry point, now a thin shim over the FederationEngine's
+/// async scheduling mode + FedBuffStrategy.
 ///
 /// Unlike the synchronous FedAvgRunner — whose wall-clock per round is the
 /// *slowest* participant (the straggler issue, paper Appendix C) — the async
@@ -44,51 +89,26 @@ class FedBuffRunner {
                 std::vector<DeviceProfile> fleet, AsyncRunConfig cfg);
 
   /// Run until cfg.aggregations server updates have been applied.
-  void run();
+  void run() { engine_->run(); }
 
-  Model& model() { return model_; }
-  const CostMeter& costs() const { return costs_; }
-  const std::vector<RoundRecord>& history() const { return history_; }
+  Model& model() { return strategy_->model(); }
+  const CostMeter& costs() const { return engine_->costs(); }
+  const std::vector<RoundRecord>& history() const {
+    return engine_->history();
+  }
   /// Simulated seconds since the run started.
-  double now_s() const { return now_s_; }
-  int aggregations_done() const { return version_; }
+  double now_s() const { return engine_->now_s(); }
+  int aggregations_done() const { return engine_->versions_done(); }
   /// Mean staleness (server versions behind) across all folded-in updates.
-  double mean_staleness() const;
+  double mean_staleness() const { return engine_->mean_staleness(); }
 
   double mean_client_accuracy();
+  FederationEngine& engine() { return *engine_; }
 
  private:
-  struct InFlight {
-    double finish_s = 0.0;
-    int client = 0;
-    int version = 0;  // server version the client started from
-    bool operator>(const InFlight& o) const { return finish_s > o.finish_s; }
-  };
-
-  void dispatch_one();
-  void fold_update(const InFlight& job);
-
-  Model model_;
   const FederatedDataset& data_;
-  std::vector<DeviceProfile> fleet_;
-  AsyncRunConfig cfg_;
-  Rng rng_;
-  std::unique_ptr<ServerOptimizer> server_opt_;
-
-  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
-      in_flight_;
-  WeightSet buffer_;        // staleness-weighted sum of pending deltas
-  double buffer_weight_ = 0.0;
-  int buffered_ = 0;
-  double loss_accum_ = 0.0;
-  int loss_count_ = 0;
-
-  double now_s_ = 0.0;
-  int version_ = 0;
-  std::int64_t total_updates_ = 0;
-  double staleness_sum_ = 0.0;
-  CostMeter costs_;
-  std::vector<RoundRecord> history_;
+  FedBuffStrategy* strategy_;  // owned by engine_
+  std::unique_ptr<FederationEngine> engine_;
 };
 
 }  // namespace fedtrans

@@ -1,0 +1,307 @@
+#include "fl/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+/// Adapter turning a plain callback into a RoundObserver (the convenience
+/// face of the observer API).
+class CallbackObserver : public RoundObserver {
+ public:
+  explicit CallbackObserver(std::function<void(const RoundRecord&)> fn)
+      : fn_(std::move(fn)) {}
+  void on_round_end(const RoundRecord& rec) override { fn_(rec); }
+
+ private:
+  std::function<void(const RoundRecord&)> fn_;
+};
+
+}  // namespace
+
+void bill_trained_update(RoundContext& ctx, int client, double model_bytes,
+                         double model_macs, const LocalTrainResult& res,
+                         double& slowest, double up_bytes) {
+  ctx.costs.add_training_macs(res.macs_used);
+  ctx.costs.add_transfer(model_bytes, up_bytes < 0.0 ? model_bytes : up_bytes);
+  const double t = client_round_time_s(
+      ctx.fleet[static_cast<std::size_t>(client)], model_macs,
+      ctx.session.local.steps, ctx.session.local.batch, model_bytes);
+  ctx.costs.add_client_round_time(t);
+  slowest = std::max(slowest, t);
+}
+
+void bill_lost_update(RoundContext& ctx, ClientOutcome outcome,
+                      double model_bytes, double model_macs) {
+  if (outcome != ClientOutcome::LostDown)
+    ctx.costs.add_training_macs(3.0 * model_macs * ctx.session.local.steps *
+                                ctx.session.local.batch);
+  ctx.costs.add_transfer(model_bytes, 0.0);
+}
+
+std::vector<ClientTask> Strategy::plan_round(RoundContext& ctx, Rng& rng) {
+  auto selected = ctx.selector.select(ctx.data.num_clients(),
+                                      ctx.session.clients_per_round, rng);
+  std::vector<ClientTask> tasks;
+  tasks.reserve(selected.size());
+  for (int c : selected) tasks.push_back(ClientTask{c, 0});
+  return tasks;
+}
+
+FederationEngine::FederationEngine(std::unique_ptr<Strategy> strategy,
+                                   const FederatedDataset& data,
+                                   std::vector<DeviceProfile> fleet,
+                                   SessionConfig cfg)
+    : strategy_(std::move(strategy)),
+      data_(data),
+      fleet_(std::move(fleet)),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  FT_CHECK_MSG(strategy_ != nullptr, "engine requires a strategy");
+  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
+               "fleet size must match client count");
+  selector_ = make_selector(cfg_.selector);
+  {
+    RoundContext ctx = make_context();
+    strategy_->attach(ctx, rng_);
+  }
+  costs_.note_storage(strategy_->initial_storage_bytes());
+}
+
+FederationEngine::~FederationEngine() = default;
+
+void FederationEngine::on_round(std::function<void(const RoundRecord&)> fn) {
+  owned_observers_.push_back(
+      std::make_unique<CallbackObserver>(std::move(fn)));
+  observers_.push_back(owned_observers_.back().get());
+}
+
+RoundContext FederationEngine::make_context() {
+  return RoundContext{data_, fleet_, cfg_,   costs_, *selector_,
+                      rng_,  round_, 0,      0};
+}
+
+ExchangeResult FederationEngine::exchange(
+    const std::vector<ClientTask>& tasks, std::vector<Rng>& client_rngs,
+    std::vector<std::optional<Model>>& payloads,
+    std::vector<Model*>& task_models) {
+  ExchangeResult ex;
+  if (cfg_.use_fabric) {
+    // Message-passing path: payload models and forked Rngs ride ModelDown
+    // frames over the simulated transport; ClientAgent workers train on
+    // receipt and upload UpdateUp. The fixed-order reduction in run_round
+    // is shared with the in-process path, so a fault-free fabric round is
+    // bitwise identical to it — for every strategy.
+    if (!fabric_)
+      fabric_ = std::make_unique<FederationServer>(
+          strategy_->reference_model(), data_, fleet_, cfg_.local,
+          cfg_.fabric_faults);
+    std::vector<int> clients;
+    clients.reserve(tasks.size());
+    for (const ClientTask& t : tasks) clients.push_back(t.client);
+
+    if (Model* shared = strategy_->shared_model()) {
+      // Single-global-model strategies broadcast one encoded weight blob.
+      ex = fabric_->run_round(static_cast<std::uint32_t>(round_),
+                              shared->weights(), clients, client_rngs);
+    } else {
+      // Heterogeneous strategies ship per-task architectures on the wire.
+      // Tasks sharing a payload_key reuse one materialized model (ladder
+      // strategies: one submodel per capacity level, not per client); the
+      // server then encodes each distinct instance once.
+      std::vector<Model*> ptrs;
+      ptrs.reserve(tasks.size());
+      std::unordered_map<int, Model*> by_key;
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const int key = strategy_->payload_key(tasks[i]);
+        Model* m = nullptr;
+        if (key >= 0) {
+          auto it = by_key.find(key);
+          if (it != by_key.end()) m = it->second;
+        }
+        if (m == nullptr) {
+          payloads[i].emplace(strategy_->client_payload(tasks[i]));
+          m = &*payloads[i];
+          if (key >= 0) by_key.emplace(key, m);
+        }
+        task_models[i] = m;
+        ptrs.push_back(m);
+      }
+      ex = fabric_->run_round(static_cast<std::uint32_t>(round_), ptrs,
+                              clients, client_rngs);
+    }
+    return ex;
+  }
+
+  // In-process path. Tasks are embarrassingly parallel: the Rngs were
+  // pre-forked in task order, each worker trains a private payload model,
+  // and the reduction afterwards runs in fixed task order — so every
+  // metric is bitwise-independent of the thread count. Shared-model
+  // strategies train on transient copies (absorb hooks never read them);
+  // heterogeneous strategies keep each payload alive for absorb's
+  // structural walks.
+  Model* shared = strategy_->shared_model();
+  ex.results.resize(tasks.size());
+  ex.outcomes.assign(tasks.size(), ClientOutcome::Trained);
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(tasks.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          if (shared != nullptr) {
+            Model local = *shared;
+            ex.results[idx] =
+                local_train(local, data_.client(tasks[idx].client),
+                            cfg_.local, client_rngs[idx]);
+          } else {
+            payloads[idx].emplace(strategy_->client_payload(tasks[idx]));
+            ex.results[idx] =
+                local_train(*payloads[idx], data_.client(tasks[idx].client),
+                            cfg_.local, client_rngs[idx]);
+          }
+        }
+      });
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (payloads[i].has_value()) task_models[i] = &*payloads[i];
+  return ex;
+}
+
+double FederationEngine::run_round() {
+  FT_CHECK_MSG(cfg_.mode == SessionMode::Sync,
+               "run_round requires a synchronous session");
+  for (RoundObserver* obs : observers_) obs->on_round_start(round_);
+  RoundContext ctx = make_context();
+
+  auto tasks = strategy_->plan_round(ctx, rng_);
+  std::vector<Rng> client_rngs;
+  client_rngs.reserve(tasks.size());
+  for (ClientTask& t : tasks) {
+    strategy_->prepare_task(t, rng_, ctx);
+    client_rngs.push_back(rng_.fork());
+  }
+
+  std::vector<std::optional<Model>> payloads(tasks.size());
+  std::vector<Model*> task_models(tasks.size(), nullptr);
+  ExchangeResult ex = exchange(tasks, client_rngs, payloads, task_models);
+
+  // Fixed task-order reduction: absorb arrived updates, bill casualties.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (ex.outcomes[i] != ClientOutcome::Trained) {
+      strategy_->lost_update(tasks[i], ex.outcomes[i], ctx);
+      ++ctx.lost;
+      continue;
+    }
+    strategy_->absorb_update(tasks[i], task_models[i], ex.results[i], ctx);
+    ++ctx.trained;
+  }
+
+  RoundRecord rec;
+  strategy_->finish_round(ctx, rec);
+  rec.round = round_;
+  rec.cum_macs = costs_.total_macs();
+  rec.participants = ctx.trained;
+  rec.lost_updates += ctx.lost;  // strategies may pre-add deadline drops
+
+  maybe_probe(round_, ctx, rec);
+  history_.push_back(rec);
+  for (RoundObserver* obs : observers_) obs->on_round_end(rec);
+  ++round_;
+  return rec.avg_loss;
+}
+
+void FederationEngine::maybe_probe(int tick, RoundContext& ctx,
+                                   RoundRecord& rec) {
+  if (cfg_.eval_every <= 0 || tick % cfg_.eval_every != 0) return;
+  // Subsampled accuracy probe for learning curves; the probe Rng and id
+  // draw are engine-owned so every strategy probes the same cohort.
+  Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(tick));
+  const int k = cfg_.eval_clients > 0
+                    ? std::min(cfg_.eval_clients, data_.num_clients())
+                    : data_.num_clients();
+  auto eval_ids = uniform_select(data_.num_clients(), k, erng);
+  rec.accuracy = strategy_->probe_accuracy(eval_ids, ctx);
+}
+
+void FederationEngine::run() {
+  if (cfg_.mode == SessionMode::Async) {
+    run_async();
+    return;
+  }
+  for (int r = 0; r < cfg_.rounds; ++r) run_round();
+}
+
+void FederationEngine::dispatch_async() {
+  const int c = rng_.uniform_int(0, data_.num_clients() - 1);
+  const DeviceProfile& dev = fleet_[static_cast<std::size_t>(c)];
+  Model* m = strategy_->shared_model();
+  FT_CHECK_MSG(m != nullptr,
+               "async scheduling requires a shared-model strategy");
+  const double model_bytes = static_cast<double>(m->param_bytes());
+  const double t =
+      client_round_time_s(dev, static_cast<double>(m->macs()),
+                          cfg_.local.steps, cfg_.local.batch, model_bytes);
+  in_flight_.push(InFlight{now_s_ + t, c, version_});
+  costs_.add_client_round_time(t);
+}
+
+void FederationEngine::run_async() {
+  FT_CHECK(cfg_.async.concurrency > 0 && cfg_.async.buffer_size > 0 &&
+           cfg_.async.aggregations > 0 &&
+           cfg_.async.staleness_exponent >= 0.0);
+  // Fabric-backed async (FedBuff over real messages) is a ROADMAP item;
+  // refuse the combination rather than silently dropping fault injection.
+  FT_CHECK_MSG(!cfg_.use_fabric,
+               "async sessions do not run over the fabric yet");
+  RoundContext ctx = make_context();
+  for (int i = 0; i < cfg_.async.concurrency; ++i) dispatch_async();
+  while (version_ < cfg_.async.aggregations) {
+    FT_CHECK_MSG(!in_flight_.empty(), "async scheduler starved");
+    const InFlight job = in_flight_.top();
+    in_flight_.pop();
+    now_s_ = job.finish_s;
+
+    // The client trains from the weights it downloaded at dispatch time.
+    // The simulation trains lazily at completion instead of keeping
+    // per-client snapshots; staleness enters through the FedBuff discount.
+    Model local = strategy_->client_payload(ClientTask{job.client, 0});
+    Rng crng = rng_.fork();
+    LocalTrainResult res =
+        local_train(local, data_.client(job.client), cfg_.local, crng);
+
+    const int staleness = version_ - job.version;
+    staleness_sum_ += staleness;
+    ++async_updates_;
+    const double discount =
+        std::pow(1.0 + staleness, -cfg_.async.staleness_exponent);
+
+    ctx.round = version_;
+    const auto shipped =
+        strategy_->absorb_async(job.client, res, discount, ctx);
+    if (shipped.has_value()) {
+      ++version_;
+      RoundRecord rec;
+      rec.round = version_;
+      rec.avg_loss = *shipped;
+      rec.cum_macs = costs_.total_macs();
+      rec.round_time_s = now_s_;  // wall-clock at which this version shipped
+      maybe_probe(version_, ctx, rec);
+      history_.push_back(rec);
+      for (RoundObserver* obs : observers_) obs->on_round_end(rec);
+    }
+    dispatch_async();
+  }
+}
+
+double FederationEngine::mean_staleness() const {
+  return async_updates_ > 0
+             ? staleness_sum_ / static_cast<double>(async_updates_)
+             : 0.0;
+}
+
+}  // namespace fedtrans

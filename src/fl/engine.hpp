@@ -1,0 +1,275 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "fl/metrics.hpp"
+#include "fl/session.hpp"
+#include "model/model.hpp"
+#include "net/server.hpp"
+#include "trace/device.hpp"
+
+namespace fedtrans {
+
+class FederationEngine;
+
+/// One unit of client work inside a round. Most strategies schedule one
+/// task per selected client; SplitMix schedules one per (client, base).
+/// `tag` is strategy-private (assigned model index, base index, level, …).
+struct ClientTask {
+  int client = 0;
+  int tag = 0;
+};
+
+/// Everything a Strategy hook may touch while a round executes. Handed to
+/// every hook so strategies stay free of engine back-pointers.
+struct RoundContext {
+  const FederatedDataset& data;
+  const std::vector<DeviceProfile>& fleet;
+  const SessionConfig& session;
+  CostMeter& costs;
+  ClientSelector& selector;
+  Rng& rng;
+  int round = 0;
+  /// Filled by the engine as updates are absorbed / lost.
+  int trained = 0;
+  int lost = 0;
+};
+
+/// Shared cost-billing vocabulary of the strategies. One absorbed update
+/// bills its training compute, a dense down+up transfer of the model it
+/// trained, and the device's simulated round time (tracking the slowest
+/// participant); a lost update bills the wasted compute (unless the
+/// downlink itself was lost) and the spent downlink.
+/// `up_bytes` overrides the uplink transfer (compressed updates); negative
+/// means a dense uplink of `model_bytes`.
+void bill_trained_update(RoundContext& ctx, int client, double model_bytes,
+                         double model_macs, const LocalTrainResult& res,
+                         double& slowest, double up_bytes = -1.0);
+void bill_lost_update(RoundContext& ctx, ClientOutcome outcome,
+                      double model_bytes, double model_macs);
+
+/// Observer of engine progress — the structured replacement for the ad-hoc
+/// eval_every / history plumbing the legacy runners grew. Observers are
+/// non-owning and invoked in registration order after each round (or, in
+/// async mode, after each server aggregation).
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+  virtual void on_round_start(int /*round*/) {}
+  virtual void on_round_end(const RoundRecord& /*rec*/) {}
+};
+
+/// The pluggable algorithm seat of the FederationEngine. FedTrans's core
+/// observation — multi-model transformation, single-model FL, and the
+/// HeteroFL/SplitMix/FLuID/FedRolex baselines are all one
+/// select → train → aggregate protocol with different per-model policies —
+/// is expressed here: the engine owns the canonical loop, the strategy owns
+/// the per-model policy. Hooks run in a fixed order per round:
+///
+///   plan_round         selection (+ strategy-specific trimming)
+///   prepare_task ×n    per-task state (FedTrans model assignment); the
+///                      engine forks the task's Rng right after each call,
+///                      preserving legacy fork sequences bit-exactly
+///   client_payload ×n  materialize the model each task trains
+///   (engine trains concurrently, in-process or over the fabric)
+///   absorb_update ×n   fixed task-order reduction (+ cost billing)
+///   lost_update  ×k    billing for fabric casualties / dropped stragglers
+///   finish_round       aggregate, optionally transform, fill the record
+///   probe_accuracy     periodic eval probe (engine picks the client ids)
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual std::string name() const = 0;
+
+  /// One-time binding, called from the engine constructor before any
+  /// round: build server models (the legacy runner constructors consumed
+  /// the coordinator Rng doing this — draws made here continue into round
+  /// 1 bit-identically) and capture the data/fleet references the strategy
+  /// needs outside of round hooks.
+  virtual void attach(RoundContext& /*ctx*/, Rng& /*rng*/) {}
+
+  /// Build this round's work list; may consume `rng` (selection draws).
+  /// Default: one task per client chosen by the session's selector.
+  virtual std::vector<ClientTask> plan_round(RoundContext& ctx, Rng& rng);
+
+  /// Per-task pre-pass, in task order, immediately before the engine forks
+  /// that task's Rng. Consume `rng` here (e.g. FedTrans model assignment)
+  /// and the legacy draw order is preserved exactly.
+  virtual void prepare_task(ClientTask& /*task*/, Rng& /*rng*/,
+                            RoundContext& /*ctx*/) {}
+
+  /// Materialize the model `task` trains — architecture and weights. Called
+  /// concurrently from pool workers on the in-process path; must not mutate
+  /// strategy state.
+  virtual Model client_payload(const ClientTask& task) = 0;
+
+  /// Non-null when every task of every round downloads this exact model
+  /// (single-global-model strategies). Lets the engine broadcast one
+  /// encoded weight blob over the fabric instead of per-task payloads, and
+  /// is required for async scheduling.
+  virtual Model* shared_model() { return nullptr; }
+
+  /// Tasks reporting the same non-negative key within a round download
+  /// byte-identical payloads (client_payload would return the same model).
+  /// Lets the fabric path materialize and encode each distinct payload once
+  /// per round — ladder strategies ship one submodel per capacity level, not
+  /// per client. Default: every task's payload is assumed distinct.
+  virtual int payload_key(const ClientTask& /*task*/) const { return -1; }
+
+  /// A structurally representative model (fabric prototype).
+  virtual const Model& reference_model() const = 0;
+
+  /// Server-resident model bytes at session start (CostMeter storage note).
+  virtual double initial_storage_bytes() const {
+    return static_cast<double>(reference_model().param_bytes());
+  }
+
+  /// Fold one finished task into the strategy's accumulators, in task
+  /// order. For shared-model strategies `trained` is always null — clients
+  /// train transient copies; read the update from `res`. For heterogeneous
+  /// strategies it is the task's payload model: its *structure* always
+  /// matches what the client trained; its weights are post-training on the
+  /// in-process path and pre-training on the fabric path (training happened
+  /// remotely). Tasks in one payload_key group share the instance over the
+  /// fabric, so treat it as read-only.
+  virtual void absorb_update(const ClientTask& task, Model* trained,
+                             LocalTrainResult& res, RoundContext& ctx) = 0;
+
+  /// A task whose update never reached aggregation (fabric message loss,
+  /// mid-round dropout). Default: no billing. The engine counts the loss.
+  virtual void lost_update(const ClientTask& /*task*/,
+                           ClientOutcome /*outcome*/, RoundContext& /*ctx*/) {}
+
+  /// Apply the round's aggregate to the server model(s), run any model
+  /// transformation, and fill the record's strategy-owned fields
+  /// (avg_loss, round_time_s, lost_updates adjustments). The engine fills
+  /// round / cum_macs / participants / accuracy.
+  virtual void finish_round(RoundContext& ctx, RoundRecord& rec) = 0;
+
+  /// Mean deployment accuracy over `ids` for the periodic probe.
+  virtual double probe_accuracy(const std::vector<int>& ids,
+                                RoundContext& ctx) = 0;
+
+  // --- async scheduling mode (FedBuff) -----------------------------------
+
+  /// Fold one completed async update, pre-weighted by the engine's
+  /// staleness `discount`. Return the shipped server version's mean buffer
+  /// loss when this update filled the buffer and a new version was applied;
+  /// nullopt otherwise. Only strategies run in SessionMode::Async need this.
+  virtual std::optional<double> absorb_async(int /*client*/,
+                                             LocalTrainResult& /*res*/,
+                                             double /*discount*/,
+                                             RoundContext& /*ctx*/) {
+    return std::nullopt;
+  }
+};
+
+/// The one federation engine: owns the canonical round loop (select →
+/// materialize per-client payloads → local train on the shared ThreadPool →
+/// collect → aggregate → server-opt → eval/record) for every strategy, and
+/// fronts both the in-process path and the wire-protocol FederationServer —
+/// so any strategy runs over the fabric, with fault injection and
+/// lost-update accounting, by flipping SessionConfig::use_fabric.
+class FederationEngine {
+ public:
+  FederationEngine(std::unique_ptr<Strategy> strategy,
+                   const FederatedDataset& data,
+                   std::vector<DeviceProfile> fleet, SessionConfig cfg);
+  ~FederationEngine();
+  // Not movable: strategies capture &fleet_/&data_ in attach(), so a moved
+  // engine would leave them dangling. Shims hold engines by unique_ptr.
+  FederationEngine(FederationEngine&&) = delete;
+  FederationEngine& operator=(FederationEngine&&) = delete;
+
+  /// Execute one synchronous round; returns the round's mean loss.
+  double run_round();
+  /// Execute the configured session: cfg.rounds synchronous rounds, or the
+  /// async event loop until cfg.async.aggregations versions shipped.
+  void run();
+
+  // Observers. Raw pointers are borrowed (caller keeps them alive);
+  // on_round registers an engine-owned callback observer.
+  void add_observer(RoundObserver* obs) { observers_.push_back(obs); }
+  void on_round(std::function<void(const RoundRecord&)> fn);
+
+  Strategy& strategy() { return *strategy_; }
+  const Strategy& strategy() const { return *strategy_; }
+  template <typename T>
+  T& strategy_as() {
+    return static_cast<T&>(*strategy_);
+  }
+
+  const SessionConfig& config() const { return cfg_; }
+  const FederatedDataset& data() const { return data_; }
+  const std::vector<DeviceProfile>& fleet() const { return fleet_; }
+  const std::vector<RoundRecord>& history() const { return history_; }
+  const CostMeter& costs() const { return costs_; }
+  int rounds_done() const { return round_; }
+  ClientSelector& selector() { return *selector_; }
+
+  /// The federation fabric backing this session; null until the first
+  /// use_fabric round executes (and always null without use_fabric).
+  const FederationServer* fabric() const { return fabric_.get(); }
+
+  // Async-mode state.
+  double now_s() const { return now_s_; }
+  int versions_done() const { return version_; }
+  /// Mean staleness (server versions behind) across folded-in updates.
+  double mean_staleness() const;
+
+  // Checkpointing access: the engine's dynamic state is part of a session
+  // checkpoint, so strategies' save/load routines reach it through these.
+  Rng& rng() { return rng_; }
+  CostMeter& costs_mutable() { return costs_; }
+  std::vector<RoundRecord>& history_mutable() { return history_; }
+  void set_rounds_done(int r) { round_ = r; }
+
+ private:
+  RoundContext make_context();
+  void run_async();
+  void dispatch_async();
+  /// Periodic accuracy probe shared by both modes: fills rec.accuracy when
+  /// eval_every divides `tick` (the round in sync mode, the shipped server
+  /// version in async mode).
+  void maybe_probe(int tick, RoundContext& ctx, RoundRecord& rec);
+  ExchangeResult exchange(const std::vector<ClientTask>& tasks,
+                          std::vector<Rng>& client_rngs,
+                          std::vector<std::optional<Model>>& payloads,
+                          std::vector<Model*>& task_models);
+
+  std::unique_ptr<Strategy> strategy_;
+  const FederatedDataset& data_;
+  std::vector<DeviceProfile> fleet_;
+  SessionConfig cfg_;
+  Rng rng_;
+  CostMeter costs_;
+  std::vector<RoundRecord> history_;
+  std::unique_ptr<ClientSelector> selector_;
+  std::unique_ptr<FederationServer> fabric_;
+  std::vector<RoundObserver*> observers_;
+  std::vector<std::unique_ptr<RoundObserver>> owned_observers_;
+  int round_ = 0;
+
+  // Async-mode scheduling state (same completion-ordered queue the legacy
+  // FedBuffRunner used, so async runs replay bit-identically).
+  struct InFlight {
+    double finish_s = 0.0;
+    int client = 0;
+    int version = 0;  // server version the client started from
+    bool operator>(const InFlight& o) const { return finish_s > o.finish_s; }
+  };
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
+      in_flight_;
+  double now_s_ = 0.0;
+  int version_ = 0;
+  std::int64_t async_updates_ = 0;
+  double staleness_sum_ = 0.0;
+};
+
+}  // namespace fedtrans

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "common/check.hpp"
 #include "common/stats.hpp"
@@ -11,18 +10,159 @@
 
 namespace fedtrans {
 
+FedAvgStrategy::FedAvgStrategy(Model init, FedAvgOptions opts)
+    : model_(std::move(init)), opts_(opts) {
+  compressor_ = make_compressor(opts_.compression, opts_.topk_ratio);
+}
+
+std::vector<ClientTask> FedAvgStrategy::plan_round(RoundContext& ctx,
+                                                   Rng& rng) {
+  const SessionConfig& s = ctx.session;
+  const int want =
+      opts_.overcommit > 0.0
+          ? static_cast<int>(std::ceil((1.0 + opts_.overcommit) *
+                                       s.clients_per_round))
+          : s.clients_per_round;
+  auto selected = ctx.selector.select(ctx.data.num_clients(), want, rng);
+  if (opts_.respect_capacity) {
+    const double macs = static_cast<double>(model_.macs());
+    std::erase_if(selected, [&](int c) {
+      return ctx.fleet[static_cast<std::size_t>(c)].capacity_macs < macs;
+    });
+  }
+
+  // Over-selection deadline: predict completion times, close the round at
+  // the configured quantile, and drop (but still bill) the late tail.
+  dropped_.clear();
+  deadline_ = 0.0;
+  if (!selected.empty() &&
+      (opts_.overcommit > 0.0 || opts_.deadline_quantile < 1.0)) {
+    std::vector<double> times;
+    times.reserve(selected.size());
+    for (int c : selected)
+      times.push_back(client_round_time_s(
+          ctx.fleet[static_cast<std::size_t>(c)],
+          static_cast<double>(model_.macs()), s.local.steps, s.local.batch,
+          static_cast<double>(model_.param_bytes())));
+    deadline_ = percentile(times, 100.0 * opts_.deadline_quantile);
+    std::vector<int> on_time;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      if (times[i] <= deadline_ &&
+          static_cast<int>(on_time.size()) < s.clients_per_round) {
+        on_time.push_back(selected[i]);
+      } else {
+        dropped_.push_back(selected[i]);
+      }
+    }
+    if (on_time.empty()) {
+      // Degenerate round: every prediction missed the deadline. Keep the
+      // first pick as a real participant — and take it back out of the
+      // dropped list so it isn't also billed as a lost straggler.
+      on_time.push_back(selected.front());
+      dropped_.erase(dropped_.begin());
+    }
+    selected = std::move(on_time);
+  }
+
+  global_ = model_.weights();
+  acc_ = ws_zeros_like(global_);
+  weight_sum_ = 0.0;
+  loss_sum_ = 0.0;
+  slowest_ = 0.0;
+  trained_ = 0;
+
+  std::vector<ClientTask> tasks;
+  tasks.reserve(selected.size());
+  for (int c : selected) tasks.push_back(ClientTask{c, 0});
+  return tasks;
+}
+
+Model FedAvgStrategy::client_payload(const ClientTask&) {
+  return model_;  // download the global weights
+}
+
+void FedAvgStrategy::absorb_update(const ClientTask& task, Model*,
+                                   LocalTrainResult& res, RoundContext& ctx) {
+  const int c = task.client;
+  const double model_bytes = static_cast<double>(model_.param_bytes());
+
+  // Uplink compression (EF-SGD: fold in this client's residual, compress,
+  // remember what was dropped for its next participation).
+  double up_bytes = model_bytes;
+  if (opts_.compression != CompressionKind::None) {
+    if (opts_.error_feedback) ef_.add_residual(c, res.delta);
+    const WeightSet pre = res.delta;
+    compressor_->compress(res.delta);
+    if (opts_.error_feedback) ef_.store_residual(c, pre, res.delta);
+    up_bytes = compressor_->compressed_bytes(ws_numel(res.delta));
+  }
+
+  const double w = static_cast<double>(res.num_samples);
+  ws_axpy(acc_, static_cast<float>(w), res.delta);
+  weight_sum_ += w;
+  loss_sum_ += res.avg_loss;
+  ++trained_;
+  ctx.selector.report(c, res.avg_loss, res.num_samples);
+
+  bill_trained_update(ctx, c, model_bytes, static_cast<double>(model_.macs()),
+                      res, slowest_, up_bytes);
+}
+
+void FedAvgStrategy::lost_update(const ClientTask&, ClientOutcome outcome,
+                                 RoundContext& ctx) {
+  bill_lost_update(ctx, outcome, static_cast<double>(model_.param_bytes()),
+                   static_cast<double>(model_.macs()));
+}
+
+void FedAvgStrategy::finish_round(RoundContext& ctx, RoundRecord& rec) {
+  // Late clients trained and downloaded but never uploaded: their device
+  // compute and downlink are real costs; their updates are wasted — the
+  // same bill as a mid-round dropout on the fabric.
+  for (std::size_t i = 0; i < dropped_.size(); ++i)
+    bill_lost_update(ctx, ClientOutcome::Dropout,
+                     static_cast<double>(model_.param_bytes()),
+                     static_cast<double>(model_.macs()));
+  if (deadline_ > 0.0) slowest_ = std::min(slowest_, deadline_);
+
+  if (weight_sum_ > 0.0) {
+    ws_scale(acc_, static_cast<float>(1.0 / weight_sum_));
+    if (!server_opt_) server_opt_ = make_server_opt(opts_.server_opt);
+    server_opt_->apply(global_, acc_);
+    model_.set_weights(global_);
+  }
+
+  rec.avg_loss = trained_ > 0 ? loss_sum_ / trained_ : 0.0;
+  rec.round_time_s = slowest_;
+  rec.lost_updates = static_cast<int>(dropped_.size());  // engine adds wire losses
+}
+
+double FedAvgStrategy::probe_accuracy(const std::vector<int>& ids,
+                                      RoundContext& ctx) {
+  // Per-thread model copies: forward() mutates layer caches, so the shared
+  // model cannot be evaluated concurrently. Fixed-order summation keeps
+  // the probe deterministic.
+  std::vector<double> accs(ids.size(), 0.0);
+  ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(ids.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        Model probe = model_;
+        for (std::int64_t i = lo; i < hi; ++i)
+          accs[static_cast<std::size_t>(i)] = evaluate_accuracy(
+              probe, ctx.data.client(ids[static_cast<std::size_t>(i)]));
+      });
+  double acc_sum = 0.0;
+  for (double a : accs) acc_sum += a;
+  return acc_sum / static_cast<double>(ids.size());
+}
+
 FedAvgRunner::FedAvgRunner(Model init, const FederatedDataset& data,
                            std::vector<DeviceProfile> fleet, FlRunConfig cfg)
-    : model_(std::move(init)),
-      data_(data),
-      fleet_(std::move(fleet)),
-      cfg_(cfg),
-      rng_(cfg.seed) {
-  FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
-               "fleet size must match client count");
-  selector_ = make_selector(cfg_.selector);
-  compressor_ = make_compressor(cfg_.compression, cfg_.topk_ratio);
-  costs_.note_storage(static_cast<double>(model_.param_bytes()));
+    : data_(data) {
+  auto strategy =
+      std::make_unique<FedAvgStrategy>(std::move(init), cfg.options());
+  strategy_ = strategy.get();
+  engine_ = std::make_unique<FederationEngine>(
+      std::move(strategy), data, std::move(fleet), cfg.to_session());
 }
 
 FedAvgRunner::~FedAvgRunner() = default;
@@ -30,198 +170,12 @@ FedAvgRunner::FedAvgRunner(FedAvgRunner&&) noexcept = default;
 
 std::vector<int> FedAvgRunner::select_clients(int population, int k,
                                               Rng& rng) {
-  std::vector<int> ids(static_cast<std::size_t>(population));
-  std::iota(ids.begin(), ids.end(), 0);
-  rng.shuffle(ids);
-  ids.resize(static_cast<std::size_t>(std::min(k, population)));
-  return ids;
+  return uniform_select(population, k, rng);
 }
 
-double FedAvgRunner::run_round() {
-  const int want = cfg_.overcommit > 0.0
-                       ? static_cast<int>(std::ceil(
-                             (1.0 + cfg_.overcommit) *
-                             cfg_.clients_per_round))
-                       : cfg_.clients_per_round;
-  auto selected = selector_->select(data_.num_clients(), want, rng_);
-  if (cfg_.respect_capacity) {
-    const double macs = static_cast<double>(model_.macs());
-    std::erase_if(selected, [&](int c) {
-      return fleet_[static_cast<std::size_t>(c)].capacity_macs < macs;
-    });
-  }
+double FedAvgRunner::run_round() { return engine_->run_round(); }
 
-  // Over-selection deadline: predict completion times, close the round at
-  // the configured quantile, and drop (but still bill) the late tail.
-  std::vector<int> dropped;
-  double deadline = 0.0;
-  if (!selected.empty() &&
-      (cfg_.overcommit > 0.0 || cfg_.deadline_quantile < 1.0)) {
-    std::vector<double> times;
-    times.reserve(selected.size());
-    for (int c : selected)
-      times.push_back(client_round_time_s(
-          fleet_[static_cast<std::size_t>(c)],
-          static_cast<double>(model_.macs()), cfg_.local.steps,
-          cfg_.local.batch, static_cast<double>(model_.param_bytes())));
-    deadline = percentile(times, 100.0 * cfg_.deadline_quantile);
-    std::vector<int> on_time;
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-      if (times[i] <= deadline &&
-          static_cast<int>(on_time.size()) < cfg_.clients_per_round) {
-        on_time.push_back(selected[i]);
-      } else {
-        dropped.push_back(selected[i]);
-      }
-    }
-    if (on_time.empty()) on_time.push_back(selected.front());  // degenerate
-    selected = std::move(on_time);
-  }
-
-  WeightSet global = model_.weights();
-  WeightSet acc = ws_zeros_like(global);
-  double weight_sum = 0.0;
-  double loss_sum = 0.0;
-  double slowest = 0.0;
-  const double model_bytes = static_cast<double>(model_.param_bytes());
-
-  // Clients are embarrassingly parallel: pre-fork one deterministic Rng per
-  // client in selection order (the same fork sequence the serial loop drew),
-  // train concurrently on the pool, then reduce in fixed client order below
-  // — so every metric is bitwise-independent of the thread count.
-  std::vector<Rng> client_rngs;
-  client_rngs.reserve(selected.size());
-  for (std::size_t i = 0; i < selected.size(); ++i)
-    client_rngs.push_back(rng_.fork());
-
-  ExchangeResult ex;
-  if (cfg_.use_fabric) {
-    // Message-passing path: the weights and forked Rngs ride ModelDown
-    // frames over the simulated transport; ClientAgent workers train on
-    // receipt and upload UpdateUp. The fixed-order reduction below is
-    // shared with the in-process path, so a fault-free fabric round is
-    // bitwise identical to it.
-    if (!fabric_)
-      fabric_ = std::make_unique<FederationServer>(
-          model_, data_, fleet_, cfg_.local, cfg_.fabric_faults);
-    ex = fabric_->run_round(static_cast<std::uint32_t>(round_), global,
-                            selected, client_rngs);
-  } else {
-    ex.results.resize(selected.size());
-    ex.outcomes.assign(selected.size(), ClientOutcome::Trained);
-    ThreadPool::global().parallel_for(
-        static_cast<std::int64_t>(selected.size()), 1,
-        [&](std::int64_t lo, std::int64_t hi) {
-          for (std::int64_t i = lo; i < hi; ++i) {
-            Model local_model = model_;  // download global weights
-            ex.results[static_cast<std::size_t>(i)] = local_train(
-                local_model,
-                data_.client(selected[static_cast<std::size_t>(i)]),
-                cfg_.local, client_rngs[static_cast<std::size_t>(i)]);
-          }
-        });
-  }
-
-  int trained = 0;
-  int lost = 0;
-  const double macs_per_round = 3.0 * static_cast<double>(model_.macs()) *
-                                cfg_.local.steps * cfg_.local.batch;
-  for (std::size_t ci = 0; ci < selected.size(); ++ci) {
-    const int c = selected[ci];
-    if (ex.outcomes[ci] != ClientOutcome::Trained) {
-      // Fabric casualties. A lost downlink burned only server egress; a
-      // lost update or mid-round dropout burned a full local training pass
-      // whose result never arrived.
-      if (ex.outcomes[ci] != ClientOutcome::LostDown)
-        costs_.add_training_macs(macs_per_round);
-      costs_.add_transfer(model_bytes, 0.0);
-      ++lost;
-      continue;
-    }
-    auto& res = ex.results[ci];
-
-    // Uplink compression (EF-SGD: fold in this client's residual, compress,
-    // remember what was dropped for its next participation).
-    double up_bytes = model_bytes;
-    if (cfg_.compression != CompressionKind::None) {
-      if (cfg_.error_feedback) ef_.add_residual(c, res.delta);
-      const WeightSet pre = res.delta;
-      compressor_->compress(res.delta);
-      if (cfg_.error_feedback) ef_.store_residual(c, pre, res.delta);
-      up_bytes = compressor_->compressed_bytes(ws_numel(res.delta));
-    }
-
-    const double w = static_cast<double>(res.num_samples);
-    ws_axpy(acc, static_cast<float>(w), res.delta);
-    weight_sum += w;
-    loss_sum += res.avg_loss;
-    ++trained;
-    selector_->report(c, res.avg_loss, res.num_samples);
-
-    costs_.add_training_macs(res.macs_used);
-    costs_.add_transfer(model_bytes, up_bytes);
-    const double t = client_round_time_s(
-        fleet_[static_cast<std::size_t>(c)], static_cast<double>(model_.macs()),
-        cfg_.local.steps, cfg_.local.batch, model_bytes);
-    costs_.add_client_round_time(t);
-    slowest = std::max(slowest, t);
-  }
-
-  // Late clients trained and downloaded but never uploaded: their device
-  // compute and downlink are real costs; their updates are wasted.
-  for (int c : dropped) {
-    (void)c;
-    costs_.add_training_macs(macs_per_round);
-    costs_.add_transfer(model_bytes, 0.0);
-  }
-  if (deadline > 0.0) slowest = std::min(slowest, deadline);
-
-  double avg_loss = trained > 0 ? loss_sum / trained : 0.0;
-  if (weight_sum > 0.0) {
-    ws_scale(acc, static_cast<float>(1.0 / weight_sum));
-    if (!server_opt_) server_opt_ = make_server_opt(cfg_.server_opt);
-    server_opt_->apply(global, acc);
-    model_.set_weights(global);
-  }
-
-  RoundRecord rec;
-  rec.round = round_;
-  rec.avg_loss = avg_loss;
-  rec.cum_macs = costs_.total_macs();
-  rec.round_time_s = slowest;
-  rec.participants = trained;
-  rec.lost_updates = lost + static_cast<int>(dropped.size());
-  if (cfg_.eval_every > 0 && (round_ % cfg_.eval_every == 0)) {
-    // Subsampled accuracy probe for learning curves.
-    Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(round_));
-    const int k = cfg_.eval_clients > 0
-                      ? std::min(cfg_.eval_clients, data_.num_clients())
-                      : data_.num_clients();
-    auto eval_ids = select_clients(data_.num_clients(), k, erng);
-    // Per-thread model copies: forward() mutates layer caches, so the shared
-    // model cannot be evaluated concurrently. Fixed-order summation keeps
-    // the probe deterministic.
-    std::vector<double> accs(eval_ids.size(), 0.0);
-    ThreadPool::global().parallel_for(
-        static_cast<std::int64_t>(eval_ids.size()), 1,
-        [&](std::int64_t lo, std::int64_t hi) {
-          Model probe = model_;
-          for (std::int64_t i = lo; i < hi; ++i)
-            accs[static_cast<std::size_t>(i)] = evaluate_accuracy(
-                probe, data_.client(eval_ids[static_cast<std::size_t>(i)]));
-        });
-    double acc_sum = 0.0;
-    for (double a : accs) acc_sum += a;
-    rec.accuracy = acc_sum / static_cast<double>(eval_ids.size());
-  }
-  history_.push_back(rec);
-  ++round_;
-  return avg_loss;
-}
-
-void FedAvgRunner::run() {
-  for (int r = 0; r < cfg_.rounds; ++r) run_round();
-}
+void FedAvgRunner::run() { engine_->run(); }
 
 double FedAvgRunner::mean_client_accuracy() {
   auto accs = per_client_accuracy();
@@ -234,7 +188,7 @@ std::vector<double> FedAvgRunner::per_client_accuracy() {
   std::vector<double> accs(static_cast<std::size_t>(data_.num_clients()), 0.0);
   ThreadPool::global().parallel_for(
       data_.num_clients(), 1, [&](std::int64_t lo, std::int64_t hi) {
-        Model probe = model_;
+        Model probe = strategy_->model();
         for (std::int64_t i = lo; i < hi; ++i)
           accs[static_cast<std::size_t>(i)] =
               evaluate_accuracy(probe, data_.client(static_cast<int>(i)));

@@ -2,27 +2,22 @@
 
 #include "data/dataset.hpp"
 #include "fl/compression.hpp"
+#include "fl/engine.hpp"
 #include "fl/local_train.hpp"
 #include "fl/metrics.hpp"
 #include "fl/selection.hpp"
 #include "fl/server_opt.hpp"
+#include "fl/session.hpp"
 #include "model/model.hpp"
 #include "net/transport.hpp"
 #include "trace/device.hpp"
 
 namespace fedtrans {
 
-class FederationServer;
-
-/// Configuration of a single-global-model FL run (the FedAvg substrate that
-/// baselines and several experiments build on).
-struct FlRunConfig {
-  int rounds = 50;
-  int clients_per_round = 10;
-  LocalTrainConfig local{};
+/// FedAvg's per-strategy options block (everything beyond the shared
+/// SessionConfig runtime).
+struct FedAvgOptions {
   ServerOptKind server_opt = ServerOptKind::FedAvg;
-  /// Participant selection policy (Uniform reproduces the paper protocol).
-  SelectorKind selector = SelectorKind::Uniform;
   /// Uplink (client → server) delta compression; downlink stays dense.
   CompressionKind compression = CompressionKind::None;
   double topk_ratio = 0.1;
@@ -35,30 +30,75 @@ struct FlRunConfig {
   /// dropped. overcommit = 0 / quantile = 1 reproduces the paper protocol.
   double overcommit = 0.0;
   double deadline_quantile = 1.0;
-  /// Evaluate mean client accuracy every k rounds (0 = only on demand).
-  int eval_every = 0;
-  /// Client subsample size for periodic evaluation (0 = all clients).
-  int eval_clients = 32;
   /// When true, clients whose capacity is below the model's MACs skip the
   /// round (single-model FL typically ignores this — the straggler issue).
   bool respect_capacity = false;
-  /// Execute rounds over the federation fabric — wire-protocol messages on
-  /// a simulated transport, collected by a multithreaded FederationServer —
-  /// instead of direct in-process calls. With no fault injection the run is
-  /// bitwise identical to the in-process path.
-  bool use_fabric = false;
-  /// Transport fault injection (message drop/duplication/reordering and
-  /// mid-round client dropout); only consulted when use_fabric is set.
-  FaultConfig fabric_faults{};
-  std::uint64_t seed = 1;
 };
 
-/// Classic single-model federated averaging over a simulated fleet.
+/// Configuration of a single-global-model FL run: the layered session
+/// config (shared runtime + scheduling/transport) plus FedAvg's options.
+/// Field-compatible with the historical flat struct — `cfg.rounds`,
+/// `cfg.compression`, `cfg.use_fabric`, … all keep working.
+struct FlRunConfig : SessionConfig, FedAvgOptions {
+  /// The engine-level slice of this config.
+  SessionConfig to_session() const {
+    return static_cast<const SessionConfig&>(*this);
+  }
+  FedAvgOptions options() const {
+    return static_cast<const FedAvgOptions&>(*this);
+  }
+};
+
+/// Classic single-model federated averaging expressed as an engine
+/// Strategy: one shared global model, weighted-mean aggregation through a
+/// pluggable server optimizer, optional uplink compression with error
+/// feedback, and FedScale-style over-selection with deadline trimming.
+class FedAvgStrategy : public Strategy {
+ public:
+  FedAvgStrategy(Model init, FedAvgOptions opts);
+
+  std::string name() const override { return "fedavg"; }
+  std::vector<ClientTask> plan_round(RoundContext& ctx, Rng& rng) override;
+  Model client_payload(const ClientTask& task) override;
+  Model* shared_model() override { return &model_; }
+  const Model& reference_model() const override { return model_; }
+  void absorb_update(const ClientTask& task, Model* trained,
+                     LocalTrainResult& res, RoundContext& ctx) override;
+  void lost_update(const ClientTask& task, ClientOutcome outcome,
+                   RoundContext& ctx) override;
+  void finish_round(RoundContext& ctx, RoundRecord& rec) override;
+  double probe_accuracy(const std::vector<int>& ids,
+                        RoundContext& ctx) override;
+
+  Model& model() { return model_; }
+  const FedAvgOptions& options() const { return opts_; }
+
+ private:
+  Model model_;
+  FedAvgOptions opts_;
+  std::unique_ptr<ServerOptimizer> server_opt_;
+  std::unique_ptr<DeltaCompressor> compressor_;
+  ErrorFeedback ef_;
+
+  // Per-round accumulators (reset in plan_round, consumed in finish_round).
+  WeightSet global_;  // weight snapshot the round's deltas apply to
+  WeightSet acc_;
+  double weight_sum_ = 0.0;
+  double loss_sum_ = 0.0;
+  double slowest_ = 0.0;
+  int trained_ = 0;
+  std::vector<int> dropped_;
+  double deadline_ = 0.0;
+};
+
+/// Classic single-model federated averaging over a simulated fleet — a thin
+/// shim over FederationEngine + FedAvgStrategy (kept as the historical
+/// entry point; bitwise-parity with direct engine use is test-enforced).
 class FedAvgRunner {
  public:
   FedAvgRunner(Model init, const FederatedDataset& data,
                std::vector<DeviceProfile> fleet, FlRunConfig cfg);
-  ~FedAvgRunner();  // out of line: FederationServer is incomplete here
+  ~FedAvgRunner();
   FedAvgRunner(FedAvgRunner&&) noexcept;
 
   /// Execute one round; returns the mean participant training loss.
@@ -66,36 +106,30 @@ class FedAvgRunner {
   /// Execute cfg.rounds rounds.
   void run();
 
-  Model& model() { return model_; }
-  const std::vector<RoundRecord>& history() const { return history_; }
-  const CostMeter& costs() const { return costs_; }
-  int rounds_done() const { return round_; }
+  Model& model() { return strategy_->model(); }
+  const std::vector<RoundRecord>& history() const {
+    return engine_->history();
+  }
+  const CostMeter& costs() const { return engine_->costs(); }
+  int rounds_done() const { return engine_->rounds_done(); }
+  FederationEngine& engine() { return *engine_; }
 
   /// Mean top-1 accuracy across every client's eval shard.
   double mean_client_accuracy();
   std::vector<double> per_client_accuracy();
 
-  /// Uniformly select k distinct clients (shared helper).
+  /// Uniformly select k distinct clients (forwarding shim; the single
+  /// implementation lives in fl/selection as uniform_select).
   static std::vector<int> select_clients(int population, int k, Rng& rng);
 
   /// The federation fabric backing this run; null until the first
   /// use_fabric round executes (and always null without use_fabric).
-  const FederationServer* fabric() const { return fabric_.get(); }
+  const FederationServer* fabric() const { return engine_->fabric(); }
 
  private:
-  Model model_;
   const FederatedDataset& data_;
-  std::vector<DeviceProfile> fleet_;
-  FlRunConfig cfg_;
-  Rng rng_;
-  CostMeter costs_;
-  std::vector<RoundRecord> history_;
-  std::unique_ptr<ServerOptimizer> server_opt_;
-  std::unique_ptr<ClientSelector> selector_;
-  std::unique_ptr<DeltaCompressor> compressor_;
-  ErrorFeedback ef_;
-  std::unique_ptr<FederationServer> fabric_;
-  int round_ = 0;
+  FedAvgStrategy* strategy_;  // owned by engine_
+  std::unique_ptr<FederationEngine> engine_;
 };
 
 }  // namespace fedtrans

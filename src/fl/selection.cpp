@@ -9,13 +9,7 @@
 
 namespace fedtrans {
 
-namespace {
-
-/// k distinct uniform picks: full shuffle + truncate. Deliberately the same
-/// algorithm (and thus the same RNG consumption) as the pre-existing
-/// FedAvgRunner::select_clients, so a run configured with the default
-/// UniformSelector replays historical runs bit-identically.
-std::vector<int> uniform_distinct(int population, int k, Rng& rng) {
+std::vector<int> uniform_select(int population, int k, Rng& rng) {
   FT_CHECK_MSG(population > 0, "cannot select from an empty population");
   std::vector<int> idx(static_cast<std::size_t>(population));
   std::iota(idx.begin(), idx.end(), 0);
@@ -24,10 +18,8 @@ std::vector<int> uniform_distinct(int population, int k, Rng& rng) {
   return idx;
 }
 
-}  // namespace
-
 std::vector<int> UniformSelector::select(int population, int k, Rng& rng) {
-  return uniform_distinct(population, k, rng);
+  return uniform_select(population, k, rng);
 }
 
 void OortSelector::ensure_size(int population) {
@@ -156,9 +148,9 @@ std::vector<int> PowerOfChoiceSelector::select(int population, int k,
   k = std::min(k, population);
   if (static_cast<int>(last_loss_.size()) < population)
     last_loss_.resize(static_cast<std::size_t>(population), 0.0);
-  auto candidates = uniform_distinct(population, std::min(population,
-                                                          factor_ * k),
-                                     rng);
+  auto candidates = uniform_select(population, std::min(population,
+                                                        factor_ * k),
+                                   rng);
   std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
     const double la = last_loss_[static_cast<std::size_t>(a)];
     const double lb = last_loss_[static_cast<std::size_t>(b)];

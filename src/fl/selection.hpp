@@ -9,6 +9,13 @@
 
 namespace fedtrans {
 
+/// Uniformly select k distinct clients from [0, population): full shuffle +
+/// truncate. The single selection helper behind UniformSelector, every
+/// strategy's ad-hoc draws, the engine's eval probes, and the legacy
+/// FedAvgRunner::select_clients entry point — all consume the Rng
+/// identically, so historical runs replay bit-exactly.
+std::vector<int> uniform_select(int population, int k, Rng& rng);
+
 /// Pluggable participant selection. The paper's protocol samples
 /// participants uniformly (FedScale's default); Oort-style guided selection
 /// (Lai et al., OSDI'21 — cited in the paper's related work) is provided as

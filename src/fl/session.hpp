@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fl/local_train.hpp"
+#include "fl/selection.hpp"
+#include "net/transport.hpp"
+
+namespace fedtrans {
+
+/// The shared runtime block every federated session carries — the one
+/// definition of the fields that were historically copy-pasted across
+/// FlRunConfig / FedTransConfig / BaselineConfig / AsyncRunConfig. The
+/// legacy config structs now inherit from this block, so a field added here
+/// is automatically available (and forwarded) everywhere.
+struct SessionRuntime {
+  /// Synchronous rounds to run (async sessions count aggregations instead).
+  int rounds = 50;
+  int clients_per_round = 10;
+  LocalTrainConfig local{};
+  /// Evaluate mean client accuracy every k rounds (0 = only on demand).
+  int eval_every = 0;
+  /// Client subsample size for periodic evaluation (0 = all clients).
+  int eval_clients = 32;
+  std::uint64_t seed = 1;
+};
+
+/// How the engine schedules client work: classic synchronous rounds, or
+/// buffered-asynchronous (FedBuff-style) aggregation.
+enum class SessionMode : std::uint8_t { Sync, Async };
+
+/// Asynchronous-scheduling block (FedBuff; Nguyen et al., AISTATS'22).
+struct AsyncBlock {
+  /// Number of client trainings kept in flight at all times.
+  int concurrency = 10;
+  /// Server aggregates after this many client updates arrive (FedBuff's K).
+  int buffer_size = 10;
+  /// Total number of server aggregations to perform.
+  int aggregations = 50;
+  /// Staleness discount exponent: update weight = (1 + τ)^(−p).
+  double staleness_exponent = 0.5;
+};
+
+/// Engine-level session configuration: the shared runtime block plus the
+/// scheduling / transport knobs that apply to *every* strategy. Built
+/// fluently:
+///
+///   auto cfg = SessionConfig{}
+///                  .with_rounds(30)
+///                  .with_clients_per_round(8)
+///                  .with_seed(7)
+///                  .with_fabric();   // wire-protocol message passing
+struct SessionConfig : SessionRuntime {
+  SessionMode mode = SessionMode::Sync;
+  /// Participant selection policy (Uniform reproduces the paper protocol).
+  SelectorKind selector = SelectorKind::Uniform;
+  /// Execute rounds over the federation fabric — wire-protocol messages on
+  /// a simulated transport, collected by a multithreaded FederationServer —
+  /// instead of direct in-process calls. With no fault injection the run is
+  /// bitwise identical to the in-process path, for every strategy.
+  bool use_fabric = false;
+  /// Transport fault injection; only consulted when use_fabric is set.
+  FaultConfig fabric_faults{};
+  AsyncBlock async{};
+
+  // Fluent builder.
+  SessionConfig& with_rounds(int r) { rounds = r; return *this; }
+  SessionConfig& with_clients_per_round(int k) {
+    clients_per_round = k;
+    return *this;
+  }
+  SessionConfig& with_local(const LocalTrainConfig& l) {
+    local = l;
+    return *this;
+  }
+  SessionConfig& with_eval(int every, int clients = 32) {
+    eval_every = every;
+    eval_clients = clients;
+    return *this;
+  }
+  SessionConfig& with_seed(std::uint64_t s) { seed = s; return *this; }
+  SessionConfig& with_selector(SelectorKind k) { selector = k; return *this; }
+  SessionConfig& with_fabric(const FaultConfig& f = {}) {
+    use_fabric = true;
+    fabric_faults = f;
+    return *this;
+  }
+  SessionConfig& with_async(const AsyncBlock& a) {
+    mode = SessionMode::Async;
+    async = a;
+    return *this;
+  }
+
+  /// Lift a legacy config's shared block into an engine session config.
+  static SessionConfig from(const SessionRuntime& rt) {
+    SessionConfig cfg;
+    static_cast<SessionRuntime&>(cfg) = rt;
+    return cfg;
+  }
+};
+
+}  // namespace fedtrans

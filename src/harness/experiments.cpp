@@ -12,13 +12,12 @@ namespace fedtrans {
 
 namespace {
 BaselineConfig to_baseline_cfg(const FedTransConfig& ft, int eval_every) {
+  // The shared runtime block (rounds, clients, local, eval, seed) is one
+  // definition since the SessionConfig refactor — slice it instead of
+  // copying field by field.
   BaselineConfig cfg;
-  cfg.rounds = ft.rounds;
-  cfg.clients_per_round = ft.clients_per_round;
-  cfg.local = ft.local;
+  static_cast<SessionRuntime&>(cfg) = ft;
   cfg.eval_every = eval_every;
-  cfg.eval_clients = ft.eval_clients;
-  cfg.seed = ft.seed;
   return cfg;
 }
 }  // namespace

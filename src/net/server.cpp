@@ -1,9 +1,13 @@
 #include "net/server.hpp"
 
+#include <algorithm>
+#include <map>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "common/serial.hpp"
 #include "common/thread_pool.hpp"
 
 namespace fedtrans {
@@ -12,15 +16,16 @@ ClientAgent::ClientAgent(int id, const FederatedDataset& data,
                          LocalTrainConfig local)
     : id_(id), data_(&data), local_(local) {}
 
-ClientOutcome ClientAgent::poll(std::uint32_t round, const Model& prototype,
-                                SimTransport& net) {
-  bool invited = false;
-  bool have_model = false;
-  FabricMessage model_down;
-  double model_at_s = 0.0;
+void ClientAgent::poll(std::uint32_t round, const Model& prototype,
+                       SimTransport& net,
+                       std::vector<ClientOutcome>& outcomes) {
+  // Drain the mailbox first: duplicates and reordered frames all land here.
+  // Invitations and models are paired per task slot; the agent keeps the
+  // first arrival of each and ignores the rest.
+  std::set<std::int32_t> invited;
+  std::map<std::int32_t, FabricMessage> downs;  // task -> first ModelDown
+  std::map<std::int32_t, double> down_at_s;
 
-  // Drain the mailbox first: duplicates and reordered frames all land here;
-  // the agent keeps the first ModelDown for this round and ignores the rest.
   for (Envelope& env : net.drain(id_)) {
     FabricMessage msg;
     try {
@@ -33,66 +38,88 @@ ClientOutcome ClientAgent::poll(std::uint32_t round, const Model& prototype,
       continue;
     }
     if (msg.round != round) continue;
-    if (msg.type == MsgType::JoinRound && !invited) {
-      invited = true;
-      FabricMessage ack;
-      ack.type = MsgType::Ack;
-      ack.round = round;
-      ack.sender = id_;
-      ack.receiver = kServerId;
-      net.send(id_, kServerId, encode_message(ack), env.deliver_at_s);
-    } else if (msg.type == MsgType::ModelDown && !have_model) {
-      have_model = true;
-      model_down = std::move(msg);
-      model_at_s = env.deliver_at_s;
+    if (msg.type == MsgType::JoinRound) {
+      if (invited.insert(msg.task).second) {
+        FabricMessage ack;
+        ack.type = MsgType::Ack;
+        ack.round = round;
+        ack.sender = id_;
+        ack.receiver = kServerId;
+        net.send(id_, kServerId, encode_message(ack), env.deliver_at_s);
+      }
+    } else if (msg.type == MsgType::ModelDown) {
+      if (downs.find(msg.task) == downs.end()) {
+        down_at_s[msg.task] = env.deliver_at_s;
+        downs.emplace(msg.task, std::move(msg));
+      }
     }
   }
-  // The invitation is load-bearing: a client that never saw its JoinRound
-  // does not participate even if the model frame made it through, exactly
-  // like a client whose ModelDown was lost.
-  if (!invited || !have_model) return ClientOutcome::LostDown;
 
-  // Train exactly as the in-process path would: the global weights and the
-  // coordinator-forked Rng both arrived on the wire.
-  Model local = prototype;
-  local.set_weights(model_down.weights);
-  Rng rng;
-  rng.set_state(model_down.rng_state);
-  LocalTrainResult res =
-      local_train(local, data_->client(id_), local_, rng);
+  // Mid-round dropout is a per-(round, client) device event: if it fires,
+  // every task trains (burning real compute) and then vanishes unsent.
+  const bool dropped_out = net.client_dropped_out(round, id_);
+  bool trained_any = false;
+  double last_done_s = 0.0;
 
-  const double compute_s =
-      res.macs_used /
-      net.device(id_).compute_macs_per_s;
+  for (auto& [task, msg] : downs) {
+    // The invitation is load-bearing: a task whose JoinRound never arrived
+    // does not participate even if the model frame made it through.
+    if (invited.find(task) == invited.end()) continue;
+    if (task < 0 || task >= static_cast<std::int32_t>(outcomes.size()))
+      continue;
 
-  if (net.client_dropped_out(round, id_)) {
-    // Mid-round dropout: the device vanishes after training. It attempts a
-    // courtesy Abort, which rides the same lossy link as everything else.
+    // Train exactly as the in-process path would: the payload architecture
+    // (prototype or on-the-wire spec), the weights, and the coordinator-
+    // forked Rng all arrived on the wire.
+    Rng spawn(0);  // init weights are overwritten below
+    Model local = msg.spec_text.empty()
+                      ? prototype
+                      : Model(ModelSpec::deserialize(msg.spec_text), spawn);
+    local.set_weights(msg.weights);
+    Rng rng;
+    rng.set_state(msg.rng_state);
+    LocalTrainResult res = local_train(local, data_->client(id_), local_, rng);
+
+    const double compute_s =
+        res.macs_used / net.device(id_).compute_macs_per_s;
+    const double done_s = down_at_s[task] + compute_s;
+    trained_any = true;
+    last_done_s = std::max(last_done_s, done_s);
+
+    if (dropped_out) {
+      outcomes[static_cast<std::size_t>(task)] = ClientOutcome::Dropout;
+      continue;
+    }
+
+    FabricMessage up;
+    up.type = MsgType::UpdateUp;
+    up.round = round;
+    up.sender = id_;
+    up.receiver = kServerId;
+    up.task = task;
+    up.weights = std::move(res.delta);
+    up.avg_loss = res.avg_loss;
+    up.num_samples = res.num_samples;
+    up.macs_used = res.macs_used;
+    const bool delivered =
+        net.send(id_, kServerId, encode_message(up), done_s);
+    outcomes[static_cast<std::size_t>(task)] =
+        delivered ? ClientOutcome::Trained : ClientOutcome::LostUp;
+  }
+
+  if (dropped_out && trained_any) {
+    // The device vanished after training. It attempts a courtesy Abort,
+    // which rides the same lossy link as everything else.
     FabricMessage abort_msg;
     abort_msg.type = MsgType::Abort;
     abort_msg.round = round;
     abort_msg.sender = id_;
     abort_msg.receiver = kServerId;
     abort_msg.reason = "dropout";
-    net.send(id_, kServerId, encode_message(abort_msg),
-             model_at_s + compute_s);
+    net.send(id_, kServerId, encode_message(abort_msg), last_done_s);
     net.stats_mutable().client_dropouts.fetch_add(1,
                                                   std::memory_order_relaxed);
-    return ClientOutcome::Dropout;
   }
-
-  FabricMessage up;
-  up.type = MsgType::UpdateUp;
-  up.round = round;
-  up.sender = id_;
-  up.receiver = kServerId;
-  up.weights = std::move(res.delta);
-  up.avg_loss = res.avg_loss;
-  up.num_samples = res.num_samples;
-  up.macs_used = res.macs_used;
-  const bool delivered =
-      net.send(id_, kServerId, encode_message(up), model_at_s + compute_s);
-  return delivered ? ClientOutcome::Trained : ClientOutcome::LostUp;
 }
 
 FederationServer::FederationServer(const Model& prototype,
@@ -108,25 +135,39 @@ FederationServer::FederationServer(const Model& prototype,
     agents_.emplace_back(c, data, local);
 }
 
-void FederationServer::broadcast(std::uint32_t round,
-                                 const WeightSet& global,
-                                 const std::vector<int>& selected,
-                                 const std::vector<Rng>& client_rngs) {
-  // Serialize the weight set once; per client only the (tiny) Rng-state
-  // tail of the ModelDown payload differs, so broadcast is one encode plus
-  // a couple of memcpys per client rather than n WeightSet deep copies.
+void FederationServer::send_join(std::uint32_t round, std::int32_t task,
+                                 int client) {
+  FabricMessage join;
+  join.type = MsgType::JoinRound;
+  join.round = round;
+  join.sender = kServerId;
+  join.receiver = client;
+  join.task = task;
+  net_->send(kServerId, client, encode_message(join));
+}
+
+void FederationServer::broadcast_shared(std::uint32_t round,
+                                        const WeightSet& global,
+                                        const std::vector<int>& clients,
+                                        const std::vector<Rng>& client_rngs) {
+  // Serialize the weight set once; per task only the (tiny) slot id and
+  // Rng-state sections of the ModelDown payload differ, so broadcast is one
+  // encode plus a couple of memcpys per client rather than n WeightSet
+  // deep copies.
   std::ostringstream wos(std::ios::binary);
   write_weight_set(wos, global);
   const std::string weight_blob = wos.str();
 
-  for (std::size_t i = 0; i < selected.size(); ++i) {
-    const int c = selected[i];
-    net_->send(kServerId, c,
-               encode_frame(MsgType::JoinRound, round, kServerId, c, {}));
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const int c = clients[i];
+    send_join(round, static_cast<std::int32_t>(i), c);
 
-    std::string payload;
+    std::ostringstream head(std::ios::binary);
+    write_pod<std::int32_t>(head, static_cast<std::int32_t>(i));
+    write_string(head, std::string{});  // empty spec: use the prototype
+    std::string payload = head.str();
     const auto rng_state = client_rngs[i].state();
-    payload.reserve(weight_blob.size() + sizeof(rng_state));
+    payload.reserve(payload.size() + weight_blob.size() + sizeof(rng_state));
     payload.append(weight_blob);
     payload.append(reinterpret_cast<const char*>(rng_state.data()),
                    sizeof(rng_state));
@@ -136,31 +177,71 @@ void FederationServer::broadcast(std::uint32_t round,
   }
 }
 
+void FederationServer::broadcast_tasks(std::uint32_t round,
+                                       const std::vector<Model*>& payloads,
+                                       const std::vector<int>& clients,
+                                       const std::vector<Rng>& client_rngs) {
+  // Architecture + weights ride the frame: the agent rebuilds the exact
+  // submodel this task trains, no shared prototype required. The engine
+  // hands tasks in the same payload_key group one Model instance, so the
+  // (large) spec + weights section is encoded once per distinct instance
+  // and reused; only the slot id and Rng state differ per frame.
+  std::unordered_map<const Model*, std::string> encoded;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const int c = clients[i];
+    send_join(round, static_cast<std::int32_t>(i), c);
+
+    std::string& body = encoded[payloads[i]];
+    if (body.empty()) {
+      std::ostringstream os(std::ios::binary);
+      write_string(os, payloads[i]->spec().serialize());
+      auto ps = payloads[i]->params();
+      write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(ps.size()));
+      for (auto& p : ps) p.value->save(os);
+      body = os.str();
+    }
+
+    std::ostringstream head(std::ios::binary);
+    write_pod<std::int32_t>(head, static_cast<std::int32_t>(i));
+    std::string payload = head.str();
+    const auto rng_state = client_rngs[i].state();
+    payload.reserve(payload.size() + body.size() + sizeof(rng_state));
+    payload.append(body);
+    payload.append(reinterpret_cast<const char*>(rng_state.data()),
+                   sizeof(rng_state));
+    net_->send(kServerId, c,
+               encode_frame(MsgType::ModelDown, round, kServerId, c,
+                            payload));
+  }
+}
+
 void FederationServer::collect(std::uint32_t round,
-                               const std::vector<int>& selected,
+                               const std::vector<int>& clients,
                                ExchangeResult& out) {
-  // ClientAgent workers run concurrently on the shared ThreadPool. Each
-  // writes only its own selection slot, so the result is independent of the
-  // thread schedule; nested parallel_for inside local_train runs inline.
+  // ClientAgent workers run concurrently on the shared ThreadPool — one
+  // poll per *distinct* client (an agent drains its whole mailbox, which
+  // may hold several task slots). Each task slot is written by exactly one
+  // agent, so the result is independent of the thread schedule; nested
+  // parallel_for inside local_train runs inline.
+  std::vector<int> distinct;
+  distinct.reserve(clients.size());
+  std::set<int> seen_clients;
+  for (int c : clients)
+    if (seen_clients.insert(c).second) distinct.push_back(c);
+
   ThreadPool::global().parallel_for(
-      static_cast<std::int64_t>(selected.size()), 1,
+      static_cast<std::int64_t>(distinct.size()), 1,
       [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          const auto idx = static_cast<std::size_t>(i);
-          out.outcomes[idx] =
-              agents_[static_cast<std::size_t>(selected[idx])].poll(
-                  round, prototype_, *net_);
-        }
+        for (std::int64_t i = lo; i < hi; ++i)
+          agents_[static_cast<std::size_t>(
+                      distinct[static_cast<std::size_t>(i)])]
+              .poll(round, prototype_, *net_, out.outcomes);
       });
 
-  // Match the server's inbound mail to the selection. Duplicates are
-  // dropped on the floor here (first arrival wins); stale rounds and
-  // unknown senders are ignored.
-  std::unordered_map<int, std::size_t> slot;
-  slot.reserve(selected.size());
-  for (std::size_t i = 0; i < selected.size(); ++i)
-    slot.emplace(selected[i], i);
-  std::vector<bool> seen(selected.size(), false);
+  // Match the server's inbound mail to the task list. Duplicates are
+  // dropped on the floor here (first arrival wins); stale rounds, unknown
+  // slots and sender/slot mismatches are ignored.
+  std::vector<bool> seen(clients.size(), false);
   for (Envelope& env : net_->drain(kServerId)) {
     FabricMessage msg;
     try {
@@ -171,42 +252,60 @@ void FederationServer::collect(std::uint32_t round,
       continue;
     }
     if (msg.round != round) continue;
-    auto it = slot.find(msg.sender);
-    if (it == slot.end()) continue;
-    const std::size_t i = it->second;
-    if (msg.type == MsgType::UpdateUp && !seen[i]) {
-      seen[i] = true;
-      LocalTrainResult& res = out.results[i];
-      res.delta = std::move(msg.weights);
-      res.avg_loss = msg.avg_loss;
-      res.num_samples = msg.num_samples;
-      res.macs_used = msg.macs_used;
-    }
+    if (msg.type != MsgType::UpdateUp) continue;
     // Ack and Abort are bookkeeping-only: the agents' ground-truth
     // outcomes already account for dropouts.
+    const std::int32_t i = msg.task;
+    if (i < 0 || i >= static_cast<std::int32_t>(clients.size())) continue;
+    const auto slot = static_cast<std::size_t>(i);
+    if (clients[slot] != msg.sender || seen[slot]) continue;
+    seen[slot] = true;
+    LocalTrainResult& res = out.results[slot];
+    res.delta = std::move(msg.weights);
+    res.avg_loss = msg.avg_loss;
+    res.num_samples = msg.num_samples;
+    res.macs_used = msg.macs_used;
   }
   // An agent that believes its update was delivered must be matched by an
   // UpdateUp in the server's mailbox; anything else is a fabric bug.
-  for (std::size_t i = 0; i < selected.size(); ++i)
+  for (std::size_t i = 0; i < clients.size(); ++i)
     if (out.outcomes[i] == ClientOutcome::Trained)
       FT_CHECK_MSG(seen[i], "delivered update missing from server mailbox");
 }
 
-ExchangeResult FederationServer::run_round(
-    std::uint32_t round, const WeightSet& global,
-    const std::vector<int>& selected, const std::vector<Rng>& client_rngs) {
-  FT_CHECK_MSG(selected.size() == client_rngs.size(),
-               "one forked Rng per selected client required");
+ExchangeResult FederationServer::exchange(
+    std::uint32_t round, const std::vector<int>& clients, std::size_t n_rngs,
+    const std::function<void()>& broadcast_fn) {
+  FT_CHECK_MSG(clients.size() == n_rngs,
+               "one forked Rng per task slot required");
   ExchangeResult out;
-  out.results.resize(selected.size());
-  out.outcomes.assign(selected.size(), ClientOutcome::LostDown);
+  out.results.resize(clients.size());
+  out.outcomes.assign(clients.size(), ClientOutcome::LostDown);
 
   phase_ = Phase::Broadcast;
-  broadcast(round, global, selected, client_rngs);
+  broadcast_fn();
   phase_ = Phase::Collect;
-  collect(round, selected, out);
+  collect(round, clients, out);
   phase_ = Phase::Aggregate;  // aggregation happens in the caller
   return out;
+}
+
+ExchangeResult FederationServer::run_round(
+    std::uint32_t round, const WeightSet& global,
+    const std::vector<int>& clients, const std::vector<Rng>& client_rngs) {
+  return exchange(round, clients, client_rngs.size(), [&] {
+    broadcast_shared(round, global, clients, client_rngs);
+  });
+}
+
+ExchangeResult FederationServer::run_round(
+    std::uint32_t round, const std::vector<Model*>& payloads,
+    const std::vector<int>& clients, const std::vector<Rng>& client_rngs) {
+  FT_CHECK_MSG(payloads.size() == clients.size(),
+               "one payload model per task slot required");
+  return exchange(round, clients, client_rngs.size(), [&] {
+    broadcast_tasks(round, payloads, clients, client_rngs);
+  });
 }
 
 }  // namespace fedtrans

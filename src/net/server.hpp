@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -12,9 +13,9 @@
 
 namespace fedtrans {
 
-/// Ground-truth outcome of one selected client's participation in a fabric
-/// round (indexed like the selection vector). Billing needs the truth even
-/// when the corresponding message never reached the server.
+/// Ground-truth outcome of one task of a fabric round (indexed like the
+/// coordinator's task list). Billing needs the truth even when the
+/// corresponding message never reached the server.
 enum class ClientOutcome : std::uint8_t {
   Trained,   ///< update arrived; eligible for aggregation
   LostDown,  ///< invitation/model lost on the downlink — no compute burned
@@ -22,25 +23,29 @@ enum class ClientOutcome : std::uint8_t {
   Dropout,   ///< trained, then the device went offline before uploading
 };
 
-/// What one fabric exchange produced, per selected client.
+/// What one fabric exchange produced, per task slot.
 struct ExchangeResult {
   std::vector<LocalTrainResult> results;  ///< valid iff outcome == Trained
   std::vector<ClientOutcome> outcomes;
 };
 
-/// Edge-device worker: owns one client's fabric endpoint. On receipt of
-/// ModelDown it loads the global weights into a scratch model, replays the
-/// coordinator-forked Rng, runs local_train, and uploads UpdateUp — or
-/// Abort, if the fault injector says the device dropped out mid-round.
+/// Edge-device worker: owns one client's fabric endpoint. On receipt of a
+/// (JoinRound, ModelDown) pair for a task slot it materializes the payload
+/// model — the round prototype for shared-blob broadcasts, or the
+/// architecture serialized into the frame for heterogeneous strategies —
+/// replays the coordinator-forked Rng, runs local_train, and uploads
+/// UpdateUp per task — or Abort, if the fault injector says the device
+/// dropped out mid-round.
 class ClientAgent {
  public:
   ClientAgent(int id, const FederatedDataset& data, LocalTrainConfig local);
 
-  /// Drain this client's mailbox for `round` and act on every message.
-  /// `prototype` supplies the model architecture (weights arrive on the
-  /// wire). Returns the outcome this agent experienced.
-  ClientOutcome poll(std::uint32_t round, const Model& prototype,
-                     SimTransport& net);
+  /// Drain this client's mailbox for `round`, train every task whose
+  /// invitation and model both arrived, and record each task's outcome in
+  /// its slot of `outcomes` (slots are disjoint across agents, so workers
+  /// write concurrently without coordination).
+  void poll(std::uint32_t round, const Model& prototype, SimTransport& net,
+            std::vector<ClientOutcome>& outcomes);
 
  private:
   int id_;
@@ -50,17 +55,18 @@ class ClientAgent {
 
 /// Multithreaded federation coordinator: executes the per-round protocol
 ///
-///   Broadcast — JoinRound + ModelDown frame per selected client
+///   Broadcast — JoinRound + ModelDown frame per task slot
 ///   Collect   — ClientAgent workers run concurrently on the shared
 ///               ThreadPool; the server drains its mailbox, deduplicates,
-///               and matches UpdateUp/Abort frames to the selection
-///   (Aggregation stays with the caller — FedAvgRunner folds the collected
-///    deltas with exactly the same fixed-order reduction as its in-process
-///    path, which is what makes fault-free fabric runs bitwise identical.)
+///               and matches UpdateUp/Abort frames to the task list
+///   (Aggregation stays with the caller — the FederationEngine folds the
+///    collected deltas with exactly the same fixed-order reduction as its
+///    in-process path, which is what makes fault-free fabric runs bitwise
+///    identical.)
 ///
-/// Straggler policy (overcommit/deadline) is applied by the coordinator
-/// before broadcast from predicted completion times, FedScale-style, so the
-/// selection the fabric sees is already deadline-trimmed.
+/// Straggler policy (overcommit/deadline) is applied by the strategy before
+/// broadcast from predicted completion times, FedScale-style, so the task
+/// list the fabric sees is already deadline-trimmed.
 class FederationServer {
  public:
   enum class Phase : std::uint8_t { Idle, Broadcast, Collect, Aggregate };
@@ -69,12 +75,20 @@ class FederationServer {
                    std::vector<DeviceProfile> fleet, LocalTrainConfig local,
                    FaultConfig faults);
 
-  /// Run one round's message exchange for `selected` (selection order is
-  /// preserved in the result). `global` is the weight snapshot every
-  /// participant downloads; `client_rngs[i]` is the coordinator-forked
-  /// generator client selected[i] must train with.
+  /// Shared-model exchange: every task downloads the same `global` weight
+  /// snapshot (encoded once) into the prototype architecture. `clients[i]`
+  /// is task slot i's client; `client_rngs[i]` is the coordinator-forked
+  /// generator it must train with. Slot order is preserved in the result.
   ExchangeResult run_round(std::uint32_t round, const WeightSet& global,
-                           const std::vector<int>& selected,
+                           const std::vector<int>& clients,
+                           const std::vector<Rng>& client_rngs);
+
+  /// Heterogeneous exchange: task slot i downloads `payloads[i]` —
+  /// architecture and weights ride the wire, so clients may train
+  /// different submodels (and one client may appear in several slots).
+  ExchangeResult run_round(std::uint32_t round,
+                           const std::vector<Model*>& payloads,
+                           const std::vector<int>& clients,
                            const std::vector<Rng>& client_rngs);
 
   Phase phase() const { return phase_; }
@@ -83,11 +97,20 @@ class FederationServer {
   int num_clients() const { return net_->num_clients(); }
 
  private:
-  void broadcast(std::uint32_t round, const WeightSet& global,
-                 const std::vector<int>& selected,
-                 const std::vector<Rng>& client_rngs);
-  void collect(std::uint32_t round, const std::vector<int>& selected,
+  void send_join(std::uint32_t round, std::int32_t task, int client);
+  void broadcast_shared(std::uint32_t round, const WeightSet& global,
+                        const std::vector<int>& clients,
+                        const std::vector<Rng>& client_rngs);
+  void broadcast_tasks(std::uint32_t round,
+                       const std::vector<Model*>& payloads,
+                       const std::vector<int>& clients,
+                       const std::vector<Rng>& client_rngs);
+  void collect(std::uint32_t round, const std::vector<int>& clients,
                ExchangeResult& out);
+  ExchangeResult exchange(std::uint32_t round,
+                          const std::vector<int>& clients,
+                          std::size_t n_rngs,
+                          const std::function<void()>& broadcast_fn);
 
   Model prototype_;
   const FederatedDataset* data_;

@@ -76,10 +76,13 @@ std::string encode_payload(const FabricMessage& msg) {
   std::ostringstream os(std::ios::binary);
   switch (msg.type) {
     case MsgType::ModelDown:
+      write_pod(os, msg.task);
+      write_string(os, msg.spec_text);
       write_weight_set(os, msg.weights);
       write_pod(os, msg.rng_state);
       break;
     case MsgType::UpdateUp:
+      write_pod(os, msg.task);
       write_weight_set(os, msg.weights);
       write_pod(os, msg.avg_loss);
       write_pod(os, msg.num_samples);
@@ -89,6 +92,8 @@ std::string encode_payload(const FabricMessage& msg) {
       write_string(os, msg.reason);
       break;
     case MsgType::JoinRound:
+      write_pod(os, msg.task);
+      break;
     case MsgType::Ack:
       break;  // header-only
   }
@@ -100,10 +105,13 @@ void decode_payload(FabricMessage& msg, std::string_view payload) {
   std::istream is(&buf);
   switch (msg.type) {
     case MsgType::ModelDown:
+      msg.task = read_pod<std::int32_t>(is);
+      msg.spec_text = read_string(is);
       msg.weights = read_weight_set(is);
       msg.rng_state = read_pod<std::array<std::uint64_t, 4>>(is);
       break;
     case MsgType::UpdateUp:
+      msg.task = read_pod<std::int32_t>(is);
       msg.weights = read_weight_set(is);
       msg.avg_loss = read_pod<double>(is);
       msg.num_samples = read_pod<std::int32_t>(is);
@@ -113,6 +121,8 @@ void decode_payload(FabricMessage& msg, std::string_view payload) {
       msg.reason = read_string(is);
       break;
     case MsgType::JoinRound:
+      msg.task = read_pod<std::int32_t>(is);
+      break;
     case MsgType::Ack:
       break;
   }

@@ -34,7 +34,12 @@ enum class MsgType : std::uint8_t {
 };
 
 constexpr std::uint32_t kWireMagic = 0x46544E46u;  // "FTNF"
-constexpr std::uint16_t kWireVersion = 1;
+/// v2: JoinRound/ModelDown/UpdateUp carry a per-round task slot id, and
+/// ModelDown carries an optional serialized ModelSpec — one client can now
+/// train several heterogeneous submodels per round, which is what lets
+/// every Strategy (HeteroFL crops, SplitMix base ensembles, FedTrans model
+/// families) run over the fabric, not just single-global-model FedAvg.
+constexpr std::uint16_t kWireVersion = 2;
 /// Fixed frame header size in bytes (see layout above).
 constexpr std::size_t kWireHeaderBytes = 4 + 2 + 1 + 1 + 4 + 4 + 4 + 8 + 8;
 /// Sender/receiver id of the federation server (clients are their >= 0 ids).
@@ -47,6 +52,17 @@ struct FabricMessage {
   std::uint32_t round = 0;
   std::int32_t sender = kServerId;
   std::int32_t receiver = kServerId;
+
+  /// JoinRound/ModelDown/UpdateUp: the round's task slot this frame belongs
+  /// to (index into the coordinator's task list). Strategies that train one
+  /// model per client use slot == selection index; SplitMix-style
+  /// strategies give one slot per (client, base) pair.
+  std::int32_t task = 0;
+
+  /// ModelDown: serialized ModelSpec of the payload model, or empty when
+  /// the receiver should use its round prototype (single-global-model
+  /// strategies broadcast one shared weight blob).
+  std::string spec_text;
 
   /// ModelDown: global weights. UpdateUp: the client's delta.
   WeightSet weights;

@@ -321,7 +321,9 @@ TEST(DropoutTest, SurvivorsAreScaledByInverseKeepProbability) {
   Dropout drop(0.25, 9);
   Tensor y = drop.forward(x, true);
   for (std::int64_t i = 0; i < y.numel(); ++i)
-    if (y[i] != 0.0f) EXPECT_NEAR(y[i], 2.0f / 0.75f, 1e-5);
+    if (y[i] != 0.0f) {
+      EXPECT_NEAR(y[i], 2.0f / 0.75f, 1e-5);
+    }
 }
 
 TEST(DropoutTest, BackwardUsesSameMaskAsForward) {

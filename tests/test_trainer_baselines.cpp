@@ -192,9 +192,10 @@ TEST(HeteroFL, LevelAssignmentFitsCapacity) {
   for (int c = 0; c < data.num_clients(); ++c) {
     const int lvl = runner.level_for(c);
     Model sub = runner.submodel(lvl);
-    if (lvl < runner.num_levels() - 1)  // deepest level is the fallback
+    if (lvl < runner.num_levels() - 1) {  // deepest level is the fallback
       EXPECT_LE(static_cast<double>(sub.macs()),
                 fleet[static_cast<std::size_t>(c)].capacity_macs);
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "model/spec.hpp"
 #include "net/wire.hpp"
 
 namespace fedtrans {
@@ -34,10 +35,18 @@ FabricMessage random_message(Rng& rng) {
   m.round = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
   m.sender = rng.uniform_int(-1, 512);
   m.receiver = rng.uniform_int(-1, 512);
+  if (m.type == MsgType::ModelDown || m.type == MsgType::UpdateUp ||
+      m.type == MsgType::JoinRound)
+    m.task = rng.uniform_int(0, 4096);
   if (m.type == MsgType::ModelDown || m.type == MsgType::UpdateUp)
     m.weights = random_weight_set(rng);
-  if (m.type == MsgType::ModelDown)
+  if (m.type == MsgType::ModelDown) {
     for (auto& s : m.rng_state) s = rng.next_u64();
+    // Heterogeneous payloads carry their architecture on the wire (v2);
+    // shared-blob broadcasts leave it empty.
+    if (rng.uniform_int(0, 1) == 1)
+      m.spec_text = ModelSpec::conv(1, 8, 4, 4, {6, 8}).serialize();
+  }
   if (m.type == MsgType::UpdateUp) {
     m.avg_loss = rng.uniform(-10.0, 10.0);
     m.num_samples = rng.uniform_int(0, 10000);
@@ -58,13 +67,19 @@ void expect_equal(const FabricMessage& a, const FabricMessage& b) {
     for (std::int64_t j = 0; j < a.weights[i].numel(); ++j)
       EXPECT_EQ(a.weights[i][j], b.weights[i][j]) << "tensor " << i;
   }
-  if (a.type == MsgType::ModelDown) EXPECT_EQ(a.rng_state, b.rng_state);
+  EXPECT_EQ(a.task, b.task);
+  if (a.type == MsgType::ModelDown) {
+    EXPECT_EQ(a.rng_state, b.rng_state);
+    EXPECT_EQ(a.spec_text, b.spec_text);
+  }
   if (a.type == MsgType::UpdateUp) {
     EXPECT_EQ(a.avg_loss, b.avg_loss);
     EXPECT_EQ(a.num_samples, b.num_samples);
     EXPECT_EQ(a.macs_used, b.macs_used);
   }
-  if (a.type == MsgType::Abort) EXPECT_EQ(a.reason, b.reason);
+  if (a.type == MsgType::Abort) {
+    EXPECT_EQ(a.reason, b.reason);
+  }
 }
 
 TEST(WireTest, RandomMessagesRoundTripBitwise) {

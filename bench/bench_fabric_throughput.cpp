@@ -1,9 +1,11 @@
 // Federation-fabric throughput (google-benchmark): messages per second and
 // bytes moved per round through the wire protocol + simulated transport +
 // FederationServer exchange, as a function of the client count — plus the
-// raw encode/decode rate of ModelDown-sized frames. Emitted into
-// BENCH_micro_ops.json by scripts/bench_micro.sh (counters: msgs_per_s,
-// bytes_per_round, msgs_per_round).
+// same round over the sharded (2-level) aggregation tree as a function of
+// the shard count, and the raw encode/decode rate of ModelDown-sized
+// frames. Emitted into BENCH_micro_ops.json by scripts/bench_micro.sh
+// (counters: msgs_per_s, msgs_per_s_sharded, bytes_per_round,
+// msgs_per_round).
 
 #include <benchmark/benchmark.h>
 
@@ -74,6 +76,60 @@ void BM_FabricRound(benchmark::State& state) {
       static_cast<double>(bytes) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_FabricRound)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+/// The same full round over the sharded aggregation tree (2 levels ×
+/// `shards` leaves, fixed 64-client fleet): shard-parallel leaf collection
+/// plus bundled ShardDown/PartialUp traffic at the root. shards == 1 is
+/// the degenerate one-leaf tree — compare against BM_FabricRound/64-ish
+/// flat numbers for the bundling overhead itself.
+void BM_FabricRoundSharded(benchmark::State& state) {
+  const int clients = 64;
+  const int shards = static_cast<int>(state.range(0));
+  auto data = FederatedDataset::generate(bench_data(clients));
+  FleetConfig fleet_cfg;
+  fleet_cfg.num_devices = clients;
+  fleet_cfg.with_median_capacity(5e6);
+  auto fleet = sample_fleet(fleet_cfg);
+  Rng rng(1);
+  Model model(bench_model(), rng);
+  LocalTrainConfig local;
+  local.steps = 2;
+  local.batch = 4;
+  FabricTopology topo;
+  topo.levels = 2;
+  topo.shards = shards;
+  FederationServer server(model, data, fleet, local, FaultConfig{}, topo);
+
+  std::vector<int> selected(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) selected[static_cast<std::size_t>(c)] = c;
+  WeightSet global = model.weights();
+
+  std::uint64_t round = 0;
+  std::uint64_t frames0 = server.stats().frames_sent.load();
+  std::uint64_t bytes0 = server.stats().bytes_sent.load();
+  for (auto _ : state) {
+    std::vector<Rng> rngs;
+    rngs.reserve(selected.size());
+    Rng round_rng(round + 17);
+    for (std::size_t i = 0; i < selected.size(); ++i)
+      rngs.push_back(round_rng.fork());
+    auto ex = server.run_round(static_cast<std::uint32_t>(round++), global,
+                               selected, rngs);
+    benchmark::DoNotOptimize(ex.results.data());
+  }
+  const std::uint64_t frames =
+      server.stats().frames_sent.load() - frames0;
+  const std::uint64_t bytes = server.stats().bytes_sent.load() - bytes0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.counters["msgs_per_s_sharded"] = benchmark::Counter(
+      static_cast<double>(frames), benchmark::Counter::kIsRate);
+  state.counters["msgs_per_round"] =
+      static_cast<double>(frames) / static_cast<double>(state.iterations());
+  state.counters["bytes_per_round"] =
+      static_cast<double>(bytes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_FabricRoundSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 /// Pure wire-protocol cost: encode+decode of a ModelDown frame carrying the

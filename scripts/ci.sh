@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verify in one command: configure + build + ctest. Exits nonzero on
-# the first failure, so CI and tooling can gate on it directly. The build
-# runs with -Wall -Wextra promoted to errors (FEDTRANS_WERROR=ON), so a new
-# warning fails CI.
+# Tier-1 verify in one command: docs check + configure + build + ctest.
+# Exits nonzero on the first failure, so CI and tooling can gate on it
+# directly. The build runs with -Wall -Wextra promoted to errors
+# (FEDTRANS_WERROR=ON), so a new warning fails CI; the docs check
+# (scripts/check_docs.sh) fails on pages referencing renamed/removed files
+# or symbols. The ctest suite includes the sharded-parity and retry-policy
+# gates (test_fabric) and the engine/shim parity gates (test_engine_parity).
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 #   BUILD_DIR  build directory   (default: build)
@@ -13,6 +16,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
 
+scripts/check_docs.sh
 cmake -B "$BUILD_DIR" -S . -DFEDTRANS_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"

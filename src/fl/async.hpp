@@ -29,10 +29,20 @@ struct AsyncRunConfig : SessionRuntime {
   double staleness_exponent = 0.5;
   ServerOptKind server_opt = ServerOptKind::FedAvg;
 
+  /// Run the event loop over the federation fabric: every dispatch is a
+  /// real ModelDown/UpdateUp round trip, completions are ordered by
+  /// server-side delivery time, and lost updates hit `topology`'s
+  /// ack-timeout/retry policy (under `fabric_faults` injection).
+  bool use_fabric = false;
+  FaultConfig fabric_faults{};
+  FabricTopology topology{};
+
   SessionConfig to_session() const {
     SessionConfig s = SessionConfig::from(*this);
     s.with_async(AsyncBlock{concurrency, buffer_size, aggregations,
                             staleness_exponent});
+    if (use_fabric) s.with_fabric(fabric_faults);
+    s.topology = topology;
     return s;
   }
 };

@@ -101,7 +101,7 @@ ExchangeResult FederationEngine::exchange(
     if (!fabric_)
       fabric_ = std::make_unique<FederationServer>(
           strategy_->reference_model(), data_, fleet_, cfg_.local,
-          cfg_.fabric_faults);
+          cfg_.fabric_faults, cfg_.topology);
     std::vector<int> clients;
     clients.reserve(tasks.size());
     for (const ClientTask& t : tasks) clients.push_back(t.client);
@@ -136,6 +136,11 @@ ExchangeResult FederationEngine::exchange(
       ex = fabric_->run_round(static_cast<std::uint32_t>(round_), ptrs,
                               clients, client_rngs);
     }
+    // Retry-policy resends are real network traffic the strategies never
+    // see (they bill one down + one up per update); the engine bills them
+    // directly. Zero without faults, so parity with in-process runs holds.
+    if (ex.retry_down_bytes > 0.0 || ex.retry_up_bytes > 0.0)
+      costs_.add_transfer(ex.retry_down_bytes, ex.retry_up_bytes);
     return ex;
   }
 
@@ -254,10 +259,10 @@ void FederationEngine::run_async() {
   FT_CHECK(cfg_.async.concurrency > 0 && cfg_.async.buffer_size > 0 &&
            cfg_.async.aggregations > 0 &&
            cfg_.async.staleness_exponent >= 0.0);
-  // Fabric-backed async (FedBuff over real messages) is a ROADMAP item;
-  // refuse the combination rather than silently dropping fault injection.
-  FT_CHECK_MSG(!cfg_.use_fabric,
-               "async sessions do not run over the fabric yet");
+  if (cfg_.use_fabric) {
+    run_async_fabric();
+    return;
+  }
   RoundContext ctx = make_context();
   for (int i = 0; i < cfg_.async.concurrency; ++i) dispatch_async();
   while (version_ < cfg_.async.aggregations) {
@@ -295,6 +300,140 @@ void FederationEngine::run_async() {
       for (RoundObserver* obs : observers_) obs->on_round_end(rec);
     }
     dispatch_async();
+  }
+}
+
+void FederationEngine::run_async_fabric() {
+  // FedBuff over real messages: every dispatch is a wire-level ModelDown /
+  // UpdateUp round trip through the FederationServer, and the event loop
+  // orders completions by the *server-side delivery instant* of each
+  // UpdateUp — uplink latency, retries and reordering all shift when an
+  // update is folded in, unlike the in-process approximation (which orders
+  // by client finish time and forks Rngs at completion; the two modes are
+  // deliberately distinct simulations, not bitwise twins). The staleness
+  // here is also more faithful: weights ride the ModelDown frame, so a
+  // client trains on the snapshot it downloaded at dispatch time.
+  Model* shared = strategy_->shared_model();
+  FT_CHECK_MSG(shared != nullptr,
+               "async scheduling requires a shared-model strategy");
+  if (!fabric_)
+    fabric_ = std::make_unique<FederationServer>(
+        strategy_->reference_model(), data_, fleet_, cfg_.local,
+        cfg_.fabric_faults, cfg_.topology);
+  RoundContext ctx = make_context();
+  const double model_bytes = static_cast<double>(shared->param_bytes());
+  // The server waits one ack-timeout per allowed uplink attempt: resend k
+  // leaves the device ~k·ack_timeout_s after training ends, so a deadline
+  // of a single timeout could never admit a retried update — the budget
+  // would be billed traffic with zero recovery.
+  const double deadline_s =
+      static_cast<double>(cfg_.topology.max_retries + 1) *
+      cfg_.topology.ack_timeout_s;
+
+  // One pending server-side event per in-flight client: either the arrival
+  // of its UpdateUp, or the ack-timeout at which the server gives up on it
+  // (the update was lost despite retries, or lands too late to count).
+  struct Pending {
+    double t = 0.0;
+    std::uint32_t job = 0;
+    int client = 0;
+    int version = 0;
+    bool arrival = false;
+    double macs_wasted = 0.0;
+    LocalTrainResult res;  // valid iff arrival
+  };
+  auto later = [](const Pending& a, const Pending& b) {
+    if (a.t != b.t) return a.t > b.t;
+    return a.job > b.job;  // deterministic tie-break: dispatch order
+  };
+  std::priority_queue<Pending, std::vector<Pending>, decltype(later)>
+      pending(later);
+  std::uint32_t next_job = 0;
+  int lost_since_ship = 0;
+
+  auto dispatch = [&] {
+    const int c = rng_.uniform_int(0, data_.num_clients() - 1);
+    Rng crng = rng_.fork();
+    AsyncTurnaround turn =
+        fabric_->async_exchange(next_job, c, shared->weights(), crng, now_s_);
+    if (turn.retry_up_bytes > 0.0)
+      costs_.add_transfer(0.0, turn.retry_up_bytes);
+    costs_.add_client_round_time(turn.busy_s);
+    Pending p;
+    p.job = next_job++;
+    p.client = c;
+    p.version = version_;
+    if (turn.outcome == ClientOutcome::Trained &&
+        turn.update_at_s <= now_s_ + deadline_s) {
+      p.arrival = true;
+      p.t = turn.update_at_s;
+      p.res = std::move(turn.res);
+    } else {
+      p.arrival = false;
+      p.t = now_s_ + deadline_s;
+      p.macs_wasted = turn.outcome == ClientOutcome::LostDown
+                          ? 0.0
+                          : turn.res.macs_used;
+    }
+    pending.push(std::move(p));
+  };
+
+  // Zero-progress guard: if the deadline is shorter than every client's
+  // round trip (slow fleet, huge model, tiny ack_timeout_s), every event
+  // is a timeout and version_ never advances — fail loudly instead of
+  // looping forever. Legitimate faulty runs fold arrivals in long before
+  // this bound.
+  const int max_consecutive_timeouts =
+      std::max(1000, 64 * cfg_.async.concurrency);
+  int consecutive_timeouts = 0;
+
+  for (int i = 0; i < cfg_.async.concurrency; ++i) dispatch();
+  while (version_ < cfg_.async.aggregations) {
+    FT_CHECK_MSG(!pending.empty(), "async scheduler starved");
+    // Move the event out (top() is const only to protect heap order, which
+    // pop() discards anyway) — the delta is model-sized, a copy per
+    // absorbed update would be pure memcpy waste.
+    Pending ev = std::move(const_cast<Pending&>(pending.top()));
+    pending.pop();
+    now_s_ = ev.t;
+
+    if (ev.arrival) {
+      consecutive_timeouts = 0;
+      const int staleness = version_ - ev.version;
+      staleness_sum_ += staleness;
+      ++async_updates_;
+      const double discount =
+          std::pow(1.0 + staleness, -cfg_.async.staleness_exponent);
+      ctx.round = version_;
+      const auto shipped =
+          strategy_->absorb_async(ev.client, ev.res, discount, ctx);
+      if (shipped.has_value()) {
+        ++version_;
+        RoundRecord rec;
+        rec.round = version_;
+        rec.avg_loss = *shipped;
+        rec.cum_macs = costs_.total_macs();
+        rec.round_time_s = now_s_;
+        rec.lost_updates = lost_since_ship;
+        lost_since_ship = 0;
+        maybe_probe(version_, ctx, rec);
+        history_.push_back(rec);
+        for (RoundObserver* obs : observers_) obs->on_round_end(rec);
+      }
+    } else {
+      // Ack-timeout: bill the spent downlink and any wasted device compute
+      // (the strategies only bill updates they absorb), count the loss
+      // against the next shipped version, and replace the client.
+      ++lost_since_ship;
+      costs_.add_transfer(model_bytes, 0.0);
+      if (ev.macs_wasted > 0.0) costs_.add_training_macs(ev.macs_wasted);
+      FT_CHECK_MSG(++consecutive_timeouts < max_consecutive_timeouts,
+                   "fabric-backed async session makes no progress: no "
+                   "update arrived within (max_retries + 1) * ack_timeout_s"
+                   " — raise topology.ack_timeout_s above the fleet's round"
+                   "-trip time");
+    }
+    dispatch();
   }
 }
 

@@ -233,6 +233,10 @@ class FederationEngine {
  private:
   RoundContext make_context();
   void run_async();
+  /// FedBuff's event loop over real fabric messages: completions are
+  /// ordered by the server-side delivery instant of each UpdateUp, lost
+  /// updates hit an ack-timeout and are replaced.
+  void run_async_fabric();
   void dispatch_async();
   /// Periodic accuracy probe shared by both modes: fills rec.accuracy when
   /// eval_every divides `tick` (the round in sync mode, the shipped server

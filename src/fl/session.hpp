@@ -29,6 +29,40 @@ struct SessionRuntime {
 /// buffered-asynchronous (FedBuff-style) aggregation.
 enum class SessionMode : std::uint8_t { Sync, Async };
 
+/// Shape and reliability knobs of the federation fabric (only consulted
+/// when `use_fabric` is set).
+///
+/// `levels`/`shards` describe the aggregation tree: `levels == 1` is the
+/// flat FederationServer (every client talks to the root); `levels == 2`
+/// adds `shards` leaf aggregators — the root ships one bundled `ShardDown`
+/// frame per shard, leaves fan out to their client partition, collect their
+/// partition's `UpdateUp`s in parallel on the shared ThreadPool, and
+/// forward one bundled `PartialUp` upstream. Bundles carry the per-task
+/// updates verbatim (the numeric reduction stays with the engine, in fixed
+/// task order), so fault-free sharded rounds are bitwise identical to flat
+/// ones.
+///
+/// `ack_timeout_s`/`max_retries` are the retry policy: a sender whose frame
+/// was lost resends it `ack_timeout_s` simulated seconds later, up to
+/// `max_retries` times; resent frames are flagged on the wire, counted in
+/// FabricStats, and billed through CostMeter. In async sessions the server
+/// additionally waits one ack-timeout per allowed uplink attempt — a
+/// dispatched client whose update has not arrived
+/// `(max_retries + 1) × ack_timeout_s` after dispatch is counted lost and
+/// replaced.
+struct FabricTopology {
+  /// Aggregation tiers above the clients: 1 = flat root, 2 = root + leaves.
+  int levels = 1;
+  /// Leaf aggregator count when levels == 2 (task slot i lands on shard
+  /// i % shards).
+  int shards = 1;
+  /// Simulated seconds between resend attempts / until async give-up.
+  double ack_timeout_s = 60.0;
+  /// Bounded resend budget for lost uplink/bundle frames (0 = no retries,
+  /// the historical behavior).
+  int max_retries = 0;
+};
+
 /// Asynchronous-scheduling block (FedBuff; Nguyen et al., AISTATS'22).
 struct AsyncBlock {
   /// Number of client trainings kept in flight at all times.
@@ -61,6 +95,9 @@ struct SessionConfig : SessionRuntime {
   bool use_fabric = false;
   /// Transport fault injection; only consulted when use_fabric is set.
   FaultConfig fabric_faults{};
+  /// Fabric shape (flat vs sharded tree) + retry policy; only consulted
+  /// when use_fabric is set.
+  FabricTopology topology{};
   AsyncBlock async{};
 
   // Fluent builder.
@@ -83,6 +120,21 @@ struct SessionConfig : SessionRuntime {
   SessionConfig& with_fabric(const FaultConfig& f = {}) {
     use_fabric = true;
     fabric_faults = f;
+    return *this;
+  }
+  /// Sharded fabric: a 2-level aggregation tree with `k` leaf shards
+  /// (implies with_fabric()).
+  SessionConfig& with_shards(int k, int levels = 2) {
+    use_fabric = true;
+    topology.shards = k;
+    topology.levels = levels;
+    return *this;
+  }
+  /// Fabric retry policy: bounded resend of lost frames, `ack_timeout_s`
+  /// simulated seconds apart.
+  SessionConfig& with_retries(int max_retries, double ack_timeout_s = 60.0) {
+    topology.max_retries = max_retries;
+    topology.ack_timeout_s = ack_timeout_s;
     return *this;
   }
   SessionConfig& with_async(const AsyncBlock& a) {

@@ -12,9 +12,82 @@
 
 namespace fedtrans {
 
+namespace {
+
+/// Send `encode(0)`; on loss resend `encode(kFlagRetry)` every
+/// `ack_timeout_s` simulated seconds, up to `max_retries` times. Returns
+/// whether any attempt was delivered. Every resend is counted in
+/// FabricStats (frames_retried + the directional retry-byte counter the
+/// engine bills through CostMeter).
+bool send_with_retry(SimTransport& net, std::int32_t src, std::int32_t dst,
+                     double first_at_s, const FabricTopology& policy,
+                     bool downlink,
+                     const std::function<std::string(std::uint8_t)>& encode) {
+  std::string frame = encode(0);
+  const std::size_t bytes = frame.size();
+  if (net.send(src, dst, std::move(frame), first_at_s)) return true;
+  for (int k = 1; k <= policy.max_retries; ++k) {
+    net.stats_mutable().frames_retried.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    auto& counter = downlink ? net.stats_mutable().retry_bytes_down
+                             : net.stats_mutable().retry_bytes_up;
+    counter.fetch_add(bytes, std::memory_order_relaxed);
+    if (net.send(src, dst, encode(kFlagRetry),
+                 first_at_s + static_cast<double>(k) * policy.ack_timeout_s))
+      return true;
+  }
+  return false;
+}
+
+/// The [slot][spec][weights] head shared by every ModelDown payload: the
+/// `body` argument is the [spec string][weights] section (encoded once per
+/// distinct payload), the Rng state is appended per task.
+std::string model_down_payload(std::int32_t slot, const std::string& body,
+                               const std::array<std::uint64_t, 4>& rng_state) {
+  std::ostringstream head(std::ios::binary);
+  write_pod<std::int32_t>(head, slot);
+  std::string payload = head.str();
+  payload.reserve(payload.size() + body.size() + sizeof(rng_state));
+  payload.append(body);
+  payload.append(reinterpret_cast<const char*>(rng_state.data()),
+                 sizeof(rng_state));
+  return payload;
+}
+
+/// Encode the [empty spec][weight blob] body of a shared-model broadcast.
+std::string shared_body(const WeightSet& global) {
+  std::ostringstream os(std::ios::binary);
+  write_string(os, std::string{});  // empty spec: use the prototype
+  write_weight_set(os, global);
+  return os.str();
+}
+
+/// Slot/sender validation shared by every update consumer (flat collect,
+/// leaf match, root merge): a task id is admissible iff it indexes the
+/// round's task list and was reported by the client owning that slot.
+/// First-arrival dedup stays with the caller — the structures differ.
+bool admissible_slot(std::int32_t task, std::int32_t sender,
+                     const std::vector<int>& clients) {
+  return task >= 0 && task < static_cast<std::int32_t>(clients.size()) &&
+         clients[static_cast<std::size_t>(task)] == sender;
+}
+
+/// Encode the [spec][weights] body of a heterogeneous payload model
+/// (params() walks mutably, hence the non-const ref).
+std::string task_body(Model& payload) {
+  std::ostringstream os(std::ios::binary);
+  write_string(os, payload.spec().serialize());
+  auto ps = payload.params();
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(ps.size()));
+  for (auto& p : ps) p.value->save(os);
+  return os.str();
+}
+
+}  // namespace
+
 ClientAgent::ClientAgent(int id, const FederatedDataset& data,
-                         LocalTrainConfig local)
-    : id_(id), data_(&data), local_(local) {}
+                         LocalTrainConfig local, FabricTopology policy)
+    : id_(id), data_(&data), local_(local), policy_(policy) {}
 
 void ClientAgent::poll(std::uint32_t round, const Model& prototype,
                        SimTransport& net,
@@ -44,8 +117,8 @@ void ClientAgent::poll(std::uint32_t round, const Model& prototype,
         ack.type = MsgType::Ack;
         ack.round = round;
         ack.sender = id_;
-        ack.receiver = kServerId;
-        net.send(id_, kServerId, encode_message(ack), env.deliver_at_s);
+        ack.receiver = msg.sender;
+        net.send(id_, msg.sender, encode_message(ack), env.deliver_at_s);
       }
     } else if (msg.type == MsgType::ModelDown) {
       if (downs.find(msg.task) == downs.end()) {
@@ -60,6 +133,7 @@ void ClientAgent::poll(std::uint32_t round, const Model& prototype,
   const bool dropped_out = net.client_dropped_out(round, id_);
   bool trained_any = false;
   double last_done_s = 0.0;
+  std::set<std::int32_t> coordinators;  // distinct ModelDown senders
 
   for (auto& [task, msg] : downs) {
     // The invitation is load-bearing: a task whose JoinRound never arrived
@@ -85,38 +159,49 @@ void ClientAgent::poll(std::uint32_t round, const Model& prototype,
     const double done_s = down_at_s[task] + compute_s;
     trained_any = true;
     last_done_s = std::max(last_done_s, done_s);
+    coordinators.insert(msg.sender);
 
     if (dropped_out) {
       outcomes[static_cast<std::size_t>(task)] = ClientOutcome::Dropout;
       continue;
     }
 
+    // Upload to the coordinator that sent the model (the root, or the
+    // shard aggregator owning this slot), resending a lost frame under the
+    // retry policy. A dropped-out device never retries — it is gone.
     FabricMessage up;
     up.type = MsgType::UpdateUp;
     up.round = round;
     up.sender = id_;
-    up.receiver = kServerId;
+    up.receiver = msg.sender;
     up.task = task;
     up.weights = std::move(res.delta);
     up.avg_loss = res.avg_loss;
     up.num_samples = res.num_samples;
     up.macs_used = res.macs_used;
-    const bool delivered =
-        net.send(id_, kServerId, encode_message(up), done_s);
+    const bool delivered = send_with_retry(
+        net, id_, msg.sender, done_s, policy_, /*downlink=*/false,
+        [&up](std::uint8_t flags) {
+          up.flags = flags;
+          return encode_message(up);
+        });
     outcomes[static_cast<std::size_t>(task)] =
         delivered ? ClientOutcome::Trained : ClientOutcome::LostUp;
   }
 
   if (dropped_out && trained_any) {
-    // The device vanished after training. It attempts a courtesy Abort,
-    // which rides the same lossy link as everything else.
-    FabricMessage abort_msg;
-    abort_msg.type = MsgType::Abort;
-    abort_msg.round = round;
-    abort_msg.sender = id_;
-    abort_msg.receiver = kServerId;
-    abort_msg.reason = "dropout";
-    net.send(id_, kServerId, encode_message(abort_msg), last_done_s);
+    // The device vanished after training. It attempts a courtesy Abort to
+    // each coordinator it trained for, riding the same lossy links as
+    // everything else.
+    for (std::int32_t coord : coordinators) {
+      FabricMessage abort_msg;
+      abort_msg.type = MsgType::Abort;
+      abort_msg.round = round;
+      abort_msg.sender = id_;
+      abort_msg.receiver = coord;
+      abort_msg.reason = "dropout";
+      net.send(id_, coord, encode_message(abort_msg), last_done_s);
+    }
     net.stats_mutable().client_dropouts.fetch_add(1,
                                                   std::memory_order_relaxed);
   }
@@ -125,25 +210,35 @@ void ClientAgent::poll(std::uint32_t round, const Model& prototype,
 FederationServer::FederationServer(const Model& prototype,
                                    const FederatedDataset& data,
                                    std::vector<DeviceProfile> fleet,
-                                   LocalTrainConfig local, FaultConfig faults)
-    : prototype_(prototype), data_(&data) {
+                                   LocalTrainConfig local, FaultConfig faults,
+                                   FabricTopology topology)
+    : prototype_(prototype), data_(&data), local_(local), topo_(topology) {
   FT_CHECK_MSG(static_cast<int>(fleet.size()) == data.num_clients(),
                "fabric fleet size must match client count");
-  net_ = std::make_unique<SimTransport>(std::move(fleet), faults);
+  FT_CHECK_MSG(topo_.levels >= 1 && topo_.levels <= 2,
+               "fabric topology supports 1 (flat) or 2 (root + shard "
+               "aggregators) levels, got " << topo_.levels);
+  FT_CHECK_MSG(topo_.shards >= 1, "fabric topology needs >= 1 shard");
+  FT_CHECK_MSG(topo_.max_retries >= 0 && topo_.ack_timeout_s > 0.0,
+               "fabric retry policy needs max_retries >= 0 and a positive "
+               "ack timeout");
+  net_ = std::make_unique<SimTransport>(std::move(fleet), faults,
+                                        sharded() ? topo_.shards : 0);
   agents_.reserve(static_cast<std::size_t>(data.num_clients()));
   for (int c = 0; c < data.num_clients(); ++c)
-    agents_.emplace_back(c, data, local);
+    agents_.emplace_back(c, data, local, topo_);
 }
 
 void FederationServer::send_join(std::uint32_t round, std::int32_t task,
-                                 int client) {
+                                 int client, std::int32_t coordinator,
+                                 double sent_at_s) {
   FabricMessage join;
   join.type = MsgType::JoinRound;
   join.round = round;
-  join.sender = kServerId;
+  join.sender = coordinator;
   join.receiver = client;
   join.task = task;
-  net_->send(kServerId, client, encode_message(join));
+  net_->send(coordinator, client, encode_message(join), sent_at_s);
 }
 
 void FederationServer::broadcast_shared(std::uint32_t round,
@@ -154,26 +249,22 @@ void FederationServer::broadcast_shared(std::uint32_t round,
   // Rng-state sections of the ModelDown payload differ, so broadcast is one
   // encode plus a couple of memcpys per client rather than n WeightSet
   // deep copies.
-  std::ostringstream wos(std::ios::binary);
-  write_weight_set(wos, global);
-  const std::string weight_blob = wos.str();
+  const std::string body = shared_body(global);
+
+  if (sharded()) {
+    std::vector<const std::string*> slot_body(clients.size(), &body);
+    broadcast_sharded(round, clients, client_rngs, slot_body);
+    return;
+  }
 
   for (std::size_t i = 0; i < clients.size(); ++i) {
     const int c = clients[i];
-    send_join(round, static_cast<std::int32_t>(i), c);
-
-    std::ostringstream head(std::ios::binary);
-    write_pod<std::int32_t>(head, static_cast<std::int32_t>(i));
-    write_string(head, std::string{});  // empty spec: use the prototype
-    std::string payload = head.str();
-    const auto rng_state = client_rngs[i].state();
-    payload.reserve(payload.size() + weight_blob.size() + sizeof(rng_state));
-    payload.append(weight_blob);
-    payload.append(reinterpret_cast<const char*>(rng_state.data()),
-                   sizeof(rng_state));
+    send_join(round, static_cast<std::int32_t>(i), c, kServerId);
     net_->send(kServerId, c,
                encode_frame(MsgType::ModelDown, round, kServerId, c,
-                            payload));
+                            model_down_payload(static_cast<std::int32_t>(i),
+                                               body,
+                                               client_rngs[i].state())));
   }
 }
 
@@ -188,36 +279,109 @@ void FederationServer::broadcast_tasks(std::uint32_t round,
   // and reused; only the slot id and Rng state differ per frame.
   std::unordered_map<const Model*, std::string> encoded;
   for (std::size_t i = 0; i < clients.size(); ++i) {
-    const int c = clients[i];
-    send_join(round, static_cast<std::int32_t>(i), c);
-
     std::string& body = encoded[payloads[i]];
-    if (body.empty()) {
-      std::ostringstream os(std::ios::binary);
-      write_string(os, payloads[i]->spec().serialize());
-      auto ps = payloads[i]->params();
-      write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(ps.size()));
-      for (auto& p : ps) p.value->save(os);
-      body = os.str();
-    }
+    if (body.empty()) body = task_body(*payloads[i]);
+  }
 
-    std::ostringstream head(std::ios::binary);
-    write_pod<std::int32_t>(head, static_cast<std::int32_t>(i));
-    std::string payload = head.str();
-    const auto rng_state = client_rngs[i].state();
-    payload.reserve(payload.size() + body.size() + sizeof(rng_state));
-    payload.append(body);
-    payload.append(reinterpret_cast<const char*>(rng_state.data()),
-                   sizeof(rng_state));
+  if (sharded()) {
+    std::vector<const std::string*> slot_body(clients.size());
+    for (std::size_t i = 0; i < clients.size(); ++i)
+      slot_body[i] = &encoded[payloads[i]];
+    broadcast_sharded(round, clients, client_rngs, slot_body);
+    return;
+  }
+
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const int c = clients[i];
+    send_join(round, static_cast<std::int32_t>(i), c, kServerId);
     net_->send(kServerId, c,
                encode_frame(MsgType::ModelDown, round, kServerId, c,
-                            payload));
+                            model_down_payload(static_cast<std::int32_t>(i),
+                                               encoded[payloads[i]],
+                                               client_rngs[i].state())));
   }
 }
 
-void FederationServer::collect(std::uint32_t round,
-                               const std::vector<int>& clients,
-                               ExchangeResult& out) {
+void FederationServer::broadcast_sharded(
+    std::uint32_t round, const std::vector<int>& clients,
+    const std::vector<Rng>& client_rngs,
+    const std::vector<const std::string*>& slot_body) {
+  // Root → leaves: one bundled ShardDown per shard. Each bundle carries a
+  // table of this shard's distinct payload bodies (each encoded once) plus
+  // the shard's task list; a lost bundle is resent under the retry policy,
+  // and a bundle lost for good leaves the whole shard at LostDown.
+  for (int s = 0; s < topo_.shards; ++s) {
+    ShardDownlink d;
+    d.shard = s;
+    std::unordered_map<const std::string*, std::uint32_t> body_idx;
+    for (std::size_t i = static_cast<std::size_t>(s); i < clients.size();
+         i += static_cast<std::size_t>(topo_.shards)) {
+      auto [it, fresh] = body_idx.emplace(
+          slot_body[i], static_cast<std::uint32_t>(d.bodies.size()));
+      if (fresh) d.bodies.push_back(*slot_body[i]);
+      DownlinkTask t;
+      t.task = static_cast<std::int32_t>(i);
+      t.client = clients[i];
+      t.body = it->second;
+      t.rng_state = client_rngs[i].state();
+      d.tasks.push_back(t);
+    }
+    if (d.tasks.empty()) continue;
+    send_with_retry(*net_, kServerId, aggregator_id(s), /*first_at_s=*/0.0,
+                    topo_, /*downlink=*/true, [&](std::uint8_t flags) {
+                      return encode_shard_down(round, aggregator_id(s), d,
+                                               flags);
+                    });
+  }
+  fan_out_shards(round);
+}
+
+void FederationServer::fan_out_shards(std::uint32_t round) {
+  // Leaves fan the bundle out to their client partition — JoinRound +
+  // ModelDown per task, byte-identical payloads to what a flat broadcast
+  // would have sent (only the coordinator id differs), so agents train
+  // bit-identically. Shard-parallel on the shared ThreadPool: leaves own
+  // disjoint task partitions and the transport mailboxes are thread-safe.
+  ThreadPool::global().parallel_for(
+      topo_.shards, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t s = lo; s < hi; ++s) {
+          const std::int32_t leaf = aggregator_id(static_cast<int>(s));
+          bool handled = false;
+          for (Envelope& env : net_->drain(leaf)) {
+            // First arrival wins (duplicate/retried bundles are possible);
+            // skipping before the decode spares the model-sized parse.
+            if (handled) continue;
+            ShardDownlink d;
+            try {
+              d = decode_shard_down(env.frame);
+            } catch (const Error&) {
+              net_->stats_mutable().frames_rejected.fetch_add(
+                  1, std::memory_order_relaxed);
+              continue;
+            }
+            if (d.round != round) continue;
+            handled = true;
+            for (const DownlinkTask& t : d.tasks) {
+              // Both per-client frames leave when the bundle arrived — a
+              // retried ShardDown must not invite clients retroactively.
+              send_join(round, t.task, t.client, leaf, env.deliver_at_s);
+              net_->send(leaf, t.client,
+                         encode_frame(MsgType::ModelDown, round, leaf,
+                                      t.client,
+                                      model_down_payload(
+                                          t.task, d.bodies[t.body],
+                                          t.rng_state),
+                                      0),
+                         env.deliver_at_s);
+            }
+          }
+        }
+      });
+}
+
+void FederationServer::poll_agents(std::uint32_t round,
+                                   const std::vector<int>& clients,
+                                   ExchangeResult& out) {
   // ClientAgent workers run concurrently on the shared ThreadPool — one
   // poll per *distinct* client (an agent drains its whole mailbox, which
   // may hold several task slots). Each task slot is written by exactly one
@@ -237,6 +401,12 @@ void FederationServer::collect(std::uint32_t round,
                       distinct[static_cast<std::size_t>(i)])]
               .poll(round, prototype_, *net_, out.outcomes);
       });
+}
+
+void FederationServer::collect(std::uint32_t round,
+                               const std::vector<int>& clients,
+                               ExchangeResult& out) {
+  poll_agents(round, clients, out);
 
   // Match the server's inbound mail to the task list. Duplicates are
   // dropped on the floor here (first arrival wins); stale rounds, unknown
@@ -255,10 +425,9 @@ void FederationServer::collect(std::uint32_t round,
     if (msg.type != MsgType::UpdateUp) continue;
     // Ack and Abort are bookkeeping-only: the agents' ground-truth
     // outcomes already account for dropouts.
-    const std::int32_t i = msg.task;
-    if (i < 0 || i >= static_cast<std::int32_t>(clients.size())) continue;
-    const auto slot = static_cast<std::size_t>(i);
-    if (clients[slot] != msg.sender || seen[slot]) continue;
+    if (!admissible_slot(msg.task, msg.sender, clients)) continue;
+    const auto slot = static_cast<std::size_t>(msg.task);
+    if (seen[slot]) continue;
     seen[slot] = true;
     LocalTrainResult& res = out.results[slot];
     res.delta = std::move(msg.weights);
@@ -273,6 +442,109 @@ void FederationServer::collect(std::uint32_t round,
       FT_CHECK_MSG(seen[i], "delivered update missing from server mailbox");
 }
 
+void FederationServer::collect_sharded(std::uint32_t round,
+                                       const std::vector<int>& clients,
+                                       ExchangeResult& out) {
+  poll_agents(round, clients, out);
+
+  // Leaves match their partition's UpdateUps and forward one PartialUp
+  // bundle upstream — shard-parallel on the shared ThreadPool (partitions
+  // are disjoint, so outcome flips never race). A bundle lost despite the
+  // retry policy takes its shard's trained updates down with it.
+  ThreadPool::global().parallel_for(
+      topo_.shards, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t s = lo; s < hi; ++s) {
+          const std::int32_t leaf = aggregator_id(static_cast<int>(s));
+          std::map<std::int32_t, UpdateEntry> matched;  // slot -> first win
+          double last_up_s = 0.0;
+          for (Envelope& env : net_->drain(leaf)) {
+            FabricMessage msg;
+            try {
+              msg = decode_message(env.frame);
+            } catch (const Error&) {
+              net_->stats_mutable().frames_rejected.fetch_add(
+                  1, std::memory_order_relaxed);
+              continue;
+            }
+            if (msg.round != round || msg.type != MsgType::UpdateUp)
+              continue;
+            const std::int32_t i = msg.task;
+            if (!admissible_slot(i, msg.sender, clients)) continue;
+            // This leaf only owns slots of its own shard.
+            if (i % topo_.shards != static_cast<std::int32_t>(s)) continue;
+            if (matched.count(i) != 0) continue;
+            UpdateEntry e;
+            e.task = i;
+            e.client = msg.sender;
+            e.delta = std::move(msg.weights);
+            e.avg_loss = msg.avg_loss;
+            e.num_samples = msg.num_samples;
+            e.macs_used = msg.macs_used;
+            matched.emplace(i, std::move(e));
+            last_up_s = std::max(last_up_s, env.deliver_at_s);
+          }
+          if (matched.empty()) continue;
+
+          PartialUpdate p;
+          p.shard = static_cast<std::int32_t>(s);
+          p.entries.reserve(matched.size());
+          for (auto& [slot, e] : matched) p.entries.push_back(std::move(e));
+          const bool delivered = send_with_retry(
+              *net_, leaf, kServerId, last_up_s, topo_, /*downlink=*/false,
+              [&](std::uint8_t flags) {
+                return encode_partial_up(round, leaf, kServerId, p, flags);
+              });
+          if (!delivered) {
+            // The shard's partial aggregate never reached the root: its
+            // trained updates are lost on the (backbone) uplink.
+            for (const UpdateEntry& e : p.entries) {
+              auto& o = out.outcomes[static_cast<std::size_t>(e.task)];
+              if (o == ClientOutcome::Trained) o = ClientOutcome::LostUp;
+            }
+          }
+        }
+      });
+
+  // Root: merge the PartialUp bundles back into the flat task list — the
+  // same slot/sender validation and first-arrival dedup as a flat collect,
+  // just over bundled entries.
+  std::vector<bool> seen(clients.size(), false);
+  for (Envelope& env : net_->drain(kServerId)) {
+    MsgType type;
+    try {
+      type = frame_type(env.frame);
+    } catch (const Error&) {
+      net_->stats_mutable().frames_rejected.fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
+    if (type != MsgType::PartialUp) continue;  // Ack/Abort: bookkeeping only
+    PartialUpdate p;
+    try {
+      p = decode_partial_up(env.frame);
+    } catch (const Error&) {
+      net_->stats_mutable().frames_rejected.fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
+    if (p.round != round) continue;
+    for (UpdateEntry& e : p.entries) {
+      if (!admissible_slot(e.task, e.client, clients)) continue;
+      const auto slot = static_cast<std::size_t>(e.task);
+      if (seen[slot]) continue;
+      seen[slot] = true;
+      LocalTrainResult& res = out.results[slot];
+      res.delta = std::move(e.delta);
+      res.avg_loss = e.avg_loss;
+      res.num_samples = e.num_samples;
+      res.macs_used = e.macs_used;
+    }
+  }
+  for (std::size_t i = 0; i < clients.size(); ++i)
+    if (out.outcomes[i] == ClientOutcome::Trained)
+      FT_CHECK_MSG(seen[i], "delivered update missing from root mailbox");
+}
+
 ExchangeResult FederationServer::exchange(
     std::uint32_t round, const std::vector<int>& clients, std::size_t n_rngs,
     const std::function<void()>& broadcast_fn) {
@@ -281,12 +553,22 @@ ExchangeResult FederationServer::exchange(
   ExchangeResult out;
   out.results.resize(clients.size());
   out.outcomes.assign(clients.size(), ClientOutcome::LostDown);
+  const std::uint64_t retry_down0 = net_->stats().retry_bytes_down.load();
+  const std::uint64_t retry_up0 = net_->stats().retry_bytes_up.load();
 
   phase_ = Phase::Broadcast;
   broadcast_fn();
   phase_ = Phase::Collect;
-  collect(round, clients, out);
+  if (sharded())
+    collect_sharded(round, clients, out);
+  else
+    collect(round, clients, out);
   phase_ = Phase::Aggregate;  // aggregation happens in the caller
+
+  out.retry_down_bytes = static_cast<double>(
+      net_->stats().retry_bytes_down.load() - retry_down0);
+  out.retry_up_bytes = static_cast<double>(
+      net_->stats().retry_bytes_up.load() - retry_up0);
   return out;
 }
 
@@ -306,6 +588,111 @@ ExchangeResult FederationServer::run_round(
   return exchange(round, clients, client_rngs.size(), [&] {
     broadcast_tasks(round, payloads, clients, client_rngs);
   });
+}
+
+AsyncTurnaround FederationServer::async_exchange(std::uint32_t job,
+                                                 int client,
+                                                 const WeightSet& global,
+                                                 const Rng& rng,
+                                                 double now_s) {
+  FT_CHECK_MSG(!sharded(),
+               "fabric-backed async sessions run flat (topology.levels == 1)");
+  FT_CHECK_MSG(client >= 0 && client < num_clients(),
+               "async dispatch to unknown client " << client);
+  AsyncTurnaround t;
+  const std::uint64_t retry0 = net_->stats().retry_bytes_up.load();
+
+  // Downlink: one ModelDown (task slot 0, round field = job id) carrying
+  // the dispatch-time weight snapshot and the forked Rng — the real wire
+  // path, so the client trains on exactly what it downloaded.
+  const bool down_ok = net_->send(
+      kServerId, client,
+      encode_frame(MsgType::ModelDown, job, kServerId, client,
+                   model_down_payload(0, shared_body(global), rng.state())),
+      now_s);
+  if (!down_ok) return t;  // LostDown: the device never saw the job
+
+  // Client side: drain, decode, train on receipt.
+  double down_at = 0.0;
+  FabricMessage down;
+  bool got_down = false;
+  for (Envelope& env : net_->drain(client)) {
+    FabricMessage msg;
+    try {
+      msg = decode_message(env.frame);
+    } catch (const Error&) {
+      net_->stats_mutable().frames_rejected.fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
+    if (msg.round != job || msg.type != MsgType::ModelDown || got_down)
+      continue;  // duplicates: first arrival wins
+    got_down = true;
+    down_at = env.deliver_at_s;
+    down = std::move(msg);
+  }
+  FT_CHECK_MSG(got_down, "delivered ModelDown missing from client mailbox");
+
+  Model local = prototype_;
+  local.set_weights(down.weights);
+  Rng crng;
+  crng.set_state(down.rng_state);
+  t.res = local_train(local, data_->client(client), local_, crng);
+  const double compute_s =
+      t.res.macs_used / net_->device(client).compute_macs_per_s;
+  const double done_s = down_at + compute_s;
+  t.busy_s = done_s - now_s;
+
+  if (net_->client_dropped_out(job, client)) {
+    t.outcome = ClientOutcome::Dropout;
+    return t;  // trained, then vanished — no upload, no retries
+  }
+
+  // Uplink under the retry policy.
+  FabricMessage up;
+  up.type = MsgType::UpdateUp;
+  up.round = job;
+  up.sender = client;
+  up.receiver = kServerId;
+  up.task = 0;
+  up.weights = std::move(t.res.delta);
+  up.avg_loss = t.res.avg_loss;
+  up.num_samples = t.res.num_samples;
+  up.macs_used = t.res.macs_used;
+  const bool delivered = send_with_retry(
+      *net_, client, kServerId, done_s, topo_, /*downlink=*/false,
+      [&up](std::uint8_t flags) {
+        up.flags = flags;
+        return encode_message(up);
+      });
+  t.retry_up_bytes = static_cast<double>(
+      net_->stats().retry_bytes_up.load() - retry0);
+  if (!delivered) {
+    t.outcome = ClientOutcome::LostUp;
+    return t;
+  }
+
+  // Server side: collect this job's UpdateUp and its delivery instant.
+  bool got_up = false;
+  for (Envelope& env : net_->drain(kServerId)) {
+    FabricMessage msg;
+    try {
+      msg = decode_message(env.frame);
+    } catch (const Error&) {
+      net_->stats_mutable().frames_rejected.fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
+    if (msg.round != job || msg.type != MsgType::UpdateUp || got_up)
+      continue;
+    got_up = true;
+    t.update_at_s = env.deliver_at_s;
+    t.res.delta = std::move(msg.weights);
+  }
+  FT_CHECK_MSG(got_up, "delivered update missing from server mailbox");
+  t.outcome = ClientOutcome::Trained;
+  t.busy_s = std::max(t.busy_s, t.update_at_s - now_s);
+  return t;
 }
 
 }  // namespace fedtrans

@@ -7,6 +7,7 @@
 
 #include "data/dataset.hpp"
 #include "fl/local_train.hpp"
+#include "fl/session.hpp"
 #include "model/model.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
@@ -23,10 +24,27 @@ enum class ClientOutcome : std::uint8_t {
   Dropout,   ///< trained, then the device went offline before uploading
 };
 
-/// What one fabric exchange produced, per task slot.
+/// What one fabric exchange produced, per task slot — plus the round's
+/// retry-policy resend traffic (FabricTopology::max_retries), split by
+/// direction so the engine can bill it through CostMeter.
 struct ExchangeResult {
   std::vector<LocalTrainResult> results;  ///< valid iff outcome == Trained
   std::vector<ClientOutcome> outcomes;
+  double retry_down_bytes = 0.0;
+  double retry_up_bytes = 0.0;
+};
+
+/// One asynchronous (FedBuff-mode) fabric round trip: ModelDown to one
+/// client, local training on receipt, UpdateUp back — with the retry
+/// policy applied to the uplink. `update_at_s` is the server-side delivery
+/// instant of the UpdateUp, which is what orders completions in the
+/// engine's fabric-backed async event loop.
+struct AsyncTurnaround {
+  ClientOutcome outcome = ClientOutcome::LostDown;
+  double update_at_s = 0.0;  ///< UpdateUp delivery time; valid iff Trained
+  double busy_s = 0.0;       ///< device time burned (downlink + train + up)
+  double retry_up_bytes = 0.0;  ///< resend traffic of this turnaround
+  LocalTrainResult res;      ///< metrics always; delta valid iff Trained
 };
 
 /// Edge-device worker: owns one client's fabric endpoint. On receipt of a
@@ -34,11 +52,14 @@ struct ExchangeResult {
 /// model — the round prototype for shared-blob broadcasts, or the
 /// architecture serialized into the frame for heterogeneous strategies —
 /// replays the coordinator-forked Rng, runs local_train, and uploads
-/// UpdateUp per task — or Abort, if the fault injector says the device
-/// dropped out mid-round.
+/// UpdateUp per task to the coordinator that sent the model (the root, or
+/// a shard aggregator in hierarchical topologies) — or Abort, if the fault
+/// injector says the device dropped out mid-round. A lost UpdateUp is
+/// resent `ack_timeout_s` apart, up to `max_retries` times.
 class ClientAgent {
  public:
-  ClientAgent(int id, const FederatedDataset& data, LocalTrainConfig local);
+  ClientAgent(int id, const FederatedDataset& data, LocalTrainConfig local,
+              FabricTopology policy);
 
   /// Drain this client's mailbox for `round`, train every task whose
   /// invitation and model both arrived, and record each task's outcome in
@@ -51,6 +72,7 @@ class ClientAgent {
   int id_;
   const FederatedDataset* data_;
   LocalTrainConfig local_;
+  FabricTopology policy_;
 };
 
 /// Multithreaded federation coordinator: executes the per-round protocol
@@ -64,6 +86,16 @@ class ClientAgent {
 ///    in-process path, which is what makes fault-free fabric runs bitwise
 ///    identical.)
 ///
+/// With a sharded topology (FabricTopology::levels == 2) the same round
+/// runs over a 2-level aggregation tree: the root ships one bundled
+/// ShardDown frame per shard, each leaf aggregator fans it out to its
+/// client partition (task slot i belongs to shard i % shards), collects
+/// the partition's UpdateUps — shard-parallel on the shared ThreadPool —
+/// and forwards one bundled PartialUp upstream. Bundles carry the
+/// per-task updates verbatim, so the root reassembles exactly the task
+/// list a flat round would have collected and fault-free sharded rounds
+/// stay bitwise identical to flat ones.
+///
 /// Straggler policy (overcommit/deadline) is applied by the strategy before
 /// broadcast from predicted completion times, FedScale-style, so the task
 /// list the fabric sees is already deadline-trimmed.
@@ -73,7 +105,7 @@ class FederationServer {
 
   FederationServer(const Model& prototype, const FederatedDataset& data,
                    std::vector<DeviceProfile> fleet, LocalTrainConfig local,
-                   FaultConfig faults);
+                   FaultConfig faults, FabricTopology topology = {});
 
   /// Shared-model exchange: every task downloads the same `global` weight
   /// snapshot (encoded once) into the prototype architecture. `clients[i]`
@@ -91,13 +123,25 @@ class FederationServer {
                            const std::vector<int>& clients,
                            const std::vector<Rng>& client_rngs);
 
+  /// One asynchronous round trip for the engine's fabric-backed FedBuff
+  /// loop: send `global` to `client` as a ModelDown at simulated instant
+  /// `now_s` (round field = `job`), let the agent train on receipt and
+  /// upload UpdateUp under the retry policy, and collect it from the
+  /// server mailbox. Pure message passing — no aggregation state here.
+  AsyncTurnaround async_exchange(std::uint32_t job, int client,
+                                 const WeightSet& global, const Rng& rng,
+                                 double now_s);
+
   Phase phase() const { return phase_; }
   const SimTransport& transport() const { return *net_; }
   const FabricStats& stats() const { return net_->stats(); }
   int num_clients() const { return net_->num_clients(); }
+  const FabricTopology& topology() const { return topo_; }
+  bool sharded() const { return topo_.levels >= 2; }
 
  private:
-  void send_join(std::uint32_t round, std::int32_t task, int client);
+  void send_join(std::uint32_t round, std::int32_t task, int client,
+                 std::int32_t coordinator, double sent_at_s = 0.0);
   void broadcast_shared(std::uint32_t round, const WeightSet& global,
                         const std::vector<int>& clients,
                         const std::vector<Rng>& client_rngs);
@@ -105,8 +149,22 @@ class FederationServer {
                        const std::vector<Model*>& payloads,
                        const std::vector<int>& clients,
                        const std::vector<Rng>& client_rngs);
+  /// Sharded broadcast: one ShardDown bundle per shard referencing
+  /// `slot_body[i]` (the [spec][weights] section task i downloads), then
+  /// leaf fan-out to per-client JoinRound + ModelDown frames.
+  void broadcast_sharded(std::uint32_t round, const std::vector<int>& clients,
+                         const std::vector<Rng>& client_rngs,
+                         const std::vector<const std::string*>& slot_body);
+  void fan_out_shards(std::uint32_t round);
+  /// Concurrent ClientAgent polling (one worker per distinct client).
+  void poll_agents(std::uint32_t round, const std::vector<int>& clients,
+                   ExchangeResult& out);
   void collect(std::uint32_t round, const std::vector<int>& clients,
                ExchangeResult& out);
+  /// Sharded collect: leaves match their partition and forward PartialUp
+  /// bundles (shard-parallel); the root merges them into the task list.
+  void collect_sharded(std::uint32_t round, const std::vector<int>& clients,
+                       ExchangeResult& out);
   ExchangeResult exchange(std::uint32_t round,
                           const std::vector<int>& clients,
                           std::size_t n_rngs,
@@ -114,6 +172,8 @@ class FederationServer {
 
   Model prototype_;
   const FederatedDataset* data_;
+  LocalTrainConfig local_;
+  FabricTopology topo_;
   std::unique_ptr<SimTransport> net_;
   std::vector<ClientAgent> agents_;
   Phase phase_ = Phase::Idle;

@@ -41,15 +41,22 @@ bool earlier(const Envelope& a, const Envelope& b) {
 }  // namespace
 
 SimTransport::SimTransport(std::vector<DeviceProfile> fleet,
-                           FaultConfig faults)
+                           FaultConfig faults, int num_aggregators)
     : fleet_(std::move(fleet)),
       faults_(faults),
-      boxes_(fleet_.size() + 1) {
+      num_aggregators_(num_aggregators),
+      boxes_(fleet_.size() + 1 + static_cast<std::size_t>(num_aggregators)) {
   FT_CHECK_MSG(!fleet_.empty(), "transport needs at least one client link");
+  FT_CHECK_MSG(num_aggregators >= 0, "negative aggregator count");
 }
 
 SimTransport::Mailbox& SimTransport::mailbox(std::int32_t endpoint) {
-  const int idx = endpoint == kServerId ? 0 : endpoint + 1;
+  // 0 = root server, 1..n = clients, n+1.. = shard aggregators (negative
+  // ids below kServerId, see aggregator_id()).
+  const int idx = endpoint == kServerId ? 0
+                  : endpoint >= 0
+                      ? endpoint + 1
+                      : num_clients() + 1 + (-endpoint - 2);
   FT_CHECK_MSG(idx >= 0 && idx < static_cast<int>(boxes_.size()),
                "unknown transport endpoint " << endpoint);
   return boxes_[static_cast<std::size_t>(idx)];
@@ -97,11 +104,12 @@ bool SimTransport::send(std::int32_t src, std::int32_t dst, std::string frame,
     return false;
   }
 
-  // The bottleneck of every link is the client's radio; the server backbone
-  // is free. A reordering fault pushes the frame one extra transfer back,
-  // behind its successor on the link.
-  const std::int32_t client = src == kServerId ? dst : src;
-  const double lat = link_time_s(client, frame.size());
+  // The bottleneck of every link is the client's radio; the server/
+  // aggregator backbone is free — a frame between two negative endpoints
+  // (root ↔ shard aggregator) has zero latency. A reordering fault pushes
+  // the frame one extra transfer back, behind its successor on the link.
+  const std::int32_t client = src < 0 ? dst : src;
+  const double lat = client < 0 ? 0.0 : link_time_s(client, frame.size());
   Envelope env;
   env.src = src;
   env.dst = dst;

@@ -52,6 +52,12 @@ struct FabricStats {
   /// never corrupts bytes, so any nonzero value here is a codec bug, not a
   /// fault-injection artifact — fault-free tests assert it stays zero.
   std::atomic<std::uint64_t> frames_rejected{0};
+  /// Retry-policy resends (FabricTopology::max_retries) of frames lost in
+  /// transit, split by direction so CostMeter can bill them: `down` counts
+  /// server→client traffic, `up` counts client→server and shard→root.
+  std::atomic<std::uint64_t> frames_retried{0};
+  std::atomic<std::uint64_t> retry_bytes_down{0};
+  std::atomic<std::uint64_t> retry_bytes_up{0};
 };
 
 /// A frame in flight / delivered: opaque bytes plus simulated-time stamps.
@@ -68,17 +74,20 @@ struct Envelope {
 };
 
 /// In-process simulated transport between the federation server (endpoint
-/// `kServerId` = -1) and `num_clients` client endpoints (ids 0..n-1).
+/// `kServerId` = -1), optional shard aggregators (`aggregator_id(k)` =
+/// -2 - k, see wire.hpp), and `num_clients` client endpoints (ids 0..n-1).
 ///
 /// Each destination owns a mutex-guarded mailbox, so fabric workers running
 /// on the shared ThreadPool can send/receive concurrently. Time is virtual:
 /// send() stamps the envelope with a simulated delivery instant derived from
-/// the client-side DeviceProfile bandwidth (the server's backbone is treated
-/// as infinitely fast) and delivers immediately; receivers consume mailboxes
-/// in (deliver_at, seq) order, which is where reordering faults bite.
+/// the client-side DeviceProfile bandwidth (server↔aggregator backbone
+/// links are treated as infinitely fast) and delivers immediately;
+/// receivers consume mailboxes in (deliver_at, seq) order, which is where
+/// reordering faults bite.
 class SimTransport {
  public:
-  SimTransport(std::vector<DeviceProfile> fleet, FaultConfig faults);
+  SimTransport(std::vector<DeviceProfile> fleet, FaultConfig faults,
+               int num_aggregators = 0);
 
   int num_clients() const { return static_cast<int>(fleet_.size()); }
 
@@ -123,7 +132,8 @@ class SimTransport {
 
   std::vector<DeviceProfile> fleet_;
   FaultConfig faults_;
-  /// index 0 = server, index c+1 = client c.
+  int num_aggregators_ = 0;
+  /// index 0 = server, index c+1 = client c, index n+1+k = aggregator k.
   std::vector<Mailbox> boxes_;
   std::mutex seq_m_;
   std::unordered_map<std::uint64_t, std::uint64_t> link_seq_;

@@ -1,5 +1,6 @@
 #include "net/wire.hpp"
 
+#include <cstring>
 #include <istream>
 #include <limits>
 #include <sstream>
@@ -69,7 +70,61 @@ namespace {
 
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(MsgType::JoinRound) &&
-         t <= static_cast<std::uint8_t>(MsgType::Abort);
+         t <= static_cast<std::uint8_t>(MsgType::ShardDown);
+}
+
+/// Shared header validation for every decoder: checks magic, version, type,
+/// length and checksum, returns the parsed fixed header fields and the
+/// payload view.
+struct FrameHeader {
+  MsgType type;
+  std::uint8_t flags;
+  std::uint32_t round;
+  std::int32_t sender;
+  std::int32_t receiver;
+  std::string_view payload;
+};
+
+FrameHeader parse_header(std::string_view frame) {
+  FT_CHECK_MSG(frame.size() >= kWireHeaderBytes,
+               "wire frame truncated: " << frame.size() << " bytes < "
+                                        << kWireHeaderBytes << " header");
+  std::istringstream is(std::string(frame.substr(0, kWireHeaderBytes)),
+                        std::ios::binary);
+  FT_CHECK_MSG(read_pod<std::uint32_t>(is) == kWireMagic, "bad wire magic");
+  const auto version = read_pod<std::uint16_t>(is);
+  FT_CHECK_MSG(version == kWireVersion,
+               "unsupported wire version " << version);
+  const auto raw_type = read_pod<std::uint8_t>(is);
+  FT_CHECK_MSG(valid_type(raw_type),
+               "unknown wire message type " << int{raw_type});
+
+  FrameHeader h;
+  h.type = static_cast<MsgType>(raw_type);
+  h.flags = read_pod<std::uint8_t>(is);
+  h.round = read_pod<std::uint32_t>(is);
+  h.sender = read_pod<std::int32_t>(is);
+  h.receiver = read_pod<std::int32_t>(is);
+  const auto payload_len = read_pod<std::uint64_t>(is);
+  const auto checksum = read_pod<std::uint64_t>(is);
+
+  FT_CHECK_MSG(frame.size() - kWireHeaderBytes == payload_len,
+               "wire frame length mismatch: header says "
+                   << payload_len << " payload bytes, buffer has "
+                   << frame.size() - kWireHeaderBytes);
+  h.payload = frame.substr(kWireHeaderBytes);
+  std::uint64_t digest = fnv1a64(frame.data(), kWireHeaderBytes - 8);
+  digest ^= fnv1a64(h.payload.data(), h.payload.size());
+  FT_CHECK_MSG(digest == checksum,
+               "wire checksum mismatch — corrupted frame");
+  return h;
+}
+
+/// Rejects trailing garbage after a payload decode (a long frame is as
+/// malformed as a short one).
+void expect_consumed(std::istream& is) {
+  is.peek();
+  FT_CHECK_MSG(is.eof(), "wire payload has trailing bytes");
 }
 
 std::string encode_payload(const FabricMessage& msg) {
@@ -96,6 +151,10 @@ std::string encode_payload(const FabricMessage& msg) {
       break;
     case MsgType::Ack:
       break;  // header-only
+    case MsgType::PartialUp:
+    case MsgType::ShardDown:
+      FT_CHECK_MSG(false, "bundle frames use encode_partial_up / "
+                          "encode_shard_down, not encode_message");
   }
   return os.str();
 }
@@ -125,18 +184,19 @@ void decode_payload(FabricMessage& msg, std::string_view payload) {
       break;
     case MsgType::Ack:
       break;
+    case MsgType::PartialUp:
+    case MsgType::ShardDown:
+      FT_CHECK_MSG(false, "bundle frames use decode_partial_up / "
+                          "decode_shard_down, not decode_message");
   }
-  // A frame whose payload is longer than its message decodes to is as
-  // malformed as a short one: reject trailing garbage.
-  is.peek();
-  FT_CHECK_MSG(is.eof(), "wire payload has trailing bytes");
+  expect_consumed(is);
 }
 
 }  // namespace
 
 std::string encode_frame(MsgType type, std::uint32_t round,
                          std::int32_t sender, std::int32_t receiver,
-                         const std::string& payload) {
+                         const std::string& payload, std::uint8_t flags) {
   // Assemble via string appends — one allocation, one payload copy — since
   // broadcast calls this once per client with a model-sized payload.
   std::string frame;
@@ -147,7 +207,7 @@ std::string encode_frame(MsgType type, std::uint32_t round,
   append_pod(kWireMagic);
   append_pod(kWireVersion);
   append_pod(static_cast<std::uint8_t>(type));
-  append_pod(std::uint8_t{0});  // flags (reserved)
+  append_pod(flags);
   append_pod(round);
   append_pod(sender);
   append_pod(receiver);
@@ -163,7 +223,7 @@ std::string encode_frame(MsgType type, std::uint32_t round,
 
 std::string encode_message(const FabricMessage& msg) {
   return encode_frame(msg.type, msg.round, msg.sender, msg.receiver,
-                      encode_payload(msg));
+                      encode_payload(msg), msg.flags);
 }
 
 std::size_t frame_size(std::string_view buffer) {
@@ -191,39 +251,119 @@ std::size_t frame_size(std::string_view buffer) {
 }
 
 FabricMessage decode_message(std::string_view frame) {
+  const FrameHeader h = parse_header(frame);
+  FabricMessage msg;
+  msg.type = h.type;
+  msg.flags = h.flags;
+  msg.round = h.round;
+  msg.sender = h.sender;
+  msg.receiver = h.receiver;
+  decode_payload(msg, h.payload);
+  return msg;
+}
+
+MsgType frame_type(std::string_view frame) {
   FT_CHECK_MSG(frame.size() >= kWireHeaderBytes,
                "wire frame truncated: " << frame.size() << " bytes < "
                                         << kWireHeaderBytes << " header");
-  std::istringstream is(std::string(frame.substr(0, kWireHeaderBytes)),
-                        std::ios::binary);
-  FT_CHECK_MSG(read_pod<std::uint32_t>(is) == kWireMagic, "bad wire magic");
-  const auto version = read_pod<std::uint16_t>(is);
-  FT_CHECK_MSG(version == kWireVersion,
-               "unsupported wire version " << version);
-  const auto raw_type = read_pod<std::uint8_t>(is);
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, frame.data(), sizeof(magic));
+  FT_CHECK_MSG(magic == kWireMagic, "bad wire magic");
+  const auto raw_type = static_cast<std::uint8_t>(frame[6]);
   FT_CHECK_MSG(valid_type(raw_type),
                "unknown wire message type " << int{raw_type});
-  (void)read_pod<std::uint8_t>(is);  // flags
+  return static_cast<MsgType>(raw_type);
+}
 
-  FabricMessage msg;
-  msg.type = static_cast<MsgType>(raw_type);
-  msg.round = read_pod<std::uint32_t>(is);
-  msg.sender = read_pod<std::int32_t>(is);
-  msg.receiver = read_pod<std::int32_t>(is);
-  const auto payload_len = read_pod<std::uint64_t>(is);
-  const auto checksum = read_pod<std::uint64_t>(is);
+std::string encode_partial_up(std::uint32_t round, std::int32_t sender,
+                              std::int32_t receiver, const PartialUpdate& p,
+                              std::uint8_t flags) {
+  std::ostringstream os(std::ios::binary);
+  write_pod(os, p.shard);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(p.entries.size()));
+  for (const UpdateEntry& e : p.entries) {
+    write_pod(os, e.task);
+    write_pod(os, e.client);
+    write_weight_set(os, e.delta);
+    write_pod(os, e.avg_loss);
+    write_pod(os, e.num_samples);
+    write_pod(os, e.macs_used);
+  }
+  return encode_frame(MsgType::PartialUp, round, sender, receiver, os.str(),
+                      flags);
+}
 
-  FT_CHECK_MSG(frame.size() - kWireHeaderBytes == payload_len,
-               "wire frame length mismatch: header says "
-                   << payload_len << " payload bytes, buffer has "
-                   << frame.size() - kWireHeaderBytes);
-  const std::string_view payload = frame.substr(kWireHeaderBytes);
-  std::uint64_t digest = fnv1a64(frame.data(), kWireHeaderBytes - 8);
-  digest ^= fnv1a64(payload.data(), payload.size());
-  FT_CHECK_MSG(digest == checksum,
-               "wire checksum mismatch — corrupted frame");
-  decode_payload(msg, payload);
-  return msg;
+PartialUpdate decode_partial_up(std::string_view frame) {
+  const FrameHeader h = parse_header(frame);
+  FT_CHECK_MSG(h.type == MsgType::PartialUp,
+               "expected a PartialUp frame, got type "
+                   << int{static_cast<std::uint8_t>(h.type)});
+  ViewBuf buf(h.payload);
+  std::istream is(&buf);
+  PartialUpdate p;
+  p.round = h.round;
+  p.sender = h.sender;
+  p.shard = read_pod<std::int32_t>(is);
+  const auto n = read_pod<std::uint32_t>(is);
+  p.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    UpdateEntry e;
+    e.task = read_pod<std::int32_t>(is);
+    e.client = read_pod<std::int32_t>(is);
+    e.delta = read_weight_set(is);
+    e.avg_loss = read_pod<double>(is);
+    e.num_samples = read_pod<std::int32_t>(is);
+    e.macs_used = read_pod<double>(is);
+    p.entries.push_back(std::move(e));
+  }
+  expect_consumed(is);
+  return p;
+}
+
+std::string encode_shard_down(std::uint32_t round, std::int32_t receiver,
+                              const ShardDownlink& d, std::uint8_t flags) {
+  std::ostringstream os(std::ios::binary);
+  write_pod(os, d.shard);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(d.bodies.size()));
+  for (const std::string& b : d.bodies) write_string(os, b);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(d.tasks.size()));
+  for (const DownlinkTask& t : d.tasks) {
+    write_pod(os, t.task);
+    write_pod(os, t.client);
+    write_pod(os, t.body);
+    write_pod(os, t.rng_state);
+  }
+  return encode_frame(MsgType::ShardDown, round, kServerId, receiver,
+                      os.str(), flags);
+}
+
+ShardDownlink decode_shard_down(std::string_view frame) {
+  const FrameHeader h = parse_header(frame);
+  FT_CHECK_MSG(h.type == MsgType::ShardDown,
+               "expected a ShardDown frame, got type "
+                   << int{static_cast<std::uint8_t>(h.type)});
+  ViewBuf buf(h.payload);
+  std::istream is(&buf);
+  ShardDownlink d;
+  d.round = h.round;
+  d.shard = read_pod<std::int32_t>(is);
+  const auto nb = read_pod<std::uint32_t>(is);
+  d.bodies.reserve(nb);
+  for (std::uint32_t i = 0; i < nb; ++i) d.bodies.push_back(read_string(is));
+  const auto nt = read_pod<std::uint32_t>(is);
+  d.tasks.reserve(nt);
+  for (std::uint32_t i = 0; i < nt; ++i) {
+    DownlinkTask t;
+    t.task = read_pod<std::int32_t>(is);
+    t.client = read_pod<std::int32_t>(is);
+    t.body = read_pod<std::uint32_t>(is);
+    t.rng_state = read_pod<std::array<std::uint64_t, 4>>(is);
+    FT_CHECK_MSG(t.body < nb, "ShardDown task references body " << t.body
+                                  << " of " << nb);
+    d.tasks.push_back(t);
+  }
+  expect_consumed(is);
+  return d;
 }
 
 }  // namespace fedtrans

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "fl/weights.hpp"
 
@@ -31,6 +32,8 @@ enum class MsgType : std::uint8_t {
   UpdateUp = 3,   ///< client → server: trained delta + training metrics
   Ack = 4,        ///< client → server: JoinRound accepted
   Abort = 5,      ///< client → server: client gives up on the round
+  PartialUp = 6,  ///< shard → root: partial aggregate (bundled updates)
+  ShardDown = 7,  ///< root → shard: bundled downlink for one shard's tasks
 };
 
 constexpr std::uint32_t kWireMagic = 0x46544E46u;  // "FTNF"
@@ -39,16 +42,28 @@ constexpr std::uint32_t kWireMagic = 0x46544E46u;  // "FTNF"
 /// train several heterogeneous submodels per round, which is what lets
 /// every Strategy (HeteroFL crops, SplitMix base ensembles, FedTrans model
 /// families) run over the fabric, not just single-global-model FedAvg.
-constexpr std::uint16_t kWireVersion = 2;
+/// v3: hierarchical aggregation frames — PartialUp (a shard aggregator's
+/// bundled partial aggregate, forwarded upstream) and ShardDown (the root's
+/// bundled downlink for one shard, fanned out by the leaf) — plus the
+/// kFlagRetry header flag marking retry-policy resends of lost frames.
+constexpr std::uint16_t kWireVersion = 3;
 /// Fixed frame header size in bytes (see layout above).
 constexpr std::size_t kWireHeaderBytes = 4 + 2 + 1 + 1 + 4 + 4 + 4 + 8 + 8;
 /// Sender/receiver id of the federation server (clients are their >= 0 ids).
 constexpr std::int32_t kServerId = -1;
+/// Endpoint id of shard aggregator `k` in a hierarchical fabric (the root
+/// keeps kServerId; leaves take the ids below it).
+constexpr std::int32_t aggregator_id(int k) { return -2 - k; }
+
+/// Header flag bits (byte 8 of the frame).
+constexpr std::uint8_t kFlagRetry = 0x1;  ///< resend of a lost frame
 
 /// One fabric message. A tagged union kept flat for simplicity: only the
 /// fields meaningful for `type` are encoded on the wire (see wire.cpp).
 struct FabricMessage {
   MsgType type = MsgType::Ack;
+  /// Header flag bits (kFlagRetry marks a retry-policy resend).
+  std::uint8_t flags = 0;
   std::uint32_t round = 0;
   std::int32_t sender = kServerId;
   std::int32_t receiver = kServerId;
@@ -80,6 +95,52 @@ struct FabricMessage {
   std::string reason;
 };
 
+/// One task's update inside a PartialUp bundle — the same fields an
+/// UpdateUp frame carries, plus the originating client so the root can
+/// validate slot/sender matches exactly as it would for direct uplinks.
+struct UpdateEntry {
+  std::int32_t task = 0;
+  std::int32_t client = 0;
+  WeightSet delta;
+  double avg_loss = 0.0;
+  std::int32_t num_samples = 0;
+  double macs_used = 0.0;
+};
+
+/// A shard aggregator's partial aggregate: every update of its task
+/// partition that survived the client uplinks, bundled into one upstream
+/// frame. Entries ride verbatim (weights bit-exact) — the numeric reduction
+/// happens at the engine in fixed task order, which is what keeps sharded
+/// rounds bitwise identical to flat ones.
+struct PartialUpdate {
+  std::uint32_t round = 0;
+  std::int32_t sender = kServerId;
+  std::int32_t shard = 0;
+  std::vector<UpdateEntry> entries;
+};
+
+/// One task's downlink inside a ShardDown bundle. `body` indexes the
+/// bundle's payload-body table: the referenced body holds the exact
+/// [spec string][weights] section a flat ModelDown would carry, so leaves
+/// reconstruct byte-identical per-client ModelDown frames.
+struct DownlinkTask {
+  std::int32_t task = 0;
+  std::int32_t client = 0;
+  std::uint32_t body = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+};
+
+/// The root's bundled downlink for one shard: a table of distinct payload
+/// bodies (each encoded once — ladder strategies ship one submodel per
+/// capacity level per shard, single-model strategies one weight blob) plus
+/// the shard's task list referencing them.
+struct ShardDownlink {
+  std::uint32_t round = 0;
+  std::int32_t shard = 0;
+  std::vector<std::string> bodies;
+  std::vector<DownlinkTask> tasks;
+};
+
 /// FNV-1a 64-bit digest (the frame checksum).
 std::uint64_t fnv1a64(const void* data, std::size_t n);
 
@@ -93,12 +154,29 @@ std::string encode_message(const FabricMessage& msg);
 /// `payload` must follow the per-type layout encode_message produces.
 std::string encode_frame(MsgType type, std::uint32_t round,
                          std::int32_t sender, std::int32_t receiver,
-                         const std::string& payload);
+                         const std::string& payload, std::uint8_t flags = 0);
 
 /// Parse a frame produced by encode_message. Throws `Error` on short
 /// buffers, bad magic/version/type, length mismatch, checksum mismatch, or
-/// a payload that does not decode cleanly.
+/// a payload that does not decode cleanly. PartialUp/ShardDown bundles have
+/// their own decoders below.
 FabricMessage decode_message(std::string_view frame);
+
+/// Bundle codecs for the hierarchical frames (validated exactly like
+/// decode_message: magic, version, type, length, checksum, clean payload).
+std::string encode_partial_up(std::uint32_t round, std::int32_t sender,
+                              std::int32_t receiver, const PartialUpdate& p,
+                              std::uint8_t flags = 0);
+PartialUpdate decode_partial_up(std::string_view frame);
+std::string encode_shard_down(std::uint32_t round, std::int32_t receiver,
+                              const ShardDownlink& d,
+                              std::uint8_t flags = 0);
+ShardDownlink decode_shard_down(std::string_view frame);
+
+/// Cheap peek at a frame's message type (validates magic and the type
+/// byte only) — lets a mixed-traffic receiver route a frame to the right
+/// decoder without a full parse.
+MsgType frame_type(std::string_view frame);
 
 /// Total frame size implied by a buffer holding at least the fixed header;
 /// lets stream consumers split concatenated frames. Throws on bad magic or

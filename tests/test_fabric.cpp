@@ -4,11 +4,19 @@
 // counts; (2) under message loss and client dropout, rounds still terminate
 // and every lost update is accounted in CostMeter/RoundRecord; (3) the
 // simulated transport's fault injection is deterministic and its byte
-// accounting is exact.
+// accounting is exact; (4) hierarchical (2-level sharded) rounds are
+// bitwise identical to flat ones for FedAvg, FedTrans and HeteroFL;
+// (5) the retry policy resends lost UpdateUps within max_retries and
+// counts exhausted retries as lost updates, with resend traffic billed;
+// (6) fabric-backed async (FedBuff) sessions complete over real messages
+// with delivery-time completion ordering.
 
 #include <gtest/gtest.h>
 
+#include "baselines/hetero_fl.hpp"
 #include "common/thread_pool.hpp"
+#include "core/trainer.hpp"
+#include "fl/async.hpp"
 #include "fl/runner.hpp"
 #include "net/server.hpp"
 #include "test_util.hpp"
@@ -275,6 +283,487 @@ TEST(SimTransportTest, DuplicatesAreDeliveredTwiceAndDeduplicatedUpstream) {
   auto inbox = net.drain(0);
   EXPECT_EQ(inbox.size(), 2u);
   EXPECT_EQ(net.stats().frames_duplicated.load(), 1u);
+}
+
+TEST(SimTransportTest, AggregatorEndpointsAreBackboneLinks) {
+  auto fleet = tiny_fleet(2);
+  SimTransport net(fleet, FaultConfig{}, /*num_aggregators=*/2);
+  // Root ↔ aggregator traffic rides the free backbone: zero latency.
+  EXPECT_TRUE(net.send(kServerId, aggregator_id(0), "bundle"));
+  EXPECT_TRUE(net.send(aggregator_id(1), kServerId, "partial", 3.0));
+  auto agg0 = net.drain(aggregator_id(0));
+  ASSERT_EQ(agg0.size(), 1u);
+  EXPECT_DOUBLE_EQ(agg0[0].deliver_at_s, 0.0);
+  auto root = net.drain(kServerId);
+  ASSERT_EQ(root.size(), 1u);
+  EXPECT_DOUBLE_EQ(root[0].deliver_at_s, 3.0);
+  // Aggregator → client keeps the client's radio latency.
+  EXPECT_TRUE(net.send(aggregator_id(0), 1, "0123456789abcdef"));
+  auto client = net.drain(1);
+  ASSERT_EQ(client.size(), 1u);
+  EXPECT_GT(client[0].deliver_at_s, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded (hierarchical) aggregation: a 2-level tree of shard aggregators
+// must be bitwise identical to the flat FederationServer when fault-free —
+// the bundles carry per-task updates verbatim and the engine's fixed-order
+// reduction is untouched.
+
+TEST(ShardedParityTest, FedAvgShardedMatchesFlatBitwise) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  const int prev_threads = ThreadPool::global().size();
+
+  for (std::uint64_t seed : {11ULL, 42ULL}) {
+    Rng rng(3 + seed);
+    Model init(tiny_model(), rng);
+
+    for (int threads : {1, 4}) {
+      ThreadPool::set_global_threads(threads);
+
+      FlRunConfig flat = base_cfg(seed);
+      flat.use_fabric = true;
+      FedAvgRunner a(init, data, fleet, flat);
+      a.run();
+
+      FlRunConfig sharded = base_cfg(seed);
+      sharded.use_fabric = true;
+      sharded.topology.levels = 2;
+      sharded.topology.shards = 3;
+      FedAvgRunner b(init, data, fleet, sharded);
+      b.run();
+
+      ASSERT_NE(b.fabric(), nullptr);
+      EXPECT_TRUE(b.fabric()->sharded());
+      EXPECT_EQ(b.fabric()->stats().frames_dropped.load(), 0u);
+      EXPECT_EQ(b.fabric()->stats().frames_rejected.load(), 0u)
+          << "undecodable frames on a clean transport mean a codec bug";
+      EXPECT_EQ(b.fabric()->stats().frames_retried.load(), 0u);
+      expect_identical(a, b);
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+TEST(ShardedParityTest, ShardCountSweepAllMatchInProcess) {
+  // 1, 2 and 4 shards (including the degenerate one-leaf tree) all
+  // reproduce the in-process run exactly; the root's downlink fan-out
+  // shrinks with the shard count while client traffic stays put.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(9);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig cfg = base_cfg(5);
+  FedAvgRunner ref(init, data, fleet, cfg);
+  ref.run();
+
+  for (int shards : {1, 2, 4}) {
+    FlRunConfig sh = base_cfg(5);
+    sh.use_fabric = true;
+    sh.topology.levels = 2;
+    sh.topology.shards = shards;
+    FedAvgRunner b(init, data, fleet, sh);
+    b.run();
+    expect_identical(ref, b);
+  }
+}
+
+TEST(ShardedParityTest, FedTransShardedMatchesFlatBitwise) {
+  // The growing multi-model family over the sharded tree: family payloads
+  // ride the ShardDown body table, partial aggregates reassemble at the
+  // root, and the trajectory (including transformations) stays bit-exact.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  const int prev_threads = ThreadPool::global().size();
+  for (std::uint64_t seed : {13ULL, 29ULL}) {
+    for (int threads : {1, 4}) {
+      ThreadPool::set_global_threads(threads);
+      FedTransConfig cfg;
+      cfg.rounds = 6;
+      cfg.clients_per_round = 4;
+      cfg.local.steps = 3;
+      cfg.local.batch = 6;
+      cfg.gamma = 2;
+      cfg.doc_delta = 2;
+      cfg.beta = 10.0;
+      cfg.act_window = 2;
+      cfg.max_models = 3;
+      cfg.seed = seed;
+      cfg.use_fabric = true;
+
+      FedTransTrainer a(tiny_model(), data, fleet, cfg);
+      cfg.topology.levels = 2;
+      cfg.topology.shards = 2;
+      FedTransTrainer b(tiny_model(), data, fleet, cfg);
+      a.run();
+      b.run();
+
+      ASSERT_EQ(a.num_models(), b.num_models());
+      EXPECT_GE(a.num_models(), 2) << "transformation should have fired";
+      for (int k = 0; k < a.num_models(); ++k) {
+        auto wa = a.model(k).weights();
+        auto wb = b.model(k).weights();
+        ASSERT_EQ(wa.size(), wb.size());
+        for (std::size_t i = 0; i < wa.size(); ++i)
+          EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0)
+              << "model " << k << " tensor " << i;
+      }
+      ASSERT_EQ(a.history().size(), b.history().size());
+      for (std::size_t r = 0; r < a.history().size(); ++r) {
+        EXPECT_EQ(a.history()[r].avg_loss, b.history()[r].avg_loss);
+        EXPECT_EQ(a.history()[r].accuracy, b.history()[r].accuracy);
+      }
+      EXPECT_EQ(a.costs().total_macs(), b.costs().total_macs());
+      EXPECT_EQ(a.costs().network_bytes(), b.costs().network_bytes());
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+TEST(ShardedParityTest, HeteroFLShardedMatchesFlatBitwise) {
+  // Ladder submodels over the tree: each shard bundle's body table holds
+  // one encoding per capacity level present in the shard.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients(), /*seed=*/4);
+  const int prev_threads = ThreadPool::global().size();
+  for (std::uint64_t seed : {7ULL, 19ULL}) {
+    for (int threads : {1, 4}) {
+      ThreadPool::set_global_threads(threads);
+      BaselineConfig cfg;
+      cfg.rounds = 4;
+      cfg.clients_per_round = 5;
+      cfg.local.steps = 3;
+      cfg.local.batch = 6;
+      cfg.eval_every = 2;
+      cfg.eval_clients = 6;
+      cfg.seed = seed;
+      cfg.use_fabric = true;
+
+      HeteroFLRunner a(tiny_model(), data, fleet, cfg);
+      cfg.topology.levels = 2;
+      cfg.topology.shards = 3;
+      HeteroFLRunner b(tiny_model(), data, fleet, cfg);
+      a.run();
+      b.run();
+
+      auto wa = a.global().weights();
+      auto wb = b.global().weights();
+      ASSERT_EQ(wa.size(), wb.size());
+      for (std::size_t i = 0; i < wa.size(); ++i)
+        EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0) << "tensor " << i;
+      ASSERT_EQ(a.engine().history().size(), b.engine().history().size());
+      for (std::size_t r = 0; r < a.engine().history().size(); ++r) {
+        EXPECT_EQ(a.engine().history()[r].avg_loss,
+                  b.engine().history()[r].avg_loss);
+        EXPECT_EQ(a.engine().history()[r].accuracy,
+                  b.engine().history()[r].accuracy);
+      }
+      EXPECT_EQ(a.engine().costs().network_bytes(),
+                b.engine().costs().network_bytes());
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+TEST(ShardedFaultTest, ShardedFaultRunsTerminateDeterministically) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+  const int prev_threads = ThreadPool::global().size();
+
+  FlRunConfig cfg = base_cfg(7);
+  cfg.rounds = 5;
+  cfg.clients_per_round = 6;
+  cfg.eval_every = 0;
+  cfg.use_fabric = true;
+  cfg.topology.levels = 2;
+  cfg.topology.shards = 2;
+  cfg.fabric_faults.drop_prob = 0.2;
+  cfg.fabric_faults.dup_prob = 0.1;
+  cfg.fabric_faults.dropout_prob = 0.2;
+  cfg.fabric_faults.seed = 321;
+
+  ThreadPool::set_global_threads(1);
+  FedAvgRunner a(init, data, fleet, cfg);
+  a.run();
+  ThreadPool::set_global_threads(4);
+  FedAvgRunner b(init, data, fleet, cfg);
+  b.run();
+  ThreadPool::set_global_threads(prev_threads);
+
+  expect_identical(a, b);
+  int participants = 0, lost = 0;
+  for (const auto& rec : a.history()) {
+    participants += rec.participants;
+    lost += rec.lost_updates;
+  }
+  EXPECT_GT(participants, 0);
+  EXPECT_GT(lost, 0);
+}
+
+TEST(ShardedFaultTest, ShardedRetriesRecoverBundlesAndReconcileBilling) {
+  // The sharded-only retry paths: lost ShardDown bundles (downlink,
+  // retry_bytes_down) and lost PartialUp bundles / UpdateUps (uplink) are
+  // resent and billed; the CostMeter reconciles byte-exactly against the
+  // transport's retry counters, same as the flat invariant.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig cfg = base_cfg(7);
+  cfg.rounds = 6;
+  cfg.clients_per_round = 6;
+  cfg.eval_every = 0;
+  cfg.use_fabric = true;
+  cfg.topology.levels = 2;
+  cfg.topology.shards = 3;
+  cfg.topology.max_retries = 2;
+  cfg.topology.ack_timeout_s = 5.0;
+  cfg.fabric_faults.drop_prob = 0.3;
+  cfg.fabric_faults.seed = 42;
+
+  FedAvgRunner runner(init, data, fleet, cfg);
+  runner.run();
+
+  ASSERT_EQ(runner.history().size(), 6u);
+  int participants = 0, lost = 0;
+  for (const auto& rec : runner.history()) {
+    participants += rec.participants;
+    lost += rec.lost_updates;
+  }
+  EXPECT_GT(participants, 0);
+
+  const FabricStats& stats = runner.fabric()->stats();
+  EXPECT_GT(stats.frames_retried.load(), 0u);
+  EXPECT_GT(stats.retry_bytes_down.load(), 0u)
+      << "a 30% drop rate over 18 ShardDown bundles must lose at least one";
+  const double model_bytes =
+      static_cast<double>(runner.model().param_bytes());
+  const double retry_bytes =
+      static_cast<double>(stats.retry_bytes_down.load()) +
+      static_cast<double>(stats.retry_bytes_up.load());
+  EXPECT_NEAR(runner.costs().network_bytes(),
+              model_bytes * (2.0 * participants + lost) + retry_bytes, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Retry / ack-timeout policy: lost UpdateUps are resent (flagged on the
+// wire, billed through CostMeter); exhausted budgets surface as
+// RoundRecord::lost_updates.
+
+TEST(RetryPolicyTest, DroppedUpdatesAreResentWithinBudget) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig cfg = base_cfg(7);
+  cfg.rounds = 4;
+  cfg.clients_per_round = 6;
+  cfg.eval_every = 0;
+  cfg.use_fabric = true;
+  cfg.fabric_faults.drop_prob = 0.25;
+  cfg.fabric_faults.seed = 77;
+
+  FedAvgRunner no_retry(init, data, fleet, cfg);
+  no_retry.run();
+
+  cfg.topology.max_retries = 3;
+  cfg.topology.ack_timeout_s = 5.0;
+  FedAvgRunner with_retry(init, data, fleet, cfg);
+  with_retry.run();
+
+  int p0 = 0, p1 = 0, lost1 = 0;
+  for (const auto& rec : no_retry.history()) p0 += rec.participants;
+  for (const auto& rec : with_retry.history()) {
+    p1 += rec.participants;
+    lost1 += rec.lost_updates;
+  }
+  const FabricStats& stats = with_retry.fabric()->stats();
+  EXPECT_GT(stats.frames_retried.load(), 0u)
+      << "drop_prob = 0.25 over 4 rounds must lose at least one UpdateUp";
+  EXPECT_GT(p1, p0) << "retries must recover updates the no-retry run lost";
+  ASSERT_EQ(with_retry.history().size(), 4u)
+      << "rounds must complete under the retry policy";
+
+  // Billing: every aggregated update moved the model down and up once, every
+  // lost update spent its downlink, and every resend attempt is billed on
+  // top — exactly the transport's retry byte counters.
+  const double model_bytes =
+      static_cast<double>(with_retry.model().param_bytes());
+  const double retry_bytes =
+      static_cast<double>(stats.retry_bytes_down.load()) +
+      static_cast<double>(stats.retry_bytes_up.load());
+  EXPECT_GT(retry_bytes, 0.0);
+  EXPECT_NEAR(with_retry.costs().network_bytes(),
+              model_bytes * (2.0 * p1 + lost1) + retry_bytes, 1.0);
+}
+
+TEST(RetryPolicyTest, ExhaustedRetriesCountAsLostUpdates) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig cfg = base_cfg(7);
+  cfg.rounds = 5;
+  cfg.clients_per_round = 6;
+  cfg.eval_every = 0;
+  cfg.use_fabric = true;
+  cfg.fabric_faults.drop_prob = 0.55;
+  cfg.fabric_faults.seed = 123;
+  cfg.topology.max_retries = 1;
+  cfg.topology.ack_timeout_s = 5.0;
+
+  FedAvgRunner runner(init, data, fleet, cfg);
+  runner.run();
+
+  ASSERT_EQ(runner.history().size(), 5u);
+  int lost = 0;
+  for (const auto& rec : runner.history()) lost += rec.lost_updates;
+  EXPECT_GT(lost, 0)
+      << "a 0.55 drop rate with one retry must exhaust some budgets";
+  EXPECT_GT(runner.fabric()->stats().frames_retried.load(), 0u);
+
+  // Determinism: the same faulty retry run replays bit-identically.
+  FedAvgRunner again(init, data, fleet, cfg);
+  again.run();
+  expect_identical(runner, again);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric-backed async FedBuff: the event loop runs over real ModelDown /
+// UpdateUp messages, completions are ordered by server-side delivery time,
+// and ack-timeouts replace lost clients.
+
+TEST(AsyncFabricTest, FaultFreeSessionCompletesWithDeliveryOrdering) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(8);
+  Model init(tiny_model(), rng);
+
+  AsyncRunConfig cfg;
+  cfg.concurrency = 3;
+  cfg.buffer_size = 2;
+  cfg.aggregations = 6;
+  cfg.local.steps = 3;
+  cfg.local.batch = 6;
+  cfg.eval_every = 3;
+  cfg.eval_clients = 6;
+  cfg.seed = 42;
+  cfg.use_fabric = true;
+
+  FedBuffRunner runner(init, data, fleet, cfg);
+  runner.run();
+
+  EXPECT_EQ(runner.aggregations_done(), cfg.aggregations);
+  ASSERT_EQ(runner.history().size(),
+            static_cast<std::size_t>(cfg.aggregations));
+  // Delivery-time completion ordering: versions ship at nondecreasing
+  // simulated instants, and no update was lost on a clean transport.
+  double prev = 0.0;
+  for (const auto& rec : runner.history()) {
+    EXPECT_GE(rec.round_time_s, prev);
+    prev = rec.round_time_s;
+    EXPECT_EQ(rec.lost_updates, 0);
+  }
+  EXPECT_GT(runner.now_s(), 0.0);
+  EXPECT_GE(runner.mean_staleness(), 0.0);
+
+  const FederationServer* fabric = runner.engine().fabric();
+  ASSERT_NE(fabric, nullptr);
+  EXPECT_GT(fabric->stats().frames_sent.load(), 0u);
+  EXPECT_EQ(fabric->stats().frames_dropped.load(), 0u);
+  EXPECT_EQ(fabric->stats().frames_rejected.load(), 0u)
+      << "undecodable frames on a clean transport mean a codec bug";
+
+  // The engine billed each absorbed update's down+up transfer through the
+  // strategy, so the meter moves.
+  EXPECT_GT(runner.costs().network_bytes(), 0.0);
+  EXPECT_GT(runner.costs().total_macs(), 0.0);
+}
+
+TEST(AsyncFabricTest, DeterministicAcrossThreadCounts) {
+  auto data = FederatedDataset::generate(tiny_data(8));
+  auto fleet = tiny_fleet(8);
+  Rng rng(2);
+  Model init(tiny_model(), rng);
+  const int prev_threads = ThreadPool::global().size();
+
+  AsyncRunConfig cfg;
+  cfg.concurrency = 3;
+  cfg.buffer_size = 2;
+  cfg.aggregations = 5;
+  cfg.local.steps = 2;
+  cfg.local.batch = 4;
+  cfg.seed = 13;
+  cfg.use_fabric = true;
+
+  ThreadPool::set_global_threads(1);
+  FedBuffRunner a(init, data, fleet, cfg);
+  a.run();
+  ThreadPool::set_global_threads(4);
+  FedBuffRunner b(init, data, fleet, cfg);
+  b.run();
+  ThreadPool::set_global_threads(prev_threads);
+
+  EXPECT_EQ(a.now_s(), b.now_s());
+  auto wa = a.model().weights();
+  auto wb = b.model().weights();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i)
+    EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0) << "tensor " << i;
+  ASSERT_EQ(a.history().size(), b.history().size());
+  for (std::size_t r = 0; r < a.history().size(); ++r)
+    EXPECT_EQ(a.history()[r].avg_loss, b.history()[r].avg_loss);
+}
+
+TEST(AsyncFabricTest, FaultyAsyncSessionAccountsLostUpdates) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(8);
+  Model init(tiny_model(), rng);
+
+  AsyncRunConfig cfg;
+  cfg.concurrency = 4;
+  cfg.buffer_size = 2;
+  cfg.aggregations = 6;
+  cfg.local.steps = 2;
+  cfg.local.batch = 4;
+  cfg.seed = 7;
+  cfg.use_fabric = true;
+  cfg.fabric_faults.drop_prob = 0.3;
+  cfg.fabric_faults.dropout_prob = 0.15;
+  cfg.fabric_faults.seed = 55;
+  cfg.topology.max_retries = 1;
+  cfg.topology.ack_timeout_s = 30.0;
+
+  FedBuffRunner runner(init, data, fleet, cfg);
+  runner.run();  // must terminate: timeouts replace lost clients
+
+  EXPECT_EQ(runner.aggregations_done(), cfg.aggregations);
+  int lost = 0;
+  for (const auto& rec : runner.history()) lost += rec.lost_updates;
+  EXPECT_GT(lost, 0) << "heavy fault injection must lose some updates";
+  const FabricStats& stats = runner.engine().fabric()->stats();
+  EXPECT_GT(stats.frames_dropped.load(), 0u);
+  EXPECT_GT(stats.frames_retried.load(), 0u);
+  EXPECT_EQ(stats.frames_rejected.load(), 0u);
+
+  // The ack-timeout is retry-aware (one timeout per allowed uplink
+  // attempt), so a resent update can actually land and be folded in —
+  // the same session without a retry budget must lose strictly more.
+  cfg.topology.max_retries = 0;
+  FedBuffRunner no_retry(init, data, fleet, cfg);
+  no_retry.run();
+  int lost0 = 0;
+  for (const auto& rec : no_retry.history()) lost0 += rec.lost_updates;
+  EXPECT_LT(lost, lost0)
+      << "retries must recover updates the no-retry run times out on";
 }
 
 }  // namespace

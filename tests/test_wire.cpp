@@ -165,6 +165,99 @@ TEST(WireTest, FrameSizeSplitsConcatenatedFrames) {
   expect_equal(b, decode_message(std::string_view(stream).substr(split)));
 }
 
+TEST(WireTest, PartialUpBundleRoundTripsBitwise) {
+  Rng rng(17);
+  PartialUpdate p;
+  p.shard = 2;
+  for (int i = 0; i < 4; ++i) {
+    UpdateEntry e;
+    e.task = 2 + 3 * i;  // slot i of shard 2 in a 3-shard topology
+    e.client = rng.uniform_int(0, 64);
+    e.delta = random_weight_set(rng);
+    e.avg_loss = rng.uniform(-4.0, 4.0);
+    e.num_samples = rng.uniform_int(1, 512);
+    e.macs_used = rng.uniform(0.0, 1e9);
+    p.entries.push_back(std::move(e));
+  }
+  const std::string frame =
+      encode_partial_up(9, aggregator_id(2), kServerId, p);
+  EXPECT_EQ(frame_type(frame), MsgType::PartialUp);
+  EXPECT_EQ(frame_size(frame), frame.size());
+  const PartialUpdate back = decode_partial_up(frame);
+  EXPECT_EQ(back.round, 9u);
+  EXPECT_EQ(back.sender, aggregator_id(2));
+  EXPECT_EQ(back.shard, 2);
+  ASSERT_EQ(back.entries.size(), p.entries.size());
+  for (std::size_t i = 0; i < p.entries.size(); ++i) {
+    EXPECT_EQ(back.entries[i].task, p.entries[i].task);
+    EXPECT_EQ(back.entries[i].client, p.entries[i].client);
+    EXPECT_EQ(back.entries[i].avg_loss, p.entries[i].avg_loss);
+    EXPECT_EQ(back.entries[i].num_samples, p.entries[i].num_samples);
+    EXPECT_EQ(back.entries[i].macs_used, p.entries[i].macs_used);
+    ASSERT_EQ(back.entries[i].delta.size(), p.entries[i].delta.size());
+    for (std::size_t t = 0; t < p.entries[i].delta.size(); ++t)
+      for (std::int64_t j = 0; j < p.entries[i].delta[t].numel(); ++j)
+        EXPECT_EQ(back.entries[i].delta[t][j], p.entries[i].delta[t][j]);
+  }
+  // Bundles have their own decoders; the flat-message one refuses them.
+  EXPECT_THROW(decode_message(frame), Error);
+  // Corruption anywhere still trips the checksum.
+  std::string bad = frame;
+  bad[frame.size() / 2] = static_cast<char>(bad[frame.size() / 2] ^ 0x10);
+  EXPECT_THROW(decode_partial_up(bad), Error);
+}
+
+TEST(WireTest, ShardDownBundleRoundTripsBitwise) {
+  Rng rng(23);
+  ShardDownlink d;
+  d.shard = 1;
+  // Bodies are opaque byte strings (embedded NULs included).
+  d.bodies.push_back(std::string("level0\0body", 11));
+  d.bodies.push_back("level1body");
+  for (int i = 0; i < 5; ++i) {
+    DownlinkTask t;
+    t.task = 1 + 2 * i;
+    t.client = rng.uniform_int(0, 64);
+    t.body = static_cast<std::uint32_t>(i % 2);
+    for (auto& s : t.rng_state) s = rng.next_u64();
+    d.tasks.push_back(t);
+  }
+  const std::string frame = encode_shard_down(4, aggregator_id(1), d);
+  EXPECT_EQ(frame_type(frame), MsgType::ShardDown);
+  const ShardDownlink back = decode_shard_down(frame);
+  EXPECT_EQ(back.round, 4u);
+  EXPECT_EQ(back.shard, 1);
+  ASSERT_EQ(back.bodies.size(), 2u);
+  EXPECT_EQ(back.bodies[0], d.bodies[0]);
+  EXPECT_EQ(back.bodies[1], d.bodies[1]);
+  ASSERT_EQ(back.tasks.size(), d.tasks.size());
+  for (std::size_t i = 0; i < d.tasks.size(); ++i) {
+    EXPECT_EQ(back.tasks[i].task, d.tasks[i].task);
+    EXPECT_EQ(back.tasks[i].client, d.tasks[i].client);
+    EXPECT_EQ(back.tasks[i].body, d.tasks[i].body);
+    EXPECT_EQ(back.tasks[i].rng_state, d.tasks[i].rng_state);
+  }
+  EXPECT_THROW(decode_message(frame), Error);
+  // A task referencing a body past the table is rejected at decode.
+  ShardDownlink oob = d;
+  oob.tasks[0].body = 7;
+  EXPECT_THROW(decode_shard_down(encode_shard_down(4, kServerId, oob)),
+               Error);
+}
+
+TEST(WireTest, RetryFlagRidesTheHeader) {
+  FabricMessage msg;
+  msg.type = MsgType::UpdateUp;
+  msg.round = 2;
+  msg.sender = 3;
+  msg.receiver = kServerId;
+  msg.flags = kFlagRetry;
+  const FabricMessage back = decode_message(encode_message(msg));
+  EXPECT_EQ(back.flags, kFlagRetry);
+  msg.flags = 0;
+  EXPECT_EQ(decode_message(encode_message(msg)).flags, 0);
+}
+
 TEST(WireTest, BadMagicAndVersionAreRejected) {
   FabricMessage msg;
   msg.type = MsgType::Ack;

@@ -132,6 +132,82 @@ void BM_FabricRoundSharded(benchmark::State& state) {
 BENCHMARK(BM_FabricRoundSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/// Depth sweep over the aggregation tree (64-client fleet): levels 2 and 3,
+/// 4 and 8 leaves, verbatim bundles vs numeric partial aggregation. The
+/// headline counter is root_bytes_per_round — the traffic landing in the
+/// root's mailbox per round. Verbatim bundles carry every client update
+/// upstream (O(clients) at the root whatever the tree); numeric mode
+/// forwards one pre-summed group per bundle, collapsing the root's fan-in
+/// to O(branching).
+void BM_FabricRoundTree(benchmark::State& state) {
+  const int clients = 64;
+  const int levels = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  const bool numeric = state.range(2) != 0;
+  auto data = FederatedDataset::generate(bench_data(clients));
+  FleetConfig fleet_cfg;
+  fleet_cfg.num_devices = clients;
+  fleet_cfg.with_median_capacity(5e6);
+  auto fleet = sample_fleet(fleet_cfg);
+  Rng rng(1);
+  Model model(bench_model(), rng);
+  LocalTrainConfig local;
+  local.steps = 2;
+  local.batch = 4;
+  FabricTopology topo;
+  topo.levels = levels;
+  topo.shards = shards;
+  topo.partial_aggregation = numeric;
+  FederationServer server(model, data, fleet, local, FaultConfig{}, topo);
+
+  std::vector<int> selected(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) selected[static_cast<std::size_t>(c)] = c;
+  // One reduce group, FedAvg-style: every update sums into one accumulator.
+  const std::vector<std::int32_t> reduce_keys(
+      static_cast<std::size_t>(clients), 0);
+  WeightSet global = model.weights();
+
+  std::uint64_t round = 0;
+  std::uint64_t frames0 = server.stats().frames_sent.load();
+  std::uint64_t bytes0 = server.stats().bytes_sent.load();
+  std::uint64_t root0 = server.stats().bytes_root_in.load();
+  for (auto _ : state) {
+    std::vector<Rng> rngs;
+    rngs.reserve(selected.size());
+    Rng round_rng(round + 17);
+    for (std::size_t i = 0; i < selected.size(); ++i)
+      rngs.push_back(round_rng.fork());
+    auto ex = server.run_round(static_cast<std::uint32_t>(round++), global,
+                               selected, rngs,
+                               numeric ? reduce_keys
+                                       : std::vector<std::int32_t>{});
+    benchmark::DoNotOptimize(ex.results.data());
+  }
+  const std::uint64_t frames = server.stats().frames_sent.load() - frames0;
+  const std::uint64_t bytes = server.stats().bytes_sent.load() - bytes0;
+  const std::uint64_t root_bytes =
+      server.stats().bytes_root_in.load() - root0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.counters["msgs_per_s_tree"] = benchmark::Counter(
+      static_cast<double>(frames), benchmark::Counter::kIsRate);
+  state.counters["bytes_per_round"] =
+      static_cast<double>(bytes) / static_cast<double>(state.iterations());
+  state.counters["root_bytes_per_round"] =
+      static_cast<double>(root_bytes) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_FabricRoundTree)
+    ->ArgNames({"levels", "shards", "numeric"})
+    ->Args({2, 4, 0})
+    ->Args({2, 4, 1})
+    ->Args({2, 8, 0})
+    ->Args({2, 8, 1})
+    ->Args({3, 4, 0})
+    ->Args({3, 4, 1})
+    ->Args({3, 8, 0})
+    ->Args({3, 8, 1})
+    ->Unit(benchmark::kMillisecond);
+
 /// Pure wire-protocol cost: encode+decode of a ModelDown frame carrying the
 /// bench model's full weight set. items == frames; bytes_per_frame reported.
 void BM_WireCodec(benchmark::State& state) {

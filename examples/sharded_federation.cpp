@@ -2,8 +2,11 @@
 // root ships one bundled ShardDown frame per shard, leaf aggregators fan
 // out to their client partition and forward one bundled PartialUp back —
 // and confirm the result is bitwise identical to the flat fabric. Then a
-// lossy sharded round with the retry policy (bounded resend of lost
-// frames), and finally FedBuff's async event loop over the same fabric.
+// 3-level tree with numeric partial aggregation (pre-summed PartialUps
+// collapse root fan-in to O(branching)) and leaf failover under leaf
+// death, a lossy sharded round with the retry policy (bounded resend of
+// lost frames), and finally FedBuff's async event loop over the same
+// fabric.
 
 #include <cstdlib>
 #include <iostream>
@@ -66,6 +69,46 @@ int main() {
             << "sharded: " << sharded.fabric()->stats().frames_sent.load()
             << " frames on the wire (bundled ShardDown/PartialUp "
                "replace per-client root traffic)\n\n";
+
+  // A 3-level tree (root → 2 interiors → 4 leaves) with numeric partial
+  // aggregation: leaves and interiors pre-sum their updates per reduce
+  // group, so the root receives one small group per child instead of
+  // every client delta — O(branching) fan-in. Weights match the flat run
+  // to numeric tolerance (only float summation order moved).
+  FlRunConfig numeric_cfg = cfg;
+  numeric_cfg.topology.levels = 3;
+  numeric_cfg.topology.shards = 4;
+  numeric_cfg.topology.branching = 2;
+  numeric_cfg.topology.partial_aggregation = true;
+  FedAvgRunner numeric(init, data, fleet, numeric_cfg);
+  numeric.run();
+  std::cout << "flat vs 3-level numeric tree max |dw| = "
+            << max_weight_diff(flat.model(), numeric.model())
+            << "  (tolerance-equal: the tree pre-sums the reduction)\n"
+            << "root fan-in: "
+            << fmt_bytes(static_cast<double>(
+                   numeric.fabric()->stats().bytes_root_in.load()))
+            << " vs "
+            << fmt_bytes(static_cast<double>(
+                   sharded.fabric()->stats().bytes_root_in.load()))
+            << " verbatim\n\n";
+
+  // Per-shard fault domains: a leaf dead for a round has its partition
+  // redirected to an alive sibling one ack-timeout later — billed as
+  // failover traffic, recorded per round.
+  FlRunConfig flaky = cfg;
+  flaky.topology.levels = 2;
+  flaky.topology.shards = 4;
+  flaky.fabric_faults.leaf_death_prob = 0.25;
+  FedAvgRunner failover(init, data, fleet, flaky);
+  failover.run();
+  int failovers = 0;
+  for (const auto& rec : failover.history()) failovers += rec.leaf_failovers;
+  std::cout << "25% leaf death over " << flaky.rounds << " rounds: "
+            << failovers << " partitions failed over to siblings ("
+            << fmt_bytes(static_cast<double>(
+                   failover.fabric()->stats().failover_bytes_down.load()))
+            << " redirect traffic, billed)\n\n";
 
   // A hostile network with the retry policy: lost UpdateUps are resent up
   // to max_retries times, ack_timeout_s apart; resends are flagged on the

@@ -4,8 +4,11 @@
 # directly. The build runs with -Wall -Wextra promoted to errors
 # (FEDTRANS_WERROR=ON), so a new warning fails CI; the docs check
 # (scripts/check_docs.sh) fails on pages referencing renamed/removed files
-# or symbols. The ctest suite includes the sharded-parity and retry-policy
-# gates (test_fabric) and the engine/shim parity gates (test_engine_parity).
+# or symbols. The ctest suite includes the tree-parity, numeric
+# partial-aggregation and retry-policy gates (test_fabric), the
+# chaos-scenario sweep (test_chaos — fault x topology matrix, invariant
+# checks under parallel ctest with pinned FEDTRANS_THREADS), and the
+# engine/shim parity gates (test_engine_parity).
 #
 # Usage: scripts/ci.sh [extra ctest args...]
 #   BUILD_DIR  build directory   (default: build)

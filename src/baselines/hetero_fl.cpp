@@ -89,6 +89,38 @@ void HeteroFLStrategy::absorb_update(const ClientTask& task, Model* trained,
                       static_cast<double>(sub.macs()), res, slowest_);
 }
 
+void HeteroFLStrategy::absorb_metrics(const ClientTask& task,
+                                      const LocalTrainResult& res,
+                                      RoundContext& ctx) {
+  const auto lvl = static_cast<std::size_t>(task.tag);
+  loss_sum_ += res.avg_loss;
+  bill_trained_update(ctx, task.client, level_bytes_[lvl], level_macs_[lvl],
+                      res, slowest_);
+}
+
+void HeteroFLStrategy::absorb_reduced(const ClientTask&, Model* payload,
+                                      WeightSet& sum, double weight, int,
+                                      RoundContext&) {
+  // One overlap walk per capacity level: the group's submodels are
+  // structurally identical, so the pre-summed delta and weight total fold
+  // into the global crop exactly where each member's update would have.
+  FT_CHECK_MSG(payload != nullptr,
+               "HeteroFL absorb_reduced requires the level's payload model");
+  Model& sub = *payload;
+  auto sidx = param_index(sub);
+  const float w = static_cast<float>(weight);
+  for (auto& pair : align_params(*global_, sub)) {
+    Tensor& a = acc_[gidx_.at(pair.dst)];
+    Tensor& ws = wsum_[gidx_.at(pair.dst)];
+    const Tensor& d = sum[sidx.at(pair.src)];
+    for_each_overlap(*pair.dst, *pair.src,
+                     [&](std::int64_t gi, std::int64_t si) {
+                       a[gi] += d[si];
+                       ws[gi] += w;
+                     });
+  }
+}
+
 void HeteroFLStrategy::lost_update(const ClientTask& task,
                                    ClientOutcome outcome, RoundContext& ctx) {
   const auto lvl = static_cast<std::size_t>(task.tag);

@@ -33,6 +33,14 @@ class HeteroFLStrategy : public Strategy {
   void finish_round(RoundContext& ctx, RoundRecord& rec) override;
   double probe_accuracy(const std::vector<int>& ids,
                         RoundContext& ctx) override;
+  /// Coverage-weighted element averaging is a linear sum per capacity
+  /// level: same level ⇒ same submodel structure ⇒ one overlap walk folds
+  /// the level's pre-summed delta and weight total into the global crop.
+  bool supports_partial_aggregation() const override { return true; }
+  void absorb_metrics(const ClientTask& task, const LocalTrainResult& res,
+                      RoundContext& ctx) override;
+  void absorb_reduced(const ClientTask& task, Model* payload, WeightSet& sum,
+                      double weight, int count, RoundContext& ctx) override;
 
   Model& global() { return *global_; }
   int num_levels() const { return static_cast<int>(level_specs_.size()); }

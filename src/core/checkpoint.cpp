@@ -24,7 +24,9 @@ constexpr std::uint64_t kCheckpointMagic = 0xfed72a45c8c9ULL;
 // v3: the engine refactor (PR 3) moved Rng/costs/round/history into the
 // FederationEngine; the layout is unchanged but the compatibility break is
 // versioned so older checkpoints fail loudly instead of misparsing.
-constexpr std::uint32_t kCheckpointVersion = 3;
+// v4: RoundRecord grew leaf_failovers (PR 5 deep aggregation trees), which
+// changes the POD history layout.
+constexpr std::uint32_t kCheckpointVersion = 4;
 
 }  // namespace
 

@@ -92,6 +92,32 @@ void FedTransStrategy::absorb_update(const ClientTask& task, Model*,
                       static_cast<double>(server_model.macs()), res, slowest_);
 }
 
+void FedTransStrategy::absorb_metrics(const ClientTask& task,
+                                      const LocalTrainResult& res,
+                                      RoundContext& ctx) {
+  // Numeric tree round: per-client bookkeeping — utility learning inputs,
+  // selector feedback, billing — exactly as absorb_update, minus the
+  // weight accumulation (pre-summed by the tree per assigned model).
+  const int c = task.client;
+  const auto k = static_cast<std::size_t>(task.tag);
+  Model& server_model = *models_[k].model;
+  loss_sum_[k] += res.avg_loss;
+  ++loss_cnt_[k];
+  parts_.push_back({c, task.tag, res.avg_loss});
+  ctx.selector.report(c, res.avg_loss, res.num_samples);
+  bill_trained_update(ctx, c, static_cast<double>(server_model.param_bytes()),
+                      static_cast<double>(server_model.macs()), res, slowest_);
+}
+
+void FedTransStrategy::absorb_reduced(const ClientTask& task, Model*,
+                                      WeightSet& sum, double weight, int,
+                                      RoundContext&) {
+  const auto k = static_cast<std::size_t>(task.tag);
+  if (acc_[k].empty()) acc_[k] = ws_zeros_like(sum);
+  ws_axpy(acc_[k], 1.0f, sum);
+  wsum_[k] += weight;
+}
+
 void FedTransStrategy::lost_update(const ClientTask& task,
                                    ClientOutcome outcome, RoundContext& ctx) {
   Model& m = *models_[static_cast<std::size_t>(task.tag)].model;

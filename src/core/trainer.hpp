@@ -109,6 +109,14 @@ class FedTransStrategy : public Strategy {
   void finish_round(RoundContext& ctx, RoundRecord& rec) override;
   double probe_accuracy(const std::vector<int>& ids,
                         RoundContext& ctx) override;
+  /// Per-model FedAvg is a weighted linear sum per family member (the
+  /// reduce key is the assigned model index); utility learning only needs
+  /// the per-client losses, which ride the tree verbatim as metrics.
+  bool supports_partial_aggregation() const override { return true; }
+  void absorb_metrics(const ClientTask& task, const LocalTrainResult& res,
+                      RoundContext& ctx) override;
+  void absorb_reduced(const ClientTask& task, Model* payload, WeightSet& sum,
+                      double weight, int count, RoundContext& ctx) override;
 
   FinalEval evaluate_final();
 

@@ -54,6 +54,22 @@ std::vector<ClientTask> Strategy::plan_round(RoundContext& ctx, Rng& rng) {
   return tasks;
 }
 
+void Strategy::absorb_metrics(const ClientTask&, const LocalTrainResult&,
+                              RoundContext&) {
+  FT_CHECK_MSG(false, "strategy '"
+                          << name()
+                          << "' does not support numeric partial "
+                             "aggregation (absorb_metrics not implemented)");
+}
+
+void Strategy::absorb_reduced(const ClientTask&, Model*, WeightSet&, double,
+                              int, RoundContext&) {
+  FT_CHECK_MSG(false, "strategy '"
+                          << name()
+                          << "' does not support numeric partial "
+                             "aggregation (absorb_reduced not implemented)");
+}
+
 FederationEngine::FederationEngine(std::unique_ptr<Strategy> strategy,
                                    const FederatedDataset& data,
                                    std::vector<DeviceProfile> fleet,
@@ -87,6 +103,17 @@ RoundContext FederationEngine::make_context() {
                       rng_,  round_, 0,      0};
 }
 
+bool FederationEngine::numeric_rounds() const {
+  if (!cfg_.use_fabric || !cfg_.topology.partial_aggregation ||
+      cfg_.topology.levels < 2 || cfg_.mode != SessionMode::Sync)
+    return false;
+  FT_CHECK_MSG(strategy_->supports_partial_aggregation(),
+               "partial_aggregation topology configured, but strategy '"
+                   << strategy_->name()
+                   << "' is not a weighted-linear-sum reduction");
+  return true;
+}
+
 ExchangeResult FederationEngine::exchange(
     const std::vector<ClientTask>& tasks, std::vector<Rng>& client_rngs,
     std::vector<std::optional<Model>>& payloads,
@@ -106,10 +133,20 @@ ExchangeResult FederationEngine::exchange(
     clients.reserve(tasks.size());
     for (const ClientTask& t : tasks) clients.push_back(t.client);
 
+    // Numeric partial aggregation: hand the tree one reduce key per slot
+    // so leaves know which updates sum into the same accumulator.
+    std::vector<std::int32_t> reduce_keys;
+    if (numeric_rounds()) {
+      reduce_keys.reserve(tasks.size());
+      for (const ClientTask& t : tasks)
+        reduce_keys.push_back(strategy_->reduce_key(t));
+    }
+
     if (Model* shared = strategy_->shared_model()) {
       // Single-global-model strategies broadcast one encoded weight blob.
       ex = fabric_->run_round(static_cast<std::uint32_t>(round_),
-                              shared->weights(), clients, client_rngs);
+                              shared->weights(), clients, client_rngs,
+                              reduce_keys);
     } else {
       // Heterogeneous strategies ship per-task architectures on the wire.
       // Tasks sharing a payload_key reuse one materialized model (ladder
@@ -134,13 +171,16 @@ ExchangeResult FederationEngine::exchange(
         ptrs.push_back(m);
       }
       ex = fabric_->run_round(static_cast<std::uint32_t>(round_), ptrs,
-                              clients, client_rngs);
+                              clients, client_rngs, reduce_keys);
     }
-    // Retry-policy resends are real network traffic the strategies never
-    // see (they bill one down + one up per update); the engine bills them
-    // directly. Zero without faults, so parity with in-process runs holds.
-    if (ex.retry_down_bytes > 0.0 || ex.retry_up_bytes > 0.0)
-      costs_.add_transfer(ex.retry_down_bytes, ex.retry_up_bytes);
+    // Retry-policy resends and leaf-failover redirects are real network
+    // traffic the strategies never see (they bill one down + one up per
+    // update); the engine bills them directly. Zero without faults, so
+    // parity with in-process runs holds.
+    if (ex.retry_down_bytes > 0.0 || ex.retry_up_bytes > 0.0 ||
+        ex.failover_down_bytes > 0.0)
+      costs_.add_transfer(ex.retry_down_bytes + ex.failover_down_bytes,
+                          ex.retry_up_bytes);
     return ex;
   }
 
@@ -195,15 +235,39 @@ double FederationEngine::run_round() {
   std::vector<Model*> task_models(tasks.size(), nullptr);
   ExchangeResult ex = exchange(tasks, client_rngs, payloads, task_models);
 
-  // Fixed task-order reduction: absorb arrived updates, bill casualties.
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    if (ex.outcomes[i] != ClientOutcome::Trained) {
-      strategy_->lost_update(tasks[i], ex.outcomes[i], ctx);
-      ++ctx.lost;
-      continue;
+  if (ex.reduced) {
+    // Numeric tree round: per-task metrics arrived verbatim (billing,
+    // selector feedback, loss bookkeeping stay per-client, in task order);
+    // the deltas arrive pre-summed per reduce group, folded in ascending
+    // min-slot order — the same canonical order the tree reduced them in.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (ex.outcomes[i] != ClientOutcome::Trained) {
+        strategy_->lost_update(tasks[i], ex.outcomes[i], ctx);
+        ++ctx.lost;
+        continue;
+      }
+      strategy_->absorb_metrics(tasks[i], ex.results[i], ctx);
+      ++ctx.trained;
     }
-    strategy_->absorb_update(tasks[i], task_models[i], ex.results[i], ctx);
-    ++ctx.trained;
+    for (ReducedGroup& g : ex.groups) {
+      const auto slot = static_cast<std::size_t>(g.min_slot);
+      FT_CHECK_MSG(slot < tasks.size(), "reduce group references slot "
+                                            << g.min_slot << " of "
+                                            << tasks.size());
+      strategy_->absorb_reduced(tasks[slot], task_models[slot], g.sum,
+                                g.weight, g.count, ctx);
+    }
+  } else {
+    // Fixed task-order reduction: absorb arrived updates, bill casualties.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (ex.outcomes[i] != ClientOutcome::Trained) {
+        strategy_->lost_update(tasks[i], ex.outcomes[i], ctx);
+        ++ctx.lost;
+        continue;
+      }
+      strategy_->absorb_update(tasks[i], task_models[i], ex.results[i], ctx);
+      ++ctx.trained;
+    }
   }
 
   RoundRecord rec;
@@ -212,6 +276,7 @@ double FederationEngine::run_round() {
   rec.cum_macs = costs_.total_macs();
   rec.participants = ctx.trained;
   rec.lost_updates += ctx.lost;  // strategies may pre-add deadline drops
+  rec.leaf_failovers = ex.leaf_failovers;
 
   maybe_probe(round_, ctx, rec);
   history_.push_back(rec);
@@ -350,6 +415,7 @@ void FederationEngine::run_async_fabric() {
       pending(later);
   std::uint32_t next_job = 0;
   int lost_since_ship = 0;
+  int failovers_since_ship = 0;
 
   auto dispatch = [&] {
     const int c = rng_.uniform_int(0, data_.num_clients() - 1);
@@ -359,6 +425,9 @@ void FederationEngine::run_async_fabric() {
     if (turn.retry_up_bytes > 0.0)
       costs_.add_transfer(0.0, turn.retry_up_bytes);
     costs_.add_client_round_time(turn.busy_s);
+    // A dead leaf re-routed this job through a sibling; surface it on the
+    // next shipped version's record, mirroring the sync path's accounting.
+    if (turn.failed_over) ++failovers_since_ship;
     Pending p;
     p.job = next_job++;
     p.client = c;
@@ -415,7 +484,9 @@ void FederationEngine::run_async_fabric() {
         rec.cum_macs = costs_.total_macs();
         rec.round_time_s = now_s_;
         rec.lost_updates = lost_since_ship;
+        rec.leaf_failovers = failovers_since_ship;
         lost_since_ship = 0;
+        failovers_since_ship = 0;
         maybe_probe(version_, ctx, rec);
         history_.push_back(rec);
         for (RoundObserver* obs : observers_) obs->on_round_end(rec);

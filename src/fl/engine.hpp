@@ -146,6 +146,40 @@ class Strategy {
   virtual void lost_update(const ClientTask& /*task*/,
                            ClientOutcome /*outcome*/, RoundContext& /*ctx*/) {}
 
+  // --- numeric partial aggregation (associativity-tolerant tree mode) ----
+
+  /// True when the per-task reduction this strategy applies in
+  /// absorb_update is a weighted linear sum — `acc += num_samples · Δ`
+  /// plus a weight total, per reduce group — which is the property that
+  /// lets tree aggregators pre-sum updates numerically
+  /// (FabricTopology::partial_aggregation). Opt-in: the default refuses,
+  /// and the engine fails loudly when a numeric session is configured on a
+  /// strategy that cannot honor it.
+  virtual bool supports_partial_aggregation() const { return false; }
+
+  /// Reduce-group key for the numeric reduction: tasks with equal keys
+  /// must have shape-identical deltas and accumulate into the same
+  /// strategy slot. Default: the task tag (FedTrans's model index,
+  /// HeteroFL's capacity level; 0 for single-model strategies).
+  virtual int reduce_key(const ClientTask& task) const { return task.tag; }
+
+  /// Per-task bookkeeping of a numeric round, in task order: the metrics
+  /// (loss, samples, MACs) arrived verbatim but the delta was consumed by
+  /// the tree reduction — do everything absorb_update would except the
+  /// weight accumulation (selector feedback, loss bookkeeping, billing).
+  virtual void absorb_metrics(const ClientTask& task,
+                              const LocalTrainResult& res, RoundContext& ctx);
+
+  /// Fold one pre-summed reduce group into the strategy's accumulators:
+  /// `sum` = Σ num_samples·Δ and `weight` = Σ num_samples over the group's
+  /// `count` trained tasks. Called after the round's absorb_metrics
+  /// passes, in ascending min-slot order; `task` is the group's smallest
+  /// trained slot (its tag identifies the model family / capacity level)
+  /// and `payload` its materialized payload model, as in absorb_update.
+  virtual void absorb_reduced(const ClientTask& task, Model* payload,
+                              WeightSet& sum, double weight, int count,
+                              RoundContext& ctx);
+
   /// Apply the round's aggregate to the server model(s), run any model
   /// transformation, and fill the record's strategy-owned fields
   /// (avg_loss, round_time_s, lost_updates adjustments). The engine fills
@@ -246,6 +280,10 @@ class FederationEngine {
                           std::vector<Rng>& client_rngs,
                           std::vector<std::optional<Model>>& payloads,
                           std::vector<Model*>& task_models);
+  /// True when this session's rounds run the numeric tree reduction
+  /// (fabric + partial_aggregation topology; validated against the
+  /// strategy's supports_partial_aggregation).
+  bool numeric_rounds() const;
 
   std::unique_ptr<Strategy> strategy_;
   const FederatedDataset& data_;

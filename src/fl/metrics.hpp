@@ -68,6 +68,10 @@ struct RoundRecord {
   /// Updates selected but never aggregated: deadline-dropped stragglers
   /// plus (on the federation fabric) message loss and client dropouts.
   int lost_updates = 0;
+  /// Leaf-aggregator fault domains that failed over this round: dead
+  /// leaves whose client partition was redirected to an alive sibling
+  /// (tree fabrics only; see FabricTopology).
+  int leaf_failovers = 0;
 };
 
 }  // namespace fedtrans

@@ -108,6 +108,28 @@ void FedAvgStrategy::absorb_update(const ClientTask& task, Model*,
                       res, slowest_, up_bytes);
 }
 
+void FedAvgStrategy::absorb_metrics(const ClientTask& task,
+                                    const LocalTrainResult& res,
+                                    RoundContext& ctx) {
+  // Numeric tree round: everything absorb_update does except the weight
+  // accumulation (the delta was pre-summed by the aggregation tree).
+  // Uplink compression is per-client and incompatible with pre-summing —
+  // supports_partial_aggregation() refuses it up front.
+  loss_sum_ += res.avg_loss;
+  ++trained_;
+  ctx.selector.report(task.client, res.avg_loss, res.num_samples);
+  const double model_bytes = static_cast<double>(model_.param_bytes());
+  bill_trained_update(ctx, task.client, model_bytes,
+                      static_cast<double>(model_.macs()), res, slowest_);
+}
+
+void FedAvgStrategy::absorb_reduced(const ClientTask&, Model*,
+                                    WeightSet& sum, double weight, int,
+                                    RoundContext&) {
+  ws_axpy(acc_, 1.0f, sum);
+  weight_sum_ += weight;
+}
+
 void FedAvgStrategy::lost_update(const ClientTask&, ClientOutcome outcome,
                                  RoundContext& ctx) {
   bill_lost_update(ctx, outcome, static_cast<double>(model_.param_bytes()),

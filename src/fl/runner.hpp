@@ -69,6 +69,15 @@ class FedAvgStrategy : public Strategy {
   void finish_round(RoundContext& ctx, RoundRecord& rec) override;
   double probe_accuracy(const std::vector<int>& ids,
                         RoundContext& ctx) override;
+  /// The weighted mean is a linear sum — numeric tree reduction applies as
+  /// long as no per-client uplink compression rewrites the deltas.
+  bool supports_partial_aggregation() const override {
+    return opts_.compression == CompressionKind::None;
+  }
+  void absorb_metrics(const ClientTask& task, const LocalTrainResult& res,
+                      RoundContext& ctx) override;
+  void absorb_reduced(const ClientTask& task, Model* payload, WeightSet& sum,
+                      double weight, int count, RoundContext& ctx) override;
 
   Model& model() { return model_; }
   const FedAvgOptions& options() const { return opts_; }

@@ -32,15 +32,32 @@ enum class SessionMode : std::uint8_t { Sync, Async };
 /// Shape and reliability knobs of the federation fabric (only consulted
 /// when `use_fabric` is set).
 ///
-/// `levels`/`shards` describe the aggregation tree: `levels == 1` is the
-/// flat FederationServer (every client talks to the root); `levels == 2`
-/// adds `shards` leaf aggregators — the root ships one bundled `ShardDown`
-/// frame per shard, leaves fan out to their client partition, collect their
-/// partition's `UpdateUp`s in parallel on the shared ThreadPool, and
-/// forward one bundled `PartialUp` upstream. Bundles carry the per-task
-/// updates verbatim (the numeric reduction stays with the engine, in fixed
-/// task order), so fault-free sharded rounds are bitwise identical to flat
-/// ones.
+/// `levels`/`shards`/`branching` describe the aggregation tree: `levels ==
+/// 1` is the flat FederationServer (every client talks to the root);
+/// `levels >= 2` puts `levels - 1` aggregator tiers between the root and
+/// the clients, with `shards` leaf aggregators on the bottom tier and
+/// interior tiers shrinking by the `branching` factor going up. The root
+/// ships one bundled `ShardDown` frame per child, interiors split bundles
+/// among theirs, leaves fan out to their client partition (task slot i
+/// lands on leaf i % shards), collect the partition's `UpdateUp`s in
+/// parallel on the shared ThreadPool, and forward one bundled `PartialUp`
+/// upstream, merged tier by tier back to the root. By default bundles
+/// carry the per-task updates verbatim (the numeric reduction stays with
+/// the engine, in fixed task order), so fault-free tree rounds of any
+/// depth are bitwise identical to flat ones.
+///
+/// `partial_aggregation` is the opt-in associativity-tolerant mode: leaf
+/// and interior aggregators numerically reduce the updates they collect —
+/// per reduce group, a running `Σ num_samples·Δ` plus the weight total —
+/// and forward one pre-summed `PartialUp` instead of the verbatim bundle,
+/// collapsing root fan-in traffic from O(clients) to O(branching).
+/// Per-task metrics (loss, samples, MACs) still ride verbatim, so billing,
+/// selector feedback and FedTrans's utility learning are unchanged; only
+/// the float summation order of the weight reduction moves into the tree.
+/// Requires a strategy whose reduction is a weighted linear sum
+/// (`Strategy::supports_partial_aggregation`): FedAvg (uncompressed),
+/// FedTrans and HeteroFL qualify. Results match flat rounds to numeric
+/// tolerance and stay bitwise deterministic per tree shape.
 ///
 /// `ack_timeout_s`/`max_retries` are the retry policy: a sender whose frame
 /// was lost resends it `ack_timeout_s` simulated seconds later, up to
@@ -49,13 +66,23 @@ enum class SessionMode : std::uint8_t { Sync, Async };
 /// additionally waits one ack-timeout per allowed uplink attempt — a
 /// dispatched client whose update has not arrived
 /// `(max_retries + 1) × ack_timeout_s` after dispatch is counted lost and
-/// replaced.
+/// replaced. Leaves are per-shard fault domains: a leaf that dies for a
+/// round (FaultConfig::leaf_death_prob) has its client partition reassigned
+/// to an alive sibling under the same parent — the redirected bundle is
+/// billed and the failover recorded in FabricStats/RoundRecord.
 struct FabricTopology {
-  /// Aggregation tiers above the clients: 1 = flat root, 2 = root + leaves.
+  /// Aggregation tiers above the clients: 1 = flat root, 2 = root +
+  /// leaves, 3+ = interior aggregator tiers between root and leaves.
   int levels = 1;
-  /// Leaf aggregator count when levels == 2 (task slot i lands on shard
+  /// Leaf aggregator count when levels >= 2 (task slot i lands on shard
   /// i % shards).
   int shards = 1;
+  /// Interior fan-out for levels >= 3: each interior node owns up to
+  /// `branching` children on the tier below (0 = auto: ceil square-ish
+  /// root so the tiers shrink evenly).
+  int branching = 0;
+  /// Numeric leaf/interior reduction (see above). Ignored when levels < 2.
+  bool partial_aggregation = false;
   /// Simulated seconds between resend attempts / until async give-up.
   double ack_timeout_s = 60.0;
   /// Bounded resend budget for lost uplink/bundle frames (0 = no retries,
@@ -128,6 +155,21 @@ struct SessionConfig : SessionRuntime {
     use_fabric = true;
     topology.shards = k;
     topology.levels = levels;
+    return *this;
+  }
+  /// Deep aggregation tree: `levels` tiers above the clients, `shards`
+  /// leaves, interior fan-out `branching` (implies with_fabric()).
+  SessionConfig& with_tree(int levels, int shards, int branching = 0) {
+    use_fabric = true;
+    topology.levels = levels;
+    topology.shards = shards;
+    topology.branching = branching;
+    return *this;
+  }
+  /// Associativity-tolerant numeric reduction at the tree's aggregators
+  /// (see FabricTopology::partial_aggregation).
+  SessionConfig& with_partial_aggregation(bool on = true) {
+    topology.partial_aggregation = on;
     return *this;
   }
   /// Fabric retry policy: bounded resend of lost frames, `ack_timeout_s`

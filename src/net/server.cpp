@@ -1,6 +1,8 @@
 #include "net/server.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -9,8 +11,76 @@
 #include "common/check.hpp"
 #include "common/serial.hpp"
 #include "common/thread_pool.hpp"
+#include "fl/weights.hpp"
 
 namespace fedtrans {
+
+FabricTree::FabricTree(const FabricTopology& topo) : levels_(topo.levels) {
+  FT_CHECK_MSG(levels_ >= 2, "a fabric tree needs at least root + leaves");
+  const int tiers = levels_ - 1;
+  branching_ = topo.branching;
+  if (branching_ <= 0) {
+    // Auto fan-out: the smallest branching whose (levels-1)-fold power
+    // covers the leaves, so every tier (including the root's) shrinks
+    // about evenly.
+    branching_ =
+        tiers >= 2 ? std::max(2, static_cast<int>(std::ceil(std::pow(
+                                     static_cast<double>(topo.shards),
+                                     1.0 / static_cast<double>(tiers)))))
+                   : topo.shards;
+  }
+  width_.assign(static_cast<std::size_t>(tiers), 0);
+  width_[static_cast<std::size_t>(tiers - 1)] = topo.shards;
+  for (int t = tiers - 2; t >= 0; --t)
+    width_[static_cast<std::size_t>(t)] =
+        (width_[static_cast<std::size_t>(t + 1)] + branching_ - 1) /
+        branching_;
+  // Leaves keep the historical endpoint ids aggregator_id(0..shards-1);
+  // interior tiers take the ids above them, bottom-up.
+  offset_.assign(static_cast<std::size_t>(tiers), 0);
+  for (int t = tiers - 2; t >= 0; --t)
+    offset_[static_cast<std::size_t>(t)] =
+        offset_[static_cast<std::size_t>(t + 1)] +
+        width_[static_cast<std::size_t>(t + 1)];
+  total_ = 0;
+  for (int w : width_) total_ += w;
+}
+
+std::int32_t FabricTree::node_id(int tier, int j) const {
+  return aggregator_id(offset_[static_cast<std::size_t>(tier - 1)] + j);
+}
+
+std::int32_t FabricTree::parent_id(int tier, int j) const {
+  if (tier == 1) return kServerId;
+  return node_id(tier - 1, j / branching_);
+}
+
+std::pair<int, int> FabricTree::child_range(int tier, int j) const {
+  const int below = tier_width(tier + 1);
+  return {std::min(below, j * branching_),
+          std::min(below, (j + 1) * branching_)};
+}
+
+std::pair<int, int> FabricTree::leaf_range(int tier, int j) const {
+  // Tiers nest by powers of the branching factor: node (t, j) covers
+  // leaves [j·b^(tiers-t), (j+1)·b^(tiers-t)) clamped to the leaf count.
+  std::int64_t span = 1;
+  for (int t = tier; t < levels_ - 1; ++t) span *= branching_;
+  const auto n = static_cast<std::int64_t>(leaves());
+  return {static_cast<int>(std::min<std::int64_t>(n, j * span)),
+          static_cast<int>(std::min<std::int64_t>(n, (j + 1) * span))};
+}
+
+std::pair<int, int> FabricTree::sibling_range(int leaf) const {
+  if (levels_ == 2) return {0, leaves()};  // all leaves share the root
+  return child_range(levels_ - 2, leaf / branching_);
+}
+
+int FabricTree::node_covering(int tier, int leaf) const {
+  std::int64_t span = 1;
+  for (int t = tier; t < levels_ - 1; ++t) span *= branching_;
+  return static_cast<int>(leaf / span);
+}
 
 namespace {
 
@@ -81,6 +151,77 @@ std::string task_body(Model& payload) {
   write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(ps.size()));
   for (auto& p : ps) p.value->save(os);
   return os.str();
+}
+
+/// Filter a downlink bundle to the tasks of leaf range [lo, hi),
+/// rebuilding the body table with only the bodies that range references —
+/// how interior nodes split a bundle among their children (and how the
+/// root builds its per-child bundles from the full task list).
+ShardDownlink subset_bundle(const ShardDownlink& d, int shards, int lo,
+                            int hi) {
+  ShardDownlink out;
+  out.leaf_lo = lo;
+  out.leaf_hi = hi;
+  out.shard = hi - lo == 1 ? lo : -1;
+  std::unordered_map<std::uint32_t, std::uint32_t> body_map;
+  for (const DownlinkTask& t : d.tasks) {
+    const int leaf = static_cast<int>(t.task) % shards;
+    if (leaf < lo || leaf >= hi) continue;
+    auto [it, fresh] = body_map.emplace(
+        t.body, static_cast<std::uint32_t>(out.bodies.size()));
+    if (fresh) out.bodies.push_back(d.bodies[t.body]);
+    DownlinkTask nt = t;
+    nt.body = it->second;
+    out.tasks.push_back(nt);
+  }
+  return out;
+}
+
+/// The smallest task slot a PartialUp covers (entries are present in both
+/// verbatim and reduced mode; empty bundles are never sent).
+std::int32_t bundle_min_slot(const PartialUpdate& p) {
+  std::int32_t lo = std::numeric_limits<std::int32_t>::max();
+  for (const UpdateEntry& e : p.entries) lo = std::min(lo, e.task);
+  return lo;
+}
+
+/// Merge child bundles into one upstream bundle. Entries concatenate; in
+/// reduced mode the per-key groups fold element-wise. Bundles are merged
+/// in ascending min-slot order — the canonical order that keeps the
+/// numeric reduction deterministic for a given tree shape, and independent
+/// of the shape altogether when every bundle holds a single update.
+PartialUpdate merge_bundles(std::vector<PartialUpdate> bundles,
+                            bool reduced) {
+  std::sort(bundles.begin(), bundles.end(),
+            [](const PartialUpdate& a, const PartialUpdate& b) {
+              const auto sa = bundle_min_slot(a), sb = bundle_min_slot(b);
+              if (sa != sb) return sa < sb;
+              return a.shard < b.shard;
+            });
+  PartialUpdate m;
+  m.reduced = reduced;
+  std::map<std::int32_t, std::size_t> by_key;  // reduce key → m.groups slot
+  for (PartialUpdate& p : bundles) {
+    for (UpdateEntry& e : p.entries) m.entries.push_back(std::move(e));
+    for (ReducedGroup& g : p.groups) {
+      auto it = by_key.find(g.key);
+      if (it == by_key.end()) {
+        by_key.emplace(g.key, m.groups.size());
+        m.groups.push_back(std::move(g));
+        continue;
+      }
+      ReducedGroup& dst = m.groups[it->second];
+      ws_axpy(dst.sum, 1.0f, g.sum);
+      dst.weight += g.weight;
+      dst.count += g.count;
+      dst.min_slot = std::min(dst.min_slot, g.min_slot);
+    }
+  }
+  std::sort(m.groups.begin(), m.groups.end(),
+            [](const ReducedGroup& a, const ReducedGroup& b) {
+              return a.min_slot < b.min_slot;
+            });
+  return m;
 }
 
 }  // namespace
@@ -215,18 +356,32 @@ FederationServer::FederationServer(const Model& prototype,
     : prototype_(prototype), data_(&data), local_(local), topo_(topology) {
   FT_CHECK_MSG(static_cast<int>(fleet.size()) == data.num_clients(),
                "fabric fleet size must match client count");
-  FT_CHECK_MSG(topo_.levels >= 1 && topo_.levels <= 2,
-               "fabric topology supports 1 (flat) or 2 (root + shard "
-               "aggregators) levels, got " << topo_.levels);
+  FT_CHECK_MSG(topo_.levels >= 1 && topo_.levels <= 6,
+               "fabric topology supports 1 (flat) up to 6 aggregation "
+               "levels, got " << topo_.levels);
   FT_CHECK_MSG(topo_.shards >= 1, "fabric topology needs >= 1 shard");
+  FT_CHECK_MSG(topo_.branching >= 0, "negative fabric branching factor");
+  FT_CHECK_MSG(!topo_.partial_aggregation || topo_.levels >= 2,
+               "partial aggregation needs an aggregation tree (levels >= 2)");
   FT_CHECK_MSG(topo_.max_retries >= 0 && topo_.ack_timeout_s > 0.0,
                "fabric retry policy needs max_retries >= 0 and a positive "
                "ack timeout");
+  if (sharded()) tree_ = FabricTree(topo_);
   net_ = std::make_unique<SimTransport>(std::move(fleet), faults,
-                                        sharded() ? topo_.shards : 0);
+                                        tree_.num_aggregators());
   agents_.reserve(static_cast<std::size_t>(data.num_clients()));
   for (int c = 0; c < data.num_clients(); ++c)
     agents_.emplace_back(c, data, local, topo_);
+}
+
+int FederationServer::owner_leaf(std::uint32_t round, int s) const {
+  if (!net_->leaf_dead(round, s)) return s;
+  const auto [lo, hi] = tree_.sibling_range(s);
+  for (int k = 1; k < hi - lo; ++k) {
+    const int cand = lo + (s - lo + k) % (hi - lo);
+    if (!net_->leaf_dead(round, cand)) return cand;
+  }
+  return -1;  // the whole fault domain is down this round
 }
 
 void FederationServer::send_join(std::uint32_t round, std::int32_t task,
@@ -306,51 +461,139 @@ void FederationServer::broadcast_sharded(
     std::uint32_t round, const std::vector<int>& clients,
     const std::vector<Rng>& client_rngs,
     const std::vector<const std::string*>& slot_body) {
-  // Root → leaves: one bundled ShardDown per shard. Each bundle carries a
-  // table of this shard's distinct payload bodies (each encoded once) plus
-  // the shard's task list; a lost bundle is resent under the retry policy,
-  // and a bundle lost for good leaves the whole shard at LostDown.
-  for (int s = 0; s < topo_.shards; ++s) {
-    ShardDownlink d;
-    d.shard = s;
-    std::unordered_map<const std::string*, std::uint32_t> body_idx;
-    for (std::size_t i = static_cast<std::size_t>(s); i < clients.size();
-         i += static_cast<std::size_t>(topo_.shards)) {
-      auto [it, fresh] = body_idx.emplace(
-          slot_body[i], static_cast<std::uint32_t>(d.bodies.size()));
-      if (fresh) d.bodies.push_back(*slot_body[i]);
-      DownlinkTask t;
-      t.task = static_cast<std::int32_t>(i);
-      t.client = clients[i];
-      t.body = it->second;
-      t.rng_state = client_rngs[i].state();
-      d.tasks.push_back(t);
-    }
-    if (d.tasks.empty()) continue;
-    send_with_retry(*net_, kServerId, aggregator_id(s), /*first_at_s=*/0.0,
-                    topo_, /*downlink=*/true, [&](std::uint8_t flags) {
-                      return encode_shard_down(round, aggregator_id(s), d,
-                                               flags);
-                    });
+  // Root → tree: one bundle per root child, built in a single pass over
+  // the task list (each distinct payload body copied once per child that
+  // references it — the broadcast hot path never materializes a full-tree
+  // bundle). Interior tiers split their bundle further; a bundle lost
+  // despite retries leaves its whole subtree's tasks at LostDown.
+  const int kids = tree_.tier_width(1);
+  std::vector<ShardDownlink> bundles(static_cast<std::size_t>(kids));
+  std::vector<std::unordered_map<const std::string*, std::uint32_t>>
+      body_idx(static_cast<std::size_t>(kids));
+  for (int j = 0; j < kids; ++j) {
+    auto& b = bundles[static_cast<std::size_t>(j)];
+    const auto [lo, hi] = tree_.leaf_range(1, j);
+    b.leaf_lo = lo;
+    b.leaf_hi = hi;
+    b.shard = hi - lo == 1 ? lo : -1;
   }
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const int leaf = static_cast<int>(i) % topo_.shards;
+    const auto j = static_cast<std::size_t>(tree_.node_covering(1, leaf));
+    auto& b = bundles[j];
+    auto [it, fresh] = body_idx[j].emplace(
+        slot_body[i], static_cast<std::uint32_t>(b.bodies.size()));
+    if (fresh) b.bodies.push_back(*slot_body[i]);
+    DownlinkTask t;
+    t.task = static_cast<std::int32_t>(i);
+    t.client = clients[i];
+    t.body = it->second;
+    t.reduce = round_reduce_.empty() ? -1 : round_reduce_[i];
+    t.rng_state = client_rngs[i].state();
+    b.tasks.push_back(t);
+  }
+  for (int j = 0; j < kids; ++j)
+    send_bundle(round, kServerId, 1, j, bundles[static_cast<std::size_t>(j)],
+                /*sent_at_s=*/0.0);
+  route_tiers_down(round);
   fan_out_shards(round);
 }
 
+void FederationServer::send_bundle(std::uint32_t round, std::int32_t src,
+                                   int tier, int j, const ShardDownlink& d,
+                                   double sent_at_s) {
+  if (d.tasks.empty()) return;
+  if (tier < topo_.levels - 1) {
+    // Interior destination: straight down under the retry policy.
+    const std::int32_t dst = tree_.node_id(tier, j);
+    send_with_retry(*net_, src, dst, sent_at_s, topo_, /*downlink=*/true,
+                    [&](std::uint8_t flags) {
+                      return encode_shard_down(round, src, dst, d, flags);
+                    });
+    return;
+  }
+  // Leaf destination: the per-shard fault domain. An alive leaf gets its
+  // partition's bundle under the retry policy; a dead one costs the parent
+  // the first (wasted) send, and one ack-timeout later the partition is
+  // redirected to the alive sibling — billed as failover traffic. With the
+  // whole sibling group down the partition is lost for the round.
+  const int owner = owner_leaf(round, j);
+  if (owner == j) {
+    const std::int32_t dst = tree_.leaf_id(j);
+    send_with_retry(*net_, src, dst, sent_at_s, topo_, /*downlink=*/true,
+                    [&](std::uint8_t flags) {
+                      return encode_shard_down(round, src, dst, d, flags);
+                    });
+    return;
+  }
+  std::string wasted = encode_shard_down(round, src, tree_.leaf_id(j), d, 0);
+  const std::size_t bytes = wasted.size();
+  net_->send(src, tree_.leaf_id(j), std::move(wasted), sent_at_s);
+  if (owner < 0) return;
+  net_->stats_mutable().leaf_failovers.fetch_add(1,
+                                                 std::memory_order_relaxed);
+  net_->stats_mutable().failover_bytes_down.fetch_add(
+      bytes, std::memory_order_relaxed);
+  const std::int32_t dst = tree_.leaf_id(owner);
+  send_with_retry(*net_, src, dst, sent_at_s + topo_.ack_timeout_s, topo_,
+                  /*downlink=*/true, [&](std::uint8_t flags) {
+                    return encode_shard_down(round, src, dst, d, flags);
+                  });
+}
+
+void FederationServer::route_tiers_down(std::uint32_t round) {
+  // Interior downlink passes, one tier at a time (node-parallel within a
+  // tier: nodes own disjoint subtrees and mailboxes are thread-safe).
+  for (int t = 1; t + 1 <= topo_.levels - 1; ++t) {
+    ThreadPool::global().parallel_for(
+        tree_.tier_width(t), 1, [&](std::int64_t nlo, std::int64_t nhi) {
+          for (std::int64_t jj = nlo; jj < nhi; ++jj) {
+            const int j = static_cast<int>(jj);
+            std::set<std::int32_t> handled;  // first arrival per leaf range
+            for (Envelope& env : net_->drain(tree_.node_id(t, j))) {
+              ShardDownlink d;
+              try {
+                d = decode_shard_down(env.frame);
+              } catch (const Error&) {
+                net_->stats_mutable().frames_rejected.fetch_add(
+                    1, std::memory_order_relaxed);
+                continue;
+              }
+              if (d.round != round) continue;
+              if (!handled.insert(d.leaf_lo).second) continue;
+              const auto [clo, chi] = tree_.child_range(t, j);
+              for (int c = clo; c < chi; ++c) {
+                const auto [llo, lhi] = tree_.leaf_range(t + 1, c);
+                send_bundle(round, tree_.node_id(t, j), t + 1, c,
+                            subset_bundle(d, topo_.shards, llo, lhi),
+                            env.deliver_at_s);
+              }
+            }
+          }
+        });
+  }
+}
+
 void FederationServer::fan_out_shards(std::uint32_t round) {
-  // Leaves fan the bundle out to their client partition — JoinRound +
+  // Leaves fan their bundle(s) out to the client partition — JoinRound +
   // ModelDown per task, byte-identical payloads to what a flat broadcast
   // would have sent (only the coordinator id differs), so agents train
-  // bit-identically. Shard-parallel on the shared ThreadPool: leaves own
-  // disjoint task partitions and the transport mailboxes are thread-safe.
+  // bit-identically. Node-parallel on the shared ThreadPool: a leaf may
+  // serve several partitions after a failover, but partitions are disjoint
+  // and the transport mailboxes are thread-safe. Each leaf records what it
+  // fanned out (slot → reduce key) for its collect pass; a leaf dead this
+  // round fans out nothing.
+  leaf_served_.assign(static_cast<std::size_t>(topo_.shards), {});
   ThreadPool::global().parallel_for(
       topo_.shards, 1, [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t s = lo; s < hi; ++s) {
-          const std::int32_t leaf = aggregator_id(static_cast<int>(s));
-          bool handled = false;
+          const std::int32_t leaf = tree_.leaf_id(static_cast<int>(s));
+          if (net_->leaf_dead(round, static_cast<std::int32_t>(s))) {
+            net_->drain(leaf);  // dead for the round: the mail rots
+            continue;
+          }
+          std::set<std::int32_t> handled;  // first arrival per partition
           for (Envelope& env : net_->drain(leaf)) {
-            // First arrival wins (duplicate/retried bundles are possible);
-            // skipping before the decode spares the model-sized parse.
-            if (handled) continue;
             ShardDownlink d;
             try {
               d = decode_shard_down(env.frame);
@@ -360,7 +603,7 @@ void FederationServer::fan_out_shards(std::uint32_t round) {
               continue;
             }
             if (d.round != round) continue;
-            handled = true;
+            if (!handled.insert(d.shard).second) continue;
             for (const DownlinkTask& t : d.tasks) {
               // Both per-client frames leave when the bundle arrived — a
               // retried ShardDown must not invite clients retroactively.
@@ -373,6 +616,7 @@ void FederationServer::fan_out_shards(std::uint32_t round) {
                                           t.rng_state),
                                       0),
                          env.deliver_at_s);
+              leaf_served_[static_cast<std::size_t>(s)][t.task] = t.reduce;
             }
           }
         }
@@ -447,16 +691,24 @@ void FederationServer::collect_sharded(std::uint32_t round,
                                        ExchangeResult& out) {
   poll_agents(round, clients, out);
 
-  // Leaves match their partition's UpdateUps and forward one PartialUp
-  // bundle upstream — shard-parallel on the shared ThreadPool (partitions
-  // are disjoint, so outcome flips never race). A bundle lost despite the
-  // retry policy takes its shard's trained updates down with it.
+  // Leaf pass: each alive leaf matches the partitions it served at fan-out
+  // and forwards one PartialUp per partition upstream — node-parallel on
+  // the shared ThreadPool (partitions are disjoint, so outcome flips never
+  // race). In a numeric round the leaf folds its updates into per-key
+  // partial sums in slot order and ships metrics-only entries; a bundle
+  // lost despite the retry policy takes its partition's trained updates
+  // down with it.
   ThreadPool::global().parallel_for(
       topo_.shards, 1, [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t s = lo; s < hi; ++s) {
-          const std::int32_t leaf = aggregator_id(static_cast<int>(s));
+          const std::int32_t leaf = tree_.leaf_id(static_cast<int>(s));
+          const auto& served = leaf_served_[static_cast<std::size_t>(s)];
+          if (served.empty()) {
+            net_->drain(leaf);  // dead or idle: nothing was fanned out
+            continue;
+          }
           std::map<std::int32_t, UpdateEntry> matched;  // slot -> first win
-          double last_up_s = 0.0;
+          std::map<std::int32_t, double> up_at;  // partition -> last deliver
           for (Envelope& env : net_->drain(leaf)) {
             FabricMessage msg;
             try {
@@ -470,8 +722,8 @@ void FederationServer::collect_sharded(std::uint32_t round,
               continue;
             const std::int32_t i = msg.task;
             if (!admissible_slot(i, msg.sender, clients)) continue;
-            // This leaf only owns slots of its own shard.
-            if (i % topo_.shards != static_cast<std::int32_t>(s)) continue;
+            // This leaf only owns slots it fanned out itself.
+            if (served.find(i) == served.end()) continue;
             if (matched.count(i) != 0) continue;
             UpdateEntry e;
             e.task = i;
@@ -481,46 +733,119 @@ void FederationServer::collect_sharded(std::uint32_t round,
             e.num_samples = msg.num_samples;
             e.macs_used = msg.macs_used;
             matched.emplace(i, std::move(e));
-            last_up_s = std::max(last_up_s, env.deliver_at_s);
+            auto& at = up_at[i % topo_.shards];
+            at = std::max(at, env.deliver_at_s);
           }
           if (matched.empty()) continue;
 
-          PartialUpdate p;
-          p.shard = static_cast<std::int32_t>(s);
-          p.entries.reserve(matched.size());
-          for (auto& [slot, e] : matched) p.entries.push_back(std::move(e));
-          const bool delivered = send_with_retry(
-              *net_, leaf, kServerId, last_up_s, topo_, /*downlink=*/false,
-              [&](std::uint8_t flags) {
-                return encode_partial_up(round, leaf, kServerId, p, flags);
-              });
-          if (!delivered) {
-            // The shard's partial aggregate never reached the root: its
-            // trained updates are lost on the (backbone) uplink.
-            for (const UpdateEntry& e : p.entries) {
-              auto& o = out.outcomes[static_cast<std::size_t>(e.task)];
-              if (o == ClientOutcome::Trained) o = ClientOutcome::LostUp;
+          // One bundle per served partition, slots in ascending order
+          // (matched is slot-sorted); numeric rounds fold the deltas into
+          // per-key groups as they go and keep the metrics verbatim.
+          std::map<std::int32_t, PartialUpdate> parts;
+          for (auto& [slot, e] : matched) {
+            PartialUpdate& p = parts[slot % topo_.shards];
+            if (reduced_round_) {
+              const std::int32_t key = served.at(slot);
+              ReducedGroup* g = nullptr;
+              for (ReducedGroup& cand : p.groups)
+                if (cand.key == key) g = &cand;
+              if (g == nullptr) {
+                ReducedGroup fresh;
+                fresh.key = key;
+                fresh.min_slot = slot;
+                fresh.sum = ws_zeros_like(e.delta);
+                p.groups.push_back(std::move(fresh));
+                g = &p.groups.back();
+              }
+              ws_axpy(g->sum, static_cast<float>(e.num_samples), e.delta);
+              g->weight += static_cast<double>(e.num_samples);
+              g->count += 1;
+              g->min_slot = std::min(g->min_slot, slot);
+              e.delta.clear();  // the sum rides instead; metrics stay
+            }
+            p.entries.push_back(std::move(e));
+          }
+          for (auto& [part, p] : parts) {
+            p.shard = part;
+            p.reduced = reduced_round_;
+            const std::int32_t parent =
+                tree_.parent_id(topo_.levels - 1, static_cast<int>(s));
+            const bool delivered = send_with_retry(
+                *net_, leaf, parent, up_at[part], topo_, /*downlink=*/false,
+                [&](std::uint8_t flags) {
+                  return encode_partial_up(round, leaf, parent, p, flags);
+                });
+            if (!delivered) {
+              // The partition's partial aggregate never reached its
+              // parent: the trained updates are lost on the (backbone)
+              // uplink.
+              for (const UpdateEntry& e : p.entries) {
+                auto& o = out.outcomes[static_cast<std::size_t>(e.task)];
+                if (o == ClientOutcome::Trained) o = ClientOutcome::LostUp;
+              }
             }
           }
         }
       });
 
-  // Root: merge the PartialUp bundles back into the flat task list — the
+  // Interior tiers merge child bundles upward, tier by tier (node-parallel
+  // within a tier; nodes cover disjoint subtrees). Duplicate deliveries
+  // dedup at bundle granularity (first arrival per (sender, partition)).
+  for (int t = topo_.levels - 2; t >= 1; --t) {
+    ThreadPool::global().parallel_for(
+        tree_.tier_width(t), 1, [&](std::int64_t nlo, std::int64_t nhi) {
+          for (std::int64_t jj = nlo; jj < nhi; ++jj) {
+            const int j = static_cast<int>(jj);
+            const std::int32_t node = tree_.node_id(t, j);
+            std::vector<PartialUpdate> bundles;
+            std::set<std::pair<std::int32_t, std::int32_t>> seen_b;
+            double last_s = 0.0;
+            for (Envelope& env : net_->drain(node)) {
+              PartialUpdate p;
+              try {
+                if (frame_type(env.frame) != MsgType::PartialUp) continue;
+                p = decode_partial_up(env.frame);
+              } catch (const Error&) {
+                net_->stats_mutable().frames_rejected.fetch_add(
+                    1, std::memory_order_relaxed);
+                continue;
+              }
+              if (p.round != round) continue;
+              if (!seen_b.insert({p.sender, p.shard}).second) continue;
+              last_s = std::max(last_s, env.deliver_at_s);
+              bundles.push_back(std::move(p));
+            }
+            if (bundles.empty()) continue;
+            PartialUpdate m = merge_bundles(std::move(bundles),
+                                            reduced_round_);
+            m.shard = j;
+            const std::int32_t parent = tree_.parent_id(t, j);
+            const bool delivered = send_with_retry(
+                *net_, node, parent, last_s, topo_, /*downlink=*/false,
+                [&](std::uint8_t flags) {
+                  return encode_partial_up(round, node, parent, m, flags);
+                });
+            if (!delivered) {
+              for (const UpdateEntry& e : m.entries) {
+                auto& o = out.outcomes[static_cast<std::size_t>(e.task)];
+                if (o == ClientOutcome::Trained) o = ClientOutcome::LostUp;
+              }
+            }
+          }
+        });
+  }
+
+  // Root: merge the surviving bundles back into the flat task list — the
   // same slot/sender validation and first-arrival dedup as a flat collect,
-  // just over bundled entries.
-  std::vector<bool> seen(clients.size(), false);
+  // just over bundled entries (and, in a numeric round, the merged reduce
+  // groups the engine's absorb_reduced path consumes).
+  std::vector<PartialUpdate> bundles;
+  std::set<std::pair<std::int32_t, std::int32_t>> seen_b;
   for (Envelope& env : net_->drain(kServerId)) {
-    MsgType type;
-    try {
-      type = frame_type(env.frame);
-    } catch (const Error&) {
-      net_->stats_mutable().frames_rejected.fetch_add(
-          1, std::memory_order_relaxed);
-      continue;
-    }
-    if (type != MsgType::PartialUp) continue;  // Ack/Abort: bookkeeping only
     PartialUpdate p;
     try {
+      if (frame_type(env.frame) != MsgType::PartialUp)
+        continue;  // Ack/Abort: bookkeeping only
       p = decode_partial_up(env.frame);
     } catch (const Error&) {
       net_->stats_mutable().frames_rejected.fetch_add(
@@ -528,18 +853,24 @@ void FederationServer::collect_sharded(std::uint32_t round,
       continue;
     }
     if (p.round != round) continue;
-    for (UpdateEntry& e : p.entries) {
-      if (!admissible_slot(e.task, e.client, clients)) continue;
-      const auto slot = static_cast<std::size_t>(e.task);
-      if (seen[slot]) continue;
-      seen[slot] = true;
-      LocalTrainResult& res = out.results[slot];
-      res.delta = std::move(e.delta);
-      res.avg_loss = e.avg_loss;
-      res.num_samples = e.num_samples;
-      res.macs_used = e.macs_used;
-    }
+    if (!seen_b.insert({p.sender, p.shard}).second) continue;
+    bundles.push_back(std::move(p));
   }
+  PartialUpdate merged = merge_bundles(std::move(bundles), reduced_round_);
+
+  std::vector<bool> seen(clients.size(), false);
+  for (UpdateEntry& e : merged.entries) {
+    if (!admissible_slot(e.task, e.client, clients)) continue;
+    const auto slot = static_cast<std::size_t>(e.task);
+    if (seen[slot]) continue;
+    seen[slot] = true;
+    LocalTrainResult& res = out.results[slot];
+    res.delta = std::move(e.delta);
+    res.avg_loss = e.avg_loss;
+    res.num_samples = e.num_samples;
+    res.macs_used = e.macs_used;
+  }
+  if (reduced_round_) out.groups = std::move(merged.groups);
   for (std::size_t i = 0; i < clients.size(); ++i)
     if (out.outcomes[i] == ClientOutcome::Trained)
       FT_CHECK_MSG(seen[i], "delivered update missing from root mailbox");
@@ -550,11 +881,19 @@ ExchangeResult FederationServer::exchange(
     const std::function<void()>& broadcast_fn) {
   FT_CHECK_MSG(clients.size() == n_rngs,
                "one forked Rng per task slot required");
+  FT_CHECK_MSG(round_reduce_.empty() ||
+                   round_reduce_.size() == clients.size(),
+               "one reduce key per task slot required");
+  reduced_round_ = topo_.partial_aggregation && sharded() &&
+                   !round_reduce_.empty();
   ExchangeResult out;
   out.results.resize(clients.size());
   out.outcomes.assign(clients.size(), ClientOutcome::LostDown);
+  out.reduced = reduced_round_;
   const std::uint64_t retry_down0 = net_->stats().retry_bytes_down.load();
   const std::uint64_t retry_up0 = net_->stats().retry_bytes_up.load();
+  const std::uint64_t failovers0 = net_->stats().leaf_failovers.load();
+  const std::uint64_t failover_b0 = net_->stats().failover_bytes_down.load();
 
   phase_ = Phase::Broadcast;
   broadcast_fn();
@@ -569,12 +908,19 @@ ExchangeResult FederationServer::exchange(
       net_->stats().retry_bytes_down.load() - retry_down0);
   out.retry_up_bytes = static_cast<double>(
       net_->stats().retry_bytes_up.load() - retry_up0);
+  out.leaf_failovers = static_cast<int>(
+      net_->stats().leaf_failovers.load() - failovers0);
+  out.failover_down_bytes = static_cast<double>(
+      net_->stats().failover_bytes_down.load() - failover_b0);
+  round_reduce_.clear();
   return out;
 }
 
 ExchangeResult FederationServer::run_round(
     std::uint32_t round, const WeightSet& global,
-    const std::vector<int>& clients, const std::vector<Rng>& client_rngs) {
+    const std::vector<int>& clients, const std::vector<Rng>& client_rngs,
+    const std::vector<std::int32_t>& reduce_keys) {
+  round_reduce_ = reduce_keys;
   return exchange(round, clients, client_rngs.size(), [&] {
     broadcast_shared(round, global, clients, client_rngs);
   });
@@ -582,9 +928,11 @@ ExchangeResult FederationServer::run_round(
 
 ExchangeResult FederationServer::run_round(
     std::uint32_t round, const std::vector<Model*>& payloads,
-    const std::vector<int>& clients, const std::vector<Rng>& client_rngs) {
+    const std::vector<int>& clients, const std::vector<Rng>& client_rngs,
+    const std::vector<std::int32_t>& reduce_keys) {
   FT_CHECK_MSG(payloads.size() == clients.size(),
                "one payload model per task slot required");
+  round_reduce_ = reduce_keys;
   return exchange(round, clients, client_rngs.size(), [&] {
     broadcast_tasks(round, payloads, clients, client_rngs);
   });
@@ -595,21 +943,70 @@ AsyncTurnaround FederationServer::async_exchange(std::uint32_t job,
                                                  const WeightSet& global,
                                                  const Rng& rng,
                                                  double now_s) {
-  FT_CHECK_MSG(!sharded(),
-               "fabric-backed async sessions run flat (topology.levels == 1)");
   FT_CHECK_MSG(client >= 0 && client < num_clients(),
                "async dispatch to unknown client " << client);
   AsyncTurnaround t;
   const std::uint64_t retry0 = net_->stats().retry_bytes_up.load();
 
+  // Route: a flat session talks straight to the client; a tree session
+  // hops through the aggregator chain above the client's leaf partition
+  // (leaf = client % shards, failover applied per job) on the
+  // zero-latency backbone — so the server-side delivery order the engine
+  // folds completions in is preserved relative to a flat fabric.
+  std::vector<std::int32_t> chain;  // root-to-leaf aggregator endpoints
+  if (sharded()) {
+    const int part = client % topo_.shards;
+    const int owner = owner_leaf(job, part);
+    if (owner < 0) return t;  // whole fault domain down: LostDown
+    if (owner != part) {
+      t.failed_over = true;
+      net_->stats_mutable().leaf_failovers.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    for (int tier = 1; tier < topo_.levels - 1; ++tier)
+      chain.push_back(tree_.node_id(tier, tree_.node_covering(tier, owner)));
+    chain.push_back(tree_.leaf_id(owner));
+  }
+
   // Downlink: one ModelDown (task slot 0, round field = job id) carrying
-  // the dispatch-time weight snapshot and the forked Rng — the real wire
-  // path, so the client trains on exactly what it downloaded.
+  // the dispatch-time weight snapshot and the forked Rng — hop by hop down
+  // the chain, then over the client's radio link, the real wire path, so
+  // the client trains on exactly what it downloaded. Any lost hop is
+  // LostDown: async dispatches are not retried downward — the engine
+  // replaces timed-out clients instead.
+  const std::string payload =
+      model_down_payload(0, shared_body(global), rng.state());
+  std::int32_t down_src = kServerId;
+  double down_sent_s = now_s;
+  for (std::int32_t hop : chain) {
+    if (!net_->send(down_src, hop,
+                    encode_frame(MsgType::ModelDown, job, down_src, hop,
+                                 payload),
+                    down_sent_s))
+      return t;
+    bool hop_got = false;
+    for (Envelope& env : net_->drain(hop)) {
+      FabricMessage msg;
+      try {
+        msg = decode_message(env.frame);
+      } catch (const Error&) {
+        net_->stats_mutable().frames_rejected.fetch_add(
+            1, std::memory_order_relaxed);
+        continue;
+      }
+      if (msg.round != job || msg.type != MsgType::ModelDown || hop_got)
+        continue;  // duplicates: first arrival wins
+      hop_got = true;
+      down_sent_s = env.deliver_at_s;
+    }
+    FT_CHECK_MSG(hop_got,
+                 "delivered ModelDown missing from aggregator mailbox");
+    down_src = hop;
+  }
   const bool down_ok = net_->send(
-      kServerId, client,
-      encode_frame(MsgType::ModelDown, job, kServerId, client,
-                   model_down_payload(0, shared_body(global), rng.state())),
-      now_s);
+      down_src, client,
+      encode_frame(MsgType::ModelDown, job, down_src, client, payload),
+      down_sent_s);
   if (!down_ok) return t;  // LostDown: the device never saw the job
 
   // Client side: drain, decode, train on receipt.
@@ -648,29 +1045,71 @@ AsyncTurnaround FederationServer::async_exchange(std::uint32_t job,
     return t;  // trained, then vanished — no upload, no retries
   }
 
-  // Uplink under the retry policy.
+  // Uplink under the retry policy: client → its coordinator (the leaf in
+  // tree sessions), then hop by hop back to the root, each backbone leg
+  // under the same retry policy.
   FabricMessage up;
   up.type = MsgType::UpdateUp;
   up.round = job;
   up.sender = client;
-  up.receiver = kServerId;
+  up.receiver = chain.empty() ? kServerId : chain.back();
   up.task = 0;
   up.weights = std::move(t.res.delta);
   up.avg_loss = t.res.avg_loss;
   up.num_samples = t.res.num_samples;
   up.macs_used = t.res.macs_used;
   const bool delivered = send_with_retry(
-      *net_, client, kServerId, done_s, topo_, /*downlink=*/false,
+      *net_, client, up.receiver, done_s, topo_, /*downlink=*/false,
       [&up](std::uint8_t flags) {
         up.flags = flags;
         return encode_message(up);
       });
-  t.retry_up_bytes = static_cast<double>(
-      net_->stats().retry_bytes_up.load() - retry0);
   if (!delivered) {
+    t.retry_up_bytes = static_cast<double>(
+        net_->stats().retry_bytes_up.load() - retry0);
     t.outcome = ClientOutcome::LostUp;
     return t;
   }
+  for (std::size_t k = chain.size(); k-- > 0;) {
+    const std::int32_t node = chain[k];
+    FabricMessage fwd;
+    bool hop_got = false;
+    double up_at = 0.0;
+    for (Envelope& env : net_->drain(node)) {
+      FabricMessage msg;
+      try {
+        msg = decode_message(env.frame);
+      } catch (const Error&) {
+        net_->stats_mutable().frames_rejected.fetch_add(
+            1, std::memory_order_relaxed);
+        continue;
+      }
+      if (msg.round != job || msg.type != MsgType::UpdateUp || hop_got)
+        continue;
+      hop_got = true;
+      up_at = env.deliver_at_s;
+      fwd = std::move(msg);
+    }
+    FT_CHECK_MSG(hop_got,
+                 "delivered update missing from aggregator mailbox");
+    const std::int32_t parent = k == 0 ? kServerId : chain[k - 1];
+    fwd.sender = node;
+    fwd.receiver = parent;
+    const bool fwd_ok = send_with_retry(
+        *net_, node, parent, up_at, topo_, /*downlink=*/false,
+        [&fwd](std::uint8_t flags) {
+          fwd.flags = flags;
+          return encode_message(fwd);
+        });
+    if (!fwd_ok) {
+      t.retry_up_bytes = static_cast<double>(
+          net_->stats().retry_bytes_up.load() - retry0);
+      t.outcome = ClientOutcome::LostUp;
+      return t;
+    }
+  }
+  t.retry_up_bytes = static_cast<double>(
+      net_->stats().retry_bytes_up.load() - retry0);
 
   // Server side: collect this job's UpdateUp and its delivery instant.
   bool got_up = false;

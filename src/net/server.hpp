@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -25,13 +27,66 @@ enum class ClientOutcome : std::uint8_t {
 };
 
 /// What one fabric exchange produced, per task slot — plus the round's
-/// retry-policy resend traffic (FabricTopology::max_retries), split by
-/// direction so the engine can bill it through CostMeter.
+/// retry-policy resend traffic (FabricTopology::max_retries) and leaf
+/// failover traffic, split by direction so the engine can bill them
+/// through CostMeter.
+///
+/// In numeric partial-aggregation rounds (`reduced == true`) the per-slot
+/// results carry metrics only (empty delta): the deltas were pre-summed in
+/// the tree and arrive as `groups`, one per reduce key, for the strategy's
+/// `absorb_reduced` hook.
 struct ExchangeResult {
   std::vector<LocalTrainResult> results;  ///< valid iff outcome == Trained
   std::vector<ClientOutcome> outcomes;
+  bool reduced = false;
+  std::vector<ReducedGroup> groups;  ///< reduced mode only, merged at root
   double retry_down_bytes = 0.0;
   double retry_up_bytes = 0.0;
+  double failover_down_bytes = 0.0;
+  int leaf_failovers = 0;
+};
+
+/// Deterministic shape of the aggregation tree implied by a FabricTopology:
+/// tier 0 is the root (`kServerId`), tiers 1..levels-1 are aggregator
+/// tiers, and the bottom tier holds the `shards` leaves. Interior tiers
+/// shrink by the branching factor going up (node (t, j)'s children are
+/// tier-(t+1) nodes [j·b, (j+1)·b) clamped). Every participant of the
+/// simulated fabric derives the same tree from the same topology, so
+/// routing needs no wire-level discovery — bundles only carry the leaf
+/// range they cover.
+class FabricTree {
+ public:
+  FabricTree() = default;  ///< flat fabric: no aggregators
+  explicit FabricTree(const FabricTopology& topo);
+
+  int levels() const { return levels_; }
+  int leaves() const { return levels_ >= 2 ? width_.back() : 0; }
+  int branching() const { return branching_; }
+  int num_aggregators() const { return total_; }
+  int tier_width(int tier) const {
+    return width_[static_cast<std::size_t>(tier - 1)];
+  }
+  /// Endpoint id of node j of tier t (t in [1, levels); leaves are the
+  /// bottom tier). Leaves keep the historical ids aggregator_id(0..L-1).
+  std::int32_t node_id(int tier, int j) const;
+  std::int32_t leaf_id(int leaf) const { return node_id(levels_ - 1, leaf); }
+  /// Endpoint of node (t, j)'s parent — the root for t == 1.
+  std::int32_t parent_id(int tier, int j) const;
+  /// Children of node (t, j) as indices [lo, hi) into tier t + 1.
+  std::pair<int, int> child_range(int tier, int j) const;
+  /// Leaf partitions covered by the subtree under node (t, j) as [lo, hi).
+  std::pair<int, int> leaf_range(int tier, int j) const;
+  /// The tier-`tier` node whose subtree covers `leaf`.
+  int node_covering(int tier, int leaf) const;
+  /// Siblings of leaf `s` (its parent's child range, including itself).
+  std::pair<int, int> sibling_range(int leaf) const;
+
+ private:
+  int levels_ = 1;
+  int branching_ = 1;
+  std::vector<int> width_;   ///< width_[t-1] = nodes on tier t
+  std::vector<int> offset_;  ///< offset_[t-1] = first aggregator index of t
+  int total_ = 0;
 };
 
 /// One asynchronous (FedBuff-mode) fabric round trip: ModelDown to one
@@ -44,6 +99,9 @@ struct AsyncTurnaround {
   double update_at_s = 0.0;  ///< UpdateUp delivery time; valid iff Trained
   double busy_s = 0.0;       ///< device time burned (downlink + train + up)
   double retry_up_bytes = 0.0;  ///< resend traffic of this turnaround
+  /// This job's leaf was dead and the round trip was routed through a
+  /// sibling (tree sessions only; counted into RoundRecord by the engine).
+  bool failed_over = false;
   LocalTrainResult res;      ///< metrics always; delta valid iff Trained
 };
 
@@ -86,15 +144,26 @@ class ClientAgent {
 ///    in-process path, which is what makes fault-free fabric runs bitwise
 ///    identical.)
 ///
-/// With a sharded topology (FabricTopology::levels == 2) the same round
-/// runs over a 2-level aggregation tree: the root ships one bundled
-/// ShardDown frame per shard, each leaf aggregator fans it out to its
-/// client partition (task slot i belongs to shard i % shards), collects
-/// the partition's UpdateUps — shard-parallel on the shared ThreadPool —
-/// and forwards one bundled PartialUp upstream. Bundles carry the
-/// per-task updates verbatim, so the root reassembles exactly the task
-/// list a flat round would have collected and fault-free sharded rounds
-/// stay bitwise identical to flat ones.
+/// With a tree topology (FabricTopology::levels >= 2) the same round runs
+/// over an aggregation tree of arbitrary depth: the root ships one bundled
+/// ShardDown frame per child, interior tiers split bundles among their
+/// children, and each leaf aggregator fans its bundle out to its client
+/// partition (task slot i belongs to leaf i % shards), collects the
+/// partition's UpdateUps — node-parallel on the shared ThreadPool — and
+/// forwards one bundled PartialUp upstream, merged tier by tier back to
+/// the root. By default bundles carry the per-task updates verbatim, so
+/// the root reassembles exactly the task list a flat round would have
+/// collected and fault-free tree rounds of any depth stay bitwise
+/// identical to flat ones. With FabricTopology::partial_aggregation the
+/// aggregators instead reduce their updates numerically (per reduce group:
+/// Σ num_samples·Δ + the weight total, folded in ascending min-slot order
+/// at every merge point) and only per-task metrics ride verbatim.
+///
+/// Leaves are per-shard fault domains: a leaf dead for the round
+/// (FaultConfig::leaf_death_prob) has its partition's bundle redirected to
+/// an alive sibling one ack-timeout later — billed as failover traffic and
+/// counted in FabricStats::leaf_failovers. With no alive sibling the
+/// partition is lost for the round (LostDown).
 ///
 /// Straggler policy (overcommit/deadline) is applied by the strategy before
 /// broadcast from predicted completion times, FedScale-style, so the task
@@ -111,9 +180,12 @@ class FederationServer {
   /// snapshot (encoded once) into the prototype architecture. `clients[i]`
   /// is task slot i's client; `client_rngs[i]` is the coordinator-forked
   /// generator it must train with. Slot order is preserved in the result.
+  /// `reduce_keys` (one per slot) turns on the numeric reduction for this
+  /// round when the topology opts in; empty = verbatim bundles.
   ExchangeResult run_round(std::uint32_t round, const WeightSet& global,
                            const std::vector<int>& clients,
-                           const std::vector<Rng>& client_rngs);
+                           const std::vector<Rng>& client_rngs,
+                           const std::vector<std::int32_t>& reduce_keys = {});
 
   /// Heterogeneous exchange: task slot i downloads `payloads[i]` —
   /// architecture and weights ride the wire, so clients may train
@@ -121,13 +193,18 @@ class FederationServer {
   ExchangeResult run_round(std::uint32_t round,
                            const std::vector<Model*>& payloads,
                            const std::vector<int>& clients,
-                           const std::vector<Rng>& client_rngs);
+                           const std::vector<Rng>& client_rngs,
+                           const std::vector<std::int32_t>& reduce_keys = {});
 
   /// One asynchronous round trip for the engine's fabric-backed FedBuff
   /// loop: send `global` to `client` as a ModelDown at simulated instant
   /// `now_s` (round field = `job`), let the agent train on receipt and
   /// upload UpdateUp under the retry policy, and collect it from the
-  /// server mailbox. Pure message passing — no aggregation state here.
+  /// server mailbox. With a tree topology the frames hop through the
+  /// client's leaf partition (leaf = client % shards, failover applied) on
+  /// the zero-latency backbone, so the server-side delivery order the
+  /// engine folds completions in is preserved relative to a flat fabric.
+  /// Pure message passing — no aggregation state here.
   AsyncTurnaround async_exchange(std::uint32_t job, int client,
                                  const WeightSet& global, const Rng& rng,
                                  double now_s);
@@ -137,6 +214,7 @@ class FederationServer {
   const FabricStats& stats() const { return net_->stats(); }
   int num_clients() const { return net_->num_clients(); }
   const FabricTopology& topology() const { return topo_; }
+  const FabricTree& tree() const { return tree_; }
   bool sharded() const { return topo_.levels >= 2; }
 
  private:
@@ -149,33 +227,55 @@ class FederationServer {
                        const std::vector<Model*>& payloads,
                        const std::vector<int>& clients,
                        const std::vector<Rng>& client_rngs);
-  /// Sharded broadcast: one ShardDown bundle per shard referencing
-  /// `slot_body[i]` (the [spec][weights] section task i downloads), then
-  /// leaf fan-out to per-client JoinRound + ModelDown frames.
+  /// Tree broadcast: per root child, one ShardDown bundle referencing
+  /// `slot_body[i]` (the [spec][weights] section task i downloads);
+  /// interior tiers split bundles downward; leaves fan out to per-client
+  /// JoinRound + ModelDown frames.
   void broadcast_sharded(std::uint32_t round, const std::vector<int>& clients,
                          const std::vector<Rng>& client_rngs,
                          const std::vector<const std::string*>& slot_body);
+  /// Send one pre-filtered bundle down to node (tier, j): leaf bundles
+  /// apply the failover policy, interior bundles go straight down with the
+  /// retry policy.
+  void send_bundle(std::uint32_t round, std::int32_t src, int tier, int j,
+                   const ShardDownlink& d, double sent_at_s);
+  /// Interior downlink pass for tiers 1..levels-2: split each received
+  /// bundle among the node's children (node-parallel per tier).
+  void route_tiers_down(std::uint32_t round);
   void fan_out_shards(std::uint32_t round);
   /// Concurrent ClientAgent polling (one worker per distinct client).
   void poll_agents(std::uint32_t round, const std::vector<int>& clients,
                    ExchangeResult& out);
   void collect(std::uint32_t round, const std::vector<int>& clients,
                ExchangeResult& out);
-  /// Sharded collect: leaves match their partition and forward PartialUp
-  /// bundles (shard-parallel); the root merges them into the task list.
+  /// Tree collect: leaves match their partition(s) and forward PartialUp
+  /// bundles; interior tiers merge child bundles upward (node-parallel);
+  /// the root merges into the task list (or, reduced, the group list).
   void collect_sharded(std::uint32_t round, const std::vector<int>& clients,
                        ExchangeResult& out);
   ExchangeResult exchange(std::uint32_t round,
                           const std::vector<int>& clients,
                           std::size_t n_rngs,
                           const std::function<void()>& broadcast_fn);
+  /// The leaf serving partition `s` in `round` under the failover policy
+  /// (itself when alive, else the next alive sibling, wrapping; -1 when
+  /// the whole sibling group is dead).
+  int owner_leaf(std::uint32_t round, int s) const;
 
   Model prototype_;
   const FederatedDataset* data_;
   LocalTrainConfig local_;
   FabricTopology topo_;
+  FabricTree tree_;
   std::unique_ptr<SimTransport> net_;
   std::vector<ClientAgent> agents_;
+  /// Per-round, per-leaf fan-out memory: slot → reduce key of the tasks
+  /// this leaf served (written only by the owning leaf's worker), plus the
+  /// round's numeric-mode flag and per-slot reduce keys. Consumed by the
+  /// leaf's collect pass.
+  std::vector<std::map<std::int32_t, std::int32_t>> leaf_served_;
+  std::vector<std::int32_t> round_reduce_;
+  bool reduced_round_ = false;
   Phase phase_ = Phase::Idle;
 };
 

@@ -86,6 +86,13 @@ bool SimTransport::client_dropped_out(std::uint32_t round,
                     client))) < faults_.dropout_prob;
 }
 
+bool SimTransport::leaf_dead(std::uint32_t round, std::int32_t leaf) const {
+  if (faults_.leaf_death_prob <= 0.0) return false;
+  return hash01(faults_.seed, 0x1eafu, round,
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                    leaf))) < faults_.leaf_death_prob;
+}
+
 bool SimTransport::send(std::int32_t src, std::int32_t dst, std::string frame,
                         double sent_at_s) {
   FT_CHECK_MSG(src != dst, "transport loopback send");
@@ -144,6 +151,9 @@ bool SimTransport::send(std::int32_t src, std::int32_t dst, std::string frame,
   }
   stats_.frames_delivered.fetch_add(dup ? 2 : 1, std::memory_order_relaxed);
   stats_.bytes_delivered.fetch_add(dup ? 2 * bytes : bytes,
+                                   std::memory_order_relaxed);
+  if (dst == kServerId)
+    stats_.bytes_root_in.fetch_add(dup ? 2 * bytes : bytes,
                                    std::memory_order_relaxed);
   if (dup) stats_.frames_duplicated.fetch_add(1, std::memory_order_relaxed);
   return true;

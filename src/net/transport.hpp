@@ -34,6 +34,11 @@ struct FaultConfig {
   /// Probability a client goes offline mid-round: it trains, then vanishes
   /// before its update leaves the device (an Abort may be attempted).
   double dropout_prob = 0.0;
+  /// Probability a leaf aggregator is dead for a whole round (per (round,
+  /// leaf) — a per-shard fault domain). The leaf's parent redirects its
+  /// client partition to an alive sibling; with no alive sibling the
+  /// partition's tasks are lost for the round.
+  double leaf_death_prob = 0.0;
   std::uint64_t seed = 0x5eedf417ULL;
 };
 
@@ -58,6 +63,15 @@ struct FabricStats {
   std::atomic<std::uint64_t> frames_retried{0};
   std::atomic<std::uint64_t> retry_bytes_down{0};
   std::atomic<std::uint64_t> retry_bytes_up{0};
+  /// Leaf-failover events (a dead leaf's partition redirected to a sibling,
+  /// FaultConfig::leaf_death_prob) and the redirected-bundle traffic, billed
+  /// through CostMeter like retry resends.
+  std::atomic<std::uint64_t> leaf_failovers{0};
+  std::atomic<std::uint64_t> failover_bytes_down{0};
+  /// Bytes delivered into the root's mailbox — the tree's fan-in pressure
+  /// (what numeric partial aggregation collapses from O(clients) to
+  /// O(branching); bench_fabric_throughput reports it per round).
+  std::atomic<std::uint64_t> bytes_root_in{0};
 };
 
 /// A frame in flight / delivered: opaque bytes plus simulated-time stamps.
@@ -107,6 +121,10 @@ class SimTransport {
   /// Deterministic per-(round, client) dropout draw — the same question
   /// always gets the same answer, independent of thread schedule.
   bool client_dropped_out(std::uint32_t round, std::int32_t client) const;
+
+  /// Deterministic per-(round, leaf) death draw for the tree's per-shard
+  /// fault domains (leaf indexed by its partition id, not endpoint id).
+  bool leaf_dead(std::uint32_t round, std::int32_t leaf) const;
 
   /// One-way simulated transfer time of `bytes` to/from `client`.
   double link_time_s(std::int32_t client, std::size_t bytes) const;

@@ -280,6 +280,7 @@ std::string encode_partial_up(std::uint32_t round, std::int32_t sender,
                               std::uint8_t flags) {
   std::ostringstream os(std::ios::binary);
   write_pod(os, p.shard);
+  write_pod<std::uint8_t>(os, p.reduced ? 1 : 0);
   write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(p.entries.size()));
   for (const UpdateEntry& e : p.entries) {
     write_pod(os, e.task);
@@ -288,6 +289,16 @@ std::string encode_partial_up(std::uint32_t round, std::int32_t sender,
     write_pod(os, e.avg_loss);
     write_pod(os, e.num_samples);
     write_pod(os, e.macs_used);
+  }
+  if (p.reduced) {
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(p.groups.size()));
+    for (const ReducedGroup& g : p.groups) {
+      write_pod(os, g.key);
+      write_pod(os, g.min_slot);
+      write_pod(os, g.count);
+      write_pod(os, g.weight);
+      write_weight_set(os, g.sum);
+    }
   }
   return encode_frame(MsgType::PartialUp, round, sender, receiver, os.str(),
                       flags);
@@ -304,6 +315,9 @@ PartialUpdate decode_partial_up(std::string_view frame) {
   p.round = h.round;
   p.sender = h.sender;
   p.shard = read_pod<std::int32_t>(is);
+  const auto mode = read_pod<std::uint8_t>(is);
+  FT_CHECK_MSG(mode <= 1, "PartialUp mode byte corrupt: " << int{mode});
+  p.reduced = mode == 1;
   const auto n = read_pod<std::uint32_t>(is);
   p.entries.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -314,16 +328,36 @@ PartialUpdate decode_partial_up(std::string_view frame) {
     e.avg_loss = read_pod<double>(is);
     e.num_samples = read_pod<std::int32_t>(is);
     e.macs_used = read_pod<double>(is);
+    // Reduced bundles carry metrics only: a delta here means the encoder
+    // and the mode byte disagree — reject rather than double-count.
+    FT_CHECK_MSG(!p.reduced || e.delta.empty(),
+                 "reduced PartialUp entry carries a delta");
     p.entries.push_back(std::move(e));
+  }
+  if (p.reduced) {
+    const auto ng = read_pod<std::uint32_t>(is);
+    p.groups.reserve(ng);
+    for (std::uint32_t i = 0; i < ng; ++i) {
+      ReducedGroup g;
+      g.key = read_pod<std::int32_t>(is);
+      g.min_slot = read_pod<std::int32_t>(is);
+      g.count = read_pod<std::int32_t>(is);
+      g.weight = read_pod<double>(is);
+      g.sum = read_weight_set(is);
+      p.groups.push_back(std::move(g));
+    }
   }
   expect_consumed(is);
   return p;
 }
 
-std::string encode_shard_down(std::uint32_t round, std::int32_t receiver,
-                              const ShardDownlink& d, std::uint8_t flags) {
+std::string encode_shard_down(std::uint32_t round, std::int32_t sender,
+                              std::int32_t receiver, const ShardDownlink& d,
+                              std::uint8_t flags) {
   std::ostringstream os(std::ios::binary);
   write_pod(os, d.shard);
+  write_pod(os, d.leaf_lo);
+  write_pod(os, d.leaf_hi);
   write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(d.bodies.size()));
   for (const std::string& b : d.bodies) write_string(os, b);
   write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(d.tasks.size()));
@@ -331,9 +365,10 @@ std::string encode_shard_down(std::uint32_t round, std::int32_t receiver,
     write_pod(os, t.task);
     write_pod(os, t.client);
     write_pod(os, t.body);
+    write_pod(os, t.reduce);
     write_pod(os, t.rng_state);
   }
-  return encode_frame(MsgType::ShardDown, round, kServerId, receiver,
+  return encode_frame(MsgType::ShardDown, round, sender, receiver,
                       os.str(), flags);
 }
 
@@ -347,6 +382,11 @@ ShardDownlink decode_shard_down(std::string_view frame) {
   ShardDownlink d;
   d.round = h.round;
   d.shard = read_pod<std::int32_t>(is);
+  d.leaf_lo = read_pod<std::int32_t>(is);
+  d.leaf_hi = read_pod<std::int32_t>(is);
+  FT_CHECK_MSG(d.leaf_lo >= 0 && d.leaf_hi > d.leaf_lo,
+               "ShardDown leaf range corrupt: [" << d.leaf_lo << ", "
+                                                 << d.leaf_hi << ")");
   const auto nb = read_pod<std::uint32_t>(is);
   d.bodies.reserve(nb);
   for (std::uint32_t i = 0; i < nb; ++i) d.bodies.push_back(read_string(is));
@@ -357,6 +397,7 @@ ShardDownlink decode_shard_down(std::string_view frame) {
     t.task = read_pod<std::int32_t>(is);
     t.client = read_pod<std::int32_t>(is);
     t.body = read_pod<std::uint32_t>(is);
+    t.reduce = read_pod<std::int32_t>(is);
     t.rng_state = read_pod<std::array<std::uint64_t, 4>>(is);
     FT_CHECK_MSG(t.body < nb, "ShardDown task references body " << t.body
                                   << " of " << nb);

@@ -46,7 +46,13 @@ constexpr std::uint32_t kWireMagic = 0x46544E46u;  // "FTNF"
 /// bundled partial aggregate, forwarded upstream) and ShardDown (the root's
 /// bundled downlink for one shard, fanned out by the leaf) — plus the
 /// kFlagRetry header flag marking retry-policy resends of lost frames.
-constexpr std::uint16_t kWireVersion = 3;
+/// v4: deep-tree routing + numeric reduction — ShardDown carries the leaf
+/// range its bundle covers (so interior aggregators of a >2-level tree can
+/// split it among their children) and a per-task reduce-group key;
+/// PartialUp gains a reduced mode whose payload is per-group numeric
+/// partial sums (Σ weight·Δ + weight totals) with the per-task entries
+/// carrying metrics only.
+constexpr std::uint16_t kWireVersion = 4;
 /// Fixed frame header size in bytes (see layout above).
 constexpr std::size_t kWireHeaderBytes = 4 + 2 + 1 + 1 + 4 + 4 + 4 + 8 + 8;
 /// Sender/receiver id of the federation server (clients are their >= 0 ids).
@@ -107,36 +113,71 @@ struct UpdateEntry {
   double macs_used = 0.0;
 };
 
+/// One reduce group's numeric partial aggregate inside a reduced PartialUp:
+/// the running weighted sum of the group's deltas plus the weight total,
+/// exactly the pair every weighted-linear-sum strategy accumulates. Groups
+/// merge associatively up the tree (element-wise sum + weight add), folded
+/// in ascending min_slot order at every aggregator so the reduction is
+/// deterministic for a given tree shape.
+struct ReducedGroup {
+  /// Strategy reduce key (Strategy::reduce_key): members have
+  /// shape-identical deltas and land in the same strategy accumulator.
+  std::int32_t key = 0;
+  /// Smallest task slot folded into this group (canonical merge order, and
+  /// the engine's handle back to a representative task/payload).
+  std::int32_t min_slot = 0;
+  /// Number of updates folded in.
+  std::int32_t count = 0;
+  /// Σ reduce-weight (num_samples) over the folded updates.
+  double weight = 0.0;
+  /// Σ num_samples·Δ over the folded updates.
+  WeightSet sum;
+};
+
 /// A shard aggregator's partial aggregate: every update of its task
 /// partition that survived the client uplinks, bundled into one upstream
-/// frame. Entries ride verbatim (weights bit-exact) — the numeric reduction
-/// happens at the engine in fixed task order, which is what keeps sharded
-/// rounds bitwise identical to flat ones.
+/// frame. In verbatim mode (`reduced == false`, the default) entries ride
+/// with their deltas bit-exact — the numeric reduction happens at the
+/// engine in fixed task order, which is what keeps tree rounds bitwise
+/// identical to flat ones. In reduced mode the deltas are pre-summed into
+/// `groups` and the entries carry metrics only (empty delta).
 struct PartialUpdate {
   std::uint32_t round = 0;
   std::int32_t sender = kServerId;
   std::int32_t shard = 0;
+  bool reduced = false;
   std::vector<UpdateEntry> entries;
+  std::vector<ReducedGroup> groups;  ///< reduced mode only
 };
 
 /// One task's downlink inside a ShardDown bundle. `body` indexes the
 /// bundle's payload-body table: the referenced body holds the exact
 /// [spec string][weights] section a flat ModelDown would carry, so leaves
-/// reconstruct byte-identical per-client ModelDown frames.
+/// reconstruct byte-identical per-client ModelDown frames. `reduce` is the
+/// task's numeric reduce-group key (-1 = verbatim round; the leaf forwards
+/// the update unreduced).
 struct DownlinkTask {
   std::int32_t task = 0;
   std::int32_t client = 0;
   std::uint32_t body = 0;
+  std::int32_t reduce = -1;
   std::array<std::uint64_t, 4> rng_state{};
 };
 
-/// The root's bundled downlink for one shard: a table of distinct payload
-/// bodies (each encoded once — ladder strategies ship one submodel per
-/// capacity level per shard, single-model strategies one weight blob) plus
-/// the shard's task list referencing them.
+/// A bundled downlink travelling down the aggregation tree: a table of
+/// distinct payload bodies (each encoded once — ladder strategies ship one
+/// submodel per capacity level per shard, single-model strategies one
+/// weight blob) plus the covered task list referencing them.
+/// `leaf_lo`/`leaf_hi` is the tree-routing metadata: the half-open range of
+/// leaf partitions this bundle covers. A leaf-level bundle covers exactly
+/// one partition (`shard`, with leaf_hi == leaf_lo + 1); an interior node
+/// receiving a wider range splits the bundle among its children. `shard`
+/// is the destination partition for leaf bundles and -1 for interior ones.
 struct ShardDownlink {
   std::uint32_t round = 0;
   std::int32_t shard = 0;
+  std::int32_t leaf_lo = 0;
+  std::int32_t leaf_hi = 1;
   std::vector<std::string> bodies;
   std::vector<DownlinkTask> tasks;
 };
@@ -168,8 +209,8 @@ std::string encode_partial_up(std::uint32_t round, std::int32_t sender,
                               std::int32_t receiver, const PartialUpdate& p,
                               std::uint8_t flags = 0);
 PartialUpdate decode_partial_up(std::string_view frame);
-std::string encode_shard_down(std::uint32_t round, std::int32_t receiver,
-                              const ShardDownlink& d,
+std::string encode_shard_down(std::uint32_t round, std::int32_t sender,
+                              std::int32_t receiver, const ShardDownlink& d,
                               std::uint8_t flags = 0);
 ShardDownlink decode_shard_down(std::string_view frame);
 

@@ -1,0 +1,412 @@
+// Chaos-scenario sweep: a deterministic harness that drives short FedAvg,
+// FedTrans and FedBuff sessions through every combination of
+//
+//   topology  ∈ {flat, 2-level tree, 3-level tree}
+//   fault     ∈ {frame drop (+retries), duplication, reordering, leaf death}
+//   seed      ∈ {11, 42}
+//
+// and asserts *invariants* rather than golden values:
+//
+//   1. no deadlock — every session terminates with the full round/version
+//      history, whatever the fabric loses;
+//   2. conservation — every planned task is accounted for, either as a
+//      participant or a lost update (participants + lost_updates == tasks);
+//   3. byte reconciliation — CostMeter's network bytes equal the strategy's
+//      per-update billing plus exactly the transport's retry/failover
+//      counters (FedAvg sessions, where the per-update cost is closed-form);
+//   4. bitwise determinism — the same scenario replays identically at 1 and
+//      4 threads (fault draws are counter-hashed, reductions fixed-order);
+//   5. clean decode — the transport never corrupts bytes, so a single
+//      rejected frame means a codec bug, chaos or not.
+//
+// The sweep runs under parallel ctest with a pinned FEDTRANS_THREADS (see
+// CMakeLists set_tests_properties), so its timing does not wobble with the
+// host load of sibling tests.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/trainer.hpp"
+#include "fl/async.hpp"
+#include "fl/runner.hpp"
+#include "net/server.hpp"
+#include "test_util.hpp"
+
+namespace fedtrans {
+namespace {
+
+struct TopoCase {
+  const char* name;
+  int levels;
+  int shards;
+  int branching;
+};
+
+struct FaultCase {
+  const char* name;
+  FaultConfig faults;
+  int max_retries;
+};
+
+std::vector<TopoCase> topologies() {
+  return {{"flat", 1, 1, 0}, {"two-level", 2, 3, 0}, {"three-level", 3, 4, 2}};
+}
+
+std::vector<FaultCase> fault_cases() {
+  FaultConfig drop;
+  drop.drop_prob = 0.25;
+  FaultConfig dup;
+  dup.dup_prob = 0.3;
+  FaultConfig reorder;
+  reorder.reorder_prob = 0.35;
+  FaultConfig death;
+  death.leaf_death_prob = 0.35;
+  // Drops get a retry budget so the sweep exercises the resend path and
+  // its billing; the others keep the historical no-retry behavior.
+  return {{"drop", drop, 2},
+          {"dup", dup, 0},
+          {"reorder", reorder, 0},
+          {"leaf-death", death, 0}};
+}
+
+DatasetConfig chaos_data() {
+  DatasetConfig cfg;
+  cfg.num_classes = 4;
+  cfg.channels = 1;
+  cfg.hw = 8;
+  cfg.num_clients = 10;
+  cfg.mean_train_samples = 14;
+  cfg.min_train_samples = 8;
+  cfg.eval_samples = 6;
+  cfg.noise = 0.35;
+  cfg.seed = 17;
+  return cfg;
+}
+
+std::vector<DeviceProfile> chaos_fleet(int n) {
+  FleetConfig cfg;
+  cfg.num_devices = n;
+  cfg.seed = 9;
+  cfg.with_median_capacity(5e6);
+  return sample_fleet(cfg);
+}
+
+ModelSpec chaos_model() { return ModelSpec::conv(1, 8, 4, 4, {6, 8}); }
+
+void apply_scenario(FabricTopology& topo, FaultConfig& faults,
+                    const TopoCase& t, const FaultCase& f,
+                    std::uint64_t seed) {
+  topo.levels = t.levels;
+  topo.shards = t.shards;
+  topo.branching = t.branching;
+  topo.max_retries = f.max_retries;
+  topo.ack_timeout_s = 5.0;
+  faults = f.faults;
+  faults.seed = 0x9e3779b9ULL ^ seed;  // decorrelate from the session seed
+}
+
+std::string scenario_name(const TopoCase& t, const FaultCase& f,
+                          std::uint64_t seed) {
+  return std::string(t.name) + " x " + f.name + " x seed " +
+         std::to_string(seed);
+}
+
+void expect_same_weights(const WeightSet& wa, const WeightSet& wb,
+                         const std::string& what) {
+  ASSERT_EQ(wa.size(), wb.size()) << what;
+  for (std::size_t i = 0; i < wa.size(); ++i)
+    EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0)
+        << what << " tensor " << i;
+}
+
+/// Run one FedAvg session; verify termination, conservation and byte
+/// reconciliation; return the final weights + history for the determinism
+/// comparison.
+struct SyncOutcome {
+  WeightSet weights;
+  std::vector<RoundRecord> history;
+  double network_bytes = 0.0;
+};
+
+SyncOutcome run_fedavg(const FederatedDataset& data,
+                       const std::vector<DeviceProfile>& fleet,
+                       const Model& init, const TopoCase& t,
+                       const FaultCase& f, std::uint64_t seed) {
+  const std::string what = "fedavg " + scenario_name(t, f, seed);
+  FlRunConfig cfg;
+  cfg.rounds = 3;
+  cfg.clients_per_round = 5;
+  cfg.local.steps = 2;
+  cfg.local.batch = 4;
+  cfg.eval_every = 0;
+  cfg.seed = seed;
+  cfg.use_fabric = true;
+  apply_scenario(cfg.topology, cfg.fabric_faults, t, f, seed);
+
+  FedAvgRunner runner(init, data, fleet, cfg);
+  runner.run();  // invariant 1: terminates under every fault mix
+
+  EXPECT_EQ(runner.history().size(), static_cast<std::size_t>(cfg.rounds))
+      << what;
+  int participants = 0, lost = 0;
+  for (const auto& rec : runner.history()) {
+    // Invariant 2: conservation — no task vanishes unaccounted.
+    EXPECT_EQ(rec.participants + rec.lost_updates, cfg.clients_per_round)
+        << what << " round " << rec.round;
+    EXPECT_GE(rec.leaf_failovers, 0) << what;
+    participants += rec.participants;
+    lost += rec.lost_updates;
+  }
+
+  const FabricStats& stats = runner.fabric()->stats();
+  // Invariant 3: byte reconciliation — each aggregated update moved the
+  // model down and up, each lost one spent its downlink, and resends /
+  // failover redirects are billed exactly as the transport counted them.
+  const double model_bytes =
+      static_cast<double>(runner.model().param_bytes());
+  const double extra =
+      static_cast<double>(stats.retry_bytes_down.load()) +
+      static_cast<double>(stats.retry_bytes_up.load()) +
+      static_cast<double>(stats.failover_bytes_down.load());
+  EXPECT_NEAR(runner.costs().network_bytes(),
+              model_bytes * (2.0 * participants + lost) + extra, 1.0)
+      << what;
+  // Invariant 5: chaos drops/duplicates/delays whole frames, never bytes.
+  EXPECT_EQ(stats.frames_rejected.load(), 0u) << what;
+
+  SyncOutcome out;
+  out.weights = runner.model().weights();
+  out.history = runner.history();
+  out.network_bytes = runner.costs().network_bytes();
+  return out;
+}
+
+SyncOutcome run_fedtrans(const FederatedDataset& data,
+                         const std::vector<DeviceProfile>& fleet,
+                         const TopoCase& t, const FaultCase& f,
+                         std::uint64_t seed) {
+  const std::string what = "fedtrans " + scenario_name(t, f, seed);
+  FedTransConfig cfg;
+  cfg.rounds = 3;
+  cfg.clients_per_round = 4;
+  cfg.local.steps = 2;
+  cfg.local.batch = 4;
+  cfg.gamma = 2;
+  cfg.doc_delta = 2;
+  cfg.beta = 10.0;
+  cfg.act_window = 2;
+  cfg.max_models = 2;
+  cfg.seed = seed;
+  cfg.use_fabric = true;
+  apply_scenario(cfg.topology, cfg.fabric_faults, t, f, seed);
+
+  FedTransTrainer trainer(chaos_model(), data, fleet, cfg);
+  trainer.run();
+
+  EXPECT_EQ(trainer.history().size(), static_cast<std::size_t>(cfg.rounds))
+      << what;
+  for (const auto& rec : trainer.history())
+    EXPECT_EQ(rec.participants + rec.lost_updates, cfg.clients_per_round)
+        << what << " round " << rec.round;
+  EXPECT_EQ(trainer.engine().fabric()->stats().frames_rejected.load(), 0u)
+      << what;
+
+  SyncOutcome out;
+  out.weights = trainer.model(0).weights();
+  out.history = trainer.history();
+  out.network_bytes = trainer.costs().network_bytes();
+  return out;
+}
+
+struct AsyncOutcome {
+  WeightSet weights;
+  std::vector<RoundRecord> history;
+  double now_s = 0.0;
+};
+
+AsyncOutcome run_fedbuff(const FederatedDataset& data,
+                         const std::vector<DeviceProfile>& fleet,
+                         const Model& init, const TopoCase& t,
+                         const FaultCase& f, std::uint64_t seed) {
+  const std::string what = "fedbuff " + scenario_name(t, f, seed);
+  AsyncRunConfig cfg;
+  cfg.concurrency = 3;
+  cfg.buffer_size = 2;
+  cfg.aggregations = 4;
+  cfg.local.steps = 2;
+  cfg.local.batch = 4;
+  cfg.seed = seed;
+  cfg.use_fabric = true;
+  apply_scenario(cfg.topology, cfg.fabric_faults, t, f, seed);
+  cfg.topology.ack_timeout_s = 30.0;  // above the tiny fleet's round trip
+
+  FedBuffRunner runner(init, data, fleet, cfg);
+  runner.run();  // invariant 1: ack-timeouts replace lost clients
+
+  EXPECT_EQ(runner.aggregations_done(), cfg.aggregations) << what;
+  EXPECT_EQ(runner.history().size(),
+            static_cast<std::size_t>(cfg.aggregations))
+      << what;
+  for (const auto& rec : runner.history())
+    EXPECT_GE(rec.lost_updates, 0) << what;
+  EXPECT_EQ(runner.engine().fabric()->stats().frames_rejected.load(), 0u)
+      << what;
+  EXPECT_GT(runner.costs().network_bytes(), 0.0) << what;
+
+  AsyncOutcome out;
+  out.weights = runner.model().weights();
+  out.history = runner.history();
+  out.now_s = runner.now_s();
+  return out;
+}
+
+void expect_same_history(const std::vector<RoundRecord>& a,
+                         const std::vector<RoundRecord>& b,
+                         const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a[r].avg_loss, b[r].avg_loss) << what << " round " << r;
+    EXPECT_EQ(a[r].round_time_s, b[r].round_time_s) << what << " round " << r;
+    EXPECT_EQ(a[r].participants, b[r].participants) << what << " round " << r;
+    EXPECT_EQ(a[r].lost_updates, b[r].lost_updates) << what << " round " << r;
+    EXPECT_EQ(a[r].leaf_failovers, b[r].leaf_failovers)
+        << what << " round " << r;
+  }
+}
+
+TEST(ChaosSweepTest, FedAvgSurvivesEveryScenarioDeterministically) {
+  auto data = FederatedDataset::generate(chaos_data());
+  auto fleet = chaos_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(chaos_model(), rng);
+  const int prev_threads = ThreadPool::global().size();
+
+  for (const TopoCase& t : topologies()) {
+    for (const FaultCase& f : fault_cases()) {
+      for (std::uint64_t seed : {11ULL, 42ULL}) {
+        const std::string what = "fedavg " + scenario_name(t, f, seed);
+        ThreadPool::set_global_threads(1);
+        const SyncOutcome a = run_fedavg(data, fleet, init, t, f, seed);
+        ThreadPool::set_global_threads(4);
+        const SyncOutcome b = run_fedavg(data, fleet, init, t, f, seed);
+        // Invariant 4: bitwise determinism across thread counts.
+        expect_same_weights(a.weights, b.weights, what);
+        expect_same_history(a.history, b.history, what);
+        EXPECT_EQ(a.network_bytes, b.network_bytes) << what;
+      }
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+TEST(ChaosSweepTest, FedTransSurvivesEveryScenarioDeterministically) {
+  auto data = FederatedDataset::generate(chaos_data());
+  auto fleet = chaos_fleet(data.num_clients());
+  const int prev_threads = ThreadPool::global().size();
+
+  for (const TopoCase& t : topologies()) {
+    for (const FaultCase& f : fault_cases()) {
+      for (std::uint64_t seed : {11ULL, 42ULL}) {
+        const std::string what = "fedtrans " + scenario_name(t, f, seed);
+        ThreadPool::set_global_threads(1);
+        const SyncOutcome a = run_fedtrans(data, fleet, t, f, seed);
+        ThreadPool::set_global_threads(4);
+        const SyncOutcome b = run_fedtrans(data, fleet, t, f, seed);
+        expect_same_weights(a.weights, b.weights, what);
+        expect_same_history(a.history, b.history, what);
+        EXPECT_EQ(a.network_bytes, b.network_bytes) << what;
+      }
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+TEST(ChaosSweepTest, FedBuffSurvivesEveryScenarioDeterministically) {
+  auto data = FederatedDataset::generate(chaos_data());
+  auto fleet = chaos_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(chaos_model(), rng);
+  const int prev_threads = ThreadPool::global().size();
+
+  for (const TopoCase& t : topologies()) {
+    for (const FaultCase& f : fault_cases()) {
+      for (std::uint64_t seed : {11ULL, 42ULL}) {
+        const std::string what = "fedbuff " + scenario_name(t, f, seed);
+        ThreadPool::set_global_threads(1);
+        const AsyncOutcome a = run_fedbuff(data, fleet, init, t, f, seed);
+        ThreadPool::set_global_threads(4);
+        const AsyncOutcome b = run_fedbuff(data, fleet, init, t, f, seed);
+        expect_same_weights(a.weights, b.weights, what);
+        expect_same_history(a.history, b.history, what);
+        EXPECT_EQ(a.now_s, b.now_s) << what;
+      }
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+TEST(ChaosSweepTest, CombinedFaultsOnDeepTreeStillConserveAndTerminate) {
+  // Everything at once — drops with retries, duplicates, reordering, leaf
+  // death, client dropout — over the 3-level tree, numeric mode on: the
+  // harshest corner of the sweep still terminates, conserves tasks and
+  // reconciles its bytes.
+  auto data = FederatedDataset::generate(chaos_data());
+  auto fleet = chaos_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(chaos_model(), rng);
+
+  FlRunConfig cfg;
+  cfg.rounds = 4;
+  cfg.clients_per_round = 6;
+  cfg.local.steps = 2;
+  cfg.local.batch = 4;
+  cfg.eval_every = 0;
+  cfg.seed = 5;
+  cfg.use_fabric = true;
+  cfg.topology.levels = 3;
+  cfg.topology.shards = 4;
+  cfg.topology.branching = 2;
+  cfg.topology.partial_aggregation = true;
+  cfg.topology.max_retries = 1;
+  cfg.topology.ack_timeout_s = 5.0;
+  cfg.fabric_faults.drop_prob = 0.15;
+  cfg.fabric_faults.dup_prob = 0.1;
+  cfg.fabric_faults.reorder_prob = 0.15;
+  cfg.fabric_faults.dropout_prob = 0.1;
+  cfg.fabric_faults.leaf_death_prob = 0.2;
+  cfg.fabric_faults.seed = 4242;
+
+  FedAvgRunner runner(init, data, fleet, cfg);
+  runner.run();
+
+  ASSERT_EQ(runner.history().size(), 4u);
+  int participants = 0, lost = 0;
+  for (const auto& rec : runner.history()) {
+    EXPECT_EQ(rec.participants + rec.lost_updates, cfg.clients_per_round);
+    participants += rec.participants;
+    lost += rec.lost_updates;
+  }
+  EXPECT_GT(participants, 0) << "some updates must still get through";
+  const FabricStats& stats = runner.fabric()->stats();
+  const double model_bytes =
+      static_cast<double>(runner.model().param_bytes());
+  const double extra =
+      static_cast<double>(stats.retry_bytes_down.load()) +
+      static_cast<double>(stats.retry_bytes_up.load()) +
+      static_cast<double>(stats.failover_bytes_down.load());
+  EXPECT_NEAR(runner.costs().network_bytes(),
+              model_bytes * (2.0 * participants + lost) + extra, 1.0);
+  EXPECT_EQ(stats.frames_rejected.load(), 0u);
+
+  FedAvgRunner again(init, data, fleet, cfg);
+  again.run();
+  expect_same_weights(runner.model().weights(), again.model().weights(),
+                      "combined chaos replay");
+  expect_same_history(runner.history(), again.history(), "combined chaos");
+}
+
+}  // namespace
+}  // namespace fedtrans

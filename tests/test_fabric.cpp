@@ -4,12 +4,18 @@
 // counts; (2) under message loss and client dropout, rounds still terminate
 // and every lost update is accounted in CostMeter/RoundRecord; (3) the
 // simulated transport's fault injection is deterministic and its byte
-// accounting is exact; (4) hierarchical (2-level sharded) rounds are
-// bitwise identical to flat ones for FedAvg, FedTrans and HeteroFL;
-// (5) the retry policy resends lost UpdateUps within max_retries and
-// counts exhausted retries as lost updates, with resend traffic billed;
-// (6) fabric-backed async (FedBuff) sessions complete over real messages
-// with delivery-time completion ordering.
+// accounting is exact; (4) hierarchical rounds — 2-level shards and deep
+// (3/4-level) trees of any branching — are bitwise identical to flat ones
+// for FedAvg, FedTrans and HeteroFL; (5) the retry policy resends lost
+// UpdateUps within max_retries and counts exhausted retries as lost
+// updates, with resend traffic billed; (6) fabric-backed async (FedBuff)
+// sessions complete over real messages with delivery-time completion
+// ordering, flat or routed through the tree (bitwise-equal when
+// fault-free); (7) numeric partial aggregation matches flat reductions
+// within 1e-5 relative tolerance, keeps metrics/billing bitwise, and is
+// bitwise self-consistent across thread counts (and across shard counts
+// with singleton leaves); (8) dead leaves fail over to siblings with the
+// redirect billed and recorded.
 
 #include <gtest/gtest.h>
 
@@ -78,6 +84,7 @@ void expect_identical(FedAvgRunner& a, FedAvgRunner& b) {
     EXPECT_EQ(ra.accuracy, rb.accuracy) << "round " << r;
     EXPECT_EQ(ra.participants, rb.participants) << "round " << r;
     EXPECT_EQ(ra.lost_updates, rb.lost_updates) << "round " << r;
+    EXPECT_EQ(ra.leaf_failovers, rb.leaf_failovers) << "round " << r;
   }
   EXPECT_EQ(a.costs().total_macs(), b.costs().total_macs());
   EXPECT_EQ(a.costs().network_bytes(), b.costs().network_bytes());
@@ -764,6 +771,565 @@ TEST(AsyncFabricTest, FaultyAsyncSessionAccountsLostUpdates) {
   for (const auto& rec : no_retry.history()) lost0 += rec.lost_updates;
   EXPECT_LT(lost, lost0)
       << "retries must recover updates the no-retry run times out on";
+}
+
+// ---------------------------------------------------------------------------
+// Deep aggregation trees (levels >= 3): verbatim bundles split down the
+// interior tiers and merge back up must leave every round bitwise identical
+// to the flat fabric (which is itself bitwise identical to in-process).
+
+TEST(DeepTreeParityTest, FedAvgThreeLevelMatchesInProcessBitwise) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  const int prev_threads = ThreadPool::global().size();
+
+  for (std::uint64_t seed : {11ULL, 42ULL}) {
+    Rng rng(3 + seed);
+    Model init(tiny_model(), rng);
+    for (int threads : {1, 4}) {
+      ThreadPool::set_global_threads(threads);
+
+      FlRunConfig in_proc = base_cfg(seed);
+      FedAvgRunner a(init, data, fleet, in_proc);
+      a.run();
+
+      FlRunConfig tree = base_cfg(seed);
+      tree.use_fabric = true;
+      tree.topology.levels = 3;
+      tree.topology.shards = 4;
+      tree.topology.branching = 2;
+      FedAvgRunner b(init, data, fleet, tree);
+      b.run();
+
+      ASSERT_NE(b.fabric(), nullptr);
+      EXPECT_EQ(b.fabric()->tree().levels(), 3);
+      EXPECT_EQ(b.fabric()->tree().num_aggregators(), 4 + 2);
+      EXPECT_EQ(b.fabric()->stats().frames_rejected.load(), 0u);
+      expect_identical(a, b);
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+TEST(DeepTreeParityTest, DepthAndBranchingSweepAllMatchInProcess) {
+  // 3-level and 4-level trees, branching 2/3 and the auto fan-out, plus a
+  // degenerate chain (branching 1): every fault-free shape reproduces the
+  // in-process run exactly.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(9);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig cfg = base_cfg(5);
+  FedAvgRunner ref(init, data, fleet, cfg);
+  ref.run();
+
+  struct Shape {
+    int levels, shards, branching;
+  };
+  for (const Shape& s : {Shape{3, 4, 2}, Shape{3, 6, 3}, Shape{3, 5, 0},
+                         Shape{4, 8, 2}, Shape{4, 3, 1}}) {
+    FlRunConfig tree = base_cfg(5);
+    tree.use_fabric = true;
+    tree.topology.levels = s.levels;
+    tree.topology.shards = s.shards;
+    tree.topology.branching = s.branching;
+    FedAvgRunner b(init, data, fleet, tree);
+    b.run();
+    expect_identical(ref, b);
+    EXPECT_EQ(b.fabric()->stats().frames_rejected.load(), 0u)
+        << "levels=" << s.levels << " shards=" << s.shards
+        << " branching=" << s.branching;
+  }
+}
+
+TEST(DeepTreeParityTest, FedTransThreeLevelMatchesFlatBitwise) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  const int prev_threads = ThreadPool::global().size();
+  for (std::uint64_t seed : {13ULL, 29ULL}) {
+    for (int threads : {1, 4}) {
+      ThreadPool::set_global_threads(threads);
+      FedTransConfig cfg;
+      cfg.rounds = 6;
+      cfg.clients_per_round = 4;
+      cfg.local.steps = 3;
+      cfg.local.batch = 6;
+      cfg.gamma = 2;
+      cfg.doc_delta = 2;
+      cfg.beta = 10.0;
+      cfg.act_window = 2;
+      cfg.max_models = 3;
+      cfg.seed = seed;
+      cfg.use_fabric = true;
+
+      FedTransTrainer a(tiny_model(), data, fleet, cfg);
+      cfg.topology.levels = 3;
+      cfg.topology.shards = 4;
+      cfg.topology.branching = 2;
+      FedTransTrainer b(tiny_model(), data, fleet, cfg);
+      a.run();
+      b.run();
+
+      ASSERT_EQ(a.num_models(), b.num_models());
+      for (int k = 0; k < a.num_models(); ++k) {
+        auto wa = a.model(k).weights();
+        auto wb = b.model(k).weights();
+        ASSERT_EQ(wa.size(), wb.size());
+        for (std::size_t i = 0; i < wa.size(); ++i)
+          EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0)
+              << "model " << k << " tensor " << i;
+      }
+      EXPECT_EQ(a.costs().total_macs(), b.costs().total_macs());
+      EXPECT_EQ(a.costs().network_bytes(), b.costs().network_bytes());
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+TEST(DeepTreeParityTest, HeteroFLThreeLevelMatchesFlatBitwise) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients(), /*seed=*/4);
+  const int prev_threads = ThreadPool::global().size();
+  for (std::uint64_t seed : {7ULL, 19ULL}) {
+    for (int threads : {1, 4}) {
+      ThreadPool::set_global_threads(threads);
+      BaselineConfig cfg;
+      cfg.rounds = 4;
+      cfg.clients_per_round = 5;
+      cfg.local.steps = 3;
+      cfg.local.batch = 6;
+      cfg.eval_every = 2;
+      cfg.eval_clients = 6;
+      cfg.seed = seed;
+      cfg.use_fabric = true;
+
+      HeteroFLRunner a(tiny_model(), data, fleet, cfg);
+      cfg.topology.levels = 3;
+      cfg.topology.shards = 4;
+      cfg.topology.branching = 2;
+      HeteroFLRunner b(tiny_model(), data, fleet, cfg);
+      a.run();
+      b.run();
+
+      auto wa = a.global().weights();
+      auto wb = b.global().weights();
+      ASSERT_EQ(wa.size(), wb.size());
+      for (std::size_t i = 0; i < wa.size(); ++i)
+        EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0) << "tensor " << i;
+      EXPECT_EQ(a.engine().costs().network_bytes(),
+                b.engine().costs().network_bytes());
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+// ---------------------------------------------------------------------------
+// Numeric partial aggregation: pre-summing at the aggregators must match
+// the flat reduction to numeric tolerance, keep the metric trajectory
+// (losses, participants, billing) bitwise, and stay bitwise
+// self-consistent across thread counts — and across shard counts when each
+// leaf holds at most one update (the reduction order is then slot order
+// regardless of the tree).
+
+double max_rel_diff(const WeightSet& a, const WeightSet& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num = std::max(num, testing::max_abs_diff(a[i], b[i]));
+    for (std::int64_t j = 0; j < a[i].numel(); ++j)
+      den = std::max(den, std::fabs(static_cast<double>(a[i][j])));
+  }
+  return num / std::max(den, 1e-12);
+}
+
+TEST(PartialAggregationTest, FedAvgNumericMatchesFlatWithinTolerance) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig flat = base_cfg(21);
+  flat.rounds = 4;
+  flat.clients_per_round = 6;
+  flat.eval_every = 0;
+  FedAvgRunner a(init, data, fleet, flat);
+  a.run();
+
+  FlRunConfig numeric = flat;
+  numeric.use_fabric = true;
+  numeric.topology.levels = 2;
+  numeric.topology.shards = 3;
+  numeric.topology.partial_aggregation = true;
+  FedAvgRunner b(init, data, fleet, numeric);
+  b.run();
+
+  EXPECT_LT(max_rel_diff(a.model().weights(), b.model().weights()), 1e-5);
+  // Metrics ride the tree verbatim, so participant counts and billing are
+  // bitwise identical; losses track the (numerically perturbed) weights,
+  // so round 0 is bitwise and later rounds tolerance-close.
+  ASSERT_EQ(a.history().size(), b.history().size());
+  EXPECT_EQ(a.history()[0].avg_loss, b.history()[0].avg_loss);
+  for (std::size_t r = 0; r < a.history().size(); ++r) {
+    EXPECT_NEAR(a.history()[r].avg_loss, b.history()[r].avg_loss,
+                1e-5 * std::max(1.0, std::fabs(a.history()[r].avg_loss)));
+    EXPECT_EQ(a.history()[r].participants, b.history()[r].participants);
+  }
+  EXPECT_EQ(a.costs().network_bytes(), b.costs().network_bytes());
+  EXPECT_EQ(b.fabric()->stats().frames_rejected.load(), 0u);
+}
+
+TEST(PartialAggregationTest, FedTransNumericMatchesFlatWithinTolerance) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+
+  FedTransConfig cfg;
+  cfg.rounds = 5;
+  cfg.clients_per_round = 6;
+  cfg.local.steps = 3;
+  cfg.local.batch = 6;
+  cfg.gamma = 2;
+  cfg.doc_delta = 2;
+  cfg.beta = 10.0;
+  cfg.act_window = 2;
+  cfg.max_models = 3;
+  cfg.seed = 13;
+
+  FedTransTrainer a(tiny_model(), data, fleet, cfg);
+  a.run();
+
+  cfg.use_fabric = true;
+  cfg.topology.levels = 3;
+  cfg.topology.shards = 4;
+  cfg.topology.branching = 2;
+  cfg.topology.partial_aggregation = true;
+  FedTransTrainer b(tiny_model(), data, fleet, cfg);
+  b.run();
+
+  // Per-client losses ride the tree verbatim, so utility learning sees
+  // (numerically) the same inputs and the model family grows identically;
+  // weights agree to numeric tolerance.
+  ASSERT_EQ(a.num_models(), b.num_models());
+  for (int k = 0; k < a.num_models(); ++k)
+    EXPECT_LT(max_rel_diff(a.model(k).weights(), b.model(k).weights()), 1e-5)
+        << "model " << k;
+  ASSERT_EQ(a.history().size(), b.history().size());
+  for (std::size_t r = 0; r < a.history().size(); ++r)
+    EXPECT_NEAR(a.history()[r].avg_loss, b.history()[r].avg_loss,
+                1e-5 * std::max(1.0, std::fabs(a.history()[r].avg_loss)));
+}
+
+TEST(PartialAggregationTest, HeteroFLNumericMatchesFlatWithinTolerance) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients(), /*seed=*/4);
+
+  BaselineConfig cfg;
+  cfg.rounds = 4;
+  cfg.clients_per_round = 6;
+  cfg.local.steps = 3;
+  cfg.local.batch = 6;
+  cfg.seed = 19;
+
+  HeteroFLRunner a(tiny_model(), data, fleet, cfg);
+  a.run();
+
+  cfg.use_fabric = true;
+  cfg.topology.levels = 2;
+  cfg.topology.shards = 3;
+  cfg.topology.partial_aggregation = true;
+  HeteroFLRunner b(tiny_model(), data, fleet, cfg);
+  b.run();
+
+  EXPECT_LT(max_rel_diff(a.global().weights(), b.global().weights()), 1e-5);
+  ASSERT_EQ(a.engine().history().size(), b.engine().history().size());
+  for (std::size_t r = 0; r < a.engine().history().size(); ++r)
+    EXPECT_NEAR(a.engine().history()[r].avg_loss,
+                b.engine().history()[r].avg_loss,
+                1e-5 * std::max(1.0, std::fabs(
+                                         a.engine().history()[r].avg_loss)));
+  EXPECT_EQ(a.engine().costs().network_bytes(),
+            b.engine().costs().network_bytes());
+}
+
+TEST(PartialAggregationTest, BitwiseAcrossShardCountsWithSingletonLeaves) {
+  // With at most one task per leaf the numeric fold order is slot order
+  // whatever the shard count, so 2-level trees of 4, 6 and 8 leaves
+  // produce bit-identical weights (and repeated runs replay exactly).
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(7);
+  Model init(tiny_model(), rng);
+
+  auto run_with_shards = [&](int shards) {
+    FlRunConfig cfg = base_cfg(33);
+    cfg.rounds = 3;
+    cfg.clients_per_round = 4;
+    cfg.eval_every = 0;
+    cfg.use_fabric = true;
+    cfg.topology.levels = 2;
+    cfg.topology.shards = shards;
+    cfg.topology.partial_aggregation = true;
+    FedAvgRunner r(init, data, fleet, cfg);
+    r.run();
+    return r.model().weights();
+  };
+
+  const WeightSet w4 = run_with_shards(4);
+  for (int shards : {4, 6, 8}) {
+    const WeightSet w = run_with_shards(shards);
+    ASSERT_EQ(w4.size(), w.size());
+    for (std::size_t i = 0; i < w4.size(); ++i)
+      EXPECT_EQ(testing::max_abs_diff(w4[i], w[i]), 0.0)
+          << "shards=" << shards << " tensor " << i;
+  }
+}
+
+TEST(PartialAggregationTest, NumericModeDeterministicAcrossThreadCounts) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(5);
+  Model init(tiny_model(), rng);
+  const int prev_threads = ThreadPool::global().size();
+
+  FlRunConfig cfg = base_cfg(17);
+  cfg.rounds = 3;
+  cfg.clients_per_round = 6;
+  cfg.eval_every = 0;
+  cfg.use_fabric = true;
+  cfg.topology.levels = 3;
+  cfg.topology.shards = 4;
+  cfg.topology.branching = 2;
+  cfg.topology.partial_aggregation = true;
+
+  ThreadPool::set_global_threads(1);
+  FedAvgRunner a(init, data, fleet, cfg);
+  a.run();
+  ThreadPool::set_global_threads(4);
+  FedAvgRunner b(init, data, fleet, cfg);
+  b.run();
+  ThreadPool::set_global_threads(prev_threads);
+  expect_identical(a, b);
+}
+
+TEST(PartialAggregationTest, UnsupportedStrategyFailsLoudly) {
+  // Per-client uplink compression rewrites each delta before accumulation,
+  // so the reduction is no longer a plain weighted linear sum; configuring
+  // partial_aggregation on such a session must throw, not silently fall
+  // back to verbatim bundles.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig cfg = base_cfg(3);
+  cfg.use_fabric = true;
+  cfg.topology.levels = 2;
+  cfg.topology.shards = 2;
+  cfg.topology.partial_aggregation = true;
+  cfg.compression = CompressionKind::TopK;  // per-client: can't pre-sum
+  FedAvgRunner runner(init, data, fleet, cfg);
+  EXPECT_THROW(runner.run_round(), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard fault domains: a leaf dead for the round has its partition
+// redirected to an alive sibling — rounds complete, the failover is billed
+// and recorded, and runs stay deterministic.
+
+TEST(LeafFailoverTest, DeadLeafPartitionFailsOverToSibling) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig cfg = base_cfg(7);
+  cfg.rounds = 6;
+  cfg.clients_per_round = 6;
+  cfg.eval_every = 0;
+  cfg.use_fabric = true;
+  cfg.topology.levels = 2;
+  cfg.topology.shards = 3;
+  cfg.fabric_faults.leaf_death_prob = 0.35;
+  cfg.fabric_faults.seed = 99;
+
+  FedAvgRunner runner(init, data, fleet, cfg);
+  runner.run();
+
+  ASSERT_EQ(runner.history().size(), 6u);
+  int participants = 0, lost = 0, failovers = 0;
+  for (const auto& rec : runner.history()) {
+    participants += rec.participants;
+    lost += rec.lost_updates;
+    failovers += rec.leaf_failovers;
+    // Conservation: every planned task is accounted for.
+    EXPECT_EQ(rec.participants + rec.lost_updates, cfg.clients_per_round);
+  }
+  const FabricStats& stats = runner.fabric()->stats();
+  EXPECT_GT(stats.leaf_failovers.load(), 0u)
+      << "a 35% leaf death rate over 6 rounds x 3 leaves must kill one";
+  EXPECT_EQ(static_cast<std::uint64_t>(failovers),
+            stats.leaf_failovers.load())
+      << "per-round records must reconcile with the transport counter";
+  // Siblings cover every death unless all three leaves die at once, so
+  // nearly every update survives; the redirected bundles are billed.
+  EXPECT_GT(participants, 0);
+  const double model_bytes =
+      static_cast<double>(runner.model().param_bytes());
+  const double failover_bytes =
+      static_cast<double>(stats.failover_bytes_down.load());
+  EXPECT_GT(failover_bytes, 0.0);
+  EXPECT_NEAR(runner.costs().network_bytes(),
+              model_bytes * (2.0 * participants + lost) + failover_bytes,
+              1.0);
+
+  // Determinism: the same chaotic run replays bit-identically.
+  FedAvgRunner again(init, data, fleet, cfg);
+  again.run();
+  expect_identical(runner, again);
+}
+
+TEST(LeafFailoverTest, DeepTreeFailoverStaysWithinFaultDomain) {
+  // 3-level tree, sibling groups of 2: deaths fail over to the one
+  // sibling under the same parent; rounds terminate and conserve tasks
+  // across thread counts.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+  const int prev_threads = ThreadPool::global().size();
+
+  FlRunConfig cfg = base_cfg(7);
+  cfg.rounds = 5;
+  cfg.clients_per_round = 6;
+  cfg.eval_every = 0;
+  cfg.use_fabric = true;
+  cfg.topology.levels = 3;
+  cfg.topology.shards = 4;
+  cfg.topology.branching = 2;
+  cfg.fabric_faults.leaf_death_prob = 0.4;
+  cfg.fabric_faults.seed = 1234;
+
+  ThreadPool::set_global_threads(1);
+  FedAvgRunner a(init, data, fleet, cfg);
+  a.run();
+  ThreadPool::set_global_threads(4);
+  FedAvgRunner b(init, data, fleet, cfg);
+  b.run();
+  ThreadPool::set_global_threads(prev_threads);
+
+  expect_identical(a, b);
+  int lost = 0;
+  for (const auto& rec : a.history()) {
+    EXPECT_EQ(rec.participants + rec.lost_updates, cfg.clients_per_round);
+    lost += rec.lost_updates;
+  }
+  // A 40% death rate must trigger failovers (one sibling dead) and/or
+  // whole-domain losses (both siblings dead) across 5 rounds x 4 leaves.
+  EXPECT_GT(a.fabric()->stats().leaf_failovers.load() +
+                static_cast<std::uint64_t>(lost),
+            0u);
+}
+
+// ---------------------------------------------------------------------------
+// Async over the tree: FedBuff round trips hop through the leaf partition
+// on the zero-latency backbone, so fault-free tree sessions are bitwise
+// identical to flat ones — delivery order at the root is preserved.
+
+TEST(AsyncTreeTest, FaultFreeTreeAsyncMatchesFlatBitwise) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(8);
+  Model init(tiny_model(), rng);
+
+  AsyncRunConfig cfg;
+  cfg.concurrency = 3;
+  cfg.buffer_size = 2;
+  cfg.aggregations = 6;
+  cfg.local.steps = 3;
+  cfg.local.batch = 6;
+  cfg.seed = 42;
+  cfg.use_fabric = true;
+
+  FedBuffRunner flat(init, data, fleet, cfg);
+  flat.run();
+
+  for (int levels : {2, 3}) {
+    AsyncRunConfig tree_cfg = cfg;
+    tree_cfg.topology.levels = levels;
+    tree_cfg.topology.shards = 3;
+    tree_cfg.topology.branching = 2;
+    FedBuffRunner tree(init, data, fleet, tree_cfg);
+    tree.run();
+
+    EXPECT_EQ(flat.now_s(), tree.now_s()) << "levels=" << levels;
+    auto wa = flat.model().weights();
+    auto wb = tree.model().weights();
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t i = 0; i < wa.size(); ++i)
+      EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0)
+          << "levels=" << levels << " tensor " << i;
+    ASSERT_EQ(flat.history().size(), tree.history().size());
+    for (std::size_t r = 0; r < flat.history().size(); ++r) {
+      EXPECT_EQ(flat.history()[r].avg_loss, tree.history()[r].avg_loss);
+      EXPECT_EQ(flat.history()[r].round_time_s,
+                tree.history()[r].round_time_s);
+    }
+    // The tree moved more backbone frames for the same outcome.
+    EXPECT_GT(tree.engine().fabric()->stats().frames_sent.load(),
+              flat.engine().fabric()->stats().frames_sent.load());
+    EXPECT_EQ(tree.engine().fabric()->stats().frames_rejected.load(), 0u);
+  }
+}
+
+TEST(AsyncTreeTest, FaultyTreeAsyncTerminatesAndAccountsLosses) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(8);
+  Model init(tiny_model(), rng);
+
+  AsyncRunConfig cfg;
+  cfg.concurrency = 4;
+  cfg.buffer_size = 2;
+  cfg.aggregations = 6;
+  cfg.local.steps = 2;
+  cfg.local.batch = 4;
+  cfg.seed = 7;
+  cfg.use_fabric = true;
+  cfg.fabric_faults.drop_prob = 0.2;
+  cfg.fabric_faults.dropout_prob = 0.1;
+  cfg.fabric_faults.leaf_death_prob = 0.15;
+  cfg.fabric_faults.seed = 55;
+  cfg.topology.levels = 3;
+  cfg.topology.shards = 4;
+  cfg.topology.branching = 2;
+  cfg.topology.max_retries = 1;
+  cfg.topology.ack_timeout_s = 30.0;
+
+  FedBuffRunner runner(init, data, fleet, cfg);
+  runner.run();  // must terminate: timeouts replace lost clients
+
+  EXPECT_EQ(runner.aggregations_done(), cfg.aggregations);
+  int lost = 0, failovers = 0;
+  for (const auto& rec : runner.history()) {
+    lost += rec.lost_updates;
+    failovers += rec.leaf_failovers;
+  }
+  EXPECT_GT(lost, 0) << "fault injection over tree hops must lose updates";
+  // Failed-over jobs are recorded per shipped version, reconciling with
+  // the transport counter up to the residual after the last ship.
+  EXPECT_LE(static_cast<std::uint64_t>(failovers),
+            runner.engine().fabric()->stats().leaf_failovers.load());
+  EXPECT_GT(runner.engine().fabric()->stats().leaf_failovers.load(), 0u)
+      << "a 15% leaf death rate over the session must reroute some jobs";
+  EXPECT_EQ(runner.engine().fabric()->stats().frames_rejected.load(), 0u);
+
+  // Deterministic replay.
+  FedBuffRunner again(init, data, fleet, cfg);
+  again.run();
+  EXPECT_EQ(runner.now_s(), again.now_s());
+  ASSERT_EQ(runner.history().size(), again.history().size());
+  for (std::size_t r = 0; r < runner.history().size(); ++r)
+    EXPECT_EQ(runner.history()[r].avg_loss, again.history()[r].avg_loss);
 }
 
 }  // namespace

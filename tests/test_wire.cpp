@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -207,10 +208,143 @@ TEST(WireTest, PartialUpBundleRoundTripsBitwise) {
   EXPECT_THROW(decode_partial_up(bad), Error);
 }
 
+PartialUpdate random_reduced_bundle(Rng& rng, int entries, int groups) {
+  PartialUpdate p;
+  p.shard = rng.uniform_int(0, 7);
+  p.reduced = true;
+  for (int i = 0; i < entries; ++i) {
+    UpdateEntry e;
+    e.task = rng.uniform_int(0, 4096);
+    e.client = rng.uniform_int(0, 512);
+    // Metrics only: reduced bundles never carry per-task deltas.
+    e.avg_loss = rng.uniform(-4.0, 4.0);
+    e.num_samples = rng.uniform_int(1, 512);
+    e.macs_used = rng.uniform(0.0, 1e9);
+    p.entries.push_back(std::move(e));
+  }
+  for (int g = 0; g < groups; ++g) {
+    ReducedGroup r;
+    r.key = rng.uniform_int(0, 4);
+    r.min_slot = rng.uniform_int(0, 4096);
+    r.count = rng.uniform_int(1, 32);
+    r.weight = rng.uniform(1.0, 1e4);
+    r.sum = random_weight_set(rng);
+    p.groups.push_back(std::move(r));
+  }
+  return p;
+}
+
+void expect_equal_reduced(const PartialUpdate& a, const PartialUpdate& b) {
+  EXPECT_EQ(a.reduced, b.reduced);
+  EXPECT_EQ(a.shard, b.shard);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].task, b.entries[i].task);
+    EXPECT_EQ(a.entries[i].client, b.entries[i].client);
+    EXPECT_EQ(a.entries[i].avg_loss, b.entries[i].avg_loss);
+    EXPECT_EQ(a.entries[i].num_samples, b.entries[i].num_samples);
+    EXPECT_EQ(a.entries[i].macs_used, b.entries[i].macs_used);
+    EXPECT_TRUE(b.entries[i].delta.empty());
+  }
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].key, b.groups[g].key);
+    EXPECT_EQ(a.groups[g].min_slot, b.groups[g].min_slot);
+    EXPECT_EQ(a.groups[g].count, b.groups[g].count);
+    EXPECT_EQ(a.groups[g].weight, b.groups[g].weight);
+    ASSERT_EQ(a.groups[g].sum.size(), b.groups[g].sum.size());
+    for (std::size_t t = 0; t < a.groups[g].sum.size(); ++t)
+      for (std::int64_t j = 0; j < a.groups[g].sum[t].numel(); ++j)
+        EXPECT_EQ(a.groups[g].sum[t][j], b.groups[g].sum[t][j]);
+  }
+}
+
+TEST(WireTest, ReducedPartialUpRoundTripsBitwise) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const PartialUpdate p =
+        random_reduced_bundle(rng, rng.uniform_int(1, 8),
+                              rng.uniform_int(1, 4));
+    const std::string frame =
+        encode_partial_up(7, aggregator_id(3), kServerId, p);
+    EXPECT_EQ(frame_type(frame), MsgType::PartialUp);
+    EXPECT_EQ(frame_size(frame), frame.size());
+    const PartialUpdate back = decode_partial_up(frame);
+    EXPECT_EQ(back.round, 7u);
+    EXPECT_EQ(back.sender, aggregator_id(3));
+    expect_equal_reduced(p, back);
+  }
+}
+
+TEST(WireTest, ReducedPartialUpEdgeCases) {
+  Rng rng(37);
+  // Zero-task / zero-group: a valid (if pointless) reduced bundle — the
+  // codec must not conflate "no groups" with the verbatim layout.
+  PartialUpdate empty;
+  empty.shard = 0;
+  empty.reduced = true;
+  const PartialUpdate back =
+      decode_partial_up(encode_partial_up(1, aggregator_id(0), kServerId,
+                                          empty));
+  EXPECT_TRUE(back.reduced);
+  EXPECT_TRUE(back.entries.empty());
+  EXPECT_TRUE(back.groups.empty());
+
+  // Max-slot extremes survive the trip (slot ids are i32 on the wire).
+  PartialUpdate wide = random_reduced_bundle(rng, 1, 1);
+  wide.entries[0].task = std::numeric_limits<std::int32_t>::max();
+  wide.groups[0].min_slot = std::numeric_limits<std::int32_t>::max();
+  wide.groups[0].key = std::numeric_limits<std::int32_t>::max();
+  const PartialUpdate wback =
+      decode_partial_up(encode_partial_up(2, aggregator_id(1), kServerId,
+                                          wide));
+  expect_equal_reduced(wide, wback);
+
+  // A "reduced" bundle whose entry still carries a delta is a codec
+  // violation the decoder refuses (it would double-count the update).
+  PartialUpdate lying = random_reduced_bundle(rng, 1, 1);
+  lying.entries[0].delta = random_weight_set(rng, 3);
+  while (lying.entries[0].delta.empty())
+    lying.entries[0].delta = random_weight_set(rng, 3);
+  EXPECT_THROW(decode_partial_up(encode_partial_up(3, aggregator_id(0),
+                                                   kServerId, lying)),
+               Error);
+
+  // The retry flag rides bundle headers exactly like flat frames, and a
+  // duplicate-delivered flagged frame decodes to identical content.
+  const PartialUpdate p = random_reduced_bundle(rng, 2, 2);
+  const std::string flagged =
+      encode_partial_up(4, aggregator_id(2), kServerId, p, kFlagRetry);
+  expect_equal_reduced(p, decode_partial_up(flagged));
+  expect_equal_reduced(decode_partial_up(flagged), decode_partial_up(flagged));
+}
+
+TEST(WireTest, ReducedPartialUpFuzzedTruncationAndCorruption) {
+  Rng rng(41);
+  const PartialUpdate p = random_reduced_bundle(rng, 3, 2);
+  const std::string frame =
+      encode_partial_up(9, aggregator_id(1), kServerId, p);
+  const std::size_t tstep = std::max<std::size_t>(1, frame.size() / 97);
+  for (std::size_t cut = 0; cut < frame.size(); cut += tstep)
+    EXPECT_THROW(decode_partial_up(frame.substr(0, cut)), Error)
+        << "truncated at " << cut << "/" << frame.size();
+  const std::size_t cstep = std::max<std::size_t>(1, frame.size() / 61);
+  for (std::size_t pos = 0; pos < frame.size(); pos += cstep) {
+    std::string bad = frame;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x40);
+    EXPECT_THROW(decode_partial_up(bad), Error) << "corrupt byte " << pos;
+  }
+  std::string trailing = frame;
+  trailing += "zz";
+  EXPECT_THROW(decode_partial_up(trailing), Error);
+}
+
 TEST(WireTest, ShardDownBundleRoundTripsBitwise) {
   Rng rng(23);
   ShardDownlink d;
   d.shard = 1;
+  d.leaf_lo = 1;
+  d.leaf_hi = 2;
   // Bodies are opaque byte strings (embedded NULs included).
   d.bodies.push_back(std::string("level0\0body", 11));
   d.bodies.push_back("level1body");
@@ -219,14 +353,17 @@ TEST(WireTest, ShardDownBundleRoundTripsBitwise) {
     t.task = 1 + 2 * i;
     t.client = rng.uniform_int(0, 64);
     t.body = static_cast<std::uint32_t>(i % 2);
+    t.reduce = i % 3 == 0 ? -1 : i % 3;
     for (auto& s : t.rng_state) s = rng.next_u64();
     d.tasks.push_back(t);
   }
-  const std::string frame = encode_shard_down(4, aggregator_id(1), d);
+  const std::string frame = encode_shard_down(4, kServerId, aggregator_id(1), d);
   EXPECT_EQ(frame_type(frame), MsgType::ShardDown);
   const ShardDownlink back = decode_shard_down(frame);
   EXPECT_EQ(back.round, 4u);
   EXPECT_EQ(back.shard, 1);
+  EXPECT_EQ(back.leaf_lo, 1);
+  EXPECT_EQ(back.leaf_hi, 2);
   ASSERT_EQ(back.bodies.size(), 2u);
   EXPECT_EQ(back.bodies[0], d.bodies[0]);
   EXPECT_EQ(back.bodies[1], d.bodies[1]);
@@ -235,13 +372,32 @@ TEST(WireTest, ShardDownBundleRoundTripsBitwise) {
     EXPECT_EQ(back.tasks[i].task, d.tasks[i].task);
     EXPECT_EQ(back.tasks[i].client, d.tasks[i].client);
     EXPECT_EQ(back.tasks[i].body, d.tasks[i].body);
+    EXPECT_EQ(back.tasks[i].reduce, d.tasks[i].reduce);
     EXPECT_EQ(back.tasks[i].rng_state, d.tasks[i].rng_state);
   }
   EXPECT_THROW(decode_message(frame), Error);
   // A task referencing a body past the table is rejected at decode.
   ShardDownlink oob = d;
   oob.tasks[0].body = 7;
-  EXPECT_THROW(decode_shard_down(encode_shard_down(4, kServerId, oob)),
+  EXPECT_THROW(
+      decode_shard_down(encode_shard_down(4, kServerId, kServerId, oob)),
+      Error);
+  // An interior-split bundle covering several leaves round-trips its
+  // routing metadata too; an inverted range is rejected at decode.
+  ShardDownlink wide = d;
+  wide.shard = -1;
+  wide.leaf_lo = 4;
+  wide.leaf_hi = 8;
+  const ShardDownlink wide_back = decode_shard_down(
+      encode_shard_down(4, kServerId, aggregator_id(9), wide));
+  EXPECT_EQ(wide_back.shard, -1);
+  EXPECT_EQ(wide_back.leaf_lo, 4);
+  EXPECT_EQ(wide_back.leaf_hi, 8);
+  ShardDownlink inverted = d;
+  inverted.leaf_lo = 3;
+  inverted.leaf_hi = 3;
+  EXPECT_THROW(decode_shard_down(encode_shard_down(
+                   4, kServerId, aggregator_id(3), inverted)),
                Error);
 }
 

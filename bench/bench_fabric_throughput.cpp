@@ -9,9 +9,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string_view>
+
 #include "data/dataset.hpp"
 #include "fl/runner.hpp"
 #include "net/server.hpp"
+#include "tensor/gemm.hpp"
 
 namespace fedtrans {
 namespace {
@@ -236,4 +240,26 @@ BENCHMARK(BM_WireCodec);
 }  // namespace
 }  // namespace fedtrans
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `library_build_type` in the context block describes the system
+  // libbenchmark, not this binary, and the packaged version predates JSON
+  // output for AddCustomContext — so the authoritative repo-build keys are
+  // exposed via a probe flag instead (scripts/bench_micro.sh gates
+  // recording on them).
+  if (argc > 1 && std::string_view(argv[1]) == "--fedtrans_context") {
+#ifdef NDEBUG
+    const char* build = "release";
+#else
+    const char* build = "debug";
+#endif
+    std::printf("{\"fedtrans_build_type\": \"%s\", "
+                "\"fedtrans_gemm_backend\": \"%s\"}\n",
+                build, fedtrans::gemm_backend_name(fedtrans::gemm_backend()));
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,12 +7,25 @@
 # Usage: scripts/bench_micro.sh [filter-regex]
 #   BUILD_DIR  build directory (default: build)
 #   OUT        output path      (default: BENCH_micro_ops.json)
+#   NO_BUILD   set to skip the configure/build step (binaries must exist
+#              and still must self-report a release build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${OUT:-BENCH_micro_ops.json}
 FILTER=${1:-.}
+
+# Recorded numbers must come from a release build of the repo. Configure
+# and build here (Release is the CMakeLists default); the distiller below
+# double-checks the binary's own fedtrans_build_type context key and
+# refuses to write JSON from anything else — the `library_build_type` key
+# google-benchmark prints reflects the system libbenchmark, not this repo,
+# so it is deliberately ignored.
+if [ -z "${NO_BUILD:-}" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >&2
+  cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)" >&2
+fi
 
 BINS=()
 for name in bench_micro_ops bench_fabric_throughput; do
@@ -33,8 +46,13 @@ trap 'rm -f "${RAWS[@]}"' EXIT
 for bin in "${BINS[@]}"; do
   RAW=$(mktemp)
   RAWS+=("$RAW")
+  # The system libbenchmark predates JSON output for AddCustomContext, so
+  # the binaries expose the repo-build context keys via a probe flag; the
+  # distiller merges them into the recorded context and gates on them.
+  "$bin" --fedtrans_context >"$RAW"
   "$bin" --benchmark_filter="$FILTER" --benchmark_format=json \
-         --benchmark_out="$RAW" --benchmark_out_format=json >&2
+         --benchmark_out="$RAW.bench" --benchmark_out_format=json >&2
+  RAWS+=("$RAW.bench")
 done
 
 python3 - "$OUT" "${RAWS[@]}" <<'PY'
@@ -56,7 +74,23 @@ known = {
 for raw_path in raw_paths:
     with open(raw_path) as f:
         raw = json.load(f)
-    context = context or raw.get("context", {})
+    if "benchmarks" not in raw:
+        # --fedtrans_context probe output: a flat {fedtrans_*: ...} object.
+        # Refuse to record from a non-release repo build; the binaries
+        # stamp fedtrans_build_type from their own NDEBUG state (the
+        # library_build_type key google-benchmark itself prints describes
+        # the system libbenchmark and is meaningless for the repo's code).
+        build_type = raw.get("fedtrans_build_type")
+        if build_type != "release":
+            sys.exit(
+                f"error: refusing to record benchmarks from a "
+                f"'{build_type}' build (fedtrans_build_type). "
+                f"Rebuild with -DCMAKE_BUILD_TYPE=Release and re-run.")
+        context.update(raw)
+        continue
+    ctx = dict(raw.get("context", {}))
+    ctx.update(context)
+    context = ctx
     for b in raw.get("benchmarks", []):
         if b.get("error_occurred"):
             # Keep the healthy records; surface the failure on stderr.

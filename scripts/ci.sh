@@ -10,6 +10,15 @@
 # checks under parallel ctest with pinned FEDTRANS_THREADS), and the
 # engine/shim parity gates (test_engine_parity).
 #
+# Beyond the main leg, two auxiliary builds gate kernel hygiene:
+#   * an ASan+UBSan build (FEDTRANS_SANITIZE=ON) running the tensor/nn
+#     suites — the packed-panel GEMM micro-kernels and the batched im2col
+#     lowering are exactly the code where an off-by-one tail read would
+#     otherwise go unnoticed;
+#   * a SIMD-disabled build (FEDTRANS_SIMD=OFF, still -Werror) proving the
+#     scalar parity reference compiles warnings-clean on its own.
+# Set FEDTRANS_CI_FAST=1 to skip both auxiliary legs.
+#
 # Usage: scripts/ci.sh [extra ctest args...]
 #   BUILD_DIR  build directory   (default: build)
 #   JOBS       parallel jobs     (default: nproc)
@@ -23,3 +32,24 @@ scripts/check_docs.sh
 cmake -B "$BUILD_DIR" -S . -DFEDTRANS_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+
+if [ -z "${FEDTRANS_CI_FAST:-}" ]; then
+  # ASan+UBSan over the kernel-heavy suites (tensor, dtype, GEMM backends,
+  # conv lowerings, layers).
+  SAN_DIR="$BUILD_DIR-asan"
+  cmake -B "$SAN_DIR" -S . -DFEDTRANS_SANITIZE=ON
+  cmake --build "$SAN_DIR" -j "$JOBS" --target \
+    test_tensor test_gemm_simd test_mixed_precision test_backend \
+    test_layers test_layers_extended
+  ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
+    -R 'test_(tensor|gemm_simd|mixed_precision|backend|layers|layers_extended)$'
+
+  # Scalar-only build: the always-on parity reference must stay
+  # warnings-clean without any SIMD code paths compiled in.
+  NOSIMD_DIR="$BUILD_DIR-nosimd"
+  cmake -B "$NOSIMD_DIR" -S . -DFEDTRANS_SIMD=OFF -DFEDTRANS_WERROR=ON
+  cmake --build "$NOSIMD_DIR" -j "$JOBS" --target \
+    test_gemm_simd test_mixed_precision
+  ctest --test-dir "$NOSIMD_DIR" --output-on-failure -j "$JOBS" \
+    -R 'test_(gemm_simd|mixed_precision)$'
+fi

@@ -23,11 +23,30 @@ class CallbackObserver : public RoundObserver {
   std::function<void(const RoundRecord&)> fn_;
 };
 
+/// Wire width of a weight payload relative to fp32: 0.5 in mixed-precision
+/// sessions (tensors ship 2 bytes/element), 1 otherwise. Strategies quote
+/// model_bytes as fp32 param_bytes; billing rescales here so CostMeter
+/// matches what actually crosses the (real or simulated) wire.
+double wire_dtype_scale(const SessionConfig& cfg) {
+  const Precision& p = cfg.local.precision;
+  return p.enabled() ? static_cast<double>(dtype_bytes(p.dtype)) / 4.0 : 1.0;
+}
+
+/// Snap a weight copy onto the session's storage grid so its fabric
+/// serialization is half-width (and exactly what local_train would produce
+/// by quantizing on entry — keeping fabric and in-process rounds in parity).
+WeightSet quantized_for_wire(WeightSet ws, const Precision& p) {
+  if (p.enabled())
+    for (auto& t : ws) t.quantize_storage(p.dtype);
+  return ws;
+}
+
 }  // namespace
 
 void bill_trained_update(RoundContext& ctx, int client, double model_bytes,
                          double model_macs, const LocalTrainResult& res,
                          double& slowest, double up_bytes) {
+  model_bytes *= wire_dtype_scale(ctx.session);
   ctx.costs.add_training_macs(res.macs_used);
   ctx.costs.add_transfer(model_bytes, up_bytes < 0.0 ? model_bytes : up_bytes);
   const double t = client_round_time_s(
@@ -42,7 +61,7 @@ void bill_lost_update(RoundContext& ctx, ClientOutcome outcome,
   if (outcome != ClientOutcome::LostDown)
     ctx.costs.add_training_macs(3.0 * model_macs * ctx.session.local.steps *
                                 ctx.session.local.batch);
-  ctx.costs.add_transfer(model_bytes, 0.0);
+  ctx.costs.add_transfer(model_bytes * wire_dtype_scale(ctx.session), 0.0);
 }
 
 std::vector<ClientTask> Strategy::plan_round(RoundContext& ctx, Rng& rng) {
@@ -143,10 +162,12 @@ ExchangeResult FederationEngine::exchange(
     }
 
     if (Model* shared = strategy_->shared_model()) {
-      // Single-global-model strategies broadcast one encoded weight blob.
-      ex = fabric_->run_round(static_cast<std::uint32_t>(round_),
-                              shared->weights(), clients, client_rngs,
-                              reduce_keys);
+      // Single-global-model strategies broadcast one encoded weight blob
+      // (snapped to the session's storage grid for half-width ModelDown).
+      ex = fabric_->run_round(
+          static_cast<std::uint32_t>(round_),
+          quantized_for_wire(shared->weights(), cfg_.local.precision), clients,
+          client_rngs, reduce_keys);
     } else {
       // Heterogeneous strategies ship per-task architectures on the wire.
       // Tasks sharing a payload_key reuse one materialized model (ladder
@@ -165,6 +186,9 @@ ExchangeResult FederationEngine::exchange(
         if (m == nullptr) {
           payloads[i].emplace(strategy_->client_payload(tasks[i]));
           m = &*payloads[i];
+          if (cfg_.local.precision.enabled())
+            for (auto& pr : m->params())
+              pr.value->quantize_storage(cfg_.local.precision.dtype);
           if (key >= 0) by_key.emplace(key, m);
         }
         task_models[i] = m;
@@ -312,7 +336,8 @@ void FederationEngine::dispatch_async() {
   Model* m = strategy_->shared_model();
   FT_CHECK_MSG(m != nullptr,
                "async scheduling requires a shared-model strategy");
-  const double model_bytes = static_cast<double>(m->param_bytes());
+  const double model_bytes = static_cast<double>(m->param_bytes()) *
+                             wire_dtype_scale(cfg_);
   const double t =
       client_round_time_s(dev, static_cast<double>(m->macs()),
                           cfg_.local.steps, cfg_.local.batch, model_bytes);
@@ -386,7 +411,8 @@ void FederationEngine::run_async_fabric() {
         strategy_->reference_model(), data_, fleet_, cfg_.local,
         cfg_.fabric_faults, cfg_.topology);
   RoundContext ctx = make_context();
-  const double model_bytes = static_cast<double>(shared->param_bytes());
+  const double model_bytes = static_cast<double>(shared->param_bytes()) *
+                             wire_dtype_scale(cfg_);
   // The server waits one ack-timeout per allowed uplink attempt: resend k
   // leaves the device ~k·ack_timeout_s after training ends, so a deadline
   // of a single timeout could never admit a retried update — the budget
@@ -420,8 +446,9 @@ void FederationEngine::run_async_fabric() {
   auto dispatch = [&] {
     const int c = rng_.uniform_int(0, data_.num_clients() - 1);
     Rng crng = rng_.fork();
-    AsyncTurnaround turn =
-        fabric_->async_exchange(next_job, c, shared->weights(), crng, now_s_);
+    AsyncTurnaround turn = fabric_->async_exchange(
+        next_job, c, quantized_for_wire(shared->weights(), cfg_.local.precision),
+        crng, now_s_);
     if (turn.retry_up_bytes > 0.0)
       costs_.add_transfer(0.0, turn.retry_up_bytes);
     costs_.add_client_round_time(turn.busy_s);

@@ -13,10 +13,23 @@ LocalTrainResult local_train(Model& model, const ClientData& data,
   LocalTrainResult res;
   res.num_samples = data.train_size();
 
+  const Precision& prec = cfg.precision;
+  if (prec.enabled()) {
+    // Snap incoming server weights onto the half grid so training starts
+    // from exactly what a half-width ModelDown payload would deliver
+    // (idempotent when the engine already quantized them for the wire).
+    for (auto& p : model.params()) p.value->quantize_storage(prec.dtype);
+  }
   WeightSet start = model.weights();
 
   SoftmaxCrossEntropy loss;
-  Sgd opt(model.params(), cfg.sgd);
+  SgdOptions sgd = cfg.sgd;
+  const double loss_scale = prec.effective_loss_scale();
+  if (prec.enabled()) sgd.loss_scale = loss_scale;
+  Sgd opt(model.params(), sgd);
+  // Activations round to the half grid at layer seams for the duration of
+  // this client's steps (thread-local, so eval probes elsewhere stay fp32).
+  ScopedActivationDtype amp(prec.enabled() ? prec.dtype : Dtype::F32);
   Tensor x;
   std::vector<int> y;
   double loss_sum = 0.0;
@@ -24,8 +37,12 @@ LocalTrainResult local_train(Model& model, const ClientData& data,
     sample_batch(data, cfg.batch, rng, x, y);
     Tensor logits = model.forward(x, /*train=*/true);
     loss_sum += loss.forward(logits, y);
-    model.backward(loss.backward());
+    Tensor dlogits = loss.backward();
+    if (loss_scale != 1.0) dlogits.mul_(static_cast<float>(loss_scale));
+    model.backward(dlogits);
     opt.step();
+    if (prec.enabled())
+      for (auto& p : model.params()) p.value->quantize_storage(prec.dtype);
   }
   res.avg_loss = loss_sum / cfg.steps;
   res.macs_used = 3.0 * static_cast<double>(model.macs()) * cfg.steps *
@@ -34,6 +51,11 @@ LocalTrainResult local_train(Model& model, const ClientData& data,
   res.delta = std::move(start);
   WeightSet end = model.weights();
   ws_sub(res.delta, end);  // delta = start - end
+  if (prec.enabled()) {
+    // Both operands sat on the half grid, but their difference need not:
+    // re-snap so the update ships 2 bytes/element exactly.
+    for (auto& t : res.delta) t.quantize_storage(prec.dtype);
+  }
   return res;
 }
 

@@ -12,6 +12,12 @@ struct LocalTrainConfig {
   int steps = 20;
   int batch = 10;
   SgdOptions sgd{};
+  /// Mixed-precision training (tensor/dtype.hpp). When enabled, weights,
+  /// activations and the returned delta are kept on the f16/bf16 grid with
+  /// fp32 accumulation, the loss gradient is scaled by the precision's
+  /// loss scale (unscaled again inside Sgd::step), and the delta serializes
+  /// half-width on the wire. Default: disabled (pure fp32).
+  Precision precision{};
 };
 
 /// Outcome of one client's local training pass.

@@ -87,8 +87,10 @@ void FedAvgStrategy::absorb_update(const ClientTask& task, Model*,
   const double model_bytes = static_cast<double>(model_.param_bytes());
 
   // Uplink compression (EF-SGD: fold in this client's residual, compress,
-  // remember what was dropped for its next participation).
-  double up_bytes = model_bytes;
+  // remember what was dropped for its next participation). Uncompressed
+  // uplinks pass -1 so billing quotes the model bytes itself — scaled to
+  // the session's wire dtype in mixed-precision runs.
+  double up_bytes = -1.0;
   if (opts_.compression != CompressionKind::None) {
     if (opts_.error_feedback) ef_.add_residual(c, res.delta);
     const WeightSet pre = res.delta;

@@ -9,6 +9,20 @@
 
 namespace fedtrans {
 
+namespace {
+
+// Mixed-precision activation seam: when the thread's activation dtype is a
+// half format (set by local_train via ScopedActivationDtype), tensors
+// crossing block boundaries are rounded onto that grid — modeling half
+// activation storage between blocks while every in-block op accumulates in
+// fp32. A no-op in the default fp32 mode.
+inline void round_activation(Tensor& t) {
+  const Dtype d = activation_dtype();
+  if (d != Dtype::F32) round_to_dtype(t.values(), d);
+}
+
+}  // namespace
+
 Block::Block(std::vector<std::unique_ptr<Layer>> layers, bool residual)
     : layers_(std::move(layers)), residual_(residual) {
   FT_CHECK(!layers_.empty());
@@ -21,6 +35,7 @@ Tensor Block::forward(const Tensor& x, bool train) {
     FT_CHECK_MSG(h.same_shape(x), "residual block shape mismatch");
     h.add_(x);
   }
+  round_activation(h);
   return h;
 }
 
@@ -29,6 +44,7 @@ Tensor Block::backward(const Tensor& grad_out) {
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
     g = (*it)->backward(g);
   if (residual_) g.add_(grad_out);
+  round_activation(g);
   return g;
 }
 

@@ -52,7 +52,12 @@ constexpr std::uint32_t kWireMagic = 0x46544E46u;  // "FTNF"
 /// PartialUp gains a reduced mode whose payload is per-group numeric
 /// partial sums (Σ weight·Δ + weight totals) with the per-task entries
 /// carrying metrics only.
-constexpr std::uint16_t kWireVersion = 4;
+/// v5: mixed-precision payloads — every serialized tensor's header word
+/// carries a storage-dtype tag (byte 1; 0 = f32, 1 = f16, 2 = bf16) and
+/// half-tagged tensors ship 2 bytes/element, halving ModelDown/UpdateUp
+/// payloads in mixed-precision sessions. F32 tensors encode byte-identically
+/// to v4, so the payload format is backward compatible.
+constexpr std::uint16_t kWireVersion = 5;
 /// Fixed frame header size in bytes (see layout above).
 constexpr std::size_t kWireHeaderBytes = 4 + 2 + 1 + 1 + 4 + 4 + 4 + 8 + 8;
 /// Sender/receiver id of the federation server (clients are their >= 0 ids).

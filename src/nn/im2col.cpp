@@ -1,5 +1,6 @@
 #include "nn/im2col.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +25,10 @@ inline int conv_out(int in, int kernel, int stride, int pad) {
   return (in + 2 * pad - kernel) / stride + 1;
 }
 
+// Column-buffer budget for the batched lowering: images are tiled so one
+// group's [ckk, bt·oh·ow] panel stays within this many bytes.
+constexpr std::int64_t kColBudgetBytes = 8 << 20;
+
 }  // namespace
 
 ConvBackend conv_backend() { return g_backend.load(std::memory_order_relaxed); }
@@ -32,14 +37,17 @@ void set_conv_backend(ConvBackend backend) {
 }
 
 void im2col(const float* im, int channels, int h, int w, int kernel,
-            int stride, int pad, float* col) {
+            int stride, int pad, float* col, std::int64_t ld) {
   const int oh = conv_out(h, kernel, stride, pad);
   const int ow = conv_out(w, kernel, stride, pad);
-  float* out = col;
+  const auto out_plane = static_cast<std::int64_t>(oh) * ow;
+  if (ld < 0) ld = out_plane;
+  float* row_base = col;
   for (int c = 0; c < channels; ++c) {
     const float* imc = im + static_cast<std::int64_t>(c) * h * w;
     for (int ky = 0; ky < kernel; ++ky) {
       for (int kx = 0; kx < kernel; ++kx) {
+        float* out = row_base;
         for (int oy = 0; oy < oh; ++oy) {
           const int iy = oy * stride - pad + ky;
           if (iy < 0 || iy >= h) {
@@ -60,20 +68,24 @@ void im2col(const float* im, int channels, int h, int w, int kernel,
           }
           out += ow;
         }
+        row_base += ld;
       }
     }
   }
 }
 
 void col2im(const float* col, int channels, int h, int w, int kernel,
-            int stride, int pad, float* im) {
+            int stride, int pad, float* im, std::int64_t ld) {
   const int oh = conv_out(h, kernel, stride, pad);
   const int ow = conv_out(w, kernel, stride, pad);
-  const float* in = col;
+  const auto out_plane = static_cast<std::int64_t>(oh) * ow;
+  if (ld < 0) ld = out_plane;
+  const float* row_base = col;
   for (int c = 0; c < channels; ++c) {
     float* imc = im + static_cast<std::int64_t>(c) * h * w;
     for (int ky = 0; ky < kernel; ++ky) {
       for (int kx = 0; kx < kernel; ++kx) {
+        const float* in = row_base;
         for (int oy = 0; oy < oh; ++oy) {
           const int iy = oy * stride - pad + ky;
           if (iy < 0 || iy >= h) {
@@ -87,10 +99,20 @@ void col2im(const float* col, int channels, int h, int w, int kernel,
           }
           in += ow;
         }
+        row_base += ld;
       }
     }
   }
 }
+
+// Both lowerings batch the whole image tile into ONE [ckk, bt·oh·ow] column
+// panel per group before calling gemm. Per-(image, group) GEMMs — the
+// historical shape — have N = oh·ow, which for FedTrans's narrow grouped
+// models is far too small to amortize panel packing (most fell through to
+// the plain-loop path entirely); concatenating the batch along N restores a
+// dense-sized GEMM per group. Each output element's K-dot runs in the same
+// ascending order as before, so forward results are unchanged and backward
+// only reassociates the gW batch sum (covered by tolerance parity tests).
 
 void conv_forward_im2col(const Tensor& x, const Tensor& w, const Tensor* bias,
                          const ConvDims& d, Tensor& y) {
@@ -102,24 +124,59 @@ void conv_forward_im2col(const Tensor& x, const Tensor& w, const Tensor* bias,
   const auto in_plane = static_cast<std::int64_t>(h) * wdt;
   const auto out_plane = static_cast<std::int64_t>(oh) * ow;
 
+  const int bt_max = std::max<int>(
+      1, static_cast<int>(kColBudgetBytes /
+                          (static_cast<std::int64_t>(sizeof(float)) *
+                           std::max(ckk, 1) * std::max<std::int64_t>(out_plane, 1))));
   thread_local std::vector<float> col;
-  col.resize(static_cast<std::size_t>(ckk) * out_plane);
+  thread_local std::vector<float> ybuf;
 
-  for (int b = 0; b < n; ++b) {
-    const float* xb = x.data() + b * d.in_c * in_plane;
-    float* yb = y.data() + b * d.out_c * out_plane;
+  for (int b0 = 0; b0 < n; b0 += bt_max) {
+    const int bt = std::min(bt_max, n - b0);
+    const auto ncols = static_cast<std::int64_t>(bt) * out_plane;
+    col.resize(static_cast<std::size_t>(ckk) * ncols);
     for (int g = 0; g < d.groups; ++g) {
-      im2col(xb + g * icg * in_plane, icg, h, wdt, d.kernel, d.stride, d.pad,
-             col.data());
-      gemm(false, false, ocg, static_cast<int>(out_plane), ckk, 1.0f,
-           w.data() + static_cast<std::int64_t>(g) * ocg * ckk, ckk,
-           col.data(), static_cast<int>(out_plane), 0.0f,
-           yb + g * ocg * out_plane, static_cast<int>(out_plane));
+      for (int bi = 0; bi < bt; ++bi)
+        im2col(x.data() +
+                   (static_cast<std::int64_t>(b0 + bi) * d.in_c + g * icg) *
+                       in_plane,
+               icg, h, wdt, d.kernel, d.stride, d.pad,
+               col.data() + static_cast<std::int64_t>(bi) * out_plane, ncols);
+      const float* w_g = w.data() + static_cast<std::int64_t>(g) * ocg * ckk;
+      if (bt == 1) {
+        // Single image: gemm writes straight into y's [oc, oh·ow] rows.
+        gemm(false, false, ocg, static_cast<int>(out_plane), ckk, 1.0f, w_g,
+             ckk, col.data(), static_cast<int>(out_plane), 0.0f,
+             y.data() + (static_cast<std::int64_t>(b0) * d.out_c + g * ocg) *
+                            out_plane,
+             static_cast<int>(out_plane));
+      } else {
+        ybuf.resize(static_cast<std::size_t>(ocg) * ncols);
+        gemm(false, false, ocg, static_cast<int>(ncols), ckk, 1.0f, w_g, ckk,
+             col.data(), static_cast<int>(ncols), 0.0f, ybuf.data(),
+             static_cast<int>(ncols));
+        // Scatter the [ocg, bt·oh·ow] panel back to NCHW.
+        for (int bi = 0; bi < bt; ++bi) {
+          float* yb =
+              y.data() +
+              (static_cast<std::int64_t>(b0 + bi) * d.out_c + g * ocg) *
+                  out_plane;
+          for (int oc = 0; oc < ocg; ++oc)
+            std::memcpy(yb + static_cast<std::int64_t>(oc) * out_plane,
+                        ybuf.data() + static_cast<std::int64_t>(oc) * ncols +
+                            static_cast<std::int64_t>(bi) * out_plane,
+                        static_cast<std::size_t>(out_plane) * sizeof(float));
+        }
+      }
     }
-    if (bias) {
+  }
+
+  if (bias) {
+    for (int b = 0; b < n; ++b) {
+      float* yb = y.data() + static_cast<std::int64_t>(b) * d.out_c * out_plane;
       for (int oc = 0; oc < d.out_c; ++oc) {
         const float bv = (*bias)[oc];
-        float* row = yb + oc * out_plane;
+        float* row = yb + static_cast<std::int64_t>(oc) * out_plane;
         for (std::int64_t i = 0; i < out_plane; ++i) row[i] += bv;
       }
     }
@@ -138,39 +195,78 @@ Tensor conv_backward_im2col(const Tensor& x, const Tensor& grad_out,
   const auto out_plane = static_cast<std::int64_t>(oh) * ow;
 
   Tensor dx({n, d.in_c, h, wdt});
-  thread_local std::vector<float> col;
-  thread_local std::vector<float> dcol;
-  col.resize(static_cast<std::size_t>(ckk) * out_plane);
-  dcol.resize(static_cast<std::size_t>(ckk) * out_plane);
 
-  for (int b = 0; b < n; ++b) {
-    const float* xb = x.data() + b * d.in_c * in_plane;
-    const float* gob = grad_out.data() + b * d.out_c * out_plane;
-    float* dxb = dx.data() + b * d.in_c * in_plane;
-    if (gb) {
+  if (gb) {
+    for (int b = 0; b < n; ++b) {
+      const float* gob =
+          grad_out.data() + static_cast<std::int64_t>(b) * d.out_c * out_plane;
       for (int oc = 0; oc < d.out_c; ++oc) {
-        const float* go = gob + oc * out_plane;
+        const float* go = gob + static_cast<std::int64_t>(oc) * out_plane;
         double s = 0.0;
         for (std::int64_t i = 0; i < out_plane; ++i) s += go[i];
         (*gb)[oc] += static_cast<float>(s);
       }
     }
+  }
+
+  const int bt_max = std::max<int>(
+      1, static_cast<int>(kColBudgetBytes /
+                          (static_cast<std::int64_t>(sizeof(float)) *
+                           std::max(ckk, 1) * std::max<std::int64_t>(out_plane, 1))));
+  thread_local std::vector<float> col;
+  thread_local std::vector<float> dcol;
+  thread_local std::vector<float> gobuf;
+
+  for (int b0 = 0; b0 < n; b0 += bt_max) {
+    const int bt = std::min(bt_max, n - b0);
+    const auto ncols = static_cast<std::int64_t>(bt) * out_plane;
+    col.resize(static_cast<std::size_t>(ckk) * ncols);
+    dcol.resize(static_cast<std::size_t>(ckk) * ncols);
     for (int g = 0; g < d.groups; ++g) {
-      const float* go_g = gob + g * ocg * out_plane;
+      for (int bi = 0; bi < bt; ++bi)
+        im2col(x.data() +
+                   (static_cast<std::int64_t>(b0 + bi) * d.in_c + g * icg) *
+                       in_plane,
+               icg, h, wdt, d.kernel, d.stride, d.pad,
+               col.data() + static_cast<std::int64_t>(bi) * out_plane, ncols);
+      // Gather dY_g for the tile into a [ocg, bt·oh·ow] panel (for bt == 1
+      // grad_out's own rows already have that layout).
+      const float* go_g;
+      if (bt == 1) {
+        go_g = grad_out.data() +
+               (static_cast<std::int64_t>(b0) * d.out_c + g * ocg) * out_plane;
+      } else {
+        gobuf.resize(static_cast<std::size_t>(ocg) * ncols);
+        for (int bi = 0; bi < bt; ++bi) {
+          const float* gob =
+              grad_out.data() +
+              (static_cast<std::int64_t>(b0 + bi) * d.out_c + g * ocg) *
+                  out_plane;
+          for (int oc = 0; oc < ocg; ++oc)
+            std::memcpy(gobuf.data() + static_cast<std::int64_t>(oc) * ncols +
+                            static_cast<std::int64_t>(bi) * out_plane,
+                        gob + static_cast<std::int64_t>(oc) * out_plane,
+                        static_cast<std::size_t>(out_plane) * sizeof(float));
+        }
+        go_g = gobuf.data();
+      }
       const float* w_g = w.data() + static_cast<std::int64_t>(g) * ocg * ckk;
       float* gw_g = gw.data() + static_cast<std::int64_t>(g) * ocg * ckk;
-      im2col(xb + g * icg * in_plane, icg, h, wdt, d.kernel, d.stride, d.pad,
-             col.data());
-      // gW_g += dY_g · colᵀ
-      gemm(false, true, ocg, ckk, static_cast<int>(out_plane), 1.0f, go_g,
-           static_cast<int>(out_plane), col.data(),
-           static_cast<int>(out_plane), 1.0f, gw_g, ckk);
-      // dcol = W_gᵀ · dY_g, then scatter back into dx.
-      gemm(true, false, ckk, static_cast<int>(out_plane), ocg, 1.0f, w_g, ckk,
-           go_g, static_cast<int>(out_plane), 0.0f, dcol.data(),
-           static_cast<int>(out_plane));
-      col2im(dcol.data(), icg, h, wdt, d.kernel, d.stride, d.pad,
-             dxb + g * icg * in_plane);
+      // gW_g += dY_g · colᵀ (one batch-wide K reduction per tile)
+      gemm(false, true, ocg, ckk, static_cast<int>(ncols), 1.0f, go_g,
+           static_cast<int>(ncols), col.data(), static_cast<int>(ncols), 1.0f,
+           gw_g, ckk);
+      // dcol = W_gᵀ · dY_g, then scatter each image back into dx.
+      gemm(true, false, ckk, static_cast<int>(ncols), ocg, 1.0f, w_g, ckk,
+           go_g, static_cast<int>(ncols), 0.0f, dcol.data(),
+           static_cast<int>(ncols));
+      for (int bi = 0; bi < bt; ++bi)
+        col2im(dcol.data() + static_cast<std::int64_t>(bi) * out_plane, icg, h,
+               wdt, d.kernel, d.stride, d.pad,
+               dx.data() +
+                   (static_cast<std::int64_t>(b0 + bi) * d.in_c + g * icg) *
+                       in_plane,
+               ncols);
     }
   }
   return dx;

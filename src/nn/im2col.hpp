@@ -14,14 +14,18 @@ void set_conv_backend(ConvBackend backend);
 
 /// Unfold one NCHW image plane-stack (`channels` × h × w) into a
 /// [channels·k·k, oh·ow] column matrix (Caffe layout: channel-major rows,
-/// spatial-major columns); out-of-bounds taps are zero.
+/// spatial-major columns); out-of-bounds taps are zero. `ld` is the row
+/// stride of the destination (row r starts at col + r·ld), which lets
+/// several images unfold side by side into one wide batch panel; the
+/// default -1 means oh·ow (a self-contained single-image matrix).
 void im2col(const float* im, int channels, int h, int w, int kernel,
-            int stride, int pad, float* col);
+            int stride, int pad, float* col, std::int64_t ld = -1);
 
 /// Scatter-add a [channels·k·k, oh·ow] column matrix back into the image it
-/// was unfolded from (the adjoint of im2col). Accumulates into `im`.
+/// was unfolded from (the adjoint of im2col). Accumulates into `im`. `ld`
+/// strides the source rows exactly as in im2col.
 void col2im(const float* col, int channels, int h, int w, int kernel,
-            int stride, int pad, float* im);
+            int stride, int pad, float* im, std::int64_t ld = -1);
 
 /// Grouped-convolution geometry shared by Conv2d (groups == 1) and
 /// GroupedConv2d. Weight layout [out_c, in_c/groups, k, k].
@@ -34,8 +38,11 @@ struct ConvDims {
   int groups = 1;
 };
 
-/// y[N, out_c, oh, ow] = conv(x) + bias, lowered per image and group onto
-/// gemm(W_g [ocg, icg·k·k] × col_g [icg·k·k, oh·ow]). `bias` may be null.
+/// y[N, out_c, oh, ow] = conv(x) + bias, lowered per group onto
+/// gemm(W_g [ocg, icg·k·k] × col_g [icg·k·k, bt·oh·ow]) where the column
+/// panel concatenates a tile of `bt` batch images along N — so grouped
+/// models get dense-sized GEMMs instead of one sliver per (image, group).
+/// `bias` may be null.
 void conv_forward_im2col(const Tensor& x, const Tensor& w, const Tensor* bias,
                          const ConvDims& d, Tensor& y);
 

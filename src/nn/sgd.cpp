@@ -9,6 +9,7 @@ namespace fedtrans {
 Sgd::Sgd(std::vector<ParamRef> params, SgdOptions opts)
     : params_(std::move(params)), opts_(opts) {
   FT_CHECK(opts_.lr > 0.0);
+  FT_CHECK(opts_.loss_scale > 0.0);
   if (opts_.momentum > 0.0) {
     velocity_.reserve(params_.size());
     for (const auto& p : params_) velocity_.emplace_back(p.value->shape());
@@ -23,6 +24,10 @@ void Sgd::set_prox_anchor() {
 }
 
 void Sgd::step() {
+  if (opts_.loss_scale != 1.0) {
+    const float inv = static_cast<float>(1.0 / opts_.loss_scale);
+    for (auto& p : params_) p.grad->mul_(inv);
+  }
   if (opts_.clip_norm > 0.0) {
     double total = 0.0;
     for (auto& p : params_) {

@@ -18,6 +18,11 @@ struct SgdOptions {
   /// training on pathological non-IID shards from diverging and poisoning
   /// the aggregate.
   double clip_norm = 10.0;
+  /// Mixed-precision loss scale: the backward pass multiplied the loss
+  /// gradient by this factor (to keep small fp16 gradients from flushing to
+  /// zero), so step() divides every gradient by it before clipping or
+  /// applying the update. 1 means no scaling.
+  double loss_scale = 1.0;
 };
 
 /// Per-training-session SGD state over an explicit parameter list. A fresh

@@ -1,0 +1,164 @@
+#include "tensor/dtype.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/check.hpp"
+
+#if defined(__F16C__) && !defined(FEDTRANS_NO_SIMD)
+#include <immintrin.h>
+#define FEDTRANS_HAVE_F16C 1
+#endif
+
+namespace fedtrans {
+
+namespace {
+
+inline std::uint32_t f32_bits(float v) {
+  std::uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+inline float bits_f32(std::uint32_t u) {
+  float v;
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+thread_local Dtype t_activation_dtype = Dtype::F32;
+
+}  // namespace
+
+const char* dtype_name(Dtype d) {
+  switch (d) {
+    case Dtype::F32: return "f32";
+    case Dtype::F16: return "f16";
+    case Dtype::BF16: return "bf16";
+  }
+  return "?";
+}
+
+std::uint16_t f32_to_f16_bits(float v) {
+  std::uint32_t u = f32_bits(v);
+  const auto sign = static_cast<std::uint16_t>((u >> 16) & 0x8000u);
+  u &= 0x7fffffffu;
+  if (u >= 0x7f800000u)  // inf / NaN (keep NaNs quiet)
+    return sign | 0x7c00u | (u > 0x7f800000u ? 0x0200u : 0u);
+  if (u < 0x38800000u) {  // subnormal half (or underflow to zero)
+    if (u < 0x33000000u) return sign;  // < 2^-25: rounds to ±0
+    const int shift = 126 - static_cast<int>(u >> 23);  // in (13, 24]
+    const std::uint32_t m = (u & 0x7fffffu) | 0x800000u;
+    const std::uint32_t lsb = (m >> shift) & 1u;
+    const std::uint32_t round = (1u << (shift - 1)) - 1u + lsb;
+    return sign | static_cast<std::uint16_t>((m + round) >> shift);
+  }
+  // Normal: round-to-nearest-even on the 13 dropped mantissa bits; the
+  // carry may ripple into the exponent (and up to inf), which is exactly
+  // the right behavior.
+  u += 0x0fffu + ((u >> 13) & 1u);
+  if (u >= 0x47800000u) return sign | 0x7c00u;  // overflow → ±inf
+  return sign | static_cast<std::uint16_t>((u - 0x38000000u) >> 13);
+}
+
+float f16_bits_to_f32(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1fu;
+  const std::uint32_t man = bits & 0x3ffu;
+  if (exp == 0) {  // zero / subnormal: man × 2⁻²⁴ (exact in fp32)
+    const float v = std::ldexp(static_cast<float>(man), -24);
+    return sign ? -v : v;
+  }
+  if (exp == 31) {
+    if (man != 0) return std::numeric_limits<float>::quiet_NaN();
+    return bits_f32(sign | 0x7f800000u);
+  }
+  return bits_f32(sign | ((exp + 112u) << 23) | (man << 13));
+}
+
+std::uint16_t f32_to_bf16_bits(float v) {
+  std::uint32_t u = f32_bits(v);
+  if ((u & 0x7fffffffu) > 0x7f800000u)  // NaN: truncate but keep it quiet
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  u += 0x7fffu + ((u >> 16) & 1u);  // round-to-nearest-even on 16 bits
+  return static_cast<std::uint16_t>(u >> 16);
+}
+
+float bf16_bits_to_f32(std::uint16_t bits) {
+  return bits_f32(static_cast<std::uint32_t>(bits) << 16);
+}
+
+std::uint16_t f32_to_half_bits(float v, Dtype d) {
+  FT_CHECK_MSG(d != Dtype::F32, "f32_to_half_bits on F32");
+  return d == Dtype::F16 ? f32_to_f16_bits(v) : f32_to_bf16_bits(v);
+}
+
+float half_bits_to_f32(std::uint16_t bits, Dtype d) {
+  FT_CHECK_MSG(d != Dtype::F32, "half_bits_to_f32 on F32");
+  return d == Dtype::F16 ? f16_bits_to_f32(bits) : bf16_bits_to_f32(bits);
+}
+
+void f32_to_half(const float* src, std::uint16_t* dst, std::int64_t n,
+                 Dtype d) {
+  FT_CHECK_MSG(d != Dtype::F32, "f32_to_half on F32");
+  std::int64_t i = 0;
+  if (d == Dtype::F16) {
+#ifdef FEDTRANS_HAVE_F16C
+    for (; i + 8 <= n; i += 8) {
+      const __m256 v = _mm256_loadu_ps(src + i);
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(dst + i),
+          _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+    }
+#endif
+    for (; i < n; ++i) dst[i] = f32_to_f16_bits(src[i]);
+  } else {
+    for (; i < n; ++i) dst[i] = f32_to_bf16_bits(src[i]);
+  }
+}
+
+void half_to_f32(const std::uint16_t* src, float* dst, std::int64_t n,
+                 Dtype d) {
+  FT_CHECK_MSG(d != Dtype::F32, "half_to_f32 on F32");
+  std::int64_t i = 0;
+  if (d == Dtype::F16) {
+#ifdef FEDTRANS_HAVE_F16C
+    for (; i + 8 <= n; i += 8) {
+      const __m128i h =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+    }
+#endif
+    for (; i < n; ++i) dst[i] = f16_bits_to_f32(src[i]);
+  } else {
+    for (; i < n; ++i) dst[i] = bf16_bits_to_f32(src[i]);
+  }
+}
+
+void round_to_dtype(std::span<float> xs, Dtype d) {
+  if (d == Dtype::F32) return;
+  constexpr std::int64_t kChunk = 512;
+  std::uint16_t buf[kChunk];
+  std::int64_t off = 0;
+  const auto n = static_cast<std::int64_t>(xs.size());
+  while (off < n) {
+    const std::int64_t c = std::min(kChunk, n - off);
+    f32_to_half(xs.data() + off, buf, c, d);
+    half_to_f32(buf, xs.data() + off, c, d);
+    off += c;
+  }
+}
+
+Dtype activation_dtype() { return t_activation_dtype; }
+
+ScopedActivationDtype::ScopedActivationDtype(Dtype d)
+    : prev_(t_activation_dtype) {
+  t_activation_dtype = d;
+}
+
+ScopedActivationDtype::~ScopedActivationDtype() {
+  t_activation_dtype = prev_;
+}
+
+}  // namespace fedtrans

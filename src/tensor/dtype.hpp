@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fedtrans {
+
+/// Numeric *storage* formats understood by the library. Arithmetic is always
+/// fp32 (and reductions fp64 where they already were); F16/BF16 only change
+/// how values are held in tensors and serialized on the wire. A tensor
+/// tagged F16/BF16 keeps an fp32 working copy whose values lie exactly on
+/// the half-precision grid, so quantize → serialize → deserialize is an
+/// exact round-trip and fabric-vs-in-process parity survives half storage.
+enum class Dtype : std::uint8_t { F32 = 0, F16 = 1, BF16 = 2 };
+
+/// Serialized bytes per element.
+constexpr int dtype_bytes(Dtype d) { return d == Dtype::F32 ? 4 : 2; }
+
+const char* dtype_name(Dtype d);
+
+// Scalar conversions, round-to-nearest-even. f32→f16 saturates inf/NaN the
+// IEEE way (overflow → ±inf); f32→bf16 keeps NaNs quiet (SNIPPETS.md's
+// mantissa-rounding trick, done on the fp32 bit pattern).
+std::uint16_t f32_to_f16_bits(float v);
+float f16_bits_to_f32(std::uint16_t bits);
+std::uint16_t f32_to_bf16_bits(float v);
+float bf16_bits_to_f32(std::uint16_t bits);
+
+std::uint16_t f32_to_half_bits(float v, Dtype d);
+float half_bits_to_f32(std::uint16_t bits, Dtype d);
+
+/// Batch converters (F16C-accelerated for F16 where the build allows; the
+/// scalar fallbacks produce bit-identical results). `d` must not be F32.
+void f32_to_half(const float* src, std::uint16_t* dst, std::int64_t n,
+                 Dtype d);
+void half_to_f32(const std::uint16_t* src, float* dst, std::int64_t n,
+                 Dtype d);
+
+/// Round every value in place to the nearest `d`-representable value
+/// (no-op for F32). After this, serializing at width dtype_bytes(d) is
+/// lossless.
+void round_to_dtype(std::span<float> xs, Dtype d);
+
+/// Mixed-precision training knobs carried by LocalTrainConfig. `dtype`
+/// selects the weight/activation storage format; `loss_scale` multiplies
+/// dLoss/dLogits before backprop (Sgd divides it back out before clipping)
+/// so small half-storage gradients don't flush to zero. 0 = auto (1024 for
+/// F16, 1 for BF16 — bf16 shares fp32's exponent range and needs none).
+struct Precision {
+  Dtype dtype = Dtype::F32;
+  double loss_scale = 0.0;
+  bool enabled() const { return dtype != Dtype::F32; }
+  double effective_loss_scale() const {
+    if (loss_scale > 0.0) return loss_scale;
+    return dtype == Dtype::F16 ? 1024.0 : 1.0;
+  }
+};
+
+/// Thread-local activation storage format consulted by Block/Model forward
+/// and backward: activations (and activation gradients) crossing layer
+/// boundaries are rounded to this grid. Defaults to F32 (no rounding);
+/// local_train scopes it to the training loop of one client, so evaluation
+/// probes always run full fp32. Thread-local because clients train in
+/// parallel on the shared pool.
+Dtype activation_dtype();
+class ScopedActivationDtype {
+ public:
+  explicit ScopedActivationDtype(Dtype d);
+  ~ScopedActivationDtype();
+  ScopedActivationDtype(const ScopedActivationDtype&) = delete;
+  ScopedActivationDtype& operator=(const ScopedActivationDtype&) = delete;
+
+ private:
+  Dtype prev_;
+};
+
+}  // namespace fedtrans

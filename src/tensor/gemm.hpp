@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/dtype.hpp"
+
+namespace fedtrans {
+
+/// Which register-tiled micro-kernel gemm() feeds its packed panels to.
+/// `Scalar` is the always-on parity reference (plain C, 6×16 tile); the
+/// SIMD tiers are compiled in when the target ISA allows (and FEDTRANS_SIMD
+/// is not disabled) and verified against Scalar by tolerance tests per
+/// shape. Every backend is bitwise deterministic across thread counts —
+/// the blocked loop structure (serial k, parallel row panels) is shared.
+/// Initial value can be forced with
+/// FEDTRANS_GEMM_BACKEND=scalar|avx2|avx512|neon|simd ("simd" = best
+/// available, the default), mirroring FEDTRANS_CONV_BACKEND.
+enum class GemmBackend : std::uint8_t { Scalar = 0, Avx2 = 1, Avx512 = 2, Neon = 3 };
+
+const char* gemm_backend_name(GemmBackend b);
+/// Compiled in *and* supported by the running CPU.
+bool gemm_backend_available(GemmBackend b);
+/// Best available tier on this build/host (Avx512 > Avx2 > Neon > Scalar).
+GemmBackend best_gemm_backend();
+
+GemmBackend gemm_backend();
+void set_gemm_backend(GemmBackend b);  // FT_CHECKs availability
+
+/// C[M,N] (+)= alpha * op(A)·op(B) where A and B are stored as f16/bf16
+/// bit patterns; widening to fp32 is fused into the panel packing and all
+/// accumulation is fp32 (the mixed-precision GEMM contract). Semantics of
+/// alpha/beta/strides match gemm().
+void gemm_half(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+               const std::uint16_t* a, int lda, Dtype a_dtype,
+               const std::uint16_t* b, int ldb, Dtype b_dtype, float beta,
+               float* c, int ldc);
+
+}  // namespace fedtrans

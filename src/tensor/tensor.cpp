@@ -3,12 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <cstring>
 #include <istream>
 #include <ostream>
 
 #include "common/check.hpp"
-#include "common/thread_pool.hpp"
 
 namespace fedtrans {
 
@@ -137,21 +135,48 @@ void Tensor::rand_uniform(Rng& rng, float lo, float hi) {
   for (auto& x : data_) x = static_cast<float>(rng.uniform(lo, hi));
 }
 
+void Tensor::quantize_storage(Dtype d) {
+  round_to_dtype(values(), d);
+  dtype_ = d;
+}
+
+std::int64_t Tensor::serialized_bytes() const {
+  return static_cast<std::int64_t>(1 + shape_.size()) * 4 +
+         numel() * dtype_bytes(dtype_);
+}
+
 void Tensor::save(std::ostream& os) const {
-  std::int32_t nd = ndim();
+  // Header word: low byte = rank, second byte = storage dtype (wire v5).
+  // F32 tensors — dtype bits zero — serialize byte-identically to the
+  // historical rank-only header, so old checkpoints load unchanged.
+  const std::int32_t nd =
+      ndim() | (static_cast<std::int32_t>(dtype_) << 8);
   os.write(reinterpret_cast<const char*>(&nd), sizeof(nd));
   for (int d : shape_) {
     std::int32_t v = d;
     os.write(reinterpret_cast<const char*>(&v), sizeof(v));
   }
-  os.write(reinterpret_cast<const char*>(data_.data()),
-           static_cast<std::streamsize>(data_.size() * sizeof(float)));
+  if (dtype_ == Dtype::F32) {
+    os.write(reinterpret_cast<const char*>(data_.data()),
+             static_cast<std::streamsize>(data_.size() * sizeof(float)));
+  } else {
+    // Half-storage payloads ship 2 bytes/element. Values were rounded onto
+    // the half grid by quantize_storage, so this narrowing is lossless and
+    // the round-trip is exact.
+    std::vector<std::uint16_t> half(data_.size());
+    f32_to_half(data_.data(), half.data(), numel(), dtype_);
+    os.write(reinterpret_cast<const char*>(half.data()),
+             static_cast<std::streamsize>(half.size() * sizeof(std::uint16_t)));
+  }
 }
 
 Tensor Tensor::load(std::istream& is) {
-  std::int32_t nd = 0;
-  is.read(reinterpret_cast<char*>(&nd), sizeof(nd));
-  FT_CHECK_MSG(is.good() && nd >= 0 && nd <= 8, "corrupt tensor header");
+  std::int32_t hdr = 0;
+  is.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  const std::int32_t nd = hdr & 0xff;
+  const std::int32_t dt = (hdr >> 8) & 0xff;
+  FT_CHECK_MSG(is.good() && (hdr >> 16) == 0 && nd <= 8 && dt <= 2,
+               "corrupt tensor header");
   std::vector<int> shape(static_cast<std::size_t>(nd));
   for (auto& d : shape) {
     std::int32_t v = 0;
@@ -159,8 +184,16 @@ Tensor Tensor::load(std::istream& is) {
     d = v;
   }
   Tensor t(shape);
-  is.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  t.dtype_ = static_cast<Dtype>(dt);
+  if (t.dtype_ == Dtype::F32) {
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  } else {
+    std::vector<std::uint16_t> half(static_cast<std::size_t>(t.numel()));
+    is.read(reinterpret_cast<char*>(half.data()),
+            static_cast<std::streamsize>(half.size() * sizeof(std::uint16_t)));
+    half_to_f32(half.data(), t.data(), t.numel(), t.dtype_);
+  }
   FT_CHECK_MSG(is.good(), "corrupt tensor payload");
   return t;
 }
@@ -181,170 +214,6 @@ Tensor scale(const Tensor& a, float s) {
   Tensor c = a;
   c.mul_(s);
   return c;
-}
-
-namespace {
-
-// Blocking parameters for the packed GEMM. The micro-kernel computes an
-// MR×NR tile of C held entirely in registers (6 × 16 floats = 6 AVX-512
-// vectors of accumulators); MC×KC A-panels and KC×NC B-panels are sized to
-// stay resident in L2.
-constexpr int kMr = 6;
-constexpr int kNr = 16;
-constexpr int kMc = 96;
-constexpr int kKc = 256;
-constexpr int kNc = 512;
-// Below this many MACs the packing overhead dominates; use the plain loop.
-constexpr std::int64_t kSmallGemm = 32 * 32 * 32;
-
-inline float a_elem(const float* a, int lda, bool trans, int i, int p) {
-  return trans ? a[static_cast<std::size_t>(p) * lda + i]
-               : a[static_cast<std::size_t>(i) * lda + p];
-}
-
-// Pack A(ic:ic+mc, pc:pc+kc) into kMr-row strips, column-major within each
-// strip, zero-padding the ragged bottom strip so the micro-kernel never
-// branches on the row count.
-void pack_a(const float* a, int lda, bool trans, int ic, int mc, int pc,
-            int kc, float* ap) {
-  for (int ir = 0; ir < mc; ir += kMr) {
-    const int mr = std::min(kMr, mc - ir);
-    for (int p = 0; p < kc; ++p) {
-      for (int i = 0; i < mr; ++i)
-        ap[i] = a_elem(a, lda, trans, ic + ir + i, pc + p);
-      for (int i = mr; i < kMr; ++i) ap[i] = 0.0f;
-      ap += kMr;
-    }
-  }
-}
-
-// Pack op(B)(pc:pc+kc, jc:jc+nc) into kNr-column strips, row-major within
-// each strip, zero-padding the ragged right strip.
-void pack_b(const float* b, int ldb, bool trans, int pc, int kc, int jc,
-            int nc, float* bp) {
-  for (int jr = 0; jr < nc; jr += kNr) {
-    const int nr = std::min(kNr, nc - jr);
-    for (int p = 0; p < kc; ++p) {
-      if (!trans) {
-        const float* row = b + static_cast<std::size_t>(pc + p) * ldb + jc + jr;
-        for (int j = 0; j < nr; ++j) bp[j] = row[j];
-      } else {
-        for (int j = 0; j < nr; ++j)
-          bp[j] = b[static_cast<std::size_t>(jc + jr + j) * ldb + (pc + p)];
-      }
-      for (int j = nr; j < kNr; ++j) bp[j] = 0.0f;
-      bp += kNr;
-    }
-  }
-}
-
-// C(0:mr, 0:nr) += alpha * Ap · Bp for one packed strip pair. Accumulates
-// the full kMr×kNr tile in registers, then writes back the valid region.
-void micro_kernel(int kc, float alpha, const float* ap, const float* bp,
-                  float* c, int ldc, int mr, int nr) {
-  float acc[kMr][kNr] = {};
-  for (int p = 0; p < kc; ++p) {
-    const float* arow = ap + static_cast<std::size_t>(p) * kMr;
-    const float* brow = bp + static_cast<std::size_t>(p) * kNr;
-    for (int i = 0; i < kMr; ++i) {
-      const float av = arow[i];
-      for (int j = 0; j < kNr; ++j) acc[i][j] += av * brow[j];
-    }
-  }
-  for (int i = 0; i < mr; ++i) {
-    float* crow = c + static_cast<std::size_t>(i) * ldc;
-    for (int j = 0; j < nr; ++j) crow[j] += alpha * acc[i][j];
-  }
-}
-
-// Reference i-k-j loop for small problems (attention tiles, tiny linears)
-// where packing costs more than it saves.
-void gemm_small(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
-                const float* a, int lda, const float* b, int ldb, float* c,
-                int ldc) {
-  for (int i = 0; i < m; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const float av = a_elem(a, lda, trans_a, i, p);
-      if (av == 0.0f) continue;
-      const float s = alpha * av;
-      float* crow = c + static_cast<std::size_t>(i) * ldc;
-      if (!trans_b) {
-        const float* brow = b + static_cast<std::size_t>(p) * ldb;
-        for (int j = 0; j < n; ++j) crow[j] += s * brow[j];
-      } else {
-        for (int j = 0; j < n; ++j)
-          crow[j] += s * b[static_cast<std::size_t>(j) * ldb + p];
-      }
-    }
-  }
-}
-
-}  // namespace
-
-void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
-          const float* a, int lda, const float* b, int ldb, float beta,
-          float* c, int ldc) {
-  FT_CHECK(m >= 0 && n >= 0 && k >= 0);
-  // beta == 0 must assign (not multiply): C may be uninitialized and a
-  // 0 × NaN would otherwise poison the output.
-  if (beta == 0.0f) {
-    for (int i = 0; i < m; ++i)
-      std::memset(c + static_cast<std::size_t>(i) * ldc, 0,
-                  static_cast<std::size_t>(n) * sizeof(float));
-  } else if (beta != 1.0f) {
-    for (int i = 0; i < m; ++i) {
-      float* crow = c + static_cast<std::size_t>(i) * ldc;
-      for (int j = 0; j < n; ++j) crow[j] *= beta;
-    }
-  }
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
-
-  if (static_cast<std::int64_t>(m) * n * k <= kSmallGemm) {
-    gemm_small(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
-    return;
-  }
-
-  // Cache-blocked path: serial jc/pc loops (fixed accumulation order into C,
-  // so results are bitwise-independent of the thread count), parallel over
-  // MC row panels of C — panels write disjoint rows.
-  std::vector<float> bp(static_cast<std::size_t>((
-                            (std::min(n, kNc) + kNr - 1) / kNr) * kNr) *
-                        static_cast<std::size_t>(std::min(k, kKc)));
-  const int row_blocks = (m + kMc - 1) / kMc;
-  for (int jc = 0; jc < n; jc += kNc) {
-    const int nc = std::min(kNc, n - jc);
-    for (int pc = 0; pc < k; pc += kKc) {
-      const int kc = std::min(kKc, k - pc);
-      pack_b(b, ldb, trans_b, pc, kc, jc, nc, bp.data());
-      ThreadPool::global().parallel_for(
-          row_blocks, 1, [&](std::int64_t blk_lo, std::int64_t blk_hi) {
-            thread_local std::vector<float> ap;
-            for (std::int64_t blk = blk_lo; blk < blk_hi; ++blk) {
-              const int ic = static_cast<int>(blk) * kMc;
-              const int mc = std::min(kMc, m - ic);
-              ap.resize(static_cast<std::size_t>(((mc + kMr - 1) / kMr) *
-                                                 kMr) *
-                        static_cast<std::size_t>(kc));
-              pack_a(a, lda, trans_a, ic, mc, pc, kc, ap.data());
-              for (int jr = 0; jr < nc; jr += kNr) {
-                const int nr = std::min(kNr, nc - jr);
-                const float* bstrip =
-                    bp.data() + static_cast<std::size_t>(jr / kNr) * kNr * kc;
-                for (int ir = 0; ir < mc; ir += kMr) {
-                  const int mr = std::min(kMr, mc - ir);
-                  const float* astrip =
-                      ap.data() +
-                      static_cast<std::size_t>(ir / kMr) * kMr * kc;
-                  micro_kernel(kc, alpha, astrip, bstrip,
-                               c + static_cast<std::size_t>(ic + ir) * ldc +
-                                   jc + jr,
-                               ldc, mr, nr);
-                }
-              }
-            }
-          });
-    }
-  }
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

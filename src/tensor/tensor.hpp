@@ -6,13 +6,20 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "tensor/dtype.hpp"
 
 namespace fedtrans {
 
-/// Dense row-major float32 tensor. This is the only numeric container in the
+/// Dense row-major tensor. This is the only numeric container in the
 /// library: model weights, gradients, activations and datasets all use it.
 /// Layout conventions: images are NCHW; linear weights are [out, in]; conv
 /// weights are [out_c, in_c, kh, kw].
+///
+/// The working representation is always fp32; `dtype()` is the *storage*
+/// format: a tensor tagged F16/BF16 holds fp32 values that lie exactly on
+/// that half-precision grid (enforced by quantize_storage) and serializes
+/// 2 bytes/element — which is what halves ModelDown/UpdateUp wire bytes in
+/// mixed-precision sessions. Arithmetic never consults the tag.
 class Tensor {
  public:
   Tensor() = default;
@@ -46,6 +53,15 @@ class Tensor {
   float at(int i0, int i1, int i2) const;
   float at(int i0, int i1, int i2, int i3) const;
 
+  /// Storage dtype tag (serialization width); see the class comment.
+  Dtype dtype() const { return dtype_; }
+  /// Round every value onto the `d` grid and tag the tensor, so subsequent
+  /// save()/wire encodes are a lossless 2-byte/element round-trip.
+  /// Idempotent; F32 clears the tag without touching values.
+  void quantize_storage(Dtype d);
+  /// Exact byte count save() will emit (header + shape + payload).
+  std::int64_t serialized_bytes() const;
+
   void fill(float v);
   void zero() { fill(0.0f); }
   /// Element count must match; shape is replaced.
@@ -76,6 +92,7 @@ class Tensor {
 
   std::vector<int> shape_;
   std::vector<float> data_;
+  Dtype dtype_ = Dtype::F32;
 };
 
 /// out-of-place c = a + b (shapes must match).
@@ -86,10 +103,12 @@ Tensor sub(const Tensor& a, const Tensor& b);
 Tensor scale(const Tensor& a, float s);
 
 /// C[M,N] (+)= alpha * op(A)[M,K] * op(B)[K,N]; beta pre-scales C (beta == 0
-/// assigns zero, so C may be uninitialized). Cache-blocked and register-tiled
-/// with packed panels, parallelized over row panels of C on the global
-/// ThreadPool (FEDTRANS_THREADS); results are bitwise-independent of the
-/// thread count. Small problems take a plain-loop fast path.
+/// assigns zero, so C may be uninitialized). Cache-blocked with packed
+/// panels feeding a register-tiled micro-kernel selected by the active
+/// GemmBackend (tensor/gemm.hpp; FEDTRANS_GEMM_BACKEND), parallelized over
+/// row panels of C on the global ThreadPool (FEDTRANS_THREADS); results are
+/// bitwise-independent of the thread count for every backend. Small
+/// problems take a plain-loop fast path shared by all backends.
 void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
           const float* a, int lda, const float* b, int ldb, float beta,
           float* c, int ldc);

@@ -17,6 +17,7 @@
 #include "model/transform.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/grouped_conv2d.hpp"
+#include "obs/trace.hpp"
 #include "tensor/gemm.hpp"
 #include "trace/device.hpp"
 
@@ -388,6 +389,40 @@ BENCHMARK(BM_EngineRoundOverhead)
     ->Arg(0)  // engine-dispatched round
     ->Arg(1)  // inline legacy-style loop
     ->MinTime(2.0);  // sub-1% deltas need a stable clock
+
+// Tracing overhead: the same engine round with wall-clock tracing off
+// (arg 0) vs on (arg 1). Every span site fires — engine phases, kernel
+// dispatch, CostMeter histograms — so this is the worst-case per-round
+// tracing tax; the acceptance bar is on ≤ 2% over off. Buffers are cleared
+// each iteration so the run measures recording, not cap-induced drops.
+void BM_TraceOverhead(benchmark::State& state) {
+  EngineBenchFixture fx;
+  const bool trace_on = state.range(0) == 1;
+  FlRunConfig cfg;
+  cfg.rounds = 1;
+  cfg.clients_per_round = 4;
+  cfg.local = EngineBenchFixture::local_cfg();
+  cfg.seed = 3;
+  Rng rng(7);
+  FederationEngine engine(std::make_unique<FedAvgStrategy>(
+                              Model(EngineBenchFixture::spec(), rng),
+                              cfg.options()),
+                          fx.data, fx.fleet, cfg.to_session());
+  if (trace_on) trace_start(TraceClock::Wall);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_round());
+    if (trace_on) trace_clear();
+  }
+  if (trace_on) {
+    trace_stop();
+    trace_clear();
+  }
+  state.SetLabel(trace_on ? "trace=wall" : "trace=off");
+}
+BENCHMARK(BM_TraceOverhead)
+    ->Arg(0)  // tracing compiled in, runtime-disabled (the default)
+    ->Arg(1)  // wall-clock tracing live
+    ->MinTime(2.0);
 
 // Wire bytes of one FedAvg round at fp32 vs f16 storage. The benchmark's
 // timing is incidental; the payload is the `bytes_per_round` counter read

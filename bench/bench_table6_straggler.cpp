@@ -26,9 +26,9 @@ int main() {
 
   TablePrinter t({"method", "avg round time (s)", "std (s)"});
   for (const auto* r : {&fedtrans, &fedavg}) {
-    const auto& times = r->report.costs.client_times_s();
-    t.add_row({r->method, fmt_fixed(mean(times), 2),
-               fmt_fixed(stddev(times), 2)});
+    const CostMeter& costs = r->report.costs;
+    t.add_row({r->method, fmt_fixed(costs.client_time_mean(), 2),
+               fmt_fixed(costs.client_time_std(), 2)});
   }
   t.print(std::cout);
   std::cout << "\nshape check: FedTrans shows lower mean and std of round "

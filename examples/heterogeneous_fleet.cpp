@@ -55,10 +55,9 @@ int main() {
             << "%, IQR " << fmt_fixed(ev.accuracy_iqr * 100, 2) << "%\n";
 
   // --- Straggler view ----------------------------------------------------
-  const auto& times = trainer.costs().client_times_s();
   std::cout << "\nsimulated per-client round time: mean "
-            << fmt_fixed(mean(times), 2) << "s, std "
-            << fmt_fixed(stddev(times), 2) << "s (capacity-aligned models "
-            << "keep stragglers in check)\n";
+            << fmt_fixed(trainer.costs().client_time_mean(), 2) << "s, std "
+            << fmt_fixed(trainer.costs().client_time_std(), 2)
+            << "s (capacity-aligned models keep stragglers in check)\n";
   return 0;
 }

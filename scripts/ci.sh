@@ -33,6 +33,13 @@ cmake -B "$BUILD_DIR" -S . -DFEDTRANS_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
 
+# Tracing-enabled leg: the chaos-scenario and parity gates must stay
+# bitwise deterministic with live tracing (FEDTRANS_TRACE=1 autostarts
+# wall-clock tracing in every test binary; test_obs also exercises the
+# virtual clock explicitly).
+FEDTRANS_TRACE=1 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -j "$JOBS" -R 'test_(chaos|fabric|engine_parity|obs)$'
+
 if [ -z "${FEDTRANS_CI_FAST:-}" ]; then
   # ASan+UBSan over the kernel-heavy suites (tensor, dtype, GEMM backends,
   # conv lowerings, layers).

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# End-to-end telemetry demo: runs the sharded-federation example with
+# virtual-clock tracing and a run report enabled. Artifacts land in
+# OUT_DIR (default: trace_demo/):
+#   trace.json   Chrome trace_event JSON of the simulated timeline —
+#                round envelopes, frame transfers, client train windows,
+#                retries and leaf failovers on semantic tracks. Load it at
+#                https://ui.perfetto.dev or chrome://tracing.
+#   report.json  RunReport of the example's last engine session: config,
+#                per-round records, and the merged metrics snapshot.
+#
+# Usage: scripts/trace_demo.sh
+#   BUILD_DIR  build directory (default: build)
+#   OUT_DIR    artifact directory (default: trace_demo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT_DIR=${OUT_DIR:-trace_demo}
+
+if [ ! -x "$BUILD_DIR/example_sharded_federation" ]; then
+  cmake -B "$BUILD_DIR" -S . >&2
+  cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)" \
+    --target example_sharded_federation >&2
+fi
+
+mkdir -p "$OUT_DIR"
+FEDTRANS_TRACE=virtual \
+FEDTRANS_TRACE_OUT="$OUT_DIR/trace.json" \
+FEDTRANS_RUN_REPORT="$OUT_DIR/report.json" \
+  "$BUILD_DIR/example_sharded_federation"
+
+echo
+echo "trace:  $OUT_DIR/trace.json  (load in https://ui.perfetto.dev)"
+echo "report: $OUT_DIR/report.json"

@@ -26,7 +26,9 @@ constexpr std::uint64_t kCheckpointMagic = 0xfed72a45c8c9ULL;
 // versioned so older checkpoints fail loudly instead of misparsing.
 // v4: RoundRecord grew leaf_failovers (PR 5 deep aggregation trees), which
 // changes the POD history layout.
-constexpr std::uint32_t kCheckpointVersion = 4;
+// v5: CostMeter caps its raw client-time samples and serializes the exact
+// running stats (count / sum / sum-of-squares) ahead of the capped vector.
+constexpr std::uint32_t kCheckpointVersion = 5;
 
 }  // namespace
 

@@ -6,6 +6,9 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 namespace fedtrans {
 
@@ -244,21 +247,31 @@ ExchangeResult FederationEngine::exchange(
 double FederationEngine::run_round() {
   FT_CHECK_MSG(cfg_.mode == SessionMode::Sync,
                "run_round requires a synchronous session");
+  FT_SPAN_ARG("engine", "round", "round", round_);
   for (RoundObserver* obs : observers_) obs->on_round_start(round_);
   RoundContext ctx = make_context();
 
-  auto tasks = strategy_->plan_round(ctx, rng_);
+  std::vector<ClientTask> tasks;
   std::vector<Rng> client_rngs;
-  client_rngs.reserve(tasks.size());
-  for (ClientTask& t : tasks) {
-    strategy_->prepare_task(t, rng_, ctx);
-    client_rngs.push_back(rng_.fork());
+  {
+    FT_SPAN("engine", "select");
+    tasks = strategy_->plan_round(ctx, rng_);
+    client_rngs.reserve(tasks.size());
+    for (ClientTask& t : tasks) {
+      strategy_->prepare_task(t, rng_, ctx);
+      client_rngs.push_back(rng_.fork());
+    }
   }
 
   std::vector<std::optional<Model>> payloads(tasks.size());
   std::vector<Model*> task_models(tasks.size(), nullptr);
-  ExchangeResult ex = exchange(tasks, client_rngs, payloads, task_models);
+  ExchangeResult ex;
+  {
+    FT_SPAN_ARG("engine", "exchange", "tasks", tasks.size());
+    ex = exchange(tasks, client_rngs, payloads, task_models);
+  }
 
+  FT_SPAN("engine", "aggregate");
   if (ex.reduced) {
     // Numeric tree round: per-task metrics arrived verbatim (billing,
     // selector feedback, loss bookkeeping stay per-client, in task order);
@@ -303,6 +316,16 @@ double FederationEngine::run_round() {
   rec.leaf_failovers = ex.leaf_failovers;
 
   maybe_probe(round_, ctx, rec);
+  static Counter rounds_total("fedtrans_engine_rounds_total");
+  rounds_total.inc();
+  if (trace_virtual_on()) {
+    // Round envelope on the simulated timeline: rounds run back to back,
+    // each lasting its slowest participant.
+    double start_s = 0.0;
+    for (const RoundRecord& h : history_) start_s += h.round_time_s;
+    FT_VSPAN_ARG("engine", "round", start_s, rec.round_time_s, kTrackEngine,
+                 "participants", rec.participants);
+  }
   history_.push_back(rec);
   for (RoundObserver* obs : observers_) obs->on_round_end(rec);
   ++round_;
@@ -312,6 +335,7 @@ double FederationEngine::run_round() {
 void FederationEngine::maybe_probe(int tick, RoundContext& ctx,
                                    RoundRecord& rec) {
   if (cfg_.eval_every <= 0 || tick % cfg_.eval_every != 0) return;
+  FT_SPAN_ARG("engine", "eval", "tick", tick);
   // Subsampled accuracy probe for learning curves; the probe Rng and id
   // draw are engine-owned so every strategy probes the same cohort.
   Rng erng(cfg_.seed + 977 + static_cast<std::uint64_t>(tick));
@@ -323,11 +347,15 @@ void FederationEngine::maybe_probe(int tick, RoundContext& ctx,
 }
 
 void FederationEngine::run() {
-  if (cfg_.mode == SessionMode::Async) {
-    run_async();
-    return;
+  {
+    FT_SPAN("engine", "run");
+    if (cfg_.mode == SessionMode::Async) {
+      run_async();
+    } else {
+      for (int r = 0; r < cfg_.rounds; ++r) run_round();
+    }
   }
-  for (int r = 0; r < cfg_.rounds; ++r) run_round();
+  maybe_write_run_report_env(*this);
 }
 
 void FederationEngine::dispatch_async() {
@@ -385,6 +413,8 @@ void FederationEngine::run_async() {
       rec.avg_loss = *shipped;
       rec.cum_macs = costs_.total_macs();
       rec.round_time_s = now_s_;  // wall-clock at which this version shipped
+      FT_VSPAN_ARG("engine", "version_shipped", now_s_, 0.0, kTrackEngine,
+                   "version", version_);
       maybe_probe(version_, ctx, rec);
       history_.push_back(rec);
       for (RoundObserver* obs : observers_) obs->on_round_end(rec);
@@ -514,6 +544,8 @@ void FederationEngine::run_async_fabric() {
         rec.leaf_failovers = failovers_since_ship;
         lost_since_ship = 0;
         failovers_since_ship = 0;
+        FT_VSPAN_ARG("engine", "version_shipped", now_s_, 0.0, kTrackEngine,
+                     "version", version_);
         maybe_probe(version_, ctx, rec);
         history_.push_back(rec);
         for (RoundObserver* obs : observers_) obs->on_round_end(rec);

@@ -12,6 +12,8 @@
 #include "common/serial.hpp"
 #include "common/thread_pool.hpp"
 #include "fl/weights.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fedtrans {
 
@@ -96,15 +98,23 @@ bool send_with_retry(SimTransport& net, std::int32_t src, std::int32_t dst,
   std::string frame = encode(0);
   const std::size_t bytes = frame.size();
   if (net.send(src, dst, std::move(frame), first_at_s)) return true;
+  static Histogram retry_latency_h("fedtrans_retry_latency_seconds");
   for (int k = 1; k <= policy.max_retries; ++k) {
     net.stats_mutable().frames_retried.fetch_add(1,
                                                  std::memory_order_relaxed);
     auto& counter = downlink ? net.stats_mutable().retry_bytes_down
                              : net.stats_mutable().retry_bytes_up;
     counter.fetch_add(bytes, std::memory_order_relaxed);
-    if (net.send(src, dst, encode(kFlagRetry),
-                 first_at_s + static_cast<double>(k) * policy.ack_timeout_s))
+    const double resend_s =
+        first_at_s + static_cast<double>(k) * policy.ack_timeout_s;
+    FT_VSPAN_ARG("server", "retry", resend_s, 0.0, track_of_endpoint(dst),
+                 "attempt", k);
+    if (net.send(src, dst, encode(kFlagRetry), resend_s)) {
+      // Latency the retry policy added before this frame finally left:
+      // k ack-timeouts from the first (lost) attempt.
+      retry_latency_h.observe(resend_s - first_at_s);
       return true;
+    }
   }
   return false;
 }
@@ -233,6 +243,7 @@ ClientAgent::ClientAgent(int id, const FederatedDataset& data,
 void ClientAgent::poll(std::uint32_t round, const Model& prototype,
                        SimTransport& net,
                        std::vector<ClientOutcome>& outcomes) {
+  FT_SPAN_ARG("client", "poll", "client", id_);
   // Drain the mailbox first: duplicates and reordered frames all land here.
   // Invitations and models are paired per task slot; the agent keeps the
   // first arrival of each and ignores the rest.
@@ -298,6 +309,10 @@ void ClientAgent::poll(std::uint32_t round, const Model& prototype,
     const double compute_s =
         res.macs_used / net.device(id_).compute_macs_per_s;
     const double done_s = down_at_s[task] + compute_s;
+    // The device's train window on the simulated timeline: model arrival
+    // to upload-ready, on the client's own track.
+    FT_VSPAN_ARG("client", "train", down_at_s[task], compute_s,
+                 kTrackClients + id_, "task", task);
     trained_any = true;
     last_done_s = std::max(last_done_s, done_s);
     coordinators.insert(msg.sender);
@@ -400,6 +415,7 @@ void FederationServer::broadcast_shared(std::uint32_t round,
                                         const WeightSet& global,
                                         const std::vector<int>& clients,
                                         const std::vector<Rng>& client_rngs) {
+  FT_SPAN_ARG("server", "broadcast", "tasks", clients.size());
   // Serialize the weight set once; per task only the (tiny) slot id and
   // Rng-state sections of the ModelDown payload differ, so broadcast is one
   // encode plus a couple of memcpys per client rather than n WeightSet
@@ -427,6 +443,7 @@ void FederationServer::broadcast_tasks(std::uint32_t round,
                                        const std::vector<Model*>& payloads,
                                        const std::vector<int>& clients,
                                        const std::vector<Rng>& client_rngs) {
+  FT_SPAN_ARG("server", "broadcast", "tasks", clients.size());
   // Architecture + weights ride the frame: the agent rebuilds the exact
   // submodel this task trains, no shared prototype required. The engine
   // hands tasks in the same payload_key group one Model instance, so the
@@ -461,6 +478,7 @@ void FederationServer::broadcast_sharded(
     std::uint32_t round, const std::vector<int>& clients,
     const std::vector<Rng>& client_rngs,
     const std::vector<const std::string*>& slot_body) {
+  FT_SPAN_ARG("server", "broadcast_sharded", "tasks", clients.size());
   // Root → tree: one bundle per root child, built in a single pass over
   // the task list (each distinct payload body copied once per child that
   // references it — the broadcast hot path never materializes a full-tree
@@ -530,6 +548,8 @@ void FederationServer::send_bundle(std::uint32_t round, std::int32_t src,
   const std::size_t bytes = wasted.size();
   net_->send(src, tree_.leaf_id(j), std::move(wasted), sent_at_s);
   if (owner < 0) return;
+  FT_VSPAN_ARG("server", "leaf_failover", sent_at_s + topo_.ack_timeout_s,
+               0.0, track_of_endpoint(tree_.leaf_id(owner)), "dead_leaf", j);
   net_->stats_mutable().leaf_failovers.fetch_add(1,
                                                  std::memory_order_relaxed);
   net_->stats_mutable().failover_bytes_down.fetch_add(
@@ -542,6 +562,7 @@ void FederationServer::send_bundle(std::uint32_t round, std::int32_t src,
 }
 
 void FederationServer::route_tiers_down(std::uint32_t round) {
+  FT_SPAN("server", "route_tiers_down");
   // Interior downlink passes, one tier at a time (node-parallel within a
   // tier: nodes own disjoint subtrees and mailboxes are thread-safe).
   for (int t = 1; t + 1 <= topo_.levels - 1; ++t) {
@@ -575,6 +596,7 @@ void FederationServer::route_tiers_down(std::uint32_t round) {
 }
 
 void FederationServer::fan_out_shards(std::uint32_t round) {
+  FT_SPAN("server", "fan_out_shards");
   // Leaves fan their bundle(s) out to the client partition — JoinRound +
   // ModelDown per task, byte-identical payloads to what a flat broadcast
   // would have sent (only the coordinator id differs), so agents train
@@ -626,6 +648,7 @@ void FederationServer::fan_out_shards(std::uint32_t round) {
 void FederationServer::poll_agents(std::uint32_t round,
                                    const std::vector<int>& clients,
                                    ExchangeResult& out) {
+  FT_SPAN_ARG("server", "poll_agents", "tasks", clients.size());
   // ClientAgent workers run concurrently on the shared ThreadPool — one
   // poll per *distinct* client (an agent drains its whole mailbox, which
   // may hold several task slots). Each task slot is written by exactly one
@@ -650,6 +673,7 @@ void FederationServer::poll_agents(std::uint32_t round,
 void FederationServer::collect(std::uint32_t round,
                                const std::vector<int>& clients,
                                ExchangeResult& out) {
+  FT_SPAN("server", "collect");
   poll_agents(round, clients, out);
 
   // Match the server's inbound mail to the task list. Duplicates are
@@ -689,6 +713,7 @@ void FederationServer::collect(std::uint32_t round,
 void FederationServer::collect_sharded(std::uint32_t round,
                                        const std::vector<int>& clients,
                                        ExchangeResult& out) {
+  FT_SPAN("server", "collect_sharded");
   poll_agents(round, clients, out);
 
   // Leaf pass: each alive leaf matches the partitions it served at fan-out
@@ -791,6 +816,7 @@ void FederationServer::collect_sharded(std::uint32_t round,
   // Interior tiers merge child bundles upward, tier by tier (node-parallel
   // within a tier; nodes cover disjoint subtrees). Duplicate deliveries
   // dedup at bundle granularity (first arrival per (sender, partition)).
+  FT_SPAN("server", "partial_merge");
   for (int t = topo_.levels - 2; t >= 1; --t) {
     ThreadPool::global().parallel_for(
         tree_.tier_width(t), 1, [&](std::int64_t nlo, std::int64_t nhi) {
@@ -879,6 +905,7 @@ void FederationServer::collect_sharded(std::uint32_t round,
 ExchangeResult FederationServer::exchange(
     std::uint32_t round, const std::vector<int>& clients, std::size_t n_rngs,
     const std::function<void()>& broadcast_fn) {
+  FT_SPAN_ARG("server", "exchange", "tasks", clients.size());
   FT_CHECK_MSG(clients.size() == n_rngs,
                "one forked Rng per task slot required");
   FT_CHECK_MSG(round_reduce_.empty() ||
@@ -943,6 +970,7 @@ AsyncTurnaround FederationServer::async_exchange(std::uint32_t job,
                                                  const WeightSet& global,
                                                  const Rng& rng,
                                                  double now_s) {
+  FT_SPAN_ARG("server", "async_exchange", "client", client);
   FT_CHECK_MSG(client >= 0 && client < num_clients(),
                "async dispatch to unknown client " << client);
   AsyncTurnaround t;
@@ -1038,6 +1066,8 @@ AsyncTurnaround FederationServer::async_exchange(std::uint32_t job,
   const double compute_s =
       t.res.macs_used / net_->device(client).compute_macs_per_s;
   const double done_s = down_at + compute_s;
+  FT_VSPAN_ARG("client", "train", down_at, compute_s, kTrackClients + client,
+               "job", job);
   t.busy_s = done_s - now_s;
 
   if (net_->client_dropped_out(job, client)) {

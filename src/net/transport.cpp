@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fedtrans {
 
@@ -104,10 +106,15 @@ bool SimTransport::send(std::int32_t src, std::int32_t dst, std::string frame,
   }
   stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_sent.fetch_add(frame.size(), std::memory_order_relaxed);
+  static Histogram frame_bytes_h("fedtrans_frame_bytes");
+  frame_bytes_h.observe(static_cast<double>(frame.size()));
 
   if (faults_.drop_prob > 0.0 &&
       fault_draw(link, seq, 0xd209u) < faults_.drop_prob) {
     stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
+    FT_VSPAN_ARG("net", "frame_dropped", sent_at_s, 0.0,
+                 track_of_endpoint(dst), "bytes",
+                 static_cast<double>(frame.size()));
     return false;
   }
 
@@ -135,6 +142,7 @@ bool SimTransport::send(std::int32_t src, std::int32_t dst, std::string frame,
   // under contention — every uplink targets the one server mailbox — the
   // critical section is just the queue pushes, never a frame-sized copy.
   const std::size_t bytes = frame.size();
+  const double flight_s = env.deliver_at_s - sent_at_s;
   std::optional<Envelope> duplicate;
   if (dup) {
     duplicate = env;
@@ -144,11 +152,19 @@ bool SimTransport::send(std::int32_t src, std::int32_t dst, std::string frame,
   env.frame = std::move(frame);
 
   Mailbox& box = mailbox(dst);
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lk(box.m);
     box.q.push_back(std::move(env));
     if (duplicate) box.q.push_back(std::move(*duplicate));
+    depth = box.q.size();
   }
+  static Histogram queue_depth_h("fedtrans_mailbox_depth");
+  queue_depth_h.observe(static_cast<double>(depth));
+  // Frame in flight on the simulated timeline, drawn on the receiver's
+  // track (zero-latency backbone frames show up as instants).
+  FT_VSPAN_ARG("net", "frame", sent_at_s, flight_s, track_of_endpoint(dst),
+               "bytes", static_cast<double>(bytes));
   stats_.frames_delivered.fetch_add(dup ? 2 : 1, std::memory_order_relaxed);
   stats_.bytes_delivered.fetch_add(dup ? 2 * bytes : bytes,
                                    std::memory_order_relaxed);

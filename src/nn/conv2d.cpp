@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace fedtrans {
 
@@ -38,6 +39,7 @@ void Conv2d::init_identity() {
 }
 
 Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  FT_SPAN("kernel", "conv2d_fwd");
   FT_CHECK_MSG(x.ndim() == 4 && x.dim(1) == in_c_,
                "Conv2d expects [N," << in_c_ << ",H,W]");
   cached_x_ = x;
@@ -97,6 +99,7 @@ void Conv2d::forward_direct(const Tensor& x, Tensor& y) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
+  FT_SPAN("kernel", "conv2d_bwd");
   const Tensor& x = cached_x_;
   FT_CHECK(x.ndim() == 4);
   {

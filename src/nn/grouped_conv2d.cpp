@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "nn/activations.hpp"
 #include "nn/sequential.hpp"
 
@@ -51,6 +52,7 @@ void GroupedConv2d::init(Rng& rng) {
 }
 
 Tensor GroupedConv2d::forward(const Tensor& x, bool /*train*/) {
+  FT_SPAN("kernel", "grouped_conv2d_fwd");
   FT_CHECK_MSG(x.ndim() == 4 && x.dim(1) == in_c_,
                "GroupedConv2d expects [N," << in_c_ << ",H,W]");
   cached_x_ = x;
@@ -111,6 +113,7 @@ void GroupedConv2d::forward_direct(const Tensor& x, Tensor& y) {
 }
 
 Tensor GroupedConv2d::backward(const Tensor& grad_out) {
+  FT_SPAN("kernel", "grouped_conv2d_bwd");
   const Tensor& x = cached_x_;
   FT_CHECK(x.ndim() == 4);
   {

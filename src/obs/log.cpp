@@ -1,0 +1,68 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace fedtrans {
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+std::atomic<int>& level_state() {
+  static std::atomic<int> state{static_cast<int>(parse_log_level(
+      std::getenv("FEDTRANS_LOG_LEVEL"), LogLevel::Warn))};
+  return state;
+}
+
+}  // namespace
+
+LogLevel parse_log_level(const char* text, LogLevel fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  const struct {
+    const char* name;
+    LogLevel level;
+  } table[] = {{"trace", LogLevel::Trace}, {"debug", LogLevel::Debug},
+               {"info", LogLevel::Info},   {"warn", LogLevel::Warn},
+               {"error", LogLevel::Error}, {"off", LogLevel::Off}};
+  for (const auto& e : table)
+    if (std::strcmp(text, e.name) == 0) return e.level;
+  if (text[0] >= '0' && text[0] <= '5' && text[1] == '\0')
+    return static_cast<LogLevel>(text[0] - '0');
+  return fallback;
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(
+      level_state().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_state().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  static std::mutex emit_m;
+  std::lock_guard<std::mutex> lk(emit_m);
+  std::fprintf(stderr, "[fedtrans] %s %s\n", level_name(level),
+               message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace fedtrans

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <sstream>
+
+namespace fedtrans {
+
+/// Leveled diagnostic logging — the structured replacement for the raw
+/// std::cerr / fprintf sites that used to dot the library. Severity is
+/// filtered at runtime: the initial level comes from FEDTRANS_LOG_LEVEL
+/// (trace|debug|info|warn|error|off, or 0..5), defaulting to `warn` so
+/// tests and benches run silent; set_log_level() overrides it in-process.
+/// Emission is a single mutex-serialized write of one fully-formatted line
+/// ("[fedtrans] LEVEL message\n") to stderr, so concurrent pool workers
+/// never interleave partial lines.
+///
+/// Use through the macros — the stream expression after the level is only
+/// evaluated when the level passes the filter:
+///
+///   FT_LOG_INFO("gemm backend: " << name);
+///   FT_LOG_WARN("retry budget exhausted after " << k << " resends");
+enum class LogLevel : int {
+  Trace = 0,
+  Debug = 1,
+  Info = 2,
+  Warn = 3,
+  Error = 4,
+  Off = 5,
+};
+
+/// Current severity floor (messages below it are dropped).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+/// Parse a FEDTRANS_LOG_LEVEL-style spelling; falls back to `fallback` on
+/// anything unrecognized.
+LogLevel parse_log_level(const char* text, LogLevel fallback);
+
+namespace detail {
+/// Format + emit one line (already filtered by the macro).
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+#define FT_LOG(level_, expr_)                                         \
+  do {                                                                \
+    if (static_cast<int>(level_) >=                                   \
+        static_cast<int>(::fedtrans::log_level())) {                  \
+      std::ostringstream ft_log_os_;                                  \
+      ft_log_os_ << expr_;                                            \
+      ::fedtrans::detail::log_emit(level_, ft_log_os_.str());         \
+    }                                                                 \
+  } while (0)
+
+#define FT_LOG_TRACE(expr_) FT_LOG(::fedtrans::LogLevel::Trace, expr_)
+#define FT_LOG_DEBUG(expr_) FT_LOG(::fedtrans::LogLevel::Debug, expr_)
+#define FT_LOG_INFO(expr_) FT_LOG(::fedtrans::LogLevel::Info, expr_)
+#define FT_LOG_WARN(expr_) FT_LOG(::fedtrans::LogLevel::Warn, expr_)
+#define FT_LOG_ERROR(expr_) FT_LOG(::fedtrans::LogLevel::Error, expr_)
+
+}  // namespace fedtrans

@@ -1,0 +1,327 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "fl/metrics.hpp"
+#include "net/transport.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+// Shared log2-spaced bucket ladder: 2^-20 (~1 µs) .. 2^30 (~1 GiB) + Inf.
+// One ladder for every unit keeps shards flat arrays and snapshots of
+// different histograms directly comparable.
+constexpr int kBucketLo = -20;
+constexpr int kBucketHi = 30;
+constexpr std::size_t kNumBuckets =
+    static_cast<std::size_t>(kBucketHi - kBucketLo + 1) + 1;  // + Inf
+
+// Fixed shard capacity: no slot array ever reallocates, so snapshot() can
+// merge while owner threads keep writing (single-writer relaxed atomics).
+constexpr std::size_t kMaxCounters = 64;
+constexpr std::size_t kMaxHistograms = 16;
+
+std::vector<double> bucket_bounds() {
+  std::vector<double> le;
+  le.reserve(kNumBuckets);
+  for (int k = kBucketLo; k <= kBucketHi; ++k) le.push_back(std::ldexp(1.0, k));
+  le.push_back(std::numeric_limits<double>::infinity());
+  return le;
+}
+
+std::size_t bucket_index(double v) {
+  if (v <= std::ldexp(1.0, kBucketLo)) return 0;
+  if (v > std::ldexp(1.0, kBucketHi)) return kNumBuckets - 1;
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  // Smallest p with 2^p >= v: exp, except exact powers of two (m == 0.5)
+  // where v == 2^(exp-1) lands in its own inclusive bucket.
+  const int p = m == 0.5 ? exp - 1 : exp;
+  return static_cast<std::size_t>(p - kBucketLo);
+}
+
+// All shard fields are written by exactly one thread (the owner) and read
+// by snapshot(); relaxed atomics make the race well-defined without
+// hot-path synchronization (load+store, never CAS).
+struct HistShard {
+  std::atomic<std::uint64_t> bucket[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+};
+
+struct Shard {
+  std::atomic<double> counters[kMaxCounters] = {};
+  HistShard hists[kMaxHistograms];
+};
+
+// Full-precision number formatting shared by JSON and Prometheus output:
+// integers print exactly, everything else with round-trip precision.
+std::string num(double v) {
+  const long long ll = static_cast<long long>(v);
+  char buf[64];
+  if (static_cast<double>(ll) == v && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", ll);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  std::mutex m;
+  std::unordered_map<std::string, std::size_t> counter_ids;
+  std::unordered_map<std::string, std::size_t> hist_ids;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> hist_names;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::map<std::string, double> gauges;
+  // Legacy-struct re-exports: copied verbatim (set-latest-wins) so they
+  // reconcile byte-for-byte with CostMeter / FabricStats.
+  std::map<std::string, double> exported;
+  // Bumped by reset(); owner threads lazily re-register, orphaning their
+  // old shard (which reset() already detached).
+  std::atomic<std::uint64_t> epoch{0};
+
+  Shard& local_shard() {
+    thread_local Shard* shard = nullptr;
+    thread_local std::uint64_t shard_epoch = ~0ull;
+    const std::uint64_t now = epoch.load(std::memory_order_acquire);
+    if (shard == nullptr || shard_epoch != now) {
+      auto owned = std::make_unique<Shard>();
+      Shard* raw = owned.get();
+      {
+        std::lock_guard<std::mutex> lk(m);
+        shards.push_back(std::move(owned));
+      }
+      shard = raw;
+      shard_epoch = now;
+    }
+    return *shard;
+  }
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() {
+  static Impl* impl = new Impl();  // leaked: usable from atexit hooks
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+std::size_t MetricsRegistry::counter_id(const std::string& name) {
+  auto& im = impl();
+  std::lock_guard<std::mutex> lk(im.m);
+  auto it = im.counter_ids.find(name);
+  if (it != im.counter_ids.end()) return it->second;
+  const std::size_t id = im.counter_names.size();
+  if (id >= kMaxCounters)
+    throw std::runtime_error("MetricsRegistry: counter capacity exhausted");
+  im.counter_names.push_back(name);
+  im.counter_ids.emplace(name, id);
+  return id;
+}
+
+std::size_t MetricsRegistry::histogram_id(const std::string& name) {
+  auto& im = impl();
+  std::lock_guard<std::mutex> lk(im.m);
+  auto it = im.hist_ids.find(name);
+  if (it != im.hist_ids.end()) return it->second;
+  const std::size_t id = im.hist_names.size();
+  if (id >= kMaxHistograms)
+    throw std::runtime_error("MetricsRegistry: histogram capacity exhausted");
+  im.hist_names.push_back(name);
+  im.hist_ids.emplace(name, id);
+  return id;
+}
+
+void MetricsRegistry::counter_add(std::size_t id, double delta) {
+  auto& c = impl().local_shard().counters[id];
+  c.store(c.load(std::memory_order_relaxed) + delta,
+          std::memory_order_relaxed);
+}
+
+void MetricsRegistry::gauge_set(const std::string& name, double value) {
+  auto& im = impl();
+  std::lock_guard<std::mutex> lk(im.m);
+  im.gauges[name] = value;
+}
+
+void MetricsRegistry::histogram_observe(std::size_t id, double value) {
+  HistShard& h = impl().local_shard().hists[id];
+  auto& b = h.bucket[bucket_index(value)];
+  b.store(b.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  h.count.store(h.count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  h.sum.store(h.sum.load(std::memory_order_relaxed) + value,
+              std::memory_order_relaxed);
+  if (value < h.min.load(std::memory_order_relaxed))
+    h.min.store(value, std::memory_order_relaxed);
+  if (value > h.max.load(std::memory_order_relaxed))
+    h.max.store(value, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() {
+  auto& im = impl();
+  std::lock_guard<std::mutex> lk(im.m);
+  MetricsSnapshot snap;
+  for (std::size_t id = 0; id < im.counter_names.size(); ++id) {
+    double total = 0.0;
+    for (const auto& shard : im.shards)
+      total += shard->counters[id].load(std::memory_order_relaxed);
+    snap.counters[im.counter_names[id]] = total;
+  }
+  for (const auto& [name, value] : im.exported) snap.counters[name] = value;
+  snap.gauges = im.gauges;
+  const std::vector<double> le = bucket_bounds();
+  for (std::size_t id = 0; id < im.hist_names.size(); ++id) {
+    HistogramSnapshot hs;
+    hs.bucket_le = le;
+    hs.bucket_count.assign(kNumBuckets, 0);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const auto& shard : im.shards) {
+      const HistShard& h = shard->hists[id];
+      for (std::size_t b = 0; b < kNumBuckets; ++b)
+        hs.bucket_count[b] += h.bucket[b].load(std::memory_order_relaxed);
+      hs.count += h.count.load(std::memory_order_relaxed);
+      hs.sum += h.sum.load(std::memory_order_relaxed);
+      lo = std::min(lo, h.min.load(std::memory_order_relaxed));
+      hi = std::max(hi, h.max.load(std::memory_order_relaxed));
+    }
+    hs.min = hs.count != 0 ? lo : 0.0;
+    hs.max = hs.count != 0 ? hi : 0.0;
+    snap.histograms[im.hist_names[id]] = std::move(hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  auto& im = impl();
+  std::lock_guard<std::mutex> lk(im.m);
+  // Detach existing shards rather than zeroing them in place (which would
+  // race their owners); threads re-register at their next write.
+  im.shards.clear();
+  im.epoch.fetch_add(1, std::memory_order_release);
+  im.gauges.clear();
+  im.exported.clear();
+}
+
+void MetricsRegistry::export_cost_meter(const CostMeter& costs) {
+  auto& im = impl();
+  std::lock_guard<std::mutex> lk(im.m);
+  im.exported["fedtrans_cost_training_macs_total"] = costs.total_macs();
+  im.exported["fedtrans_cost_bytes_down_total"] = costs.bytes_down();
+  im.exported["fedtrans_cost_bytes_up_total"] = costs.bytes_up();
+  im.gauges["fedtrans_cost_storage_peak_bytes"] = costs.storage_bytes();
+}
+
+void MetricsRegistry::export_fabric_stats(const FabricStats& stats) {
+  auto& im = impl();
+  std::lock_guard<std::mutex> lk(im.m);
+  const auto put = [&im](const char* name,
+                         const std::atomic<std::uint64_t>& v) {
+    im.exported[name] = static_cast<double>(v.load(std::memory_order_relaxed));
+  };
+  put("fedtrans_fabric_frames_sent_total", stats.frames_sent);
+  put("fedtrans_fabric_frames_delivered_total", stats.frames_delivered);
+  put("fedtrans_fabric_frames_dropped_total", stats.frames_dropped);
+  put("fedtrans_fabric_frames_duplicated_total", stats.frames_duplicated);
+  put("fedtrans_fabric_frames_reordered_total", stats.frames_reordered);
+  put("fedtrans_fabric_bytes_sent_total", stats.bytes_sent);
+  put("fedtrans_fabric_bytes_delivered_total", stats.bytes_delivered);
+  put("fedtrans_fabric_client_dropouts_total", stats.client_dropouts);
+  put("fedtrans_fabric_frames_rejected_total", stats.frames_rejected);
+  put("fedtrans_fabric_frames_retried_total", stats.frames_retried);
+  put("fedtrans_fabric_retry_bytes_down_total", stats.retry_bytes_down);
+  put("fedtrans_fabric_retry_bytes_up_total", stats.retry_bytes_up);
+  put("fedtrans_fabric_leaf_failovers_total", stats.leaf_failovers);
+  put("fedtrans_fabric_failover_bytes_down_total", stats.failover_bytes_down);
+  put("fedtrans_fabric_bytes_root_in_total", stats.bytes_root_in);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << num(value);
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << num(value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"count\":" << h.count
+       << ",\"sum\":" << num(h.sum) << ",\"min\":" << num(h.min)
+       << ",\"max\":" << num(h.max) << ",\"buckets\":[";
+    // Elide empty buckets: emit [le, count] pairs for occupied ones only.
+    bool bfirst = true;
+    for (std::size_t b = 0; b < h.bucket_count.size(); ++b) {
+      if (h.bucket_count[b] == 0) continue;
+      if (!bfirst) os << ",";
+      bfirst = false;
+      os << "[" << (std::isinf(h.bucket_le[b]) ? std::string("\"+Inf\"")
+                                               : num(h.bucket_le[b]))
+         << "," << h.bucket_count[b] << "]";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << num(value) << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << num(value) << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.bucket_count.size(); ++b) {
+      cum += h.bucket_count[b];
+      // Occupied buckets and the terminal +Inf series keep the exposition
+      // compact without losing cumulative-count information.
+      if (h.bucket_count[b] == 0 && !std::isinf(h.bucket_le[b])) continue;
+      os << name << "_bucket{le=\""
+         << (std::isinf(h.bucket_le[b]) ? std::string("+Inf")
+                                        : num(h.bucket_le[b]))
+         << "\"} " << cum << "\n";
+    }
+    os << name << "_sum " << num(h.sum) << "\n";
+    os << name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fedtrans

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedtrans {
+
+class CostMeter;
+struct FabricStats;
+
+/// A merged view of one histogram: fixed log2-spaced buckets plus exact
+/// count/sum/min/max. Buckets hold values in (le of previous, le], with a
+/// final +Inf bucket; counts are cumulative in the Prometheus exposition
+/// but stored per-bucket here.
+struct HistogramSnapshot {
+  std::vector<double> bucket_le;      ///< upper bounds, ascending
+  std::vector<std::uint64_t> bucket_count;  ///< per-bucket (not cumulative)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Point-in-time merge of every instrument in the registry.
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} — keys sorted
+  /// (std::map), so equal snapshots serialize identically.
+  std::string to_json() const;
+  /// Prometheus text exposition (counters as `counter`, gauges as `gauge`,
+  /// histograms as `histogram` with _bucket/_sum/_count series).
+  std::string to_prometheus() const;
+};
+
+/// Process-wide registry of named counters, gauges, and histograms.
+///
+/// Writes go to per-thread shards (plain doubles, no atomics — each shard
+/// is touched by exactly one thread) and are merged under a mutex only on
+/// snapshot(), so instrument updates on the hot path are a hash-map lookup
+/// amortized to an array index via the Counter/Histogram handle types
+/// below. Gauges are set-latest-wins and live in a single locked slot.
+///
+/// Names follow prometheus conventions: `fedtrans_<noun>_<unit>` (see
+/// docs/observability.md for the catalog).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Stable id for a named instrument (creating it on first use).
+  std::size_t counter_id(const std::string& name);
+  std::size_t histogram_id(const std::string& name);
+
+  void counter_add(std::size_t id, double delta);
+  void gauge_set(const std::string& name, double value);
+  void histogram_observe(std::size_t id, double value);
+
+  /// Merge all shards into a point-in-time view. Does not reset anything.
+  MetricsSnapshot snapshot();
+  /// Zero every shard, gauge, and re-export (for test isolation).
+  void reset();
+
+  /// Re-export the engine's CostMeter into `fedtrans_cost_*` counters and
+  /// the transport's FabricStats into `fedtrans_fabric_*`. Values are
+  /// copied verbatim at snapshot time, so the registry view reconciles
+  /// byte-for-byte with the legacy structs.
+  void export_cost_meter(const CostMeter& costs);
+  void export_fabric_stats(const FabricStats& stats);
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl();
+};
+
+/// Cached-handle counter: `static Counter c("fedtrans_x_total");` then
+/// `c.add(n)` — the name lookup happens once.
+class Counter {
+ public:
+  explicit Counter(const std::string& name)
+      : id_(MetricsRegistry::global().counter_id(name)) {}
+  void add(double delta) { MetricsRegistry::global().counter_add(id_, delta); }
+  void inc() { add(1.0); }
+
+ private:
+  std::size_t id_;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const std::string& name)
+      : id_(MetricsRegistry::global().histogram_id(name)) {}
+  void observe(double value) {
+    MetricsRegistry::global().histogram_observe(id_, value);
+  }
+
+ private:
+  std::size_t id_;
+};
+
+}  // namespace fedtrans

@@ -1,0 +1,109 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fl/engine.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+const char* mode_name(SessionMode mode) {
+  return mode == SessionMode::Async ? "async" : "sync";
+}
+
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string run_report_json(const FederationEngine& engine) {
+  const SessionConfig& cfg = engine.config();
+  std::ostringstream os;
+  os << "{\"strategy\":\"" << escaped(engine.strategy().name()) << "\"";
+  os << ",\"config\":{";
+  os << "\"mode\":\"" << mode_name(cfg.mode) << "\"";
+  os << ",\"rounds\":" << cfg.rounds;
+  os << ",\"clients_per_round\":" << cfg.clients_per_round;
+  os << ",\"num_clients\":" << engine.fleet().size();
+  os << ",\"seed\":" << cfg.seed;
+  os << ",\"eval_every\":" << cfg.eval_every;
+  os << ",\"use_fabric\":" << (cfg.use_fabric ? "true" : "false");
+  if (cfg.use_fabric) {
+    os << ",\"topology\":{\"levels\":" << cfg.topology.levels
+       << ",\"shards\":" << cfg.topology.shards
+       << ",\"branching\":" << cfg.topology.branching
+       << ",\"partial_aggregation\":"
+       << (cfg.topology.partial_aggregation ? "true" : "false")
+       << ",\"max_retries\":" << cfg.topology.max_retries
+       << ",\"ack_timeout_s\":" << cfg.topology.ack_timeout_s << "}";
+  }
+  if (cfg.mode == SessionMode::Async) {
+    os << ",\"async\":{\"concurrency\":" << cfg.async.concurrency
+       << ",\"buffer_size\":" << cfg.async.buffer_size
+       << ",\"aggregations\":" << cfg.async.aggregations
+       << ",\"staleness_exponent\":" << cfg.async.staleness_exponent << "}";
+  }
+  os << "}";
+
+  os << ",\"rounds_done\":" << engine.rounds_done();
+  os << ",\"rounds\":[";
+  bool first = true;
+  for (const RoundRecord& rec : engine.history()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"round\":" << rec.round << ",\"avg_loss\":" << rec.avg_loss
+       << ",\"cum_macs\":" << rec.cum_macs
+       << ",\"accuracy\":" << rec.accuracy
+       << ",\"round_time_s\":" << rec.round_time_s
+       << ",\"participants\":" << rec.participants
+       << ",\"lost_updates\":" << rec.lost_updates
+       << ",\"leaf_failovers\":" << rec.leaf_failovers << "}";
+  }
+  os << "]";
+
+  // Final metric view with the legacy structs re-exported first, so the
+  // report's counters reconcile exactly with CostMeter / FabricStats.
+  auto& reg = MetricsRegistry::global();
+  reg.export_cost_meter(engine.costs());
+  if (engine.fabric() != nullptr)
+    reg.export_fabric_stats(engine.fabric()->transport().stats());
+  os << ",\"metrics\":" << reg.snapshot().to_json();
+
+  os << ",\"trace\":{\"enabled\":" << (trace_enabled() ? "true" : "false")
+     << ",\"events\":" << trace_event_count();
+  const char* trace_out = std::getenv("FEDTRANS_TRACE_OUT");
+  if (trace_out != nullptr && *trace_out != '\0')
+    os << ",\"path\":\"" << escaped(trace_out) << "\"";
+  os << "}}";
+  os << "\n";
+  return os.str();
+}
+
+void write_run_report(const FederationEngine& engine,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("run report: cannot open " + path);
+  out << run_report_json(engine);
+}
+
+void maybe_write_run_report_env(const FederationEngine& engine) {
+  const char* path = std::getenv("FEDTRANS_RUN_REPORT");
+  if (path == nullptr || *path == '\0') return;
+  write_run_report(engine, path);
+}
+
+}  // namespace fedtrans

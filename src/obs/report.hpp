@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+namespace fedtrans {
+
+class FederationEngine;
+
+/// One-session run report: a single JSON document capturing what the
+/// session was (strategy, config, topology), what happened (per-round
+/// records), and where the costs went (final MetricsRegistry snapshot with
+/// CostMeter / FabricStats re-exported into it), plus the trace path when
+/// FEDTRANS_TRACE_OUT is set — the artifact `scripts/`-side analysis and CI
+/// consume instead of scraping stdout.
+std::string run_report_json(const FederationEngine& engine);
+
+void write_run_report(const FederationEngine& engine,
+                      const std::string& path);
+
+/// Engine end-of-run hook: writes the report to $FEDTRANS_RUN_REPORT when
+/// that variable is set; a no-op otherwise.
+void maybe_write_run_report_env(const FederationEngine& engine);
+
+}  // namespace fedtrans

@@ -32,6 +32,8 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -554,17 +556,17 @@ GemmBackend initial_gemm_backend() {
     for (const auto& e : table) {
       if (std::strcmp(env, e.name) != 0) continue;
       if (cpu_supports(e.backend)) return e.backend;
-      std::fprintf(stderr,
-                   "[fedtrans] FEDTRANS_GEMM_BACKEND=%s not available on "
-                   "this build/host; using %s\n",
-                   env, gemm_backend_name(best_gemm_backend()));
+      FT_LOG_WARN("FEDTRANS_GEMM_BACKEND=" << env
+                                           << " not available on this "
+                                              "build/host; using "
+                                           << gemm_backend_name(
+                                                  best_gemm_backend()));
       return best_gemm_backend();
     }
     if (std::strcmp(env, "simd") != 0)
-      std::fprintf(stderr,
-                   "[fedtrans] unknown FEDTRANS_GEMM_BACKEND=%s "
-                   "(want scalar|avx2|avx512|neon|simd); using %s\n",
-                   env, gemm_backend_name(best_gemm_backend()));
+      FT_LOG_WARN("unknown FEDTRANS_GEMM_BACKEND="
+                  << env << " (want scalar|avx2|avx512|neon|simd); using "
+                  << gemm_backend_name(best_gemm_backend()));
     return best_gemm_backend();
   }
   return best_gemm_backend();
@@ -580,9 +582,9 @@ std::atomic<GemmBackend>& backend_state() {
 void log_backend_once() {
   static std::once_flag once;
   std::call_once(once, [] {
-    std::fprintf(stderr, "[fedtrans] gemm backend: %s%s\n",
-                 gemm_backend_name(gemm_backend()),
-                 g_backend_from_env ? " (FEDTRANS_GEMM_BACKEND)" : "");
+    FT_LOG_INFO("gemm backend: "
+                << gemm_backend_name(gemm_backend())
+                << (g_backend_from_env ? " (FEDTRANS_GEMM_BACKEND)" : ""));
   });
 }
 
@@ -746,6 +748,10 @@ void gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
     gemm_small(m, n, k, alpha, ea, eb, c, ldc);
     return;
   }
+  // Span only the above-threshold paths: tiny GEMMs (attention tiles, bias
+  // rows) are too frequent and too short to time without skewing them.
+  FT_SPAN_ARG("kernel", "gemm", "macs",
+              static_cast<double>(m) * n * k);
   const GemmBackend backend = gemm_backend();
   if (!trans_b && m <= kDirectBMaxM) {
     if (MicroDirectFn fn = direct_kernel(backend)) {
@@ -772,6 +778,8 @@ void gemm_half(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
     gemm_small(m, n, k, alpha, ea, eb, c, ldc);
     return;
   }
+  FT_SPAN_ARG("kernel", "gemm_half", "macs",
+              static_cast<double>(m) * n * k);
   gemm_blocked(m, n, k, alpha, ea, eb, c, ldc, kernel_info(gemm_backend()));
 }
 

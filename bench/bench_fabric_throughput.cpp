@@ -12,9 +12,13 @@
 #include <cstdio>
 #include <string_view>
 
+#include <map>
+#include <memory>
+
 #include "data/dataset.hpp"
 #include "fl/runner.hpp"
 #include "net/server.hpp"
+#include "pop/population.hpp"
 #include "tensor/gemm.hpp"
 
 namespace fedtrans {
@@ -210,6 +214,83 @@ BENCHMARK(BM_FabricRoundTree)
     ->Args({3, 4, 1})
     ->Args({3, 8, 0})
     ->Args({3, 8, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// Full fabric rounds over a huge sparse population (10k → 1M clients,
+/// fixed 128-client cohort): the selection scan walks the descriptor
+/// index, the cohort pool materializes only the 128 selected shards per
+/// round, and the FederationServer exchange runs over the wire protocol
+/// exactly as in BM_FabricRound. The headline counters are rounds_per_s
+/// (population scan + cohort materialization + fabric round) and
+/// resident_bytes_per_idle_client — descriptor storage plus the engine's
+/// dense fleet copy, amortized over the whole population (acceptance
+/// budget: ≤ 64 bytes/idle client at 1M).
+void BM_FabricRoundHuge(benchmark::State& state) {
+  const int population = static_cast<int>(state.range(0));
+  constexpr int kCohort = 128;
+
+  // The 1M descriptor index is reused across google-benchmark's repeated
+  // calibration calls — setup cost must not be rebuilt per estimate.
+  struct HugeSetup {
+    Population pop;
+    PopulationDataView view;
+    std::vector<DeviceProfile> fleet;
+    explicit HugeSetup(const PopulationConfig& cfg)
+        : pop(cfg), view(pop), fleet(pop.fleet()) {}
+  };
+  static std::map<int, std::unique_ptr<HugeSetup>> cache;
+  auto& setup = cache[population];
+  if (!setup) {
+    PopulationConfig cfg;
+    cfg.num_clients = population;
+    cfg.seed = 5;
+    cfg.shard = bench_data(population);
+    cfg.fleet.with_median_capacity(5e6);
+    cfg.availability.base_online_frac = 0.8;
+    cfg.availability.diurnal_amplitude = 0.1;
+    cfg.pool_capacity = 2 * kCohort;
+    setup = std::make_unique<HugeSetup>(cfg);
+  }
+
+  Rng rng(1);
+  Model model(bench_model(), rng);
+  LocalTrainConfig local;
+  local.steps = 2;
+  local.batch = 4;
+  FederationServer server(model, setup->view, setup->fleet, local,
+                          FaultConfig{});
+  WeightSet global = model.weights();
+
+  std::uint64_t round = 0;
+  Rng select_rng(7);
+  for (auto _ : state) {
+    const auto cohort = setup->pop.select_cohort(
+        static_cast<std::uint32_t>(round), kCohort, select_rng);
+    setup->view.pool().begin_round(cohort);
+    std::vector<Rng> rngs;
+    rngs.reserve(cohort.size());
+    Rng round_rng(round + 17);
+    for (std::size_t i = 0; i < cohort.size(); ++i)
+      rngs.push_back(round_rng.fork());
+    auto ex = server.run_round(static_cast<std::uint32_t>(round++), global,
+                               cohort, rngs);
+    benchmark::DoNotOptimize(ex.results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["rounds_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  const double idle_bytes = static_cast<double>(
+      setup->pop.descriptor_bytes() +
+      setup->fleet.capacity() * sizeof(DeviceProfile));
+  state.counters["resident_bytes_per_idle_client"] =
+      idle_bytes / static_cast<double>(population);
+  state.counters["pool_resident_clients"] =
+      static_cast<double>(setup->view.pool().resident());
+}
+BENCHMARK(BM_FabricRoundHuge)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
     ->Unit(benchmark::kMillisecond);
 
 /// Pure wire-protocol cost: encode+decode of a ModelDown frame carrying the

@@ -1,0 +1,283 @@
+// Multi-process federation: leaf aggregators as real child processes, the
+// same wire protocol on real Unix-domain sockets. The root binds a
+// listener and forks one process per leaf *before* touching the thread
+// pool; each leaf connects back, receives its ShardDown bundle, rebuilds
+// its slice of the million-scale Population from descriptors alone (every
+// per-client quantity is a pure function of the population seed, so a
+// process that never saw the parent's memory regenerates identical
+// shards), trains its client partition, and returns one bundled PartialUp.
+// The root reassembles the round and verifies every update is bitwise
+// identical to an in-process replay — process isolation, real sockets and
+// frame reassembly change nothing about the numbers.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/serial.hpp"
+#include "fl/local_train.hpp"
+#include "fl/weights.hpp"
+#include "model/model.hpp"
+#include "net/socket_transport.hpp"
+#include "net/wire.hpp"
+#include "pop/population.hpp"
+
+using namespace fedtrans;
+
+namespace {
+
+constexpr int kShards = 2;
+constexpr int kCohort = 8;
+constexpr std::uint32_t kRound = 0;
+
+/// Deterministic run parameters, rebuilt identically in every process —
+/// the only state the root ships to a leaf is the ShardDown bundle.
+PopulationConfig pop_cfg() {
+  PopulationConfig cfg;
+  cfg.num_clients = 5000;
+  cfg.seed = 404;
+  cfg.shard.num_classes = 4;
+  cfg.shard.channels = 1;
+  cfg.shard.hw = 8;
+  cfg.shard.mean_train_samples = 16;
+  cfg.shard.min_train_samples = 10;
+  cfg.shard.eval_samples = 8;
+  cfg.shard.noise = 0.35;
+  cfg.fleet.with_median_capacity(5e6);
+  cfg.availability.base_online_frac = 0.7;
+  cfg.availability.diurnal_amplitude = 0.2;
+  cfg.pool_capacity = kCohort;
+  return cfg;
+}
+
+ModelSpec demo_model() { return ModelSpec::conv(1, 8, 4, 4, {6, 8}); }
+
+LocalTrainConfig local_cfg() {
+  LocalTrainConfig cfg;
+  cfg.steps = 3;
+  cfg.batch = 6;
+  return cfg;
+}
+
+/// [spec string][weights] — the body layout ShardDown bundles carry.
+std::string encode_body(const std::string& spec_text, const WeightSet& w) {
+  std::ostringstream os(std::ios::binary);
+  write_string(os, spec_text);
+  write_weight_set(os, w);
+  return os.str();
+}
+
+struct Body {
+  ModelSpec spec;
+  WeightSet weights;
+};
+
+Body decode_body(const std::string& body) {
+  std::istringstream is(body, std::ios::binary);
+  const std::string spec_text = read_string(is);
+  Body out{ModelSpec::deserialize(spec_text), read_weight_set(is)};
+  return out;
+}
+
+/// Train one task exactly as a flat in-process round would: payload model
+/// from the body, client shards from the population, local randomness from
+/// the coordinator-forked Rng state the bundle carries.
+LocalTrainResult train_task(const Body& body, const Population& pop,
+                            int client,
+                            const std::array<std::uint64_t, 4>& rng_state) {
+  Rng scratch(1);
+  Model model(body.spec, scratch);
+  model.set_weights(body.weights);
+  Rng rng(1);
+  rng.set_state(rng_state);
+  const ClientData data = pop.materialize(client);
+  return local_train(model, data, local_cfg(), rng);
+}
+
+/// Leaf-aggregator child process: connect back to the root, announce the
+/// shard, serve exactly one round, exit.
+int run_leaf(int shard, const std::string& sock_path) {
+  const int fd = connect_unix(sock_path);
+
+  FabricMessage hello;
+  hello.type = MsgType::Ack;
+  hello.round = kRound;
+  hello.sender = aggregator_id(shard);
+  hello.receiver = kServerId;
+  send_frame_fd(fd, encode_message(hello));
+
+  FdFrameReader reader(fd, /*read_chunk=*/4096);
+  const ShardDownlink down = decode_shard_down(reader.read_frame());
+
+  // This process never saw the root's Population object — it regenerates
+  // its partition from the deterministic descriptor index.
+  Population pop(pop_cfg());
+
+  PartialUpdate up;
+  up.round = down.round;
+  up.sender = aggregator_id(shard);
+  up.shard = shard;
+  for (const DownlinkTask& t : down.tasks) {
+    const Body body = decode_body(down.bodies[t.body]);
+    const LocalTrainResult res =
+        train_task(body, pop, t.client, t.rng_state);
+    UpdateEntry e;
+    e.task = t.task;
+    e.client = t.client;
+    e.delta = res.delta;
+    e.avg_loss = res.avg_loss;
+    e.num_samples = res.num_samples;
+    e.macs_used = res.macs_used;
+    up.entries.push_back(std::move(e));
+  }
+  send_frame_fd(fd,
+                encode_partial_up(down.round, up.sender, kServerId, up));
+  ::close(fd);
+  return 0;
+}
+
+double max_abs(const WeightSet& a, const WeightSet& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::int64_t j = 0; j < a[i].numel(); ++j)
+      m = std::max(m, static_cast<double>(std::abs(a[i][j] - b[i][j])));
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string sock_path = std::string(tmp != nullptr ? tmp : "/tmp") +
+                                "/fedtrans_mp_" +
+                                std::to_string(::getpid()) + ".sock";
+  SocketListener listener = SocketListener::bind_unix(sock_path);
+
+  // Fork the leaves before anything spins up the shared thread pool —
+  // children must never inherit a multithreaded address space.
+  std::vector<pid_t> children;
+  for (int shard = 0; shard < kShards; ++shard) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::cerr << "fork failed\n";
+      return 1;
+    }
+    if (pid == 0) ::_exit(run_leaf(shard, sock_path));
+    children.push_back(pid);
+  }
+
+  // Root side: population, cohort, one shared broadcast body, per-task Rng
+  // forks — the same preparation a flat coordinator round does.
+  Population pop(pop_cfg());
+  Rng rng(11);
+  Model init(demo_model(), rng);
+  const auto cohort = pop.select_cohort(kRound, kCohort, rng);
+  std::vector<std::array<std::uint64_t, 4>> rng_states;
+  for (std::size_t i = 0; i < cohort.size(); ++i)
+    rng_states.push_back(rng.fork().state());
+
+  const std::string body = encode_body(init.spec().serialize(),
+                                       init.weights());
+  std::map<int, ShardDownlink> bundles;
+  for (int shard = 0; shard < kShards; ++shard) {
+    ShardDownlink& d = bundles[shard];
+    d.round = kRound;
+    d.shard = shard;
+    d.leaf_lo = shard;
+    d.leaf_hi = shard + 1;
+    d.bodies.push_back(body);
+  }
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    DownlinkTask t;
+    t.task = static_cast<std::int32_t>(i);
+    t.client = cohort[i];
+    t.body = 0;
+    t.rng_state = rng_states[i];
+    bundles[static_cast<int>(i) % kShards].tasks.push_back(t);
+  }
+
+  // Accept the leaves (their hello names the shard — accept order is
+  // whatever the kernel gives us), ship each its bundle, collect the
+  // PartialUps.
+  std::vector<UpdateEntry> collected(cohort.size());
+  std::vector<bool> seen(cohort.size(), false);
+  for (int conn = 0; conn < kShards; ++conn) {
+    const int fd = listener.accept_fd();
+    FdFrameReader reader(fd, /*read_chunk=*/4096);
+    const FabricMessage hello = decode_message(reader.read_frame());
+    const int shard = -2 - hello.sender;  // inverse of aggregator_id
+    if (hello.type != MsgType::Ack || shard < 0 || shard >= kShards) {
+      std::cerr << "unexpected hello from sender " << hello.sender << "\n";
+      return 1;
+    }
+    send_frame_fd(fd, encode_shard_down(kRound, kServerId,
+                                        aggregator_id(shard),
+                                        bundles[shard]));
+    const PartialUpdate up = decode_partial_up(reader.read_frame());
+    for (const UpdateEntry& e : up.entries) {
+      const auto slot = static_cast<std::size_t>(e.task);
+      if (slot >= cohort.size() || cohort[slot] != e.client || seen[slot]) {
+        std::cerr << "bad update slot " << e.task << "\n";
+        return 1;
+      }
+      collected[slot] = e;
+      seen[slot] = true;
+    }
+    std::cout << "leaf " << shard << " (pid " << children[static_cast<
+                     std::size_t>(shard)] << "): " << up.entries.size()
+              << " updates over " << listener.path() << "\n";
+    ::close(fd);
+  }
+
+  int exit_code = 0;
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "leaf pid " << pid << " failed\n";
+      exit_code = 1;
+    }
+  }
+  for (std::size_t i = 0; i < cohort.size(); ++i)
+    if (!seen[i]) {
+      std::cerr << "slot " << i << " never reported\n";
+      exit_code = 1;
+    }
+  if (exit_code != 0) return exit_code;
+
+  // In-process replay of the identical round: every delta, loss and sample
+  // count the leaves shipped must match bit for bit.
+  const Body proto = decode_body(body);
+  double worst = 0.0;
+  double loss_sum = 0.0, weight_sum = 0.0;
+  WeightSet acc;
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    const LocalTrainResult res =
+        train_task(proto, pop, cohort[i], rng_states[i]);
+    worst = std::max(worst, max_abs(res.delta, collected[i].delta));
+    if (res.avg_loss != collected[i].avg_loss ||
+        res.num_samples != collected[i].num_samples) {
+      std::cerr << "metrics diverged at slot " << i << "\n";
+      return 1;
+    }
+    const double w = static_cast<double>(res.num_samples);
+    if (acc.empty()) acc = ws_zeros_like(collected[i].delta);
+    ws_axpy(acc, static_cast<float>(w), collected[i].delta);
+    loss_sum += res.avg_loss * w;
+    weight_sum += w;
+  }
+  std::cout << "cross-process vs in-process max |ddelta| = " << worst
+            << (worst == 0.0 ? "  (bitwise identical)\n" : "  (BUG)\n");
+  if (worst != 0.0) return 1;
+
+  std::cout << "round " << kRound << ": " << cohort.size() << " clients of "
+            << pop.num_clients() << " trained across " << kShards
+            << " leaf processes, weighted loss "
+            << loss_sum / weight_sum << "\n";
+  return 0;
+}

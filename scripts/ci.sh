@@ -33,6 +33,14 @@ cmake -B "$BUILD_DIR" -S . -DFEDTRANS_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
 
+# Multi-process leg: leaf aggregators as forked child processes over real
+# Unix-domain sockets (examples/multiproc_federation.cpp). The example
+# verifies the cross-process round bitwise against an in-process replay
+# and exits nonzero on any divergence; the watchdog timeout turns a hung
+# socket (a child that died mid-frame, a listener that never accepts) into
+# a CI failure instead of a stuck job.
+FEDTRANS_THREADS=4 timeout 300 "$BUILD_DIR"/example_multiproc_federation
+
 # Tracing-enabled leg: the chaos-scenario and parity gates must stay
 # bitwise deterministic with live tracing (FEDTRANS_TRACE=1 autostarts
 # wall-clock tracing in every test binary; test_obs also exercises the

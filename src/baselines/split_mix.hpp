@@ -53,7 +53,7 @@ class SplitMixStrategy : public Strategy {
 
   ModelSpec full_spec_;
   int requested_bases_;
-  const FederatedDataset* data_ = nullptr;
+  const ClientDataProvider* data_ = nullptr;
   const std::vector<DeviceProfile>* fleet_ = nullptr;
   std::vector<std::unique_ptr<Model>> bases_;
   double base_macs_ = 0.0;

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+namespace fedtrans {
+
+/// splitmix64 finalizer — the hash behind every schedule-independent draw
+/// (transport fault injection, device availability). Counter-hashed draws
+/// answer the same question identically no matter which thread asks first,
+/// which is what keeps fault and availability decisions bit-reproducible
+/// under any schedule.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform [0, 1) draw keyed on four counters.
+inline double hash01(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                     std::uint64_t d) {
+  std::uint64_t h = mix64(a);
+  h = mix64(h ^ b);
+  h = mix64(h ^ c);
+  h = mix64(h ^ d);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace fedtrans

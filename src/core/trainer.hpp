@@ -137,7 +137,7 @@ class FedTransStrategy : public Strategy {
 
   ModelSpec initial_spec_;
   FedTransConfig cfg_;
-  const FederatedDataset* data_ = nullptr;
+  const ClientDataProvider* data_ = nullptr;
   const std::vector<DeviceProfile>* fleet_ = nullptr;
 
   std::vector<ModelEntry> models_;

@@ -37,17 +37,70 @@ std::vector<float> smooth_field(int grid, int hw, Rng& rng) {
   return out;
 }
 
+/// One client's shards from its private generator. Shared between eager
+/// generation (crng forked sequentially from the dataset root) and the lazy
+/// ShardGenerator (crng seeded independently per client) — same bytes for
+/// the same crng either way.
+ClientData make_client_data(const DatasetConfig& cfg,
+                            const std::vector<std::vector<float>>& protos,
+                            Rng& crng) {
+  const auto plane = static_cast<std::size_t>(cfg.hw) * cfg.hw;
+  // Client style: one smooth field per channel, scaled by style_strength.
+  std::vector<std::vector<float>> style(static_cast<std::size_t>(cfg.channels));
+  for (auto& s : style) s = smooth_field(cfg.proto_grid, cfg.hw, crng);
+
+  // Label distribution: Dirichlet(h) over classes.
+  const std::vector<double> label_p =
+      crng.dirichlet(cfg.dirichlet_h, cfg.num_classes);
+
+  // Long-tailed volume.
+  const double ln = crng.lognormal(std::log(cfg.mean_train_samples), 0.45);
+  const int n_train =
+      std::max(cfg.min_train_samples, static_cast<int>(std::lround(ln)));
+  const int n_eval = cfg.eval_samples;
+
+  auto make_shard = [&](int n, Tensor& x, std::vector<int>& y) {
+    x = Tensor({n, cfg.channels, cfg.hw, cfg.hw});
+    y.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int label = crng.categorical(label_p);
+      y[static_cast<std::size_t>(i)] = label;
+      for (int ch = 0; ch < cfg.channels; ++ch) {
+        const auto& proto =
+            protos[static_cast<std::size_t>(label) * cfg.channels + ch];
+        const auto& st = style[static_cast<std::size_t>(ch)];
+        float* px = x.data() +
+                    (static_cast<std::int64_t>(i) * cfg.channels + ch) *
+                        static_cast<std::int64_t>(plane);
+        for (std::size_t p = 0; p < plane; ++p)
+          px[p] = proto[p] + static_cast<float>(cfg.style_strength) * st[p] +
+                  static_cast<float>(cfg.noise * crng.normal());
+      }
+    }
+  };
+
+  ClientData cd;
+  make_shard(n_train, cd.x_train, cd.y_train);
+  make_shard(n_eval, cd.x_eval, cd.y_eval);
+  return cd;
+}
+
+/// Class prototypes: one smooth field per (class, channel), a function of
+/// the dataset seed only.
+std::vector<std::vector<float>> make_prototypes(const DatasetConfig& cfg,
+                                                Rng& rng) {
+  std::vector<std::vector<float>> protos(
+      static_cast<std::size_t>(cfg.num_classes) * cfg.channels);
+  for (auto& p : protos) p = smooth_field(cfg.proto_grid, cfg.hw, rng);
+  return protos;
+}
+
 }  // namespace
 
 FederatedDataset FederatedDataset::generate(const DatasetConfig& cfg) {
   FT_CHECK(cfg.num_classes >= 2 && cfg.num_clients >= 1 && cfg.hw >= 4);
   Rng rng(cfg.seed);
-
-  // Class prototypes: one smooth field per (class, channel).
-  const auto plane = static_cast<std::size_t>(cfg.hw) * cfg.hw;
-  std::vector<std::vector<float>> protos(
-      static_cast<std::size_t>(cfg.num_classes) * cfg.channels);
-  for (auto& p : protos) p = smooth_field(cfg.proto_grid, cfg.hw, rng);
+  const auto protos = make_prototypes(cfg, rng);
 
   FederatedDataset ds;
   ds.cfg_ = cfg;
@@ -55,48 +108,30 @@ FederatedDataset FederatedDataset::generate(const DatasetConfig& cfg) {
 
   for (int c = 0; c < cfg.num_clients; ++c) {
     Rng crng = rng.fork();
-    // Client style: one smooth field per channel, scaled by style_strength.
-    std::vector<std::vector<float>> style(
-        static_cast<std::size_t>(cfg.channels));
-    for (auto& s : style) s = smooth_field(cfg.proto_grid, cfg.hw, crng);
-
-    // Label distribution: Dirichlet(h) over classes.
-    const std::vector<double> label_p =
-        crng.dirichlet(cfg.dirichlet_h, cfg.num_classes);
-
-    // Long-tailed volume.
-    const double ln = crng.lognormal(std::log(cfg.mean_train_samples), 0.45);
-    const int n_train =
-        std::max(cfg.min_train_samples, static_cast<int>(std::lround(ln)));
-    const int n_eval = cfg.eval_samples;
-
-    auto make_shard = [&](int n, Tensor& x, std::vector<int>& y) {
-      x = Tensor({n, cfg.channels, cfg.hw, cfg.hw});
-      y.resize(static_cast<std::size_t>(n));
-      for (int i = 0; i < n; ++i) {
-        const int label = crng.categorical(label_p);
-        y[static_cast<std::size_t>(i)] = label;
-        for (int ch = 0; ch < cfg.channels; ++ch) {
-          const auto& proto =
-              protos[static_cast<std::size_t>(label) * cfg.channels + ch];
-          const auto& st = style[static_cast<std::size_t>(ch)];
-          float* px = x.data() +
-                      (static_cast<std::int64_t>(i) * cfg.channels + ch) *
-                          static_cast<std::int64_t>(plane);
-          for (std::size_t p = 0; p < plane; ++p)
-            px[p] = proto[p] +
-                    static_cast<float>(cfg.style_strength) * st[p] +
-                    static_cast<float>(cfg.noise * crng.normal());
-        }
-      }
-    };
-
-    ClientData cd;
-    make_shard(n_train, cd.x_train, cd.y_train);
-    make_shard(n_eval, cd.x_eval, cd.y_eval);
-    ds.clients_.push_back(std::move(cd));
+    ds.clients_.push_back(make_client_data(cfg, protos, crng));
   }
   return ds;
+}
+
+FederatedDataset FederatedDataset::from_clients(DatasetConfig cfg,
+                                                std::vector<ClientData> clients) {
+  FT_CHECK_MSG(!clients.empty(), "dataset needs at least one client");
+  FederatedDataset ds;
+  ds.cfg_ = std::move(cfg);
+  ds.cfg_.num_clients = static_cast<int>(clients.size());
+  ds.clients_ = std::move(clients);
+  return ds;
+}
+
+ShardGenerator::ShardGenerator(const DatasetConfig& cfg) : cfg_(cfg) {
+  FT_CHECK(cfg.num_classes >= 2 && cfg.hw >= 4);
+  Rng rng(cfg_.seed);
+  protos_ = make_prototypes(cfg_, rng);
+}
+
+ClientData ShardGenerator::make_client(std::uint64_t client_seed) const {
+  Rng crng(client_seed);
+  return make_client_data(cfg_, protos_, crng);
 }
 
 const ClientData& FederatedDataset::client(int c) const {

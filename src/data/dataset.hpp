@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -51,15 +52,37 @@ struct ClientData {
   int eval_size() const { return static_cast<int>(y_eval.size()); }
 };
 
-/// A federated dataset: per-client train/eval shards plus metadata.
-class FederatedDataset {
+/// What the training stack actually needs from "a dataset": the shard of
+/// one client, on demand. Every strategy, the engine, and the fabric server
+/// consume this interface — which is what lets a million-client population
+/// (src/pop) serve shards materialized lazily from compact descriptors,
+/// while the eager FederatedDataset below stays the simple default.
+class ClientDataProvider {
+ public:
+  virtual ~ClientDataProvider() = default;
+  virtual int num_clients() const = 0;
+  virtual int num_classes() const = 0;
+  /// The client's local shards. The reference stays valid until the next
+  /// call that may recycle materialized clients (for FederatedDataset,
+  /// forever; for a cohort pool, until the cohort epoch advances).
+  virtual const ClientData& client(int c) const = 0;
+};
+
+/// A federated dataset: per-client train/eval shards plus metadata, all
+/// materialized up front.
+class FederatedDataset : public ClientDataProvider {
  public:
   static FederatedDataset generate(const DatasetConfig& cfg);
 
+  /// Wrap already-materialized shards (e.g. ShardGenerator output) — the
+  /// eager baseline the population layer's parity tests compare against.
+  static FederatedDataset from_clients(DatasetConfig cfg,
+                                       std::vector<ClientData> clients);
+
   const DatasetConfig& config() const { return cfg_; }
-  int num_clients() const { return static_cast<int>(clients_.size()); }
-  int num_classes() const { return cfg_.num_classes; }
-  const ClientData& client(int c) const;
+  int num_clients() const override { return static_cast<int>(clients_.size()); }
+  int num_classes() const override { return cfg_.num_classes; }
+  const ClientData& client(int c) const override;
 
   /// Pool every client's train shard (the "cloud ML" upper-bound setting).
   ClientData pooled() const;
@@ -70,6 +93,32 @@ class FederatedDataset {
  private:
   DatasetConfig cfg_;
   std::vector<ClientData> clients_;
+};
+
+/// Stateless per-client shard generator: the class prototypes (a function of
+/// DatasetConfig::seed only) are built once, then any client's shards can be
+/// produced from its own seed, in any order, on any thread.
+///
+/// This is the lazy counterpart of FederatedDataset::generate. generate()
+/// forks its per-client generators *sequentially* from one root Rng — cheap
+/// for 64 clients, but it would force a million-client population to walk
+/// the whole chain to materialize client 999999. Here each client is keyed
+/// by an independent seed (the population layer derives it by counter-
+/// hashing the dataset seed with the client index), so shards for a
+/// 128-client cohort out of 1M cost exactly 128 generations.
+class ShardGenerator {
+ public:
+  explicit ShardGenerator(const DatasetConfig& cfg);
+
+  const DatasetConfig& config() const { return cfg_; }
+
+  /// Generate one client's train/eval shards from its seed. Deterministic
+  /// in (config seed, client_seed); thread-safe (const state only).
+  ClientData make_client(std::uint64_t client_seed) const;
+
+ private:
+  DatasetConfig cfg_;
+  std::vector<std::vector<float>> protos_;  ///< per (class, channel)
 };
 
 /// Draw a batch (with replacement) from a client shard: x [B,C,H,W], labels.

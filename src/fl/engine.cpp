@@ -93,7 +93,7 @@ void Strategy::absorb_reduced(const ClientTask&, Model*, WeightSet&, double,
 }
 
 FederationEngine::FederationEngine(std::unique_ptr<Strategy> strategy,
-                                   const FederatedDataset& data,
+                                   const ClientDataProvider& data,
                                    std::vector<DeviceProfile> fleet,
                                    SessionConfig cfg)
     : strategy_(std::move(strategy)),
@@ -113,6 +113,13 @@ FederationEngine::FederationEngine(std::unique_ptr<Strategy> strategy,
 }
 
 FederationEngine::~FederationEngine() = default;
+
+void FederationEngine::set_selector(std::unique_ptr<ClientSelector> selector) {
+  FT_CHECK_MSG(selector != nullptr, "null selector");
+  FT_CHECK_MSG(round_ == 0 && version_ == 0,
+               "selector swap after rounds have run");
+  selector_ = std::move(selector);
+}
 
 void FederationEngine::on_round(std::function<void(const RoundRecord&)> fn) {
   owned_observers_.push_back(
@@ -150,7 +157,7 @@ ExchangeResult FederationEngine::exchange(
     if (!fabric_)
       fabric_ = std::make_unique<FederationServer>(
           strategy_->reference_model(), data_, fleet_, cfg_.local,
-          cfg_.fabric_faults, cfg_.topology);
+          cfg_.fabric_faults, cfg_.topology, cfg_.transport, cfg_.socket);
     std::vector<int> clients;
     clients.reserve(tasks.size());
     for (const ClientTask& t : tasks) clients.push_back(t.client);
@@ -439,7 +446,7 @@ void FederationEngine::run_async_fabric() {
   if (!fabric_)
     fabric_ = std::make_unique<FederationServer>(
         strategy_->reference_model(), data_, fleet_, cfg_.local,
-        cfg_.fabric_faults, cfg_.topology);
+        cfg_.fabric_faults, cfg_.topology, cfg_.transport, cfg_.socket);
   RoundContext ctx = make_context();
   const double model_bytes = static_cast<double>(shared->param_bytes()) *
                              wire_dtype_scale(cfg_);

@@ -29,7 +29,7 @@ struct ClientTask {
 /// Everything a Strategy hook may touch while a round executes. Handed to
 /// every hook so strategies stay free of engine back-pointers.
 struct RoundContext {
-  const FederatedDataset& data;
+  const ClientDataProvider& data;
   const std::vector<DeviceProfile>& fleet;
   const SessionConfig& session;
   CostMeter& costs;
@@ -213,7 +213,7 @@ class Strategy {
 class FederationEngine {
  public:
   FederationEngine(std::unique_ptr<Strategy> strategy,
-                   const FederatedDataset& data,
+                   const ClientDataProvider& data,
                    std::vector<DeviceProfile> fleet, SessionConfig cfg);
   ~FederationEngine();
   // Not movable: strategies capture &fleet_/&data_ in attach(), so a moved
@@ -240,12 +240,17 @@ class FederationEngine {
   }
 
   const SessionConfig& config() const { return cfg_; }
-  const FederatedDataset& data() const { return data_; }
+  const ClientDataProvider& data() const { return data_; }
   const std::vector<DeviceProfile>& fleet() const { return fleet_; }
   const std::vector<RoundRecord>& history() const { return history_; }
   const CostMeter& costs() const { return costs_; }
   int rounds_done() const { return round_; }
   ClientSelector& selector() { return *selector_; }
+
+  /// Replace the selector built from cfg.selector — e.g. the population
+  /// layer's availability-aware selector (src/pop). Call before any round
+  /// has run; the engine owns the replacement.
+  void set_selector(std::unique_ptr<ClientSelector> selector);
 
   /// The federation fabric backing this session; null until the first
   /// use_fabric round executes (and always null without use_fabric).
@@ -286,7 +291,7 @@ class FederationEngine {
   bool numeric_rounds() const;
 
   std::unique_ptr<Strategy> strategy_;
-  const FederatedDataset& data_;
+  const ClientDataProvider& data_;
   std::vector<DeviceProfile> fleet_;
   SessionConfig cfg_;
   Rng rng_;

@@ -125,6 +125,11 @@ struct SessionConfig : SessionRuntime {
   /// Fabric shape (flat vs sharded tree) + retry policy; only consulted
   /// when use_fabric is set.
   FabricTopology topology{};
+  /// Which Transport implementation carries fabric frames. Fault-free
+  /// rounds are bitwise identical across kinds; Socket pushes every frame
+  /// through real non-blocking sockets with incremental reassembly.
+  TransportKind transport = TransportKind::Sim;
+  SocketOptions socket{};
   AsyncBlock async{};
 
   // Fluent builder.
@@ -147,6 +152,13 @@ struct SessionConfig : SessionRuntime {
   SessionConfig& with_fabric(const FaultConfig& f = {}) {
     use_fabric = true;
     fabric_faults = f;
+    return *this;
+  }
+  /// Run the fabric over real loopback sockets (implies with_fabric()).
+  SessionConfig& with_socket_transport(const SocketOptions& s = {}) {
+    use_fabric = true;
+    transport = TransportKind::Socket;
+    socket = s;
     return *this;
   }
   /// Sharded fabric: a 2-level aggregation tree with `k` leaf shards

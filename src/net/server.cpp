@@ -91,7 +91,7 @@ namespace {
 /// whether any attempt was delivered. Every resend is counted in
 /// FabricStats (frames_retried + the directional retry-byte counter the
 /// engine bills through CostMeter).
-bool send_with_retry(SimTransport& net, std::int32_t src, std::int32_t dst,
+bool send_with_retry(Transport& net, std::int32_t src, std::int32_t dst,
                      double first_at_s, const FabricTopology& policy,
                      bool downlink,
                      const std::function<std::string(std::uint8_t)>& encode) {
@@ -236,12 +236,12 @@ PartialUpdate merge_bundles(std::vector<PartialUpdate> bundles,
 
 }  // namespace
 
-ClientAgent::ClientAgent(int id, const FederatedDataset& data,
+ClientAgent::ClientAgent(int id, const ClientDataProvider& data,
                          LocalTrainConfig local, FabricTopology policy)
     : id_(id), data_(&data), local_(local), policy_(policy) {}
 
 void ClientAgent::poll(std::uint32_t round, const Model& prototype,
-                       SimTransport& net,
+                       Transport& net,
                        std::vector<ClientOutcome>& outcomes) {
   FT_SPAN_ARG("client", "poll", "client", id_);
   // Drain the mailbox first: duplicates and reordered frames all land here.
@@ -364,10 +364,12 @@ void ClientAgent::poll(std::uint32_t round, const Model& prototype,
 }
 
 FederationServer::FederationServer(const Model& prototype,
-                                   const FederatedDataset& data,
+                                   const ClientDataProvider& data,
                                    std::vector<DeviceProfile> fleet,
                                    LocalTrainConfig local, FaultConfig faults,
-                                   FabricTopology topology)
+                                   FabricTopology topology,
+                                   TransportKind transport,
+                                   SocketOptions socket)
     : prototype_(prototype), data_(&data), local_(local), topo_(topology) {
   FT_CHECK_MSG(static_cast<int>(fleet.size()) == data.num_clients(),
                "fabric fleet size must match client count");
@@ -382,11 +384,8 @@ FederationServer::FederationServer(const Model& prototype,
                "fabric retry policy needs max_retries >= 0 and a positive "
                "ack timeout");
   if (sharded()) tree_ = FabricTree(topo_);
-  net_ = std::make_unique<SimTransport>(std::move(fleet), faults,
-                                        tree_.num_aggregators());
-  agents_.reserve(static_cast<std::size_t>(data.num_clients()));
-  for (int c = 0; c < data.num_clients(); ++c)
-    agents_.emplace_back(c, data, local, topo_);
+  net_ = make_transport(transport, std::move(fleet), faults,
+                        tree_.num_aggregators(), socket);
 }
 
 int FederationServer::owner_leaf(std::uint32_t round, int s) const {
@@ -664,8 +663,13 @@ void FederationServer::poll_agents(std::uint32_t round,
       static_cast<std::int64_t>(distinct.size()), 1,
       [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t i = lo; i < hi; ++i)
-          agents_[static_cast<std::size_t>(
-                      distinct[static_cast<std::size_t>(i)])]
+          // Agents are stateless per-round workers (id + config + borrowed
+          // data): build one on the stack per distinct client instead of
+          // keeping a live object per population member. At a million
+          // clients the always-materialized agent vector is exactly the
+          // kind of resident cost the descriptor population avoids.
+          ClientAgent(distinct[static_cast<std::size_t>(i)], *data_, local_,
+                      topo_)
               .poll(round, prototype_, *net_, out.outcomes);
       });
 }

@@ -116,19 +116,19 @@ struct AsyncTurnaround {
 /// resent `ack_timeout_s` apart, up to `max_retries` times.
 class ClientAgent {
  public:
-  ClientAgent(int id, const FederatedDataset& data, LocalTrainConfig local,
+  ClientAgent(int id, const ClientDataProvider& data, LocalTrainConfig local,
               FabricTopology policy);
 
   /// Drain this client's mailbox for `round`, train every task whose
   /// invitation and model both arrived, and record each task's outcome in
   /// its slot of `outcomes` (slots are disjoint across agents, so workers
   /// write concurrently without coordination).
-  void poll(std::uint32_t round, const Model& prototype, SimTransport& net,
+  void poll(std::uint32_t round, const Model& prototype, Transport& net,
             std::vector<ClientOutcome>& outcomes);
 
  private:
   int id_;
-  const FederatedDataset* data_;
+  const ClientDataProvider* data_;
   LocalTrainConfig local_;
   FabricTopology policy_;
 };
@@ -172,9 +172,11 @@ class FederationServer {
  public:
   enum class Phase : std::uint8_t { Idle, Broadcast, Collect, Aggregate };
 
-  FederationServer(const Model& prototype, const FederatedDataset& data,
+  FederationServer(const Model& prototype, const ClientDataProvider& data,
                    std::vector<DeviceProfile> fleet, LocalTrainConfig local,
-                   FaultConfig faults, FabricTopology topology = {});
+                   FaultConfig faults, FabricTopology topology = {},
+                   TransportKind transport = TransportKind::Sim,
+                   SocketOptions socket = {});
 
   /// Shared-model exchange: every task downloads the same `global` weight
   /// snapshot (encoded once) into the prototype architecture. `clients[i]`
@@ -210,7 +212,7 @@ class FederationServer {
                                  double now_s);
 
   Phase phase() const { return phase_; }
-  const SimTransport& transport() const { return *net_; }
+  const Transport& transport() const { return *net_; }
   const FabricStats& stats() const { return net_->stats(); }
   int num_clients() const { return net_->num_clients(); }
   const FabricTopology& topology() const { return topo_; }
@@ -263,12 +265,11 @@ class FederationServer {
   int owner_leaf(std::uint32_t round, int s) const;
 
   Model prototype_;
-  const FederatedDataset* data_;
+  const ClientDataProvider* data_;
   LocalTrainConfig local_;
   FabricTopology topo_;
   FabricTree tree_;
-  std::unique_ptr<SimTransport> net_;
-  std::vector<ClientAgent> agents_;
+  std::unique_ptr<Transport> net_;
   /// Per-round, per-leaf fan-out memory: slot → reduce key of the tasks
   /// this leaf served (written only by the owning leaf's worker), plus the
   /// round's numeric-mode flag and per-slot reduce keys. Consumed by the

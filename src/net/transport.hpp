@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -13,11 +14,12 @@
 
 namespace fedtrans {
 
-/// Fault-injection knobs of the simulated transport. All probabilities are
+/// Fault-injection knobs of the transport layer. All probabilities are
 /// per-frame (or per-client-per-round for dropout) and are drawn from a
 /// counter-hashed generator keyed on (seed, link, sequence number), so fault
 /// decisions are bit-reproducible regardless of the order in which threads
-/// hit the transport.
+/// hit the transport — and regardless of which Transport implementation
+/// carries the bytes.
 struct FaultConfig {
   /// Probability a frame is lost in transit (applies per direction).
   double drop_prob = 0.0;
@@ -53,8 +55,8 @@ struct FabricStats {
   std::atomic<std::uint64_t> bytes_sent{0};
   std::atomic<std::uint64_t> bytes_delivered{0};
   std::atomic<std::uint64_t> client_dropouts{0};
-  /// Delivered frames a receiver could not decode. The simulated transport
-  /// never corrupts bytes, so any nonzero value here is a codec bug, not a
+  /// Delivered frames a receiver could not decode. The transports never
+  /// corrupt bytes, so any nonzero value here is a codec bug, not a
   /// fault-injection artifact — fault-free tests assert it stays zero.
   std::atomic<std::uint64_t> frames_rejected{0};
   /// Retry-policy resends (FabricTopology::max_retries) of frames lost in
@@ -87,36 +89,51 @@ struct Envelope {
   std::string frame;
 };
 
-/// In-process simulated transport between the federation server (endpoint
-/// `kServerId` = -1), optional shard aggregators (`aggregator_id(k)` =
-/// -2 - k, see wire.hpp), and `num_clients` client endpoints (ids 0..n-1).
+/// Canonical delivery order every transport's receivers consume in:
+/// (deliver_at, src, seq) — the total order that makes fault-free rounds
+/// independent of which implementation carried the bytes.
+bool envelope_earlier(const Envelope& a, const Envelope& b);
+
+/// Abstract transport between the federation server (endpoint `kServerId` =
+/// -1), optional shard aggregators (`aggregator_id(k)` = -2 - k, see
+/// wire.hpp), and `num_clients` client endpoints (ids 0..n-1).
 ///
-/// Each destination owns a mutex-guarded mailbox, so fabric workers running
-/// on the shared ThreadPool can send/receive concurrently. Time is virtual:
-/// send() stamps the envelope with a simulated delivery instant derived from
-/// the client-side DeviceProfile bandwidth (server↔aggregator backbone
-/// links are treated as infinitely fast) and delivers immediately;
-/// receivers consume mailboxes in (deliver_at, seq) order, which is where
-/// reordering faults bite.
-class SimTransport {
+/// The base class owns everything that must be implementation-independent
+/// for fault-free rounds to stay bitwise identical across transports: the
+/// fleet (simulated link latency and device lookup), the counter-hashed
+/// fault draws (drop/dup/reorder/dropout/leaf-death), per-link sequence
+/// numbers, envelope timestamp stamping, and the FabricStats accounting.
+/// Implementations only decide how stamped envelopes travel from send() to
+/// the destination's try_recv()/drain(): `SimTransport` moves them through
+/// in-process mailboxes; `SocketTransport` (net/socket_transport.hpp)
+/// serializes them over real non-blocking sockets and reassembles frames
+/// incrementally on the receive side.
+class Transport {
  public:
-  SimTransport(std::vector<DeviceProfile> fleet, FaultConfig faults,
-               int num_aggregators = 0);
+  Transport(std::vector<DeviceProfile> fleet, FaultConfig faults,
+            int num_aggregators);
+  virtual ~Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
 
   int num_clients() const { return static_cast<int>(fleet_.size()); }
+  int num_aggregators() const { return num_aggregators_; }
 
   /// Queue a frame from `src` to `dst` (either kServerId or a client id),
   /// `sent_at_s` seconds into the simulated round. Returns false if the
   /// frame was lost to fault injection. Thread-safe.
-  bool send(std::int32_t src, std::int32_t dst, std::string frame,
-            double sent_at_s = 0.0);
+  virtual bool send(std::int32_t src, std::int32_t dst, std::string frame,
+                    double sent_at_s = 0.0) = 0;
 
   /// Pop the earliest-delivered pending frame for `dst`; nullopt when the
   /// mailbox is empty. Thread-safe.
-  std::optional<Envelope> try_recv(std::int32_t dst);
+  virtual std::optional<Envelope> try_recv(std::int32_t dst) = 0;
 
   /// Drain every pending frame for `dst` in delivery order. Thread-safe.
-  std::vector<Envelope> drain(std::int32_t dst);
+  virtual std::vector<Envelope> drain(std::int32_t dst) = 0;
+
+  /// Implementation tag ("sim", "socket") for diagnostics and metrics.
+  virtual std::string name() const = 0;
 
   /// Deterministic per-(round, client) dropout draw — the same question
   /// always gets the same answer, independent of thread schedule.
@@ -136,6 +153,68 @@ class SimTransport {
   FabricStats& stats_mutable() { return stats_; }
   const FaultConfig& faults() const { return faults_; }
 
+ protected:
+  /// A send() stamped for delivery: the envelope (timestamps, sequence
+  /// number) plus the trailing duplicate when the dup fault fired.
+  struct Stamped {
+    Envelope env;
+    std::optional<Envelope> dup;
+  };
+
+  /// Shared front half of every send(): sequence the frame on its link,
+  /// count it sent, apply the drop/reorder/dup draws, and stamp simulated
+  /// timestamps (client-radio latency; zero-latency backbone between
+  /// negative endpoints). Returns nullopt when the frame was dropped —
+  /// already counted and traced. Identical across implementations, which is
+  /// what keeps fault sequences and envelope metadata bitwise equal.
+  std::optional<Stamped> stamp(std::int32_t src, std::int32_t dst,
+                               std::string frame, double sent_at_s);
+
+  /// Shared back half: delivered/duplicated/root-fan-in accounting for a
+  /// stamped send that reached the destination's queue.
+  void account_delivered(const Stamped& s);
+
+  /// Uniform [0,1) hash draw for fault decision `salt` on frame
+  /// (link, seq) — counter-based, schedule-independent.
+  double fault_draw(std::uint64_t link, std::uint64_t seq,
+                    std::uint64_t salt) const;
+
+  /// Endpoint index on the canonical dense layout: 0 = server, c+1 =
+  /// client c, n+1+k = aggregator k. Checks the endpoint exists.
+  int endpoint_index(std::int32_t endpoint) const;
+  int num_endpoints() const {
+    return num_clients() + 1 + num_aggregators_;
+  }
+
+  std::vector<DeviceProfile> fleet_;
+  FaultConfig faults_;
+  int num_aggregators_ = 0;
+  std::mutex seq_m_;
+  std::unordered_map<std::uint64_t, std::uint64_t> link_seq_;
+  FabricStats stats_;
+};
+
+/// In-process simulated transport: stamped envelopes go straight into the
+/// destination's mutex-guarded mailbox, so fabric workers running on the
+/// shared ThreadPool can send/receive concurrently. Time is virtual — a
+/// frame is visible to its receiver immediately, carrying the simulated
+/// delivery instant receivers order by.
+///
+/// Mailboxes are allocated lazily, on first touch: a million-client
+/// population (src/pop) keeps descriptors for every client but only the
+/// per-round cohort ever exchanges frames, so idle clients cost this
+/// transport nothing.
+class SimTransport final : public Transport {
+ public:
+  SimTransport(std::vector<DeviceProfile> fleet, FaultConfig faults,
+               int num_aggregators = 0);
+
+  bool send(std::int32_t src, std::int32_t dst, std::string frame,
+            double sent_at_s = 0.0) override;
+  std::optional<Envelope> try_recv(std::int32_t dst) override;
+  std::vector<Envelope> drain(std::int32_t dst) override;
+  std::string name() const override { return "sim"; }
+
  private:
   struct Mailbox {
     std::mutex m;
@@ -143,19 +222,33 @@ class SimTransport {
   };
 
   Mailbox& mailbox(std::int32_t endpoint);
-  /// Uniform [0,1) hash draw for fault decision `salt` on frame
-  /// (link, seq) — counter-based, schedule-independent.
-  double fault_draw(std::uint64_t link, std::uint64_t seq,
-                    std::uint64_t salt) const;
 
-  std::vector<DeviceProfile> fleet_;
-  FaultConfig faults_;
-  int num_aggregators_ = 0;
-  /// index 0 = server, index c+1 = client c, index n+1+k = aggregator k.
-  std::vector<Mailbox> boxes_;
-  std::mutex seq_m_;
-  std::unordered_map<std::uint64_t, std::uint64_t> link_seq_;
-  FabricStats stats_;
+  std::mutex boxes_m_;  ///< guards the map, not the mailboxes
+  std::unordered_map<int, std::unique_ptr<Mailbox>> boxes_;
 };
+
+/// Which Transport implementation a fabric session runs over.
+enum class TransportKind : std::uint8_t {
+  Sim,     ///< in-process mailboxes (the default; zero syscalls)
+  Socket,  ///< real non-blocking sockets, loopback (net/socket_transport)
+};
+
+/// Tuning knobs of the socket transport (ignored by TransportKind::Sim).
+struct SocketOptions {
+  /// Max bytes consumed per recv() call. Small values force frames to
+  /// arrive split across many reads — the incremental reassembly path the
+  /// loopback tests exercise on purpose.
+  int read_chunk = 4096;
+  /// Max bytes per write() call (torn writes); 0 = write whole frames.
+  int write_chunk = 0;
+};
+
+/// Factory behind SessionConfig::transport: build the requested transport
+/// over `fleet` with the shared fault model.
+std::unique_ptr<Transport> make_transport(TransportKind kind,
+                                          std::vector<DeviceProfile> fleet,
+                                          FaultConfig faults,
+                                          int num_aggregators = 0,
+                                          const SocketOptions& socket = {});
 
 }  // namespace fedtrans

@@ -250,6 +250,43 @@ std::size_t frame_size(std::string_view buffer) {
   return kWireHeaderBytes + static_cast<std::size_t>(payload_len);
 }
 
+FrameStatus try_frame_size(std::string_view buffer, std::size_t& frame_bytes) {
+  frame_bytes = 0;
+  if (buffer.size() >= sizeof(std::uint32_t)) {
+    // Validate the magic as soon as it is readable: a stream that does not
+    // open with it has lost framing sync, and no amount of further bytes
+    // will recover it.
+    std::uint32_t magic = 0;
+    std::memcpy(&magic, buffer.data(), sizeof(magic));
+    FT_CHECK_MSG(magic == kWireMagic, "bad wire magic");
+  }
+  if (buffer.size() < kWireHeaderBytes) return FrameStatus::NeedMoreBytes;
+  frame_bytes = frame_size(buffer.substr(0, kWireHeaderBytes));
+  return buffer.size() >= frame_bytes ? FrameStatus::FrameReady
+                                      : FrameStatus::NeedMoreBytes;
+}
+
+void FrameAssembler::feed(const char* data, std::size_t n) {
+  if (n == 0) return;
+  // Compact the consumed prefix before growing, so the buffer never holds
+  // more than one partial frame's worth of dead bytes.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+std::optional<std::string> FrameAssembler::next_frame() {
+  const std::string_view rest = std::string_view(buf_).substr(pos_);
+  std::size_t total = 0;
+  if (try_frame_size(rest, total) == FrameStatus::NeedMoreBytes)
+    return std::nullopt;
+  std::string frame(rest.substr(0, total));
+  pos_ += total;
+  return frame;
+}
+
 FabricMessage decode_message(std::string_view frame) {
   const FrameHeader h = parse_header(frame);
   FabricMessage msg;

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -228,6 +229,50 @@ MsgType frame_type(std::string_view frame);
 /// lets stream consumers split concatenated frames. Throws on bad magic or
 /// a buffer shorter than the header.
 std::size_t frame_size(std::string_view buffer);
+
+/// Result of probing a byte stream for a complete frame. A short buffer is
+/// a normal streaming condition (the peer's next write is still in flight),
+/// not corruption — stream consumers must wait for more bytes, while
+/// `frame_size`'s throwing contract stays reserved for whole-frame buffers.
+enum class FrameStatus : std::uint8_t {
+  FrameReady,     ///< the buffer holds at least one complete frame
+  NeedMoreBytes,  ///< header or payload still incomplete — keep reading
+};
+
+/// Probe `buffer` (the unconsumed prefix of a byte stream) for one complete
+/// frame. Returns NeedMoreBytes while the fixed header — or the payload it
+/// announces — has not fully arrived; returns FrameReady and sets
+/// `frame_bytes` to the frame's total size once it has. `frame_bytes` is
+/// also set (to the implied total) when the header is complete but the
+/// payload is short, and left 0 while the header itself is partial. Still
+/// throws on bad magic or a corrupt length field: those are stream
+/// corruption, which waiting cannot fix.
+FrameStatus try_frame_size(std::string_view buffer, std::size_t& frame_bytes);
+
+/// Incremental frame reassembly for stream transports: feed raw bytes as
+/// they arrive (partial headers, split payloads, several frames per read —
+/// any segmentation), pop complete frames out. The assembler only splits
+/// the stream on length-prefix boundaries; each popped frame still goes
+/// through the full decode_message/decode_partial_up validation (checksum
+/// included). Feeding bytes that cannot start a frame (bad magic, corrupt
+/// length) throws `Error` from next_frame — a byte stream that lost sync
+/// cannot be resynchronized and the connection must be torn down.
+class FrameAssembler {
+ public:
+  /// Append `n` raw stream bytes.
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Pop the next complete frame, or nullopt while more bytes are needed.
+  std::optional<std::string> next_frame();
+
+  /// Bytes buffered but not yet popped as frames.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix, compacted opportunistically
+};
 
 /// WeightSet codec shared by ModelDown/UpdateUp payloads (tensor count,
 /// then each tensor's shape + raw fp32 data — bit-exact round trip).

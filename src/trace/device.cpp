@@ -4,25 +4,43 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 
 namespace fedtrans {
+
+DeviceProfile sample_device(const FleetConfig& cfg, Rng& rng) {
+  DeviceProfile d;
+  d.compute_macs_per_s =
+      cfg.median_compute_macs_per_s * rng.lognormal(0.0, cfg.sigma_compute);
+  d.bandwidth_bytes_per_s =
+      cfg.median_bandwidth_bytes_per_s * rng.lognormal(0.0, cfg.sigma_bandwidth);
+  d.capacity_macs = d.compute_macs_per_s * cfg.latency_budget_s;
+  return d;
+}
 
 std::vector<DeviceProfile> sample_fleet(const FleetConfig& cfg) {
   FT_CHECK(cfg.num_devices > 0);
   Rng rng(cfg.seed);
   std::vector<DeviceProfile> fleet;
   fleet.reserve(static_cast<std::size_t>(cfg.num_devices));
-  for (int i = 0; i < cfg.num_devices; ++i) {
-    DeviceProfile d;
-    d.compute_macs_per_s =
-        cfg.median_compute_macs_per_s * rng.lognormal(0.0, cfg.sigma_compute);
-    d.bandwidth_bytes_per_s =
-        cfg.median_bandwidth_bytes_per_s *
-        rng.lognormal(0.0, cfg.sigma_bandwidth);
-    d.capacity_macs = d.compute_macs_per_s * cfg.latency_budget_s;
-    fleet.push_back(d);
-  }
+  for (int i = 0; i < cfg.num_devices; ++i)
+    fleet.push_back(sample_device(cfg, rng));
   return fleet;
+}
+
+bool device_available(const AvailabilityModel& m, std::uint32_t round,
+                      std::uint32_t client, std::uint32_t phase) {
+  if (m.base_online_frac >= 1.0 && m.diurnal_amplitude <= 0.0) return true;
+  FT_CHECK(m.period_rounds > 0);
+  const double t =
+      static_cast<double>((round + phase) % static_cast<std::uint32_t>(
+                                               m.period_rounds)) /
+      static_cast<double>(m.period_rounds);
+  const double p = std::clamp(
+      m.base_online_frac +
+          m.diurnal_amplitude * std::sin(2.0 * 3.141592653589793 * t),
+      0.0, 1.0);
+  return hash01(m.seed, 0xa7a11u, round, client) < p;
 }
 
 double fleet_disparity(const std::vector<DeviceProfile>& fleet) {

@@ -48,6 +48,36 @@ struct FleetConfig {
 /// Sample a heterogeneous device fleet.
 std::vector<DeviceProfile> sample_fleet(const FleetConfig& cfg);
 
+/// Sample one device from the fleet distribution using the caller's
+/// generator — the per-client building block sample_fleet iterates, and
+/// what the population layer (src/pop) uses with an independent
+/// counter-hashed Rng per client so any subset of a million-device fleet
+/// can be drawn without walking a sequential chain.
+DeviceProfile sample_device(const FleetConfig& cfg, Rng& rng);
+
+/// Diurnal availability model: a device is online with probability
+///   clamp(base_online_frac + diurnal_amplitude ·
+///         sin(2π · (round + phase) / period_rounds), 0, 1)
+/// where `phase` spreads devices across timezones/habits. Substitutes for
+/// the FedScale availability trace the paper samples participants under:
+/// the population layer filters selection to clients whose counter-hashed
+/// draw lands under this probability, so availability is deterministic per
+/// (seed, round, client) and free of per-client state.
+struct AvailabilityModel {
+  /// Mean online fraction (1.0 = every device always online).
+  double base_online_frac = 1.0;
+  /// Peak-to-mean swing of the diurnal cycle (0 = flat).
+  double diurnal_amplitude = 0.0;
+  /// Rounds per simulated day.
+  int period_rounds = 24;
+  std::uint64_t seed = 0xa5a11ab1eULL;
+};
+
+/// Deterministic per-(round, client) availability draw. `phase` is the
+/// client's diurnal offset in rounds (ClientDescriptor::avail_phase).
+bool device_available(const AvailabilityModel& m, std::uint32_t round,
+                      std::uint32_t client, std::uint32_t phase);
+
 /// Max/min compute ratio across the fleet (paper reports ≥ 29×).
 double fleet_disparity(const std::vector<DeviceProfile>& fleet);
 

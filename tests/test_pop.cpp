@@ -1,0 +1,315 @@
+// Population-layer tests: descriptors stay within the per-idle-client byte
+// budget; every per-client derivation (profile, shard seed, availability
+// phase) is a pure function of (population seed, client index) so two
+// Populations with the same config agree exactly; availability draws are
+// deterministic and respect the diurnal envelope; a federation driven off
+// the lazy PopulationDataView (cohort pool, on-demand materialization) is
+// bitwise identical to the same federation over the eager materialize_all()
+// dataset, across seeds and thread counts; the cohort pool recycles and
+// evicts as designed; and the fedtrans_pop_* metrics tie out against the
+// pool's own counters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/thread_pool.hpp"
+#include "fl/engine.hpp"
+#include "fl/runner.hpp"
+#include "obs/metrics.hpp"
+#include "pop/population.hpp"
+#include "test_util.hpp"
+
+namespace fedtrans {
+namespace {
+
+PopulationConfig tiny_pop(int clients = 12, std::uint64_t seed = 21) {
+  PopulationConfig cfg;
+  cfg.num_clients = clients;
+  cfg.seed = seed;
+  cfg.shard.num_classes = 4;
+  cfg.shard.channels = 1;
+  cfg.shard.hw = 8;
+  cfg.shard.mean_train_samples = 16;
+  cfg.shard.min_train_samples = 10;
+  cfg.shard.eval_samples = 8;
+  cfg.shard.noise = 0.35;
+  cfg.fleet.with_median_capacity(5e6);
+  cfg.pool_capacity = clients;  // small tests never evict unless asked
+  return cfg;
+}
+
+ModelSpec tiny_model() { return ModelSpec::conv(1, 8, 4, 4, {6, 8}); }
+
+bool same_client(const ClientData& a, const ClientData& b) {
+  if (a.y_train != b.y_train || a.y_eval != b.y_eval) return false;
+  return testing::max_abs_diff(a.x_train, b.x_train) == 0.0 &&
+         testing::max_abs_diff(a.x_eval, b.x_eval) == 0.0;
+}
+
+TEST(PopulationTest, IdleClientFootprintStaysUnderBudget) {
+  // The acceptance budget: descriptor + the engine's dense fleet copy must
+  // stay ≤ 64 bytes per idle client.
+  EXPECT_LE(sizeof(ClientDescriptor) + sizeof(DeviceProfile), 64u);
+
+  Population pop(tiny_pop(1000));
+  const std::size_t resident =
+      pop.descriptor_bytes() +
+      static_cast<std::size_t>(pop.num_clients()) * sizeof(DeviceProfile);
+  EXPECT_LE(resident / static_cast<std::size_t>(pop.num_clients()), 64u);
+}
+
+TEST(PopulationTest, DescriptorsArePureFunctionsOfSeedAndIndex) {
+  Population a(tiny_pop(64, 33));
+  Population b(tiny_pop(64, 33));
+  Population other(tiny_pop(64, 34));
+  int differs = 0;
+  for (int c = 0; c < a.num_clients(); ++c) {
+    EXPECT_EQ(a.profile(c).compute_macs_per_s, b.profile(c).compute_macs_per_s);
+    EXPECT_EQ(a.profile(c).bandwidth_bytes_per_s,
+              b.profile(c).bandwidth_bytes_per_s);
+    EXPECT_EQ(a.shard_seed(c), b.shard_seed(c));
+    EXPECT_EQ(a.descriptor(c).avail_phase, b.descriptor(c).avail_phase);
+    if (a.shard_seed(c) != other.shard_seed(c)) ++differs;
+  }
+  EXPECT_GT(differs, 56) << "a different population seed must reshuffle shards";
+  EXPECT_TRUE(same_client(a.materialize(7), b.materialize(7)));
+  EXPECT_FALSE(same_client(a.materialize(7), a.materialize(8)));
+}
+
+TEST(PopulationTest, DescriptorConstructionIsThreadCountInvariant) {
+  const int prev = ThreadPool::global().size();
+  ThreadPool::set_global_threads(1);
+  Population serial(tiny_pop(500, 5));
+  ThreadPool::set_global_threads(4);
+  Population parallel(tiny_pop(500, 5));
+  ThreadPool::set_global_threads(prev);
+  for (int c = 0; c < serial.num_clients(); ++c) {
+    EXPECT_EQ(serial.shard_seed(c), parallel.shard_seed(c));
+    EXPECT_EQ(serial.profile(c).capacity_macs, parallel.profile(c).capacity_macs);
+  }
+}
+
+TEST(PopulationTest, AvailabilityIsDeterministicAndBounded) {
+  PopulationConfig cfg = tiny_pop(200, 8);
+  cfg.availability.base_online_frac = 0.6;
+  cfg.availability.diurnal_amplitude = 0.3;
+  cfg.availability.period_rounds = 8;
+  Population pop(cfg);
+  Population again(cfg);
+
+  double min_frac = 1.0, max_frac = 0.0;
+  for (std::uint32_t round = 0; round < 16; ++round) {
+    int online = 0;
+    for (int c = 0; c < pop.num_clients(); ++c) {
+      EXPECT_EQ(pop.available(round, c), again.available(round, c));
+      online += pop.available(round, c) ? 1 : 0;
+    }
+    const double frac = static_cast<double>(online) / pop.num_clients();
+    min_frac = std::min(min_frac, frac);
+    max_frac = std::max(max_frac, frac);
+  }
+  // The diurnal cycle must actually swing participation around the base
+  // rate (0.6 ± 0.3, sampled at 200 clients — generous tolerances).
+  EXPECT_LT(min_frac, 0.55);
+  EXPECT_GT(max_frac, 0.65);
+
+  // Always-online default short-circuits to true.
+  Population flat(tiny_pop(20, 8));
+  for (int c = 0; c < flat.num_clients(); ++c)
+    EXPECT_TRUE(flat.available(3, c));
+}
+
+TEST(PopulationTest, CohortSelectionScansDescriptorsOnly) {
+  PopulationConfig cfg = tiny_pop(100, 12);
+  cfg.availability.base_online_frac = 0.5;
+  cfg.availability.diurnal_amplitude = 0.2;
+  Population pop(cfg);
+  Rng rng(4);
+  const auto cohort = pop.select_cohort(/*round=*/2, /*k=*/10, rng);
+  ASSERT_EQ(cohort.size(), 10u);
+  std::set<int> uniq(cohort.begin(), cohort.end());
+  EXPECT_EQ(uniq.size(), cohort.size()) << "cohort members must be distinct";
+  for (int c : cohort) EXPECT_TRUE(pop.available(2, c));
+
+  // When fewer clients are online than requested, everyone online serves.
+  PopulationConfig sparse = tiny_pop(10, 12);
+  sparse.availability.base_online_frac = 0.3;
+  sparse.availability.diurnal_amplitude = 0.0;
+  Population small(sparse);
+  Rng rng2(4);
+  const auto all = small.select_cohort(0, 10, rng2);
+  for (int c : all) EXPECT_TRUE(small.available(0, c));
+}
+
+TEST(PopulationTest, HundredThousandClientsStayCheapUntilMaterialized) {
+  Population pop(tiny_pop(100000, 77));
+  EXPECT_EQ(pop.num_clients(), 100000);
+  const std::size_t per_client =
+      (pop.descriptor_bytes() +
+       static_cast<std::size_t>(pop.num_clients()) * sizeof(DeviceProfile)) /
+      static_cast<std::size_t>(pop.num_clients());
+  EXPECT_LE(per_client, 64u);
+
+  Rng rng(1);
+  const auto cohort = pop.select_cohort(0, 128, rng);
+  ASSERT_EQ(cohort.size(), 128u);
+  // Materialize just the cohort's first members — the other ~100k clients
+  // never exist beyond their descriptors.
+  const ClientData c0 = pop.materialize(cohort[0]);
+  EXPECT_GT(c0.y_train.size(), 0u);
+  EXPECT_TRUE(same_client(c0, pop.materialize(cohort[0])));
+}
+
+TEST(CohortPoolTest, RecyclesHitsAndEvictsOldEpochs) {
+  Population pop(tiny_pop(12, 9));
+  CohortPool pool(pop, /*capacity=*/4);
+
+  pool.begin_round({0, 1, 2, 3});
+  for (int c : {0, 1, 2, 3}) EXPECT_TRUE(same_client(pool.get(c), pop.materialize(c)));
+  EXPECT_EQ(pool.materializations(), 4u);
+  EXPECT_EQ(pool.resident(), 4);
+  EXPECT_GT(pool.resident_bytes(), 0u);
+
+  // Same epoch, same clients: pure pool hits.
+  pool.get(1);
+  pool.get(2);
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(pool.materializations(), 4u);
+
+  // Next round overlaps on {2, 3}: the carried-over members stay warm, the
+  // two newcomers evict the two stale slots.
+  pool.begin_round({2, 3, 4, 5});
+  for (int c : {2, 3, 4, 5}) pool.get(c);
+  EXPECT_EQ(pool.hits(), 4u);
+  EXPECT_EQ(pool.materializations(), 6u);
+  EXPECT_EQ(pool.evictions(), 2u);
+  EXPECT_EQ(pool.resident(), 4);
+}
+
+TEST(CohortPoolTest, PopMetricsTieOutAgainstPoolCounters) {
+  auto before = MetricsRegistry::global().snapshot();
+  const double mat0 = before.counters["fedtrans_pop_materializations_total"];
+  const double hit0 = before.counters["fedtrans_pop_pool_hits_total"];
+  const double evi0 = before.counters["fedtrans_pop_pool_evictions_total"];
+
+  Population pop(tiny_pop(10, 3));
+  CohortPool pool(pop, 3);
+  pool.begin_round({0, 1, 2});
+  for (int c : {0, 1, 2, 1, 0}) pool.get(c);
+  pool.begin_round({3, 4});
+  for (int c : {3, 4, 3}) pool.get(c);
+
+  auto after = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(after.counters["fedtrans_pop_materializations_total"] - mat0,
+            static_cast<double>(pool.materializations()));
+  EXPECT_EQ(after.counters["fedtrans_pop_pool_hits_total"] - hit0,
+            static_cast<double>(pool.hits()));
+  EXPECT_EQ(after.counters["fedtrans_pop_pool_evictions_total"] - evi0,
+            static_cast<double>(pool.evictions()));
+}
+
+TEST(PopulationParityTest, LazyCohortFederationMatchesEagerBitwise) {
+  const int prev_threads = ThreadPool::global().size();
+  for (std::uint64_t seed : {11ULL, 42ULL}) {
+    PopulationConfig pcfg = tiny_pop(24, seed);
+    pcfg.availability.base_online_frac = 0.8;
+    pcfg.availability.diurnal_amplitude = 0.15;
+    pcfg.availability.period_rounds = 6;
+    Population pop(pcfg);
+    const FederatedDataset eager = pop.materialize_all();
+    ASSERT_EQ(eager.num_clients(), pop.num_clients());
+    for (int c = 0; c < pop.num_clients(); ++c)
+      ASSERT_TRUE(same_client(eager.client(c), pop.materialize(c)))
+          << "eager twin diverged at client " << c;
+
+    Rng mrng(3 + seed);
+    Model init(tiny_model(), mrng);
+    SessionConfig session;
+    session.rounds = 3;
+    session.clients_per_round = 5;
+    session.local.steps = 3;
+    session.local.batch = 6;
+    session.eval_every = 2;
+    session.eval_clients = 6;
+    session.seed = seed;
+
+    for (int threads : {1, 4}) {
+      ThreadPool::set_global_threads(threads);
+
+      FederationEngine a(std::make_unique<FedAvgStrategy>(init, FedAvgOptions{}),
+                         eager, pop.fleet(), session);
+      a.set_selector(std::make_unique<PopulationSelector>(pop));
+      a.run();
+
+      PopulationDataView view(pop);
+      FederationEngine b(std::make_unique<FedAvgStrategy>(init, FedAvgOptions{}),
+                         view, pop.fleet(), session);
+      b.set_selector(std::make_unique<PopulationSelector>(pop, &view));
+      b.run();
+
+      auto wa = a.strategy_as<FedAvgStrategy>().model().weights();
+      auto wb = b.strategy_as<FedAvgStrategy>().model().weights();
+      ASSERT_EQ(wa.size(), wb.size());
+      for (std::size_t i = 0; i < wa.size(); ++i)
+        EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0)
+            << "seed " << seed << " threads " << threads << " tensor " << i;
+
+      ASSERT_EQ(a.history().size(), b.history().size());
+      for (std::size_t r = 0; r < a.history().size(); ++r) {
+        EXPECT_EQ(a.history()[r].avg_loss, b.history()[r].avg_loss);
+        EXPECT_EQ(a.history()[r].accuracy, b.history()[r].accuracy);
+        EXPECT_EQ(a.history()[r].cum_macs, b.history()[r].cum_macs);
+        EXPECT_EQ(a.history()[r].round_time_s, b.history()[r].round_time_s);
+        EXPECT_EQ(a.history()[r].participants, b.history()[r].participants);
+      }
+      EXPECT_EQ(a.costs().network_bytes(), b.costs().network_bytes());
+
+      // The lazy side never held more live clients than its pool allows.
+      EXPECT_LE(view.pool().resident(), pcfg.pool_capacity);
+      EXPECT_GT(view.pool().materializations(), 0u);
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+TEST(PopulationParityTest, LazyFederationRunsOverSocketTransportToo) {
+  // Population selection + cohort pool + socket loopback composed: still
+  // bitwise identical to the eager SimTransport run.
+  Population pop(tiny_pop(16, 19));
+  const FederatedDataset eager = pop.materialize_all();
+  Rng mrng(5);
+  Model init(tiny_model(), mrng);
+
+  SessionConfig session;
+  session.rounds = 2;
+  session.clients_per_round = 4;
+  session.local.steps = 2;
+  session.local.batch = 6;
+  session.seed = 7;
+  session.use_fabric = true;
+
+  FederationEngine a(std::make_unique<FedAvgStrategy>(init, FedAvgOptions{}),
+                     eager, pop.fleet(), session);
+  a.set_selector(std::make_unique<PopulationSelector>(pop));
+  a.run();
+
+  session.with_socket_transport();
+  PopulationDataView view(pop);
+  FederationEngine b(std::make_unique<FedAvgStrategy>(init, FedAvgOptions{}),
+                     view, pop.fleet(), session);
+  b.set_selector(std::make_unique<PopulationSelector>(pop, &view));
+  b.run();
+
+  ASSERT_NE(b.fabric(), nullptr);
+  EXPECT_EQ(b.fabric()->transport().name(), "socket");
+  auto wa = a.strategy_as<FedAvgStrategy>().model().weights();
+  auto wb = b.strategy_as<FedAvgStrategy>().model().weights();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i)
+    EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0) << "tensor " << i;
+}
+
+}  // namespace
+}  // namespace fedtrans

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string_view>
 
+#include "baselines/robust.hpp"
 #include "common/thread_pool.hpp"
 #include "core/aggregator.hpp"
 #include "data/dataset.hpp"
@@ -259,6 +260,52 @@ void BM_SoftAggregation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoftAggregation);
+
+// Robust (Byzantine-tolerant) reductions vs the linear FedAvg fold over
+// the same batch of client deltas. arg0 = client count, arg1 = reducer
+// (0 linear mean, 1 coordinate median, 2 trimmed mean @ 0.3/side). The
+// per-coordinate sorts make the robust reducers O(n log n) per coordinate
+// where the fold is O(n) — this records the constant. NormClip is
+// excluded: its O(n²·numel) pairwise distances belong in a macro bench.
+void BM_RobustAggregation(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int kind = static_cast<int>(state.range(1));
+  Rng rng(7);
+  Model proto(ModelSpec::conv(1, 8, 8, 4, {8, 16}), rng);
+  std::vector<WeightSet> deltas(static_cast<std::size_t>(clients));
+  for (WeightSet& d : deltas) {
+    d = ws_zeros_like(proto.weights());
+    for (auto& t : d) t.randn(rng);
+  }
+  for (auto _ : state) {
+    WeightSet out;
+    switch (kind) {
+      case 1:
+        out = robust_coordinate_median(deltas);
+        break;
+      case 2:
+        out = robust_trimmed_mean(deltas, 0.3);
+        break;
+      default: {
+        out = ws_zeros_like(deltas.front());
+        for (const WeightSet& d : deltas) ws_axpy(out, 1.0f, d);
+        ws_scale(out, 1.0f / static_cast<float>(clients));
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(out.front().data());
+  }
+  // items == coordinates reduced per iteration (clients × numel).
+  state.SetItemsProcessed(state.iterations() * clients *
+                          ws_numel(proto.weights()));
+}
+BENCHMARK(BM_RobustAggregation)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({256, 2});
 
 // ---------------------------------------------------------------------------
 // Engine dispatch overhead: one FedAvg round driven through the

@@ -107,11 +107,13 @@ for raw_path in raw_paths:
             "ms": round(b["real_time"] * scale, 6),
         }
         # For the compute kernels items_processed counts MACs:
-        # GFLOP/s = 2 * MACs/s / 1e9. Fabric benches count messages instead
-        # and report their rates via user counters below.
+        # GFLOP/s = 2 * MACs/s / 1e9. Fabric benches count messages, the
+        # robust-aggregation bench counts reduced coordinates — neither is
+        # a MAC, so no gflops key for them; ms is their trajectory metric.
         ips = b.get("items_per_second")
         if ips is not None and not op.startswith("BM_Fabric") and \
-                not op.startswith("BM_Wire"):
+                not op.startswith("BM_Wire") and \
+                not op.startswith("BM_Robust"):
             rec["gflops"] = round(2.0 * ips / 1e9, 3)
         for key, val in b.items():
             if key not in known and isinstance(val, (int, float)):

@@ -6,8 +6,9 @@
 # (scripts/check_docs.sh) fails on pages referencing renamed/removed files
 # or symbols. The ctest suite includes the tree-parity, numeric
 # partial-aggregation and retry-policy gates (test_fabric), the
-# chaos-scenario sweep (test_chaos — fault x topology matrix, invariant
-# checks under parallel ctest with pinned FEDTRANS_THREADS), and the
+# chaos-scenario sweep (test_chaos — fault x topology x Byzantine-attack
+# matrix, invariant checks under parallel ctest with pinned
+# FEDTRANS_THREADS), the robust-aggregation gates (test_robust), and the
 # engine/shim parity gates (test_engine_parity).
 #
 # Beyond the main leg, two auxiliary builds gate kernel hygiene:
@@ -41,12 +42,16 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
 # a CI failure instead of a stuck job.
 FEDTRANS_THREADS=4 timeout 300 "$BUILD_DIR"/example_multiproc_federation
 
-# Tracing-enabled leg: the chaos-scenario and parity gates must stay
+# Tracing-enabled adversarial leg: the chaos-scenario sweep (now including
+# the Byzantine attack matrix and the robust-aggregation suite), the
+# robust-reducer unit/property gates and the parity gates must stay
 # bitwise deterministic with live tracing (FEDTRANS_TRACE=1 autostarts
 # wall-clock tracing in every test binary; test_obs also exercises the
-# virtual clock explicitly).
+# virtual clock explicitly). test_chaos/test_robust run with the
+# CMake-pinned FEDTRANS_THREADS=4 so their 1-vs-4-thread determinism
+# checks see a stable pool regardless of the CI host's core count.
 FEDTRANS_TRACE=1 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -j "$JOBS" -R 'test_(chaos|fabric|engine_parity|obs)$'
+  -j "$JOBS" -R 'test_(chaos|robust|fabric|engine_parity|obs)$'
 
 if [ -z "${FEDTRANS_CI_FAST:-}" ]; then
   # ASan+UBSan over the kernel-heavy suites (tensor, dtype, GEMM backends,

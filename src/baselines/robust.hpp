@@ -1,0 +1,90 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/engine.hpp"
+#include "fl/server_opt.hpp"
+
+namespace fedtrans {
+
+// Byzantine-robust reducers over a round's client deltas (the building
+// blocks of RobustStrategy; docs/robustness.md). All three are
+// one-client-one-vote: self-reported sample counts are an attack surface
+// under the threat model, so — unlike FedAvg's weighted mean — they carry
+// no per-update weights. Inputs must be finite (RobustStrategy rejects
+// NaN/Inf-poisoned updates before they get here) and shape-identical.
+
+/// Coordinate-wise median (even counts average the two middle values).
+/// Bitwise invariant to the order of `deltas`.
+WeightSet robust_coordinate_median(const std::vector<WeightSet>& deltas);
+
+/// Coordinate-wise trimmed mean: per coordinate, drop the ⌈trim·n⌉ largest
+/// and smallest values (clamped so at least one survives) and average the
+/// rest, summing in sorted order — bitwise permutation-invariant. With
+/// trim = 0 the sum runs in input order, matching an unweighted FedAvg
+/// fold (ws_axpy per update, then one scale) bit for bit.
+WeightSet robust_trimmed_mean(const std::vector<WeightSet>& deltas,
+                              double trim_fraction);
+
+/// Krum-style scoring + norm clipping: score each update by its summed
+/// squared distance to its closest neighbors, drop the ⌈trim·n⌉ highest
+/// scorers (the outliers), clip the survivors to clip_multiplier × their
+/// median L2 norm, and average the survivors.
+WeightSet robust_norm_clip(const std::vector<WeightSet>& deltas,
+                           double trim_fraction, double clip_multiplier);
+
+/// Byzantine-robust aggregation as an engine Strategy: one shared global
+/// model, per-round delta stash in fixed task order, a RobustConfig-chosen
+/// reducer in finish_round, and NaN/Inf update rejection on admission.
+/// Configure through SessionConfig::with_robust_aggregation(...) (picked up
+/// in attach) or by passing a RobustConfig here directly.
+///
+/// The reductions are non-linear, so supports_partial_aggregation() stays
+/// false: sessions compose with FabricTopology trees of any depth in the
+/// default verbatim-bundle mode (bitwise identical to flat rounds), and a
+/// partial_aggregation=true topology fails loudly at engine construction.
+class RobustStrategy final : public Strategy {
+ public:
+  explicit RobustStrategy(Model init, RobustConfig cfg = {});
+
+  std::string name() const override;
+  std::vector<ClientTask> plan_round(RoundContext& ctx, Rng& rng) override;
+  Model client_payload(const ClientTask& task) override;
+  Model* shared_model() override { return &model_; }
+  const Model& reference_model() const override { return model_; }
+  void attach(RoundContext& ctx, Rng& rng) override;
+  void absorb_update(const ClientTask& task, Model* trained,
+                     LocalTrainResult& res, RoundContext& ctx) override;
+  void lost_update(const ClientTask& task, ClientOutcome outcome,
+                   RoundContext& ctx) override;
+  void finish_round(RoundContext& ctx, RoundRecord& rec) override;
+  double probe_accuracy(const std::vector<int>& ids,
+                        RoundContext& ctx) override;
+
+  Model& model() { return model_; }
+  const RobustConfig& config() const { return cfg_; }
+  /// NaN/Inf-poisoned updates rejected on admission, whole session.
+  int rejected_updates() const { return total_rejected_; }
+
+ private:
+  Model model_;
+  RobustConfig cfg_;
+  std::unique_ptr<ServerOptimizer> server_opt_;
+
+  // Per-round accumulators (reset in plan_round, consumed in finish_round).
+  WeightSet global_;
+  std::vector<WeightSet> deltas_;
+  double loss_sum_ = 0.0;
+  double slowest_ = 0.0;
+  int trained_ = 0;
+  int total_rejected_ = 0;
+};
+
+/// Build the Strategy for `cfg.robust` (defaulting to CoordinateMedian when
+/// the session block was left unconfigured).
+std::unique_ptr<Strategy> make_robust_strategy(Model init,
+                                               const SessionConfig& cfg);
+
+}  // namespace fedtrans

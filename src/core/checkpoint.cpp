@@ -28,7 +28,40 @@ constexpr std::uint64_t kCheckpointMagic = 0xfed72a45c8c9ULL;
 // changes the POD history layout.
 // v5: CostMeter caps its raw client-time samples and serializes the exact
 // running stats (count / sum / sum-of-squares) ahead of the capped vector.
-constexpr std::uint32_t kCheckpointVersion = 5;
+// v6: RoundRecord grew the Byzantine accounting (byzantine_updates /
+// byzantine_l2 / byzantine_clients) — the attacker list makes the record
+// non-POD, so history entries now serialize field by field.
+constexpr std::uint32_t kCheckpointVersion = 6;
+
+void write_record(std::ostream& os, const RoundRecord& r) {
+  write_pod(os, r.round);
+  write_pod(os, r.avg_loss);
+  write_pod(os, r.cum_macs);
+  write_pod(os, r.accuracy);
+  write_pod(os, r.round_time_s);
+  write_pod(os, r.participants);
+  write_pod(os, r.lost_updates);
+  write_pod(os, r.leaf_failovers);
+  write_pod(os, r.byzantine_updates);
+  write_pod(os, r.byzantine_l2);
+  write_vec(os, r.byzantine_clients);
+}
+
+RoundRecord read_record(std::istream& is) {
+  RoundRecord r;
+  r.round = read_pod<int>(is);
+  r.avg_loss = read_pod<double>(is);
+  r.cum_macs = read_pod<double>(is);
+  r.accuracy = read_pod<double>(is);
+  r.round_time_s = read_pod<double>(is);
+  r.participants = read_pod<int>(is);
+  r.lost_updates = read_pod<int>(is);
+  r.leaf_failovers = read_pod<int>(is);
+  r.byzantine_updates = read_pod<int>(is);
+  r.byzantine_l2 = read_pod<double>(is);
+  r.byzantine_clients = read_vec<std::int32_t>(is);
+  return r;
+}
 
 }  // namespace
 
@@ -64,7 +97,7 @@ void FedTransTrainer::save_checkpoint(std::ostream& os) {
   write_pod<std::uint8_t>(os, s.exhausted_ ? 1 : 0);
 
   write_pod<std::uint64_t>(os, engine_->history().size());
-  for (const auto& rec : engine_->history()) write_pod(os, rec);
+  for (const auto& rec : engine_->history()) write_record(os, rec);
   FT_CHECK_MSG(os.good(), "checkpoint write failed");
 }
 
@@ -113,7 +146,7 @@ void FedTransTrainer::load_checkpoint(std::istream& is) {
   history.clear();
   history.reserve(static_cast<std::size_t>(n_hist));
   for (std::uint64_t i = 0; i < n_hist; ++i)
-    history.push_back(read_pod<RoundRecord>(is));
+    history.push_back(read_record(is));
 }
 
 void FedTransTrainer::save_checkpoint_file(const std::string& path) {

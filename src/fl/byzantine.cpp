@@ -1,0 +1,66 @@
+#include "fl/byzantine.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace fedtrans {
+
+namespace {
+
+/// The client's shards with every train label flipped to its mirror class.
+/// Eval shards stay honest — the attacker poisons what it trains on, not
+/// what the coordinator measures.
+ClientData label_flipped(const ClientData& clean, int num_classes) {
+  ClientData poisoned;
+  poisoned.x_train = clean.x_train;
+  poisoned.y_train = clean.y_train;
+  poisoned.x_eval = clean.x_eval;
+  poisoned.y_eval = clean.y_eval;
+  for (int& y : poisoned.y_train) y = num_classes - 1 - y;
+  return poisoned;
+}
+
+}  // namespace
+
+LocalTrainResult byzantine_local_train(Model& model, const ClientData& data,
+                                       int num_classes,
+                                       const LocalTrainConfig& cfg, Rng& rng,
+                                       const FaultConfig& faults,
+                                       std::uint32_t round,
+                                       std::int32_t client) {
+  if (!byzantine_client(faults, round, client))
+    return local_train(model, data, cfg, rng);
+
+  static Counter attacks("fedtrans_byzantine_attacks_total");
+  attacks.inc();
+
+  LocalTrainResult res;
+  switch (faults.byzantine_mode) {
+    case ByzantineMode::LabelFlip:
+      res = local_train(model, label_flipped(data, num_classes), cfg, rng);
+      break;
+    case ByzantineMode::SignFlip:
+      res = local_train(model, data, cfg, rng);
+      ws_scale(res.delta, -1.0f);
+      break;
+    case ByzantineMode::ScaledUpdate:
+      res = local_train(model, data, cfg, rng);
+      ws_scale(res.delta, static_cast<float>(faults.byzantine_lambda));
+      break;
+    case ByzantineMode::UtilityInflate:
+      res = local_train(model, data, cfg, rng);
+      res.avg_loss = 0.0;  // "my assigned model is perfect for me"
+      break;
+    case ByzantineMode::None:
+      res = local_train(model, data, cfg, rng);
+      break;
+  }
+  // Keep the corrupted delta on the session's wire grid: local_train
+  // returns half-grid deltas in mixed-precision sessions, and a scaled
+  // value off that grid would serialize differently than it lives in
+  // process, breaking fabric/in-process parity.
+  if (cfg.precision.enabled())
+    for (auto& t : res.delta) t.quantize_storage(cfg.precision.dtype);
+  return res;
+}
+
+}  // namespace fedtrans

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "fl/byzantine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -104,6 +105,24 @@ FederationEngine::FederationEngine(std::unique_ptr<Strategy> strategy,
   FT_CHECK_MSG(strategy_ != nullptr, "engine requires a strategy");
   FT_CHECK_MSG(static_cast<int>(fleet_.size()) == data_.num_clients(),
                "fleet size must match client count");
+  // Validate the partial-aggregation/strategy combination here, at session
+  // build time, instead of letting the first round throw: a numeric tree
+  // can only pre-sum weighted-linear-sum reductions. Strategies that
+  // reduce non-linearly (robust aggregators, compressed uplinks) still
+  // compose with trees of any depth — in the default verbatim-bundle mode,
+  // where interior aggregators forward updates untouched.
+  if (cfg_.use_fabric && cfg_.topology.partial_aggregation &&
+      cfg_.topology.levels >= 2 && cfg_.mode == SessionMode::Sync)
+    FT_CHECK_MSG(
+        strategy_->supports_partial_aggregation(),
+        "SessionConfig: topology.partial_aggregation=true needs a strategy "
+        "whose reduction is a weighted linear sum, but strategy '"
+            << strategy_->name()
+            << "' reduces non-linearly (supports_partial_aggregation() is "
+               "false). Drop with_partial_aggregation() — verbatim bundles "
+               "compose with aggregation trees of any depth — or pick a "
+               "linear strategy (FedAvg without compression, FedTrans, "
+               "HeteroFL).");
   selector_ = make_selector(cfg_.selector);
   {
     RoundContext ctx = make_context();
@@ -233,16 +252,22 @@ ExchangeResult FederationEngine::exchange(
       [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t i = lo; i < hi; ++i) {
           const auto idx = static_cast<std::size_t>(i);
+          // Byzantine behavior is a *client* property (drawn per (seed,
+          // round, client)), so it applies on this path exactly as it does
+          // on the fabric — keeping adversarial runs path-independent.
           if (shared != nullptr) {
             Model local = *shared;
-            ex.results[idx] =
-                local_train(local, data_.client(tasks[idx].client),
-                            cfg_.local, client_rngs[idx]);
+            ex.results[idx] = byzantine_local_train(
+                local, data_.client(tasks[idx].client), data_.num_classes(),
+                cfg_.local, client_rngs[idx], cfg_.fabric_faults,
+                static_cast<std::uint32_t>(round_), tasks[idx].client);
           } else {
             payloads[idx].emplace(strategy_->client_payload(tasks[idx]));
-            ex.results[idx] =
-                local_train(*payloads[idx], data_.client(tasks[idx].client),
-                            cfg_.local, client_rngs[idx]);
+            ex.results[idx] = byzantine_local_train(
+                *payloads[idx], data_.client(tasks[idx].client),
+                data_.num_classes(), cfg_.local, client_rngs[idx],
+                cfg_.fabric_faults, static_cast<std::uint32_t>(round_),
+                tasks[idx].client);
           }
         }
       });
@@ -276,6 +301,27 @@ double FederationEngine::run_round() {
   {
     FT_SPAN_ARG("engine", "exchange", "tasks", tasks.size());
     ex = exchange(tasks, client_rngs, payloads, task_models);
+  }
+
+  // Byzantine accounting before aggregation (strategies may consume the
+  // deltas): re-derive the pure (seed, round, client) attack draw per
+  // trained task — no wire metadata needed — and record attacker identity
+  // plus an L2 damage proxy on the round. In numeric tree rounds the
+  // per-update deltas were pre-summed in-tree, so the proxy stays 0.
+  int byz_updates = 0;
+  double byz_l2 = 0.0;
+  std::vector<std::int32_t> byz_clients;
+  if (cfg_.fabric_faults.byzantine_prob > 0.0) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (ex.outcomes[i] != ClientOutcome::Trained) continue;
+      if (!byzantine_client(cfg_.fabric_faults,
+                            static_cast<std::uint32_t>(round_),
+                            tasks[i].client))
+        continue;
+      ++byz_updates;
+      byz_clients.push_back(tasks[i].client);
+      byz_l2 += ws_l2_norm(ex.results[i].delta);
+    }
   }
 
   FT_SPAN("engine", "aggregate");
@@ -321,6 +367,17 @@ double FederationEngine::run_round() {
   rec.participants = ctx.trained;
   rec.lost_updates += ctx.lost;  // strategies may pre-add deadline drops
   rec.leaf_failovers = ex.leaf_failovers;
+  rec.byzantine_updates = byz_updates;
+  rec.byzantine_l2 = byz_l2;
+  rec.byzantine_clients = std::move(byz_clients);
+  if (byz_updates > 0) {
+    static Counter byz_total("fedtrans_byzantine_updates_total");
+    byz_total.add(byz_updates);
+    static Counter byz_rounds("fedtrans_byzantine_rounds_total");
+    byz_rounds.inc();
+    static Histogram byz_damage("fedtrans_byzantine_round_l2");
+    byz_damage.observe(byz_l2);
+  }
 
   maybe_probe(round_, ctx, rec);
   static Counter rounds_total("fedtrans_engine_rounds_total");
@@ -376,7 +433,7 @@ void FederationEngine::dispatch_async() {
   const double t =
       client_round_time_s(dev, static_cast<double>(m->macs()),
                           cfg_.local.steps, cfg_.local.batch, model_bytes);
-  in_flight_.push(InFlight{now_s_ + t, c, version_});
+  in_flight_.push(InFlight{now_s_ + t, c, version_, next_async_job_++});
   costs_.add_client_round_time(t);
 }
 
@@ -401,8 +458,9 @@ void FederationEngine::run_async() {
     // per-client snapshots; staleness enters through the FedBuff discount.
     Model local = strategy_->client_payload(ClientTask{job.client, 0});
     Rng crng = rng_.fork();
-    LocalTrainResult res =
-        local_train(local, data_.client(job.client), cfg_.local, crng);
+    LocalTrainResult res = byzantine_local_train(
+        local, data_.client(job.client), data_.num_classes(), cfg_.local,
+        crng, cfg_.fabric_faults, job.job, job.client);
 
     const int staleness = version_ - job.version;
     staleness_sum_ += staleness;

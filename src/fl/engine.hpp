@@ -309,10 +309,14 @@ class FederationEngine {
     double finish_s = 0.0;
     int client = 0;
     int version = 0;  // server version the client started from
+    /// Dispatch-order job id — the Byzantine draw's round key, matching the
+    /// fabric async path (which keys draws on its job counter).
+    std::uint32_t job = 0;
     bool operator>(const InFlight& o) const { return finish_s > o.finish_s; }
   };
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
       in_flight_;
+  std::uint32_t next_async_job_ = 0;
   double now_s_ = 0.0;
   int version_ = 0;
   std::int64_t async_updates_ = 0;

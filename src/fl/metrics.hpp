@@ -118,6 +118,17 @@ struct RoundRecord {
   /// leaves whose client partition was redirected to an alive sibling
   /// (tree fabrics only; see FabricTopology).
   int leaf_failovers = 0;
+  /// Byzantine participants whose (corrupted) updates reached aggregation
+  /// this round (FaultConfig::byzantine_prob; docs/robustness.md). The
+  /// engine re-derives the pure (seed, round, client) attack draw, so this
+  /// is exact, not inferred from the updates.
+  int byzantine_updates = 0;
+  /// Damage proxy: summed L2 norm of the absorbed Byzantine deltas (0 in
+  /// numeric partial-aggregation rounds, where deltas are pre-summed
+  /// in-tree and per-update norms no longer exist at the root).
+  double byzantine_l2 = 0.0;
+  /// Attacker identity: the client ids behind byzantine_updates.
+  std::vector<std::int32_t> byzantine_clients;
 };
 
 }  // namespace fedtrans

@@ -47,4 +47,11 @@ double ws_l2_norm(const WeightSet& ws) {
   return std::sqrt(s);
 }
 
+bool ws_all_finite(const WeightSet& ws) {
+  for (const auto& t : ws)
+    for (std::int64_t e = 0; e < t.numel(); ++e)
+      if (!std::isfinite(t[e])) return false;
+  return true;
+}
+
 }  // namespace fedtrans

@@ -23,5 +23,8 @@ WeightSet ws_zeros_like(const WeightSet& like);
 std::int64_t ws_numel(const WeightSet& ws);
 /// sqrt(sum of squared entries).
 double ws_l2_norm(const WeightSet& ws);
+/// True iff every entry of every tensor is finite (no NaN / ±Inf) — the
+/// admission check robust aggregators run before trusting an update.
+bool ws_all_finite(const WeightSet& ws);
 
 }  // namespace fedtrans

@@ -11,6 +11,7 @@
 #include "common/check.hpp"
 #include "common/serial.hpp"
 #include "common/thread_pool.hpp"
+#include "fl/byzantine.hpp"
 #include "fl/weights.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -304,7 +305,9 @@ void ClientAgent::poll(std::uint32_t round, const Model& prototype,
     local.set_weights(msg.weights);
     Rng rng;
     rng.set_state(msg.rng_state);
-    LocalTrainResult res = local_train(local, data_->client(id_), local_, rng);
+    LocalTrainResult res =
+        byzantine_local_train(local, data_->client(id_), data_->num_classes(),
+                              local_, rng, net.faults(), round, id_);
 
     const double compute_s =
         res.macs_used / net.device(id_).compute_macs_per_s;
@@ -1066,7 +1069,9 @@ AsyncTurnaround FederationServer::async_exchange(std::uint32_t job,
   local.set_weights(down.weights);
   Rng crng;
   crng.set_state(down.rng_state);
-  t.res = local_train(local, data_->client(client), local_, crng);
+  t.res = byzantine_local_train(local, data_->client(client),
+                                data_->num_classes(), local_, crng,
+                                net_->faults(), job, client);
   const double compute_s =
       t.res.macs_used / net_->device(client).compute_macs_per_s;
   const double done_s = down_at + compute_s;

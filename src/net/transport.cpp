@@ -78,6 +78,15 @@ bool Transport::leaf_dead(std::uint32_t round, std::int32_t leaf) const {
                     leaf))) < faults_.leaf_death_prob;
 }
 
+bool byzantine_client(const FaultConfig& f, std::uint32_t round,
+                      std::int32_t client) {
+  if (f.byzantine_prob <= 0.0 || f.byzantine_mode == ByzantineMode::None)
+    return false;
+  return hash01(f.seed, 0xb12a47u, round,
+                static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                    client))) < f.byzantine_prob;
+}
+
 std::optional<Transport::Stamped> Transport::stamp(std::int32_t src,
                                                    std::int32_t dst,
                                                    std::string frame,

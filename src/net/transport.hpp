@@ -14,6 +14,24 @@
 
 namespace fedtrans {
 
+/// How a Byzantine client misbehaves for a round it attacks (see
+/// FaultConfig::byzantine_prob; docs/robustness.md for the threat model).
+enum class ByzantineMode : std::uint8_t {
+  None = 0,
+  /// Upload −Δ instead of Δ (classic sign-flipping attack).
+  SignFlip,
+  /// Upload λ·Δ (λ = FaultConfig::byzantine_lambda) — a scaled/boosted
+  /// update that dominates any linear mean.
+  ScaledUpdate,
+  /// Train honestly but on label-flipped local data (y → C−1−y), so the
+  /// update is a well-formed gradient toward the wrong task.
+  LabelFlip,
+  /// Train and upload honestly, but report a near-perfect training loss —
+  /// gaming loss-driven coordinators (FedTrans utility learning, loss-aware
+  /// selectors) rather than the weight aggregate.
+  UtilityInflate,
+};
+
 /// Fault-injection knobs of the transport layer. All probabilities are
 /// per-frame (or per-client-per-round for dropout) and are drawn from a
 /// counter-hashed generator keyed on (seed, link, sequence number), so fault
@@ -41,8 +59,23 @@ struct FaultConfig {
   /// client partition to an alive sibling; with no alive sibling the
   /// partition's tasks are lost for the round.
   double leaf_death_prob = 0.0;
+  /// Probability a client behaves Byzantine for a round — drawn per (seed,
+  /// round, client) like dropout, so attack schedules are bit-reproducible
+  /// across thread counts and transports. Unlike the wire faults above this
+  /// models *client* behavior, so it also applies to in-process (non-fabric)
+  /// sessions. What an attacking client does is `byzantine_mode`.
+  double byzantine_prob = 0.0;
+  ByzantineMode byzantine_mode = ByzantineMode::SignFlip;
+  /// Scale factor λ of ByzantineMode::ScaledUpdate.
+  double byzantine_lambda = 10.0;
   std::uint64_t seed = 0x5eedf417ULL;
 };
+
+/// Deterministic per-(round, client) Byzantine draw — a pure function of
+/// (f.seed, round, client), mirroring Transport::client_dropped_out but
+/// usable without a transport (the in-process engine path asks too).
+bool byzantine_client(const FaultConfig& f, std::uint32_t round,
+                      std::int32_t client);
 
 /// Aggregate transport counters (monotone; atomic so fabric workers can
 /// update them concurrently).

@@ -71,7 +71,8 @@ std::string run_report_json(const FederationEngine& engine) {
        << ",\"round_time_s\":" << rec.round_time_s
        << ",\"participants\":" << rec.participants
        << ",\"lost_updates\":" << rec.lost_updates
-       << ",\"leaf_failovers\":" << rec.leaf_failovers << "}";
+       << ",\"leaf_failovers\":" << rec.leaf_failovers
+       << ",\"byzantine_updates\":" << rec.byzantine_updates << "}";
   }
   os << "]";
 

@@ -1114,8 +1114,8 @@ TEST(PartialAggregationTest, NumericModeDeterministicAcrossThreadCounts) {
 TEST(PartialAggregationTest, UnsupportedStrategyFailsLoudly) {
   // Per-client uplink compression rewrites each delta before accumulation,
   // so the reduction is no longer a plain weighted linear sum; configuring
-  // partial_aggregation on such a session must throw, not silently fall
-  // back to verbatim bundles.
+  // partial_aggregation on such a session must throw at engine construction
+  // — before any round runs — not silently fall back to verbatim bundles.
   auto data = FederatedDataset::generate(tiny_data());
   auto fleet = tiny_fleet(data.num_clients());
   Rng rng(3);
@@ -1127,8 +1127,7 @@ TEST(PartialAggregationTest, UnsupportedStrategyFailsLoudly) {
   cfg.topology.shards = 2;
   cfg.topology.partial_aggregation = true;
   cfg.compression = CompressionKind::TopK;  // per-client: can't pre-sum
-  FedAvgRunner runner(init, data, fleet, cfg);
-  EXPECT_THROW(runner.run_round(), Error);
+  EXPECT_THROW(FedAvgRunner(init, data, fleet, cfg), Error);
 }
 
 // ---------------------------------------------------------------------------

@@ -216,6 +216,137 @@ BENCHMARK(BM_FabricRoundTree)
     ->Args({3, 8, 1})
     ->Unit(benchmark::kMillisecond);
 
+/// The numeric tree again with wire-v6 quantized partials: every
+/// PartialUp group sum ships int8 + one fp32 scale instead of fp32
+/// payloads. The headline counter is root_bytes_per_round_quant —
+/// compare against BM_FabricRoundTree's numeric root_bytes_per_round for
+/// the same (levels, shards) to see the quantization factor on the
+/// backbone (weight data shrinks ~4×; framing/group headers stay fp32).
+void BM_FabricRoundTreeQuant(benchmark::State& state) {
+  const int clients = 64;
+  const int levels = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  auto data = FederatedDataset::generate(bench_data(clients));
+  FleetConfig fleet_cfg;
+  fleet_cfg.num_devices = clients;
+  fleet_cfg.with_median_capacity(5e6);
+  auto fleet = sample_fleet(fleet_cfg);
+  Rng rng(1);
+  Model model(bench_model(), rng);
+  LocalTrainConfig local;
+  local.steps = 2;
+  local.batch = 4;
+  FabricTopology topo;
+  topo.levels = levels;
+  topo.shards = shards;
+  topo.partial_aggregation = true;
+  topo.quantize_partials = PartialQuant::Int8;
+  FederationServer server(model, data, fleet, local, FaultConfig{}, topo);
+
+  std::vector<int> selected(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) selected[static_cast<std::size_t>(c)] = c;
+  const std::vector<std::int32_t> reduce_keys(
+      static_cast<std::size_t>(clients), 0);
+  WeightSet global = model.weights();
+
+  std::uint64_t round = 0;
+  std::uint64_t frames0 = server.stats().frames_sent.load();
+  std::uint64_t root0 = server.stats().bytes_root_in.load();
+  for (auto _ : state) {
+    std::vector<Rng> rngs;
+    rngs.reserve(selected.size());
+    Rng round_rng(round + 17);
+    for (std::size_t i = 0; i < selected.size(); ++i)
+      rngs.push_back(round_rng.fork());
+    auto ex = server.run_round(static_cast<std::uint32_t>(round++), global,
+                               selected, rngs, reduce_keys);
+    benchmark::DoNotOptimize(ex.results.data());
+  }
+  const std::uint64_t frames = server.stats().frames_sent.load() - frames0;
+  const std::uint64_t root_bytes =
+      server.stats().bytes_root_in.load() - root0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.counters["root_bytes_per_round_quant"] =
+      static_cast<double>(root_bytes) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_FabricRoundTreeQuant)
+    ->ArgNames({"levels", "shards"})
+    ->Args({2, 4})
+    ->Args({2, 8})
+    ->Args({3, 4})
+    ->Args({3, 8})
+    ->Unit(benchmark::kMillisecond);
+
+/// Repeat-broadcast rounds (frozen global, fixed cohort) over the 2-level
+/// tree, sweeping the wire-v6 downlink reducers: mode 0 ships everything
+/// full (the PR 9 behaviour — downlink_bytes_full is the baseline), mode 1
+/// elides repeat ShardDown bodies through the interior broadcast caches,
+/// mode 2 ships round-over-round ModelDown deltas, mode 3 composes both.
+/// One priming round runs outside the timing loop so the counters report
+/// the warm steady state; cache/delta savings per round ride along for the
+/// byte-ledger cross-check (full == measured + saved).
+void BM_FabricRoundRepeat(benchmark::State& state) {
+  const int clients = 64;
+  const int mode = static_cast<int>(state.range(0));
+  auto data = FederatedDataset::generate(bench_data(clients));
+  FleetConfig fleet_cfg;
+  fleet_cfg.num_devices = clients;
+  fleet_cfg.with_median_capacity(5e6);
+  auto fleet = sample_fleet(fleet_cfg);
+  Rng rng(1);
+  Model model(bench_model(), rng);
+  LocalTrainConfig local;
+  local.steps = 2;
+  local.batch = 4;
+  FabricTopology topo;
+  topo.levels = 2;
+  topo.shards = 4;
+  topo.broadcast_cache = mode == 1 || mode == 3;
+  topo.delta_downlink = mode == 2 || mode == 3;
+  FederationServer server(model, data, fleet, local, FaultConfig{}, topo);
+
+  std::vector<int> selected(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) selected[static_cast<std::size_t>(c)] = c;
+  const WeightSet global = model.weights();
+
+  std::uint64_t round = 0;
+  auto run_one = [&] {
+    std::vector<Rng> rngs;
+    rngs.reserve(selected.size());
+    Rng round_rng(round + 17);
+    for (std::size_t i = 0; i < selected.size(); ++i)
+      rngs.push_back(round_rng.fork());
+    auto ex = server.run_round(static_cast<std::uint32_t>(round++), global,
+                               selected, rngs);
+    benchmark::DoNotOptimize(ex.results.data());
+  };
+  run_one();  // prime: cold caches, no delta base yet — not measured
+
+  std::uint64_t down0 = server.stats().bytes_downlink.load();
+  std::uint64_t cache0 = server.stats().cache_saved_bytes.load();
+  std::uint64_t delta0 = server.stats().delta_saved_bytes.load();
+  for (auto _ : state) run_one();
+  const double iters = static_cast<double>(state.iterations());
+  const double down =
+      static_cast<double>(server.stats().bytes_downlink.load() - down0);
+  static const char* const kModeKey[] = {
+      "downlink_bytes_full", "downlink_bytes_cached", "downlink_bytes_delta",
+      "downlink_bytes_v6"};
+  state.counters[kModeKey[mode]] = down / iters;
+  state.counters["cache_saved_per_round"] = static_cast<double>(
+      server.stats().cache_saved_bytes.load() - cache0) / iters;
+  state.counters["delta_saved_per_round"] = static_cast<double>(
+      server.stats().delta_saved_bytes.load() - delta0) / iters;
+}
+BENCHMARK(BM_FabricRoundRepeat)
+    ->ArgName("mode")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
 /// Full fabric rounds over a huge sparse population (10k → 1M clients,
 /// fixed 128-client cohort): the selection scan walks the descriptor
 /// index, the cohort pool materializes only the 128 selected shards per

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/log.hpp"
 
 namespace fedtrans {
 
@@ -49,7 +50,8 @@ void TopKCompression::compress(WeightSet& delta) {
     }
 }
 
-double TopKCompression::compressed_bytes(std::int64_t dense_params) const {
+double TopKCompression::compressed_bytes(const WeightSet& delta) const {
+  const std::int64_t dense_params = ws_numel(delta);
   const auto k = static_cast<std::int64_t>(std::max<double>(
       1.0, std::floor(ratio_ * static_cast<double>(dense_params))));
   return 8.0 * static_cast<double>(std::min(k, dense_params));
@@ -60,7 +62,6 @@ UniformQuantization::UniformQuantization(int bits) : bits_(bits) {
 }
 
 void UniformQuantization::compress(WeightSet& delta) {
-  num_tensors_ = static_cast<std::int64_t>(delta.size());
   const float levels =
       static_cast<float>((1 << (bits_ - 1)) - 1);  // symmetric range
   for (Tensor& t : delta) {
@@ -74,10 +75,9 @@ void UniformQuantization::compress(WeightSet& delta) {
   }
 }
 
-double UniformQuantization::compressed_bytes(
-    std::int64_t dense_params) const {
-  return static_cast<double>(dense_params) * bits_ / 8.0 +
-         4.0 * static_cast<double>(num_tensors_);
+double UniformQuantization::compressed_bytes(const WeightSet& delta) const {
+  return static_cast<double>(ws_numel(delta)) * bits_ / 8.0 +
+         4.0 * static_cast<double>(delta.size());
 }
 
 std::unique_ptr<DeltaCompressor> make_compressor(CompressionKind kind,
@@ -104,17 +104,44 @@ const char* compression_name(CompressionKind kind) {
   return "none";
 }
 
+namespace {
+
+/// Per-tensor shape equality — a tensor-count match alone is not enough:
+/// FedTrans transforms can hand a returning client a same-depth model with
+/// different layer widths, and element-wise folds across that would be
+/// garbage (or an out-of-bounds walk).
+bool ws_same_shapes(const WeightSet& a, const WeightSet& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].shape() != b[i].shape()) return false;
+  return true;
+}
+
+}  // namespace
+
 void ErrorFeedback::add_residual(int client, WeightSet& delta) {
   auto it = residuals_.find(client);
   if (it == residuals_.end()) return;
-  FT_CHECK_MSG(it->second.size() == delta.size(),
-               "error-feedback residual shape drifted");
+  if (!ws_same_shapes(it->second, delta)) {
+    FT_LOG_WARN("error-feedback residual for client "
+                << client << " no longer matches its delta shapes (model "
+                << "spec changed between participations) — resetting the "
+                << "residual instead of folding garbage");
+    residuals_.erase(it);
+    return;
+  }
   ws_add(delta, it->second);
 }
 
 void ErrorFeedback::store_residual(int client, const WeightSet& pre,
                                    const WeightSet& post) {
-  FT_CHECK(pre.size() == post.size());
+  if (!ws_same_shapes(pre, post)) {
+    FT_LOG_WARN("error-feedback store for client "
+                << client << " got mismatched pre/post shapes — resetting "
+                << "the residual instead of storing a garbage difference");
+    residuals_.erase(client);
+    return;
+  }
   WeightSet residual = pre;
   ws_sub(residual, post);
   residuals_[client] = std::move(residual);

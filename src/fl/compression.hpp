@@ -21,8 +21,11 @@ class DeltaCompressor {
 
   /// Lossy-compress `delta` in place (what the server would decode).
   virtual void compress(WeightSet& delta) = 0;
-  /// Uplink bytes for a just-compressed delta of `dense_params` parameters.
-  virtual double compressed_bytes(std::int64_t dense_params) const = 0;
+  /// Uplink bytes for shipping `delta` in this compressor's wire layout.
+  /// Pure function of the delta's shape — no state from prior compress()
+  /// calls — so one compressor instance bills identically regardless of
+  /// call order or which thread's client asks.
+  virtual double compressed_bytes(const WeightSet& delta) const = 0;
   virtual std::string name() const = 0;
 };
 
@@ -30,8 +33,8 @@ class DeltaCompressor {
 class NoCompression : public DeltaCompressor {
  public:
   void compress(WeightSet&) override {}
-  double compressed_bytes(std::int64_t dense_params) const override {
-    return 4.0 * static_cast<double>(dense_params);
+  double compressed_bytes(const WeightSet& delta) const override {
+    return 4.0 * static_cast<double>(ws_numel(delta));
   }
   std::string name() const override { return "none"; }
 };
@@ -44,7 +47,7 @@ class TopKCompression : public DeltaCompressor {
   explicit TopKCompression(double ratio);
 
   void compress(WeightSet& delta) override;
-  double compressed_bytes(std::int64_t dense_params) const override;
+  double compressed_bytes(const WeightSet& delta) const override;
   std::string name() const override { return "topk"; }
 
   double ratio() const { return ratio_; }
@@ -61,14 +64,13 @@ class UniformQuantization : public DeltaCompressor {
   explicit UniformQuantization(int bits);
 
   void compress(WeightSet& delta) override;
-  double compressed_bytes(std::int64_t dense_params) const override;
+  double compressed_bytes(const WeightSet& delta) const override;
   std::string name() const override { return "quant"; }
 
   int bits() const { return bits_; }
 
  private:
   int bits_;
-  std::int64_t num_tensors_ = 0;  // from the last compress() call
 };
 
 enum class CompressionKind { None, TopK, Quant8, Quant4 };
@@ -80,14 +82,20 @@ const char* compression_name(CompressionKind kind);
 /// Error feedback (Seide et al. / EF-SGD): per-client residual memory that
 /// re-injects what compression dropped into the next round's delta, which
 /// recovers most of the accuracy a biased compressor loses. Keyed by client
-/// id; shapes must stay constant across that client's participations (true
-/// for the single-model runner).
+/// id. A returning client whose model spec changed between participations
+/// (possible under FedTrans transforms) presents deltas whose shapes no
+/// longer match the stored residual — both hooks validate per-tensor shapes
+/// and reset that client's residual with a warning instead of folding
+/// garbage.
 class ErrorFeedback {
  public:
-  /// delta ← delta + residual[client]; call before compress().
+  /// delta ← delta + residual[client]; call before compress(). A residual
+  /// whose shapes drifted from `delta` is discarded (logged), not folded.
   void add_residual(int client, WeightSet& delta);
   /// residual[client] ← pre − post; call after compress() with the delta
-  /// as it looked before (pre) and after (post) compression.
+  /// as it looked before (pre) and after (post) compression. Mismatched
+  /// pre/post shapes reset the client's residual (logged) — storing their
+  /// difference would poison every later round.
   void store_residual(int client, const WeightSet& pre, const WeightSet& post);
 
   bool has_residual(int client) const;

@@ -123,6 +123,12 @@ FederationEngine::FederationEngine(std::unique_ptr<Strategy> strategy,
                "compose with aggregation trees of any depth — or pick a "
                "linear strategy (FedAvg without compression, FedTrans, "
                "HeteroFL).");
+  FT_CHECK_MSG(
+      cfg_.topology.quantize_partials == PartialQuant::None ||
+          cfg_.topology.partial_aggregation,
+      "SessionConfig: topology.quantize_partials needs "
+      "topology.partial_aggregation — verbatim bundles must stay bit-exact, "
+      "only numeric group sums may be quantized on the wire");
   selector_ = make_selector(cfg_.selector);
   {
     RoundContext ctx = make_context();
@@ -234,6 +240,11 @@ ExchangeResult FederationEngine::exchange(
         ex.failover_down_bytes > 0.0)
       costs_.add_transfer(ex.retry_down_bytes + ex.failover_down_bytes,
                           ex.retry_up_bytes);
+    // Delta downlinks shipped fewer bytes than the full ModelDown the
+    // strategies billed — credit the difference back so the meter matches
+    // what actually crossed the wire.
+    if (ex.delta_saved_bytes > 0.0)
+      costs_.add_transfer(-ex.delta_saved_bytes, 0.0);
     return ex;
   }
 

@@ -96,7 +96,7 @@ void FedAvgStrategy::absorb_update(const ClientTask& task, Model*,
     const WeightSet pre = res.delta;
     compressor_->compress(res.delta);
     if (opts_.error_feedback) ef_.store_residual(c, pre, res.delta);
-    up_bytes = compressor_->compressed_bytes(ws_numel(res.delta));
+    up_bytes = compressor_->compressed_bytes(res.delta);
   }
 
   const double w = static_cast<double>(res.num_samples);

@@ -29,6 +29,15 @@ struct SessionRuntime {
 /// buffered-asynchronous (FedBuff-style) aggregation.
 enum class SessionMode : std::uint8_t { Sync, Async };
 
+/// On-wire encoding of reduced PartialUp group sums (wire v6 (a)). The
+/// values mirror the wire's kPartialQuant* bytes: None ships dense fp32,
+/// Int8 one fp32 scale per group plus 1 byte/param (~4× smaller uplink
+/// hops), Fp16 dtype-tagged half floats (~2× smaller, ≲1e-3 relative error
+/// on the final weights). Aggregators always dequantize to fp32 before
+/// folding, so only the per-hop encoding is lossy — never the accumulation
+/// — and rounds stay bitwise deterministic per tree shape and thread count.
+enum class PartialQuant : std::uint8_t { None = 0, Int8 = 1, Fp16 = 2 };
+
 /// Shape and reliability knobs of the federation fabric (only consulted
 /// when `use_fabric` is set).
 ///
@@ -83,6 +92,21 @@ struct FabricTopology {
   int branching = 0;
   /// Numeric leaf/interior reduction (see above). Ignored when levels < 2.
   bool partial_aggregation = false;
+  /// Quantize reduced PartialUp group sums on the wire (requires
+  /// partial_aggregation — the engine fails loudly otherwise).
+  PartialQuant quantize_partials = PartialQuant::None;
+  /// Content-addressed broadcast caching at the tree's aggregators: a
+  /// ShardDown body the receiver already holds (same model spec, same
+  /// bytes as last shipped) travels as a 64-bit hash instead of being
+  /// re-shipped from the root. Cache-hit rounds are bitwise identical to
+  /// cold ones; backbone savings land in FabricStats::cache_saved_bytes.
+  bool broadcast_cache = false;
+  /// Round-over-round delta ModelDowns: a client whose previous model the
+  /// server still remembers receives a per-tensor {same, additive delta,
+  /// literal} diff instead of full weights whenever that is smaller, and
+  /// reconstructs bitwise-identical weights. Savings land in
+  /// FabricStats::delta_saved_bytes and are credited back on CostMeter.
+  bool delta_downlink = false;
   /// Simulated seconds between resend attempts / until async give-up.
   double ack_timeout_s = 60.0;
   /// Bounded resend budget for lost uplink/bundle frames (0 = no retries,
@@ -217,6 +241,24 @@ struct SessionConfig : SessionRuntime {
   /// (see FabricTopology::partial_aggregation).
   SessionConfig& with_partial_aggregation(bool on = true) {
     topology.partial_aggregation = on;
+    return *this;
+  }
+  /// Quantize reduced PartialUp hops (see FabricTopology::quantize_partials;
+  /// requires with_partial_aggregation(true), enforced loudly at engine
+  /// construction).
+  SessionConfig& with_quantized_partials(PartialQuant q = PartialQuant::Int8) {
+    topology.quantize_partials = q;
+    return *this;
+  }
+  /// Content-addressed ShardDown body caching at aggregators (see
+  /// FabricTopology::broadcast_cache).
+  SessionConfig& with_broadcast_cache(bool on = true) {
+    topology.broadcast_cache = on;
+    return *this;
+  }
+  /// Round-over-round delta ModelDowns (see FabricTopology::delta_downlink).
+  SessionConfig& with_delta_downlink(bool on = true) {
+    topology.delta_downlink = on;
     return *this;
   }
   /// Fabric retry policy: bounded resend of lost frames, `ack_timeout_s`

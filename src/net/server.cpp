@@ -13,6 +13,7 @@
 #include "common/thread_pool.hpp"
 #include "fl/byzantine.hpp"
 #include "fl/weights.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -188,6 +189,20 @@ ShardDownlink subset_bundle(const ShardDownlink& d, int shards, int lo,
   return out;
 }
 
+/// Aggregator-state index of an aggregator endpoint (aggregator_id(k) → k).
+std::size_t agg_index(std::int32_t endpoint) {
+  return static_cast<std::size_t>(-2 - endpoint);
+}
+
+/// Per-tensor shape equality (delta downlinks may only diff a client's
+/// stored model against a payload of identical geometry).
+bool ws_shapes_match(const WeightSet& a, const WeightSet& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!a[i].same_shape(b[i])) return false;
+  return true;
+}
+
 /// The smallest task slot a PartialUp covers (entries are present in both
 /// verbatim and reduced mode; empty bundles are never sent).
 std::int32_t bundle_min_slot(const PartialUpdate& p) {
@@ -237,14 +252,38 @@ PartialUpdate merge_bundles(std::vector<PartialUpdate> bundles,
 
 }  // namespace
 
+std::shared_ptr<const DeltaStore::Entry> DeltaStore::peek(int client) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = map_.find(client);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+void DeltaStore::update(int client, std::shared_ptr<const Entry> e) {
+  std::lock_guard<std::mutex> lk(m_);
+  map_[client] = std::move(e);
+}
+
+void DeltaStore::erase(int client) {
+  std::lock_guard<std::mutex> lk(m_);
+  map_.erase(client);
+}
+
 ClientAgent::ClientAgent(int id, const ClientDataProvider& data,
                          LocalTrainConfig local, FabricTopology policy)
     : id_(id), data_(&data), local_(local), policy_(policy) {}
 
 void ClientAgent::poll(std::uint32_t round, const Model& prototype,
                        Transport& net,
-                       std::vector<ClientOutcome>& outcomes) {
+                       std::vector<ClientOutcome>& outcomes,
+                       DeltaStore* store) {
   FT_SPAN_ARG("client", "poll", "client", id_);
+  // The model this device decoded last round — the base every delta-flagged
+  // ModelDown of this round was diffed against. Snapshotted once up front:
+  // the store only advances after this poll, so all of the round's frames
+  // (duplicates included) decode against the same base.
+  std::shared_ptr<const DeltaStore::Entry> prev;
+  if (store != nullptr) prev = store->peek(id_);
+
   // Drain the mailbox first: duplicates and reordered frames all land here.
   // Invitations and models are paired per task slot; the agent keeps the
   // first arrival of each and ignores the rest.
@@ -255,7 +294,8 @@ void ClientAgent::poll(std::uint32_t round, const Model& prototype,
   for (Envelope& env : net.drain(id_)) {
     FabricMessage msg;
     try {
-      msg = decode_message(env.frame);
+      msg = decode_message(env.frame, prev ? &prev->weights : nullptr,
+                           prev ? prev->version : 0);
     } catch (const Error&) {
       // Treated as loss, but counted: the transport never corrupts bytes,
       // so frames_rejected > 0 means a codec bug (asserted 0 in tests).
@@ -364,6 +404,26 @@ void ClientAgent::poll(std::uint32_t round, const Model& prototype,
     net.stats_mutable().client_dropouts.fetch_add(1,
                                                   std::memory_order_relaxed);
   }
+
+  // Advance the delta store to what this device actually decoded — even on
+  // dropout or a missing invitation, the bytes were decoded and are what
+  // the next round's diff must be based on. Exactly one ModelDown: record
+  // it. Several (a multi-slot round): the "previous model" is ambiguous,
+  // so the entry is erased and the client goes back to full payloads. None
+  // decoded: the old entry (still what the device last saw) stands.
+  if (store != nullptr) {
+    if (downs.size() == 1) {
+      auto e = std::make_shared<DeltaStore::Entry>();
+      FabricMessage& only = downs.begin()->second;
+      e->version = prev ? prev->version + 1 : 1;
+      e->spec_digest =
+          fnv1a64(only.spec_text.data(), only.spec_text.size());
+      e->weights = std::move(only.weights);
+      store->update(id_, std::move(e));
+    } else if (downs.size() > 1) {
+      store->erase(id_);
+    }
+  }
 }
 
 FederationServer::FederationServer(const Model& prototype,
@@ -386,7 +446,19 @@ FederationServer::FederationServer(const Model& prototype,
   FT_CHECK_MSG(topo_.max_retries >= 0 && topo_.ack_timeout_s > 0.0,
                "fabric retry policy needs max_retries >= 0 and a positive "
                "ack timeout");
+  FT_CHECK_MSG(topo_.quantize_partials == PartialQuant::None ||
+                   topo_.partial_aggregation,
+               "quantized partials (with_quantized_partials) require the "
+               "numeric reduction (with_partial_aggregation) — verbatim "
+               "bundles must stay bit-exact");
   if (sharded()) tree_ = FabricTree(topo_);
+  if (topo_.broadcast_cache && sharded()) {
+    // One receiver cache + one sender-side known-map per aggregator; sized
+    // once so the per-node state never reallocates under the node-parallel
+    // routing workers.
+    bcast_cache_.resize(static_cast<std::size_t>(tree_.num_aggregators()));
+    child_known_.resize(static_cast<std::size_t>(tree_.num_aggregators()));
+  }
   net_ = make_transport(transport, std::move(fleet), faults,
                         tree_.num_aggregators(), socket);
 }
@@ -399,6 +471,106 @@ int FederationServer::owner_leaf(std::uint32_t round, int s) const {
     if (!net_->leaf_dead(round, cand)) return cand;
   }
   return -1;  // the whole fault domain is down this round
+}
+
+std::vector<std::uint8_t> FederationServer::elide_mask_for(
+    std::int32_t dst, const ShardDownlink& d) {
+  if (!topo_.broadcast_cache || dst >= kServerId) return {};
+  const auto& known = child_known_[agg_index(dst)];
+  std::vector<std::uint8_t> mask(d.bodies.size(), 0);
+  // Decide per body against the receiver cache as it will evolve while it
+  // decodes this bundle in table order (a later same-spec body evicts an
+  // earlier one), so replay the eviction rule alongside the decisions.
+  std::unordered_map<std::uint64_t, std::uint64_t> view = known;
+  std::uint64_t hits = 0, saved = 0;
+  for (std::size_t i = 0; i < d.bodies.size(); ++i) {
+    const std::uint64_t hash = broadcast_body_hash(d.bodies[i]);
+    const std::uint64_t spec = broadcast_body_spec_digest(d.bodies[i]);
+    const auto it = view.find(spec);
+    if (it != view.end() && it->second == hash) {
+      mask[i] = 1;
+      ++hits;
+      saved += d.bodies[i].size();  // elided entry ships the hash instead
+    }
+    view[spec] = hash;
+  }
+  if (hits > 0) {
+    net_->stats_mutable().cache_hits.fetch_add(hits,
+                                               std::memory_order_relaxed);
+    net_->stats_mutable().cache_saved_bytes.fetch_add(
+        saved, std::memory_order_relaxed);
+  }
+  return mask;
+}
+
+void FederationServer::note_bundle_known(std::int32_t dst,
+                                         const ShardDownlink& d) {
+  if (!topo_.broadcast_cache || dst >= kServerId) return;
+  auto& known = child_known_[agg_index(dst)];
+  for (const std::string& b : d.bodies)
+    known[broadcast_body_spec_digest(b)] = broadcast_body_hash(b);
+}
+
+void FederationServer::drop_missing_bodies(ShardDownlink& d,
+                                           std::int32_t node) {
+  bool any = false;
+  for (const std::uint8_t m : d.missing) any = any || m != 0;
+  if (!any) return;
+  const std::size_t before = d.tasks.size();
+  d.tasks.erase(std::remove_if(d.tasks.begin(), d.tasks.end(),
+                               [&d](const DownlinkTask& t) {
+                                 return d.missing[t.body] != 0;
+                               }),
+                d.tasks.end());
+  FT_LOG_WARN("aggregator " << node << " round " << d.round << ": dropped "
+                            << before - d.tasks.size()
+                            << " downlink task(s) whose elided broadcast "
+                               "body was missing from the cache (lost for "
+                               "the round)");
+}
+
+FederationServer::ParsedBody FederationServer::parse_body(
+    const std::string& body) {
+  std::istringstream is(body, std::ios::binary);
+  ParsedBody p;
+  p.spec = read_string(is);
+  p.spec_digest = fnv1a64(p.spec.data(), p.spec.size());
+  p.weights = read_weight_set(is);
+  return p;
+}
+
+std::string FederationServer::model_down_for(
+    std::uint32_t round, std::int32_t slot, int client,
+    const std::string& body, const ParsedBody* parsed,
+    const std::array<std::uint64_t, 4>& rng_state, std::uint8_t& flags) {
+  (void)round;
+  flags = 0;
+  if (topo_.delta_downlink && parsed != nullptr) {
+    const auto entry = delta_store_.peek(client);
+    if (entry && entry->spec_digest == parsed->spec_digest &&
+        ws_shapes_match(entry->weights, parsed->weights)) {
+      std::ostringstream os(std::ios::binary);
+      write_pod<std::int32_t>(os, slot);
+      write_string(os, parsed->spec);
+      write_weight_delta(os, entry->version, entry->weights, parsed->weights);
+      os.write(reinterpret_cast<const char*>(rng_state.data()),
+               sizeof(rng_state));
+      std::string delta_payload = os.str();
+      // A diff that is not actually smaller (every tensor changed) falls
+      // back to the full payload, so the saving is never negative.
+      const std::size_t full =
+          sizeof(slot) + body.size() + sizeof(rng_state);
+      if (delta_payload.size() < full) {
+        flags = kFlagDelta;
+        net_->stats_mutable().delta_downlinks.fetch_add(
+            1, std::memory_order_relaxed);
+        net_->stats_mutable().delta_saved_bytes.fetch_add(
+            full - delta_payload.size(), std::memory_order_relaxed);
+        return delta_payload;
+      }
+    }
+  }
+  return model_down_payload(slot, body, rng_state);
 }
 
 void FederationServer::send_join(std::uint32_t round, std::int32_t task,
@@ -430,14 +602,19 @@ void FederationServer::broadcast_shared(std::uint32_t round,
     return;
   }
 
+  std::unique_ptr<ParsedBody> parsed;
+  if (topo_.delta_downlink)
+    parsed = std::make_unique<ParsedBody>(parse_body(body));
   for (std::size_t i = 0; i < clients.size(); ++i) {
     const int c = clients[i];
     send_join(round, static_cast<std::int32_t>(i), c, kServerId);
+    std::uint8_t flags = 0;
+    const std::string payload =
+        model_down_for(round, static_cast<std::int32_t>(i), c, body,
+                       parsed.get(), client_rngs[i].state(), flags);
     net_->send(kServerId, c,
-               encode_frame(MsgType::ModelDown, round, kServerId, c,
-                            model_down_payload(static_cast<std::int32_t>(i),
-                                               body,
-                                               client_rngs[i].state())));
+               encode_frame(MsgType::ModelDown, round, kServerId, c, payload,
+                            flags));
   }
 }
 
@@ -465,14 +642,24 @@ void FederationServer::broadcast_tasks(std::uint32_t round,
     return;
   }
 
+  std::unordered_map<const std::string*, std::unique_ptr<ParsedBody>> parsed;
   for (std::size_t i = 0; i < clients.size(); ++i) {
     const int c = clients[i];
+    const std::string& body = encoded[payloads[i]];
     send_join(round, static_cast<std::int32_t>(i), c, kServerId);
+    const ParsedBody* pb = nullptr;
+    if (topo_.delta_downlink) {
+      auto& slot = parsed[&body];
+      if (!slot) slot = std::make_unique<ParsedBody>(parse_body(body));
+      pb = slot.get();
+    }
+    std::uint8_t flags = 0;
+    const std::string payload =
+        model_down_for(round, static_cast<std::int32_t>(i), c, body, pb,
+                       client_rngs[i].state(), flags);
     net_->send(kServerId, c,
-               encode_frame(MsgType::ModelDown, round, kServerId, c,
-                            model_down_payload(static_cast<std::int32_t>(i),
-                                               encoded[payloads[i]],
-                                               client_rngs[i].state())));
+               encode_frame(MsgType::ModelDown, round, kServerId, c, payload,
+                            flags));
   }
 }
 
@@ -524,12 +711,18 @@ void FederationServer::send_bundle(std::uint32_t round, std::int32_t src,
                                    double sent_at_s) {
   if (d.tasks.empty()) return;
   if (tier < topo_.levels - 1) {
-    // Interior destination: straight down under the retry policy.
+    // Interior destination: straight down under the retry policy. The elide
+    // mask is computed once per destination decision — retries reuse it, so
+    // cache savings are counted once even when the frame is resent.
     const std::int32_t dst = tree_.node_id(tier, j);
-    send_with_retry(*net_, src, dst, sent_at_s, topo_, /*downlink=*/true,
-                    [&](std::uint8_t flags) {
-                      return encode_shard_down(round, src, dst, d, flags);
-                    });
+    const std::vector<std::uint8_t> elide = elide_mask_for(dst, d);
+    const bool delivered = send_with_retry(
+        *net_, src, dst, sent_at_s, topo_, /*downlink=*/true,
+        [&](std::uint8_t flags) {
+          return encode_shard_down(round, src, dst, d, flags,
+                                   elide.empty() ? nullptr : &elide);
+        });
+    if (delivered) note_bundle_known(dst, d);
     return;
   }
   // Leaf destination: the per-shard fault domain. An alive leaf gets its
@@ -540,13 +733,24 @@ void FederationServer::send_bundle(std::uint32_t round, std::int32_t src,
   const int owner = owner_leaf(round, j);
   if (owner == j) {
     const std::int32_t dst = tree_.leaf_id(j);
-    send_with_retry(*net_, src, dst, sent_at_s, topo_, /*downlink=*/true,
-                    [&](std::uint8_t flags) {
-                      return encode_shard_down(round, src, dst, d, flags);
-                    });
+    const std::vector<std::uint8_t> elide = elide_mask_for(dst, d);
+    const bool delivered = send_with_retry(
+        *net_, src, dst, sent_at_s, topo_, /*downlink=*/true,
+        [&](std::uint8_t flags) {
+          return encode_shard_down(round, src, dst, d, flags,
+                                   elide.empty() ? nullptr : &elide);
+        });
+    if (delivered) note_bundle_known(dst, d);
     return;
   }
-  std::string wasted = encode_shard_down(round, src, tree_.leaf_id(j), d, 0);
+  // The wasted frame elides against the dead leaf's known-map (the sender
+  // cannot know the leaf is dead yet), but never advances it — the mail
+  // rots undecoded, so the leaf's cache saw nothing.
+  const std::vector<std::uint8_t> dead_elide =
+      elide_mask_for(tree_.leaf_id(j), d);
+  std::string wasted =
+      encode_shard_down(round, src, tree_.leaf_id(j), d, 0,
+                        dead_elide.empty() ? nullptr : &dead_elide);
   const std::size_t bytes = wasted.size();
   net_->send(src, tree_.leaf_id(j), std::move(wasted), sent_at_s);
   if (owner < 0) return;
@@ -557,10 +761,14 @@ void FederationServer::send_bundle(std::uint32_t round, std::int32_t src,
   net_->stats_mutable().failover_bytes_down.fetch_add(
       bytes, std::memory_order_relaxed);
   const std::int32_t dst = tree_.leaf_id(owner);
-  send_with_retry(*net_, src, dst, sent_at_s + topo_.ack_timeout_s, topo_,
-                  /*downlink=*/true, [&](std::uint8_t flags) {
-                    return encode_shard_down(round, src, dst, d, flags);
-                  });
+  const std::vector<std::uint8_t> elide = elide_mask_for(dst, d);
+  const bool delivered = send_with_retry(
+      *net_, src, dst, sent_at_s + topo_.ack_timeout_s, topo_,
+      /*downlink=*/true, [&](std::uint8_t flags) {
+        return encode_shard_down(round, src, dst, d, flags,
+                                 elide.empty() ? nullptr : &elide);
+      });
+  if (delivered) note_bundle_known(dst, d);
 }
 
 void FederationServer::route_tiers_down(std::uint32_t round) {
@@ -572,11 +780,15 @@ void FederationServer::route_tiers_down(std::uint32_t round) {
         tree_.tier_width(t), 1, [&](std::int64_t nlo, std::int64_t nhi) {
           for (std::int64_t jj = nlo; jj < nhi; ++jj) {
             const int j = static_cast<int>(jj);
+            const std::int32_t node = tree_.node_id(t, j);
             std::set<std::int32_t> handled;  // first arrival per leaf range
-            for (Envelope& env : net_->drain(tree_.node_id(t, j))) {
+            for (Envelope& env : net_->drain(node)) {
               ShardDownlink d;
               try {
-                d = decode_shard_down(env.frame);
+                d = decode_shard_down(env.frame,
+                                      topo_.broadcast_cache
+                                          ? &bcast_cache_[agg_index(node)]
+                                          : nullptr);
               } catch (const Error&) {
                 net_->stats_mutable().frames_rejected.fetch_add(
                     1, std::memory_order_relaxed);
@@ -584,6 +796,7 @@ void FederationServer::route_tiers_down(std::uint32_t round) {
               }
               if (d.round != round) continue;
               if (!handled.insert(d.leaf_lo).second) continue;
+              drop_missing_bodies(d, node);
               const auto [clo, chi] = tree_.child_range(t, j);
               for (int c = clo; c < chi; ++c) {
                 const auto [llo, lhi] = tree_.leaf_range(t + 1, c);
@@ -620,7 +833,10 @@ void FederationServer::fan_out_shards(std::uint32_t round) {
           for (Envelope& env : net_->drain(leaf)) {
             ShardDownlink d;
             try {
-              d = decode_shard_down(env.frame);
+              d = decode_shard_down(env.frame,
+                                    topo_.broadcast_cache
+                                        ? &bcast_cache_[agg_index(leaf)]
+                                        : nullptr);
             } catch (const Error&) {
               net_->stats_mutable().frames_rejected.fetch_add(
                   1, std::memory_order_relaxed);
@@ -628,17 +844,29 @@ void FederationServer::fan_out_shards(std::uint32_t round) {
             }
             if (d.round != round) continue;
             if (!handled.insert(d.shard).second) continue;
+            drop_missing_bodies(d, leaf);
+            // One parse per distinct body in the bundle, built lazily —
+            // rounds without delta downlinks never deserialize here.
+            std::vector<std::unique_ptr<ParsedBody>> parsed(d.bodies.size());
             for (const DownlinkTask& t : d.tasks) {
               // Both per-client frames leave when the bundle arrived — a
               // retried ShardDown must not invite clients retroactively.
               send_join(round, t.task, t.client, leaf, env.deliver_at_s);
+              const ParsedBody* pb = nullptr;
+              if (topo_.delta_downlink) {
+                auto& slot = parsed[t.body];
+                if (!slot)
+                  slot = std::make_unique<ParsedBody>(
+                      parse_body(d.bodies[t.body]));
+                pb = slot.get();
+              }
+              std::uint8_t flags = 0;
+              const std::string payload =
+                  model_down_for(round, t.task, t.client, d.bodies[t.body],
+                                 pb, t.rng_state, flags);
               net_->send(leaf, t.client,
                          encode_frame(MsgType::ModelDown, round, leaf,
-                                      t.client,
-                                      model_down_payload(
-                                          t.task, d.bodies[t.body],
-                                          t.rng_state),
-                                      0),
+                                      t.client, payload, flags),
                          env.deliver_at_s);
               leaf_served_[static_cast<std::size_t>(s)][t.task] = t.reduce;
             }
@@ -673,7 +901,8 @@ void FederationServer::poll_agents(std::uint32_t round,
           // kind of resident cost the descriptor population avoids.
           ClientAgent(distinct[static_cast<std::size_t>(i)], *data_, local_,
                       topo_)
-              .poll(round, prototype_, *net_, out.outcomes);
+              .poll(round, prototype_, *net_, out.outcomes,
+                    topo_.delta_downlink ? &delta_store_ : nullptr);
       });
 }
 
@@ -800,6 +1029,9 @@ void FederationServer::collect_sharded(std::uint32_t round,
           for (auto& [part, p] : parts) {
             p.shard = part;
             p.reduced = reduced_round_;
+            p.quant = reduced_round_
+                          ? static_cast<std::uint8_t>(topo_.quantize_partials)
+                          : kPartialQuantF32;
             const std::int32_t parent =
                 tree_.parent_id(topo_.levels - 1, static_cast<int>(s));
             const bool delivered = send_with_retry(
@@ -852,6 +1084,9 @@ void FederationServer::collect_sharded(std::uint32_t round,
             PartialUpdate m = merge_bundles(std::move(bundles),
                                             reduced_round_);
             m.shard = j;
+            m.quant = reduced_round_
+                          ? static_cast<std::uint8_t>(topo_.quantize_partials)
+                          : kPartialQuantF32;
             const std::int32_t parent = tree_.parent_id(t, j);
             const bool delivered = send_with_retry(
                 *net_, node, parent, last_s, topo_, /*downlink=*/false,
@@ -928,6 +1163,7 @@ ExchangeResult FederationServer::exchange(
   const std::uint64_t retry_up0 = net_->stats().retry_bytes_up.load();
   const std::uint64_t failovers0 = net_->stats().leaf_failovers.load();
   const std::uint64_t failover_b0 = net_->stats().failover_bytes_down.load();
+  const std::uint64_t delta_saved0 = net_->stats().delta_saved_bytes.load();
 
   phase_ = Phase::Broadcast;
   broadcast_fn();
@@ -946,6 +1182,8 @@ ExchangeResult FederationServer::exchange(
       net_->stats().leaf_failovers.load() - failovers0);
   out.failover_down_bytes = static_cast<double>(
       net_->stats().failover_bytes_down.load() - failover_b0);
+  out.delta_saved_bytes = static_cast<double>(
+      net_->stats().delta_saved_bytes.load() - delta_saved0);
   round_reduce_.clear();
   return out;
 }

@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -44,6 +46,9 @@ struct ExchangeResult {
   double retry_up_bytes = 0.0;
   double failover_down_bytes = 0.0;
   int leaf_failovers = 0;
+  /// Downlink bytes the round's delta ModelDowns saved vs full payloads
+  /// (FabricTopology::delta_downlink); credited back through CostMeter.
+  double delta_saved_bytes = 0.0;
 };
 
 /// Deterministic shape of the aggregation tree implied by a FabricTopology:
@@ -105,6 +110,36 @@ struct AsyncTurnaround {
   LocalTrainResult res;      ///< metrics always; delta valid iff Trained
 };
 
+/// Per-client memory of the last model each client decoded from a
+/// ModelDown, shared between the downlink senders (who diff the next
+/// round's payload against it, FabricTopology::delta_downlink) and the
+/// ClientAgent pollers (who record what actually got decoded). The store
+/// is only advanced after a client's poll completes — every delta sent
+/// within a round is diffed against the same base — and only when the
+/// client decoded exactly one ModelDown that round: a multi-slot client
+/// decodes several models per round, so its slot is erased rather than
+/// left ambiguous (it simply keeps receiving full payloads). Entries are
+/// versioned; the version rides the wire and a mismatch rejects the frame,
+/// so a desynchronized diff can never silently corrupt client weights.
+class DeltaStore {
+ public:
+  struct Entry {
+    std::uint64_t version = 0;
+    std::uint64_t spec_digest = 0;  ///< fnv1a64 of the model's spec text
+    WeightSet weights;
+  };
+
+  /// The client's current entry (shared snapshot; senders and the client's
+  /// own poll may read concurrently), or nullptr when none is held.
+  std::shared_ptr<const Entry> peek(int client) const;
+  void update(int client, std::shared_ptr<const Entry> e);
+  void erase(int client);
+
+ private:
+  mutable std::mutex m_;
+  std::unordered_map<int, std::shared_ptr<const Entry>> map_;
+};
+
 /// Edge-device worker: owns one client's fabric endpoint. On receipt of a
 /// (JoinRound, ModelDown) pair for a task slot it materializes the payload
 /// model — the round prototype for shared-blob broadcasts, or the
@@ -122,9 +157,11 @@ class ClientAgent {
   /// Drain this client's mailbox for `round`, train every task whose
   /// invitation and model both arrived, and record each task's outcome in
   /// its slot of `outcomes` (slots are disjoint across agents, so workers
-  /// write concurrently without coordination).
+  /// write concurrently without coordination). `store`, when given, is the
+  /// fabric's DeltaStore: delta-flagged ModelDowns decode against the
+  /// client's entry, and the entry advances to what this poll decoded.
   void poll(std::uint32_t round, const Model& prototype, Transport& net,
-            std::vector<ClientOutcome>& outcomes);
+            std::vector<ClientOutcome>& outcomes, DeltaStore* store = nullptr);
 
  private:
   int id_;
@@ -264,6 +301,40 @@ class FederationServer {
   /// the whole sibling group is dead).
   int owner_leaf(std::uint32_t round, int s) const;
 
+  // Wire v6 broadcast-cache bookkeeping (topo_.broadcast_cache). Aggregator
+  // state is indexed by aggregator index (aggregator_id(k) → k); each
+  // node's cache and known-map are touched only by the single worker that
+  // drains or feeds that node, so no locking is needed.
+  /// Elision mask for sending bundle `d` to aggregator `dst`: marks every
+  /// body the receiver's cache is known to hold, and bills the elided bytes
+  /// into FabricStats. Empty when caching is off or nothing can be elided.
+  std::vector<std::uint8_t> elide_mask_for(std::int32_t dst,
+                                           const ShardDownlink& d);
+  /// After a confirmed delivery of `d` to `dst`, replay the receiver's
+  /// cache-eviction rule into its known-map (bodies in table order).
+  void note_bundle_known(std::int32_t dst, const ShardDownlink& d);
+  /// Drop tasks referencing bodies the decode left missing (elided bodies
+  /// absent from this node's cache) — they surface as LostDown.
+  static void drop_missing_bodies(ShardDownlink& d, std::int32_t node);
+
+  /// Sender-side view of a broadcast body (what a client will decode) for
+  /// delta-downlink diffing.
+  struct ParsedBody {
+    std::uint64_t spec_digest = 0;
+    std::string spec;
+    WeightSet weights;
+  };
+  static ParsedBody parse_body(const std::string& body);
+  /// Encode task `slot`'s ModelDown payload for `client`: a delta against
+  /// the client's DeltaStore entry when the topology opts in, the store
+  /// matches and the diff is smaller — else the full `body`-backed payload.
+  /// Savings are billed into FabricStats at the decision point.
+  std::string model_down_for(std::uint32_t round, std::int32_t slot,
+                             int client, const std::string& body,
+                             const ParsedBody* parsed,
+                             const std::array<std::uint64_t, 4>& rng_state,
+                             std::uint8_t& flags);
+
   Model prototype_;
   const ClientDataProvider* data_;
   LocalTrainConfig local_;
@@ -278,6 +349,14 @@ class FederationServer {
   std::vector<std::int32_t> round_reduce_;
   bool reduced_round_ = false;
   Phase phase_ = Phase::Idle;
+  /// Receiver-side broadcast caches, one per aggregator (broadcast_cache).
+  std::vector<BroadcastCache> bcast_cache_;
+  /// Sender-side mirror of each aggregator's cache contents: spec digest →
+  /// body hash, advanced only after a confirmed-delivered send, consulted
+  /// by elide_mask_for.
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> child_known_;
+  /// Per-client last-decoded-model memory for delta downlinks.
+  DeltaStore delta_store_;
 };
 
 }  // namespace fedtrans

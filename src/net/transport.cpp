@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/hash.hpp"
 #include "net/socket_transport.hpp"
+#include "net/wire.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -100,6 +101,16 @@ std::optional<Transport::Stamped> Transport::stamp(std::int32_t src,
   }
   stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_sent.fetch_add(frame.size(), std::memory_order_relaxed);
+  // Downlink-direction accounting by peeking the frame's type byte (byte 6,
+  // after magic + version) — cheaper and less invasive than threading a
+  // direction flag through every server send site.
+  if (frame.size() > 6) {
+    const auto t = static_cast<std::uint8_t>(frame[6]);
+    if (t == static_cast<std::uint8_t>(MsgType::JoinRound) ||
+        t == static_cast<std::uint8_t>(MsgType::ModelDown) ||
+        t == static_cast<std::uint8_t>(MsgType::ShardDown))
+      stats_.bytes_downlink.fetch_add(frame.size(), std::memory_order_relaxed);
+  }
   static Histogram frame_bytes_h("fedtrans_frame_bytes");
   frame_bytes_h.observe(static_cast<double>(frame.size()));
 

@@ -107,6 +107,19 @@ struct FabricStats {
   /// (what numeric partial aggregation collapses from O(clients) to
   /// O(branching); bench_fabric_throughput reports it per round).
   std::atomic<std::uint64_t> bytes_root_in{0};
+  /// Bytes of downlink-direction frames sent (JoinRound/ModelDown/
+  /// ShardDown) — the denominator the wire v6 broadcast-cache and
+  /// delta-downlink savings are measured against.
+  std::atomic<std::uint64_t> bytes_downlink{0};
+  /// Broadcast-cache elisions (FabricTopology::broadcast_cache): bundle
+  /// bodies shipped as a 64-bit hash because the receiving aggregator
+  /// already held the bytes, and the body bytes that never travelled.
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_saved_bytes{0};
+  /// Delta ModelDowns (FabricTopology::delta_downlink): frames shipped as
+  /// a round-over-round diff, and the bytes saved vs the full payload.
+  std::atomic<std::uint64_t> delta_downlinks{0};
+  std::atomic<std::uint64_t> delta_saved_bytes{0};
 };
 
 /// A frame in flight / delivered: opaque bytes plus simulated-time stamps.

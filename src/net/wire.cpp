@@ -1,5 +1,7 @@
 #include "net/wire.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <istream>
 #include <limits>
@@ -65,6 +67,89 @@ WeightSet read_weight_set(std::istream& is) {
   for (std::uint32_t i = 0; i < n; ++i) ws.push_back(Tensor::load(is));
   return ws;
 }
+
+namespace {
+
+/// Reduced-group sum codec for quantized PartialUp bundles (wire v6 (a)).
+/// Int8 layout: one fp32 scale for the whole group, then per tensor
+/// [rank u32][dims i32...] and numel int8 codes with v ≈ code·scale.
+void write_group_sum_int8(std::ostream& os, const WeightSet& sum) {
+  float mx = 0.0f;
+  for (const Tensor& t : sum)
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+      mx = std::max(mx, std::fabs(t[i]));
+  const float scale = mx / 127.0f;
+  write_pod(os, scale);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(sum.size()));
+  for (const Tensor& t : sum) {
+    const auto& shape = t.shape();
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(shape.size()));
+    for (const int dim : shape) write_pod<std::int32_t>(os, dim);
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      const float q =
+          scale > 0.0f
+              ? std::min(127.0f, std::max(-127.0f, std::round(t[i] / scale)))
+              : 0.0f;
+      write_pod<std::int8_t>(os, static_cast<std::int8_t>(q));
+    }
+  }
+}
+
+WeightSet read_group_sum_int8(std::istream& is) {
+  const auto scale = read_pod<float>(is);
+  FT_CHECK_MSG(std::isfinite(scale) && scale >= 0.0f,
+               "int8 PartialUp group scale corrupt: " << scale);
+  const auto n = read_pod<std::uint32_t>(is);
+  WeightSet sum;
+  sum.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto rank = read_pod<std::uint32_t>(is);
+    FT_CHECK_MSG(rank <= 8, "int8 PartialUp tensor rank corrupt: " << rank);
+    std::vector<int> shape(rank);
+    for (std::uint32_t k = 0; k < rank; ++k) {
+      shape[k] = read_pod<std::int32_t>(is);
+      FT_CHECK_MSG(shape[k] > 0, "int8 PartialUp tensor dim corrupt");
+    }
+    Tensor t(shape);
+    for (std::int64_t j = 0; j < t.numel(); ++j)
+      t[j] = static_cast<float>(read_pod<std::int8_t>(is)) * scale;
+    sum.push_back(std::move(t));
+  }
+  return sum;
+}
+
+void write_group_sum(std::ostream& os, const WeightSet& sum,
+                     std::uint8_t quant) {
+  switch (quant) {
+    case kPartialQuantF32: write_weight_set(os, sum); break;
+    case kPartialQuantInt8: write_group_sum_int8(os, sum); break;
+    case kPartialQuantF16: {
+      WeightSet half = sum;
+      for (Tensor& t : half) t.quantize_storage(Dtype::F16);
+      write_weight_set(os, half);
+      break;
+    }
+    default: FT_CHECK_MSG(false, "PartialUp quant byte invalid: " << int{quant});
+  }
+}
+
+WeightSet read_group_sum(std::istream& is, std::uint8_t quant) {
+  switch (quant) {
+    case kPartialQuantF32: return read_weight_set(is);
+    case kPartialQuantInt8: return read_group_sum_int8(is);
+    case kPartialQuantF16: {
+      WeightSet sum = read_weight_set(is);
+      // Values sit on the f16 grid; retag to fp32 so downstream merges
+      // accumulate (and re-encode) from a clean full-precision set.
+      for (Tensor& t : sum) t.quantize_storage(Dtype::F32);
+      return sum;
+    }
+    default: FT_CHECK_MSG(false, "PartialUp quant byte corrupt: " << int{quant});
+  }
+  return {};
+}
+
+}  // namespace
 
 namespace {
 
@@ -159,14 +244,28 @@ std::string encode_payload(const FabricMessage& msg) {
   return os.str();
 }
 
-void decode_payload(FabricMessage& msg, std::string_view payload) {
+void decode_payload(FabricMessage& msg, std::string_view payload,
+                    const WeightSet* prev, std::uint64_t prev_version) {
   ViewBuf buf(payload);
   std::istream is(&buf);
   switch (msg.type) {
     case MsgType::ModelDown:
       msg.task = read_pod<std::int32_t>(is);
       msg.spec_text = read_string(is);
-      msg.weights = read_weight_set(is);
+      if (msg.flags & kFlagDelta) {
+        // A delta frame is only decodable against the exact model version
+        // it was diffed from; anything else is a sender/receiver desync
+        // that must surface as a rejected frame, not as wrong weights.
+        FT_CHECK_MSG(prev != nullptr,
+                     "delta ModelDown but receiver holds no previous model");
+        msg.weights = read_weight_delta(is, *prev, msg.delta_base);
+        FT_CHECK_MSG(msg.delta_base == prev_version,
+                     "delta ModelDown base version "
+                         << msg.delta_base << " != receiver's "
+                         << prev_version);
+      } else {
+        msg.weights = read_weight_set(is);
+      }
       msg.rng_state = read_pod<std::array<std::uint64_t, 4>>(is);
       break;
     case MsgType::UpdateUp:
@@ -287,7 +386,8 @@ std::optional<std::string> FrameAssembler::next_frame() {
   return frame;
 }
 
-FabricMessage decode_message(std::string_view frame) {
+FabricMessage decode_message(std::string_view frame, const WeightSet* prev,
+                             std::uint64_t prev_version) {
   const FrameHeader h = parse_header(frame);
   FabricMessage msg;
   msg.type = h.type;
@@ -295,7 +395,7 @@ FabricMessage decode_message(std::string_view frame) {
   msg.round = h.round;
   msg.sender = h.sender;
   msg.receiver = h.receiver;
-  decode_payload(msg, h.payload);
+  decode_payload(msg, h.payload, prev, prev_version);
   return msg;
 }
 
@@ -318,6 +418,11 @@ std::string encode_partial_up(std::uint32_t round, std::int32_t sender,
   std::ostringstream os(std::ios::binary);
   write_pod(os, p.shard);
   write_pod<std::uint8_t>(os, p.reduced ? 1 : 0);
+  if (p.reduced) {
+    FT_CHECK_MSG(p.quant <= kPartialQuantF16,
+                 "PartialUp quant byte invalid: " << int{p.quant});
+    write_pod<std::uint8_t>(os, p.quant);
+  }
   write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(p.entries.size()));
   for (const UpdateEntry& e : p.entries) {
     write_pod(os, e.task);
@@ -334,7 +439,7 @@ std::string encode_partial_up(std::uint32_t round, std::int32_t sender,
       write_pod(os, g.min_slot);
       write_pod(os, g.count);
       write_pod(os, g.weight);
-      write_weight_set(os, g.sum);
+      write_group_sum(os, g.sum, p.quant);
     }
   }
   return encode_frame(MsgType::PartialUp, round, sender, receiver, os.str(),
@@ -355,6 +460,11 @@ PartialUpdate decode_partial_up(std::string_view frame) {
   const auto mode = read_pod<std::uint8_t>(is);
   FT_CHECK_MSG(mode <= 1, "PartialUp mode byte corrupt: " << int{mode});
   p.reduced = mode == 1;
+  if (p.reduced) {
+    p.quant = read_pod<std::uint8_t>(is);
+    FT_CHECK_MSG(p.quant <= kPartialQuantF16,
+                 "PartialUp quant byte corrupt: " << int{p.quant});
+  }
   const auto n = read_pod<std::uint32_t>(is);
   p.entries.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -380,7 +490,7 @@ PartialUpdate decode_partial_up(std::string_view frame) {
       g.min_slot = read_pod<std::int32_t>(is);
       g.count = read_pod<std::int32_t>(is);
       g.weight = read_pod<double>(is);
-      g.sum = read_weight_set(is);
+      g.sum = read_group_sum(is, p.quant);
       p.groups.push_back(std::move(g));
     }
   }
@@ -390,13 +500,25 @@ PartialUpdate decode_partial_up(std::string_view frame) {
 
 std::string encode_shard_down(std::uint32_t round, std::int32_t sender,
                               std::int32_t receiver, const ShardDownlink& d,
-                              std::uint8_t flags) {
+                              std::uint8_t flags,
+                              const std::vector<std::uint8_t>* elide) {
+  FT_CHECK_MSG(elide == nullptr || elide->size() == d.bodies.size(),
+               "ShardDown elide mask size " << (elide ? elide->size() : 0)
+                                            << " != body count "
+                                            << d.bodies.size());
   std::ostringstream os(std::ios::binary);
   write_pod(os, d.shard);
   write_pod(os, d.leaf_lo);
   write_pod(os, d.leaf_hi);
   write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(d.bodies.size()));
-  for (const std::string& b : d.bodies) write_string(os, b);
+  for (std::size_t i = 0; i < d.bodies.size(); ++i) {
+    const bool skip = elide != nullptr && (*elide)[i] != 0;
+    write_pod<std::uint8_t>(os, skip ? 0 : 1);  // shipped flag
+    if (skip)
+      write_pod<std::uint64_t>(os, broadcast_body_hash(d.bodies[i]));
+    else
+      write_string(os, d.bodies[i]);
+  }
   write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(d.tasks.size()));
   for (const DownlinkTask& t : d.tasks) {
     write_pod(os, t.task);
@@ -409,7 +531,8 @@ std::string encode_shard_down(std::uint32_t round, std::int32_t sender,
                       os.str(), flags);
 }
 
-ShardDownlink decode_shard_down(std::string_view frame) {
+ShardDownlink decode_shard_down(std::string_view frame,
+                                BroadcastCache* cache) {
   const FrameHeader h = parse_header(frame);
   FT_CHECK_MSG(h.type == MsgType::ShardDown,
                "expected a ShardDown frame, got type "
@@ -426,7 +549,30 @@ ShardDownlink decode_shard_down(std::string_view frame) {
                                                  << d.leaf_hi << ")");
   const auto nb = read_pod<std::uint32_t>(is);
   d.bodies.reserve(nb);
-  for (std::uint32_t i = 0; i < nb; ++i) d.bodies.push_back(read_string(is));
+  d.missing.assign(nb, 0);
+  for (std::uint32_t i = 0; i < nb; ++i) {
+    const auto shipped = read_pod<std::uint8_t>(is);
+    FT_CHECK_MSG(shipped <= 1,
+                 "ShardDown body flag corrupt: " << int{shipped});
+    if (shipped) {
+      d.bodies.push_back(read_string(is));
+      // Cache in arrival order: a later same-spec body in this very bundle
+      // evicts an earlier one exactly as the sender's known-map replay does.
+      if (cache != nullptr) cache->put(d.bodies.back());
+    } else {
+      const auto hash = read_pod<std::uint64_t>(is);
+      const std::string* hit = cache != nullptr ? cache->find(hash) : nullptr;
+      if (hit != nullptr) {
+        d.bodies.push_back(*hit);
+      } else {
+        // Sender believed we cached this body and we did not — the tasks
+        // referencing it are lost for the round (routers drop them), but
+        // the frame itself is well-formed.
+        d.bodies.emplace_back();
+        d.missing[i] = 1;
+      }
+    }
+  }
   const auto nt = read_pod<std::uint32_t>(is);
   d.tasks.reserve(nt);
   for (std::uint32_t i = 0; i < nt; ++i) {
@@ -442,6 +588,132 @@ ShardDownlink decode_shard_down(std::string_view frame) {
   }
   expect_consumed(is);
   return d;
+}
+
+std::uint64_t broadcast_body_hash(const std::string& body) {
+  return fnv1a64(body.data(), body.size());
+}
+
+std::uint64_t broadcast_body_spec_digest(const std::string& body) {
+  // Body layout: [spec string (u64 length + bytes)][weight section]. The
+  // digest covers the spec bytes only, so all rounds of the same model
+  // land on one cache slot.
+  if (body.size() >= sizeof(std::uint64_t)) {
+    std::uint64_t len = 0;
+    std::memcpy(&len, body.data(), sizeof(len));
+    if (len <= body.size() - sizeof(len))
+      return fnv1a64(body.data() + sizeof(len),
+                     static_cast<std::size_t>(len));
+  }
+  return broadcast_body_hash(body);
+}
+
+void BroadcastCache::put(const std::string& body) {
+  const std::uint64_t hash = broadcast_body_hash(body);
+  const std::uint64_t spec = broadcast_body_spec_digest(body);
+  auto it = by_spec_.find(spec);
+  if (it != by_spec_.end()) {
+    if (it->second == hash) return;  // duplicate frame — already cached
+    by_hash_.erase(it->second);
+    it->second = hash;
+  } else {
+    by_spec_.emplace(spec, hash);
+  }
+  by_hash_[hash] = body;
+}
+
+const std::string* BroadcastCache::find(std::uint64_t hash) const {
+  const auto it = by_hash_.find(hash);
+  return it == by_hash_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Per-tensor delta modes (wire v6 (c)).
+constexpr std::uint8_t kDeltaSame = 0;     ///< receiver reuses prev[i]
+constexpr std::uint8_t kDeltaAdd = 1;      ///< fp32 difference, added to prev[i]
+constexpr std::uint8_t kDeltaLiteral = 2;  ///< full tensor, dtype preserved
+
+bool bits_equal(float a, float b) {
+  return std::memcmp(&a, &b, sizeof(float)) == 0;
+}
+
+}  // namespace
+
+void write_weight_delta(std::ostream& os, std::uint64_t base_version,
+                        const WeightSet& prev, const WeightSet& next) {
+  FT_CHECK_MSG(prev.size() == next.size(),
+               "weight-delta tensor count mismatch: prev "
+                   << prev.size() << " vs next " << next.size());
+  write_pod(os, base_version);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(next.size()));
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    const Tensor& p = prev[i];
+    const Tensor& n = next[i];
+    FT_CHECK_MSG(p.same_shape(n),
+                 "weight-delta tensor " << i << " shape mismatch");
+    const std::size_t bytes =
+        static_cast<std::size_t>(n.numel()) * sizeof(float);
+    if (p.dtype() == n.dtype() &&
+        std::memcmp(p.data(), n.data(), bytes) == 0) {
+      write_pod<std::uint8_t>(os, kDeltaSame);
+      continue;
+    }
+    // Additive mode is only sound when the receiver's prev + diff provably
+    // reproduces next's exact bits on every element (and both sides are
+    // plain fp32, so no storage grid re-snaps the reconstruction).
+    if (p.dtype() == Dtype::F32 && n.dtype() == Dtype::F32) {
+      Tensor d = n;
+      bool exact = true;
+      for (std::int64_t j = 0; j < n.numel() && exact; ++j) {
+        d[j] = n[j] - p[j];
+        exact = bits_equal(p[j] + d[j], n[j]);
+      }
+      if (exact) {
+        write_pod<std::uint8_t>(os, kDeltaAdd);
+        d.save(os);
+        continue;
+      }
+    }
+    write_pod<std::uint8_t>(os, kDeltaLiteral);
+    n.save(os);
+  }
+}
+
+WeightSet read_weight_delta(std::istream& is, const WeightSet& prev,
+                            std::uint64_t& base_version) {
+  base_version = read_pod<std::uint64_t>(is);
+  const auto n = read_pod<std::uint32_t>(is);
+  FT_CHECK_MSG(n == prev.size(),
+               "weight-delta tensor count " << n
+                   << " != previous model's " << prev.size());
+  WeightSet out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto mode = read_pod<std::uint8_t>(is);
+    switch (mode) {
+      case kDeltaSame:
+        out.push_back(prev[i]);
+        break;
+      case kDeltaAdd: {
+        Tensor d = Tensor::load(is);
+        FT_CHECK_MSG(d.same_shape(prev[i]),
+                     "weight-delta tensor " << i << " shape mismatch");
+        Tensor r = prev[i];
+        for (std::int64_t j = 0; j < r.numel(); ++j) r[j] += d[j];
+        out.push_back(std::move(r));
+        break;
+      }
+      case kDeltaLiteral:
+        out.push_back(Tensor::load(is));
+        FT_CHECK_MSG(out.back().same_shape(prev[i]),
+                     "weight-delta tensor " << i << " shape mismatch");
+        break;
+      default:
+        FT_CHECK_MSG(false, "weight-delta mode byte corrupt: " << int{mode});
+    }
+  }
+  return out;
 }
 
 }  // namespace fedtrans

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "fl/weights.hpp"
@@ -58,7 +59,16 @@ constexpr std::uint32_t kWireMagic = 0x46544E46u;  // "FTNF"
 /// half-tagged tensors ship 2 bytes/element, halving ModelDown/UpdateUp
 /// payloads in mixed-precision sessions. F32 tensors encode byte-identically
 /// to v4, so the payload format is backward compatible.
-constexpr std::uint16_t kWireVersion = 5;
+/// v6: bandwidth reducers — (a) reduced PartialUp bundles carry a quant
+/// byte after the mode byte and may ship their per-group numeric sums
+/// int8-quantized (one fp32 scale per group) or f16-tagged instead of
+/// dense fp32; (b) ShardDown body tables are content-addressed — each body
+/// entry ships either its bytes or, when the sender knows the receiver
+/// already caches that exact body, just its 64-bit content hash; (c)
+/// ModelDown frames flagged kFlagDelta diff against the client's previous
+/// model with a per-tensor {same, additive delta, literal} section instead
+/// of shipping the full weights.
+constexpr std::uint16_t kWireVersion = 6;
 /// Fixed frame header size in bytes (see layout above).
 constexpr std::size_t kWireHeaderBytes = 4 + 2 + 1 + 1 + 4 + 4 + 4 + 8 + 8;
 /// Sender/receiver id of the federation server (clients are their >= 0 ids).
@@ -69,6 +79,18 @@ constexpr std::int32_t aggregator_id(int k) { return -2 - k; }
 
 /// Header flag bits (byte 8 of the frame).
 constexpr std::uint8_t kFlagRetry = 0x1;  ///< resend of a lost frame
+/// ModelDown only: the weight section is a round-over-round delta against
+/// the receiver's previous model (see write_weight_delta), not full weights.
+constexpr std::uint8_t kFlagDelta = 0x2;
+
+/// On-wire encoding of a reduced PartialUp's per-group sums (the quant byte
+/// that follows the mode byte): dense fp32 (the v5 format), int8 with one
+/// fp32 scale per group, or f16-tagged tensors. Interior aggregators always
+/// decode back to fp32 before folding, so accumulation stays full-precision
+/// regardless of the hop encoding.
+constexpr std::uint8_t kPartialQuantF32 = 0;
+constexpr std::uint8_t kPartialQuantInt8 = 1;
+constexpr std::uint8_t kPartialQuantF16 = 2;
 
 /// One fabric message. A tagged union kept flat for simplicity: only the
 /// fields meaningful for `type` are encoded on the wire (see wire.cpp).
@@ -105,6 +127,11 @@ struct FabricMessage {
 
   /// Abort: human-readable cause ("dropout", ...).
   std::string reason;
+
+  /// ModelDown with kFlagDelta: version stamp of the previous model the
+  /// delta section was diffed against (see write_weight_delta). 0 for
+  /// full-weight frames.
+  std::uint64_t delta_base = 0;
 };
 
 /// One task's update inside a PartialUp bundle — the same fields an
@@ -152,6 +179,10 @@ struct PartialUpdate {
   std::int32_t sender = kServerId;
   std::int32_t shard = 0;
   bool reduced = false;
+  /// Wire encoding of the group sums (kPartialQuant*; reduced mode only).
+  /// In-memory sums are always fp32 — the codec quantizes at encode and
+  /// dequantizes at decode, so merges accumulate full-precision.
+  std::uint8_t quant = kPartialQuantF32;
   std::vector<UpdateEntry> entries;
   std::vector<ReducedGroup> groups;  ///< reduced mode only
 };
@@ -186,7 +217,45 @@ struct ShardDownlink {
   std::int32_t leaf_hi = 1;
   std::vector<std::string> bodies;
   std::vector<DownlinkTask> tasks;
+  /// Decode-side only (never encoded): missing[i] != 0 marks a body the
+  /// sender elided (shipping only its content hash) that the receiver's
+  /// broadcast cache could not reconstruct. Tasks referencing a missing
+  /// body are lost for the round — routers must drop them (they surface as
+  /// LostDown), not treat the empty placeholder as payload.
+  std::vector<std::uint8_t> missing;
 };
+
+/// Content-addressed store of broadcast bodies an aggregator has already
+/// received, letting repeat ShardDown frames ship a 64-bit hash instead of
+/// re-shipping the body bytes (wire v6 (b)). Bodies are keyed by their
+/// FNV-1a content hash; to bound growth the cache keeps one body per model
+/// spec (the body's leading length-prefixed spec string), so a new round's
+/// weights for the same spec evict the previous round's body. Senders
+/// mirror this eviction rule in their per-receiver "known" maps, so an
+/// elision decision is only made for hashes the receiver still holds.
+class BroadcastCache {
+ public:
+  /// Record a body that arrived shipped in full. Idempotent — duplicate
+  /// frames (retry storms, network dup faults) re-put the same bytes.
+  void put(const std::string& body);
+  /// Look up a body by content hash; nullptr on miss.
+  const std::string* find(std::uint64_t hash) const;
+
+  std::size_t size() const { return by_hash_.size(); }
+
+ private:
+  /// spec digest → content hash currently cached for that spec.
+  std::unordered_map<std::uint64_t, std::uint64_t> by_spec_;
+  /// content hash → body bytes.
+  std::unordered_map<std::uint64_t, std::string> by_hash_;
+};
+
+/// Content hash of a broadcast body (the elision key on the wire).
+std::uint64_t broadcast_body_hash(const std::string& body);
+/// Digest of the body's leading length-prefixed spec string — the cache
+/// eviction key (one cached body per distinct model spec). Falls back to
+/// the content hash for bodies too short to carry a spec prefix.
+std::uint64_t broadcast_body_spec_digest(const std::string& body);
 
 /// FNV-1a 64-bit digest (the frame checksum).
 std::uint64_t fnv1a64(const void* data, std::size_t n);
@@ -206,19 +275,33 @@ std::string encode_frame(MsgType type, std::uint32_t round,
 /// Parse a frame produced by encode_message. Throws `Error` on short
 /// buffers, bad magic/version/type, length mismatch, checksum mismatch, or
 /// a payload that does not decode cleanly. PartialUp/ShardDown bundles have
-/// their own decoders below.
-FabricMessage decode_message(std::string_view frame);
+/// their own decoders below. A ModelDown flagged kFlagDelta requires the
+/// receiver's previous model: `prev` supplies it and `prev_version` its
+/// version stamp, which must match the frame's delta_base (a mismatch — or
+/// a delta frame with no `prev` at all — throws, so desynchronized senders
+/// surface as rejected frames, never as silently wrong weights).
+FabricMessage decode_message(std::string_view frame,
+                             const WeightSet* prev = nullptr,
+                             std::uint64_t prev_version = 0);
 
 /// Bundle codecs for the hierarchical frames (validated exactly like
 /// decode_message: magic, version, type, length, checksum, clean payload).
+/// encode_shard_down's optional `elide` mask (parallel to d.bodies)
+/// replaces marked bodies with their content hash on the wire — callers
+/// may only mark bodies they know the receiver's BroadcastCache holds.
+/// decode_shard_down reconstructs elided bodies from `cache` (and puts
+/// fully-shipped ones into it); without a cache, or on a cache miss, the
+/// affected bodies come back empty with d.missing[i] set.
 std::string encode_partial_up(std::uint32_t round, std::int32_t sender,
                               std::int32_t receiver, const PartialUpdate& p,
                               std::uint8_t flags = 0);
 PartialUpdate decode_partial_up(std::string_view frame);
 std::string encode_shard_down(std::uint32_t round, std::int32_t sender,
                               std::int32_t receiver, const ShardDownlink& d,
-                              std::uint8_t flags = 0);
-ShardDownlink decode_shard_down(std::string_view frame);
+                              std::uint8_t flags = 0,
+                              const std::vector<std::uint8_t>* elide = nullptr);
+ShardDownlink decode_shard_down(std::string_view frame,
+                                BroadcastCache* cache = nullptr);
 
 /// Cheap peek at a frame's message type (validates magic and the type
 /// byte only) — lets a mixed-traffic receiver route a frame to the right
@@ -278,5 +361,28 @@ class FrameAssembler {
 /// then each tensor's shape + raw fp32 data — bit-exact round trip).
 void write_weight_set(std::ostream& os, const WeightSet& ws);
 WeightSet read_weight_set(std::istream& is);
+
+/// Round-over-round weight-delta codec (wire v6 (c), the section a
+/// ModelDown flagged kFlagDelta carries instead of write_weight_set):
+///
+///   [base_version u64][count u32]
+///   [per tensor: mode u8, then for Delta/Literal the serialized tensor]
+///
+/// with per-tensor modes Same (receiver reuses prev[i] verbatim), Delta
+/// (receiver adds the shipped fp32 difference to prev[i]) and Literal (the
+/// tensor ships in full, dtype tag preserved). The writer proves bitwise
+/// reconstruction before choosing Same or Delta — Same requires prev[i]
+/// and next[i] byte-identical (data and dtype tag), Delta requires
+/// prev[i] + (next[i] − prev[i]) to round-trip to next[i]'s exact bits on
+/// every element — and falls back to Literal otherwise, so the decoded set
+/// is always bit-exact to `next` no matter which modes were picked.
+/// `prev` and `next` must have the same tensor count and shapes.
+void write_weight_delta(std::ostream& os, std::uint64_t base_version,
+                        const WeightSet& prev, const WeightSet& next);
+/// Reconstruct `next` from the delta section and the receiver's previous
+/// model. Validates tensor count/shapes against `prev` and returns the
+/// frame's base_version through `base_version`.
+WeightSet read_weight_delta(std::istream& is, const WeightSet& prev,
+                            std::uint64_t& base_version);
 
 }  // namespace fedtrans

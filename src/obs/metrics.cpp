@@ -253,6 +253,11 @@ void MetricsRegistry::export_fabric_stats(const FabricStats& stats) {
   put("fedtrans_fabric_leaf_failovers_total", stats.leaf_failovers);
   put("fedtrans_fabric_failover_bytes_down_total", stats.failover_bytes_down);
   put("fedtrans_fabric_bytes_root_in_total", stats.bytes_root_in);
+  put("fedtrans_fabric_bytes_downlink_total", stats.bytes_downlink);
+  put("fedtrans_fabric_cache_hits_total", stats.cache_hits);
+  put("fedtrans_fabric_cache_saved_bytes_total", stats.cache_saved_bytes);
+  put("fedtrans_fabric_delta_downlinks_total", stats.delta_downlinks);
+  put("fedtrans_fabric_delta_saved_bytes_total", stats.delta_saved_bytes);
 }
 
 std::string MetricsSnapshot::to_json() const {

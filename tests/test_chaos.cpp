@@ -424,6 +424,119 @@ TEST(ChaosSweepTest, CombinedFaultsOnDeepTreeStillConserveAndTerminate) {
 }
 
 // ---------------------------------------------------------------------------
+// Wire v6 bandwidth-reducer legs: the same invariant harness with quantized
+// tree partials, interior broadcast caches and delta downlinks switched on
+// (separately and together) under every fault mix. The standing invariants
+// are unchanged except byte reconciliation, which gains the delta credit:
+// delta ModelDowns ship fewer bytes than the full payload the strategy
+// billed, and the engine credits exactly the transport's counter back.
+
+struct FeatureCase {
+  const char* name;
+  PartialQuant quant;
+  bool cache;
+  bool delta;
+};
+
+std::vector<FeatureCase> feature_cases() {
+  return {{"quant-int8", PartialQuant::Int8, false, false},
+          {"cache", PartialQuant::None, true, false},
+          {"delta", PartialQuant::None, false, true},
+          {"all-on", PartialQuant::Int8, true, true}};
+}
+
+SyncOutcome run_fedavg_v6(const FederatedDataset& data,
+                          const std::vector<DeviceProfile>& fleet,
+                          const Model& init, const TopoCase& t,
+                          const FaultCase& f, const FeatureCase& v,
+                          std::uint64_t seed) {
+  const std::string what =
+      "fedavg-v6 " + std::string(v.name) + " " + scenario_name(t, f, seed);
+  FlRunConfig cfg;
+  cfg.rounds = 3;
+  cfg.clients_per_round = 5;
+  cfg.local.steps = 2;
+  cfg.local.batch = 4;
+  cfg.eval_every = 0;
+  cfg.seed = seed;
+  cfg.use_fabric = true;
+  apply_scenario(cfg.topology, cfg.fabric_faults, t, f, seed);
+  cfg.topology.quantize_partials = v.quant;
+  cfg.topology.partial_aggregation = v.quant != PartialQuant::None;
+  cfg.topology.broadcast_cache = v.cache;
+  cfg.topology.delta_downlink = v.delta;
+
+  FedAvgRunner runner(init, data, fleet, cfg);
+  runner.run();  // invariant 1: terminates under every fault mix
+
+  EXPECT_EQ(runner.history().size(), static_cast<std::size_t>(cfg.rounds))
+      << what;
+  int participants = 0, lost = 0;
+  for (const auto& rec : runner.history()) {
+    EXPECT_EQ(rec.participants + rec.lost_updates, cfg.clients_per_round)
+        << what << " round " << rec.round;  // invariant 2: conservation
+    participants += rec.participants;
+    lost += rec.lost_updates;
+  }
+
+  const FabricStats& stats = runner.fabric()->stats();
+  // Invariant 3, v6 form: per-update billing + resend/failover traffic
+  // − the delta-downlink credit. Cache elision never enters CostMeter —
+  // it only trims the free backbone — so no cache term appears.
+  const double model_bytes =
+      static_cast<double>(runner.model().param_bytes());
+  const double extra =
+      static_cast<double>(stats.retry_bytes_down.load()) +
+      static_cast<double>(stats.retry_bytes_up.load()) +
+      static_cast<double>(stats.failover_bytes_down.load()) -
+      static_cast<double>(stats.delta_saved_bytes.load());
+  EXPECT_NEAR(runner.costs().network_bytes(),
+              model_bytes * (2.0 * participants + lost) + extra, 1.0)
+      << what;
+  EXPECT_EQ(stats.frames_rejected.load(), 0u) << what;  // invariant 5
+
+  SyncOutcome out;
+  out.weights = runner.model().weights();
+  out.history = runner.history();
+  out.network_bytes = runner.costs().network_bytes();
+  return out;
+}
+
+TEST(ChaosSweepTest, BandwidthReducersSurviveEveryScenarioDeterministically) {
+  auto data = FederatedDataset::generate(chaos_data());
+  auto fleet = chaos_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(chaos_model(), rng);
+  const int prev_threads = ThreadPool::global().size();
+
+  for (const FeatureCase& v : feature_cases()) {
+    for (const TopoCase& t : topologies()) {
+      // The reducers are tree machinery (quantized partials and broadcast
+      // caches need aggregators); delta downlinks also run flat, which the
+      // flat case covers for the delta-bearing features.
+      if (t.levels < 2 && (v.quant != PartialQuant::None || v.cache)) continue;
+      for (const FaultCase& f : fault_cases()) {
+        for (std::uint64_t seed : {11ULL, 42ULL}) {
+          const std::string what = "fedavg-v6 " + std::string(v.name) + " " +
+                                   scenario_name(t, f, seed);
+          ThreadPool::set_global_threads(1);
+          const SyncOutcome a =
+              run_fedavg_v6(data, fleet, init, t, f, v, seed);
+          ThreadPool::set_global_threads(4);
+          const SyncOutcome b =
+              run_fedavg_v6(data, fleet, init, t, f, v, seed);
+          // Invariant 4: bitwise determinism across thread counts.
+          expect_same_weights(a.weights, b.weights, what);
+          expect_same_history(a.history, b.history, what);
+          EXPECT_EQ(a.network_bytes, b.network_bytes) << what;
+        }
+      }
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+}
+
+// ---------------------------------------------------------------------------
 // Byzantine adversarial sweep. The wire is honest here — the *clients*
 // misbehave — so the standing invariants (termination, conservation, byte
 // reconciliation, clean decode, 1-vs-4-thread bitwise determinism) must

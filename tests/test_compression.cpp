@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "common/check.hpp"
 #include "fl/compression.hpp"
@@ -72,11 +73,12 @@ TEST(TopKCompressionTest, AtLeastOneSurvives) {
 
 TEST(TopKCompressionTest, BytesScaleWithRatio) {
   TopKCompression tenth(0.1), half(0.5);
-  EXPECT_EQ(tenth.compressed_bytes(1000), 8.0 * 100);
-  EXPECT_EQ(half.compressed_bytes(1000), 8.0 * 500);
+  WeightSet ws{Tensor({1000})};
+  EXPECT_EQ(tenth.compressed_bytes(ws), 8.0 * 100);
+  EXPECT_EQ(half.compressed_bytes(ws), 8.0 * 500);
   // Dense fp32 equivalent is 4000 bytes: 10% top-k saves 5×.
   NoCompression none;
-  EXPECT_LT(tenth.compressed_bytes(1000), none.compressed_bytes(1000));
+  EXPECT_LT(tenth.compressed_bytes(ws), none.compressed_bytes(ws));
 }
 
 TEST(TopKCompressionTest, RejectsInvalidRatio) {
@@ -129,7 +131,47 @@ TEST(UniformQuantizationTest, BytesMatchBitWidth) {
   WeightSet ws{Tensor({100}), Tensor({50})};
   q8.compress(ws);
   // 150 params × 1 byte + 2 scales × 4 bytes.
-  EXPECT_EQ(q8.compressed_bytes(150), 150.0 + 8.0);
+  EXPECT_EQ(q8.compressed_bytes(ws), 150.0 + 8.0);
+}
+
+TEST(UniformQuantizationTest, BillingIsPureAndOrderIndependent) {
+  // compressed_bytes is a pure function of the delta handed in — one
+  // shared compressor instance bills a two-tensor delta identically whether
+  // queried cold, after compressing a one-tensor delta, or concurrently
+  // from many threads (the regression: the tensor count used to be cached
+  // from the last compress() call).
+  UniformQuantization q8(8);
+  WeightSet two{Tensor({100}), Tensor({50})};
+  WeightSet one{Tensor({64})};
+  const double cold = q8.compressed_bytes(two);
+  EXPECT_EQ(cold, 150.0 + 8.0);
+
+  q8.compress(one);  // would have clobbered the cached tensor count
+  EXPECT_EQ(q8.compressed_bytes(two), cold);
+  q8.compress(two);
+  EXPECT_EQ(q8.compressed_bytes(one), 64.0 + 4.0);
+
+  // Thread sweep: interleaved compress/bill on one shared instance from
+  // several threads must produce the same per-shape bills every time.
+  std::vector<double> bills(16);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w)
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < 4; ++i) {
+        WeightSet mine = (w + i) % 2 == 0
+                             ? WeightSet{Tensor({100}), Tensor({50})}
+                             : WeightSet{Tensor({64})};
+        q8.compress(mine);
+        bills[static_cast<std::size_t>(w * 4 + i)] =
+            q8.compressed_bytes(mine);
+      }
+    });
+  for (auto& t : workers) t.join();
+  for (int w = 0; w < 4; ++w)
+    for (int i = 0; i < 4; ++i)
+      EXPECT_EQ(bills[static_cast<std::size_t>(w * 4 + i)],
+                (w + i) % 2 == 0 ? 150.0 + 8.0 : 64.0 + 4.0)
+          << "worker " << w << " iteration " << i;
 }
 
 TEST(UniformQuantizationTest, RejectsInvalidBits) {
@@ -160,6 +202,45 @@ TEST(ErrorFeedbackTest, UnknownClientIsNoop) {
   ef.add_residual(3, ws);
   EXPECT_EQ(ws[0][0], 1.0f);
   EXPECT_FALSE(ef.has_residual(3));
+}
+
+TEST(ErrorFeedbackTest, ShapeDriftResetsResidualInsteadOfFoldingGarbage) {
+  // A returning client whose model spec changed between participations
+  // presents deltas whose shapes no longer match the stored residual —
+  // both hooks must reset the residual (loudly), never fold or store a
+  // cross-shape difference.
+  ErrorFeedback ef;
+  ef.store_residual(5, make_delta({{1.0f, 2.0f}}),
+                    make_delta({{0.5f, 2.0f}}));
+  ASSERT_TRUE(ef.has_residual(5));
+
+  // add_residual with a drifted delta: the delta passes through untouched
+  // and the stale residual is dropped.
+  auto wider = make_delta({{1.0f, 1.0f, 1.0f}});
+  ef.add_residual(5, wider);
+  EXPECT_EQ(wider[0][0], 1.0f);
+  EXPECT_EQ(wider[0][1], 1.0f);
+  EXPECT_EQ(wider[0][2], 1.0f);
+  EXPECT_FALSE(ef.has_residual(5));
+
+  // store_residual with mismatched pre/post shapes: nothing is stored and
+  // any prior residual is cleared.
+  ef.store_residual(9, make_delta({{1.0f}}), make_delta({{0.5f}}));
+  ASSERT_TRUE(ef.has_residual(9));
+  ef.store_residual(9, make_delta({{1.0f, 2.0f}}), make_delta({{0.5f}}));
+  EXPECT_FALSE(ef.has_residual(9));
+
+  // Same tensor count but different per-tensor shapes is still a drift —
+  // the old tensor-count check used to let this through.
+  ef.store_residual(2, make_delta({{1.0f, 2.0f}}),
+                    make_delta({{0.5f, 1.0f}}));
+  ASSERT_TRUE(ef.has_residual(2));
+  auto reshaped = make_delta({{0.0f, 0.0f, 0.0f}});
+  ef.add_residual(2, reshaped);
+  EXPECT_FALSE(ef.has_residual(2));
+  ef.store_residual(2, make_delta({{1.0f, 2.0f, 3.0f}}),
+                    make_delta({{0.5f}}));
+  EXPECT_FALSE(ef.has_residual(2));
 }
 
 TEST(ErrorFeedbackTest, MassConservation) {

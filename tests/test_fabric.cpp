@@ -1331,5 +1331,341 @@ TEST(AsyncTreeTest, FaultyTreeAsyncTerminatesAndAccountsLosses) {
     EXPECT_EQ(runner.history()[r].avg_loss, again.history()[r].avg_loss);
 }
 
+// ---------------------------------------------------------------------------
+// Wire v6 bandwidth reducers: (a) quantized tree partials stay within 1e-3
+// relative of the exact numeric tree and bitwise-deterministic across
+// thread counts; (b) broadcast-cache rounds are bitwise identical to cold
+// rounds (Sim and Socket) with the savings visible in FabricStats; (c)
+// delta downlinks reconstruct bitwise-identical weights and never cost
+// extra bytes; repeat broadcasts genuinely hit both machineries.
+
+TEST(BandwidthTest, QuantizedFedAvgTreeMatchesExactNumericWithinTolerance) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig exact = base_cfg(21);
+  exact.rounds = 4;
+  exact.clients_per_round = 6;
+  exact.eval_every = 0;
+  exact.use_fabric = true;
+  exact.topology.levels = 3;
+  exact.topology.shards = 4;
+  exact.topology.branching = 2;
+  exact.topology.partial_aggregation = true;
+  FedAvgRunner a(init, data, fleet, exact);
+  a.run();
+
+  for (PartialQuant q : {PartialQuant::Int8, PartialQuant::Fp16}) {
+    FlRunConfig quant = exact;
+    quant.topology.quantize_partials = q;
+    FedAvgRunner b(init, data, fleet, quant);
+    b.run();
+    EXPECT_LT(max_rel_diff(a.model().weights(), b.model().weights()), 1e-3)
+        << "quant mode " << static_cast<int>(q);
+    // Metrics ride the tree verbatim either way.
+    ASSERT_EQ(a.history().size(), b.history().size());
+    for (std::size_t r = 0; r < a.history().size(); ++r)
+      EXPECT_EQ(a.history()[r].participants, b.history()[r].participants);
+    EXPECT_EQ(b.fabric()->stats().frames_rejected.load(), 0u);
+    // Quantized group sums shrink what the root actually received.
+    EXPECT_LT(b.fabric()->stats().bytes_root_in.load(),
+              a.fabric()->stats().bytes_root_in.load());
+  }
+}
+
+TEST(BandwidthTest, QuantizedHeteroFLTreeMatchesExactNumericWithinTolerance) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients(), /*seed=*/4);
+
+  BaselineConfig cfg;
+  cfg.rounds = 4;
+  cfg.clients_per_round = 6;
+  cfg.local.steps = 3;
+  cfg.local.batch = 6;
+  cfg.seed = 19;
+  cfg.use_fabric = true;
+  cfg.topology.levels = 2;
+  cfg.topology.shards = 3;
+  cfg.topology.partial_aggregation = true;
+
+  HeteroFLRunner a(tiny_model(), data, fleet, cfg);
+  a.run();
+
+  cfg.topology.quantize_partials = PartialQuant::Int8;
+  HeteroFLRunner b(tiny_model(), data, fleet, cfg);
+  b.run();
+
+  EXPECT_LT(max_rel_diff(a.global().weights(), b.global().weights()), 1e-3);
+  EXPECT_EQ(b.engine().fabric()->stats().frames_rejected.load(), 0u);
+}
+
+TEST(BandwidthTest, QuantizedFedTransTreeMatchesExactNumericWithinTolerance) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+
+  FedTransConfig cfg;
+  cfg.rounds = 5;
+  cfg.clients_per_round = 6;
+  cfg.local.steps = 3;
+  cfg.local.batch = 6;
+  cfg.gamma = 2;
+  cfg.doc_delta = 2;
+  cfg.beta = 10.0;
+  cfg.act_window = 2;
+  cfg.max_models = 3;
+  cfg.seed = 13;
+  cfg.use_fabric = true;
+  cfg.topology.levels = 3;
+  cfg.topology.shards = 4;
+  cfg.topology.branching = 2;
+  cfg.topology.partial_aggregation = true;
+
+  FedTransTrainer a(tiny_model(), data, fleet, cfg);
+  a.run();
+
+  cfg.topology.quantize_partials = PartialQuant::Fp16;
+  FedTransTrainer b(tiny_model(), data, fleet, cfg);
+  b.run();
+
+  // Utility learning consumes the verbatim per-client losses; fp16 group
+  // sums keep the weight drift small enough that the family trajectory is
+  // preserved on this fixture.
+  ASSERT_EQ(a.num_models(), b.num_models());
+  for (int k = 0; k < a.num_models(); ++k)
+    EXPECT_LT(max_rel_diff(a.model(k).weights(), b.model(k).weights()), 1e-3)
+        << "model " << k;
+}
+
+TEST(BandwidthTest, QuantizedModeDeterministicAcrossThreadCounts) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(5);
+  Model init(tiny_model(), rng);
+  const int prev_threads = ThreadPool::global().size();
+
+  FlRunConfig cfg = base_cfg(17);
+  cfg.rounds = 3;
+  cfg.clients_per_round = 6;
+  cfg.eval_every = 0;
+  cfg.use_fabric = true;
+  cfg.topology.levels = 3;
+  cfg.topology.shards = 4;
+  cfg.topology.branching = 2;
+  cfg.topology.partial_aggregation = true;
+  cfg.topology.quantize_partials = PartialQuant::Int8;
+
+  ThreadPool::set_global_threads(1);
+  FedAvgRunner a(init, data, fleet, cfg);
+  a.run();
+  ThreadPool::set_global_threads(4);
+  FedAvgRunner b(init, data, fleet, cfg);
+  b.run();
+  ThreadPool::set_global_threads(prev_threads);
+  expect_identical(a, b);
+}
+
+TEST(BandwidthTest, QuantizedPartialsRequireNumericMode) {
+  // Verbatim bundles must stay bit-exact, so quantization without
+  // partial_aggregation is a configuration error caught at construction.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model init(tiny_model(), rng);
+
+  FlRunConfig cfg = base_cfg(3);
+  cfg.use_fabric = true;
+  cfg.topology.levels = 2;
+  cfg.topology.shards = 2;
+  cfg.topology.quantize_partials = PartialQuant::Int8;
+  EXPECT_THROW(FedAvgRunner(init, data, fleet, cfg), Error);
+}
+
+TEST(BandwidthTest, BroadcastCacheRoundsMatchColdRoundsBitwise) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  const int prev_threads = ThreadPool::global().size();
+
+  for (std::uint64_t seed : {11ULL, 42ULL}) {
+    Rng rng(3 + seed);
+    Model init(tiny_model(), rng);
+    for (int threads : {1, 4}) {
+      ThreadPool::set_global_threads(threads);
+
+      FlRunConfig cold = base_cfg(seed);
+      cold.use_fabric = true;
+      cold.topology.levels = 3;
+      cold.topology.shards = 4;
+      cold.topology.branching = 2;
+      FedAvgRunner a(init, data, fleet, cold);
+      a.run();
+
+      FlRunConfig cached = cold;
+      cached.topology.broadcast_cache = true;
+      FedAvgRunner b(init, data, fleet, cached);
+      b.run();
+
+      // Bitwise including costs: elision only trims the zero-latency
+      // backbone, never the billed client links.
+      expect_identical(a, b);
+      EXPECT_EQ(b.fabric()->stats().frames_rejected.load(), 0u);
+      EXPECT_LE(b.fabric()->stats().bytes_sent.load(),
+                a.fabric()->stats().bytes_sent.load());
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+
+  // Socket leg: the elided frames survive stream reassembly too.
+  Rng rng(3 + 11);
+  Model init(tiny_model(), rng);
+  FlRunConfig cold = base_cfg(11);
+  cold.use_fabric = true;
+  cold.topology.levels = 2;
+  cold.topology.shards = 3;
+  cold.with_socket_transport();
+  FedAvgRunner a(init, data, fleet, cold);
+  a.run();
+  FlRunConfig cached = cold;
+  cached.topology.broadcast_cache = true;
+  FedAvgRunner b(init, data, fleet, cached);
+  b.run();
+  expect_identical(a, b);
+  EXPECT_EQ(b.fabric()->stats().frames_rejected.load(), 0u);
+}
+
+TEST(BandwidthTest, DeltaDownlinkKeepsResultsBitwiseIdentical) {
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  const int prev_threads = ThreadPool::global().size();
+
+  for (std::uint64_t seed : {11ULL, 42ULL}) {
+    Rng rng(3 + seed);
+    Model init(tiny_model(), rng);
+    for (int threads : {1, 4}) {
+      ThreadPool::set_global_threads(threads);
+
+      FlRunConfig full = base_cfg(seed);
+      full.use_fabric = true;
+      full.topology.levels = 2;
+      full.topology.shards = 3;
+      FedAvgRunner a(init, data, fleet, full);
+      a.run();
+
+      FlRunConfig delta = full;
+      delta.topology.delta_downlink = true;
+      FedAvgRunner b(init, data, fleet, delta);
+      b.run();
+
+      // Clients reconstruct the exact weights, so the whole trajectory is
+      // bitwise; any shipped delta can only shrink the bill.
+      auto wa = a.model().weights();
+      auto wb = b.model().weights();
+      ASSERT_EQ(wa.size(), wb.size());
+      for (std::size_t i = 0; i < wa.size(); ++i)
+        EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0) << "tensor " << i;
+      ASSERT_EQ(a.history().size(), b.history().size());
+      for (std::size_t r = 0; r < a.history().size(); ++r) {
+        EXPECT_EQ(a.history()[r].avg_loss, b.history()[r].avg_loss);
+        EXPECT_EQ(a.history()[r].participants, b.history()[r].participants);
+      }
+      EXPECT_LE(b.costs().network_bytes(), a.costs().network_bytes());
+      EXPECT_EQ(b.fabric()->stats().frames_rejected.load(), 0u);
+    }
+  }
+  ThreadPool::set_global_threads(prev_threads);
+
+  // Socket leg, flat topology (delta applies to every sync downlink path).
+  Rng rng(3 + 42);
+  Model init(tiny_model(), rng);
+  FlRunConfig full = base_cfg(42);
+  full.use_fabric = true;
+  full.with_socket_transport();
+  FedAvgRunner a(init, data, fleet, full);
+  a.run();
+  FlRunConfig delta = full;
+  delta.topology.delta_downlink = true;
+  FedAvgRunner b(init, data, fleet, delta);
+  b.run();
+  auto wa = a.model().weights();
+  auto wb = b.model().weights();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i)
+    EXPECT_EQ(testing::max_abs_diff(wa[i], wb[i]), 0.0) << "tensor " << i;
+  EXPECT_EQ(b.fabric()->stats().frames_rejected.load(), 0u);
+}
+
+TEST(BandwidthTest, RepeatBroadcastsHitTheCacheAndShipDeltas) {
+  // Drive the server directly with a frozen global: round 2+ re-ships the
+  // same bodies, so every tree edge elides against its cache and every
+  // client's ModelDown collapses to an all-Same delta — while a
+  // feature-off server produces bitwise identical training results.
+  auto data = FederatedDataset::generate(tiny_data());
+  auto fleet = tiny_fleet(data.num_clients());
+  Rng rng(3);
+  Model proto(tiny_model(), rng);
+
+  LocalTrainConfig local;
+  local.steps = 3;
+  local.batch = 6;
+
+  FabricTopology on_topo;
+  on_topo.levels = 3;
+  on_topo.shards = 4;
+  on_topo.branching = 2;
+  on_topo.broadcast_cache = true;
+  on_topo.delta_downlink = true;
+  FederationServer on(proto, data, fleet, local, FaultConfig{}, on_topo);
+
+  FabricTopology off_topo = on_topo;
+  off_topo.broadcast_cache = false;
+  off_topo.delta_downlink = false;
+  FederationServer off(proto, data, fleet, local, FaultConfig{}, off_topo);
+
+  const WeightSet global = proto.weights();
+  const std::vector<int> clients = {0, 1, 2, 3, 4, 5};
+  for (std::uint32_t round = 1; round <= 3; ++round) {
+    Rng fork_root(100 + round);
+    std::vector<Rng> rngs;
+    for (std::size_t i = 0; i < clients.size(); ++i)
+      rngs.push_back(fork_root.fork());
+
+    const ExchangeResult ea = on.run_round(round, global, clients, rngs);
+    const ExchangeResult eb = off.run_round(round, global, clients, rngs);
+    ASSERT_EQ(ea.outcomes.size(), eb.outcomes.size());
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      EXPECT_EQ(ea.outcomes[i], eb.outcomes[i]) << "round " << round;
+      ASSERT_EQ(ea.results[i].delta.size(), eb.results[i].delta.size());
+      for (std::size_t t = 0; t < ea.results[i].delta.size(); ++t)
+        EXPECT_EQ(testing::max_abs_diff(ea.results[i].delta[t],
+                                        eb.results[i].delta[t]),
+                  0.0)
+            << "round " << round << " slot " << i << " tensor " << t;
+    }
+    if (round == 1) {
+      EXPECT_EQ(on.stats().cache_hits.load(), 0u) << "cold round";
+      EXPECT_EQ(on.stats().delta_downlinks.load(), 0u) << "no base yet";
+    }
+  }
+
+  // Warm rounds elided on every edge and shipped per-client deltas.
+  EXPECT_GT(on.stats().cache_hits.load(), 0u);
+  EXPECT_GT(on.stats().cache_saved_bytes.load(), 0u);
+  EXPECT_GT(on.stats().delta_downlinks.load(), 0u);
+  EXPECT_GT(on.stats().delta_saved_bytes.load(), 0u);
+  EXPECT_EQ(off.stats().cache_hits.load(), 0u);
+  EXPECT_EQ(off.stats().delta_downlinks.load(), 0u);
+  EXPECT_EQ(on.stats().frames_rejected.load(), 0u);
+  EXPECT_EQ(off.stats().frames_rejected.load(), 0u);
+
+  // The byte ledger reconciles: the feature-on fabric moved exactly the
+  // advertised savings less than the feature-off one.
+  EXPECT_EQ(on.stats().bytes_sent.load() + on.stats().cache_saved_bytes.load() +
+                on.stats().delta_saved_bytes.load(),
+            off.stats().bytes_sent.load());
+  EXPECT_LT(on.stats().bytes_downlink.load(),
+            off.stats().bytes_downlink.load());
+}
+
 }  // namespace
 }  // namespace fedtrans

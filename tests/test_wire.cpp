@@ -10,6 +10,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/serial.hpp"
 #include "model/spec.hpp"
 #include "net/wire.hpp"
 
@@ -412,6 +413,272 @@ TEST(WireTest, RetryFlagRidesTheHeader) {
   EXPECT_EQ(back.flags, kFlagRetry);
   msg.flags = 0;
   EXPECT_EQ(decode_message(encode_message(msg)).flags, 0);
+}
+
+TEST(WireTest, WireVersionIsSix) {
+  // Regression pin for the protocol rev: the v6 features (quantized
+  // partials, broadcast-cache elision, delta downlinks) changed the frame
+  // payloads, so mixed-version peers must be rejected at the header.
+  EXPECT_EQ(kWireVersion, 6);
+
+  Rng rng(53);
+  FabricMessage msg;
+  msg.type = MsgType::UpdateUp;
+  msg.round = 1;
+  msg.sender = 2;
+  msg.receiver = kServerId;
+  msg.weights = random_weight_set(rng);
+  const PartialUpdate p = random_reduced_bundle(rng, 2, 1);
+  ShardDownlink d;
+  d.bodies.push_back("body");
+  DownlinkTask t;
+  d.tasks.push_back(t);
+  const std::string frames[] = {
+      encode_message(msg), encode_partial_up(1, aggregator_id(0), kServerId, p),
+      encode_shard_down(1, kServerId, aggregator_id(0), d)};
+  for (const std::string& frame : frames) {
+    // Every on-the-wire version other than ours must be rejected by every
+    // decoder — stale (v5 and earlier) or future alike.
+    for (const std::uint16_t v : {std::uint16_t{5}, std::uint16_t{7}}) {
+      std::string bad = frame;
+      bad[4] = static_cast<char>(v & 0xff);
+      bad[5] = static_cast<char>(v >> 8);
+      EXPECT_THROW(decode_message(bad), Error);
+      EXPECT_THROW(decode_partial_up(bad), Error);
+      EXPECT_THROW(decode_shard_down(bad), Error);
+    }
+  }
+}
+
+TEST(WireTest, QuantizedPartialUpInt8RoundTripsWithinScale) {
+  Rng rng(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    PartialUpdate p = random_reduced_bundle(rng, rng.uniform_int(1, 6),
+                                            rng.uniform_int(1, 4));
+    p.quant = kPartialQuantInt8;
+    const std::string frame =
+        encode_partial_up(5, aggregator_id(1), kServerId, p);
+    // The same bundle encodes to the same bytes — quantization is a pure
+    // function of the values, no hidden state.
+    EXPECT_EQ(frame, encode_partial_up(5, aggregator_id(1), kServerId, p));
+    const PartialUpdate back = decode_partial_up(frame);
+    EXPECT_EQ(back.quant, kPartialQuantInt8);
+    EXPECT_TRUE(back.reduced);
+    ASSERT_EQ(back.groups.size(), p.groups.size());
+    for (std::size_t g = 0; g < p.groups.size(); ++g) {
+      EXPECT_EQ(back.groups[g].key, p.groups[g].key);
+      EXPECT_EQ(back.groups[g].weight, p.groups[g].weight);
+      ASSERT_EQ(back.groups[g].sum.size(), p.groups[g].sum.size());
+      // One shared scale per group: every element lands within half an
+      // int8 step of the original, and decoded tensors are plain fp32.
+      float amax = 0.0f;
+      for (const Tensor& w : p.groups[g].sum)
+        for (std::int64_t j = 0; j < w.numel(); ++j)
+          amax = std::max(amax, std::abs(w[j]));
+      const float scale = amax / 127.0f;
+      for (std::size_t t = 0; t < p.groups[g].sum.size(); ++t) {
+        ASSERT_EQ(back.groups[g].sum[t].shape(), p.groups[g].sum[t].shape());
+        EXPECT_EQ(back.groups[g].sum[t].dtype(), Dtype::F32);
+        for (std::int64_t j = 0; j < p.groups[g].sum[t].numel(); ++j)
+          EXPECT_NEAR(back.groups[g].sum[t][j], p.groups[g].sum[t][j],
+                      scale * 0.5f + 1e-7f)
+              << "group " << g << " tensor " << t << " elem " << j;
+      }
+    }
+    // int8 group sums are genuinely smaller on the wire than fp32 ones.
+    PartialUpdate exact = p;
+    exact.quant = kPartialQuantF32;
+    bool has_values = false;
+    for (const ReducedGroup& g : p.groups)
+      for (const Tensor& w : g.sum) has_values = has_values || w.numel() > 0;
+    if (has_values) {
+      EXPECT_LT(frame.size(),
+                encode_partial_up(5, aggregator_id(1), kServerId, exact)
+                    .size());
+    }
+  }
+}
+
+TEST(WireTest, QuantizedPartialUpF16RoundTripsWithinHalfPrecision) {
+  Rng rng(67);
+  PartialUpdate p = random_reduced_bundle(rng, 3, 3);
+  p.quant = kPartialQuantF16;
+  const PartialUpdate back =
+      decode_partial_up(encode_partial_up(6, aggregator_id(2), kServerId, p));
+  EXPECT_EQ(back.quant, kPartialQuantF16);
+  ASSERT_EQ(back.groups.size(), p.groups.size());
+  for (std::size_t g = 0; g < p.groups.size(); ++g) {
+    ASSERT_EQ(back.groups[g].sum.size(), p.groups[g].sum.size());
+    for (std::size_t t = 0; t < p.groups[g].sum.size(); ++t) {
+      EXPECT_EQ(back.groups[g].sum[t].dtype(), Dtype::F32);
+      for (std::int64_t j = 0; j < p.groups[g].sum[t].numel(); ++j) {
+        const float v = p.groups[g].sum[t][j];
+        // fp16 keeps 11 significand bits: relative error <= 2^-11.
+        EXPECT_NEAR(back.groups[g].sum[t][j], v,
+                    std::abs(v) * (1.0f / 2048.0f) + 1e-6f);
+      }
+    }
+  }
+
+  // An unknown quantization mode is refused at encode, before any bytes
+  // reach the wire.
+  PartialUpdate bad = random_reduced_bundle(rng, 1, 1);
+  bad.quant = 3;
+  EXPECT_THROW(encode_partial_up(7, aggregator_id(0), kServerId, bad), Error);
+}
+
+TEST(WireTest, ShardDownElisionRoundTripsThroughBroadcastCache) {
+  Rng rng(71);
+  ShardDownlink d;
+  d.shard = 0;
+  d.leaf_lo = 0;
+  d.leaf_hi = 1;
+  // Bodies follow the real [spec string][weights] layout so spec digests
+  // are meaningful.
+  for (int b = 0; b < 2; ++b) {
+    std::ostringstream os(std::ios::binary);
+    write_string(os, ModelSpec::conv(1, 8, 4, 4, {6, 8 + b}).serialize());
+    write_weight_set(os, random_weight_set(rng, 3));
+    d.bodies.push_back(os.str());
+  }
+  for (int i = 0; i < 4; ++i) {
+    DownlinkTask t;
+    t.task = i;
+    t.client = i;
+    t.body = static_cast<std::uint32_t>(i % 2);
+    for (auto& s : t.rng_state) s = rng.next_u64();
+    d.tasks.push_back(t);
+  }
+
+  // Cold round: everything ships, the receiver caches what it decoded.
+  BroadcastCache cache;
+  const std::string cold = encode_shard_down(3, kServerId, aggregator_id(0), d);
+  const ShardDownlink cold_back = decode_shard_down(cold, &cache);
+  EXPECT_EQ(cold_back.bodies, d.bodies);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Warm round: the sender elides body 0; the receiver reconstructs it
+  // from its cache and the bundle decodes identically to a cold one.
+  const std::vector<std::uint8_t> elide = {1, 0};
+  const std::string warm =
+      encode_shard_down(4, kServerId, aggregator_id(0), d, 0, &elide);
+  // An elided entry ships the u64 hash where the u64 length prefix would
+  // have been — the saving is exactly the body's bytes.
+  EXPECT_EQ(warm.size(), cold.size() - d.bodies[0].size());
+  const ShardDownlink warm_back = decode_shard_down(warm, &cache);
+  EXPECT_EQ(warm_back.bodies, d.bodies);
+  for (const std::uint8_t m : warm_back.missing) EXPECT_EQ(m, 0);
+  ASSERT_EQ(warm_back.tasks.size(), d.tasks.size());
+  for (std::size_t i = 0; i < d.tasks.size(); ++i)
+    EXPECT_EQ(warm_back.tasks[i].rng_state, d.tasks[i].rng_state);
+
+  // A cache miss (cold receiver, or no cache at all) must not fabricate
+  // payload: the body comes back empty and flagged missing.
+  BroadcastCache empty_cache;
+  const ShardDownlink miss = decode_shard_down(warm, &empty_cache);
+  ASSERT_EQ(miss.missing.size(), 2u);
+  EXPECT_EQ(miss.missing[0], 1);
+  EXPECT_EQ(miss.missing[1], 0);
+  EXPECT_TRUE(miss.bodies[0].empty());
+  EXPECT_EQ(miss.bodies[1], d.bodies[1]);
+  const ShardDownlink no_cache = decode_shard_down(warm);
+  EXPECT_EQ(no_cache.missing[0], 1);
+
+  // A same-spec body with new content evicts the cached one (the sender
+  // mirrors this rule, so it would not have elided against stale bytes).
+  std::ostringstream os(std::ios::binary);
+  write_string(os, ModelSpec::conv(1, 8, 4, 4, {6, 8}).serialize());
+  write_weight_set(os, random_weight_set(rng, 3));
+  ShardDownlink next = d;
+  next.bodies[0] = os.str();
+  BroadcastCache evicting;
+  decode_shard_down(encode_shard_down(5, kServerId, aggregator_id(0), d),
+                    &evicting);
+  decode_shard_down(encode_shard_down(6, kServerId, aggregator_id(0), next),
+                    &evicting);
+  EXPECT_EQ(evicting.find(broadcast_body_hash(d.bodies[0])), nullptr);
+  ASSERT_NE(evicting.find(broadcast_body_hash(next.bodies[0])), nullptr);
+}
+
+TEST(WireTest, WeightDeltaCodecReconstructsBitwise) {
+  Rng rng(73);
+  WeightSet prev = random_weight_set(rng, 6);
+  while (prev.size() < 3) prev = random_weight_set(rng, 6);
+  WeightSet next;
+  for (const Tensor& w : prev) next.push_back(w);
+  // Tensor 0 stays identical (Same), tensor 1 gets a smooth additive nudge
+  // (Delta or Literal — the writer proves bitwise reconstruction and picks),
+  // tensor 2 is rewritten wholesale (Literal).
+  for (std::int64_t j = 0; j < next[1].numel(); ++j) next[1][j] += 0.25f;
+  next[2].randn(rng, 3.0f);
+
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_weight_delta(ss, 41, prev, next);
+  std::uint64_t base = 0;
+  const WeightSet back = read_weight_delta(ss, prev, base);
+  EXPECT_EQ(base, 41u);
+  ASSERT_EQ(back.size(), next.size());
+  for (std::size_t t = 0; t < next.size(); ++t) {
+    ASSERT_EQ(back[t].shape(), next[t].shape());
+    EXPECT_EQ(back[t].dtype(), next[t].dtype());
+    for (std::int64_t j = 0; j < next[t].numel(); ++j)
+      EXPECT_EQ(back[t][j], next[t][j]) << "tensor " << t << " elem " << j;
+  }
+
+  // A non-fp32 literal keeps its dtype tag across the trip.
+  WeightSet half_next;
+  for (const Tensor& w : prev) half_next.push_back(w);
+  half_next[0].quantize_storage(Dtype::F16);
+  std::stringstream hs(std::ios::in | std::ios::out | std::ios::binary);
+  write_weight_delta(hs, 7, prev, half_next);
+  const WeightSet half_back = read_weight_delta(hs, prev, base);
+  EXPECT_EQ(half_back[0].dtype(), Dtype::F16);
+
+  // Shape drift between writer and reader is refused.
+  WeightSet skewed = prev;
+  skewed.pop_back();
+  std::stringstream bs(std::ios::in | std::ios::out | std::ios::binary);
+  write_weight_delta(bs, 1, prev, next);
+  EXPECT_THROW(read_weight_delta(bs, skewed, base), Error);
+}
+
+TEST(WireTest, DeltaModelDownRequiresMatchingBase) {
+  Rng rng(79);
+  WeightSet prev = random_weight_set(rng, 5);
+  while (prev.empty()) prev = random_weight_set(rng, 5);
+  WeightSet next;
+  for (const Tensor& w : prev) next.push_back(w);
+  next[0][0] += 1.0f;
+  const std::string spec = ModelSpec::conv(1, 8, 4, 4, {6, 8}).serialize();
+
+  // The exact payload a delta-flagged ModelDown carries:
+  // [slot][spec][delta section][rng state].
+  std::ostringstream os(std::ios::binary);
+  write_pod<std::int32_t>(os, 3);
+  write_string(os, spec);
+  write_weight_delta(os, 12, prev, next);
+  std::array<std::uint64_t, 4> rng_state{};
+  for (auto& s : rng_state) s = rng.next_u64();
+  os.write(reinterpret_cast<const char*>(rng_state.data()),
+           sizeof(rng_state));
+  const std::string frame = encode_frame(MsgType::ModelDown, 9, kServerId, 4,
+                                         os.str(), kFlagDelta);
+
+  const FabricMessage msg = decode_message(frame, &prev, 12);
+  EXPECT_EQ(msg.flags & kFlagDelta, kFlagDelta);
+  EXPECT_EQ(msg.delta_base, 12u);
+  EXPECT_EQ(msg.task, 3);
+  EXPECT_EQ(msg.spec_text, spec);
+  EXPECT_EQ(msg.rng_state, rng_state);
+  ASSERT_EQ(msg.weights.size(), next.size());
+  for (std::size_t t = 0; t < next.size(); ++t)
+    for (std::int64_t j = 0; j < next[t].numel(); ++j)
+      EXPECT_EQ(msg.weights[t][j], next[t][j]);
+
+  // No previous model, or a previous model at the wrong version, must land
+  // in frames_rejected territory — never silently wrong weights.
+  EXPECT_THROW(decode_message(frame), Error);
+  EXPECT_THROW(decode_message(frame, &prev, 11), Error);
 }
 
 TEST(WireTest, BadMagicAndVersionAreRejected) {
